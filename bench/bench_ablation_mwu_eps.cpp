@@ -1,0 +1,29 @@
+// Ablation: MWU epsilon vs packing quality, iteration count and tree count
+// (DESIGN.md §5). Smaller epsilon -> more iterations, tighter rate, more
+// candidate trees for the ILP to prune.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "blink/packing/packing.h"
+
+int main() {
+  using namespace blink;
+  bench::banner("Ablation", "MWU epsilon sweep on the full DGX-1V, root 0");
+  const auto g = graph::nvlink_digraph(topo::make_dgx1v());
+  const double optimal = packing::optimal_rate(g, 0);
+
+  std::printf("%-8s %12s %12s %12s %12s\n", "epsilon", "iterations",
+              "MWU trees", "rate/opt", "final trees");
+  for (const double eps : {0.5, 0.3, 0.2, 0.1, 0.05, 0.02}) {
+    packing::MwuOptions opts;
+    opts.epsilon = eps;
+    const auto packed = packing::mwu_pack(g, 0, opts);
+    const auto minimized = packing::minimize_trees(g, 0, packed.trees);
+    std::printf("%-8.2f %12d %12zu %11.1f%% %12zu\n", eps, packed.iterations,
+                packed.trees.size(), 100.0 * packed.total_rate / optimal,
+                minimized.trees.size());
+  }
+  std::printf("\nexpected: rate/opt rises toward 100%% as epsilon shrinks; "
+              "the ILP stage always recovers ~6 trees.\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Ablation: effect of ILP tree minimization on *achieved* throughput
+// (DESIGN.md §5): running the raw MWU packing (hundreds of slivers of
+// trees) vs the minimized set on the same fabric. Many tiny trees mean tiny
+// chunks, more launch overhead and worse pipelining — the §3.2.1 motivation.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "blink/sim/executor.h"
+
+int main() {
+  using namespace blink;
+  bench::banner("Ablation", "ILP tree minimization on/off, DGX-1V broadcast");
+  const auto machine = topo::make_dgx1v();
+
+  std::printf("%-18s %10s %14s %10s %14s\n", "GPUs", "raw trees",
+              "raw bw (GB/s)", "min trees", "min bw (GB/s)");
+  for (const auto& alloc :
+       {std::vector<int>{0, 1, 2, 3}, std::vector<int>{1, 2, 4, 5, 6, 7},
+        std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}}) {
+    const auto topo = topo::induced_topology(machine, alloc);
+    const sim::Fabric fabric(topo, sim::FabricParams{});
+
+    TreeGenOptions raw_opts;
+    raw_opts.minimize = false;
+    const auto raw_set = generate_trees(topo, 0, raw_opts);
+    const auto min_set = generate_trees(topo, 0);
+
+    auto measure = [&](const TreeSet& set) {
+      ProgramBuilder builder(fabric, CodeGenOptions{});
+      builder.broadcast(route_trees(fabric, 0, set), 500e6);
+      return sim::execute(fabric, builder.take()).throughput(500e6);
+    };
+    std::printf("%-18s %10zu %14.1f %10zu %14.1f\n",
+                bench::alloc_label(alloc).c_str(), raw_set.trees.size(),
+                measure(raw_set) / 1e9, min_set.trees.size(),
+                measure(min_set) / 1e9);
+  }
+  std::printf("\nexpected: the minimized set matches or beats the raw "
+              "packing despite using far fewer trees.\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Ablation: stream reuse (§4.2.2) and chunk size (§4.2.1) on a topology
+// where several trees share links. On real CUDA hardware disabling reuse
+// causes unfair link sharing; in the fluid simulator sharing is always fair,
+// so the residual difference isolates the scheduling-granularity effect.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "blink/sim/executor.h"
+
+int main() {
+  using namespace blink;
+  bench::banner("Ablation", "Stream reuse and chunk size, DGX-1V broadcast");
+  const auto machine = topo::make_dgx1v();
+  const auto topo = topo::induced_topology(
+      machine, std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7});
+  const sim::Fabric fabric(topo, sim::FabricParams{});
+  const auto set = generate_trees(topo, 0);
+  const auto trees = route_trees(fabric, 0, set);
+
+  std::printf("%-12s %14s %14s %12s\n", "chunk", "reuse on", "reuse off",
+              "streams on/off");
+  for (const std::uint64_t chunk :
+       {1ull << 20, 4ull << 20, 16ull << 20, 64ull << 20}) {
+    double bw[2];
+    int streams[2];
+    for (const bool reuse : {true, false}) {
+      CodeGenOptions opts;
+      opts.chunk_bytes = chunk;
+      opts.stream_reuse = reuse;
+      ProgramBuilder builder(fabric, opts);
+      builder.broadcast(trees, 500e6);
+      const auto program = builder.take();
+      streams[reuse ? 0 : 1] = program.num_streams();
+      bw[reuse ? 0 : 1] = sim::execute(fabric, program).throughput(500e6);
+    }
+    std::printf("%8lluMiB %12.1f %14.1f %8d/%d\n",
+                static_cast<unsigned long long>(chunk >> 20), bw[0] / 1e9,
+                bw[1] / 1e9, streams[0], streams[1]);
+  }
+  return 0;
+}

@@ -1,0 +1,30 @@
+#include "bench_common.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace blink::bench {
+
+std::string alloc_label(const std::vector<int>& gpus) {
+  std::string label;
+  for (const int g : gpus) {
+    if (!label.empty()) label += ",";
+    label += std::to_string(g);
+  }
+  return label;
+}
+
+double geo_mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (const double v : values) log_sum += std::log(v);
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+void banner(const std::string& figure, const std::string& description) {
+  std::printf("================================================================\n");
+  std::printf("%s — %s\n", figure.c_str(), description.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace blink::bench

@@ -1,0 +1,26 @@
+// Shared helpers for the per-figure benchmark binaries. Every binary prints
+// the rows/series of one paper table or figure (see DESIGN.md §4) so the
+// full evaluation regenerates with:  for b in build/bench/*; do $b; done
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "blink/baselines/nccl_like.h"
+#include "blink/blink/communicator.h"
+#include "blink/topology/binning.h"
+#include "blink/topology/builders.h"
+#include "blink/topology/discovery.h"
+
+namespace blink::bench {
+
+// "1,4,5,7"-style label for an allocation (Figures 15-17 x-axis).
+std::string alloc_label(const std::vector<int>& gpus);
+
+// Geometric mean of positive values.
+double geo_mean(const std::vector<double>& values);
+
+// Prints the standard figure banner.
+void banner(const std::string& figure, const std::string& description);
+
+}  // namespace blink::bench

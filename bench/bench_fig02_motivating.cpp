@@ -1,0 +1,36 @@
+// Figure 2: the motivating broadcast comparison on a DGX-1P.
+//   (a) fully connected 3 GPUs {0,1,3}: NCCL 43.6 vs Blink 48.4 GB/s
+//   (b) partially connected {0,1,4}: NCCL 4.8 (PCIe) vs Blink 26.4 GB/s
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace blink;
+  bench::banner("Figure 2", "Broadcast from GPU 0 on a DGX-1P (GB/s)");
+  const auto machine = topo::make_dgx1p();
+
+  struct Case {
+    const char* name;
+    std::vector<int> gpus;
+    double paper_nccl;
+    double paper_blink;
+  };
+  const std::vector<Case> cases{
+      {"(a) fully connected {0,1,3}", {0, 1, 3}, 43.6, 48.4},
+      {"(b) partially connected {0,1,4}", {0, 1, 4}, 4.8, 26.4},
+  };
+
+  for (const auto& c : cases) {
+    const auto topo = topo::induced_topology(machine, c.gpus);
+    Communicator blink_comm(topo);
+    baselines::NcclCommunicator nccl(topo);
+    const double nccl_bw = nccl.broadcast(500e6, 0).algorithm_bw / 1e9;
+    const double blink_bw = blink_comm.broadcast(500e6, 0).algorithm_bw / 1e9;
+    std::printf("%s\n", c.name);
+    std::printf("  NCCL2: %6.1f GB/s (paper %5.1f)    Blink: %6.1f GB/s "
+                "(paper %5.1f)\n",
+                nccl_bw, c.paper_nccl, blink_bw, c.paper_blink);
+  }
+  return 0;
+}

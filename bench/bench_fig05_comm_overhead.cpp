@@ -1,0 +1,56 @@
+// Figure 5 (§2.1): best/worst-case communication overhead (% of iteration
+// time) for AlexNet/ResNet18/ResNet50/VGG16 under NCCL, for 3-8 GPU
+// allocations on DGX-1P and DGX-1V. The worst case is the unique config
+// with the slowest AllReduce; the best case the fastest.
+#include <cstdio>
+#include <limits>
+
+#include "bench_common.h"
+#include "blink/dnn/training.h"
+
+namespace {
+
+using namespace blink;
+
+void report(const char* label, const topo::Topology& machine,
+            dnn::GpuGeneration gen) {
+  std::printf("--- %s ---\n", label);
+  std::printf("%-6s", "#GPUs");
+  for (const auto& m : dnn::model_zoo()) {
+    std::printf(" %18s", m.name.c_str());
+  }
+  std::printf("\n");
+  for (int k = 3; k <= 8; ++k) {
+    std::printf("%-6d", k);
+    for (const auto& model : dnn::model_zoo()) {
+      double best = std::numeric_limits<double>::infinity();
+      double worst = 0.0;
+      for (const auto& bin :
+           topo::unique_configs(machine, k, /*connected_only=*/true)) {
+        const auto topo = topo::induced_topology(machine, bin.representative);
+        baselines::NcclCommunicator nccl(topo);
+        dnn::TrainingOptions opts;
+        opts.num_gpus = k;
+        const auto it = dnn::simulate_iteration(
+            model, gen,
+            [&](double b) { return nccl.all_reduce(b).seconds; }, opts);
+        best = std::min(best, it.comm_fraction);
+        worst = std::max(worst, it.comm_fraction);
+      }
+      std::printf("   %6.1f%% - %5.1f%%", 100 * best, 100 * worst);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Figure 5",
+                "Best/worst NCCL communication overhead (% of iteration)");
+  report("DGX-1P (P100)", topo::make_dgx1p(), dnn::GpuGeneration::kP100);
+  report("DGX-1V (V100)", topo::make_dgx1v(), dnn::GpuGeneration::kV100);
+  std::printf("\npaper: up to ~50%% on DGX-1V for AlexNet/VGG16; ResNets "
+              "lower; DGX-1P slightly lower than DGX-1V.\n");
+  return 0;
+}

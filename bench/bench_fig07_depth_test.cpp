@@ -1,0 +1,34 @@
+// Figure 7 (§2.2): reduce+forward throughput over a chain of 3-8 GPUs at
+// 10 MB / 100 MB / 1000 MB. Throughput should sit near one NVLink lane
+// (~19-21 GB/s), dip slightly with chain depth, and collapse for small
+// payloads where CUDA command overheads dominate.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "blink/sim/executor.h"
+
+int main() {
+  using namespace blink;
+  bench::banner("Figure 7",
+                "Chain reduce+forward throughput (GB/s), DGX-1V lanes");
+  std::printf("%-8s %10s %10s %10s\n", "#GPUs", "10MB", "100MB", "1000MB");
+
+  for (int n = 3; n <= 8; ++n) {
+    const auto topo = topo::make_chain(n);
+    const sim::Fabric fabric(topo, sim::FabricParams{});
+    const auto set = generate_trees(topo, 0);
+    const auto trees = route_trees(fabric, 0, set);
+    std::printf("%-8d", n);
+    for (const double bytes : {10e6, 100e6, 1000e6}) {
+      ProgramBuilder builder(fabric, CodeGenOptions{});
+      // reduce toward GPU 0 along the chain: reduce+forward at every hop.
+      builder.reduce(trees, bytes);
+      const auto run = sim::execute(fabric, builder.take());
+      std::printf(" %10.1f", run.throughput(bytes) / 1e9);
+    }
+    std::printf("\n");
+  }
+  std::printf("\npaper: ~21 GB/s at 3 GPUs falling to ~19 GB/s at 8 for "
+              "1000MB; lower for small payloads.\n");
+  return 0;
+}

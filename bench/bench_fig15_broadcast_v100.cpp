@@ -1,0 +1,37 @@
+// Figure 15: Broadcast throughput, NCCL2 vs Blink, for all 46 unique
+// topologies induced by GPU allocations on a DGX-1V. 500 MB payload with
+// 50 MB / 1 GB error bars, as in §5.2.1.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace blink;
+  bench::banner("Figure 15",
+                "Broadcast throughput (GB/s), all unique DGX-1V topologies");
+  const auto machine = topo::make_dgx1v();
+  std::printf("%-18s %10s %10s %10s %10s %8s\n", "GPUs", "Blink", "lo", "hi",
+              "NCCL2", "speedup");
+
+  std::vector<double> speedups;
+  for (int k = 3; k <= 8; ++k) {
+    for (const auto& bin :
+         topo::unique_configs(machine, k, /*connected_only=*/true)) {
+      const auto topo = topo::induced_topology(machine, bin.representative);
+      Communicator blink_comm(topo);
+      baselines::NcclCommunicator nccl(topo);
+      const double blink_bw = blink_comm.broadcast(500e6, 0).algorithm_bw;
+      const double blink_lo = blink_comm.broadcast(50e6, 0).algorithm_bw;
+      const double blink_hi = blink_comm.broadcast(1000e6, 0).algorithm_bw;
+      const double nccl_bw = nccl.broadcast(500e6, 0).algorithm_bw;
+      speedups.push_back(blink_bw / nccl_bw);
+      std::printf("%-18s %10.1f %10.1f %10.1f %10.1f %7.2fx\n",
+                  bench::alloc_label(bin.representative).c_str(),
+                  blink_bw / 1e9, blink_lo / 1e9, blink_hi / 1e9,
+                  nccl_bw / 1e9, speedups.back());
+    }
+  }
+  std::printf("%-18s %54.2fx\n", "geoMean", bench::geo_mean(speedups));
+  std::printf("\npaper: Blink up to 6x, 2x geometric mean over NCCL2.\n");
+  return 0;
+}

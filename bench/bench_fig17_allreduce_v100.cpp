@@ -1,0 +1,33 @@
+// Figure 17: AllReduce throughput, NCCL2 vs Blink, all 46 unique DGX-1V
+// topologies (§5.2.2; paper reports up to 8x, 2x geometric mean, and roughly
+// half the corresponding Broadcast throughput).
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace blink;
+  bench::banner("Figure 17",
+                "AllReduce throughput (GB/s), all unique DGX-1V topologies");
+  const auto machine = topo::make_dgx1v();
+  std::printf("%-18s %10s %10s %8s\n", "GPUs", "Blink", "NCCL2", "speedup");
+
+  std::vector<double> speedups;
+  for (int k = 3; k <= 8; ++k) {
+    for (const auto& bin :
+         topo::unique_configs(machine, k, /*connected_only=*/true)) {
+      const auto topo = topo::induced_topology(machine, bin.representative);
+      Communicator blink_comm(topo);
+      baselines::NcclCommunicator nccl(topo);
+      const double blink_bw = blink_comm.all_reduce(500e6).algorithm_bw;
+      const double nccl_bw = nccl.all_reduce(500e6).algorithm_bw;
+      speedups.push_back(blink_bw / nccl_bw);
+      std::printf("%-18s %10.1f %10.1f %7.2fx\n",
+                  bench::alloc_label(bin.representative).c_str(),
+                  blink_bw / 1e9, nccl_bw / 1e9, speedups.back());
+    }
+  }
+  std::printf("%-18s %29.2fx\n", "geoMean", bench::geo_mean(speedups));
+  std::printf("\npaper: Blink up to 8x, 2x geometric mean over NCCL2.\n");
+  return 0;
+}

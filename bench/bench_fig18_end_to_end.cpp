@@ -1,0 +1,61 @@
+// Figure 18 (§5.4): end-to-end single-server training with Blink vs NCCL on
+// DGX-1V allocations: reduction in iteration time (left) and in exposed
+// communication time (right) for the four CNNs.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "blink/dnn/training.h"
+
+int main() {
+  using namespace blink;
+  bench::banner("Figure 18",
+                "Training iteration-time and comm-time reduction, DGX-1V");
+  const auto machine = topo::make_dgx1v();
+  // The configurations the paper shows (subset of the unique bins).
+  const std::vector<std::vector<int>> configs{
+      {0, 1, 2},       {3, 6, 7},          {0, 1, 2, 3}, {1, 4, 5, 7},
+      {1, 4, 5, 6, 7}, {2, 3, 5, 6, 7},    {1, 2, 4, 5, 6, 7},
+      {2, 3, 4, 5, 6, 7}, {1, 2, 3, 4, 5, 6, 7}, {0, 1, 2, 3, 4, 5, 6, 7}};
+
+  std::printf("%-18s %-10s %12s %12s %12s %12s\n", "GPUs", "model",
+              "iter nccl", "iter blink", "iter red.", "comm red.");
+  std::vector<double> iter_reductions;
+  std::vector<double> comm_reductions;
+  for (const auto& alloc : configs) {
+    const auto topo = topo::induced_topology(machine, alloc);
+    Communicator blink_comm(topo);
+    baselines::NcclCommunicator nccl(topo);
+    dnn::TrainingOptions opts;
+    opts.num_gpus = topo.num_gpus;
+    for (const auto& model : dnn::model_zoo()) {
+      const auto nccl_it = dnn::simulate_iteration(
+          model, dnn::GpuGeneration::kV100,
+          [&](double b) { return nccl.all_reduce(b).seconds; }, opts);
+      const auto blink_it = dnn::simulate_iteration(
+          model, dnn::GpuGeneration::kV100,
+          [&](double b) { return blink_comm.all_reduce(b).seconds; }, opts);
+      const double iter_red =
+          1.0 - blink_it.iteration_seconds / nccl_it.iteration_seconds;
+      const double comm_red =
+          nccl_it.exposed_comm_seconds > 1e-9
+              ? 1.0 - blink_it.exposed_comm_seconds /
+                          nccl_it.exposed_comm_seconds
+              : 0.0;
+      iter_reductions.push_back(std::max(iter_red, 1e-6));
+      comm_reductions.push_back(std::max(comm_red, 1e-6));
+      std::printf("%-18s %-10s %10.1fms %10.1fms %11.1f%% %11.1f%%\n",
+                  bench::alloc_label(alloc).c_str(), model.name.c_str(),
+                  nccl_it.iteration_seconds * 1e3,
+                  blink_it.iteration_seconds * 1e3, 100 * iter_red,
+                  100 * comm_red);
+    }
+  }
+  double max_iter = 0.0;
+  double max_comm = 0.0;
+  for (const double r : iter_reductions) max_iter = std::max(max_iter, r);
+  for (const double r : comm_reductions) max_comm = std::max(max_comm, r);
+  std::printf("\nmax iteration-time reduction %.1f%% (paper: up to 40%%); "
+              "max comm reduction %.1f%% (paper: up to 87%%)\n",
+              100 * max_iter, 100 * max_comm);
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Figure 19 (§5.2.3): AllReduce throughput on a 16-GPU DGX-2 from 1 KB to
+// 1 GB, Blink one-hop trees vs NCCL (double binary trees below 16 KB, rings
+// above). The paper reports up to 3.5x higher throughput for Blink, with
+// the advantage concentrated at small/medium sizes.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "blink/common/units.h"
+
+int main() {
+  using namespace blink;
+  bench::banner("Figure 19", "DGX-2 16-GPU AllReduce throughput (GB/s)");
+  Communicator blink_comm(topo::make_dgx2());
+  baselines::NcclCommunicator nccl(topo::make_dgx2());
+
+  std::printf("%-8s %12s %12s %9s\n", "size", "NCCL", "Blink", "ratio");
+  std::vector<double> ratios;
+  for (std::uint64_t bytes = 1'000; bytes <= 1'000'000'000; bytes *= 2) {
+    const auto n = nccl.all_reduce(static_cast<double>(bytes));
+    const auto b = blink_comm.all_reduce(static_cast<double>(bytes));
+    ratios.push_back(b.algorithm_bw / n.algorithm_bw);
+    std::printf("%-8s %12.3f %12.3f %8.2fx\n",
+                format_bytes(bytes).c_str(), n.algorithm_bw / 1e9,
+                b.algorithm_bw / 1e9, ratios.back());
+  }
+  std::printf("\nmax ratio %.2fx (paper: up to 3.5x, largest at small "
+              "sizes)\n",
+              *std::max_element(ratios.begin(), ratios.end()));
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Figure 20 (§5.2.3): AllReduce latency (microseconds) on the DGX-2,
+// 1 KB - 1 GB. The paper reports up to 3.32x lower latency for Blink's
+// one-hop trees vs NCCL's double binary trees and rings.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "blink/common/units.h"
+
+int main() {
+  using namespace blink;
+  bench::banner("Figure 20", "DGX-2 16-GPU AllReduce latency (us)");
+  Communicator blink_comm(topo::make_dgx2());
+  baselines::NcclCommunicator nccl(topo::make_dgx2());
+
+  std::printf("%-8s %12s %12s %9s\n", "size", "NCCL", "Blink", "ratio");
+  std::vector<double> ratios;
+  for (std::uint64_t bytes = 1'000; bytes <= 1'000'000'000; bytes *= 4) {
+    const auto n = nccl.all_reduce(static_cast<double>(bytes));
+    const auto b = blink_comm.all_reduce(static_cast<double>(bytes));
+    ratios.push_back(n.seconds / b.seconds);
+    std::printf("%-8s %12.1f %12.1f %8.2fx\n", format_bytes(bytes).c_str(),
+                n.seconds * 1e6, b.seconds * 1e6, ratios.back());
+  }
+  std::printf("\nmax latency advantage %.2fx (paper: up to 3.32x)\n",
+              *std::max_element(ratios.begin(), ratios.end()));
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Figure 21 (§5.3): hybrid PCIe+NVLink broadcast vs NVLink-only, 3-8 GPUs
+// on a DGX-1V. The paper reports a 2-5 GB/s gain that shrinks with GPU
+// count because disable_peer_access switching costs grow.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace blink;
+  bench::banner("Figure 21",
+                "Hybrid vs NVLink-only broadcast throughput (GB/s), DGX-1V");
+  const auto machine = topo::make_dgx1v();
+  // The first fully NVLink-connected representative per size.
+  const std::vector<std::vector<int>> allocs{
+      {0, 1, 2},          {0, 1, 2, 3},          {0, 1, 2, 3, 4},
+      {0, 1, 2, 3, 4, 5}, {0, 1, 2, 3, 4, 5, 6}, {0, 1, 2, 3, 4, 5, 6, 7}};
+
+  std::printf("%-8s %14s %14s %10s\n", "#GPUs", "NVLink-only",
+              "PCIe+NVLink", "gain");
+  std::vector<double> gains;
+  for (const auto& alloc : allocs) {
+    const auto topo = topo::induced_topology(machine, alloc);
+    CommunicatorOptions hybrid_opts;
+    hybrid_opts.hybrid = true;
+    Communicator base(topo);
+    Communicator hybrid(topo, hybrid_opts);
+    const double bytes = 8e9;  // large payload, where hybrid pays off
+    const double bw0 = base.broadcast(bytes, 0).algorithm_bw;
+    const double bw1 = hybrid.broadcast(bytes, 0).algorithm_bw;
+    gains.push_back((bw1 - bw0) / 1e9);
+    std::printf("%-8zu %14.1f %14.1f %8.1f\n", alloc.size(), bw0 / 1e9,
+                bw1 / 1e9, gains.back());
+  }
+  std::printf("\npaper: +5 GB/s at 3-4 GPUs shrinking to +2 GB/s at 7-8 "
+              "(peer-access switch cost grows with GPU count).\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Planning-path microbenchmarks (google-benchmark): TreeGen runs once per
+// job at startup (§2.3), so its own cost — MWU iterations, the ILP, the
+// simplex — must stay negligible next to a training run. The paper's
+// near-linear-time MWU claim (§3.2) is checked here in wall-clock form.
+#include <benchmark/benchmark.h>
+
+#include "blink/blink/treegen.h"
+#include "blink/graph/arborescence.h"
+#include "blink/graph/maxflow.h"
+#include "blink/packing/packing.h"
+#include "blink/sim/executor.h"
+#include "blink/blink/codegen.h"
+#include "blink/topology/builders.h"
+
+namespace {
+
+using namespace blink;
+
+void BM_MinCostArborescence(benchmark::State& state) {
+  const auto g = graph::nvlink_digraph(topo::make_dgx1v());
+  std::vector<double> cost(static_cast<std::size_t>(g.num_edges()), 1.0);
+  for (std::size_t i = 0; i < cost.size(); ++i) cost[i] = 1.0 + 0.1 * i;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::min_cost_arborescence(g, 0, cost));
+  }
+}
+BENCHMARK(BM_MinCostArborescence);
+
+void BM_MaxFlowBound(benchmark::State& state) {
+  const auto g = graph::nvlink_digraph(topo::make_dgx1v());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::broadcast_rate_upper_bound(g, 0));
+  }
+}
+BENCHMARK(BM_MaxFlowBound);
+
+void BM_MwuPack(benchmark::State& state) {
+  const auto g = graph::nvlink_digraph(topo::make_dgx1v());
+  packing::MwuOptions opts;
+  opts.epsilon = 1.0 / static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(packing::mwu_pack(g, 0, opts));
+  }
+}
+BENCHMARK(BM_MwuPack)->Arg(5)->Arg(10)->Arg(20)->Arg(50);
+
+void BM_MinimizeTrees(benchmark::State& state) {
+  const auto g = graph::nvlink_digraph(topo::make_dgx1v());
+  const auto candidates = packing::mwu_pack(g, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(packing::minimize_trees(g, 0, candidates.trees));
+  }
+}
+BENCHMARK(BM_MinimizeTrees);
+
+void BM_TreeGenEndToEnd(benchmark::State& state) {
+  const auto machine = topo::make_dgx1v();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generate_trees(machine, 0));
+  }
+}
+BENCHMARK(BM_TreeGenEndToEnd);
+
+void BM_SimulateBroadcast(benchmark::State& state) {
+  const auto machine = topo::make_dgx1v();
+  const sim::Fabric fabric(machine, sim::FabricParams{});
+  const auto set = generate_trees(machine, 0);
+  const auto trees = route_trees(fabric, 0, set);
+  const double bytes = static_cast<double>(state.range(0)) * 1e6;
+  for (auto _ : state) {
+    ProgramBuilder builder(fabric, CodeGenOptions{});
+    builder.broadcast(trees, bytes);
+    benchmark::DoNotOptimize(sim::execute(fabric, builder.take()));
+  }
+  state.SetLabel(std::to_string(state.range(0)) + "MB payload");
+}
+BENCHMARK(BM_SimulateBroadcast)->Arg(10)->Arg(100)->Arg(500);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+// §3.2/§3.2.1 statistics: MWU tree counts vs ILP-minimized counts and rates
+// for every root on the full DGX-1V, plus the chunk-size consequence the
+// paper quotes (181 trees -> 6 trees; 1000 MB split 0.33-148 MB -> 166 MB).
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace blink;
+  bench::banner("TreeGen stats",
+                "MWU tree explosion and ILP minimization (§3.2)");
+  const auto machine = topo::make_dgx1v();
+
+  std::printf("%-6s %10s %10s %14s %14s %10s\n", "root", "MWU trees",
+              "ILP trees", "rate (GB/s)", "optimal", "stage");
+  for (int root = 0; root < machine.num_gpus; ++root) {
+    const auto set = generate_trees(machine, root);
+    std::printf("%-6d %10d %10zu %14.1f %14.1f %10s\n", root,
+                set.mwu_tree_count, set.trees.size(), set.rate / 1e9,
+                set.optimal_rate / 1e9,
+                set.stage == packing::MinimizeStage::kIlp ? "ILP"
+                                                          : "relaxed");
+  }
+
+  // Per-tree transfer sizes for a 1000 MB broadcast (paper: equal 166 MB
+  // shares after the ILP vs 0.33-148 MB without).
+  const auto minimized = generate_trees(machine, 0);
+  TreeGenOptions raw_opts;
+  raw_opts.minimize = false;
+  const auto raw = generate_trees(machine, 0, raw_opts);
+  auto share_range = [](const TreeSet& set) {
+    double total = 0.0;
+    for (const auto& t : set.trees) total += t.weight;
+    double lo = 1e18;
+    double hi = 0.0;
+    for (const auto& t : set.trees) {
+      const double bytes = 1000e6 * t.weight / total;
+      lo = std::min(lo, bytes);
+      hi = std::max(hi, bytes);
+    }
+    return std::make_pair(lo, hi);
+  };
+  const auto [min_lo, min_hi] = share_range(minimized);
+  const auto [raw_lo, raw_hi] = share_range(raw);
+  std::printf("\n1000MB broadcast per-tree shares:\n");
+  std::printf("  raw MWU   (%3zu trees): %7.2f - %7.2f MB  (paper: 0.33 - "
+              "148 MB over 181 trees)\n",
+              raw.trees.size(), raw_lo / 1e6, raw_hi / 1e6);
+  std::printf("  minimized (%3zu trees): %7.2f - %7.2f MB  (paper: 166 MB "
+              "each over 6 trees)\n",
+              minimized.trees.size(), min_lo / 1e6, min_hi / 1e6);
+  return 0;
+}

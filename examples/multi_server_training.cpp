@@ -1,0 +1,68 @@
+// Multi-server data-parallel training (§3.5, §5.4, Figure 22): an 8-GPU job
+// fragmented 3+5 across two DGX-1Vs, trained with the three-phase AllReduce
+// vs an NCCL-like global ring, across NIC speeds.
+//
+//   ./example_multi_server_training
+#include <cstdio>
+
+#include "blink/baselines/nccl_like.h"
+#include "blink/blink/multiserver.h"
+#include "blink/common/units.h"
+#include "blink/dnn/training.h"
+#include "blink/topology/builders.h"
+#include "blink/topology/discovery.h"
+
+int main() {
+  using namespace blink;
+  const auto machine = topo::make_dgx1v();
+  const std::vector<topo::Topology> servers{
+      topo::induced_topology(machine, std::vector<int>{0, 1, 2}),
+      topo::induced_topology(machine, std::vector<int>{3, 4, 5, 6, 7})};
+
+  std::printf("8-GPU job fragmented 3+5 across two DGX-1Vs\n\n");
+  std::printf("%-10s %16s %16s\n", "NIC", "NCCL ring bw", "Blink 3-phase bw");
+  for (const double nic_gbps : {40.0, 100.0, 400.0}) {
+    ClusterOptions opts;
+    opts.fabric.nic_bw = gbitps(nic_gbps);
+    ClusterCommunicator blink_cluster(servers, opts);
+    baselines::NcclOptions nccl_opts;
+    nccl_opts.fabric.nic_bw = gbitps(nic_gbps);
+    const auto blink_r = blink_cluster.all_reduce(100e6);
+    const auto nccl_r =
+        baselines::multi_server_ring_all_reduce(servers, 100e6, nccl_opts);
+    std::printf("%6.0fGbps %16s %16s\n", nic_gbps,
+                format_throughput(nccl_r.algorithm_bw).c_str(),
+                format_throughput(blink_r.algorithm_bw).c_str());
+  }
+
+  // End-to-end images/sec for the four CNNs at 40 Gbps (Figure 22a).
+  ClusterOptions opts;
+  opts.fabric.nic_bw = gbitps(40.0);
+  ClusterCommunicator blink_cluster(servers, opts);
+  baselines::NcclOptions nccl_opts;
+  nccl_opts.fabric.nic_bw = gbitps(40.0);
+
+  std::printf("\n%-10s %14s %14s %10s\n", "model", "NCCL img/s",
+              "Blink img/s", "gain");
+  dnn::TrainingOptions train;
+  train.num_gpus = 8;
+  for (const auto& model : dnn::model_zoo()) {
+    const auto nccl_it = dnn::simulate_iteration(
+        model, dnn::GpuGeneration::kV100,
+        [&](double b) {
+          return baselines::multi_server_ring_all_reduce(servers, b,
+                                                         nccl_opts)
+              .seconds;
+        },
+        train);
+    const auto blink_it = dnn::simulate_iteration(
+        model, dnn::GpuGeneration::kV100,
+        [&](double b) { return blink_cluster.all_reduce(b).seconds; }, train);
+    std::printf("%-10s %14.0f %14.0f %9.1f%%\n", model.name.c_str(),
+                nccl_it.images_per_second, blink_it.images_per_second,
+                100.0 * (blink_it.images_per_second /
+                             nccl_it.images_per_second -
+                         1.0));
+  }
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Recursive halving/doubling ("butterfly") AllReduce [33, 41, 45]: the
+// latency-optimal scheme the related-work section discusses. Included as a
+// reference point for ablation benchmarks; requires a power-of-two GPU count
+// and all-to-all reachability (NVSwitch fabric or clique).
+#pragma once
+
+#include "blink/blink/codegen.h"
+
+namespace blink::baselines {
+
+// True when the fabric/server supports the butterfly exchange pattern.
+bool butterfly_supported(const sim::Fabric& fabric, int server);
+
+// Reduce-scatter by recursive halving, then all-gather by recursive
+// doubling: 2*log2(n) rounds, each GPU exchanging bytes/2^k with its partner.
+void append_butterfly_all_reduce(ProgramBuilder& builder,
+                                 const sim::Fabric& fabric, int server,
+                                 double bytes);
+
+}  // namespace blink::baselines

@@ -1,0 +1,21 @@
+// NCCL 2.4's double-binary-tree AllReduce [24], the baseline Figures 19/20
+// compare against on the DGX-2 for small payloads.
+#pragma once
+
+#include "blink/blink/codegen.h"
+#include "blink/graph/binary_trees.h"
+
+namespace blink::baselines {
+
+// The two complementary binary trees as RoutedTrees over the fabric (ranks
+// are GPU ids; requires an NVSwitch fabric or a clique so every parent-child
+// pair has a route).
+std::vector<RoutedTree> double_binary_routed_trees(const sim::Fabric& fabric,
+                                                   int server);
+
+// AllReduce with half the payload reduced-and-broadcast on each tree.
+void append_double_binary_all_reduce(ProgramBuilder& builder,
+                                     const sim::Fabric& fabric, int server,
+                                     double bytes);
+
+}  // namespace blink::baselines

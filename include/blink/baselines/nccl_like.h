@@ -1,0 +1,66 @@
+// The NCCL-like baseline communicator: ring collectives with NVLink-first
+// ring construction, PCIe fallback, and NCCL 2.4's double binary trees for
+// small AllReduce payloads on switch fabrics. Mirrors the Communicator API
+// so benchmarks can swap backends.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "blink/baselines/ring.h"
+#include "blink/blink/communicator.h"
+
+namespace blink::baselines {
+
+struct NcclOptions {
+  sim::FabricParams fabric;
+  CodeGenOptions codegen;
+  // NCCL 2.4 switches from double binary trees to rings as payload grows;
+  // the paper cites <16KB on the DGX-2 (§3.5).
+  double tree_threshold_bytes = 16.0e3;
+  // NCCL executes collectives inside fused persistent kernels with
+  // flag-based step synchronization, so its per-step command costs are far
+  // below Blink's discrete cudaMemcpyAsync+event CodeGen. When set, the
+  // baseline's launch/sync latencies are reduced accordingly.
+  bool persistent_kernel_model = true;
+  bool memoize = true;
+};
+
+// The per-step costs used when persistent_kernel_model is on.
+sim::FabricParams apply_persistent_kernel_model(sim::FabricParams params);
+
+class NcclCommunicator {
+ public:
+  explicit NcclCommunicator(topo::Topology topo, NcclOptions options = {});
+
+  int num_gpus() const { return topo_.num_gpus; }
+  const topo::Topology& topology() const { return topo_; }
+  const RingPlan& ring_plan() const { return plan_; }
+  const sim::Fabric& fabric() const { return fabric_; }
+
+  CollectiveResult broadcast(double bytes, int root);
+  CollectiveResult all_reduce(double bytes);
+  CollectiveResult gather(double bytes, int root);
+  CollectiveResult reduce(double bytes, int root);
+  CollectiveResult all_gather(double bytes);
+
+ private:
+  CollectiveResult run(int kind, double bytes, int root);
+
+  topo::Topology topo_;
+  NcclOptions options_;
+  sim::Fabric fabric_;
+  RingPlan plan_;
+  std::map<std::tuple<int, int, std::uint64_t>, CollectiveResult> memo_;
+};
+
+// NCCL-like multi-server AllReduce: one global ring visiting every GPU,
+// NVLink inside servers where adjacent, PCIe otherwise, and PCIe + NIC +
+// PCIe across server boundaries. This is the configuration §5.4 describes
+// as "bound by intra-server PCIe throughput".
+CollectiveResult multi_server_ring_all_reduce(
+    const std::vector<topo::Topology>& servers, double bytes,
+    const NcclOptions& options = {});
+
+}  // namespace blink::baselines

@@ -1,0 +1,47 @@
+// Ring schedule construction for the NCCL-like baseline.
+//
+// NCCL builds collectives from bi-directional rings. A directed ring is a
+// chain from the root's perspective, so ring schedules reuse the tree
+// emitters: each directed ring becomes a chain RoutedTree. Ring AllReduce
+// uses the bandwidth-optimal reduce-scatter + all-gather pipeline
+// (2(n-1)/n traffic per link) rather than a reduce+broadcast chain.
+#pragma once
+
+#include <vector>
+
+#include "blink/blink/codegen.h"
+#include "blink/graph/rings.h"
+
+namespace blink::baselines {
+
+struct RingPlan {
+  std::vector<graph::Ring> rings;  // undirected lane-disjoint rings
+  topo::LinkType link = topo::LinkType::kNVLink;
+
+  // NCCL uses each ring in both directions; total directed rings.
+  int num_directed() const { return 2 * static_cast<int>(rings.size()); }
+};
+
+// NCCL-like ring selection for an allocation: NVLink-only rings if any
+// Hamiltonian cycle exists (dropping links that do not fit a ring,
+// Figure 4b); otherwise a single PCIe ring in id order (Figure 2b).
+RingPlan build_ring_plan(const topo::Topology& topo);
+
+// A directed ring rooted at |root|, as a chain RoutedTree over the fabric
+// (|forward| walks the ring order; otherwise the reverse direction).
+RoutedTree ring_chain_tree(const sim::Fabric& fabric, int server,
+                           const graph::Ring& ring, int root, bool forward,
+                           topo::LinkType link);
+
+// Ring broadcast: payload split over all directed rings, each a pipelined
+// chain from the root.
+void append_ring_broadcast(ProgramBuilder& builder, const sim::Fabric& fabric,
+                           int server, const RingPlan& plan, double bytes,
+                           int root);
+
+// Ring AllReduce: per directed ring, reduce-scatter then all-gather with
+// n blocks circulating (2(n-1) steps per block).
+void append_ring_all_reduce(ProgramBuilder& builder, const sim::Fabric& fabric,
+                            int server, const RingPlan& plan, double bytes);
+
+}  // namespace blink::baselines

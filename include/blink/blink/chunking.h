@@ -1,0 +1,41 @@
+// Automatic chunk-size selection (§4.2.1): multiplicative-increase,
+// additive-decrease (MIAD) across training iterations. Chunks too small pay
+// CUDA command overhead; chunks too large stall the forwarding pipeline
+// (Figure 11); the tuner probes the first iterations to find the knee
+// (Figure 12).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace blink {
+
+struct MiadOptions {
+  std::uint64_t initial_chunk = 1ull << 20;  // 1 MiB, as in Figure 12
+  double multiplier = 2.0;
+  std::uint64_t decrement = 1ull << 20;      // additive decrease step
+  std::uint64_t min_chunk = 64ull << 10;
+  std::uint64_t max_chunk = 64ull << 20;
+  int max_iterations = 16;
+  double improvement_tolerance = 0.005;  // relative
+};
+
+struct MiadIteration {
+  std::uint64_t chunk_bytes = 0;
+  double throughput = 0.0;  // bytes/s
+};
+
+struct MiadResult {
+  std::vector<MiadIteration> trace;  // one entry per probed iteration
+  std::uint64_t selected_chunk = 0;
+  double selected_throughput = 0.0;
+};
+
+// |measure| runs one iteration of the collective with the given chunk size
+// and returns the achieved throughput (bytes/s).
+MiadResult tune_chunk_size(
+    const std::function<double(std::uint64_t)>& measure,
+    const MiadOptions& options = {});
+
+}  // namespace blink

@@ -1,0 +1,120 @@
+// The Blink communicator: the library's main entry point, mirroring NCCL's
+// communicator abstraction (§2.3 workflow: discover topology -> TreeGen ->
+// CodeGen -> execute).
+//
+// A Communicator owns the allocation's induced topology, the simulated
+// fabric, and per-root tree caches. Collective calls compile a schedule and
+// execute it on the fabric, returning the timing a real run would produce.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "blink/blink/chunking.h"
+#include "blink/blink/codegen.h"
+#include "blink/blink/treegen.h"
+#include "blink/sim/executor.h"
+#include "blink/sim/fabric.h"
+#include "blink/topology/topology.h"
+
+namespace blink {
+
+struct CommunicatorOptions {
+  sim::FabricParams fabric;
+  TreeGenOptions treegen;
+  CodeGenOptions codegen;  // codegen.chunk_bytes == 0 enables MIAD auto-tune
+  // Hybrid PCIe+NVLink transfers (§3.4); applies to Broadcast.
+  bool hybrid = false;
+  // Latency model for cudaDeviceDisablePeerAccess: base + per_gpu * n (§5.3
+  // reports the switch cost growing with the number of GPUs).
+  double dpa_base_latency = 2.0e-3;
+  double dpa_per_gpu_latency = 1.0e-3;
+  // Memoize collective results (the simulation is deterministic).
+  bool memoize = true;
+};
+
+enum class CollectiveKind {
+  kBroadcast,
+  kGather,
+  kReduce,
+  kAllReduce,
+  kAllGather,
+  kReduceScatter,
+};
+
+const char* to_string(CollectiveKind kind);
+
+struct CollectiveResult {
+  double seconds = 0.0;
+  double bytes = 0.0;           // per-GPU buffer size (NCCL semantics)
+  double algorithm_bw = 0.0;    // bytes / seconds, the paper's "throughput"
+  int num_trees = 0;
+  int num_chunks = 0;           // chunks of the heaviest tree
+  int num_ops = 0;              // schedule size
+};
+
+class Communicator {
+ public:
+  explicit Communicator(topo::Topology topo,
+                        CommunicatorOptions options = {});
+
+  int num_gpus() const { return topo_.num_gpus; }
+  const topo::Topology& topology() const { return topo_; }
+  const CommunicatorOptions& options() const { return options_; }
+  const sim::Fabric& fabric() const { return fabric_; }
+
+  // The tree set used for one-to-many collectives rooted at |root| (NVLink
+  // fabric, or the PCIe fallback when NVLink does not connect the
+  // allocation).
+  const TreeSet& tree_set(int root);
+  // The undirected-capacity tree set used by many-to-many collectives
+  // (AllReduce/AllGather), whose two phases share each link (§3.3).
+  const TreeSet& bidir_tree_set(int root);
+  // The PCIe tree set (hybrid transfers and fallback).
+  const TreeSet& pcie_tree_set(int root);
+
+  // Root with the highest packed rate; AllReduce and friends use it.
+  int best_root();
+
+  // --- collectives; |bytes| is each GPU's buffer size ----------------------
+  CollectiveResult broadcast(double bytes, int root);
+  CollectiveResult gather(double bytes, int root);
+  CollectiveResult reduce(double bytes, int root);
+  CollectiveResult all_reduce(double bytes);
+  CollectiveResult all_gather(double bytes);
+  CollectiveResult reduce_scatter(double bytes);
+
+  // MIAD auto-tuning trace for a collective (Figure 12); also primes the
+  // chunk-size cache used when codegen.chunk_bytes == 0.
+  MiadResult tune_chunk_size(CollectiveKind kind, double bytes, int root = -1,
+                             const MiadOptions& miad = {});
+
+ private:
+  CollectiveResult run_collective(CollectiveKind kind, double bytes, int root);
+  // Achieved broadcast rate of a tree set, measured by a probe run (the
+  // hybrid split needs effective rates: PCIe trees share host-staging
+  // segments, so their packed rate overstates what they deliver together).
+  double measured_rate(const TreeSet& set, double probe_bytes);
+  CollectiveResult execute(CollectiveKind kind, double bytes, int root,
+                           std::uint64_t chunk_bytes);
+  sim::Program build_program(CollectiveKind kind, double bytes, int root,
+                             std::uint64_t chunk_bytes, CollectiveResult* meta);
+  std::uint64_t effective_chunk(CollectiveKind kind, double bytes, int root);
+  double dpa_latency() const;
+
+  topo::Topology topo_;
+  CommunicatorOptions options_;
+  sim::Fabric fabric_;
+
+  std::vector<std::optional<TreeSet>> nvlink_sets_;
+  std::vector<std::optional<TreeSet>> bidir_sets_;
+  std::vector<std::optional<TreeSet>> pcie_sets_;
+  std::optional<int> best_root_;
+  std::map<std::tuple<int, int, std::uint64_t>, std::uint64_t> tuned_chunks_;
+  std::map<std::pair<const TreeSet*, std::uint64_t>, double> measured_rates_;
+  std::map<std::tuple<int, int, std::uint64_t>, CollectiveResult> memo_;
+};
+
+}  // namespace blink

@@ -1,0 +1,25 @@
+// NVSwitch (DGX-2) tree constructions (§3.5).
+//
+// On a non-blocking crossbar Blink's generated trees are "deceptively
+// simple": for AllReduce, with m GPUs each GPU roots 1/m of the data and is
+// directly connected to the other m-1 GPUs — m one-hop trees. These have a
+// large latency advantage over NCCL's double binary trees and rings for
+// small data (Figures 19/20).
+#pragma once
+
+#include <vector>
+
+#include "blink/blink/codegen.h"
+
+namespace blink {
+
+// m one-hop trees, one rooted at every GPU (for AllReduce/AllGather).
+std::vector<RoutedTree> dgx2_one_hop_trees(const sim::Fabric& fabric,
+                                           int server);
+
+// Broadcast relay trees from |root|: m-1 two-hop trees; relay v receives a
+// distinct slice and re-broadcasts it, saturating the root's egress pipe.
+std::vector<RoutedTree> dgx2_broadcast_trees(const sim::Fabric& fabric,
+                                             int server, int root);
+
+}  // namespace blink

@@ -1,0 +1,26 @@
+// Hybrid PCIe + NVLink transfers (§3.4, Equation 8).
+//
+// The NVIDIA driver exposes either NVLink P2P or PCIe for a device pair, so
+// Blink builds two separate tree sets and splits the payload to equalize
+// completion times, accounting for the latency of
+// cudaDeviceDisablePeerAccess (T_dpa):
+//
+//   D_pcie = D * BWp / (BWp + BWn)  -  T_dpa * BWp * BWn / (BWp + BWn)
+//   D_nvl  = D - D_pcie
+#pragma once
+
+namespace blink {
+
+struct HybridSplit {
+  double nvlink_bytes = 0.0;
+  double pcie_bytes = 0.0;
+};
+
+// Equation 8. Rates are the packed tree-set rates in bytes/s; t_dpa is the
+// peer-access switch latency in seconds. The PCIe share is clamped to
+// [0, total_bytes]: for small transfers the switch cost exceeds the benefit
+// and everything goes over NVLink.
+HybridSplit compute_hybrid_split(double total_bytes, double nvlink_rate,
+                                 double pcie_rate, double t_dpa);
+
+}  // namespace blink

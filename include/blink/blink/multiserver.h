@@ -1,0 +1,54 @@
+// Multi-server collectives (§3.5, Figure 10): the three-phase AllReduce for
+// GPU allocations fragmented across machines.
+//
+// Phase 1: per-server reduce over the server's packed spanning trees, one
+//          data partition per server-local root.
+// Phase 2: cross-server one-hop reduce-broadcast among the per-partition
+//          roots over the NICs (every root sends its partial to the other
+//          servers' roots and reduces what it receives).
+// Phase 3: per-server broadcast of the fully-reduced partition.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "blink/blink/communicator.h"
+#include "blink/blink/treegen.h"
+#include "blink/sim/fabric.h"
+
+namespace blink {
+
+struct ClusterOptions {
+  sim::FabricParams fabric;  // fabric.nic_bw sets the cross-machine rate
+  TreeGenOptions treegen;
+  CodeGenOptions codegen;
+};
+
+class ClusterCommunicator {
+ public:
+  ClusterCommunicator(std::vector<topo::Topology> servers,
+                      ClusterOptions options = {});
+
+  int num_servers() const { return fabric_.num_servers(); }
+  int num_gpus() const;  // across all servers
+  const sim::Fabric& fabric() const { return fabric_; }
+
+  // Number of data partitions (= per-server roots) the protocol uses.
+  int num_partitions() const { return num_partitions_; }
+
+  // Three-phase AllReduce of a |bytes| buffer per GPU.
+  CollectiveResult all_reduce(double bytes);
+
+ private:
+  const TreeSet& tree_set(int server, int root);
+
+  std::vector<topo::Topology> servers_;
+  ClusterOptions options_;
+  sim::Fabric fabric_;
+  int num_partitions_ = 0;
+  std::map<std::pair<int, int>, TreeSet> sets_;
+};
+
+}  // namespace blink

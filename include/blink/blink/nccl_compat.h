@@ -1,0 +1,76 @@
+// NCCL-compatible C API facade (§2.3): Blink exposes the same call
+// signatures as NCCL so that frameworks can be redirected to libblink.so via
+// LD_PRELOAD without source changes.
+//
+// In this reproduction the "device work" is the fabric simulation, so the
+// buffer pointers are opaque and the interesting output is the simulated
+// timing, retrievable with blinkCommLastResult(). Signatures, element types
+// and reduction ops mirror nccl.h.
+#pragma once
+
+#include <cstddef>
+
+#include "blink/blink/communicator.h"
+
+extern "C" {
+
+typedef struct blinkComm* blinkComm_t;
+
+typedef enum {
+  blinkSuccess = 0,
+  blinkInvalidArgument = 1,
+  blinkInternalError = 2,
+} blinkResult_t;
+
+typedef enum {
+  blinkInt8 = 0,
+  blinkUint8 = 1,
+  blinkInt32 = 2,
+  blinkUint32 = 3,
+  blinkInt64 = 4,
+  blinkUint64 = 5,
+  blinkFloat16 = 6,
+  blinkFloat32 = 7,
+  blinkFloat64 = 8,
+} blinkDataType_t;
+
+typedef enum {
+  blinkSum = 0,
+  blinkProd = 1,
+  blinkMax = 2,
+  blinkMin = 3,
+  blinkAvg = 4,
+} blinkRedOp_t;
+
+// Creates a communicator over the GPUs |gpu_ids[0..ndev)| of a machine kind
+// ("dgx1p", "dgx1v", "dgx2"). NCCL's ncclCommInitAll analogue for the
+// simulated machine.
+blinkResult_t blinkCommInitAll(blinkComm_t* comm, const char* machine,
+                               int ndev, const int* gpu_ids);
+blinkResult_t blinkCommDestroy(blinkComm_t comm);
+blinkResult_t blinkCommCount(blinkComm_t comm, int* count);
+
+size_t blinkTypeSize(blinkDataType_t dtype);
+
+blinkResult_t blinkBroadcast(const void* sendbuff, void* recvbuff,
+                             size_t count, blinkDataType_t dtype, int root,
+                             blinkComm_t comm, void* stream);
+blinkResult_t blinkAllReduce(const void* sendbuff, void* recvbuff,
+                             size_t count, blinkDataType_t dtype,
+                             blinkRedOp_t op, blinkComm_t comm, void* stream);
+blinkResult_t blinkReduce(const void* sendbuff, void* recvbuff, size_t count,
+                          blinkDataType_t dtype, blinkRedOp_t op, int root,
+                          blinkComm_t comm, void* stream);
+blinkResult_t blinkAllGather(const void* sendbuff, void* recvbuff,
+                             size_t sendcount, blinkDataType_t dtype,
+                             blinkComm_t comm, void* stream);
+blinkResult_t blinkReduceScatter(const void* sendbuff, void* recvbuff,
+                                 size_t recvcount, blinkDataType_t dtype,
+                                 blinkRedOp_t op, blinkComm_t comm,
+                                 void* stream);
+
+// Simulated timing of the most recent collective on |comm|.
+blinkResult_t blinkCommLastResult(blinkComm_t comm,
+                                  blink::CollectiveResult* result);
+
+}  // extern "C"

@@ -1,0 +1,43 @@
+// TreeGen (§2.3, §3): from a discovered topology to a small set of weighted
+// spanning trees achieving (near-)optimal broadcast rate from a root.
+#pragma once
+
+#include "blink/packing/packing.h"
+#include "blink/topology/topology.h"
+
+namespace blink {
+
+struct TreeGenOptions {
+  double mwu_epsilon = 0.05;
+  double minimize_threshold = 0.05;  // §3.2.1: within 5% of optimal
+  bool minimize = true;              // ablation hook: raw MWU when false
+  topo::LinkType link = topo::LinkType::kNVLink;  // planning fabric
+  // Pack against undirected (shared per-link) capacities: required for
+  // many-to-many collectives, whose reduce phase reuses the broadcast trees
+  // in the reverse direction (§3.3). One-to-many collectives leave this off
+  // and get the full per-direction budget.
+  bool bidirectional = false;
+};
+
+struct TreeSet {
+  int root = 0;
+  topo::LinkType link = topo::LinkType::kNVLink;
+  graph::DiGraph graph{1};  // the planning graph the edge ids refer to
+  std::vector<packing::WeightedTree> trees;
+  double rate = 0.0;          // sum of tree weights, bytes/s
+  double optimal_rate = 0.0;  // Edmonds bound for this graph and root
+  int mwu_tree_count = 0;     // trees before ILP minimization (§3.2 reports
+                              // 181 -> 6 on the 8-GPU DGX-1V)
+  packing::MinimizeStage stage = packing::MinimizeStage::kIlp;
+
+  bool empty() const { return trees.empty(); }
+};
+
+// Packs spanning trees rooted at |root| over the chosen fabric of |topo|.
+// Returns an empty TreeSet when the fabric does not connect the allocation
+// (e.g. NVLink-disconnected subsets, which is where NCCL falls back to PCIe
+// and Blink's hybrid path takes over entirely).
+TreeSet generate_trees(const topo::Topology& topo, int root,
+                       const TreeGenOptions& options = {});
+
+}  // namespace blink

@@ -1,0 +1,47 @@
+// Synthetic multi-tenant GPU cluster (Figure 3): jobs overwhelmingly request
+// GPUs in powers of two, but bin-packing against a fragmented cluster leaves
+// many jobs with 3/5/6/7 GPUs on individual 8-GPU servers. This module
+// regenerates that per-server allocation-size distribution.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "blink/common/rng.h"
+
+namespace blink::cluster {
+
+struct SchedulerConfig {
+  int num_servers = 64;
+  int gpus_per_server = 8;
+  int num_jobs = 40000;  // the paper analyzes 40k multi-GPU jobs
+  // Request-size distribution over {1,2,4,8,16} GPUs (multi-GPU jobs request
+  // powers of two; single-GPU jobs create the fragmentation).
+  double p_request_1 = 0.30;
+  double p_request_2 = 0.25;
+  double p_request_4 = 0.20;
+  double p_request_8 = 0.17;
+  double p_request_16 = 0.08;
+  // Mean job duration in arbitrary ticks (exponential); arrivals Poisson.
+  // The defaults keep the cluster near saturation, where placement must
+  // work with fragmented leftovers (the regime Figure 3 documents).
+  double mean_duration = 150.0;
+  double mean_interarrival = 1.0;
+};
+
+struct AllocationStats {
+  // histogram[k] = number of (job, server) pairs where a multi-GPU job holds
+  // k GPUs on that server, k in [0, gpus_per_server].
+  std::vector<long> histogram;
+  long multi_gpu_jobs = 0;
+  long fragmented_jobs = 0;  // multi-GPU jobs split across servers
+
+  // Percentage of multi-GPU jobs holding k GPUs on a server (Figure 3 bars).
+  double percent(int k) const;
+};
+
+// Runs the arrival/departure simulation with first-fit placement that
+// splits a job across servers when no single server can host it.
+AllocationStats simulate_cluster(const SchedulerConfig& config, Rng& rng);
+
+}  // namespace blink::cluster

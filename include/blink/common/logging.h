@@ -1,0 +1,40 @@
+// Minimal leveled logging. Off by default so benchmarks stay quiet; tests and
+// examples can raise the level to trace schedule execution.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace blink {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+// Global threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace internal {
+void emit_log(LogLevel level, const std::string& message);
+}  // namespace internal
+
+// Stream-style logger: BLINK_LOG(kInfo) << "rate=" << r;
+#define BLINK_LOG(level)                                            \
+  for (bool blink_log_once =                                        \
+           (::blink::LogLevel::level >= ::blink::log_level());      \
+       blink_log_once; blink_log_once = false)                      \
+  ::blink::internal::LogMessage(::blink::LogLevel::level).stream()
+
+namespace internal {
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { emit_log(level_, stream_.str()); }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+}  // namespace blink

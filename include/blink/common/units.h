@@ -1,0 +1,49 @@
+// Units and small numeric helpers used across the library.
+//
+// Conventions:
+//   * time       — double seconds
+//   * data size  — std::uint64_t bytes (fluid amounts inside the simulator
+//                  use double bytes)
+//   * bandwidth  — double bytes/second
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+namespace blink {
+
+inline constexpr std::uint64_t kKiB = 1024ull;
+inline constexpr std::uint64_t kMiB = 1024ull * kKiB;
+inline constexpr std::uint64_t kGiB = 1024ull * kMiB;
+
+// The paper (and NCCL) quote link rates in decimal GB/s.
+inline constexpr double kGB = 1e9;
+inline constexpr double kMB = 1e6;
+inline constexpr double kKB = 1e3;
+
+// Converts a bandwidth given in decimal GB/s into bytes/second.
+constexpr double gbps(double gigabytes_per_second) {
+  return gigabytes_per_second * kGB;
+}
+
+// Converts a NIC rate given in Gbit/s into bytes/second.
+constexpr double gbitps(double gigabits_per_second) {
+  return gigabits_per_second * 1e9 / 8.0;
+}
+
+constexpr double usec(double microseconds) { return microseconds * 1e-6; }
+constexpr double msec(double milliseconds) { return milliseconds * 1e-3; }
+
+// Pretty-prints a byte count, e.g. "512KB", "1GB".
+std::string format_bytes(std::uint64_t bytes);
+
+// Pretty-prints a throughput in GB/s with two decimals.
+std::string format_throughput(double bytes_per_second);
+
+// True when |a| and |b| agree within |rel| relative tolerance.
+inline bool approx_equal(double a, double b, double rel = 1e-9) {
+  return std::fabs(a - b) <= rel * std::fmax(std::fabs(a), std::fabs(b));
+}
+
+}  // namespace blink

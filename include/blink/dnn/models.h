@@ -1,0 +1,42 @@
+// The four CNNs of §5 (AlexNet, ResNet18, ResNet50, VGG16) as data-parallel
+// training workloads: gradient bytes, bucketing for wait-free
+// backpropagation, and per-iteration compute times.
+//
+// Parameter counts are the standard ImageNet-1K model sizes (fp32 gradients);
+// compute times are calibrated so that NCCL's communication overhead lands
+// in the ranges Figure 5 reports (see DESIGN.md §2 on substitutions).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace blink::dnn {
+
+enum class GpuGeneration { kP100, kV100 };
+
+struct ModelSpec {
+  std::string name;
+  double param_bytes = 0.0;   // fp32 parameters == gradient volume
+  int per_gpu_batch = 0;      // the paper's "largest that fits" minibatch
+  // Forward/backward time for one iteration at per_gpu_batch.
+  double fwd_seconds_v100 = 0.0;
+  double bwd_seconds_v100 = 0.0;
+  double fwd_seconds_p100 = 0.0;
+  double bwd_seconds_p100 = 0.0;
+  // Gradient buckets in backward-completion order (fractions of param_bytes;
+  // frameworks fuse gradients into a few buckets for wait-free backprop).
+  std::vector<double> bucket_fractions;
+
+  double fwd_seconds(GpuGeneration gen) const;
+  double bwd_seconds(GpuGeneration gen) const;
+};
+
+ModelSpec alexnet();
+ModelSpec resnet18();
+ModelSpec resnet50();
+ModelSpec vgg16();
+
+// All four, in the order the figures list them.
+std::vector<ModelSpec> model_zoo();
+
+}  // namespace blink::dnn

@@ -1,0 +1,41 @@
+// Data-parallel training-iteration model with wait-free backpropagation
+// (§2, [44]): gradient buckets become ready progressively during backward
+// and their AllReduce overlaps remaining computation; only the tail is
+// exposed. Reproduces Figures 5, 18 and 22a when combined with a collective
+// backend (Blink, NCCL-like, or a cluster communicator).
+#pragma once
+
+#include <functional>
+
+#include "blink/dnn/models.h"
+
+namespace blink::dnn {
+
+// Time to AllReduce |bytes| per GPU on the backend under test.
+using AllReduceFn = std::function<double(double bytes)>;
+
+struct IterationBreakdown {
+  double compute_seconds = 0.0;       // forward + backward
+  double comm_seconds = 0.0;          // total AllReduce busy time
+  double exposed_comm_seconds = 0.0;  // communication not hidden by compute
+  double iteration_seconds = 0.0;
+  // Exposed communication as a fraction of the iteration (the "communication
+  // percentage" of Figure 5).
+  double comm_fraction = 0.0;
+  double images_per_second = 0.0;  // per_gpu_batch * num_gpus / iteration
+};
+
+struct TrainingOptions {
+  bool wait_free_backprop = true;  // overlap bucket AllReduce with backward
+  int num_gpus = 1;                // scales images/second
+};
+
+// Simulates one training iteration. Bucket i's gradients are ready at
+// fwd + bwd * (cumulative fraction of buckets 0..i); bucket AllReduces are
+// enqueued in that order and serialize on the communication backend.
+IterationBreakdown simulate_iteration(const ModelSpec& model,
+                                      GpuGeneration gen,
+                                      const AllReduceFn& all_reduce,
+                                      const TrainingOptions& options);
+
+}  // namespace blink::dnn

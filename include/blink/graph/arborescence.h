@@ -1,0 +1,33 @@
+// Minimum-cost spanning arborescence (Chu-Liu/Edmonds), the inner step of
+// the MWU packing loop (§3.2): given per-edge lengths, find the cheapest
+// directed spanning tree rooted at r.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "blink/graph/digraph.h"
+
+namespace blink::graph {
+
+// A spanning arborescence as the list of edge ids into the owning DiGraph.
+// Every vertex except the root has exactly one incoming edge in the list.
+struct Arborescence {
+  int root = 0;
+  std::vector<int> edge_ids;  // n-1 edges
+
+  // parent[v] = source vertex of v's incoming edge (-1 for the root).
+  std::vector<int> parents(const DiGraph& g) const;
+  // Depth of the deepest vertex (root = 0).
+  int depth(const DiGraph& g) const;
+  bool spans(const DiGraph& g) const;
+};
+
+// Minimum-total-cost arborescence rooted at |root| with |cost[id]| per edge.
+// Returns std::nullopt when no spanning arborescence exists (some vertex is
+// unreachable from the root). Costs must be non-negative.
+std::optional<Arborescence> min_cost_arborescence(const DiGraph& g, int root,
+                                                  std::span<const double> cost);
+
+}  // namespace blink::graph

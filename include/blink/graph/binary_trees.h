@@ -1,0 +1,30 @@
+// Double binary trees, the algorithm NCCL 2.4 uses for AllReduce on large
+// machines and which Figure 19/20 compares against on the DGX-2 [24].
+//
+// Two balanced binary trees over the ranks, with data split half/half; the
+// second tree is the first with ranks rotated by one so that (for even rank
+// counts) interior nodes of one tree are leaves of the other, balancing the
+// send/receive load.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+namespace blink::graph {
+
+struct BinaryTree {
+  int root = 0;
+  std::vector<int> parent;  // parent[rank]; -1 at the root
+
+  std::vector<std::vector<int>> children() const;
+  int depth() const;
+  bool valid() const;
+};
+
+// Balanced (in-order) binary tree over ranks [0, n).
+BinaryTree balanced_binary_tree(int n);
+
+// The NCCL-style pair of complementary trees.
+std::pair<BinaryTree, BinaryTree> double_binary_trees(int n);
+
+}  // namespace blink::graph

@@ -1,0 +1,88 @@
+// A small capacitated directed multigraph, the planning representation used
+// by TreeGen and the baselines. Vertices are the *allocated* GPUs of an
+// induced topology, re-indexed [0, n).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "blink/topology/topology.h"
+
+namespace blink::graph {
+
+struct Edge {
+  int src = 0;
+  int dst = 0;
+  double capacity = 0.0;  // bytes/s of the edge's capacity *group*
+  int lanes = 1;          // physical NVLink lanes aggregated into this edge
+  int group = 0;          // capacity-group id; edges in one group share
+                          // capacity (both directions of a bi-directional
+                          // link when packing for AllReduce, §3.3)
+};
+
+class DiGraph {
+ public:
+  explicit DiGraph(int num_vertices);
+
+  // Adds a directed edge and returns its id. |group| < 0 puts the edge in
+  // its own fresh capacity group.
+  int add_edge(int src, int dst, double capacity, int lanes = 1,
+               int group = -1);
+
+  int num_vertices() const { return n_; }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+  const Edge& edge(int id) const { return edges_[static_cast<std::size_t>(id)]; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  // Ids of edges leaving |v|.
+  const std::vector<int>& out_edges(int v) const {
+    return out_[static_cast<std::size_t>(v)];
+  }
+  // Ids of edges entering |v|.
+  const std::vector<int>& in_edges(int v) const {
+    return in_[static_cast<std::size_t>(v)];
+  }
+
+  int num_groups() const { return num_groups_; }
+  // Capacity of each group (the shared budget of its member edges).
+  std::vector<double> group_capacities() const;
+  // True when some group contains more than one edge.
+  bool has_shared_groups() const;
+
+  // True if every vertex is reachable from |root| along directed edges.
+  bool reachable_from(int root) const;
+
+  std::string describe() const;
+
+ private:
+  int n_;
+  int num_groups_ = 0;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<int>> out_;
+  std::vector<std::vector<int>> in_;
+};
+
+// The directed NVLink planning graph of a topology: one edge per direction
+// per NVLink bundle, capacity = lanes * lane bandwidth. On NVSwitch machines
+// returns the logical full mesh with per-pair capacity equal to the per-GPU
+// pipe (the crossbar is non-blocking; per-GPU limits are enforced by the
+// simulator's fabric model).
+//
+// With |undirected_capacity| set, the two directions of each bundle share
+// one capacity group: the §3.3 AllReduce model, where packed trees consume
+// an undirected edge because the reduce phase runs on the reverse direction
+// of the broadcast trees. Without it each direction has its own budget (the
+// pure Broadcast/one-to-many model).
+DiGraph nvlink_digraph(const topo::Topology& topo,
+                       bool undirected_capacity = false);
+
+// The logical PCIe planning graph: GPU pairs connected through the PCIe
+// hierarchy, with capacity of the narrowest traversed segment (same-PLX,
+// same-socket, or cross-QPI paths). Cross-PLX pairs bounce through a host
+// staging buffer, so their capacity is additionally capped by |staging_bw|
+// (keep in sync with sim::FabricParams::sysmem_bw).
+DiGraph pcie_digraph(const topo::Topology& topo, double staging_bw = 5.0e9);
+
+}  // namespace blink::graph

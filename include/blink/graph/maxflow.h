@@ -1,0 +1,17 @@
+// Max-flow (Dinic) on the planning graph. Used for the exact optimal
+// broadcast rate: by Edmonds' theorem the maximal packing of arborescences
+// rooted at r equals min over v != r of maxflow(r -> v).
+#pragma once
+
+#include "blink/graph/digraph.h"
+
+namespace blink::graph {
+
+// Maximum s->t flow value respecting edge capacities.
+double max_flow(const DiGraph& g, int s, int t);
+
+// Optimal broadcast rate from |root|: min over all other vertices of the
+// root->v max-flow (bytes/s). Returns 0 if some vertex is unreachable.
+double broadcast_rate_upper_bound(const DiGraph& g, int root);
+
+}  // namespace blink::graph

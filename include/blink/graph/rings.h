@@ -1,0 +1,29 @@
+// Ring construction for the NCCL-like baseline: NCCL builds collectives from
+// bi-directional rings over NVLink and drops to PCIe when no NVLink-only
+// ring covers the allocation (§1, Figure 2/4).
+#pragma once
+
+#include <vector>
+
+#include "blink/topology/topology.h"
+
+namespace blink::graph {
+
+// A ring visits every GPU once: order[i] sends to order[(i+1) % n]. A ring
+// over an undirected lane-cycle is used in both directions (two directed
+// rings), mirroring NCCL channel pairs.
+struct Ring {
+  std::vector<int> order;
+};
+
+// Maximum multiset of lane-disjoint Hamiltonian cycles on the NVLink
+// multigraph of |topo| (each selected cycle consumes one lane per edge it
+// traverses; an edge with two lanes can carry two rings). Exact via
+// enumeration + branch-and-bound for the <= 8 vertex graphs involved;
+// returns empty when no NVLink Hamiltonian cycle exists.
+std::vector<Ring> max_disjoint_rings(const topo::Topology& topo);
+
+// All Hamiltonian cycles of the NVLink graph up to rotation and reflection.
+std::vector<Ring> enumerate_hamiltonian_cycles(const topo::Topology& topo);
+
+}  // namespace blink::graph

@@ -1,0 +1,91 @@
+// Spanning-arborescence packing (§3.1-§3.2): the TreeGen math.
+//
+// Pipeline:
+//   1. `optimal_rate`      — exact packing optimum via Edmonds' theorem
+//                            (min over destinations of root->v max-flow).
+//   2. `mwu_pack`          — multiplicative-weight-update fractional packing
+//                            (Garg-Konemann style), near-optimal but with an
+//                            unbounded number of trees (181 on the 8-GPU
+//                            DGX-1V at default epsilon).
+//   3. `minimize_trees`    — the §3.2.1 ILP that selects few unit-weight
+//                            trees, iteratively relaxed to fractional weights
+//                            until within a threshold of the optimum
+//                            (6 trees of weight 1.0 on the 8-GPU DGX-1V).
+#pragma once
+
+#include <vector>
+
+#include "blink/graph/arborescence.h"
+#include "blink/graph/digraph.h"
+
+namespace blink::packing {
+
+struct WeightedTree {
+  graph::Arborescence tree;
+  double weight = 0.0;  // bytes/s of bandwidth assigned to this tree
+};
+
+// Exact optimal broadcast packing rate from |root| (bytes/s).
+double optimal_rate(const graph::DiGraph& g, int root);
+
+// True when the trees' summed weights respect every edge capacity within a
+// relative tolerance. Used as the safety check after each packing stage.
+bool respects_capacities(const graph::DiGraph& g,
+                         const std::vector<WeightedTree>& trees,
+                         double tolerance = 1e-6);
+
+// Largest factor by which all weights can be scaled while still respecting
+// capacities (the "tighten" step after MWU's conservative scaling).
+double tighten_factor(const graph::DiGraph& g,
+                      const std::vector<WeightedTree>& trees);
+
+struct MwuOptions {
+  double epsilon = 0.05;
+  int max_iterations = 100000;
+  bool tighten = true;        // rescale to exact feasibility boundary
+  bool deduplicate = true;    // merge repeated trees, summing weights
+};
+
+struct MwuResult {
+  std::vector<WeightedTree> trees;
+  double total_rate = 0.0;  // sum of weights, bytes/s
+  int iterations = 0;
+};
+
+// Fractional packing via MWU. Requires every vertex reachable from |root|;
+// returns an empty result otherwise.
+MwuResult mwu_pack(const graph::DiGraph& g, int root,
+                   const MwuOptions& options = {});
+
+struct MinimizeOptions {
+  // Accept a packing whose rate is at least (1 - threshold) * optimal (§3.2.1
+  // uses 5%).
+  double threshold = 0.05;
+  // Unit for integer weights; <= 0 selects the minimum edge capacity.
+  double unit = 0.0;
+  int ilp_max_nodes = 200000;
+  // Tie-break the ILP toward shallow trees: deep trees cost more pipeline
+  // fill and per-hop latency at execution time (§4.2.1). Each tree's
+  // objective is discounted by penalty * depth / n.
+  double depth_penalty = 0.02;
+};
+
+enum class MinimizeStage {
+  kIlp,        // integer unit weights sufficed
+  kRelaxed,    // fractional LP weights were required
+};
+
+struct MinimizeResult {
+  std::vector<WeightedTree> trees;
+  double total_rate = 0.0;
+  MinimizeStage stage = MinimizeStage::kIlp;
+  double optimal = 0.0;  // the c* the result is measured against
+};
+
+// Reduces |candidates| (typically MWU output) to few trees within the
+// threshold of the optimal rate.
+MinimizeResult minimize_trees(const graph::DiGraph& g, int root,
+                              const std::vector<WeightedTree>& candidates,
+                              const MinimizeOptions& options = {});
+
+}  // namespace blink::packing

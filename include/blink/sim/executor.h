@@ -1,0 +1,29 @@
+// Discrete-event execution of a Program on a Fabric under fluid max-min
+// bandwidth sharing.
+#pragma once
+
+#include <vector>
+
+#include "blink/sim/fabric.h"
+#include "blink/sim/program.h"
+
+namespace blink::sim {
+
+struct RunResult {
+  double makespan = 0.0;             // seconds until the last op finished
+  std::vector<double> op_start;      // time each op was issued
+  std::vector<double> op_finish;     // completion time per op
+  std::vector<double> channel_bytes; // bytes carried per channel
+
+  // Collective throughput as the paper reports it: payload bytes / time.
+  double throughput(double payload_bytes) const {
+    return makespan > 0.0 ? payload_bytes / makespan : 0.0;
+  }
+};
+
+// Runs |program| to completion and returns timing. Throws std::logic_error
+// on deadlock (a dependency cycle through streams), which indicates a
+// schedule-generation bug.
+RunResult execute(const Fabric& fabric, const Program& program);
+
+}  // namespace blink::sim

@@ -1,0 +1,120 @@
+// The simulated hardware fabric: every physical bandwidth domain of a server
+// (or multi-server cluster) as a channel, plus route lookup for the transfer
+// kinds the collectives issue.
+//
+// Channel inventory per server:
+//   * one channel per NVLink bundle per direction (capacity = lanes * lane bw)
+//   * PCIe: GPU<->PLX up/down, PLX<->CPU up/down, CPU<->CPU (QPI) per
+//     direction — copies between GPUs over PCIe hold every segment on the
+//     path, which is how ring protocols collapse when they fall back to PCIe
+//   * NVSwitch: per-GPU ingress and egress pipes (non-blocking crossbar)
+//   * a per-GPU reduction engine (CUDA kernels reduce at a finite rate and
+//     concurrent reductions on one GPU share it — the ~15% MIMO penalty of
+//     §2.2)
+//   * per-server NIC ingress/egress for cross-machine phases
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "blink/topology/topology.h"
+
+namespace blink::sim {
+
+// Calibration constants for behaviours the paper measures but the topology
+// does not encode (see DESIGN.md §6).
+struct FabricParams {
+  // Fixed setup latency charged per chunk copy: the paper notes each chunk
+  // costs at least three CUDA commands (§4.2.1).
+  double copy_launch_latency = 2e-6;
+  // Kernel launch latency for a reduction kernel.
+  double reduce_launch_latency = 6e-6;
+  // Cross-stream synchronization cost: a dependent op in another stream
+  // observes an op's completion only after the cudaEventRecord/StreamWait
+  // handshake. Within one stream ops run back to back.
+  double event_sync_latency = 6e-6;
+  // Aggregate reduction rate of one GPU (bytes/s), shared by concurrent
+  // reduction kernels. Kernels are charged for reading every input operand
+  // (received chunks plus the local contribution); the rate reflects V100
+  // HBM2-bound elementwise sums, comfortably above the 138 GB/s a root can
+  // receive, so reductions track line rate as §2.2 measures.
+  double reduce_bw = 300.0e9;
+  // NIC bandwidth per server per direction (bytes/s); 40 Gbps commodity
+  // cloud fabric by default (§5.4).
+  double nic_bw = 5.0e9;
+  // Host-memory staging bandwidth per CPU socket. PCIe P2P across PLX
+  // switches (and NIC transfers) bounce through a host buffer, which is why
+  // NCCL's PCIe fallback lands near 5 GB/s in Figure 2b rather than at raw
+  // PCIe rate.
+  double sysmem_bw = 5.0e9;
+};
+
+class Fabric {
+ public:
+  // Single-server fabric.
+  Fabric(const topo::Topology& topo, const FabricParams& params);
+  // Multi-server fabric: identical channel inventory per server plus NICs.
+  Fabric(const std::vector<topo::Topology>& servers,
+         const FabricParams& params);
+
+  const FabricParams& params() const { return params_; }
+  int num_servers() const { return static_cast<int>(servers_.size()); }
+  const topo::Topology& server(int s) const {
+    return servers_[static_cast<std::size_t>(s)];
+  }
+
+  int num_channels() const { return static_cast<int>(capacity_.size()); }
+  const std::vector<double>& capacities() const { return capacity_; }
+  const std::string& channel_name(int c) const {
+    return name_[static_cast<std::size_t>(c)];
+  }
+
+  // --- route lookup; GPU ids are local to |server| ------------------------
+
+  // Direct NVLink (or NVSwitch) path src -> dst. Requires adjacency (or an
+  // NVSwitch fabric).
+  std::vector<int> nvlink_route(int server, int src, int dst) const;
+
+  // PCIe path src -> dst through the switch hierarchy.
+  std::vector<int> pcie_route(int server, int src, int dst) const;
+
+  // The reduction engine channel of a GPU.
+  int reduce_channel(int server, int gpu) const;
+
+  // Cross-machine path (NIC egress of src server + ingress of dst server).
+  std::vector<int> nic_route(int src_server, int dst_server) const;
+
+  // PCIe path from a GPU up to its CPU socket (NIC staging) and back down;
+  // used by baselines whose cross-machine hops traverse PCIe + NIC + PCIe.
+  std::vector<int> pcie_to_host_route(int server, int gpu) const;
+  std::vector<int> pcie_from_host_route(int server, int gpu) const;
+
+  bool nvlink_adjacent(int server, int src, int dst) const;
+
+ private:
+  void build_server(int s);
+
+  int add_channel(std::string name, double capacity);
+
+  FabricParams params_;
+  std::vector<topo::Topology> servers_;
+  std::vector<double> capacity_;
+  std::vector<std::string> name_;
+
+  struct ServerChannels {
+    // nvlink_dir[src][dst] = channel id or -1.
+    std::vector<std::vector<int>> nvlink_dir;
+    // NVSwitch pipes.
+    std::vector<int> nvswitch_in, nvswitch_out;
+    // PCIe segments.
+    std::vector<int> gpu_up, gpu_down;   // per GPU
+    std::vector<int> plx_up, plx_down;   // per PLX
+    std::vector<std::vector<int>> qpi;   // qpi[src_cpu][dst_cpu] or -1
+    std::vector<int> sysmem;             // staging buffer per CPU socket
+    std::vector<int> reduce;             // per GPU
+    int nic_in = -1, nic_out = -1;
+  };
+  std::vector<ServerChannels> ch_;
+};
+
+}  // namespace blink::sim

@@ -1,0 +1,58 @@
+// A Program is the simulator-level analogue of the CUDA code Blink's CodeGen
+// emits: a DAG of chunk-granularity operations organized into streams.
+//
+// Semantics (matching CUDA):
+//   * ops in one stream execute in issue order;
+//   * an op additionally waits on its |deps| (CUDA events);
+//   * a ready op first pays its fixed |latency| (command launch overhead),
+//     then moves |bytes| across its route at the max-min fair rate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace blink::sim {
+
+enum class OpKind {
+  kCopy,    // data movement across a channel route
+  kReduce,  // reduction kernel on a GPU's reduce engine
+  kDelay,   // pure latency (e.g. cudaDeviceDisablePeerAccess)
+};
+
+struct Op {
+  OpKind kind = OpKind::kCopy;
+  std::vector<int> route;   // channel ids (empty for kDelay)
+  double bytes = 0.0;
+  double latency = 0.0;     // fixed setup time before the transfer starts
+  int stream = 0;
+  std::vector<int> deps;    // op indices that must finish first
+  std::string label;        // for traces and tests
+};
+
+class Program {
+ public:
+  // Appends an op and returns its index.
+  int add(Op op);
+
+  // Allocates a fresh stream id.
+  int new_stream() { return num_streams_++; }
+
+  int num_streams() const { return num_streams_; }
+  const std::vector<Op>& ops() const { return ops_; }
+  const Op& op(int i) const { return ops_[static_cast<std::size_t>(i)]; }
+  bool empty() const { return ops_.empty(); }
+
+  // Total bytes moved by kCopy ops (for utilization accounting).
+  double total_copy_bytes() const;
+
+  // Validates stream ids and dependency indices (deps must point to earlier
+  // ops, guaranteeing acyclicity).
+  bool validate(std::string* error = nullptr) const;
+
+ private:
+  std::vector<Op> ops_;
+  int num_streams_ = 0;
+};
+
+}  // namespace blink::sim

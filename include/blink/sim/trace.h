@@ -1,0 +1,33 @@
+// Execution trace export: turns a (Program, RunResult) pair into the Chrome
+// tracing JSON format (chrome://tracing, Perfetto) so schedules can be
+// inspected visually — one lane per stream, one slice per op, with channel
+// utilization counters.
+#pragma once
+
+#include <string>
+
+#include "blink/sim/executor.h"
+
+namespace blink::sim {
+
+struct TraceOptions {
+  // Streams with more ops than this are still exported; slices below this
+  // duration (seconds) are dropped to keep files small.
+  double min_slice_seconds = 0.0;
+  // Emit per-channel byte counters as a summary process.
+  bool include_channel_counters = true;
+};
+
+// Chrome trace JSON for one executed program. Op start times are
+// reconstructed as finish - transfer estimate where exact starts are not
+// recorded; slices are keyed by op label and stream.
+std::string to_chrome_trace(const Fabric& fabric, const Program& program,
+                            const RunResult& result,
+                            const TraceOptions& options = {});
+
+// Writes the trace to |path|; returns false on I/O failure.
+bool write_chrome_trace(const std::string& path, const Fabric& fabric,
+                        const Program& program, const RunResult& result,
+                        const TraceOptions& options = {});
+
+}  // namespace blink::sim

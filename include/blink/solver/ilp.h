@@ -1,0 +1,30 @@
+// Branch-and-bound 0/1 integer programming over packing problems:
+//
+//     max c.x   s.t.   A x <= b,   x_i in {0,1},   with A >= 0, b >= 0, c >= 0.
+//
+// Non-negativity of A lets branches fix variables by substitution: fixing
+// x_i = 1 subtracts column i from b, and a negative entry proves the branch
+// infeasible. This is exactly the structure of the tree-count minimization
+// ILP of §3.2.1 (kappa coefficients are 0/1 tree-edge indicators).
+#pragma once
+
+#include "blink/solver/simplex.h"
+
+namespace blink::solver {
+
+struct IlpSolution {
+  bool feasible = false;
+  double objective = 0.0;
+  std::vector<double> x;  // each entry 0.0 or 1.0
+};
+
+struct IlpOptions {
+  int max_nodes = 100000;  // branch-and-bound node budget
+};
+
+// Solves the 0/1 program. All coefficients must be non-negative. x = 0 is
+// always feasible (b >= 0), so the result is always `feasible` unless the
+// problem is malformed.
+IlpSolution solve_01(const LpProblem& lp, const IlpOptions& options = {});
+
+}  // namespace blink::solver

@@ -1,0 +1,34 @@
+// A small dense simplex solver for packing-shaped linear programs:
+//
+//     max c.x   subject to   A x <= b,  x >= 0,   with b >= 0.
+//
+// b >= 0 makes the all-slack basis feasible, so no phase-1 is needed. This
+// covers every LP in the library (fractional tree packing and its
+// restrictions). Bland's rule is used throughout to rule out cycling.
+#pragma once
+
+#include <vector>
+
+namespace blink::solver {
+
+struct LpProblem {
+  std::vector<double> c;               // objective, size n
+  std::vector<std::vector<double>> a;  // m rows of size n
+  std::vector<double> b;               // m right-hand sides, all >= 0
+
+  std::size_t num_vars() const { return c.size(); }
+  std::size_t num_rows() const { return b.size(); }
+  bool well_formed() const;
+};
+
+enum class LpStatus { kOptimal, kUnbounded };
+
+struct LpSolution {
+  LpStatus status = LpStatus::kOptimal;
+  double objective = 0.0;
+  std::vector<double> x;
+};
+
+LpSolution solve_lp(const LpProblem& lp);
+
+}  // namespace blink::solver

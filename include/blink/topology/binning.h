@@ -1,0 +1,46 @@
+// Binning of GPU allocations by topology uniqueness (§5, Figure 15/16).
+//
+// The paper bins n-GPU configurations so that allocations whose induced
+// NVLink multigraphs are isomorphic fall into one bin (e.g. [0,1,2,3] and
+// [4,5,6,7] on a DGX-1). We compute a canonical form of the induced lane
+// matrix by minimizing over all vertex permutations — exact for the <= 8
+// vertex graphs involved — and report one representative per bin.
+//
+// This procedure reproduces the paper's counts: 46 unique configurations on
+// DGX-1V and 14 on DGX-1P over 3..8 GPUs (asserted in tests).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "blink/topology/topology.h"
+
+namespace blink::topo {
+
+// Canonical signature of the NVLink multigraph induced by |gpus| on
+// |machine|. Equal signatures <=> isomorphic induced multigraphs.
+std::string canonical_signature(const Topology& machine,
+                                std::span<const int> gpus);
+
+struct ConfigBin {
+  std::vector<int> representative;          // lexicographically first member
+  std::vector<std::vector<int>> members;    // all allocations in the bin
+  std::string signature;
+};
+
+// All topology-unique bins of size-|k| allocations, ordered by
+// representative. Representatives match the x-axis labels of Figures 15-17.
+// With |connected_only| set, allocations whose induced NVLink graph is
+// disconnected are skipped — the filter the paper applies to its 46 DGX-1V /
+// 14 DGX-1P evaluation configurations.
+std::vector<ConfigBin> unique_configs(const Topology& machine, int k,
+                                      bool connected_only = false);
+
+// Convenience: bins for every size in [k_min, k_max], concatenated in
+// ascending size order (the full x-axis of Figure 15).
+std::vector<ConfigBin> unique_configs_range(const Topology& machine, int k_min,
+                                            int k_max,
+                                            bool connected_only = false);
+
+}  // namespace blink::topo

@@ -1,0 +1,42 @@
+// Builders for the server generations evaluated in the paper, calibrated to
+// the link rates quoted in §1/§2.2/§3.5 (see DESIGN.md §6).
+#pragma once
+
+#include "blink/topology/topology.h"
+
+namespace blink::topo {
+
+// Calibration constants (bytes/s per direction).
+inline constexpr double kNvlinkGen1Bw = 19.0e9;  // DGX-1P: 18-20 GB/s
+inline constexpr double kNvlinkGen2Bw = 23.0e9;  // DGX-1V: 22-25 GB/s
+inline constexpr double kPcieGpuBw = 11.0e9;     // PCIe Gen3 x16: 8-12 GB/s
+inline constexpr double kPciePlxBw = 11.0e9;
+inline constexpr double kQpiBw = 9.0e9;
+inline constexpr double kNvswitchGpuBw = 138.0e9;  // 6 lanes, 150 GB/s bidir
+
+// DGX-1 with P100 GPUs: hybrid cube-mesh (Figure 1, solid lines).
+// Each quad {0..3} and {4..7} is a clique; 0-4, 1-5, 2-6, 3-7 connect them.
+// Every edge is a single NVLink gen1 lane (4 lanes per GPU).
+Topology make_dgx1p();
+
+// DGX-1 with V100 GPUs: same mesh with six lanes per GPU; the additional
+// lanes double the edges marked NV2 on AWS p3.16xlarge (`nvidia-smi topo -m`):
+//   0-3, 1-2, 2-3 doubled in quad 0; 4-7, 5-6, 6-7 doubled in quad 1;
+//   0-4 and 1-5 doubled across quads.
+Topology make_dgx1v();
+
+// DGX-2: 16 V100s on a non-blocking NVSwitch crossbar, 6 NVLink lanes per
+// GPU into the switch (150 GB/s bidirectional per §3.5).
+Topology make_dgx2();
+
+// A fully connected |num_gpus| clique of single NVLink lanes, for unit tests.
+Topology make_clique(int num_gpus, double lane_bw = kNvlinkGen2Bw);
+
+// A chain 0-1-2-...-n-1 of single lanes, for the §2.2 depth benchmarks.
+Topology make_chain(int num_gpus, double lane_bw = kNvlinkGen2Bw);
+
+// Standard DGX-1 PCIe hierarchy for |num_gpus| (pairs share a PLX, two PLX
+// per CPU socket). Used by the builders above; exposed for custom topologies.
+PcieConfig make_dgx1_pcie(int num_gpus);
+
+}  // namespace blink::topo

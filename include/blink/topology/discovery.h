@@ -1,0 +1,26 @@
+// Topology discovery: turning a scheduler allocation (subset of GPU ids on a
+// server) into the induced sub-topology Blink plans over.
+//
+// In the paper this is a runtime probe of the NVML/PCIe device tree for the
+// GPUs visible to the job; here the "machine" is a Topology value and probing
+// is an induced-subgraph computation that keeps PCIe placement faithful via
+// global ids.
+#pragma once
+
+#include <span>
+
+#include "blink/topology/topology.h"
+
+namespace blink::topo {
+
+// The induced sub-topology over |gpus| (global ids into |machine|). Local
+// GPU i of the result corresponds to machine GPU gpus[i]. NVLink edges with
+// both endpoints allocated are kept; PCIe placement (PLX/CPU assignment) is
+// preserved. Requires distinct, in-range ids.
+Topology induced_topology(const Topology& machine, std::span<const int> gpus);
+
+// All size-|k| allocations of |machine| as sorted id vectors (n choose k).
+std::vector<std::vector<int>> enumerate_allocations(const Topology& machine,
+                                                    int k);
+
+}  // namespace blink::topo

@@ -1,0 +1,45 @@
+// A small text format for custom machine descriptions, so users can run
+// Blink against fabrics other than the built-in DGX generations (the paper's
+// point is precisely that topologies vary).
+//
+// Format (one directive per line, '#' comments):
+//
+//   name     my-server
+//   gpus     8
+//   nvlink   <lane GB/s per direction>
+//   link     <a> <b> [lanes]          # undirected NVLink bundle
+//   nvswitch <per-GPU GB/s>           # crossbar instead of links
+//   pcie     <gpu GB/s> <plx GB/s> <qpi GB/s>
+//   plx      <plx id of gpu0> <gpu1> ...
+//   cpu      <cpu id of plx0> <plx1> ...
+//
+// Example:
+//   name tiny
+//   gpus 3
+//   nvlink 23
+//   link 0 1
+//   link 1 2 2
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "blink/topology/topology.h"
+
+namespace blink::topo {
+
+struct ParseResult {
+  std::optional<Topology> topology;  // empty on error
+  std::string error;                 // "line N: message" on failure
+};
+
+ParseResult parse_topology(const std::string& text);
+
+// Reads and parses a .topo file.
+ParseResult load_topology(const std::string& path);
+
+// Inverse of parse_topology for the supported feature set (useful for
+// round-trip tests and for dumping discovered allocations).
+std::string format_topology(const Topology& topo);
+
+}  // namespace blink::topo

@@ -1,0 +1,93 @@
+// Hardware topology model: GPUs, NVLink lanes, the PCIe switch hierarchy,
+// NVSwitch fabrics, and NICs.
+//
+// A Topology describes one server. Multi-server settings are a Cluster
+// (see multiserver.h). GPU ids inside a Topology are dense [0, num_gpus);
+// an *allocation* of a subset of GPUs is turned into an induced sub-topology
+// by discovery (discovery.h), which re-indexes GPUs but remembers the global
+// ids so PCIe placement stays faithful.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace blink::topo {
+
+enum class LinkType { kNVLink, kPCIe, kQPI, kNVSwitch, kNIC };
+
+const char* to_string(LinkType type);
+
+enum class ServerKind { kDGX1P, kDGX1V, kDGX2, kCustom };
+
+const char* to_string(ServerKind kind);
+
+// An undirected bundle of NVLink lanes between two GPUs. Capacity per
+// direction is lanes * nvlink_lane_bw of the owning Topology.
+struct NvlinkEdge {
+  int a = 0;
+  int b = 0;
+  int lanes = 1;
+};
+
+// The PCIe hierarchy of a DGX-1-class server:
+//   GPU --x16--> PLX switch --x16--> CPU socket --QPI--> other socket.
+// Each level is a shared full-duplex channel in the simulator.
+struct PcieConfig {
+  std::vector<int> plx_of_gpu;  // PLX switch index for each GPU
+  std::vector<int> cpu_of_plx;  // CPU socket index for each PLX
+  double gpu_bw = 0.0;          // GPU <-> PLX, bytes/s per direction
+  double plx_bw = 0.0;          // PLX <-> CPU, bytes/s per direction
+  double qpi_bw = 0.0;          // CPU <-> CPU, bytes/s per direction
+
+  int num_plx() const;
+  int num_cpus() const;
+  bool valid_for(int num_gpus) const;
+};
+
+struct Topology {
+  ServerKind kind = ServerKind::kCustom;
+  std::string name;
+  int num_gpus = 0;
+
+  // NVLink point-to-point fabric (empty on DGX-2).
+  double nvlink_lane_bw = 0.0;  // bytes/s per lane per direction
+  std::vector<NvlinkEdge> nvlinks;
+
+  // NVSwitch fabric (DGX-2): every GPU has one aggregated full-duplex pipe
+  // into a non-blocking crossbar.
+  bool has_nvswitch = false;
+  double nvswitch_gpu_bw = 0.0;  // bytes/s per GPU per direction
+
+  PcieConfig pcie;
+
+  // Identity for a full machine; set by discovery for allocations.
+  std::vector<int> global_ids;
+
+  // --- queries -------------------------------------------------------------
+
+  // Number of NVLink lanes between GPUs a and b (0 if not adjacent).
+  int lanes_between(int a, int b) const;
+
+  // Sum of lanes incident to |gpu|.
+  int nvlink_degree(int gpu) const;
+
+  // Total directed NVLink capacity from a to b in bytes/s.
+  double nvlink_capacity(int a, int b) const;
+
+  // True if every GPU can reach every other over NVLink edges alone.
+  bool nvlink_connected() const;
+
+  // The global id of local GPU |gpu| (identity when global_ids is empty).
+  int global_id(int gpu) const;
+
+  // Human-readable multigraph summary, for logging and golden tests.
+  std::string describe() const;
+
+  // Internal-consistency check; used by tests and builders.
+  bool validate(std::string* error = nullptr) const;
+};
+
+}  // namespace blink::topo

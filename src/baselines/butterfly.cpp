@@ -1,0 +1,79 @@
+#include "blink/baselines/butterfly.h"
+
+#include <cassert>
+
+namespace blink::baselines {
+
+bool butterfly_supported(const sim::Fabric& fabric, int server) {
+  const auto& t = fabric.server(server);
+  const int n = t.num_gpus;
+  if (n < 2 || (n & (n - 1)) != 0) return false;
+  if (t.has_nvswitch) return true;
+  // Clique check: every exchange partner pair must be NVLink-adjacent.
+  for (int round = 1; round < n; round <<= 1) {
+    for (int g = 0; g < n; ++g) {
+      if (!fabric.nvlink_adjacent(server, g, g ^ round)) return false;
+    }
+  }
+  return true;
+}
+
+void append_butterfly_all_reduce(ProgramBuilder& builder,
+                                 const sim::Fabric& fabric, int server,
+                                 double bytes) {
+  assert(butterfly_supported(fabric, server));
+  const int n = fabric.server(server).num_gpus;
+
+  // Per-GPU op that must finish before its next round (the reduction of the
+  // previous exchange).
+  std::vector<int> ready(static_cast<std::size_t>(n), -1);
+
+  // Reduce-scatter by recursive halving: round k exchanges bytes / 2^(k+1).
+  int tag = 0;
+  double volume = bytes / 2.0;
+  for (int dist = 1; dist < n; dist <<= 1) {
+    std::vector<int> next(static_cast<std::size_t>(n), -1);
+    for (int g = 0; g < n; ++g) {
+      const int partner = g ^ dist;
+      std::vector<int> gates;
+      if (ready[static_cast<std::size_t>(g)] >= 0) {
+        gates.push_back(ready[static_cast<std::size_t>(g)]);
+      }
+      const auto done =
+          builder.copy_chunks(fabric.nvlink_route(server, g, partner), volume,
+                              1, /*stream_tag=*/(tag << 8) | g, gates);
+      // Partner reduces what it received with its own half.
+      std::vector<int> deps{done.back()};
+      if (ready[static_cast<std::size_t>(partner)] >= 0) {
+        deps.push_back(ready[static_cast<std::size_t>(partner)]);
+      }
+      next[static_cast<std::size_t>(partner)] =
+          builder.reduce_kernel(server, partner, 2.0 * volume, std::move(deps));
+    }
+    ready = std::move(next);
+    volume /= 2.0;
+    ++tag;
+  }
+
+  // All-gather by recursive doubling: volumes grow back.
+  volume = bytes / n;
+  for (int dist = n >> 1; dist >= 1; dist >>= 1) {
+    std::vector<int> next(static_cast<std::size_t>(n), -1);
+    for (int g = 0; g < n; ++g) {
+      const int partner = g ^ dist;
+      std::vector<int> gates;
+      if (ready[static_cast<std::size_t>(g)] >= 0) {
+        gates.push_back(ready[static_cast<std::size_t>(g)]);
+      }
+      const auto done =
+          builder.copy_chunks(fabric.nvlink_route(server, g, partner), volume,
+                              1, /*stream_tag=*/(tag << 8) | g, gates);
+      next[static_cast<std::size_t>(partner)] = done.back();
+    }
+    ready = std::move(next);
+    volume *= 2.0;
+    ++tag;
+  }
+}
+
+}  // namespace blink::baselines

@@ -1,0 +1,52 @@
+#include "blink/baselines/double_binary_tree.h"
+
+#include <cassert>
+
+namespace blink::baselines {
+namespace {
+
+RoutedTree routed_from_binary(const sim::Fabric& fabric, int server,
+                              const graph::BinaryTree& bt) {
+  RoutedTree tree;
+  tree.server = server;
+  tree.root = bt.root;
+  tree.weight = 1.0;
+
+  // BFS so parents precede children.
+  const auto children = bt.children();
+  std::vector<std::pair<int, int>> frontier{{bt.root, 0}};
+  for (std::size_t i = 0; i < frontier.size(); ++i) {
+    const auto [gpu, depth] = frontier[i];
+    for (const int child : children[static_cast<std::size_t>(gpu)]) {
+      RoutedTree::Hop hop;
+      hop.child = child;
+      hop.parent = gpu;
+      hop.depth = depth + 1;
+      hop.down_route = fabric.nvlink_route(server, gpu, child);
+      hop.up_route = fabric.nvlink_route(server, child, gpu);
+      tree.hops.push_back(std::move(hop));
+      frontier.push_back({child, depth + 1});
+    }
+  }
+  assert(tree.hops.size() + 1 == bt.parent.size());
+  return tree;
+}
+
+}  // namespace
+
+std::vector<RoutedTree> double_binary_routed_trees(const sim::Fabric& fabric,
+                                                   int server) {
+  const int n = fabric.server(server).num_gpus;
+  const auto [t1, t2] = graph::double_binary_trees(n);
+  return {routed_from_binary(fabric, server, t1),
+          routed_from_binary(fabric, server, t2)};
+}
+
+void append_double_binary_all_reduce(ProgramBuilder& builder,
+                                     const sim::Fabric& fabric, int server,
+                                     double bytes) {
+  const auto trees = double_binary_routed_trees(fabric, server);
+  builder.all_reduce(trees, bytes);
+}
+
+}  // namespace blink::baselines

@@ -1,0 +1,204 @@
+#include "blink/baselines/nccl_like.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "blink/baselines/double_binary_tree.h"
+
+namespace blink::baselines {
+
+sim::FabricParams apply_persistent_kernel_model(sim::FabricParams params) {
+  params.copy_launch_latency = 1e-6;
+  params.reduce_launch_latency = 1e-6;
+  params.event_sync_latency = 2e-6;
+  return params;
+}
+
+NcclCommunicator::NcclCommunicator(topo::Topology topo, NcclOptions options)
+    : topo_(std::move(topo)),
+      options_(std::move(options)),
+      fabric_(topo_, options_.persistent_kernel_model
+                         ? apply_persistent_kernel_model(options_.fabric)
+                         : options_.fabric),
+      plan_(build_ring_plan(topo_)) {
+  std::string err;
+  if (!topo_.validate(&err)) {
+    throw std::invalid_argument("invalid topology: " + err);
+  }
+}
+
+CollectiveResult NcclCommunicator::run(int kind, double bytes, int root) {
+  const auto key = std::make_tuple(kind, root,
+                                   static_cast<std::uint64_t>(bytes));
+  if (options_.memoize) {
+    const auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+  }
+
+  ProgramBuilder builder(fabric_, options_.codegen);
+  CollectiveResult result;
+  result.bytes = bytes;
+  // Directed rings are chain trees from the root's perspective, so the ring
+  // variants of gather/reduce/allgather reuse the tree emitters directly.
+  auto ring_chains = [&](int chain_root) {
+    std::vector<RoutedTree> chains;
+    for (const auto& ring : plan_.rings) {
+      chains.push_back(ring_chain_tree(fabric_, 0, ring, chain_root,
+                                       /*forward=*/true, plan_.link));
+      chains.push_back(ring_chain_tree(fabric_, 0, ring, chain_root,
+                                       /*forward=*/false, plan_.link));
+    }
+    return chains;
+  };
+  switch (kind) {
+    case 0:
+      append_ring_broadcast(builder, fabric_, 0, plan_, bytes, root);
+      result.num_trees = plan_.num_directed();
+      break;
+    case 1:
+      if (topo_.has_nvswitch && bytes < options_.tree_threshold_bytes &&
+          topo_.num_gpus >= 4) {
+        append_double_binary_all_reduce(builder, fabric_, 0, bytes);
+        result.num_trees = 2;
+      } else {
+        append_ring_all_reduce(builder, fabric_, 0, plan_, bytes);
+        result.num_trees = plan_.num_directed();
+      }
+      break;
+    case 2:
+      builder.gather(ring_chains(root), bytes);
+      result.num_trees = plan_.num_directed();
+      break;
+    case 3:
+      builder.reduce(ring_chains(root), bytes);
+      result.num_trees = plan_.num_directed();
+      break;
+    case 4:
+      builder.all_gather(ring_chains(root), bytes);
+      result.num_trees = plan_.num_directed();
+      break;
+    default:
+      break;
+  }
+  const sim::Program program = builder.take();
+  result.num_ops = static_cast<int>(program.ops().size());
+  result.num_chunks = builder.chunks_for(bytes / plan_.num_directed());
+  const auto run_result = sim::execute(fabric_, program);
+  result.seconds = run_result.makespan;
+  result.algorithm_bw = run_result.throughput(bytes);
+  if (options_.memoize) memo_[key] = result;
+  return result;
+}
+
+CollectiveResult NcclCommunicator::broadcast(double bytes, int root) {
+  return run(0, bytes, root);
+}
+
+CollectiveResult NcclCommunicator::all_reduce(double bytes) {
+  return run(1, bytes, 0);
+}
+
+CollectiveResult NcclCommunicator::gather(double bytes, int root) {
+  return run(2, bytes, root);
+}
+
+CollectiveResult NcclCommunicator::reduce(double bytes, int root) {
+  return run(3, bytes, root);
+}
+
+CollectiveResult NcclCommunicator::all_gather(double bytes) {
+  return run(4, bytes, 0);
+}
+
+CollectiveResult multi_server_ring_all_reduce(
+    const std::vector<topo::Topology>& servers, double bytes,
+    const NcclOptions& options) {
+  assert(servers.size() >= 2);
+  const sim::Fabric fabric(servers,
+                           options.persistent_kernel_model
+                               ? apply_persistent_kernel_model(options.fabric)
+                               : options.fabric);
+
+  // Global ring: (server, gpu) in id order.
+  struct Stop {
+    int server;
+    int gpu;
+  };
+  std::vector<Stop> ring;
+  for (int s = 0; s < fabric.num_servers(); ++s) {
+    for (int g = 0; g < fabric.server(s).num_gpus; ++g) {
+      ring.push_back({s, g});
+    }
+  }
+  const int n = static_cast<int>(ring.size());
+  assert(n >= 2);
+
+  auto hop_route = [&](const Stop& from, const Stop& to) {
+    std::vector<int> route;
+    if (from.server == to.server) {
+      if (fabric.nvlink_adjacent(from.server, from.gpu, to.gpu) &&
+          !fabric.server(from.server).nvlinks.empty()) {
+        return fabric.nvlink_route(from.server, from.gpu, to.gpu);
+      }
+      if (fabric.server(from.server).has_nvswitch) {
+        return fabric.nvlink_route(from.server, from.gpu, to.gpu);
+      }
+      return fabric.pcie_route(from.server, from.gpu, to.gpu);
+    }
+    // Cross-machine: PCIe up to the host, NIC, PCIe back down.
+    route = fabric.pcie_to_host_route(from.server, from.gpu);
+    const auto nic = fabric.nic_route(from.server, to.server);
+    route.insert(route.end(), nic.begin(), nic.end());
+    const auto down = fabric.pcie_from_host_route(to.server, to.gpu);
+    route.insert(route.end(), down.begin(), down.end());
+    return route;
+  };
+
+  ProgramBuilder builder(fabric, options.codegen);
+  // Bi-directional ring pair, reduce-scatter + all-gather blocks as in the
+  // single-server case.
+  const int num_directed = 2;
+  for (const bool forward : {true, false}) {
+    const double ring_bytes = bytes / num_directed;
+    const double block = ring_bytes / n;
+    auto stop_at = [&](int idx) {
+      const int wrapped = ((idx % n) + n) % n;
+      return ring[static_cast<std::size_t>(forward ? wrapped
+                                                   : n - 1 - wrapped)];
+    };
+    // Step-major emission (see ring.cpp): link streams must observe ops in
+    // wall-clock order.
+    std::vector<int> prev_op(static_cast<std::size_t>(n), -1);
+    for (int s = 0; s < 2 * (n - 1); ++s) {
+      for (int b = 0; b < n; ++b) {
+        const Stop from = stop_at(b + s);
+        const Stop to = stop_at(b + s + 1);
+        std::vector<int> gates;
+        if (prev_op[static_cast<std::size_t>(b)] >= 0) {
+          gates.push_back(prev_op[static_cast<std::size_t>(b)]);
+        }
+        const auto done = builder.copy_chunks(
+            hop_route(from, to), block, 1,
+            /*stream_tag=*/(forward ? 0 : 1) << 16 | (((b + s) % n + n) % n),
+            gates);
+        int op = done.back();
+        if (s < n - 1) {
+          op = builder.reduce_kernel(to.server, to.gpu, 2.0 * block, {op});
+        }
+        prev_op[static_cast<std::size_t>(b)] = op;
+      }
+    }
+  }
+
+  const sim::Program program = builder.take();
+  CollectiveResult result;
+  result.bytes = bytes;
+  result.num_trees = num_directed;
+  result.num_ops = static_cast<int>(program.ops().size());
+  const auto run_result = sim::execute(fabric, program);
+  result.seconds = run_result.makespan;
+  result.algorithm_bw = run_result.throughput(bytes);
+  return result;
+}
+
+}  // namespace blink::baselines

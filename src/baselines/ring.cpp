@@ -1,0 +1,135 @@
+#include "blink/baselines/ring.h"
+
+#include <cassert>
+#include <numeric>
+
+namespace blink::baselines {
+
+RingPlan build_ring_plan(const topo::Topology& topo) {
+  RingPlan plan;
+  if (topo.has_nvswitch) {
+    // Non-blocking crossbar: NCCL builds one ring per NVLink lane (6 on the
+    // DGX-2), all in id order.
+    graph::Ring ring;
+    ring.order.resize(static_cast<std::size_t>(topo.num_gpus));
+    std::iota(ring.order.begin(), ring.order.end(), 0);
+    plan.rings.assign(6, ring);
+    plan.link = topo::LinkType::kNVLink;
+    return plan;
+  }
+  plan.rings = graph::max_disjoint_rings(topo);
+  if (!plan.rings.empty()) {
+    plan.link = topo::LinkType::kNVLink;
+    return plan;
+  }
+  // No NVLink-only ring covers the allocation: fall back to one PCIe ring
+  // (the Figure 2b situation).
+  graph::Ring ring;
+  ring.order.resize(static_cast<std::size_t>(topo.num_gpus));
+  std::iota(ring.order.begin(), ring.order.end(), 0);
+  plan.rings.push_back(std::move(ring));
+  plan.link = topo::LinkType::kPCIe;
+  return plan;
+}
+
+namespace {
+
+std::vector<int> route_between(const sim::Fabric& fabric, int server, int src,
+                               int dst, topo::LinkType link) {
+  return link == topo::LinkType::kPCIe ? fabric.pcie_route(server, src, dst)
+                                       : fabric.nvlink_route(server, src, dst);
+}
+
+}  // namespace
+
+RoutedTree ring_chain_tree(const sim::Fabric& fabric, int server,
+                           const graph::Ring& ring, int root, bool forward,
+                           topo::LinkType link) {
+  const int n = static_cast<int>(ring.order.size());
+  int pos = 0;
+  while (ring.order[static_cast<std::size_t>(pos)] != root) ++pos;
+
+  RoutedTree tree;
+  tree.server = server;
+  tree.root = root;
+  tree.weight = 1.0;
+  int prev = root;
+  for (int i = 1; i < n; ++i) {
+    const int idx = forward ? (pos + i) % n : (pos - i % n + n) % n;
+    const int gpu = ring.order[static_cast<std::size_t>(idx)];
+    RoutedTree::Hop hop;
+    hop.child = gpu;
+    hop.parent = prev;
+    hop.depth = i;
+    hop.down_route = route_between(fabric, server, prev, gpu, link);
+    hop.up_route = route_between(fabric, server, gpu, prev, link);
+    tree.hops.push_back(std::move(hop));
+    prev = gpu;
+  }
+  return tree;
+}
+
+void append_ring_broadcast(ProgramBuilder& builder, const sim::Fabric& fabric,
+                           int server, const RingPlan& plan, double bytes,
+                           int root) {
+  assert(!plan.rings.empty());
+  std::vector<RoutedTree> chains;
+  for (const auto& ring : plan.rings) {
+    chains.push_back(
+        ring_chain_tree(fabric, server, ring, root, /*forward=*/true,
+                        plan.link));
+    chains.push_back(
+        ring_chain_tree(fabric, server, ring, root, /*forward=*/false,
+                        plan.link));
+  }
+  builder.broadcast(chains, bytes);
+}
+
+void append_ring_all_reduce(ProgramBuilder& builder, const sim::Fabric& fabric,
+                            int server, const RingPlan& plan, double bytes) {
+  assert(!plan.rings.empty());
+  const int num_directed = plan.num_directed();
+  int ring_tag = 0;
+  for (const auto& ring : plan.rings) {
+    for (const bool forward : {true, false}) {
+      const int n = static_cast<int>(ring.order.size());
+      const double ring_bytes = bytes / num_directed;
+      const double block = ring_bytes / n;
+      auto gpu_at = [&](int idx) {
+        const int wrapped = ((idx % n) + n) % n;
+        const int pos = forward ? wrapped : n - 1 - wrapped;
+        return ring.order[static_cast<std::size_t>(pos)];
+      };
+      // Blocks circulate 2(n-1) steps: n-1 reduce-scatter (with kernels),
+      // n-1 all-gather (copy only). Each directed ring edge gets one stream
+      // (via the stream tag). Emission is *step-major* so each link stream
+      // sees ops in wall-clock order; block-major order would make a
+      // block's second lap head-of-line-block other blocks' first laps.
+      std::vector<int> prev_op(static_cast<std::size_t>(n), -1);
+      for (int s = 0; s < 2 * (n - 1); ++s) {
+        for (int b = 0; b < n; ++b) {
+          const int from_idx = b + s;
+          const int from = gpu_at(from_idx);
+          const int to = gpu_at(from_idx + 1);
+          std::vector<int> gates;
+          if (prev_op[static_cast<std::size_t>(b)] >= 0) {
+            gates.push_back(prev_op[static_cast<std::size_t>(b)]);
+          }
+          auto done = builder.copy_chunks(
+              route_between(fabric, server, from, to, plan.link), block, 1,
+              /*stream_tag=*/(ring_tag << 8) | (((from_idx % n) + n) % n),
+              gates);
+          int op = done.back();
+          if (s < n - 1) {
+            // Reduce-scatter phase: combine with the local block at |to|.
+            op = builder.reduce_kernel(server, to, 2.0 * block, {op});
+          }
+          prev_op[static_cast<std::size_t>(b)] = op;
+        }
+      }
+      ++ring_tag;
+    }
+  }
+}
+
+}  // namespace blink::baselines

@@ -1,0 +1,60 @@
+#include "blink/blink/chunking.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace blink {
+
+MiadResult tune_chunk_size(
+    const std::function<double(std::uint64_t)>& measure,
+    const MiadOptions& options) {
+  assert(options.initial_chunk >= options.min_chunk &&
+         options.initial_chunk <= options.max_chunk);
+  assert(options.multiplier > 1.0);
+
+  MiadResult result;
+  auto probe = [&](std::uint64_t chunk) {
+    const double throughput = measure(chunk);
+    result.trace.push_back({chunk, throughput});
+    if (throughput > result.selected_throughput) {
+      result.selected_throughput = throughput;
+      result.selected_chunk = chunk;
+    }
+    return throughput;
+  };
+
+  std::uint64_t chunk = options.initial_chunk;
+  double best = probe(chunk);
+  int iterations = 1;
+
+  // Multiplicative increase while throughput keeps improving.
+  while (iterations < options.max_iterations) {
+    const auto next = std::min(
+        options.max_chunk,
+        static_cast<std::uint64_t>(static_cast<double>(chunk) *
+                                   options.multiplier));
+    if (next == chunk) break;
+    const double t = probe(next);
+    ++iterations;
+    if (t <= best * (1.0 + options.improvement_tolerance)) break;
+    best = t;
+    chunk = next;
+  }
+
+  // Additive decrease from the overshoot point back toward the knee.
+  std::uint64_t cur = result.trace.back().chunk_bytes;
+  double prev = result.trace.back().throughput;
+  while (iterations < options.max_iterations &&
+         cur > options.min_chunk + options.decrement) {
+    cur -= options.decrement;
+    if (cur == chunk) break;  // already probed the knee itself
+    const double t = probe(cur);
+    ++iterations;
+    if (t <= prev * (1.0 + options.improvement_tolerance)) break;
+    prev = t;
+  }
+
+  return result;
+}
+
+}  // namespace blink

@@ -1,0 +1,606 @@
+#include "blink/blink/codegen.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace blink {
+namespace {
+
+double total_weight(std::span<const RoutedTree> trees) {
+  double total = 0.0;
+  for (const auto& t : trees) total += t.weight;
+  return total;
+}
+
+// Parent pointer per GPU (-1 at root) from a routed tree.
+std::vector<int> parent_array(const RoutedTree& tree, int num_gpus) {
+  std::vector<int> parent(static_cast<std::size_t>(num_gpus), -1);
+  for (const auto& h : tree.hops) {
+    parent[static_cast<std::size_t>(h.child)] = h.parent;
+  }
+  return parent;
+}
+
+}  // namespace
+
+int RoutedTree::depth() const {
+  int d = 0;
+  for (const auto& h : hops) d = std::max(d, h.depth);
+  return d;
+}
+
+RoutedTree route_tree(const sim::Fabric& fabric, int server,
+                      const TreeSet& set, const packing::WeightedTree& tree) {
+  RoutedTree rt;
+  rt.server = server;
+  rt.root = set.root;
+  rt.weight = tree.weight;
+
+  const auto& g = set.graph;
+  const auto parent = tree.tree.parents(g);
+  std::vector<int> depth(static_cast<std::size_t>(g.num_vertices()), 0);
+
+  // BFS order by repeatedly expanding known-depth vertices.
+  std::vector<int> order{set.root};
+  std::vector<bool> placed(static_cast<std::size_t>(g.num_vertices()), false);
+  placed[static_cast<std::size_t>(set.root)] = true;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const int p = order[i];
+    for (int v = 0; v < g.num_vertices(); ++v) {
+      if (!placed[static_cast<std::size_t>(v)] &&
+          parent[static_cast<std::size_t>(v)] == p) {
+        placed[static_cast<std::size_t>(v)] = true;
+        depth[static_cast<std::size_t>(v)] =
+            depth[static_cast<std::size_t>(p)] + 1;
+        order.push_back(v);
+      }
+    }
+  }
+  assert(order.size() == static_cast<std::size_t>(g.num_vertices()));
+
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    const int child = order[i];
+    const int par = parent[static_cast<std::size_t>(child)];
+    RoutedTree::Hop hop;
+    hop.child = child;
+    hop.parent = par;
+    hop.depth = depth[static_cast<std::size_t>(child)];
+    if (set.link == topo::LinkType::kPCIe) {
+      hop.down_route = fabric.pcie_route(server, par, child);
+      hop.up_route = fabric.pcie_route(server, child, par);
+    } else {
+      hop.down_route = fabric.nvlink_route(server, par, child);
+      hop.up_route = fabric.nvlink_route(server, child, par);
+    }
+    rt.hops.push_back(std::move(hop));
+  }
+  return rt;
+}
+
+std::vector<RoutedTree> route_trees(const sim::Fabric& fabric, int server,
+                                    const TreeSet& set) {
+  std::vector<RoutedTree> routed;
+  routed.reserve(set.trees.size());
+  for (const auto& wt : set.trees) {
+    routed.push_back(route_tree(fabric, server, set, wt));
+  }
+  return routed;
+}
+
+ProgramBuilder::ProgramBuilder(const sim::Fabric& fabric,
+                               const CodeGenOptions& options)
+    : fabric_(fabric), options_(options) {}
+
+sim::Program ProgramBuilder::take() {
+  sim::Program p = std::move(program_);
+  program_ = sim::Program{};
+  stream_table_.clear();
+  return p;
+}
+
+int ProgramBuilder::chunks_for(double bytes) const {
+  if (bytes <= 0.0) return 1;
+  const auto chunk = static_cast<double>(options_.chunk_bytes);
+  const int n = static_cast<int>(std::ceil(bytes / chunk));
+  return std::clamp(n, 1, options_.max_chunks_per_tree);
+}
+
+int ProgramBuilder::stream_for(const std::vector<int>& route,
+                               int position_key) {
+  for (const auto& [key, stream] : stream_table_) {
+    if (key.second == position_key && key.first == route) return stream;
+  }
+  const int stream = program_.new_stream();
+  stream_table_.push_back({{route, position_key}, stream});
+  return stream;
+}
+
+int ProgramBuilder::private_stream() { return program_.new_stream(); }
+
+// ---------------------------------------------------------------------------
+// Broadcast
+// ---------------------------------------------------------------------------
+
+void ProgramBuilder::emit_broadcast_chunk(const RoutedTree& tree,
+                                          double chunk_bytes,
+                                          int chunk_ready_op,
+                                          BroadcastState& state) {
+  const int num_gpus = fabric_.server(tree.server).num_gpus;
+  state.arrival.assign(static_cast<std::size_t>(num_gpus), -1);
+  state.arrival[static_cast<std::size_t>(tree.root)] = chunk_ready_op;
+
+  for (std::size_t h = 0; h < tree.hops.size(); ++h) {
+    const auto& hop = tree.hops[h];
+    sim::Op op;
+    op.kind = sim::OpKind::kCopy;
+    op.route = hop.down_route;
+    op.bytes = chunk_bytes;
+    op.latency = fabric_.params().copy_launch_latency;
+    op.stream = state.streams[h];
+    const int parent_arrival =
+        state.arrival[static_cast<std::size_t>(hop.parent)];
+    if (parent_arrival >= 0) op.deps.push_back(parent_arrival);
+    op.label = "bcast " + std::to_string(hop.parent) + ">" +
+               std::to_string(hop.child);
+    state.arrival[static_cast<std::size_t>(hop.child)] = program_.add(op);
+  }
+}
+
+std::vector<int> ProgramBuilder::tree_broadcast_chunks(
+    const RoutedTree& tree, double bytes, int num_chunks,
+    std::span<const int> chunk_ready) {
+  assert(num_chunks >= 1);
+  const double chunk_bytes = bytes / num_chunks;
+  BroadcastState state;
+  state.streams.reserve(tree.hops.size());
+  for (std::size_t h = 0; h < tree.hops.size(); ++h) {
+    const auto& hop = tree.hops[h];
+    state.streams.push_back(options_.stream_reuse
+                                ? stream_for(hop.down_route, hop.depth)
+                                : private_stream());
+  }
+  std::vector<int> last(static_cast<std::size_t>(num_chunks), -1);
+  for (int c = 0; c < num_chunks; ++c) {
+    const int gate = chunk_ready.empty()
+                         ? -1
+                         : chunk_ready[static_cast<std::size_t>(c)];
+    emit_broadcast_chunk(tree, chunk_bytes, gate, state);
+    // Last emitted hop of this chunk (the deepest hop in BFS order).
+    last[static_cast<std::size_t>(c)] =
+        static_cast<int>(program_.ops().size()) - 1;
+  }
+  return last;
+}
+
+void ProgramBuilder::broadcast(std::span<const RoutedTree> trees,
+                               double bytes) {
+  const double total = total_weight(trees);
+  assert(total > 0.0);
+
+  // Per-tree chunk plans, then chunk-major interleaved emission so trees
+  // sharing a link alternate chunks fairly (Figure 13).
+  struct Plan {
+    double chunk_bytes;
+    int num_chunks;
+    BroadcastState state;
+  };
+  std::vector<Plan> plans;
+  plans.reserve(trees.size());
+  int max_chunks = 0;
+  for (const auto& tree : trees) {
+    const double tree_bytes = bytes * tree.weight / total;
+    Plan plan;
+    plan.num_chunks = chunks_for(tree_bytes);
+    plan.chunk_bytes = tree_bytes / plan.num_chunks;
+    for (const auto& hop : tree.hops) {
+      plan.state.streams.push_back(options_.stream_reuse
+                                       ? stream_for(hop.down_route, hop.depth)
+                                       : private_stream());
+    }
+    max_chunks = std::max(max_chunks, plan.num_chunks);
+    plans.push_back(std::move(plan));
+  }
+  for (int c = 0; c < max_chunks; ++c) {
+    for (std::size_t t = 0; t < trees.size(); ++t) {
+      if (c < plans[t].num_chunks) {
+        emit_broadcast_chunk(trees[t], plans[t].chunk_bytes, -1,
+                             plans[t].state);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reduce / AllReduce
+// ---------------------------------------------------------------------------
+
+int ProgramBuilder::emit_reduce_chunk(const RoutedTree& tree,
+                                      double chunk_bytes, bool with_kernels,
+                                      int chunk_ready_op, ReduceState& state) {
+  const int num_gpus = fabric_.server(tree.server).num_gpus;
+  state.ready.assign(static_cast<std::size_t>(num_gpus), chunk_ready_op);
+  std::vector<std::vector<int>> arrivals(static_cast<std::size_t>(num_gpus));
+
+  // Reverse BFS: children are fully processed before their parent's own
+  // uplink copy, so the parent's reduction can gate it.
+  for (std::size_t i = tree.hops.size(); i-- > 0;) {
+    const auto& hop = tree.hops[i];
+    const std::size_t h = i;
+    auto& child_arrivals = arrivals[static_cast<std::size_t>(hop.child)];
+    if (!child_arrivals.empty()) {
+      // Interior child: reduce its children's data with its own first.
+      if (with_kernels) {
+        // The kernel reads every child's chunk plus the local contribution.
+        const int r = reduce_kernel(
+            tree.server, hop.child,
+            chunk_bytes * static_cast<double>(child_arrivals.size() + 1),
+            child_arrivals);
+        state.ready[static_cast<std::size_t>(hop.child)] = r;
+      } else {
+        // Forward-only (no reduction function): wait for all inputs.
+        sim::Op barrier;
+        barrier.kind = sim::OpKind::kDelay;
+        barrier.stream = state.kernel_streams.count(hop.child) != 0
+                             ? state.kernel_streams[hop.child]
+                             : (state.kernel_streams[hop.child] =
+                                    private_stream());
+        barrier.deps = child_arrivals;
+        barrier.label = "join@" + std::to_string(hop.child);
+        state.ready[static_cast<std::size_t>(hop.child)] =
+            program_.add(barrier);
+      }
+    }
+    sim::Op op;
+    op.kind = sim::OpKind::kCopy;
+    op.route = hop.up_route;
+    op.bytes = chunk_bytes;
+    op.latency = fabric_.params().copy_launch_latency;
+    op.stream = state.streams[h];
+    const int ready = state.ready[static_cast<std::size_t>(hop.child)];
+    if (ready >= 0) op.deps.push_back(ready);
+    op.label = "reduce " + std::to_string(hop.child) + ">" +
+               std::to_string(hop.parent);
+    arrivals[static_cast<std::size_t>(hop.parent)].push_back(program_.add(op));
+  }
+
+  // Final reduction at the root.
+  auto& root_arrivals = arrivals[static_cast<std::size_t>(tree.root)];
+  assert(!root_arrivals.empty());
+  if (with_kernels) {
+    return reduce_kernel(
+        tree.server, tree.root,
+        chunk_bytes * static_cast<double>(root_arrivals.size() + 1),
+        root_arrivals);
+  }
+  sim::Op barrier;
+  barrier.kind = sim::OpKind::kDelay;
+  barrier.stream = state.kernel_streams.count(tree.root) != 0
+                       ? state.kernel_streams[tree.root]
+                       : (state.kernel_streams[tree.root] = private_stream());
+  barrier.deps = root_arrivals;
+  barrier.label = "join@root";
+  return program_.add(barrier);
+}
+
+std::vector<int> ProgramBuilder::tree_reduce_chunks(
+    const RoutedTree& tree, double bytes, int num_chunks, bool with_kernels,
+    std::span<const int> chunk_ready) {
+  assert(num_chunks >= 1);
+  const double chunk_bytes = bytes / num_chunks;
+  ReduceState state;
+  for (const auto& hop : tree.hops) {
+    state.streams.push_back(options_.stream_reuse
+                                ? stream_for(hop.up_route, -hop.depth - 1)
+                                : private_stream());
+  }
+  std::vector<int> root_ready(static_cast<std::size_t>(num_chunks), -1);
+  for (int c = 0; c < num_chunks; ++c) {
+    const int gate = chunk_ready.empty()
+                         ? -1
+                         : chunk_ready[static_cast<std::size_t>(c)];
+    root_ready[static_cast<std::size_t>(c)] =
+        emit_reduce_chunk(tree, chunk_bytes, with_kernels, gate, state);
+  }
+  return root_ready;
+}
+
+void ProgramBuilder::reduce(std::span<const RoutedTree> trees, double bytes) {
+  const double total = total_weight(trees);
+  assert(total > 0.0);
+  // Chunk-major interleave across trees, as in broadcast(), so shared
+  // uplinks alternate between trees instead of serializing tree by tree.
+  struct Plan {
+    double chunk_bytes;
+    int num_chunks;
+    ReduceState state;
+  };
+  std::vector<Plan> plans;
+  plans.reserve(trees.size());
+  int max_chunks = 0;
+  for (const auto& tree : trees) {
+    const double tree_bytes = bytes * tree.weight / total;
+    Plan plan;
+    plan.num_chunks = chunks_for(tree_bytes);
+    plan.chunk_bytes = tree_bytes / plan.num_chunks;
+    for (const auto& hop : tree.hops) {
+      plan.state.streams.push_back(
+          options_.stream_reuse ? stream_for(hop.up_route, -hop.depth - 1)
+                                : private_stream());
+    }
+    max_chunks = std::max(max_chunks, plan.num_chunks);
+    plans.push_back(std::move(plan));
+  }
+  for (int c = 0; c < max_chunks; ++c) {
+    for (std::size_t t = 0; t < trees.size(); ++t) {
+      if (c < plans[t].num_chunks) {
+        emit_reduce_chunk(trees[t], plans[t].chunk_bytes,
+                          /*with_kernels=*/true, -1, plans[t].state);
+      }
+    }
+  }
+}
+
+void ProgramBuilder::all_reduce(std::span<const RoutedTree> trees,
+                                double bytes) {
+  const double total = total_weight(trees);
+  assert(total > 0.0);
+
+  // §3.3: reduce toward the root on one direction of the links, broadcast
+  // the result back on the other direction of the same tree, pipelined
+  // chunk by chunk.
+  struct Plan {
+    double chunk_bytes;
+    int num_chunks;
+    ReduceState up;
+    BroadcastState down;
+  };
+  std::vector<Plan> plans;
+  plans.reserve(trees.size());
+  int max_chunks = 0;
+  for (const auto& tree : trees) {
+    const double tree_bytes = bytes * tree.weight / total;
+    Plan plan;
+    plan.num_chunks = chunks_for(tree_bytes);
+    plan.chunk_bytes = tree_bytes / plan.num_chunks;
+    for (const auto& hop : tree.hops) {
+      plan.up.streams.push_back(options_.stream_reuse
+                                    ? stream_for(hop.up_route, -hop.depth - 1)
+                                    : private_stream());
+      plan.down.streams.push_back(options_.stream_reuse
+                                      ? stream_for(hop.down_route, hop.depth)
+                                      : private_stream());
+    }
+    max_chunks = std::max(max_chunks, plan.num_chunks);
+    plans.push_back(std::move(plan));
+  }
+  for (int c = 0; c < max_chunks; ++c) {
+    for (std::size_t t = 0; t < trees.size(); ++t) {
+      auto& plan = plans[t];
+      if (c >= plan.num_chunks) continue;
+      const int root_ready = emit_reduce_chunk(
+          trees[t], plan.chunk_bytes, /*with_kernels=*/true, -1, plan.up);
+      emit_broadcast_chunk(trees[t], plan.chunk_bytes, root_ready, plan.down);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Gather / AllGather
+// ---------------------------------------------------------------------------
+
+void ProgramBuilder::gather(std::span<const RoutedTree> trees,
+                            double bytes_per_gpu) {
+  const double total = total_weight(trees);
+  assert(total > 0.0);
+
+  // Each source's buffer travels its root path, split across trees by
+  // weight; chunk-major emission interleaves sources on shared links.
+  struct SourcePlan {
+    const RoutedTree* tree;
+    std::vector<std::size_t> path_hops;  // hop indices source -> root
+    std::vector<int> path_streams;
+    double chunk_bytes;
+    int num_chunks;
+  };
+  std::vector<SourcePlan> plans;
+  int max_chunks = 0;
+  for (const auto& tree : trees) {
+    const int num_gpus = fabric_.server(tree.server).num_gpus;
+    const auto parent = parent_array(tree, num_gpus);
+    std::vector<int> hop_of_child(static_cast<std::size_t>(num_gpus), -1);
+    for (std::size_t h = 0; h < tree.hops.size(); ++h) {
+      hop_of_child[static_cast<std::size_t>(tree.hops[h].child)] =
+          static_cast<int>(h);
+    }
+    const double source_bytes = bytes_per_gpu * tree.weight / total;
+    for (const auto& hop : tree.hops) {
+      SourcePlan plan;
+      plan.tree = &tree;
+      plan.num_chunks = chunks_for(source_bytes);
+      plan.chunk_bytes = source_bytes / plan.num_chunks;
+      for (int v = hop.child; v != tree.root;
+           v = parent[static_cast<std::size_t>(v)]) {
+        const int h = hop_of_child[static_cast<std::size_t>(v)];
+        plan.path_hops.push_back(static_cast<std::size_t>(h));
+        const auto& path_hop = tree.hops[static_cast<std::size_t>(h)];
+        plan.path_streams.push_back(
+            options_.stream_reuse
+                ? stream_for(path_hop.up_route, -path_hop.depth - 1)
+                : private_stream());
+      }
+      max_chunks = std::max(max_chunks, plan.num_chunks);
+      plans.push_back(std::move(plan));
+    }
+  }
+  for (int c = 0; c < max_chunks; ++c) {
+    for (auto& plan : plans) {
+      if (c >= plan.num_chunks) continue;
+      int prev = -1;
+      for (std::size_t i = 0; i < plan.path_hops.size(); ++i) {
+        const auto& hop = plan.tree->hops[plan.path_hops[i]];
+        sim::Op op;
+        op.kind = sim::OpKind::kCopy;
+        op.route = hop.up_route;
+        op.bytes = plan.chunk_bytes;
+        op.latency = fabric_.params().copy_launch_latency;
+        op.stream = plan.path_streams[i];
+        if (prev >= 0) op.deps.push_back(prev);
+        op.label = "gather " + std::to_string(hop.child) + ">" +
+                   std::to_string(hop.parent);
+        prev = program_.add(op);
+      }
+    }
+  }
+}
+
+void ProgramBuilder::all_gather(std::span<const RoutedTree> trees,
+                                double bytes_per_gpu) {
+  // Gather to the root, then broadcast every gathered block back down; the
+  // paper treats AllGather as "AllReduce without the reduction" (§4.1), and
+  // this realizes the same two-direction flow with gather volumes.
+  const double total = total_weight(trees);
+  assert(total > 0.0);
+  for (const auto& tree : trees) {
+    const int num_gpus = fabric_.server(tree.server).num_gpus;
+    const auto parent = parent_array(tree, num_gpus);
+    std::vector<int> hop_of_child(static_cast<std::size_t>(num_gpus), -1);
+    for (std::size_t h = 0; h < tree.hops.size(); ++h) {
+      hop_of_child[static_cast<std::size_t>(tree.hops[h].child)] =
+          static_cast<int>(h);
+    }
+    const double source_bytes = bytes_per_gpu * tree.weight / total;
+    const int num_chunks = chunks_for(source_bytes);
+    const double chunk_bytes = source_bytes / num_chunks;
+
+    BroadcastState down;
+    for (const auto& hop : tree.hops) {
+      down.streams.push_back(options_.stream_reuse
+                                 ? stream_for(hop.down_route, hop.depth)
+                                 : private_stream());
+    }
+    // The root's own buffer is broadcast without an up phase.
+    for (int c = 0; c < num_chunks; ++c) {
+      emit_broadcast_chunk(tree, chunk_bytes, -1, down);
+    }
+    for (const auto& src : tree.hops) {
+      for (int c = 0; c < num_chunks; ++c) {
+        int prev = -1;
+        for (int v = src.child; v != tree.root;
+             v = parent[static_cast<std::size_t>(v)]) {
+          const auto& hop = tree.hops[static_cast<std::size_t>(
+              hop_of_child[static_cast<std::size_t>(v)])];
+          sim::Op op;
+          op.kind = sim::OpKind::kCopy;
+          op.route = hop.up_route;
+          op.bytes = chunk_bytes;
+          op.latency = fabric_.params().copy_launch_latency;
+          op.stream = options_.stream_reuse
+                          ? stream_for(hop.up_route, -hop.depth - 1)
+                          : private_stream();
+          if (prev >= 0) op.deps.push_back(prev);
+          op.label = "ag-up " + std::to_string(hop.child) + ">" +
+                     std::to_string(hop.parent);
+          prev = program_.add(op);
+        }
+        emit_broadcast_chunk(tree, chunk_bytes, prev, down);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Composition primitives
+// ---------------------------------------------------------------------------
+
+std::vector<int> ProgramBuilder::copy_chunks(const std::vector<int>& route,
+                                             double bytes, int num_chunks,
+                                             int stream_tag,
+                                             std::span<const int> chunk_ready) {
+  assert(num_chunks >= 1);
+  const double chunk_bytes = bytes / num_chunks;
+  const int stream = stream_for(route, stream_tag);
+  std::vector<int> done(static_cast<std::size_t>(num_chunks));
+  for (int c = 0; c < num_chunks; ++c) {
+    sim::Op op;
+    op.kind = sim::OpKind::kCopy;
+    op.route = route;
+    op.bytes = chunk_bytes;
+    op.latency = fabric_.params().copy_launch_latency;
+    op.stream = stream;
+    if (!chunk_ready.empty() &&
+        chunk_ready[static_cast<std::size_t>(c)] >= 0) {
+      op.deps.push_back(chunk_ready[static_cast<std::size_t>(c)]);
+    }
+    op.label = "copy";
+    done[static_cast<std::size_t>(c)] = program_.add(op);
+  }
+  return done;
+}
+
+int ProgramBuilder::reduce_kernel(int server, int gpu, double bytes,
+                                  std::vector<int> deps) {
+  sim::Op op;
+  op.kind = sim::OpKind::kReduce;
+  op.route = {fabric_.reduce_channel(server, gpu)};
+  op.bytes = bytes;
+  op.latency = fabric_.params().reduce_launch_latency;
+  // Each kernel gets its own stream: ordering comes from |deps| alone, and
+  // the GPU's reduce-engine channel arbitrates concurrent kernels. A shared
+  // per-GPU stream would false-couple independent trees into lockstep.
+  op.stream = private_stream();
+  op.deps = std::move(deps);
+  op.label = "reduce@" + std::to_string(gpu);
+  return program_.add(op);
+}
+
+int ProgramBuilder::delay(double seconds, const std::string& label,
+                          std::vector<int> deps) {
+  sim::Op op;
+  op.kind = sim::OpKind::kDelay;
+  op.latency = seconds;
+  op.stream = private_stream();
+  op.deps = std::move(deps);
+  op.label = label;
+  return program_.add(op);
+}
+
+// ---------------------------------------------------------------------------
+// Pseudo-CUDA emission
+// ---------------------------------------------------------------------------
+
+std::string emit_pseudo_cuda(const TreeSet& set,
+                             const CodeGenOptions& options) {
+  std::ostringstream os;
+  os << "// Generated by Blink CodeGen: root=" << set.root
+     << " trees=" << set.trees.size() << " rate=" << set.rate / 1e9
+     << "GB/s\n";
+  os << "extern \"C\" void blinkBroadcast(void* buf, size_t bytes) {\n";
+  double total = 0.0;
+  for (const auto& wt : set.trees) total += wt.weight;
+  for (std::size_t t = 0; t < set.trees.size(); ++t) {
+    const auto& wt = set.trees[t];
+    const double share = wt.weight / total;
+    os << "  // tree " << t << ": weight " << wt.weight / 1e9
+       << " GB/s, share " << share << "\n";
+    os << "  size_t tree" << t << "_bytes = bytes * " << share << ";\n";
+    os << "  size_t chunk = " << options.chunk_bytes << ";\n";
+    for (const int e : wt.tree.edge_ids) {
+      const auto& edge = set.graph.edge(e);
+      os << "  for (size_t off = 0; off < tree" << t
+         << "_bytes; off += chunk) {\n"
+         << "    cudaMemcpyPeerAsync(buf_d" << edge.dst << " + off, " << edge.dst
+         << ", buf_d" << edge.src << " + off, " << edge.src
+         << ", chunk, stream_t" << t << "_" << edge.src << "_" << edge.dst
+         << ");\n"
+         << "    cudaEventRecord(evt_t" << t << "_" << edge.dst
+         << ", stream_t" << t << "_" << edge.src << "_" << edge.dst << ");\n"
+         << "  }\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace blink

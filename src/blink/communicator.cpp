@@ -1,0 +1,309 @@
+#include "blink/blink/communicator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "blink/blink/dgx2.h"
+#include "blink/blink/hybrid.h"
+
+namespace blink {
+
+const char* to_string(CollectiveKind kind) {
+  switch (kind) {
+    case CollectiveKind::kBroadcast:
+      return "Broadcast";
+    case CollectiveKind::kGather:
+      return "Gather";
+    case CollectiveKind::kReduce:
+      return "Reduce";
+    case CollectiveKind::kAllReduce:
+      return "AllReduce";
+    case CollectiveKind::kAllGather:
+      return "AllGather";
+    case CollectiveKind::kReduceScatter:
+      return "ReduceScatter";
+  }
+  return "?";
+}
+
+Communicator::Communicator(topo::Topology topo, CommunicatorOptions options)
+    : topo_(std::move(topo)),
+      options_(std::move(options)),
+      fabric_(topo_, options_.fabric) {
+  std::string err;
+  if (!topo_.validate(&err)) {
+    throw std::invalid_argument("invalid topology: " + err);
+  }
+  nvlink_sets_.resize(static_cast<std::size_t>(topo_.num_gpus));
+  bidir_sets_.resize(static_cast<std::size_t>(topo_.num_gpus));
+  pcie_sets_.resize(static_cast<std::size_t>(topo_.num_gpus));
+}
+
+const TreeSet& Communicator::tree_set(int root) {
+  assert(root >= 0 && root < topo_.num_gpus);
+  auto& slot = nvlink_sets_[static_cast<std::size_t>(root)];
+  if (!slot.has_value()) {
+    TreeGenOptions opts = options_.treegen;
+    opts.link = topo::LinkType::kNVLink;
+    slot = generate_trees(topo_, root, opts);
+    if (slot->empty()) {
+      // NVLink does not connect this allocation: Blink falls back to PCIe
+      // trees entirely (the situation where NCCL collapses, Figure 2b).
+      *slot = pcie_tree_set(root);
+    }
+  }
+  return *slot;
+}
+
+const TreeSet& Communicator::bidir_tree_set(int root) {
+  assert(root >= 0 && root < topo_.num_gpus);
+  auto& slot = bidir_sets_[static_cast<std::size_t>(root)];
+  if (!slot.has_value()) {
+    TreeGenOptions opts = options_.treegen;
+    opts.link = topo::LinkType::kNVLink;
+    opts.bidirectional = true;
+    slot = generate_trees(topo_, root, opts);
+    if (slot->empty()) *slot = pcie_tree_set(root);
+  }
+  return *slot;
+}
+
+const TreeSet& Communicator::pcie_tree_set(int root) {
+  assert(root >= 0 && root < topo_.num_gpus);
+  auto& slot = pcie_sets_[static_cast<std::size_t>(root)];
+  if (!slot.has_value()) {
+    TreeGenOptions opts = options_.treegen;
+    opts.link = topo::LinkType::kPCIe;
+    slot = generate_trees(topo_, root, opts);
+  }
+  return *slot;
+}
+
+int Communicator::best_root() {
+  if (!best_root_.has_value()) {
+    int best = 0;
+    double best_rate = -1.0;
+    for (int r = 0; r < topo_.num_gpus; ++r) {
+      const double rate = tree_set(r).rate;
+      if (rate > best_rate) {
+        best_rate = rate;
+        best = r;
+      }
+    }
+    best_root_ = best;
+  }
+  return *best_root_;
+}
+
+double Communicator::dpa_latency() const {
+  return options_.dpa_base_latency +
+         options_.dpa_per_gpu_latency * topo_.num_gpus;
+}
+
+std::uint64_t Communicator::effective_chunk(CollectiveKind kind, double bytes,
+                                            int root) {
+  if (options_.codegen.chunk_bytes != 0) return options_.codegen.chunk_bytes;
+  const auto key = std::make_tuple(static_cast<int>(kind), root,
+                                   static_cast<std::uint64_t>(bytes));
+  const auto it = tuned_chunks_.find(key);
+  if (it != tuned_chunks_.end()) return it->second;
+  const MiadResult tuned = tune_chunk_size(kind, bytes, root);
+  return tuned.selected_chunk;
+}
+
+MiadResult Communicator::tune_chunk_size(CollectiveKind kind, double bytes,
+                                         int root, const MiadOptions& miad) {
+  if (root < 0) root = 0;
+  MiadResult result = blink::tune_chunk_size(
+      [&](std::uint64_t chunk) {
+        const CollectiveResult r = execute(kind, bytes, root, chunk);
+        return r.algorithm_bw;
+      },
+      miad);
+  const auto key = std::make_tuple(static_cast<int>(kind), root,
+                                   static_cast<std::uint64_t>(bytes));
+  tuned_chunks_[key] = result.selected_chunk;
+  return result;
+}
+
+double Communicator::measured_rate(const TreeSet& set, double probe_bytes) {
+  const auto key =
+      std::make_pair(&set, static_cast<std::uint64_t>(probe_bytes));
+  const auto it = measured_rates_.find(key);
+  if (it != measured_rates_.end()) return it->second;
+  ProgramBuilder builder(fabric_, options_.codegen.chunk_bytes != 0
+                                      ? options_.codegen
+                                      : CodeGenOptions{});
+  builder.broadcast(route_trees(fabric_, 0, set), probe_bytes);
+  const auto run = sim::execute(fabric_, builder.take());
+  const double rate = run.throughput(probe_bytes);
+  measured_rates_[key] = rate;
+  return rate;
+}
+
+sim::Program Communicator::build_program(CollectiveKind kind, double bytes,
+                                         int root, std::uint64_t chunk_bytes,
+                                         CollectiveResult* meta) {
+  CodeGenOptions cg = options_.codegen;
+  cg.chunk_bytes = chunk_bytes;
+  ProgramBuilder builder(fabric_, cg);
+
+  std::vector<RoutedTree> trees;
+  if (topo_.has_nvswitch) {
+    switch (kind) {
+      case CollectiveKind::kBroadcast:
+        trees = topo_.num_gpus > 2 ? dgx2_broadcast_trees(fabric_, 0, root)
+                                   : dgx2_one_hop_trees(fabric_, 0);
+        break;
+      default:
+        trees = dgx2_one_hop_trees(fabric_, 0);
+        break;
+    }
+  } else {
+    const bool many_to_many = kind == CollectiveKind::kAllReduce ||
+                              kind == CollectiveKind::kAllGather;
+    trees = route_trees(fabric_, 0,
+                        many_to_many ? bidir_tree_set(root) : tree_set(root));
+  }
+  if (trees.empty()) {
+    throw std::runtime_error("no spanning trees connect this allocation");
+  }
+  meta->num_trees = static_cast<int>(trees.size());
+
+  switch (kind) {
+    case CollectiveKind::kBroadcast: {
+      if (options_.hybrid && !topo_.has_nvswitch) {
+        const TreeSet& pcie = pcie_tree_set(root);
+        const TreeSet& nvl = tree_set(root);
+        if (!pcie.empty() && nvl.link == topo::LinkType::kNVLink) {
+          // Equation 8 with *measured* rates: the first calls into the
+          // library probe both fabrics, like the paper's empirical T_dpa.
+          // Probe the NVLink fabric at the request size (fill fraction
+          // matters) and PCIe at a fixed size (its rate is stable).
+          const double nvl_rate = measured_rate(nvl, bytes);
+          const double pcie_rate = measured_rate(pcie, 256e6);
+          auto split =
+              compute_hybrid_split(bytes, nvl_rate, pcie_rate, dpa_latency());
+          // Never regress: cap the PCIe share so that even against the
+          // un-split NVLink completion time, the PCIe side (plus the
+          // peer-access toggle) finishes first. Equation 8's equalization
+          // assumes exact rates; measured rates carry chunk-granularity
+          // noise, so we keep a safety margin.
+          const double cap =
+              0.95 * pcie_rate * std::max(0.0, bytes / nvl_rate - dpa_latency());
+          split.pcie_bytes = std::min(split.pcie_bytes, cap);
+          split.nvlink_bytes = bytes - split.pcie_bytes;
+          // Only switch fabrics when PCIe carries a meaningful share;
+          // otherwise the peer-access toggle is pure overhead.
+          if (split.pcie_bytes > std::max(0.005 * bytes, 48e6)) {
+            builder.broadcast(trees, split.nvlink_bytes);
+            const int dpa = builder.delay(dpa_latency(), "disable_peer_access");
+            const auto pcie_trees = route_trees(fabric_, 0, pcie);
+            meta->num_trees += static_cast<int>(pcie_trees.size());
+            for (const auto& tree : pcie_trees) {
+              const double tree_bytes =
+                  split.pcie_bytes * tree.weight / [&] {
+                    double t = 0.0;
+                    for (const auto& pt : pcie_trees) t += pt.weight;
+                    return t;
+                  }();
+              const int chunks = builder.chunks_for(tree_bytes);
+              const std::vector<int> gates(static_cast<std::size_t>(chunks),
+                                           dpa);
+              builder.tree_broadcast_chunks(tree, tree_bytes, chunks, gates);
+            }
+            break;
+          }
+        }
+        builder.broadcast(trees, bytes);
+        break;
+      }
+      builder.broadcast(trees, bytes);
+      break;
+    }
+    case CollectiveKind::kGather:
+      builder.gather(trees, bytes);
+      break;
+    case CollectiveKind::kReduce:
+      builder.reduce(trees, bytes);
+      break;
+    case CollectiveKind::kAllReduce:
+      builder.all_reduce(trees, bytes);
+      break;
+    case CollectiveKind::kAllGather:
+      builder.all_gather(trees, bytes);
+      break;
+    case CollectiveKind::kReduceScatter: {
+      // One shard per GPU, reduced to its owner; all shards run in one
+      // schedule and share the fabric.
+      const double shard = bytes / topo_.num_gpus;
+      if (topo_.has_nvswitch) {
+        builder.reduce(trees, bytes);  // one-hop trees already shard by root
+      } else {
+        for (int r = 0; r < topo_.num_gpus; ++r) {
+          const auto shard_trees = route_trees(fabric_, 0, tree_set(r));
+          if (!shard_trees.empty()) builder.reduce(shard_trees, shard);
+        }
+      }
+      break;
+    }
+  }
+
+  double heaviest = 0.0;
+  double total = 0.0;
+  for (const auto& t : trees) total += t.weight;
+  for (const auto& t : trees) heaviest = std::max(heaviest, t.weight);
+  meta->num_chunks = builder.chunks_for(bytes * heaviest / total);
+  return builder.take();
+}
+
+CollectiveResult Communicator::execute(CollectiveKind kind, double bytes,
+                                       int root, std::uint64_t chunk_bytes) {
+  CollectiveResult result;
+  result.bytes = bytes;
+  const sim::Program program =
+      build_program(kind, bytes, root, chunk_bytes, &result);
+  result.num_ops = static_cast<int>(program.ops().size());
+  const sim::RunResult run = sim::execute(fabric_, program);
+  result.seconds = run.makespan;
+  result.algorithm_bw = run.throughput(bytes);
+  return result;
+}
+
+CollectiveResult Communicator::run_collective(CollectiveKind kind,
+                                              double bytes, int root) {
+  const auto key = std::make_tuple(static_cast<int>(kind), root,
+                                   static_cast<std::uint64_t>(bytes));
+  if (options_.memoize) {
+    const auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+  }
+  const std::uint64_t chunk = effective_chunk(kind, bytes, root);
+  CollectiveResult result = execute(kind, bytes, root, chunk);
+  if (options_.memoize) memo_[key] = result;
+  return result;
+}
+
+CollectiveResult Communicator::broadcast(double bytes, int root) {
+  return run_collective(CollectiveKind::kBroadcast, bytes, root);
+}
+CollectiveResult Communicator::gather(double bytes, int root) {
+  return run_collective(CollectiveKind::kGather, bytes, root);
+}
+CollectiveResult Communicator::reduce(double bytes, int root) {
+  return run_collective(CollectiveKind::kReduce, bytes, root);
+}
+CollectiveResult Communicator::all_reduce(double bytes) {
+  return run_collective(CollectiveKind::kAllReduce, bytes,
+                        topo_.has_nvswitch ? 0 : best_root());
+}
+CollectiveResult Communicator::all_gather(double bytes) {
+  return run_collective(CollectiveKind::kAllGather, bytes,
+                        topo_.has_nvswitch ? 0 : best_root());
+}
+CollectiveResult Communicator::reduce_scatter(double bytes) {
+  return run_collective(CollectiveKind::kReduceScatter, bytes, 0);
+}
+
+}  // namespace blink

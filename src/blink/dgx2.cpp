@@ -1,0 +1,67 @@
+#include "blink/blink/dgx2.h"
+
+#include <cassert>
+
+namespace blink {
+
+std::vector<RoutedTree> dgx2_one_hop_trees(const sim::Fabric& fabric,
+                                           int server) {
+  const auto& t = fabric.server(server);
+  assert(t.has_nvswitch);
+  std::vector<RoutedTree> trees;
+  trees.reserve(static_cast<std::size_t>(t.num_gpus));
+  for (int root = 0; root < t.num_gpus; ++root) {
+    RoutedTree tree;
+    tree.server = server;
+    tree.root = root;
+    tree.weight = 1.0;
+    for (int leaf = 0; leaf < t.num_gpus; ++leaf) {
+      if (leaf == root) continue;
+      RoutedTree::Hop hop;
+      hop.child = leaf;
+      hop.parent = root;
+      hop.depth = 1;
+      hop.down_route = fabric.nvlink_route(server, root, leaf);
+      hop.up_route = fabric.nvlink_route(server, leaf, root);
+      tree.hops.push_back(std::move(hop));
+    }
+    trees.push_back(std::move(tree));
+  }
+  return trees;
+}
+
+std::vector<RoutedTree> dgx2_broadcast_trees(const sim::Fabric& fabric,
+                                             int server, int root) {
+  const auto& t = fabric.server(server);
+  assert(t.has_nvswitch);
+  assert(root >= 0 && root < t.num_gpus);
+  std::vector<RoutedTree> trees;
+  for (int relay = 0; relay < t.num_gpus; ++relay) {
+    if (relay == root) continue;
+    RoutedTree tree;
+    tree.server = server;
+    tree.root = root;
+    tree.weight = 1.0;
+    RoutedTree::Hop first;
+    first.child = relay;
+    first.parent = root;
+    first.depth = 1;
+    first.down_route = fabric.nvlink_route(server, root, relay);
+    first.up_route = fabric.nvlink_route(server, relay, root);
+    tree.hops.push_back(std::move(first));
+    for (int leaf = 0; leaf < t.num_gpus; ++leaf) {
+      if (leaf == root || leaf == relay) continue;
+      RoutedTree::Hop hop;
+      hop.child = leaf;
+      hop.parent = relay;
+      hop.depth = 2;
+      hop.down_route = fabric.nvlink_route(server, relay, leaf);
+      hop.up_route = fabric.nvlink_route(server, leaf, relay);
+      tree.hops.push_back(std::move(hop));
+    }
+    trees.push_back(std::move(tree));
+  }
+  return trees;
+}
+
+}  // namespace blink

@@ -1,0 +1,26 @@
+#include "blink/blink/hybrid.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace blink {
+
+HybridSplit compute_hybrid_split(double total_bytes, double nvlink_rate,
+                                 double pcie_rate, double t_dpa) {
+  assert(total_bytes >= 0.0 && t_dpa >= 0.0);
+  HybridSplit split;
+  if (pcie_rate <= 0.0 || nvlink_rate <= 0.0) {
+    split.nvlink_bytes = nvlink_rate > 0.0 ? total_bytes : 0.0;
+    split.pcie_bytes = nvlink_rate > 0.0 ? 0.0 : total_bytes;
+    return split;
+  }
+  const double denom = pcie_rate + nvlink_rate;
+  double pcie = total_bytes * pcie_rate / denom -
+                t_dpa * pcie_rate * nvlink_rate / denom;
+  pcie = std::clamp(pcie, 0.0, total_bytes);
+  split.pcie_bytes = pcie;
+  split.nvlink_bytes = total_bytes - pcie;
+  return split;
+}
+
+}  // namespace blink

@@ -1,0 +1,163 @@
+#include "blink/blink/multiserver.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "blink/blink/codegen.h"
+
+namespace blink {
+
+ClusterCommunicator::ClusterCommunicator(std::vector<topo::Topology> servers,
+                                         ClusterOptions options)
+    : servers_(std::move(servers)),
+      options_(std::move(options)),
+      fabric_(servers_, options_.fabric) {
+  if (servers_.size() < 2) {
+    throw std::invalid_argument("cluster needs at least two servers");
+  }
+  int min_gpus = servers_[0].num_gpus;
+  for (const auto& s : servers_) min_gpus = std::min(min_gpus, s.num_gpus);
+  // One partition per server-local root; every server must host a root for
+  // every partition (Figure 10 uses one partition per GPU on equal servers).
+  num_partitions_ = min_gpus;
+}
+
+int ClusterCommunicator::num_gpus() const {
+  int total = 0;
+  for (int s = 0; s < fabric_.num_servers(); ++s) {
+    total += fabric_.server(s).num_gpus;
+  }
+  return total;
+}
+
+const TreeSet& ClusterCommunicator::tree_set(int server, int root) {
+  const auto key = std::make_pair(server, root);
+  auto it = sets_.find(key);
+  if (it == sets_.end()) {
+    TreeGenOptions opts = options_.treegen;
+    opts.link = topo::LinkType::kNVLink;
+    TreeSet set =
+        generate_trees(servers_[static_cast<std::size_t>(server)], root, opts);
+    if (set.empty()) {
+      opts.link = topo::LinkType::kPCIe;
+      set = generate_trees(servers_[static_cast<std::size_t>(server)], root,
+                           opts);
+    }
+    it = sets_.emplace(key, std::move(set)).first;
+  }
+  return it->second;
+}
+
+CollectiveResult ClusterCommunicator::all_reduce(double bytes) {
+  const int k = num_partitions_;
+  const int n_srv = fabric_.num_servers();
+  const double partition_bytes = bytes / k;
+
+  ProgramBuilder builder(fabric_, options_.codegen);
+  CollectiveResult result;
+  result.bytes = bytes;
+
+  // Per (partition, server): ops whose completion means "partition reduced
+  // at this server's root".
+  std::vector<std::vector<std::vector<int>>> phase1_done(
+      static_cast<std::size_t>(k),
+      std::vector<std::vector<int>>(static_cast<std::size_t>(n_srv)));
+  std::vector<std::vector<int>> root_of(static_cast<std::size_t>(k),
+                                        std::vector<int>(
+                                            static_cast<std::size_t>(n_srv)));
+
+  // ---- Phase 1: per-server local reduce ------------------------------------
+  for (int p = 0; p < k; ++p) {
+    for (int s = 0; s < n_srv; ++s) {
+      const int root = p % fabric_.server(s).num_gpus;
+      root_of[static_cast<std::size_t>(p)][static_cast<std::size_t>(s)] = root;
+      if (fabric_.server(s).num_gpus == 1) continue;  // nothing to reduce
+      const TreeSet& set = tree_set(s, root);
+      if (set.empty()) {
+        throw std::runtime_error("server has no connected fabric");
+      }
+      const auto trees = route_trees(fabric_, s, set);
+      result.num_trees += static_cast<int>(trees.size());
+      double total_w = 0.0;
+      for (const auto& t : trees) total_w += t.weight;
+      for (const auto& tree : trees) {
+        const double tree_bytes = partition_bytes * tree.weight / total_w;
+        const int chunks = builder.chunks_for(tree_bytes);
+        auto done = builder.tree_reduce_chunks(tree, tree_bytes, chunks,
+                                               /*with_kernels=*/true);
+        auto& sink = phase1_done[static_cast<std::size_t>(p)]
+                                [static_cast<std::size_t>(s)];
+        sink.insert(sink.end(), done.begin(), done.end());
+      }
+    }
+  }
+
+  // ---- Phase 2: cross-server one-hop reduce-broadcast over NICs ------------
+  // Every per-partition root sends its partial to the other servers' roots;
+  // each root reduces the n_srv-1 partials it receives with its own.
+  std::vector<std::vector<int>> phase2_done(
+      static_cast<std::size_t>(k),
+      std::vector<int>(static_cast<std::size_t>(n_srv), -1));
+  for (int p = 0; p < k; ++p) {
+    std::vector<std::vector<int>> arrivals(static_cast<std::size_t>(n_srv));
+    for (int src = 0; src < n_srv; ++src) {
+      const auto& ready = phase1_done[static_cast<std::size_t>(p)]
+                                     [static_cast<std::size_t>(src)];
+      for (int dst = 0; dst < n_srv; ++dst) {
+        if (dst == src) continue;
+        const auto route = fabric_.nic_route(src, dst);
+        const int chunks = builder.chunks_for(partition_bytes);
+        // The transfer may start only once the whole partition is reduced
+        // locally; partitions still pipeline against each other.
+        const int join = builder.delay(0.0, "phase1-join", ready);
+        const std::vector<int> gates(static_cast<std::size_t>(chunks), join);
+        auto done = builder.copy_chunks(route, partition_bytes, chunks,
+                                        /*stream_tag=*/p * n_srv + src, gates);
+        arrivals[static_cast<std::size_t>(dst)].push_back(done.back());
+      }
+    }
+    for (int s = 0; s < n_srv; ++s) {
+      auto deps = arrivals[static_cast<std::size_t>(s)];
+      const auto& own = phase1_done[static_cast<std::size_t>(p)]
+                                   [static_cast<std::size_t>(s)];
+      if (!own.empty()) deps.push_back(own.back());
+      const int root =
+          root_of[static_cast<std::size_t>(p)][static_cast<std::size_t>(s)];
+      phase2_done[static_cast<std::size_t>(p)][static_cast<std::size_t>(s)] =
+          builder.reduce_kernel(s, root, partition_bytes * n_srv,
+                                std::move(deps));
+    }
+  }
+
+  // ---- Phase 3: per-server local broadcast ---------------------------------
+  for (int p = 0; p < k; ++p) {
+    for (int s = 0; s < n_srv; ++s) {
+      if (fabric_.server(s).num_gpus == 1) continue;
+      const int root =
+          root_of[static_cast<std::size_t>(p)][static_cast<std::size_t>(s)];
+      const TreeSet& set = tree_set(s, root);
+      const auto trees = route_trees(fabric_, s, set);
+      double total_w = 0.0;
+      for (const auto& t : trees) total_w += t.weight;
+      const int gate =
+          phase2_done[static_cast<std::size_t>(p)][static_cast<std::size_t>(s)];
+      for (const auto& tree : trees) {
+        const double tree_bytes = partition_bytes * tree.weight / total_w;
+        const int chunks = builder.chunks_for(tree_bytes);
+        const std::vector<int> gates(static_cast<std::size_t>(chunks), gate);
+        builder.tree_broadcast_chunks(tree, tree_bytes, chunks, gates);
+      }
+    }
+  }
+
+  const sim::Program program = builder.take();
+  result.num_ops = static_cast<int>(program.ops().size());
+  result.num_chunks = builder.chunks_for(partition_bytes);
+  const auto run = sim::execute(fabric_, program);
+  result.seconds = run.makespan;
+  result.algorithm_bw = run.throughput(bytes);
+  return result;
+}
+
+}  // namespace blink

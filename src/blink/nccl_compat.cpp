@@ -1,0 +1,157 @@
+#include "blink/blink/nccl_compat.h"
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "blink/topology/builders.h"
+#include "blink/topology/discovery.h"
+
+struct blinkComm {
+  std::unique_ptr<blink::Communicator> impl;
+  blink::CollectiveResult last;
+};
+
+namespace {
+
+bool build_machine(const char* machine, blink::topo::Topology* out) {
+  const std::string m = machine == nullptr ? "" : machine;
+  if (m == "dgx1p") {
+    *out = blink::topo::make_dgx1p();
+  } else if (m == "dgx1v") {
+    *out = blink::topo::make_dgx1v();
+  } else if (m == "dgx2") {
+    *out = blink::topo::make_dgx2();
+  } else {
+    return false;
+  }
+  return true;
+}
+
+template <typename Fn>
+blinkResult_t run(blinkComm_t comm, Fn&& fn) {
+  if (comm == nullptr || comm->impl == nullptr) return blinkInvalidArgument;
+  try {
+    comm->last = fn(*comm->impl);
+    return blinkSuccess;
+  } catch (const std::exception&) {
+    return blinkInternalError;
+  }
+}
+
+}  // namespace
+
+extern "C" {
+
+size_t blinkTypeSize(blinkDataType_t dtype) {
+  switch (dtype) {
+    case blinkInt8:
+    case blinkUint8:
+      return 1;
+    case blinkFloat16:
+      return 2;
+    case blinkInt32:
+    case blinkUint32:
+    case blinkFloat32:
+      return 4;
+    case blinkInt64:
+    case blinkUint64:
+    case blinkFloat64:
+      return 8;
+  }
+  return 0;
+}
+
+blinkResult_t blinkCommInitAll(blinkComm_t* comm, const char* machine,
+                               int ndev, const int* gpu_ids) {
+  if (comm == nullptr || ndev <= 0 || gpu_ids == nullptr) {
+    return blinkInvalidArgument;
+  }
+  blink::topo::Topology full;
+  if (!build_machine(machine, &full)) return blinkInvalidArgument;
+  for (int i = 0; i < ndev; ++i) {
+    if (gpu_ids[i] < 0 || gpu_ids[i] >= full.num_gpus) {
+      return blinkInvalidArgument;
+    }
+  }
+  try {
+    const std::vector<int> ids(gpu_ids, gpu_ids + ndev);
+    auto topo = blink::topo::induced_topology(full, ids);
+    auto c = std::make_unique<blinkComm>();
+    c->impl = std::make_unique<blink::Communicator>(std::move(topo));
+    *comm = c.release();
+    return blinkSuccess;
+  } catch (const std::exception&) {
+    return blinkInternalError;
+  }
+}
+
+blinkResult_t blinkCommDestroy(blinkComm_t comm) {
+  delete comm;
+  return blinkSuccess;
+}
+
+blinkResult_t blinkCommCount(blinkComm_t comm, int* count) {
+  if (comm == nullptr || count == nullptr) return blinkInvalidArgument;
+  *count = comm->impl->num_gpus();
+  return blinkSuccess;
+}
+
+blinkResult_t blinkBroadcast(const void*, void*, size_t count,
+                             blinkDataType_t dtype, int root, blinkComm_t comm,
+                             void*) {
+  if (comm != nullptr &&
+      (root < 0 || root >= comm->impl->num_gpus())) {
+    return blinkInvalidArgument;
+  }
+  const double bytes = static_cast<double>(count * blinkTypeSize(dtype));
+  return run(comm, [&](blink::Communicator& c) {
+    return c.broadcast(bytes, root);
+  });
+}
+
+blinkResult_t blinkAllReduce(const void*, void*, size_t count,
+                             blinkDataType_t dtype, blinkRedOp_t,
+                             blinkComm_t comm, void*) {
+  const double bytes = static_cast<double>(count * blinkTypeSize(dtype));
+  return run(comm,
+             [&](blink::Communicator& c) { return c.all_reduce(bytes); });
+}
+
+blinkResult_t blinkReduce(const void*, void*, size_t count,
+                          blinkDataType_t dtype, blinkRedOp_t, int root,
+                          blinkComm_t comm, void*) {
+  if (comm != nullptr &&
+      (root < 0 || root >= comm->impl->num_gpus())) {
+    return blinkInvalidArgument;
+  }
+  const double bytes = static_cast<double>(count * blinkTypeSize(dtype));
+  return run(comm,
+             [&](blink::Communicator& c) { return c.reduce(bytes, root); });
+}
+
+blinkResult_t blinkAllGather(const void*, void*, size_t sendcount,
+                             blinkDataType_t dtype, blinkComm_t comm, void*) {
+  const double bytes = static_cast<double>(sendcount * blinkTypeSize(dtype));
+  return run(comm,
+             [&](blink::Communicator& c) { return c.all_gather(bytes); });
+}
+
+blinkResult_t blinkReduceScatter(const void*, void*, size_t recvcount,
+                                 blinkDataType_t dtype, blinkRedOp_t,
+                                 blinkComm_t comm, void*) {
+  const double bytes = static_cast<double>(recvcount * blinkTypeSize(dtype));
+  return run(comm, [&](blink::Communicator& c) {
+    return c.reduce_scatter(bytes * c.num_gpus());
+  });
+}
+
+blinkResult_t blinkCommLastResult(blinkComm_t comm,
+                                  blink::CollectiveResult* result) {
+  if (comm == nullptr || result == nullptr) return blinkInvalidArgument;
+  *result = comm->last;
+  return blinkSuccess;
+}
+
+}  // extern "C"

@@ -1,0 +1,105 @@
+#include "blink/blink/treegen.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+#include <vector>
+
+namespace blink {
+namespace {
+
+// A BFS (shortest-hop) arborescence with the neighbour scan rotated by
+// |rotation|: the shallowest spanning trees the graph admits. Added to the
+// MWU candidates so the minimizer can prefer low-depth trees (§4.2.1 -- deep
+// trees pay more pipeline fill).
+std::optional<graph::Arborescence> bfs_tree(const graph::DiGraph& g, int root,
+                                            int rotation) {
+  const int n = g.num_vertices();
+  std::vector<int> in_edge(static_cast<std::size_t>(n), -1);
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  std::vector<int> frontier{root};
+  seen[static_cast<std::size_t>(root)] = true;
+  int reached = 1;
+  for (std::size_t i = 0; i < frontier.size(); ++i) {
+    const int u = frontier[i];
+    const auto& out = g.out_edges(u);
+    for (std::size_t k = 0; k < out.size(); ++k) {
+      const int e = out[(k + static_cast<std::size_t>(rotation)) % out.size()];
+      const int v = g.edge(e).dst;
+      if (!seen[static_cast<std::size_t>(v)]) {
+        seen[static_cast<std::size_t>(v)] = true;
+        in_edge[static_cast<std::size_t>(v)] = e;
+        frontier.push_back(v);
+        ++reached;
+      }
+    }
+  }
+  if (reached != n) return std::nullopt;
+  graph::Arborescence arb;
+  arb.root = root;
+  for (int v = 0; v < n; ++v) {
+    if (v != root) arb.edge_ids.push_back(in_edge[static_cast<std::size_t>(v)]);
+  }
+  std::sort(arb.edge_ids.begin(), arb.edge_ids.end());
+  return arb;
+}
+
+}  // namespace
+
+TreeSet generate_trees(const topo::Topology& topo, int root,
+                       const TreeGenOptions& options) {
+  assert(root >= 0 && root < topo.num_gpus);
+  TreeSet set;
+  set.root = root;
+  set.link = options.link;
+  set.graph = options.link == topo::LinkType::kPCIe
+                  ? graph::pcie_digraph(topo)
+                  : graph::nvlink_digraph(topo, options.bidirectional);
+  if (topo.num_gpus <= 1 || set.graph.num_edges() == 0 ||
+      !set.graph.reachable_from(root)) {
+    return set;
+  }
+
+  packing::MwuOptions mwu;
+  mwu.epsilon = options.mwu_epsilon;
+  auto packed = packing::mwu_pack(set.graph, root, mwu);
+  set.mwu_tree_count = static_cast<int>(packed.trees.size());
+
+  // Seed the candidate pool with shallow BFS trees so the minimizer can
+  // trade depth at equal rate (the LP re-derives all weights). Irrelevant
+  // when minimization is off (raw MWU ablation).
+  for (int rot = 0; options.minimize && rot < set.graph.num_vertices();
+       ++rot) {
+    if (auto arb = bfs_tree(set.graph, root, rot); arb.has_value()) {
+      bool duplicate = false;
+      for (const auto& wt : packed.trees) {
+        if (wt.tree.edge_ids == arb->edge_ids) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) packed.trees.push_back({*arb, 0.0});
+    }
+  }
+  set.optimal_rate = packing::optimal_rate(set.graph, root);
+
+  if (options.minimize) {
+    packing::MinimizeOptions min_opts;
+    min_opts.threshold = options.minimize_threshold;
+    auto minimized =
+        packing::minimize_trees(set.graph, root, packed.trees, min_opts);
+    set.trees = std::move(minimized.trees);
+    set.rate = minimized.total_rate;
+    set.stage = minimized.stage;
+    // For undirected packing the min-cut bound is loose; report the bound
+    // the minimizer measured against.
+    set.optimal_rate = minimized.optimal;
+  } else {
+    set.trees = std::move(packed.trees);
+    set.rate = packed.total_rate;
+    set.stage = packing::MinimizeStage::kRelaxed;
+  }
+  return set;
+}
+
+}  // namespace blink

@@ -1,0 +1,107 @@
+#include "blink/cluster/scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <queue>
+
+namespace blink::cluster {
+
+double AllocationStats::percent(int k) const {
+  if (multi_gpu_jobs == 0) return 0.0;
+  long placements = 0;
+  for (const long count : histogram) placements += count;
+  if (placements == 0) return 0.0;
+  return 100.0 * static_cast<double>(histogram[static_cast<std::size_t>(k)]) /
+         static_cast<double>(placements);
+}
+
+AllocationStats simulate_cluster(const SchedulerConfig& config, Rng& rng) {
+  assert(config.num_servers > 0 && config.gpus_per_server > 0);
+  AllocationStats stats;
+  stats.histogram.assign(static_cast<std::size_t>(config.gpus_per_server) + 1,
+                         0);
+
+  std::vector<int> free_gpus(static_cast<std::size_t>(config.num_servers),
+                             config.gpus_per_server);
+
+  struct Departure {
+    double time;
+    std::vector<std::pair<int, int>> placement;  // (server, gpus)
+    bool operator>(const Departure& other) const { return time > other.time; }
+  };
+  std::priority_queue<Departure, std::vector<Departure>, std::greater<>> queue;
+
+  const std::vector<double> weights{config.p_request_1, config.p_request_2,
+                                    config.p_request_4, config.p_request_8,
+                                    config.p_request_16};
+  const std::array<int, 5> sizes{1, 2, 4, 8, 16};
+
+  double now = 0.0;
+  for (int j = 0; j < config.num_jobs; ++j) {
+    now += -config.mean_interarrival * std::log(1.0 - rng.next_double());
+    while (!queue.empty() && queue.top().time <= now) {
+      for (const auto& [server, gpus] : queue.top().placement) {
+        free_gpus[static_cast<std::size_t>(server)] += gpus;
+      }
+      queue.pop();
+    }
+
+    const int request = sizes[rng.next_weighted(weights)];
+    int total_free = 0;
+    for (const int f : free_gpus) total_free += f;
+    if (total_free < request) continue;  // job queues; skip for the census
+
+    // First fit: prefer one server that can host the whole job, else pack
+    // fragments across the servers with the most free GPUs.
+    std::vector<std::pair<int, int>> placement;
+    int best = -1;
+    for (int s = 0; s < config.num_servers; ++s) {
+      const int f = free_gpus[static_cast<std::size_t>(s)];
+      if (f >= request && (best == -1 ||
+                           f < free_gpus[static_cast<std::size_t>(best)])) {
+        best = s;  // tightest fit limits future fragmentation
+      }
+    }
+    if (best != -1 && request <= config.gpus_per_server) {
+      placement.push_back({best, request});
+      free_gpus[static_cast<std::size_t>(best)] -= request;
+    } else {
+      int remaining = request;
+      std::vector<int> order(static_cast<std::size_t>(config.num_servers));
+      for (int s = 0; s < config.num_servers; ++s) {
+        order[static_cast<std::size_t>(s)] = s;
+      }
+      std::sort(order.begin(), order.end(), [&](int a, int b) {
+        return free_gpus[static_cast<std::size_t>(a)] >
+               free_gpus[static_cast<std::size_t>(b)];
+      });
+      for (const int s : order) {
+        if (remaining == 0) break;
+        const int take =
+            std::min(remaining, free_gpus[static_cast<std::size_t>(s)]);
+        if (take > 0) {
+          placement.push_back({s, take});
+          free_gpus[static_cast<std::size_t>(s)] -= take;
+          remaining -= take;
+        }
+      }
+      assert(remaining == 0);
+    }
+
+    if (request > 1) {
+      ++stats.multi_gpu_jobs;
+      if (placement.size() > 1) ++stats.fragmented_jobs;
+      for (const auto& [server, gpus] : placement) {
+        ++stats.histogram[static_cast<std::size_t>(gpus)];
+      }
+    }
+
+    const double duration =
+        -config.mean_duration * std::log(1.0 - rng.next_double());
+    queue.push({now + duration, std::move(placement)});
+  }
+  return stats;
+}
+
+}  // namespace blink::cluster

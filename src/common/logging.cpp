@@ -1,0 +1,38 @@
+#include "blink/common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace blink {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarning};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+namespace internal {
+void emit_log(LogLevel level, const std::string& message) {
+  std::fprintf(stderr, "[blink %s] %s\n", level_name(level), message.c_str());
+}
+}  // namespace internal
+
+}  // namespace blink

@@ -1,0 +1,71 @@
+#include "blink/common/rng.h"
+
+#include <cassert>
+#include <numeric>
+
+namespace blink {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  for (auto& s : s_) s = splitmix64(seed);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t n) {
+  assert(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~0ull - (~0ull % n);
+  std::uint64_t r;
+  do {
+    r = next_u64();
+  } while (r >= limit);
+  return r % n;
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+int Rng::next_int(int lo, int hi) {
+  assert(lo <= hi);
+  return lo + static_cast<int>(next_below(
+                  static_cast<std::uint64_t>(hi - lo) + 1));
+}
+
+std::size_t Rng::next_weighted(const std::vector<double>& weights) {
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  assert(total > 0.0);
+  double x = next_double() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace blink

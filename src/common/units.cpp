@@ -1,0 +1,41 @@
+#include "blink/common/units.h"
+
+#include <array>
+#include <cstdio>
+
+namespace blink {
+
+std::string format_bytes(std::uint64_t bytes) {
+  struct Scale {
+    std::uint64_t unit;
+    const char* suffix;
+  };
+  static constexpr std::array<Scale, 3> kScales{{
+      {1'000'000'000ull, "GB"},
+      {1'000'000ull, "MB"},
+      {1'000ull, "KB"},
+  }};
+  char buf[32];
+  for (const auto& s : kScales) {
+    if (bytes >= s.unit) {
+      const double v = static_cast<double>(bytes) / static_cast<double>(s.unit);
+      if (v == static_cast<std::uint64_t>(v)) {
+        std::snprintf(buf, sizeof(buf), "%llu%s",
+                      static_cast<unsigned long long>(v), s.suffix);
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.2f%s", v, s.suffix);
+      }
+      return buf;
+    }
+  }
+  std::snprintf(buf, sizeof(buf), "%lluB", static_cast<unsigned long long>(bytes));
+  return buf;
+}
+
+std::string format_throughput(double bytes_per_second) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fGB/s", bytes_per_second / kGB);
+  return buf;
+}
+
+}  // namespace blink

@@ -1,0 +1,74 @@
+#include "blink/dnn/models.h"
+
+namespace blink::dnn {
+
+double ModelSpec::fwd_seconds(GpuGeneration gen) const {
+  return gen == GpuGeneration::kV100 ? fwd_seconds_v100 : fwd_seconds_p100;
+}
+
+double ModelSpec::bwd_seconds(GpuGeneration gen) const {
+  return gen == GpuGeneration::kV100 ? bwd_seconds_v100 : bwd_seconds_p100;
+}
+
+// Bucket fractions are ordered by backward completion: output-side layers
+// (large FC blocks in AlexNet/VGG) produce gradients first.
+
+ModelSpec alexnet() {
+  ModelSpec m;
+  m.name = "AlexNet";
+  m.param_bytes = 61.1e6 * 4;  // 61.1M params
+  m.per_gpu_batch = 256;
+  m.fwd_seconds_v100 = 18e-3;
+  m.bwd_seconds_v100 = 36e-3;
+  m.fwd_seconds_p100 = 30e-3;
+  m.bwd_seconds_p100 = 60e-3;
+  // FC6/FC7 dominate (~87% of parameters) and complete early in backward.
+  m.bucket_fractions = {0.55, 0.32, 0.08, 0.05};
+  return m;
+}
+
+ModelSpec resnet18() {
+  ModelSpec m;
+  m.name = "ResNet18";
+  m.param_bytes = 11.69e6 * 4;
+  m.per_gpu_batch = 128;
+  m.fwd_seconds_v100 = 15e-3;
+  m.bwd_seconds_v100 = 30e-3;
+  m.fwd_seconds_p100 = 25e-3;
+  m.bwd_seconds_p100 = 50e-3;
+  m.bucket_fractions = {0.35, 0.30, 0.20, 0.15};
+  return m;
+}
+
+ModelSpec resnet50() {
+  ModelSpec m;
+  m.name = "ResNet50";
+  m.param_bytes = 25.56e6 * 4;
+  m.per_gpu_batch = 64;
+  m.fwd_seconds_v100 = 30e-3;
+  m.bwd_seconds_v100 = 60e-3;
+  m.fwd_seconds_p100 = 50e-3;
+  m.bwd_seconds_p100 = 100e-3;
+  m.bucket_fractions = {0.30, 0.30, 0.25, 0.15};
+  return m;
+}
+
+ModelSpec vgg16() {
+  ModelSpec m;
+  m.name = "VGG16";
+  m.param_bytes = 138.36e6 * 4;
+  m.per_gpu_batch = 64;
+  m.fwd_seconds_v100 = 45e-3;
+  m.bwd_seconds_v100 = 90e-3;
+  m.fwd_seconds_p100 = 75e-3;
+  m.bwd_seconds_p100 = 150e-3;
+  // FC6 alone holds ~74% of VGG16's parameters.
+  m.bucket_fractions = {0.74, 0.15, 0.07, 0.04};
+  return m;
+}
+
+std::vector<ModelSpec> model_zoo() {
+  return {alexnet(), resnet18(), resnet50(), vgg16()};
+}
+
+}  // namespace blink::dnn

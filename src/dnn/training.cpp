@@ -1,0 +1,49 @@
+#include "blink/dnn/training.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace blink::dnn {
+
+IterationBreakdown simulate_iteration(const ModelSpec& model,
+                                      GpuGeneration gen,
+                                      const AllReduceFn& all_reduce,
+                                      const TrainingOptions& options) {
+  assert(!model.bucket_fractions.empty());
+  const double fwd = model.fwd_seconds(gen);
+  const double bwd = model.bwd_seconds(gen);
+
+  IterationBreakdown out;
+  out.compute_seconds = fwd + bwd;
+
+  if (!options.wait_free_backprop) {
+    // Sequential: one AllReduce of the full gradient after backward.
+    out.comm_seconds = all_reduce(model.param_bytes);
+    out.exposed_comm_seconds = out.comm_seconds;
+    out.iteration_seconds = out.compute_seconds + out.comm_seconds;
+  } else {
+    // Bucket i is ready once the backward slice producing it has run;
+    // AllReduces are issued in ready order and serialize on the fabric.
+    double cumulative = 0.0;
+    double comm_free_at = 0.0;  // when the communication backend is free
+    double comm_busy = 0.0;
+    for (const double fraction : model.bucket_fractions) {
+      cumulative += fraction;
+      const double ready_at = fwd + bwd * cumulative;
+      const double duration = all_reduce(model.param_bytes * fraction);
+      comm_busy += duration;
+      comm_free_at = std::max(comm_free_at, ready_at) + duration;
+    }
+    out.comm_seconds = comm_busy;
+    out.iteration_seconds = std::max(fwd + bwd, comm_free_at);
+    out.exposed_comm_seconds = out.iteration_seconds - out.compute_seconds;
+  }
+  out.comm_fraction = out.iteration_seconds > 0.0
+                          ? out.exposed_comm_seconds / out.iteration_seconds
+                          : 0.0;
+  out.images_per_second =
+      model.per_gpu_batch * options.num_gpus / out.iteration_seconds;
+  return out;
+}
+
+}  // namespace blink::dnn

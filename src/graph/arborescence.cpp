@@ -1,0 +1,194 @@
+#include "blink/graph/arborescence.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace blink::graph {
+
+std::vector<int> Arborescence::parents(const DiGraph& g) const {
+  std::vector<int> parent(static_cast<std::size_t>(g.num_vertices()), -1);
+  for (const int id : edge_ids) {
+    parent[static_cast<std::size_t>(g.edge(id).dst)] = g.edge(id).src;
+  }
+  return parent;
+}
+
+int Arborescence::depth(const DiGraph& g) const {
+  const auto parent = parents(g);
+  int max_depth = 0;
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    int d = 0;
+    for (int u = v; parent[static_cast<std::size_t>(u)] != -1;
+         u = parent[static_cast<std::size_t>(u)]) {
+      ++d;
+    }
+    max_depth = std::max(max_depth, d);
+  }
+  return max_depth;
+}
+
+bool Arborescence::spans(const DiGraph& g) const {
+  const int n = g.num_vertices();
+  if (static_cast<int>(edge_ids.size()) != n - 1) return false;
+  std::vector<int> indeg(static_cast<std::size_t>(n), 0);
+  for (const int id : edge_ids) {
+    ++indeg[static_cast<std::size_t>(g.edge(id).dst)];
+  }
+  if (indeg[static_cast<std::size_t>(root)] != 0) return false;
+  for (int v = 0; v < n; ++v) {
+    if (v != root && indeg[static_cast<std::size_t>(v)] != 1) return false;
+  }
+  // Acyclicity + in-degree as above implies every vertex reaches the root.
+  const auto parent = parents(g);
+  for (int v = 0; v < n; ++v) {
+    int u = v;
+    int steps = 0;
+    while (u != root) {
+      u = parent[static_cast<std::size_t>(u)];
+      if (u < 0 || ++steps > n) return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+struct WorkEdge {
+  int u;
+  int v;
+  double w;
+  int parent_index;  // index into the previous contraction level's edge list
+};
+
+// One level of Chu-Liu/Edmonds: returns indices into |es| forming a minimum
+// arborescence of the current (possibly contracted) graph.
+std::optional<std::vector<int>> solve(int n, int root,
+                                      const std::vector<WorkEdge>& es) {
+  std::vector<int> best(static_cast<std::size_t>(n), -1);
+  for (int i = 0; i < static_cast<int>(es.size()); ++i) {
+    const auto& e = es[static_cast<std::size_t>(i)];
+    if (e.v == root || e.u == e.v) continue;
+    const auto vi = static_cast<std::size_t>(e.v);
+    if (best[vi] == -1 || e.w < es[static_cast<std::size_t>(best[vi])].w) {
+      best[vi] = i;
+    }
+  }
+  for (int v = 0; v < n; ++v) {
+    if (v != root && best[static_cast<std::size_t>(v)] == -1) {
+      return std::nullopt;  // v unreachable
+    }
+  }
+
+  // Detect cycles in the functional graph v -> best-in-edge source.
+  std::vector<int> comp(static_cast<std::size_t>(n), -1);
+  std::vector<int> mark(static_cast<std::size_t>(n), -1);
+  std::vector<std::vector<int>> cycles;
+  for (int v = 0; v < n; ++v) {
+    if (v == root) continue;
+    int u = v;
+    while (u != root && mark[static_cast<std::size_t>(u)] == -1 &&
+           comp[static_cast<std::size_t>(u)] == -1) {
+      mark[static_cast<std::size_t>(u)] = v;
+      u = es[static_cast<std::size_t>(best[static_cast<std::size_t>(u)])].u;
+    }
+    if (u != root && comp[static_cast<std::size_t>(u)] == -1 &&
+        mark[static_cast<std::size_t>(u)] == v) {
+      // New cycle through u.
+      std::vector<int> cyc;
+      int x = u;
+      do {
+        cyc.push_back(x);
+        comp[static_cast<std::size_t>(x)] = static_cast<int>(cycles.size());
+        x = es[static_cast<std::size_t>(best[static_cast<std::size_t>(x)])].u;
+      } while (x != u);
+      cycles.push_back(std::move(cyc));
+    }
+  }
+
+  if (cycles.empty()) {
+    std::vector<int> result;
+    result.reserve(static_cast<std::size_t>(n - 1));
+    for (int v = 0; v < n; ++v) {
+      if (v != root) result.push_back(best[static_cast<std::size_t>(v)]);
+    }
+    return result;
+  }
+
+  // Contract every cycle into a supervertex.
+  int next_id = static_cast<int>(cycles.size());
+  for (int v = 0; v < n; ++v) {
+    if (comp[static_cast<std::size_t>(v)] == -1) {
+      comp[static_cast<std::size_t>(v)] = next_id++;
+    }
+  }
+  std::vector<WorkEdge> contracted;
+  contracted.reserve(es.size());
+  for (int i = 0; i < static_cast<int>(es.size()); ++i) {
+    const auto& e = es[static_cast<std::size_t>(i)];
+    const int cu = comp[static_cast<std::size_t>(e.u)];
+    const int cv = comp[static_cast<std::size_t>(e.v)];
+    if (cu == cv) continue;
+    double w = e.w;
+    if (cv < static_cast<int>(cycles.size())) {
+      // Entering a cycle: swapping out the cycle's chosen in-edge of e.v.
+      w -= es[static_cast<std::size_t>(best[static_cast<std::size_t>(e.v)])].w;
+    }
+    contracted.push_back({cu, cv, w, i});
+  }
+
+  auto sub = solve(next_id, comp[static_cast<std::size_t>(root)], contracted);
+  if (!sub.has_value()) return std::nullopt;
+
+  // Expand: selected contracted edges map to their original edges; each
+  // cycle keeps all of its chosen in-edges except at the vertex where the
+  // selected entering edge lands.
+  std::vector<int> result;
+  std::vector<int> entered(cycles.size(), -1);  // vertex where cycle is entered
+  for (const int ci : *sub) {
+    const int orig = contracted[static_cast<std::size_t>(ci)].parent_index;
+    result.push_back(orig);
+    const int v = es[static_cast<std::size_t>(orig)].v;
+    const int c = comp[static_cast<std::size_t>(v)];
+    if (c < static_cast<int>(cycles.size())) entered[static_cast<std::size_t>(c)] = v;
+  }
+  for (std::size_t c = 0; c < cycles.size(); ++c) {
+    assert(entered[c] != -1 && "contracted solution must enter every cycle");
+    for (const int x : cycles[c]) {
+      if (x != entered[c]) {
+        result.push_back(best[static_cast<std::size_t>(x)]);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+std::optional<Arborescence> min_cost_arborescence(
+    const DiGraph& g, int root, std::span<const double> cost) {
+  assert(static_cast<int>(cost.size()) == g.num_edges());
+  assert(root >= 0 && root < g.num_vertices());
+  if (g.num_vertices() == 1) return Arborescence{root, {}};
+
+  std::vector<WorkEdge> es;
+  es.reserve(static_cast<std::size_t>(g.num_edges()));
+  for (int id = 0; id < g.num_edges(); ++id) {
+    const auto& e = g.edge(id);
+    assert(cost[static_cast<std::size_t>(id)] >= 0.0);
+    es.push_back({e.src, e.dst, cost[static_cast<std::size_t>(id)], id});
+  }
+  auto picked = solve(g.num_vertices(), root, es);
+  if (!picked.has_value()) return std::nullopt;
+
+  Arborescence arb;
+  arb.root = root;
+  arb.edge_ids.reserve(picked->size());
+  for (const int i : *picked) {
+    arb.edge_ids.push_back(es[static_cast<std::size_t>(i)].parent_index);
+  }
+  std::sort(arb.edge_ids.begin(), arb.edge_ids.end());
+  assert(arb.spans(g));
+  return arb;
+}
+
+}  // namespace blink::graph

@@ -1,0 +1,97 @@
+#include "blink/graph/binary_trees.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace blink::graph {
+
+std::vector<std::vector<int>> BinaryTree::children() const {
+  std::vector<std::vector<int>> ch(parent.size());
+  for (std::size_t v = 0; v < parent.size(); ++v) {
+    if (parent[v] >= 0) {
+      ch[static_cast<std::size_t>(parent[v])].push_back(static_cast<int>(v));
+    }
+  }
+  return ch;
+}
+
+int BinaryTree::depth() const {
+  int max_depth = 0;
+  for (std::size_t v = 0; v < parent.size(); ++v) {
+    int d = 0;
+    for (int u = static_cast<int>(v); parent[static_cast<std::size_t>(u)] >= 0;
+         u = parent[static_cast<std::size_t>(u)]) {
+      ++d;
+    }
+    max_depth = std::max(max_depth, d);
+  }
+  return max_depth;
+}
+
+bool BinaryTree::valid() const {
+  const int n = static_cast<int>(parent.size());
+  if (root < 0 || root >= n) return false;
+  if (parent[static_cast<std::size_t>(root)] != -1) return false;
+  int roots = 0;
+  for (int v = 0; v < n; ++v) {
+    if (parent[static_cast<std::size_t>(v)] == -1) {
+      ++roots;
+    } else if (parent[static_cast<std::size_t>(v)] < 0 ||
+               parent[static_cast<std::size_t>(v)] >= n) {
+      return false;
+    }
+  }
+  if (roots != 1) return false;
+  for (const auto& ch : children()) {
+    if (ch.size() > 2) return false;
+  }
+  // Each non-root must reach the root (no cycles).
+  for (int v = 0; v < n; ++v) {
+    int u = v;
+    int steps = 0;
+    while (parent[static_cast<std::size_t>(u)] != -1) {
+      u = parent[static_cast<std::size_t>(u)];
+      if (++steps > n) return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+void build_range(int lo, int hi, int parent_rank, std::vector<int>& parent) {
+  if (lo >= hi) return;
+  const int mid = lo + (hi - lo) / 2;
+  parent[static_cast<std::size_t>(mid)] = parent_rank;
+  build_range(lo, mid, mid, parent);
+  build_range(mid + 1, hi, mid, parent);
+}
+
+}  // namespace
+
+BinaryTree balanced_binary_tree(int n) {
+  assert(n >= 1);
+  BinaryTree t;
+  t.parent.assign(static_cast<std::size_t>(n), -1);
+  build_range(0, n, -1, t.parent);
+  t.root = n / 2;
+  assert(t.valid());
+  return t;
+}
+
+std::pair<BinaryTree, BinaryTree> double_binary_trees(int n) {
+  const BinaryTree t1 = balanced_binary_tree(n);
+  // Rotate ranks by one: rank r in t2 plays the role of (r+1) mod n in t1.
+  BinaryTree t2;
+  t2.parent.assign(static_cast<std::size_t>(n), -1);
+  auto rotate = [n](int r) { return (r + n - 1) % n; };
+  for (int v = 0; v < n; ++v) {
+    const int p = t1.parent[static_cast<std::size_t>((v + 1) % n)];
+    t2.parent[static_cast<std::size_t>(v)] = p == -1 ? -1 : rotate(p);
+  }
+  t2.root = rotate(t1.root);
+  assert(t2.valid());
+  return {t1, t2};
+}
+
+}  // namespace blink::graph

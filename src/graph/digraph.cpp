@@ -1,0 +1,114 @@
+#include "blink/graph/digraph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace blink::graph {
+
+DiGraph::DiGraph(int num_vertices)
+    : n_(num_vertices),
+      out_(static_cast<std::size_t>(num_vertices)),
+      in_(static_cast<std::size_t>(num_vertices)) {
+  assert(num_vertices > 0);
+}
+
+int DiGraph::add_edge(int src, int dst, double capacity, int lanes,
+                      int group) {
+  assert(src >= 0 && src < n_ && dst >= 0 && dst < n_ && src != dst);
+  assert(capacity > 0.0 && lanes > 0);
+  assert(group < num_groups_);
+  const int id = static_cast<int>(edges_.size());
+  if (group < 0) group = num_groups_++;
+  edges_.push_back({src, dst, capacity, lanes, group});
+  out_[static_cast<std::size_t>(src)].push_back(id);
+  in_[static_cast<std::size_t>(dst)].push_back(id);
+  return id;
+}
+
+std::vector<double> DiGraph::group_capacities() const {
+  std::vector<double> caps(static_cast<std::size_t>(num_groups_), 0.0);
+  for (const auto& e : edges_) {
+    caps[static_cast<std::size_t>(e.group)] = e.capacity;
+  }
+  return caps;
+}
+
+bool DiGraph::has_shared_groups() const {
+  return num_groups_ < static_cast<int>(edges_.size());
+}
+
+bool DiGraph::reachable_from(int root) const {
+  std::vector<bool> seen(static_cast<std::size_t>(n_), false);
+  std::vector<int> stack{root};
+  seen[static_cast<std::size_t>(root)] = true;
+  int count = 1;
+  while (!stack.empty()) {
+    const int u = stack.back();
+    stack.pop_back();
+    for (const int id : out_edges(u)) {
+      const int v = edge(id).dst;
+      if (!seen[static_cast<std::size_t>(v)]) {
+        seen[static_cast<std::size_t>(v)] = true;
+        ++count;
+        stack.push_back(v);
+      }
+    }
+  }
+  return count == n_;
+}
+
+std::string DiGraph::describe() const {
+  std::ostringstream os;
+  os << "digraph n=" << n_ << " m=" << edges_.size();
+  for (const auto& e : edges_) {
+    os << " " << e.src << "->" << e.dst << "(" << e.capacity / 1e9 << "GB/s)";
+  }
+  return os.str();
+}
+
+DiGraph nvlink_digraph(const topo::Topology& topo, bool undirected_capacity) {
+  DiGraph g(topo.num_gpus);
+  if (topo.has_nvswitch) {
+    // Logical full mesh; the crossbar is non-blocking, so pairwise capacity
+    // is bounded only by the per-GPU pipe.
+    for (int a = 0; a < topo.num_gpus; ++a) {
+      for (int b = 0; b < topo.num_gpus; ++b) {
+        if (a != b) g.add_edge(a, b, topo.nvswitch_gpu_bw, 6);
+      }
+    }
+    return g;
+  }
+  for (const auto& e : topo.nvlinks) {
+    const double cap = e.lanes * topo.nvlink_lane_bw;
+    const int forward = g.add_edge(e.a, e.b, cap, e.lanes);
+    g.add_edge(e.b, e.a, cap, e.lanes,
+               undirected_capacity ? g.edge(forward).group : -1);
+  }
+  return g;
+}
+
+DiGraph pcie_digraph(const topo::Topology& topo, double staging_bw) {
+  DiGraph g(topo.num_gpus);
+  const auto& pcie = topo.pcie;
+  if (pcie.plx_of_gpu.empty()) return g;
+  for (int a = 0; a < topo.num_gpus; ++a) {
+    for (int b = 0; b < topo.num_gpus; ++b) {
+      if (a == b) continue;
+      const int plx_a = pcie.plx_of_gpu[static_cast<std::size_t>(a)];
+      const int plx_b = pcie.plx_of_gpu[static_cast<std::size_t>(b)];
+      double cap = pcie.gpu_bw;
+      if (plx_a != plx_b) {
+        // Host-staged: PLX segments, possibly QPI, and the staging buffer.
+        cap = std::min({cap, pcie.plx_bw, staging_bw});
+        const int cpu_a = pcie.cpu_of_plx[static_cast<std::size_t>(plx_a)];
+        const int cpu_b = pcie.cpu_of_plx[static_cast<std::size_t>(plx_b)];
+        if (cpu_a != cpu_b) cap = std::min(cap, pcie.qpi_bw);
+      }
+      g.add_edge(a, b, cap, 1);
+    }
+  }
+  return g;
+}
+
+}  // namespace blink::graph

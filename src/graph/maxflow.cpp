@@ -1,0 +1,116 @@
+#include "blink/graph/maxflow.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <queue>
+
+namespace blink::graph {
+namespace {
+
+// Residual-graph Dinic with double capacities. Graph sizes here are tiny
+// (<= 16 vertices), so we rebuild the residual structure per call.
+class Dinic {
+ public:
+  explicit Dinic(int n) : n_(n), head_(static_cast<std::size_t>(n)) {}
+
+  void add_edge(int u, int v, double cap) {
+    head_[static_cast<std::size_t>(u)].push_back(
+        static_cast<int>(arcs_.size()));
+    arcs_.push_back({v, cap});
+    head_[static_cast<std::size_t>(v)].push_back(
+        static_cast<int>(arcs_.size()));
+    arcs_.push_back({u, 0.0});
+  }
+
+  double run(int s, int t) {
+    double flow = 0.0;
+    while (bfs(s, t)) {
+      iter_.assign(static_cast<std::size_t>(n_), 0);
+      while (true) {
+        const double f = dfs(s, t, std::numeric_limits<double>::infinity());
+        if (f <= kEps) break;
+        flow += f;
+      }
+    }
+    return flow;
+  }
+
+ private:
+  static constexpr double kEps = 1e-6;  // bytes/s; capacities are ~1e9-1e11
+
+  struct Arc {
+    int to;
+    double cap;
+  };
+
+  bool bfs(int s, int t) {
+    level_.assign(static_cast<std::size_t>(n_), -1);
+    std::queue<int> q;
+    q.push(s);
+    level_[static_cast<std::size_t>(s)] = 0;
+    while (!q.empty()) {
+      const int u = q.front();
+      q.pop();
+      for (const int a : head_[static_cast<std::size_t>(u)]) {
+        const auto& arc = arcs_[static_cast<std::size_t>(a)];
+        if (arc.cap > kEps && level_[static_cast<std::size_t>(arc.to)] < 0) {
+          level_[static_cast<std::size_t>(arc.to)] =
+              level_[static_cast<std::size_t>(u)] + 1;
+          q.push(arc.to);
+        }
+      }
+    }
+    return level_[static_cast<std::size_t>(t)] >= 0;
+  }
+
+  double dfs(int u, int t, double limit) {
+    if (u == t) return limit;
+    auto& it = iter_[static_cast<std::size_t>(u)];
+    for (; it < static_cast<int>(head_[static_cast<std::size_t>(u)].size());
+         ++it) {
+      const int a = head_[static_cast<std::size_t>(u)][static_cast<std::size_t>(it)];
+      auto& arc = arcs_[static_cast<std::size_t>(a)];
+      if (arc.cap <= kEps ||
+          level_[static_cast<std::size_t>(arc.to)] !=
+              level_[static_cast<std::size_t>(u)] + 1) {
+        continue;
+      }
+      const double f = dfs(arc.to, t, std::min(limit, arc.cap));
+      if (f > kEps) {
+        arc.cap -= f;
+        arcs_[static_cast<std::size_t>(a ^ 1)].cap += f;
+        return f;
+      }
+    }
+    return 0.0;
+  }
+
+  int n_;
+  std::vector<std::vector<int>> head_;
+  std::vector<Arc> arcs_;
+  std::vector<int> level_;
+  std::vector<int> iter_;
+};
+
+}  // namespace
+
+double max_flow(const DiGraph& g, int s, int t) {
+  assert(s != t);
+  Dinic dinic(g.num_vertices());
+  for (const auto& e : g.edges()) {
+    dinic.add_edge(e.src, e.dst, e.capacity);
+  }
+  return dinic.run(s, t);
+}
+
+double broadcast_rate_upper_bound(const DiGraph& g, int root) {
+  double rate = std::numeric_limits<double>::infinity();
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    if (v == root) continue;
+    rate = std::min(rate, max_flow(g, root, v));
+  }
+  return g.num_vertices() == 1 ? 0.0 : rate;
+}
+
+}  // namespace blink::graph

@@ -1,0 +1,141 @@
+#include "blink/graph/rings.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace blink::graph {
+namespace {
+
+using LaneMatrix = std::vector<std::vector<int>>;
+
+LaneMatrix lane_matrix(const topo::Topology& topo) {
+  const auto n = static_cast<std::size_t>(topo.num_gpus);
+  LaneMatrix m(n, std::vector<int>(n, 0));
+  for (const auto& e : topo.nvlinks) {
+    m[static_cast<std::size_t>(e.a)][static_cast<std::size_t>(e.b)] += e.lanes;
+    m[static_cast<std::size_t>(e.b)][static_cast<std::size_t>(e.a)] += e.lanes;
+  }
+  return m;
+}
+
+void enumerate_rec(const LaneMatrix& m, std::vector<int>& path,
+                   std::vector<bool>& used, std::vector<Ring>& out) {
+  const int n = static_cast<int>(m.size());
+  if (static_cast<int>(path.size()) == n) {
+    if (m[static_cast<std::size_t>(path.back())][0] > 0) {
+      out.push_back({path});
+    }
+    return;
+  }
+  const int last = path.back();
+  for (int v = 1; v < n; ++v) {
+    if (used[static_cast<std::size_t>(v)] ||
+        m[static_cast<std::size_t>(last)][static_cast<std::size_t>(v)] == 0) {
+      continue;
+    }
+    path.push_back(v);
+    used[static_cast<std::size_t>(v)] = true;
+    enumerate_rec(m, path, used, out);
+    used[static_cast<std::size_t>(v)] = false;
+    path.pop_back();
+  }
+}
+
+// Per-edge lane usage of a cycle.
+void apply_cycle(LaneMatrix& m, const Ring& r, int delta) {
+  const int n = static_cast<int>(r.order.size());
+  for (int i = 0; i < n; ++i) {
+    const auto a = static_cast<std::size_t>(r.order[static_cast<std::size_t>(i)]);
+    const auto b = static_cast<std::size_t>(
+        r.order[static_cast<std::size_t>((i + 1) % n)]);
+    m[a][b] += delta;
+    m[b][a] += delta;
+  }
+}
+
+bool cycle_fits(const LaneMatrix& m, const Ring& r) {
+  const int n = static_cast<int>(r.order.size());
+  for (int i = 0; i < n; ++i) {
+    const auto a = static_cast<std::size_t>(r.order[static_cast<std::size_t>(i)]);
+    const auto b = static_cast<std::size_t>(
+        r.order[static_cast<std::size_t>((i + 1) % n)]);
+    if (m[a][b] <= 0) return false;
+  }
+  return true;
+}
+
+// Upper bound on additional rings: every ring consumes two lanes at each
+// vertex, so no more than min_v floor(remaining_degree(v) / 2) can fit.
+int degree_bound(const LaneMatrix& m) {
+  int bound = static_cast<int>(m.size());
+  for (const auto& row : m) {
+    int deg = 0;
+    for (const int lanes : row) deg += lanes;
+    bound = std::min(bound, deg / 2);
+  }
+  return bound;
+}
+
+// Branch-and-bound set packing with a step budget: the bound is usually
+// tight enough to finish instantly on DGX topologies; the budget caps dense
+// synthetic cliques where the cycle space is large.
+void pack_rec(LaneMatrix& m, const std::vector<Ring>& cycles,
+              std::size_t first, std::vector<std::size_t>& chosen,
+              std::vector<std::size_t>& best, long& budget) {
+  if (chosen.size() > best.size()) best = chosen;
+  if (--budget <= 0) return;
+  if (chosen.size() + static_cast<std::size_t>(degree_bound(m)) <=
+      best.size()) {
+    return;
+  }
+  for (std::size_t c = first; c < cycles.size(); ++c) {
+    if (!cycle_fits(m, cycles[c])) continue;
+    apply_cycle(m, cycles[c], -1);
+    chosen.push_back(c);
+    pack_rec(m, cycles, c, chosen, best, budget);  // cycles may repeat on lanes
+    chosen.pop_back();
+    apply_cycle(m, cycles[c], +1);
+    if (budget <= 0) return;
+  }
+}
+
+}  // namespace
+
+std::vector<Ring> enumerate_hamiltonian_cycles(const topo::Topology& topo) {
+  std::vector<Ring> out;
+  if (topo.num_gpus < 3 || topo.nvlinks.empty()) return out;
+  const auto m = lane_matrix(topo);
+  std::vector<int> path{0};
+  std::vector<bool> used(static_cast<std::size_t>(topo.num_gpus), false);
+  used[0] = true;
+  enumerate_rec(m, path, used, out);
+  // Remove reflected duplicates (cycle equals its own reverse traversal).
+  std::vector<Ring> dedup;
+  for (auto& r : out) {
+    const std::size_t n = r.order.size();
+    if (r.order[1] <= r.order[n - 1]) dedup.push_back(std::move(r));
+  }
+  return dedup;
+}
+
+std::vector<Ring> max_disjoint_rings(const topo::Topology& topo) {
+  if (topo.num_gpus == 2) {
+    // Degenerate 2-GPU "ring" = the pair itself, one per lane.
+    const int lanes = topo.lanes_between(0, 1);
+    return std::vector<Ring>(static_cast<std::size_t>(lanes),
+                             Ring{{0, 1}});
+  }
+  const auto cycles = enumerate_hamiltonian_cycles(topo);
+  if (cycles.empty()) return {};
+  auto m = lane_matrix(topo);
+  std::vector<std::size_t> chosen;
+  std::vector<std::size_t> best;
+  long budget = 500'000;
+  pack_rec(m, cycles, 0, chosen, best, budget);
+  std::vector<Ring> result;
+  result.reserve(best.size());
+  for (const std::size_t c : best) result.push_back(cycles[c]);
+  return result;
+}
+
+}  // namespace blink::graph

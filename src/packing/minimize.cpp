@@ -1,0 +1,169 @@
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "blink/packing/packing.h"
+#include "blink/solver/ilp.h"
+
+namespace blink::packing {
+namespace {
+
+// LP: max sum(w) s.t. per-capacity-group budgets, over |candidates|.
+solver::LpProblem fractional_lp(const graph::DiGraph& g,
+                                const std::vector<WeightedTree>& candidates) {
+  solver::LpProblem lp;
+  lp.c.assign(candidates.size(), 1.0);
+  lp.a.assign(static_cast<std::size_t>(g.num_groups()),
+              std::vector<double>(candidates.size(), 0.0));
+  const auto caps = g.group_capacities();
+  lp.b.assign(caps.begin(), caps.end());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    for (const int e : candidates[i].tree.edge_ids) {
+      lp.a[static_cast<std::size_t>(g.edge(e).group)][i] += 1.0;
+    }
+  }
+  return lp;
+}
+
+std::vector<WeightedTree> trees_from_lp(
+    const std::vector<WeightedTree>& candidates, const std::vector<double>& w,
+    double min_weight) {
+  std::vector<WeightedTree> out;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (w[i] > min_weight) out.push_back({candidates[i].tree, w[i]});
+  }
+  return out;
+}
+
+double total_weight(const std::vector<WeightedTree>& trees) {
+  double total = 0.0;
+  for (const auto& wt : trees) total += wt.weight;
+  return total;
+}
+
+}  // namespace
+
+MinimizeResult minimize_trees(const graph::DiGraph& g, int root,
+                              const std::vector<WeightedTree>& candidates,
+                              const MinimizeOptions& options) {
+  MinimizeResult result;
+  result.optimal = optimal_rate(g, root);
+  if (candidates.empty() || result.optimal <= 0.0) return result;
+
+  // Restrict to the support of the fractional LP optimum first: a basic
+  // optimal solution uses at most |groups| trees, which keeps the ILP small
+  // while preserving the achievable rate.
+  const auto full_lp = fractional_lp(g, candidates);
+  auto full_sol = solver::solve_lp(full_lp);
+  assert(full_sol.status == solver::LpStatus::kOptimal);
+  if (g.has_shared_groups()) {
+    // Undirected packing (§3.3): Edmonds' min-cut bound is not tight
+    // (Nash-Williams/Tutte governs); measure against the best known packing.
+    result.optimal = full_sol.objective;
+  }
+  const double target = (1.0 - options.threshold) * result.optimal;
+  const std::vector<WeightedTree> support =
+      trees_from_lp(candidates, full_sol.x, 1e-9);
+  if (support.empty()) return result;
+
+  // ---- Stage 1: the §3.2.1 ILP with unit weights ---------------------------
+  double unit = options.unit;
+  if (unit <= 0.0) {
+    unit = std::numeric_limits<double>::infinity();
+    for (const auto& wt : support) {
+      for (const int e : wt.tree.edge_ids) {
+        unit = std::min(unit, g.edge(e).capacity);
+      }
+    }
+  }
+
+  // Each candidate may be selected multiple times if its bottleneck edge has
+  // headroom (a tree over doubled NVLink lanes can carry two units); expand
+  // copies into separate 0/1 variables.
+  std::vector<std::size_t> var_tree;
+  for (std::size_t i = 0; i < support.size(); ++i) {
+    double bottleneck = std::numeric_limits<double>::infinity();
+    for (const int e : support[i].tree.edge_ids) {
+      bottleneck = std::min(bottleneck, g.edge(e).capacity);
+    }
+    const int copies =
+        std::max(1, static_cast<int>(std::floor(bottleneck / unit + 1e-9)));
+    for (int c = 0; c < copies; ++c) var_tree.push_back(i);
+  }
+
+  solver::LpProblem ilp;
+  ilp.c.resize(var_tree.size());
+  for (std::size_t v = 0; v < var_tree.size(); ++v) {
+    const double depth = support[var_tree[v]].tree.depth(g);
+    ilp.c[v] = std::max(
+        0.0, 1.0 - options.depth_penalty * depth / g.num_vertices());
+  }
+  ilp.a.assign(static_cast<std::size_t>(g.num_groups()),
+               std::vector<double>(var_tree.size(), 0.0));
+  const auto group_caps = g.group_capacities();
+  ilp.b.resize(static_cast<std::size_t>(g.num_groups()));
+  for (int grp = 0; grp < g.num_groups(); ++grp) {
+    ilp.b[static_cast<std::size_t>(grp)] =
+        group_caps[static_cast<std::size_t>(grp)] / unit;
+  }
+  for (std::size_t v = 0; v < var_tree.size(); ++v) {
+    for (const int e : support[var_tree[v]].tree.edge_ids) {
+      ilp.a[static_cast<std::size_t>(g.edge(e).group)][v] += 1.0;
+    }
+  }
+  const auto ilp_sol = solver::solve_01(ilp, {options.ilp_max_nodes});
+
+  double ilp_rate = 0.0;
+  for (std::size_t v = 0; v < var_tree.size(); ++v) {
+    if (ilp_sol.feasible && ilp_sol.x[v] > 0.5) ilp_rate += unit;
+  }
+  if (ilp_sol.feasible && ilp_rate >= target) {
+    // Merge selected copies back into per-tree weights.
+    std::vector<double> weight(support.size(), 0.0);
+    for (std::size_t v = 0; v < var_tree.size(); ++v) {
+      if (ilp_sol.x[v] > 0.5) weight[var_tree[v]] += unit;
+    }
+    result.trees = trees_from_lp(support, weight, 0.0);
+    result.total_rate = total_weight(result.trees);
+    result.stage = MinimizeStage::kIlp;
+    assert(respects_capacities(g, result.trees));
+    return result;
+  }
+
+  // ---- Stage 2: relax to fractional weights (§3.2.1 iterative relaxation) --
+  auto trees = support;
+  const double lp_objective = full_sol.objective;
+
+  // Prune lightest trees while the remaining support still reaches the
+  // target rate (re-solving the LP on the reduced support each time).
+  bool pruned = true;
+  while (pruned && trees.size() > 1) {
+    pruned = false;
+    std::sort(trees.begin(), trees.end(),
+              [](const WeightedTree& a, const WeightedTree& b) {
+                return a.weight < b.weight;
+              });
+    for (std::size_t drop = 0; drop < trees.size(); ++drop) {
+      std::vector<WeightedTree> reduced;
+      for (std::size_t i = 0; i < trees.size(); ++i) {
+        if (i != drop) reduced.push_back(trees[i]);
+      }
+      const auto sub_lp = fractional_lp(g, reduced);
+      auto sub_sol = solver::solve_lp(sub_lp);
+      if (sub_sol.objective + 1e-9 >= std::min(target, lp_objective)) {
+        trees = trees_from_lp(reduced, sub_sol.x, 1e-9);
+        pruned = true;
+        break;
+      }
+    }
+  }
+
+  result.trees = std::move(trees);
+  result.total_rate = total_weight(result.trees);
+  result.stage = MinimizeStage::kRelaxed;
+  assert(respects_capacities(g, result.trees));
+  return result;
+}
+
+}  // namespace blink::packing

@@ -1,0 +1,59 @@
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "blink/graph/maxflow.h"
+#include "blink/packing/packing.h"
+
+namespace blink::packing {
+
+double optimal_rate(const graph::DiGraph& g, int root) {
+  return graph::broadcast_rate_upper_bound(g, root);
+}
+
+namespace {
+
+// Load per capacity group (both directions of a shared bundle accumulate
+// into one budget).
+std::vector<double> group_loads(const graph::DiGraph& g,
+                                const std::vector<WeightedTree>& trees) {
+  std::vector<double> load(static_cast<std::size_t>(g.num_groups()), 0.0);
+  for (const auto& wt : trees) {
+    for (const int e : wt.tree.edge_ids) {
+      load[static_cast<std::size_t>(g.edge(e).group)] += wt.weight;
+    }
+  }
+  return load;
+}
+
+}  // namespace
+
+bool respects_capacities(const graph::DiGraph& g,
+                         const std::vector<WeightedTree>& trees,
+                         double tolerance) {
+  const auto load = group_loads(g, trees);
+  const auto caps = g.group_capacities();
+  for (int grp = 0; grp < g.num_groups(); ++grp) {
+    if (load[static_cast<std::size_t>(grp)] >
+        caps[static_cast<std::size_t>(grp)] * (1.0 + tolerance)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double tighten_factor(const graph::DiGraph& g,
+                      const std::vector<WeightedTree>& trees) {
+  const auto load = group_loads(g, trees);
+  const auto caps = g.group_capacities();
+  double factor = std::numeric_limits<double>::infinity();
+  for (int grp = 0; grp < g.num_groups(); ++grp) {
+    const double l = load[static_cast<std::size_t>(grp)];
+    if (l > 0.0) {
+      factor = std::min(factor, caps[static_cast<std::size_t>(grp)] / l);
+    }
+  }
+  return std::isfinite(factor) ? factor : 1.0;
+}
+
+}  // namespace blink::packing

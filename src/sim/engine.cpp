@@ -1,0 +1,75 @@
+#include "blink/sim/engine.h"
+
+#include <cassert>
+#include <limits>
+
+namespace blink::sim {
+
+std::vector<double> max_min_rates(std::span<const double> channel_capacity,
+                                  std::span<const FlowSpec> flows) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const std::size_t num_channels = channel_capacity.size();
+  const std::size_t num_flows = flows.size();
+
+  std::vector<double> rate(num_flows, -1.0);
+  std::vector<double> remaining(channel_capacity.begin(),
+                                channel_capacity.end());
+  std::vector<int> unset_on(num_channels, 0);
+  for (const auto& f : flows) {
+    for (const int c : f.route) {
+      assert(c >= 0 && static_cast<std::size_t>(c) < num_channels);
+      ++unset_on[static_cast<std::size_t>(c)];
+    }
+  }
+
+  std::size_t flows_left = 0;
+  for (std::size_t i = 0; i < num_flows; ++i) {
+    if (flows[i].route.empty()) {
+      rate[i] = kInf;
+    } else {
+      ++flows_left;
+    }
+  }
+
+  // Progressive filling: repeatedly saturate the channel offering the
+  // smallest fair share and freeze the flows crossing it.
+  while (flows_left > 0) {
+    double fill = kInf;
+    for (std::size_t c = 0; c < num_channels; ++c) {
+      if (unset_on[c] > 0) {
+        fill = std::min(fill, remaining[c] / unset_on[c]);
+      }
+    }
+    assert(fill < kInf && "unset flows must cross some channel");
+    fill = std::max(fill, 0.0);
+
+    bool froze_any = false;
+    for (std::size_t i = 0; i < num_flows; ++i) {
+      if (rate[i] >= 0.0) continue;
+      bool bottlenecked = false;
+      for (const int c : flows[i].route) {
+        const auto cu = static_cast<std::size_t>(c);
+        // Channels whose fair share equals the fill level saturate now.
+        if (remaining[cu] - fill * unset_on[cu] <= 1e-9 * remaining[cu] + 1e-6) {
+          bottlenecked = true;
+          break;
+        }
+      }
+      if (!bottlenecked) continue;
+      rate[i] = fill;
+      froze_any = true;
+      --flows_left;
+      for (const int c : flows[i].route) {
+        const auto cu = static_cast<std::size_t>(c);
+        remaining[cu] -= fill;
+        if (remaining[cu] < 0.0) remaining[cu] = 0.0;
+        --unset_on[cu];
+      }
+    }
+    assert(froze_any && "progressive filling must make progress");
+    if (!froze_any) break;  // defensive: avoid infinite loop in release builds
+  }
+  return rate;
+}
+
+}  // namespace blink::sim

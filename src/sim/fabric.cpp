@@ -1,0 +1,195 @@
+#include "blink/sim/fabric.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace blink::sim {
+
+Fabric::Fabric(const topo::Topology& topo, const FabricParams& params)
+    : Fabric(std::vector<topo::Topology>{topo}, params) {}
+
+Fabric::Fabric(const std::vector<topo::Topology>& servers,
+               const FabricParams& params)
+    : params_(params), servers_(servers) {
+  if (servers_.empty()) {
+    throw std::invalid_argument("fabric needs at least one server");
+  }
+  ch_.resize(servers_.size());
+  for (int s = 0; s < num_servers(); ++s) {
+    std::string err;
+    if (!servers_[static_cast<std::size_t>(s)].validate(&err)) {
+      throw std::invalid_argument("invalid topology: " + err);
+    }
+    build_server(s);
+  }
+}
+
+int Fabric::add_channel(std::string name, double capacity) {
+  assert(capacity > 0.0);
+  const int id = static_cast<int>(capacity_.size());
+  capacity_.push_back(capacity);
+  name_.push_back(std::move(name));
+  return id;
+}
+
+void Fabric::build_server(int s) {
+  const auto& t = servers_[static_cast<std::size_t>(s)];
+  auto& ch = ch_[static_cast<std::size_t>(s)];
+  const auto prefix = "s" + std::to_string(s) + ".";
+  const auto n = static_cast<std::size_t>(t.num_gpus);
+
+  ch.nvlink_dir.assign(n, std::vector<int>(n, -1));
+  for (const auto& e : t.nvlinks) {
+    const double cap = e.lanes * t.nvlink_lane_bw;
+    const auto a = static_cast<std::size_t>(e.a);
+    const auto b = static_cast<std::size_t>(e.b);
+    // Bundles between a pair are unique per builder convention; sum lanes if
+    // a custom topology lists duplicates.
+    if (ch.nvlink_dir[a][b] == -1) {
+      ch.nvlink_dir[a][b] = add_channel(
+          prefix + "nvl." + std::to_string(e.a) + ">" + std::to_string(e.b),
+          cap);
+      ch.nvlink_dir[b][a] = add_channel(
+          prefix + "nvl." + std::to_string(e.b) + ">" + std::to_string(e.a),
+          cap);
+    } else {
+      capacity_[static_cast<std::size_t>(ch.nvlink_dir[a][b])] += cap;
+      capacity_[static_cast<std::size_t>(ch.nvlink_dir[b][a])] += cap;
+    }
+  }
+
+  if (t.has_nvswitch) {
+    for (std::size_t g = 0; g < n; ++g) {
+      ch.nvswitch_out.push_back(add_channel(
+          prefix + "nvsw.out" + std::to_string(g), t.nvswitch_gpu_bw));
+      ch.nvswitch_in.push_back(add_channel(
+          prefix + "nvsw.in" + std::to_string(g), t.nvswitch_gpu_bw));
+    }
+  }
+
+  if (!t.pcie.plx_of_gpu.empty()) {
+    for (std::size_t g = 0; g < n; ++g) {
+      ch.gpu_up.push_back(
+          add_channel(prefix + "pcie.up" + std::to_string(g), t.pcie.gpu_bw));
+      ch.gpu_down.push_back(add_channel(
+          prefix + "pcie.down" + std::to_string(g), t.pcie.gpu_bw));
+    }
+    const auto num_plx = static_cast<std::size_t>(t.pcie.cpu_of_plx.size());
+    for (std::size_t p = 0; p < num_plx; ++p) {
+      ch.plx_up.push_back(
+          add_channel(prefix + "plx.up" + std::to_string(p), t.pcie.plx_bw));
+      ch.plx_down.push_back(add_channel(
+          prefix + "plx.down" + std::to_string(p), t.pcie.plx_bw));
+    }
+    const int cpus = t.pcie.num_cpus();
+    ch.qpi.assign(static_cast<std::size_t>(cpus),
+                  std::vector<int>(static_cast<std::size_t>(cpus), -1));
+    for (int a = 0; a < cpus; ++a) {
+      for (int b = 0; b < cpus; ++b) {
+        if (a != b) {
+          ch.qpi[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] =
+              add_channel(prefix + "qpi." + std::to_string(a) + ">" +
+                              std::to_string(b),
+                          t.pcie.qpi_bw);
+        }
+      }
+    }
+    for (int c = 0; c < cpus; ++c) {
+      ch.sysmem.push_back(
+          add_channel(prefix + "sysmem" + std::to_string(c),
+                      params_.sysmem_bw));
+    }
+  }
+
+  for (std::size_t g = 0; g < n; ++g) {
+    ch.reduce.push_back(
+        add_channel(prefix + "reduce" + std::to_string(g), params_.reduce_bw));
+  }
+
+  if (num_servers() > 1) {
+    ch.nic_out = add_channel(prefix + "nic.out", params_.nic_bw);
+    ch.nic_in = add_channel(prefix + "nic.in", params_.nic_bw);
+  }
+}
+
+bool Fabric::nvlink_adjacent(int server, int src, int dst) const {
+  const auto& t = servers_[static_cast<std::size_t>(server)];
+  if (t.has_nvswitch) return true;
+  const auto& ch = ch_[static_cast<std::size_t>(server)];
+  return ch.nvlink_dir[static_cast<std::size_t>(src)]
+                      [static_cast<std::size_t>(dst)] != -1;
+}
+
+std::vector<int> Fabric::nvlink_route(int server, int src, int dst) const {
+  assert(src != dst);
+  const auto& t = servers_[static_cast<std::size_t>(server)];
+  const auto& ch = ch_[static_cast<std::size_t>(server)];
+  if (t.has_nvswitch) {
+    return {ch.nvswitch_out[static_cast<std::size_t>(src)],
+            ch.nvswitch_in[static_cast<std::size_t>(dst)]};
+  }
+  const int c = ch.nvlink_dir[static_cast<std::size_t>(src)]
+                             [static_cast<std::size_t>(dst)];
+  assert(c != -1 && "nvlink_route requires NVLink adjacency");
+  return {c};
+}
+
+std::vector<int> Fabric::pcie_route(int server, int src, int dst) const {
+  assert(src != dst);
+  const auto& t = servers_[static_cast<std::size_t>(server)];
+  const auto& ch = ch_[static_cast<std::size_t>(server)];
+  assert(!t.pcie.plx_of_gpu.empty() && "no PCIe modelled for this topology");
+
+  std::vector<int> route{ch.gpu_up[static_cast<std::size_t>(src)]};
+  const int plx_src = t.pcie.plx_of_gpu[static_cast<std::size_t>(src)];
+  const int plx_dst = t.pcie.plx_of_gpu[static_cast<std::size_t>(dst)];
+  if (plx_src != plx_dst) {
+    route.push_back(ch.plx_up[static_cast<std::size_t>(plx_src)]);
+    const int cpu_src = t.pcie.cpu_of_plx[static_cast<std::size_t>(plx_src)];
+    const int cpu_dst = t.pcie.cpu_of_plx[static_cast<std::size_t>(plx_dst)];
+    // Cross-PLX P2P is staged through a host buffer on the source socket.
+    route.push_back(ch.sysmem[static_cast<std::size_t>(cpu_src)]);
+    if (cpu_src != cpu_dst) {
+      route.push_back(ch.qpi[static_cast<std::size_t>(cpu_src)]
+                            [static_cast<std::size_t>(cpu_dst)]);
+    }
+    route.push_back(ch.plx_down[static_cast<std::size_t>(plx_dst)]);
+  }
+  route.push_back(ch.gpu_down[static_cast<std::size_t>(dst)]);
+  return route;
+}
+
+int Fabric::reduce_channel(int server, int gpu) const {
+  return ch_[static_cast<std::size_t>(server)]
+      .reduce[static_cast<std::size_t>(gpu)];
+}
+
+std::vector<int> Fabric::pcie_to_host_route(int server, int gpu) const {
+  const auto& t = servers_[static_cast<std::size_t>(server)];
+  const auto& ch = ch_[static_cast<std::size_t>(server)];
+  assert(!t.pcie.plx_of_gpu.empty());
+  const int plx = t.pcie.plx_of_gpu[static_cast<std::size_t>(gpu)];
+  const int cpu = t.pcie.cpu_of_plx[static_cast<std::size_t>(plx)];
+  return {ch.gpu_up[static_cast<std::size_t>(gpu)],
+          ch.plx_up[static_cast<std::size_t>(plx)],
+          ch.sysmem[static_cast<std::size_t>(cpu)]};
+}
+
+std::vector<int> Fabric::pcie_from_host_route(int server, int gpu) const {
+  const auto& t = servers_[static_cast<std::size_t>(server)];
+  const auto& ch = ch_[static_cast<std::size_t>(server)];
+  assert(!t.pcie.plx_of_gpu.empty());
+  const int plx = t.pcie.plx_of_gpu[static_cast<std::size_t>(gpu)];
+  const int cpu = t.pcie.cpu_of_plx[static_cast<std::size_t>(plx)];
+  return {ch.sysmem[static_cast<std::size_t>(cpu)],
+          ch.plx_down[static_cast<std::size_t>(plx)],
+          ch.gpu_down[static_cast<std::size_t>(gpu)]};
+}
+
+std::vector<int> Fabric::nic_route(int src_server, int dst_server) const {
+  assert(src_server != dst_server && num_servers() > 1);
+  return {ch_[static_cast<std::size_t>(src_server)].nic_out,
+          ch_[static_cast<std::size_t>(dst_server)].nic_in};
+}
+
+}  // namespace blink::sim

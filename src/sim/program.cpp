@@ -1,0 +1,54 @@
+#include "blink/sim/program.h"
+
+#include <cassert>
+
+namespace blink::sim {
+
+int Program::add(Op op) {
+  assert(op.stream >= 0 && op.stream < num_streams_ &&
+         "allocate streams via new_stream()");
+  const int id = static_cast<int>(ops_.size());
+  for ([[maybe_unused]] const int d : op.deps) {
+    assert(d >= 0 && d < id && "deps must reference earlier ops");
+  }
+  ops_.push_back(std::move(op));
+  return id;
+}
+
+double Program::total_copy_bytes() const {
+  double total = 0.0;
+  for (const auto& op : ops_) {
+    if (op.kind == OpKind::kCopy) total += op.bytes;
+  }
+  return total;
+}
+
+bool Program::validate(std::string* error) const {
+  auto fail = [&](const char* msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    const auto& op = ops_[i];
+    if (op.stream < 0 || op.stream >= num_streams_) {
+      return fail("op with unallocated stream");
+    }
+    if (op.kind == OpKind::kDelay && !op.route.empty()) {
+      return fail("delay ops must not use channels");
+    }
+    if (op.kind != OpKind::kDelay && op.route.empty() && op.bytes > 0.0) {
+      return fail("transfer op without a route");
+    }
+    if (op.bytes < 0.0 || op.latency < 0.0) {
+      return fail("negative bytes or latency");
+    }
+    for (const int d : op.deps) {
+      if (d < 0 || static_cast<std::size_t>(d) >= i) {
+        return fail("dependency on a later or invalid op");
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace blink::sim

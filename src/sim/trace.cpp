@@ -1,0 +1,90 @@
+#include "blink/sim/trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace blink::sim {
+namespace {
+
+const char* kind_name(OpKind kind) {
+  switch (kind) {
+    case OpKind::kCopy:
+      return "copy";
+    case OpKind::kReduce:
+      return "reduce";
+    case OpKind::kDelay:
+      return "delay";
+  }
+  return "?";
+}
+
+// Minimal JSON string escaping for op labels.
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const Fabric& fabric, const Program& program,
+                            const RunResult& result,
+                            const TraceOptions& options) {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  auto comma = [&] {
+    if (!first) os << ",";
+    first = false;
+  };
+
+  // One slice per op; pid 0, tid = stream id.
+  for (std::size_t i = 0; i < program.ops().size(); ++i) {
+    const auto& op = program.op(static_cast<int>(i));
+    const double start = result.op_start[i];
+    const double finish = result.op_finish[i];
+    if (start < 0.0 || finish < start) continue;
+    if (finish - start < options.min_slice_seconds) continue;
+    comma();
+    os << "{\"name\":\"" << escape(op.label.empty() ? kind_name(op.kind)
+                                                    : op.label)
+       << "\",\"cat\":\"" << kind_name(op.kind)
+       << "\",\"ph\":\"X\",\"pid\":0,\"tid\":" << op.stream
+       << ",\"ts\":" << start * 1e6 << ",\"dur\":" << (finish - start) * 1e6
+       << ",\"args\":{\"bytes\":" << op.bytes << "}}";
+  }
+
+  if (options.include_channel_counters) {
+    for (int c = 0; c < fabric.num_channels(); ++c) {
+      const double bytes = result.channel_bytes[static_cast<std::size_t>(c)];
+      if (bytes <= 0.0) continue;
+      comma();
+      const double util =
+          result.makespan > 0.0
+              ? bytes / (fabric.capacities()[static_cast<std::size_t>(c)] *
+                         result.makespan)
+              : 0.0;
+      os << "{\"name\":\"" << escape(fabric.channel_name(c))
+         << "\",\"ph\":\"C\",\"pid\":1,\"ts\":0,\"args\":{\"utilization\":"
+         << util << "}}";
+    }
+  }
+  os << "]}";
+  return os.str();
+}
+
+bool write_chrome_trace(const std::string& path, const Fabric& fabric,
+                        const Program& program, const RunResult& result,
+                        const TraceOptions& options) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_chrome_trace(fabric, program, result, options);
+  return static_cast<bool>(out);
+}
+
+}  // namespace blink::sim

@@ -1,0 +1,122 @@
+#include "blink/solver/ilp.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace blink::solver {
+namespace {
+
+constexpr double kIntEps = 1e-6;
+
+class BranchAndBound {
+ public:
+  BranchAndBound(const LpProblem& lp, const IlpOptions& options)
+      : lp_(lp), options_(options) {
+    const std::size_t n = lp.num_vars();
+    fixed_.assign(n, -1);
+    best_.feasible = true;  // x = 0 is feasible
+    best_.objective = 0.0;
+    best_.x.assign(n, 0.0);
+  }
+
+  IlpSolution run() {
+    explore();
+    return best_;
+  }
+
+ private:
+  void explore() {
+    if (++nodes_ > options_.max_nodes) return;
+
+    // Substitute fixed variables into the RHS.
+    const std::size_t n = lp_.num_vars();
+    const std::size_t m = lp_.num_rows();
+    std::vector<double> rhs = lp_.b;
+    double base = 0.0;
+    std::vector<std::size_t> free_vars;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (fixed_[j] == 1) {
+        base += lp_.c[j];
+        for (std::size_t i = 0; i < m; ++i) rhs[i] -= lp_.a[i][j];
+      } else if (fixed_[j] == -1) {
+        free_vars.push_back(j);
+      }
+    }
+    for (const double r : rhs) {
+      if (r < -kIntEps) return;  // A >= 0: no completion can recover
+    }
+
+    // LP relaxation over the free variables with x <= 1 bounds.
+    LpProblem relax;
+    relax.c.reserve(free_vars.size());
+    for (const std::size_t j : free_vars) relax.c.push_back(lp_.c[j]);
+    relax.a.assign(m, {});
+    for (std::size_t i = 0; i < m; ++i) {
+      relax.a[i].reserve(free_vars.size());
+      for (const std::size_t j : free_vars) relax.a[i].push_back(lp_.a[i][j]);
+      relax.b.push_back(std::max(rhs[i], 0.0));
+    }
+    for (std::size_t k = 0; k < free_vars.size(); ++k) {
+      std::vector<double> bound_row(free_vars.size(), 0.0);
+      bound_row[k] = 1.0;
+      relax.a.push_back(std::move(bound_row));
+      relax.b.push_back(1.0);
+    }
+    const LpSolution sol = solve_lp(relax);
+    assert(sol.status == LpStatus::kOptimal);  // bounded by x <= 1
+
+    const double upper = base + sol.objective;
+    if (upper <= best_.objective + kIntEps) return;
+
+    // Most-fractional branching variable.
+    std::size_t branch = free_vars.size();
+    double most_fractional = kIntEps;
+    for (std::size_t k = 0; k < free_vars.size(); ++k) {
+      const double f = std::fabs(sol.x[k] - std::round(sol.x[k]));
+      if (f > most_fractional) {
+        most_fractional = f;
+        branch = k;
+      }
+    }
+
+    if (branch == free_vars.size()) {
+      // Integral: new incumbent (bound check above guarantees improvement).
+      best_.objective = upper;
+      for (std::size_t j = 0; j < n; ++j) {
+        best_.x[j] = fixed_[j] == 1 ? 1.0 : 0.0;
+      }
+      for (std::size_t k = 0; k < free_vars.size(); ++k) {
+        best_.x[free_vars[k]] = std::round(sol.x[k]);
+      }
+      return;
+    }
+
+    const std::size_t j = free_vars[branch];
+    fixed_[j] = 1;  // packing: try including the tree first
+    explore();
+    fixed_[j] = 0;
+    explore();
+    fixed_[j] = -1;
+  }
+
+  const LpProblem& lp_;
+  const IlpOptions& options_;
+  std::vector<int> fixed_;
+  IlpSolution best_;
+  int nodes_ = 0;
+};
+
+}  // namespace
+
+IlpSolution solve_01(const LpProblem& lp, const IlpOptions& options) {
+  assert(lp.well_formed());
+#ifndef NDEBUG
+  for (const auto& row : lp.a) {
+    for (const double v : row) assert(v >= 0.0);
+  }
+  for (const double v : lp.c) assert(v >= 0.0);
+#endif
+  return BranchAndBound(lp, options).run();
+}
+
+}  // namespace blink::solver

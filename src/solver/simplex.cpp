@@ -1,0 +1,99 @@
+#include "blink/solver/simplex.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace blink::solver {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+}  // namespace
+
+bool LpProblem::well_formed() const {
+  if (a.size() != b.size()) return false;
+  for (const auto& row : a) {
+    if (row.size() != c.size()) return false;
+  }
+  for (const double rhs : b) {
+    if (rhs < 0.0 || !std::isfinite(rhs)) return false;
+  }
+  return true;
+}
+
+LpSolution solve_lp(const LpProblem& lp) {
+  assert(lp.well_formed());
+  const std::size_t n = lp.num_vars();
+  const std::size_t m = lp.num_rows();
+
+  // Tableau with slack columns: rows 0..m-1 are constraints, row m is the
+  // objective (stored negated so that a positive entry means "improving").
+  const std::size_t width = n + m + 1;
+  std::vector<std::vector<double>> t(m + 1, std::vector<double>(width, 0.0));
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) t[i][j] = lp.a[i][j];
+    t[i][n + i] = 1.0;
+    t[i][width - 1] = lp.b[i];
+  }
+  for (std::size_t j = 0; j < n; ++j) t[m][j] = lp.c[j];
+
+  std::vector<std::size_t> basis(m);
+  for (std::size_t i = 0; i < m; ++i) basis[i] = n + i;
+
+  while (true) {
+    // Bland's rule: smallest-index column with positive reduced objective.
+    std::size_t pivot_col = width;
+    for (std::size_t j = 0; j + 1 < width; ++j) {
+      if (t[m][j] > kEps) {
+        pivot_col = j;
+        break;
+      }
+    }
+    if (pivot_col == width) break;  // optimal
+
+    // Ratio test, ties broken by smallest basis index (Bland).
+    std::size_t pivot_row = m;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < m; ++i) {
+      if (t[i][pivot_col] > kEps) {
+        const double ratio = t[i][width - 1] / t[i][pivot_col];
+        if (ratio < best_ratio - kEps ||
+            (ratio < best_ratio + kEps &&
+             (pivot_row == m || basis[i] < basis[pivot_row]))) {
+          best_ratio = ratio;
+          pivot_row = i;
+        }
+      }
+    }
+    if (pivot_row == m) {
+      return {LpStatus::kUnbounded, std::numeric_limits<double>::infinity(),
+              {}};
+    }
+
+    // Pivot.
+    const double pv = t[pivot_row][pivot_col];
+    for (std::size_t j = 0; j < width; ++j) t[pivot_row][j] /= pv;
+    for (std::size_t i = 0; i <= m; ++i) {
+      if (i == pivot_row) continue;
+      const double factor = t[i][pivot_col];
+      if (std::fabs(factor) < kEps) continue;
+      for (std::size_t j = 0; j < width; ++j) {
+        t[i][j] -= factor * t[pivot_row][j];
+      }
+    }
+    basis[pivot_row] = pivot_col;
+  }
+
+  LpSolution sol;
+  sol.status = LpStatus::kOptimal;
+  sol.x.assign(n, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    if (basis[i] < n) sol.x[basis[i]] = t[i][width - 1];
+  }
+  sol.objective = 0.0;
+  for (std::size_t j = 0; j < n; ++j) sol.objective += lp.c[j] * sol.x[j];
+  return sol;
+}
+
+}  // namespace blink::solver

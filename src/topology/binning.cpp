@@ -1,0 +1,99 @@
+#include "blink/topology/binning.h"
+
+#include "blink/topology/discovery.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <numeric>
+
+namespace blink::topo {
+namespace {
+
+// Lane-count adjacency matrix of the induced sub-multigraph.
+std::vector<std::vector<int>> lane_matrix(const Topology& machine,
+                                          std::span<const int> gpus) {
+  const std::size_t k = gpus.size();
+  std::vector<std::vector<int>> m(k, std::vector<int>(k, 0));
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = i + 1; j < k; ++j) {
+      const int lanes = machine.lanes_between(gpus[i], gpus[j]);
+      m[i][j] = lanes;
+      m[j][i] = lanes;
+    }
+  }
+  return m;
+}
+
+std::string serialize_permuted(const std::vector<std::vector<int>>& m,
+                               const std::vector<int>& perm) {
+  const std::size_t k = perm.size();
+  std::string s;
+  s.reserve(k * k);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = i + 1; j < k; ++j) {
+      s.push_back(static_cast<char>(
+          'a' + m[static_cast<std::size_t>(perm[i])]
+                 [static_cast<std::size_t>(perm[j])]));
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string canonical_signature(const Topology& machine,
+                                std::span<const int> gpus) {
+  const auto m = lane_matrix(machine, gpus);
+  std::vector<int> perm(gpus.size());
+  std::iota(perm.begin(), perm.end(), 0);
+  // Exact canonicalization: minimum serialization over all k! permutations.
+  // k <= 8 on DGX-1 and the binning runs once per experiment, so brute force
+  // (40320 permutations max) is the simplest correct choice.
+  std::string best = serialize_permuted(m, perm);
+  while (std::next_permutation(perm.begin(), perm.end())) {
+    std::string s = serialize_permuted(m, perm);
+    if (s < best) best = std::move(s);
+  }
+  return best;
+}
+
+std::vector<ConfigBin> unique_configs(const Topology& machine, int k,
+                                      bool connected_only) {
+  std::map<std::string, ConfigBin> bins;
+  for (auto& alloc : enumerate_allocations(machine, k)) {
+    if (connected_only &&
+        !induced_topology(machine, alloc).nvlink_connected()) {
+      continue;
+    }
+    std::string sig = canonical_signature(machine, alloc);
+    auto [it, inserted] = bins.try_emplace(sig);
+    if (inserted) {
+      it->second.signature = sig;
+      it->second.representative = alloc;
+    }
+    it->second.members.push_back(std::move(alloc));
+  }
+  std::vector<ConfigBin> result;
+  result.reserve(bins.size());
+  for (auto& [sig, bin] : bins) result.push_back(std::move(bin));
+  std::sort(result.begin(), result.end(),
+            [](const ConfigBin& a, const ConfigBin& b) {
+              return a.representative < b.representative;
+            });
+  return result;
+}
+
+std::vector<ConfigBin> unique_configs_range(const Topology& machine, int k_min,
+                                            int k_max, bool connected_only) {
+  assert(k_min >= 1 && k_max <= machine.num_gpus && k_min <= k_max);
+  std::vector<ConfigBin> all;
+  for (int k = k_min; k <= k_max; ++k) {
+    auto bins = unique_configs(machine, k, connected_only);
+    all.insert(all.end(), std::make_move_iterator(bins.begin()),
+               std::make_move_iterator(bins.end()));
+  }
+  return all;
+}
+
+}  // namespace blink::topo

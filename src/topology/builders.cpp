@@ -1,0 +1,126 @@
+#include "blink/topology/builders.h"
+
+namespace blink::topo {
+namespace {
+
+// The hybrid cube-mesh edges common to both DGX-1 generations.
+const std::vector<std::pair<int, int>>& cube_mesh_edges() {
+  static const std::vector<std::pair<int, int>> kEdges = {
+      // quad 0 clique
+      {0, 1},
+      {0, 2},
+      {0, 3},
+      {1, 2},
+      {1, 3},
+      {2, 3},
+      // quad 1 clique
+      {4, 5},
+      {4, 6},
+      {4, 7},
+      {5, 6},
+      {5, 7},
+      {6, 7},
+      // cross-quad links
+      {0, 4},
+      {1, 5},
+      {2, 6},
+      {3, 7},
+  };
+  return kEdges;
+}
+
+bool doubled_on_v100(int a, int b) {
+  static const std::vector<std::pair<int, int>> kDoubled = {
+      {0, 3}, {1, 2}, {2, 3}, {4, 7}, {5, 6}, {6, 7}, {0, 4}, {1, 5},
+  };
+  for (const auto& [x, y] : kDoubled) {
+    if ((x == a && y == b) || (x == b && y == a)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+PcieConfig make_dgx1_pcie(int num_gpus) {
+  PcieConfig pcie;
+  pcie.gpu_bw = kPcieGpuBw;
+  pcie.plx_bw = kPciePlxBw;
+  pcie.qpi_bw = kQpiBw;
+  pcie.plx_of_gpu.resize(static_cast<std::size_t>(num_gpus));
+  for (int g = 0; g < num_gpus; ++g) {
+    pcie.plx_of_gpu[static_cast<std::size_t>(g)] = g / 2;  // pairs share a PLX
+  }
+  const int num_plx = (num_gpus + 1) / 2;
+  pcie.cpu_of_plx.resize(static_cast<std::size_t>(num_plx));
+  for (int p = 0; p < num_plx; ++p) {
+    pcie.cpu_of_plx[static_cast<std::size_t>(p)] = p / 2;  // two PLX per socket
+  }
+  return pcie;
+}
+
+Topology make_dgx1p() {
+  Topology t;
+  t.kind = ServerKind::kDGX1P;
+  t.name = "DGX-1P";
+  t.num_gpus = 8;
+  t.nvlink_lane_bw = kNvlinkGen1Bw;
+  for (const auto& [a, b] : cube_mesh_edges()) {
+    t.nvlinks.push_back({a, b, 1});
+  }
+  t.pcie = make_dgx1_pcie(8);
+  return t;
+}
+
+Topology make_dgx1v() {
+  Topology t;
+  t.kind = ServerKind::kDGX1V;
+  t.name = "DGX-1V";
+  t.num_gpus = 8;
+  t.nvlink_lane_bw = kNvlinkGen2Bw;
+  for (const auto& [a, b] : cube_mesh_edges()) {
+    t.nvlinks.push_back({a, b, doubled_on_v100(a, b) ? 2 : 1});
+  }
+  t.pcie = make_dgx1_pcie(8);
+  return t;
+}
+
+Topology make_dgx2() {
+  Topology t;
+  t.kind = ServerKind::kDGX2;
+  t.name = "DGX-2";
+  t.num_gpus = 16;
+  t.has_nvswitch = true;
+  t.nvswitch_gpu_bw = kNvswitchGpuBw;
+  t.pcie = make_dgx1_pcie(16);
+  return t;
+}
+
+Topology make_clique(int num_gpus, double lane_bw) {
+  Topology t;
+  t.kind = ServerKind::kCustom;
+  t.name = "clique" + std::to_string(num_gpus);
+  t.num_gpus = num_gpus;
+  t.nvlink_lane_bw = lane_bw;
+  for (int a = 0; a < num_gpus; ++a) {
+    for (int b = a + 1; b < num_gpus; ++b) {
+      t.nvlinks.push_back({a, b, 1});
+    }
+  }
+  t.pcie = make_dgx1_pcie(num_gpus);
+  return t;
+}
+
+Topology make_chain(int num_gpus, double lane_bw) {
+  Topology t;
+  t.kind = ServerKind::kCustom;
+  t.name = "chain" + std::to_string(num_gpus);
+  t.num_gpus = num_gpus;
+  t.nvlink_lane_bw = lane_bw;
+  for (int a = 0; a + 1 < num_gpus; ++a) {
+    t.nvlinks.push_back({a, a + 1, 1});
+  }
+  t.pcie = make_dgx1_pcie(num_gpus);
+  return t;
+}
+
+}  // namespace blink::topo

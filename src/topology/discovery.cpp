@@ -1,0 +1,75 @@
+#include "blink/topology/discovery.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace blink::topo {
+
+Topology induced_topology(const Topology& machine, std::span<const int> gpus) {
+  assert(!gpus.empty());
+  std::vector<int> local_of_global(static_cast<std::size_t>(machine.num_gpus),
+                                   -1);
+  for (std::size_t i = 0; i < gpus.size(); ++i) {
+    const int g = gpus[i];
+    assert(g >= 0 && g < machine.num_gpus);
+    assert(local_of_global[static_cast<std::size_t>(g)] == -1 &&
+           "duplicate GPU in allocation");
+    local_of_global[static_cast<std::size_t>(g)] = static_cast<int>(i);
+  }
+
+  Topology t;
+  t.kind = machine.kind;
+  t.name = machine.name + "/alloc" + std::to_string(gpus.size());
+  t.num_gpus = static_cast<int>(gpus.size());
+  t.nvlink_lane_bw = machine.nvlink_lane_bw;
+  t.has_nvswitch = machine.has_nvswitch;
+  t.nvswitch_gpu_bw = machine.nvswitch_gpu_bw;
+
+  for (const auto& e : machine.nvlinks) {
+    const int la = local_of_global[static_cast<std::size_t>(e.a)];
+    const int lb = local_of_global[static_cast<std::size_t>(e.b)];
+    if (la >= 0 && lb >= 0) t.nvlinks.push_back({la, lb, e.lanes});
+  }
+
+  if (!machine.pcie.plx_of_gpu.empty()) {
+    // Keep the machine's PLX/CPU indices: unallocated siblings simply do not
+    // generate traffic, so sparse switch ids are harmless and keep placement
+    // (same-PLX vs cross-QPI) faithful.
+    t.pcie = machine.pcie;
+    t.pcie.plx_of_gpu.clear();
+    for (const int g : gpus) {
+      t.pcie.plx_of_gpu.push_back(
+          machine.pcie.plx_of_gpu[static_cast<std::size_t>(g)]);
+    }
+  }
+
+  for (const int g : gpus) t.global_ids.push_back(machine.global_id(g));
+  return t;
+}
+
+std::vector<std::vector<int>> enumerate_allocations(const Topology& machine,
+                                                    int k) {
+  assert(k >= 1 && k <= machine.num_gpus);
+  std::vector<std::vector<int>> result;
+  std::vector<int> current;
+  // Iterative combination enumeration in lexicographic order.
+  current.resize(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) current[static_cast<std::size_t>(i)] = i;
+  while (true) {
+    result.push_back(current);
+    int i = k - 1;
+    while (i >= 0 &&
+           current[static_cast<std::size_t>(i)] == machine.num_gpus - k + i) {
+      --i;
+    }
+    if (i < 0) break;
+    ++current[static_cast<std::size_t>(i)];
+    for (int j = i + 1; j < k; ++j) {
+      current[static_cast<std::size_t>(j)] =
+          current[static_cast<std::size_t>(j - 1)] + 1;
+    }
+  }
+  return result;
+}
+
+}  // namespace blink::topo

@@ -1,0 +1,136 @@
+#include "blink/topology/parser.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace blink::topo {
+namespace {
+
+struct LineError {
+  int line;
+  std::string message;
+};
+
+ParseResult fail(int line, const std::string& message) {
+  ParseResult r;
+  r.error = "line " + std::to_string(line) + ": " + message;
+  return r;
+}
+
+}  // namespace
+
+ParseResult parse_topology(const std::string& text) {
+  Topology t;
+  t.kind = ServerKind::kCustom;
+
+  std::istringstream in(text);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    std::istringstream line(raw);
+    std::string directive;
+    if (!(line >> directive)) continue;  // blank / comment line
+
+    if (directive == "name") {
+      line >> t.name;
+    } else if (directive == "gpus") {
+      if (!(line >> t.num_gpus) || t.num_gpus <= 0) {
+        return fail(line_no, "gpus needs a positive count");
+      }
+    } else if (directive == "nvlink") {
+      double gbps = 0.0;
+      if (!(line >> gbps) || gbps <= 0.0) {
+        return fail(line_no, "nvlink needs a positive GB/s value");
+      }
+      t.nvlink_lane_bw = gbps * 1e9;
+    } else if (directive == "link") {
+      NvlinkEdge e;
+      if (!(line >> e.a >> e.b)) {
+        return fail(line_no, "link needs two GPU ids");
+      }
+      if (!(line >> e.lanes)) e.lanes = 1;
+      if (e.lanes <= 0) return fail(line_no, "lanes must be positive");
+      t.nvlinks.push_back(e);
+    } else if (directive == "nvswitch") {
+      double gbps = 0.0;
+      if (!(line >> gbps) || gbps <= 0.0) {
+        return fail(line_no, "nvswitch needs a positive GB/s value");
+      }
+      t.has_nvswitch = true;
+      t.nvswitch_gpu_bw = gbps * 1e9;
+    } else if (directive == "pcie") {
+      double gpu = 0.0;
+      double plx = 0.0;
+      double qpi = 0.0;
+      if (!(line >> gpu >> plx >> qpi) || gpu <= 0 || plx <= 0 || qpi <= 0) {
+        return fail(line_no, "pcie needs three positive GB/s values");
+      }
+      t.pcie.gpu_bw = gpu * 1e9;
+      t.pcie.plx_bw = plx * 1e9;
+      t.pcie.qpi_bw = qpi * 1e9;
+    } else if (directive == "plx") {
+      t.pcie.plx_of_gpu.clear();
+      int id = 0;
+      while (line >> id) t.pcie.plx_of_gpu.push_back(id);
+    } else if (directive == "cpu") {
+      t.pcie.cpu_of_plx.clear();
+      int id = 0;
+      while (line >> id) t.pcie.cpu_of_plx.push_back(id);
+    } else {
+      return fail(line_no, "unknown directive '" + directive + "'");
+    }
+  }
+
+  if (t.num_gpus == 0) return fail(line_no, "missing 'gpus' directive");
+  if (!t.nvlinks.empty() && t.nvlink_lane_bw <= 0.0) {
+    return fail(line_no, "links given but no 'nvlink' lane bandwidth");
+  }
+  std::string err;
+  if (!t.validate(&err)) return fail(line_no, err);
+
+  ParseResult r;
+  r.topology = std::move(t);
+  return r;
+}
+
+ParseResult load_topology(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    ParseResult r;
+    r.error = "cannot open '" + path + "'";
+    return r;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return parse_topology(buffer.str());
+}
+
+std::string format_topology(const Topology& topo) {
+  std::ostringstream os;
+  if (!topo.name.empty()) os << "name " << topo.name << "\n";
+  os << "gpus " << topo.num_gpus << "\n";
+  if (topo.has_nvswitch) {
+    os << "nvswitch " << topo.nvswitch_gpu_bw / 1e9 << "\n";
+  }
+  if (!topo.nvlinks.empty()) {
+    os << "nvlink " << topo.nvlink_lane_bw / 1e9 << "\n";
+    for (const auto& e : topo.nvlinks) {
+      os << "link " << e.a << " " << e.b << " " << e.lanes << "\n";
+    }
+  }
+  if (!topo.pcie.plx_of_gpu.empty()) {
+    os << "pcie " << topo.pcie.gpu_bw / 1e9 << " " << topo.pcie.plx_bw / 1e9
+       << " " << topo.pcie.qpi_bw / 1e9 << "\n";
+    os << "plx";
+    for (const int p : topo.pcie.plx_of_gpu) os << " " << p;
+    os << "\ncpu";
+    for (const int c : topo.pcie.cpu_of_plx) os << " " << c;
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace blink::topo

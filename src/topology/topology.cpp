@@ -1,0 +1,150 @@
+#include "blink/topology/topology.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace blink::topo {
+
+const char* to_string(LinkType type) {
+  switch (type) {
+    case LinkType::kNVLink:
+      return "NVLink";
+    case LinkType::kPCIe:
+      return "PCIe";
+    case LinkType::kQPI:
+      return "QPI";
+    case LinkType::kNVSwitch:
+      return "NVSwitch";
+    case LinkType::kNIC:
+      return "NIC";
+  }
+  return "?";
+}
+
+const char* to_string(ServerKind kind) {
+  switch (kind) {
+    case ServerKind::kDGX1P:
+      return "DGX-1P";
+    case ServerKind::kDGX1V:
+      return "DGX-1V";
+    case ServerKind::kDGX2:
+      return "DGX-2";
+    case ServerKind::kCustom:
+      return "custom";
+  }
+  return "?";
+}
+
+int PcieConfig::num_plx() const {
+  if (plx_of_gpu.empty()) return 0;
+  return 1 + *std::max_element(plx_of_gpu.begin(), plx_of_gpu.end());
+}
+
+int PcieConfig::num_cpus() const {
+  if (cpu_of_plx.empty()) return 0;
+  return 1 + *std::max_element(cpu_of_plx.begin(), cpu_of_plx.end());
+}
+
+bool PcieConfig::valid_for(int num_gpus) const {
+  if (plx_of_gpu.empty()) return true;  // no PCIe modelled
+  if (static_cast<int>(plx_of_gpu.size()) != num_gpus) return false;
+  // cpu_of_plx may describe more switches than the allocation touches
+  // (induced topologies keep the machine's switch ids).
+  if (static_cast<int>(cpu_of_plx.size()) < num_plx()) return false;
+  for (int p : plx_of_gpu) {
+    if (p < 0 || p >= static_cast<int>(cpu_of_plx.size())) return false;
+  }
+  const int cpus = num_cpus();
+  for (int c : cpu_of_plx) {
+    if (c < 0 || c >= cpus) return false;
+  }
+  return gpu_bw > 0.0 && plx_bw > 0.0 && (cpus < 2 || qpi_bw > 0.0);
+}
+
+int Topology::lanes_between(int a, int b) const {
+  int lanes = 0;
+  for (const auto& e : nvlinks) {
+    if ((e.a == a && e.b == b) || (e.a == b && e.b == a)) lanes += e.lanes;
+  }
+  return lanes;
+}
+
+int Topology::nvlink_degree(int gpu) const {
+  int lanes = 0;
+  for (const auto& e : nvlinks) {
+    if (e.a == gpu || e.b == gpu) lanes += e.lanes;
+  }
+  return lanes;
+}
+
+double Topology::nvlink_capacity(int a, int b) const {
+  return lanes_between(a, b) * nvlink_lane_bw;
+}
+
+bool Topology::nvlink_connected() const {
+  if (num_gpus <= 1) return true;
+  if (has_nvswitch) return true;
+  std::vector<int> stack{0};
+  std::vector<bool> seen(static_cast<std::size_t>(num_gpus), false);
+  seen[0] = true;
+  int reached = 1;
+  while (!stack.empty()) {
+    const int u = stack.back();
+    stack.pop_back();
+    for (const auto& e : nvlinks) {
+      const int v = e.a == u ? e.b : (e.b == u ? e.a : -1);
+      if (v >= 0 && !seen[static_cast<std::size_t>(v)]) {
+        seen[static_cast<std::size_t>(v)] = true;
+        ++reached;
+        stack.push_back(v);
+      }
+    }
+  }
+  return reached == num_gpus;
+}
+
+int Topology::global_id(int gpu) const {
+  if (global_ids.empty()) return gpu;
+  return global_ids[static_cast<std::size_t>(gpu)];
+}
+
+std::string Topology::describe() const {
+  std::ostringstream os;
+  os << to_string(kind) << " '" << name << "' gpus=" << num_gpus;
+  if (has_nvswitch) {
+    os << " nvswitch(" << nvswitch_gpu_bw / 1e9 << "GB/s per GPU)";
+  }
+  for (const auto& e : nvlinks) {
+    os << " " << e.a << "-" << e.b << "x" << e.lanes;
+  }
+  return os.str();
+}
+
+bool Topology::validate(std::string* error) const {
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  if (num_gpus <= 0) return fail("num_gpus must be positive");
+  for (const auto& e : nvlinks) {
+    if (e.a < 0 || e.a >= num_gpus || e.b < 0 || e.b >= num_gpus) {
+      return fail("nvlink edge endpoint out of range");
+    }
+    if (e.a == e.b) return fail("nvlink self-loop");
+    if (e.lanes <= 0) return fail("nvlink edge with no lanes");
+  }
+  if (!nvlinks.empty() && nvlink_lane_bw <= 0.0) {
+    return fail("nvlink lane bandwidth must be positive");
+  }
+  if (has_nvswitch && nvswitch_gpu_bw <= 0.0) {
+    return fail("nvswitch bandwidth must be positive");
+  }
+  if (!pcie.valid_for(num_gpus)) return fail("inconsistent PCIe config");
+  if (!global_ids.empty() &&
+      static_cast<int>(global_ids.size()) != num_gpus) {
+    return fail("global_ids size mismatch");
+  }
+  return true;
+}
+
+}  // namespace blink::topo

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "blink/baselines/butterfly.h"
+#include "blink/baselines/double_binary_tree.h"
+#include "blink/baselines/nccl_like.h"
+#include "blink/blink/communicator.h"
+#include "blink/sim/executor.h"
+#include "blink/topology/builders.h"
+#include "blink/topology/discovery.h"
+
+namespace blink::baselines {
+namespace {
+
+topo::Topology alloc_v100(std::vector<int> gpus) {
+  return topo::induced_topology(topo::make_dgx1v(), gpus);
+}
+
+TEST(RingPlan, NvlinkRingsOnFullMachine) {
+  const auto plan = build_ring_plan(topo::make_dgx1v());
+  EXPECT_EQ(plan.link, topo::LinkType::kNVLink);
+  EXPECT_GE(plan.rings.size(), 2u);
+}
+
+TEST(RingPlan, PcieFallbackWithoutNvlinkRing) {
+  const auto plan = build_ring_plan(alloc_v100({0, 1, 4}));
+  EXPECT_EQ(plan.link, topo::LinkType::kPCIe);
+  EXPECT_EQ(plan.rings.size(), 1u);
+}
+
+TEST(RingPlan, NvswitchRings) {
+  const auto plan = build_ring_plan(topo::make_dgx2());
+  EXPECT_EQ(plan.link, topo::LinkType::kNVLink);
+  EXPECT_EQ(plan.rings.size(), 6u);  // one per lane
+}
+
+TEST(RingChain, CoversAllGpusFromAnyRoot) {
+  const auto topo = topo::make_dgx1p();
+  const sim::Fabric fabric(topo, sim::FabricParams{});
+  const auto plan = build_ring_plan(topo);
+  ASSERT_FALSE(plan.rings.empty());
+  for (const int root : {0, 5}) {
+    const auto chain = ring_chain_tree(fabric, 0, plan.rings[0], root,
+                                       /*forward=*/true, plan.link);
+    EXPECT_EQ(chain.root, root);
+    EXPECT_EQ(chain.hops.size(), 7u);
+    EXPECT_EQ(chain.depth(), 7);  // a ring is a deep chain
+  }
+}
+
+TEST(Nccl, BroadcastMatchesBlinkOnRingFriendlyConfig) {
+  // {2,3,6,7} supports one NVLink ring and Blink packs ~one tree: NCCL and
+  // Blink should be in the same ballpark (Figure 15's flat cases).
+  const auto topo = alloc_v100({2, 3, 6, 7});
+  NcclCommunicator nccl(topo);
+  Communicator blink_comm(topo);
+  const double bytes = 500e6;
+  const double nccl_bw = nccl.broadcast(bytes, 0).algorithm_bw;
+  const double blink_bw = blink_comm.broadcast(bytes, 0).algorithm_bw;
+  EXPECT_GT(nccl_bw, 0.5 * blink_bw);
+  EXPECT_GE(blink_bw, 0.95 * nccl_bw);
+}
+
+TEST(Nccl, PcieFallbackIsSlow) {
+  // Figure 2b: {0,1,4} forces NCCL onto PCIe (~5 GB/s) while Blink still
+  // uses NVLink trees (~2 lanes).
+  const auto topo = alloc_v100({0, 1, 4});
+  NcclCommunicator nccl(topo);
+  Communicator blink_comm(topo);
+  const double bytes = 500e6;
+  const double nccl_bw = nccl.broadcast(bytes, 0).algorithm_bw;
+  const double blink_bw = blink_comm.broadcast(bytes, 0).algorithm_bw;
+  EXPECT_LT(nccl_bw, 8e9);
+  EXPECT_GT(blink_bw, 3.0 * nccl_bw);
+}
+
+TEST(Nccl, AllReduceRuns) {
+  NcclCommunicator nccl(topo::make_dgx1v());
+  const auto r = nccl.all_reduce(500e6);
+  EXPECT_GT(r.algorithm_bw, 10e9);
+  EXPECT_LT(r.algorithm_bw, 100e9);
+}
+
+TEST(Nccl, Dgx2TreeForSmallRingForLarge) {
+  NcclCommunicator nccl(topo::make_dgx2());
+  const auto small = nccl.all_reduce(8e3);   // < 16KB -> double binary tree
+  const auto large = nccl.all_reduce(1e9);   // rings
+  EXPECT_LT(small.seconds, 1e-3);
+  EXPECT_GT(large.algorithm_bw, 20e9);
+  EXPECT_EQ(small.num_trees, 2);
+  EXPECT_EQ(large.num_trees, 12);
+}
+
+TEST(Nccl, GatherReduceAllGatherRun) {
+  NcclCommunicator nccl(alloc_v100({4, 5, 6, 7}));
+  const auto g = nccl.gather(64e6, 0);
+  const auto r = nccl.reduce(64e6, 0);
+  const auto ag = nccl.all_gather(64e6);
+  EXPECT_GT(g.algorithm_bw, 1e9);
+  EXPECT_GT(r.algorithm_bw, 1e9);
+  EXPECT_GT(ag.seconds, g.seconds);  // AllGather moves strictly more data
+}
+
+TEST(Nccl, PersistentKernelModelLowersSmallSizeLatency) {
+  NcclOptions heavy;
+  heavy.persistent_kernel_model = false;
+  NcclOptions light;  // default on
+  NcclCommunicator a(topo::make_dgx2(), heavy);
+  NcclCommunicator b(topo::make_dgx2(), light);
+  EXPECT_GT(a.all_reduce(64e3).seconds, b.all_reduce(64e3).seconds);
+}
+
+TEST(DoubleBinary, TreesSpanAndValidate) {
+  const sim::Fabric fabric(topo::make_dgx2(), sim::FabricParams{});
+  const auto trees = double_binary_routed_trees(fabric, 0);
+  ASSERT_EQ(trees.size(), 2u);
+  for (const auto& t : trees) {
+    EXPECT_EQ(t.hops.size(), 15u);
+    EXPECT_LE(t.depth(), 5);
+  }
+}
+
+TEST(DoubleBinary, AllReduceExecutes) {
+  const sim::Fabric fabric(topo::make_dgx2(), sim::FabricParams{});
+  ProgramBuilder builder(fabric, CodeGenOptions{});
+  append_double_binary_all_reduce(builder, fabric, 0, 64e6);
+  const auto run = sim::execute(fabric, builder.take());
+  EXPECT_GT(run.makespan, 0.0);
+}
+
+TEST(Butterfly, SupportDetection) {
+  const sim::Fabric dgx2(topo::make_dgx2(), sim::FabricParams{});
+  EXPECT_TRUE(butterfly_supported(dgx2, 0));
+  const sim::Fabric chain(topo::make_chain(4), sim::FabricParams{});
+  EXPECT_FALSE(butterfly_supported(chain, 0));
+  const sim::Fabric clique8(topo::make_clique(8), sim::FabricParams{});
+  EXPECT_TRUE(butterfly_supported(clique8, 0));
+  // The DGX-1 hybrid cube-mesh contains the 3-cube, so the butterfly
+  // exchange pattern fits.
+  const sim::Fabric dgx1v(topo::make_dgx1v(), sim::FabricParams{});
+  EXPECT_TRUE(butterfly_supported(dgx1v, 0));
+  // A 6-GPU allocation breaks the power-of-two requirement.
+  const auto six = topo::induced_topology(topo::make_dgx1v(),
+                                          std::vector<int>{0, 1, 2, 3, 4, 5});
+  const sim::Fabric six_fabric(six, sim::FabricParams{});
+  EXPECT_FALSE(butterfly_supported(six_fabric, 0));
+}
+
+TEST(Butterfly, AllReduceExecutes) {
+  const sim::Fabric fabric(topo::make_dgx2(), sim::FabricParams{});
+  ProgramBuilder builder(fabric, CodeGenOptions{});
+  append_butterfly_all_reduce(builder, fabric, 0, 64e6);
+  const auto run = sim::execute(fabric, builder.take());
+  EXPECT_GT(run.makespan, 0.0);
+}
+
+TEST(MultiServerRing, BoundByNicAndPcie) {
+  const auto machine = topo::make_dgx1v();
+  const std::vector<topo::Topology> servers{
+      topo::induced_topology(machine, std::vector<int>{0, 1, 2}),
+      topo::induced_topology(machine, std::vector<int>{3, 4, 5, 6, 7})};
+  NcclOptions opts;
+  opts.fabric.nic_bw = 5e9;
+  const auto r = multi_server_ring_all_reduce(servers, 100e6, opts);
+  EXPECT_GT(r.seconds, 0.0);
+  EXPECT_LT(r.algorithm_bw, 5e9);
+}
+
+TEST(MultiServerRing, FasterNicSaturatesAtPcie) {
+  // §5.4: with very fast NICs NCCL's ring is still bound by intra-server
+  // PCIe, so 400 Gbps barely helps over 100 Gbps.
+  const auto machine = topo::make_dgx1v();
+  const std::vector<topo::Topology> servers{
+      topo::induced_topology(machine, std::vector<int>{0, 1, 2}),
+      topo::induced_topology(machine, std::vector<int>{3, 4, 5, 6, 7})};
+  std::vector<double> bw;
+  for (const double nic : {5e9, 12.5e9, 50e9}) {
+    NcclOptions opts;
+    opts.fabric.nic_bw = nic;
+    bw.push_back(multi_server_ring_all_reduce(servers, 100e6, opts)
+                     .algorithm_bw);
+  }
+  // The host-staged PCIe path (~5 GB/s) binds from 40 Gbps on: faster NICs
+  // bring no material gain, which is the paper's point.
+  EXPECT_GE(bw[1], bw[0] * 0.99);
+  EXPECT_LT(bw[2], bw[1] * 1.6);
+}
+
+}  // namespace
+}  // namespace blink::baselines

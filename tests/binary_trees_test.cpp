@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "blink/graph/binary_trees.h"
+
+namespace blink::graph {
+namespace {
+
+class BinaryTreeSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(BinaryTreeSizes, BalancedTreeIsValidAndShallow) {
+  const int n = GetParam();
+  const BinaryTree t = balanced_binary_tree(n);
+  EXPECT_TRUE(t.valid());
+  EXPECT_LE(t.depth(), static_cast<int>(std::ceil(std::log2(n + 1))));
+}
+
+TEST_P(BinaryTreeSizes, DoubleTreesAreBothValid) {
+  const int n = GetParam();
+  const auto [t1, t2] = double_binary_trees(n);
+  EXPECT_TRUE(t1.valid());
+  EXPECT_TRUE(t2.valid());
+  EXPECT_EQ(t1.depth(), t2.depth());
+}
+
+TEST_P(BinaryTreeSizes, InteriorOfOneIsLeafOfOther) {
+  // For even rank counts, NCCL's construction makes (almost) every interior
+  // node of tree 1 a leaf of tree 2, balancing send load. With the rotation
+  // construction the overlap of interior sets is small.
+  const int n = GetParam();
+  if (n % 2 != 0 || n < 4) return;
+  const auto [t1, t2] = double_binary_trees(n);
+  const auto c1 = t1.children();
+  const auto c2 = t2.children();
+  int both_interior = 0;
+  for (int v = 0; v < n; ++v) {
+    const bool i1 = !c1[static_cast<std::size_t>(v)].empty();
+    const bool i2 = !c2[static_cast<std::size_t>(v)].empty();
+    if (i1 && i2) ++both_interior;
+  }
+  EXPECT_LE(both_interior, n / 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BinaryTreeSizes,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 12, 15, 16,
+                                           31, 32, 64));
+
+TEST(BinaryTree, SixteenRankDepthIsFour) {
+  // DGX-2: 16 ranks -> depth 4 (vs Blink's one-hop depth 1), which is the
+  // latency gap Figure 20 shows.
+  EXPECT_EQ(balanced_binary_tree(16).depth(), 4);
+}
+
+TEST(BinaryTree, TwoNodes) {
+  const auto [t1, t2] = double_binary_trees(2);
+  EXPECT_TRUE(t1.valid());
+  EXPECT_TRUE(t2.valid());
+  EXPECT_NE(t1.root, t2.root);
+}
+
+}  // namespace
+}  // namespace blink::graph

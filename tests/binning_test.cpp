@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "blink/topology/binning.h"
+#include "blink/topology/builders.h"
+
+namespace blink::topo {
+namespace {
+
+TEST(Binning, SignatureInvariantUnderRelabeling) {
+  const Topology machine = make_dgx1v();
+  // [0,1,2,3] and [4,5,6,7] are the two quads; the paper calls them the same
+  // configuration.
+  const std::vector<int> quad0{0, 1, 2, 3};
+  const std::vector<int> quad1{4, 5, 6, 7};
+  EXPECT_EQ(canonical_signature(machine, quad0),
+            canonical_signature(machine, quad1));
+}
+
+TEST(Binning, DistinguishesDifferentTopologies) {
+  const Topology machine = make_dgx1v();
+  // {0,1,3} has lanes (1,2,1); {0,1,2} has lanes (1,1,2) - isomorphic!
+  // {1,4,5} (0,1,2 lanes) differs from both.
+  const std::vector<int> a{0, 1, 3};
+  const std::vector<int> b{1, 4, 5};
+  EXPECT_NE(canonical_signature(machine, a), canonical_signature(machine, b));
+}
+
+TEST(Binning, BinMembersShareSignature) {
+  const Topology machine = make_dgx1p();
+  for (const auto& bin : unique_configs(machine, 4)) {
+    for (const auto& member : bin.members) {
+      EXPECT_EQ(canonical_signature(machine, member), bin.signature);
+    }
+  }
+}
+
+TEST(Binning, BinsPartitionAllAllocations) {
+  const Topology machine = make_dgx1v();
+  const auto bins = unique_configs(machine, 5);
+  std::size_t total = 0;
+  std::set<std::vector<int>> seen;
+  for (const auto& bin : bins) {
+    total += bin.members.size();
+    for (const auto& m : bin.members) {
+      EXPECT_TRUE(seen.insert(m).second) << "duplicate member";
+    }
+  }
+  EXPECT_EQ(total, 56u);  // C(8,5)
+}
+
+// The paper evaluates "46 different topology settings for DGX-1V, and 14
+// different topology settings for the DGX-1P machine" over 3..8 GPUs (§5.2).
+TEST(Binning, ReproducesPaperUniqueConfigCounts) {
+  const Topology v100 = make_dgx1v();
+  const Topology p100 = make_dgx1p();
+  const auto v_bins =
+      unique_configs_range(v100, 3, 8, /*connected_only=*/true);
+  const auto p_bins =
+      unique_configs_range(p100, 3, 8, /*connected_only=*/true);
+  EXPECT_EQ(v_bins.size(), 46u);
+  EXPECT_EQ(p_bins.size(), 14u);
+}
+
+TEST(Binning, PerSizeCountsMatchFigure15Axis) {
+  // Figure 15 lists 5 three-GPU, 14 four-GPU, 14 five-GPU, 10 six-GPU,
+  // 2 seven-GPU and 1 eight-GPU configurations for the DGX-1V.
+  const Topology v100 = make_dgx1v();
+  const bool connected = true;
+  EXPECT_EQ(unique_configs(v100, 3, connected).size(), 5u);
+  EXPECT_EQ(unique_configs(v100, 4, connected).size(), 14u);
+  EXPECT_EQ(unique_configs(v100, 5, connected).size(), 14u);
+  EXPECT_EQ(unique_configs(v100, 6, connected).size(), 10u);
+  EXPECT_EQ(unique_configs(v100, 7, connected).size(), 2u);
+  EXPECT_EQ(unique_configs(v100, 8, connected).size(), 1u);
+}
+
+TEST(Binning, RepresentativeIsLexicographicallyFirst) {
+  const Topology machine = make_dgx1p();
+  for (const auto& bin : unique_configs(machine, 3)) {
+    for (const auto& m : bin.members) {
+      EXPECT_LE(bin.representative, m);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace blink::topo

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "blink/blink/chunking.h"
+
+namespace blink {
+namespace {
+
+// Synthetic throughput curve with a knee: overhead-dominated below, pipeline
+// -stall-dominated above (the Figure 12 shape).
+double knee_curve(std::uint64_t chunk, double knee) {
+  const double x = static_cast<double>(chunk);
+  const double overhead = 1.0 / (1.0 + knee / x);       // rises with chunk
+  const double stall = 1.0 / (1.0 + x / (8.0 * knee));  // falls with chunk
+  return 100e9 * overhead * stall;
+}
+
+TEST(Miad, FindsKneeOfSyntheticCurve) {
+  const double knee = 4.0 * (1 << 20);
+  const auto result =
+      tune_chunk_size([&](std::uint64_t c) { return knee_curve(c, knee); });
+  // The optimum of the curve is at sqrt(8)*knee ~ 11.3 MiB; MIAD should land
+  // within a small factor.
+  const double selected = static_cast<double>(result.selected_chunk);
+  EXPECT_GT(selected, 2.0 * (1 << 20));
+  EXPECT_LT(selected, 64.0 * (1 << 20));
+  EXPECT_GT(result.selected_throughput, 0.0);
+}
+
+TEST(Miad, MultiplicativePhaseDoubles) {
+  std::vector<std::uint64_t> probed;
+  tune_chunk_size([&](std::uint64_t c) {
+    probed.push_back(c);
+    return static_cast<double>(c);  // monotonically improving
+  });
+  ASSERT_GE(probed.size(), 3u);
+  EXPECT_EQ(probed[1], probed[0] * 2);
+  EXPECT_EQ(probed[2], probed[1] * 2);
+}
+
+TEST(Miad, StopsAtMaxChunk) {
+  MiadOptions opts;
+  opts.max_chunk = 8ull << 20;
+  const auto result = tune_chunk_size(
+      [](std::uint64_t c) { return static_cast<double>(c); }, opts);
+  EXPECT_LE(result.selected_chunk, opts.max_chunk);
+  EXPECT_EQ(result.selected_chunk, opts.max_chunk);
+}
+
+TEST(Miad, AdditiveDecreaseAfterOvershoot) {
+  // Curve peaks at 4 MiB then falls: the tuner must probe below the
+  // overshoot point after the multiplicative phase.
+  const double peak = 4.0 * (1 << 20);
+  std::vector<std::uint64_t> probed;
+  const auto result = tune_chunk_size([&](std::uint64_t c) {
+    probed.push_back(c);
+    const double x = static_cast<double>(c);
+    return 1e9 / (1.0 + std::fabs(x - peak) / peak);
+  });
+  bool decreased = false;
+  for (std::size_t i = 1; i < probed.size(); ++i) {
+    if (probed[i] < probed[i - 1]) decreased = true;
+  }
+  EXPECT_TRUE(decreased);
+  EXPECT_NEAR(static_cast<double>(result.selected_chunk), peak, peak);
+}
+
+TEST(Miad, RespectsIterationBudget) {
+  MiadOptions opts;
+  opts.max_iterations = 5;
+  const auto result = tune_chunk_size(
+      [](std::uint64_t c) { return static_cast<double>(c % 977); }, opts);
+  EXPECT_LE(result.trace.size(), 6u);  // initial + budget slack
+}
+
+TEST(Miad, TraceRecordsEveryProbe) {
+  int calls = 0;
+  const auto result = tune_chunk_size([&](std::uint64_t c) {
+    ++calls;
+    return static_cast<double>(c);
+  });
+  EXPECT_EQ(static_cast<int>(result.trace.size()), calls);
+  EXPECT_EQ(result.trace.front().chunk_bytes, MiadOptions{}.initial_chunk);
+}
+
+TEST(Miad, SelectedMatchesBestProbe) {
+  const auto result = tune_chunk_size([](std::uint64_t c) {
+    return knee_curve(c, 2.0 * (1 << 20));
+  });
+  double best = 0.0;
+  std::uint64_t best_chunk = 0;
+  for (const auto& it : result.trace) {
+    if (it.throughput > best) {
+      best = it.throughput;
+      best_chunk = it.chunk_bytes;
+    }
+  }
+  EXPECT_EQ(result.selected_chunk, best_chunk);
+  EXPECT_DOUBLE_EQ(result.selected_throughput, best);
+}
+
+}  // namespace
+}  // namespace blink

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "blink/cluster/scheduler.h"
+
+namespace blink::cluster {
+namespace {
+
+TEST(Scheduler, ProducesMultiGpuJobs) {
+  SchedulerConfig config;
+  config.num_jobs = 5000;
+  Rng rng(1);
+  const auto stats = simulate_cluster(config, rng);
+  EXPECT_GT(stats.multi_gpu_jobs, 1000);
+}
+
+TEST(Scheduler, HistogramCoversOnlyValidSizes) {
+  SchedulerConfig config;
+  config.num_jobs = 5000;
+  Rng rng(2);
+  const auto stats = simulate_cluster(config, rng);
+  ASSERT_EQ(stats.histogram.size(),
+            static_cast<std::size_t>(config.gpus_per_server) + 1);
+  EXPECT_EQ(stats.histogram[0], 0);  // no zero-GPU placements recorded
+}
+
+// Figure 3's key observation: odd fragment sizes (3, 5, 6, 7) are common
+// even though multi-GPU jobs request powers of two.
+TEST(Scheduler, FragmentationCreatesOddSizes) {
+  SchedulerConfig config;
+  config.num_jobs = 40000;
+  Rng rng(3);
+  const auto stats = simulate_cluster(config, rng);
+  const double odd = stats.percent(3) + stats.percent(5) + stats.percent(6) +
+                     stats.percent(7);
+  EXPECT_GT(odd, 5.0);   // a significant share
+  EXPECT_LT(odd, 70.0);  // but powers of two still dominate
+  EXPECT_GT(stats.fragmented_jobs, 0);
+}
+
+TEST(Scheduler, PowersOfTwoDominate) {
+  SchedulerConfig config;
+  config.num_jobs = 40000;
+  Rng rng(4);
+  const auto stats = simulate_cluster(config, rng);
+  const double pow2 = stats.percent(2) + stats.percent(4) + stats.percent(8);
+  const double odd = stats.percent(3) + stats.percent(5) + stats.percent(6) +
+                     stats.percent(7);
+  EXPECT_GT(pow2, odd);
+}
+
+TEST(Scheduler, PercentagesSumToHundred) {
+  SchedulerConfig config;
+  config.num_jobs = 10000;
+  Rng rng(5);
+  const auto stats = simulate_cluster(config, rng);
+  double total = 0.0;
+  for (int k = 1; k <= config.gpus_per_server; ++k) {
+    total += stats.percent(k);
+  }
+  EXPECT_NEAR(total, 100.0, 1e-6);
+}
+
+TEST(Scheduler, DeterministicUnderSeed) {
+  SchedulerConfig config;
+  config.num_jobs = 2000;
+  Rng a(42);
+  Rng b(42);
+  const auto s1 = simulate_cluster(config, a);
+  const auto s2 = simulate_cluster(config, b);
+  EXPECT_EQ(s1.histogram, s2.histogram);
+}
+
+TEST(Scheduler, MoreLoadMoreFragmentation) {
+  SchedulerConfig light;
+  light.num_jobs = 20000;
+  light.mean_duration = 5.0;
+  SchedulerConfig heavy = light;
+  heavy.mean_duration = 200.0;
+  Rng r1(7);
+  Rng r2(7);
+  const auto s_light = simulate_cluster(light, r1);
+  const auto s_heavy = simulate_cluster(heavy, r2);
+  const auto odd_share = [](const AllocationStats& s) {
+    return s.percent(3) + s.percent(5) + s.percent(6) + s.percent(7);
+  };
+  EXPECT_GE(odd_share(s_heavy), odd_share(s_light));
+}
+
+}  // namespace
+}  // namespace blink::cluster

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "blink/blink/codegen.h"
+#include "blink/sim/executor.h"
+#include "blink/topology/builders.h"
+#include "blink/topology/discovery.h"
+
+namespace blink {
+namespace {
+
+struct Rig {
+  topo::Topology topo;
+  sim::Fabric fabric;
+  TreeSet set;
+
+  explicit Rig(topo::Topology t, int root = 0)
+      : topo(std::move(t)), fabric(topo, sim::FabricParams{}),
+        set(generate_trees(topo, root)) {}
+};
+
+TEST(RouteTree, HopsAreBfsOrderedWithRoutes) {
+  Rig s(topo::make_dgx1v());
+  const auto routed = route_trees(s.fabric, 0, s.set);
+  ASSERT_EQ(routed.size(), s.set.trees.size());
+  for (const auto& tree : routed) {
+    EXPECT_EQ(tree.root, 0);
+    EXPECT_EQ(tree.num_gpus(), 8);
+    int last_depth = 0;
+    std::vector<bool> placed(8, false);
+    placed[static_cast<std::size_t>(tree.root)] = true;
+    for (const auto& hop : tree.hops) {
+      EXPECT_GE(hop.depth, last_depth);  // BFS order
+      last_depth = hop.depth;
+      EXPECT_TRUE(placed[static_cast<std::size_t>(hop.parent)])
+          << "parent must be placed before child";
+      placed[static_cast<std::size_t>(hop.child)] = true;
+      EXPECT_FALSE(hop.down_route.empty());
+      EXPECT_FALSE(hop.up_route.empty());
+    }
+  }
+}
+
+TEST(ProgramBuilder, BroadcastProgramValidates) {
+  Rig s(topo::make_dgx1v());
+  ProgramBuilder builder(s.fabric, CodeGenOptions{});
+  builder.broadcast(route_trees(s.fabric, 0, s.set), 100e6);
+  const auto program = builder.take();
+  EXPECT_TRUE(program.validate());
+  EXPECT_GT(program.ops().size(), 0u);
+  EXPECT_NEAR(program.total_copy_bytes(), 7 * 100e6, 1e6);  // 7 receivers
+}
+
+TEST(ProgramBuilder, BroadcastThroughputNearPackedRate) {
+  Rig s(topo::make_dgx1v());
+  ProgramBuilder builder(s.fabric, CodeGenOptions{});
+  builder.broadcast(route_trees(s.fabric, 0, s.set), 500e6);
+  const auto result = sim::execute(s.fabric, builder.take());
+  const double throughput = result.throughput(500e6);
+  // Within 25% of the packed rate (chunking + launch overheads).
+  EXPECT_GT(throughput, 0.75 * s.set.rate);
+  EXPECT_LT(throughput, 1.01 * s.set.rate);
+}
+
+TEST(ProgramBuilder, AllReduceRoughlyHalfBroadcastThroughput) {
+  // §5.2.2: AllReduce needs both directions, so ~half the throughput.
+  Rig s(topo::make_dgx1v());
+  const auto trees = route_trees(s.fabric, 0, s.set);
+  ProgramBuilder b1(s.fabric, CodeGenOptions{});
+  b1.broadcast(trees, 500e6);
+  const double t_bcast = sim::execute(s.fabric, b1.take()).makespan;
+  ProgramBuilder b2(s.fabric, CodeGenOptions{});
+  b2.all_reduce(trees, 500e6);
+  const double t_ar = sim::execute(s.fabric, b2.take()).makespan;
+  EXPECT_GT(t_ar, 1.5 * t_bcast);
+  EXPECT_LT(t_ar, 3.0 * t_bcast);
+}
+
+TEST(ProgramBuilder, ReduceUsesKernels) {
+  Rig s(topo::make_dgx1v());
+  ProgramBuilder builder(s.fabric, CodeGenOptions{});
+  builder.reduce(route_trees(s.fabric, 0, s.set), 64e6);
+  const auto program = builder.take();
+  int kernels = 0;
+  for (const auto& op : program.ops()) {
+    if (op.kind == sim::OpKind::kReduce) ++kernels;
+  }
+  EXPECT_GT(kernels, 0);
+  EXPECT_NO_THROW(sim::execute(s.fabric, program));
+}
+
+TEST(ProgramBuilder, GatherAndAllGatherRun) {
+  const auto machine = topo::make_dgx1v();
+  Rig s(topo::induced_topology(machine, std::vector<int>{4, 5, 6, 7}));
+  const auto trees = route_trees(s.fabric, 0, s.set);
+  ProgramBuilder b1(s.fabric, CodeGenOptions{});
+  b1.gather(trees, 64e6);
+  const auto gather_run = sim::execute(s.fabric, b1.take());
+  EXPECT_GT(gather_run.makespan, 0.0);
+  ProgramBuilder b2(s.fabric, CodeGenOptions{});
+  b2.all_gather(trees, 64e6);
+  const auto ag_run = sim::execute(s.fabric, b2.take());
+  // AllGather moves strictly more data than Gather.
+  EXPECT_GT(ag_run.makespan, gather_run.makespan);
+}
+
+TEST(ProgramBuilder, MoreChunksImproveDeepTreeLatency) {
+  Rig s(topo::make_chain(6));
+  for (const std::uint64_t coarse : {256ull << 20}) {
+    CodeGenOptions one_chunk;
+    one_chunk.chunk_bytes = coarse;
+    ProgramBuilder b1(s.fabric, one_chunk);
+    b1.broadcast(route_trees(s.fabric, 0, s.set), 256e6);
+    const double t1 = sim::execute(s.fabric, b1.take()).makespan;
+
+    CodeGenOptions chunked;
+    chunked.chunk_bytes = 8 << 20;
+    ProgramBuilder b2(s.fabric, chunked);
+    b2.broadcast(route_trees(s.fabric, 0, s.set), 256e6);
+    const double t2 = sim::execute(s.fabric, b2.take()).makespan;
+    EXPECT_LT(t2, 0.5 * t1);  // Figure 11: pipelining hides hops
+  }
+}
+
+TEST(ProgramBuilder, StreamReuseSharesStreamsAcrossTrees) {
+  Rig s(topo::make_dgx1v());
+  const auto trees = route_trees(s.fabric, 0, s.set);
+  CodeGenOptions with_reuse;
+  with_reuse.stream_reuse = true;
+  ProgramBuilder b1(s.fabric, with_reuse);
+  b1.broadcast(trees, 100e6);
+  const int streams_reuse = b1.take().num_streams();
+
+  CodeGenOptions no_reuse;
+  no_reuse.stream_reuse = false;
+  ProgramBuilder b2(s.fabric, no_reuse);
+  b2.broadcast(trees, 100e6);
+  const int streams_private = b2.take().num_streams();
+  EXPECT_LE(streams_reuse, streams_private);
+}
+
+TEST(ProgramBuilder, ChunkCountClamped) {
+  Rig s(topo::make_chain(3));
+  CodeGenOptions opts;
+  opts.chunk_bytes = 1024;
+  opts.max_chunks_per_tree = 64;
+  ProgramBuilder builder(s.fabric, opts);
+  EXPECT_EQ(builder.chunks_for(1e9), 64);
+  EXPECT_EQ(builder.chunks_for(512.0), 1);
+  EXPECT_EQ(builder.chunks_for(4096.0), 4);
+}
+
+TEST(ProgramBuilder, CopyChunksHonorsGates) {
+  Rig s(topo::make_chain(3));
+  ProgramBuilder builder(s.fabric, CodeGenOptions{});
+  const int gate = builder.delay(0.5, "gate");
+  const auto route = s.fabric.nvlink_route(0, 0, 1);
+  const std::vector<int> gates{gate};
+  builder.copy_chunks(route, 23e9, 1, 0, gates);  // 1 s at 23 GB/s
+  const auto run = sim::execute(s.fabric, builder.take());
+  EXPECT_GT(run.makespan, 1.49);
+}
+
+TEST(PseudoCuda, EmissionMentionsTreesAndMemcpy) {
+  Rig s(topo::make_dgx1v());
+  const std::string src = emit_pseudo_cuda(s.set, CodeGenOptions{});
+  EXPECT_NE(src.find("blinkBroadcast"), std::string::npos);
+  EXPECT_NE(src.find("cudaMemcpyPeerAsync"), std::string::npos);
+  EXPECT_NE(src.find("tree 5"), std::string::npos);  // 6 trees emitted
+}
+
+}  // namespace
+}  // namespace blink

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "blink/blink/communicator.h"
+#include "blink/topology/binning.h"
+#include "blink/topology/builders.h"
+#include "blink/topology/discovery.h"
+
+namespace blink {
+namespace {
+
+topo::Topology alloc_v100(std::vector<int> gpus) {
+  return topo::induced_topology(topo::make_dgx1v(), gpus);
+}
+
+TEST(Communicator, BroadcastFullDgx1v) {
+  Communicator comm(topo::make_dgx1v());
+  const auto r = comm.broadcast(500e6, 0);
+  EXPECT_GT(r.algorithm_bw, 100e9);  // ~6 lanes * 23 GB/s minus overheads
+  EXPECT_LT(r.algorithm_bw, 6 * topo::kNvlinkGen2Bw);
+  EXPECT_EQ(r.num_trees, 6);
+}
+
+TEST(Communicator, AllReduceSlowerThanBroadcast) {
+  Communicator comm(topo::make_dgx1v());
+  const auto b = comm.broadcast(500e6, 0);
+  const auto ar = comm.all_reduce(500e6);
+  EXPECT_LT(ar.algorithm_bw, 0.7 * b.algorithm_bw);
+  EXPECT_GT(ar.algorithm_bw, 0.3 * b.algorithm_bw);
+}
+
+TEST(Communicator, NvlinkDisconnectedFallsBackToPcie) {
+  Communicator comm(alloc_v100({1, 4, 6}));
+  const auto r = comm.broadcast(100e6, 0);
+  EXPECT_GT(r.algorithm_bw, 1e9);
+  EXPECT_LT(r.algorithm_bw, 12e9);  // PCIe-bound
+  EXPECT_EQ(comm.tree_set(0).link, topo::LinkType::kPCIe);
+}
+
+TEST(Communicator, GatherReduceRun) {
+  Communicator comm(alloc_v100({4, 5, 6, 7}));
+  EXPECT_GT(comm.gather(100e6, 0).algorithm_bw, 1e9);
+  EXPECT_GT(comm.reduce(100e6, 0).algorithm_bw, 1e9);
+}
+
+TEST(Communicator, AllGatherAndReduceScatterRun) {
+  Communicator comm(alloc_v100({0, 1, 2, 3}));
+  const auto ag = comm.all_gather(50e6);
+  const auto rs = comm.reduce_scatter(50e6);
+  EXPECT_GT(ag.seconds, 0.0);
+  EXPECT_GT(rs.seconds, 0.0);
+}
+
+TEST(Communicator, MemoizationReturnsIdenticalResults) {
+  Communicator comm(topo::make_dgx1v());
+  const auto a = comm.broadcast(200e6, 1);
+  const auto b = comm.broadcast(200e6, 1);
+  EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
+}
+
+TEST(Communicator, BestRootPicksMaxRate) {
+  Communicator comm(alloc_v100({0, 1, 3, 7}));
+  const int best = comm.best_root();
+  for (int r = 0; r < comm.num_gpus(); ++r) {
+    EXPECT_GE(comm.tree_set(best).rate, comm.tree_set(r).rate - 1.0);
+  }
+}
+
+TEST(Communicator, SmallTransfersDominatedByLatency) {
+  Communicator comm(topo::make_dgx1v());
+  const auto small = comm.all_reduce(1e3);
+  const auto large = comm.all_reduce(500e6);
+  EXPECT_LT(small.algorithm_bw, 0.05 * large.algorithm_bw);
+}
+
+TEST(Communicator, ThroughputGrowsWithDataSize) {
+  Communicator comm(topo::make_dgx1v());
+  double prev = 0.0;
+  for (const double bytes : {1e5, 1e6, 1e7, 1e8}) {
+    const double bw = comm.broadcast(bytes, 0).algorithm_bw;
+    EXPECT_GT(bw, prev * 0.99) << bytes;
+    prev = bw;
+  }
+}
+
+TEST(Communicator, MiadTuningProducesTrace) {
+  Communicator comm(alloc_v100({4, 5, 6, 7}));
+  const auto trace =
+      comm.tune_chunk_size(CollectiveKind::kBroadcast, 200e6, 0);
+  EXPECT_GE(trace.trace.size(), 3u);
+  EXPECT_GT(trace.selected_chunk, 0u);
+  EXPECT_GT(trace.selected_throughput, 0.0);
+}
+
+TEST(Communicator, AutoChunkModeRuns) {
+  CommunicatorOptions opts;
+  opts.codegen.chunk_bytes = 0;  // MIAD
+  Communicator comm(alloc_v100({5, 6, 7}), opts);
+  const auto r = comm.broadcast(200e6, 0);
+  EXPECT_GT(r.algorithm_bw, 10e9);
+}
+
+TEST(Communicator, InvalidTopologyThrows) {
+  topo::Topology bad = topo::make_chain(3);
+  bad.nvlinks.push_back({0, 9, 1});
+  EXPECT_THROW(Communicator{bad}, std::invalid_argument);
+}
+
+TEST(Communicator, TwoGpuCollectives) {
+  Communicator comm(alloc_v100({0, 3}));  // doubled link
+  const auto r = comm.broadcast(100e6, 0);
+  EXPECT_GT(r.algorithm_bw, 1.5 * topo::kNvlinkGen2Bw);
+  EXPECT_GT(comm.all_reduce(100e6).algorithm_bw, 0.5 * topo::kNvlinkGen2Bw);
+}
+
+// Broadcast throughput must never fall below the NCCL-visible lower bound of
+// a single lane on connected configs (Blink >= 1 tree).
+class CommSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CommSweep, ConnectedConfigsBeatSingleLane) {
+  const auto machine = topo::make_dgx1v();
+  for (const auto& bin :
+       topo::unique_configs(machine, GetParam(), /*connected_only=*/true)) {
+    Communicator comm(topo::induced_topology(machine, bin.representative));
+    const auto r = comm.broadcast(500e6, 0);
+    EXPECT_GE(r.algorithm_bw, 0.8 * topo::kNvlinkGen2Bw)
+        << ::testing::PrintToString(bin.representative);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CommSweep, ::testing::Values(3, 5, 8));
+
+}  // namespace
+}  // namespace blink

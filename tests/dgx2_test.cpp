@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "blink/blink/communicator.h"
+#include "blink/blink/dgx2.h"
+#include "blink/topology/builders.h"
+
+namespace blink {
+namespace {
+
+TEST(Dgx2Trees, OneHopTreesShape) {
+  const sim::Fabric fabric(topo::make_dgx2(), sim::FabricParams{});
+  const auto trees = dgx2_one_hop_trees(fabric, 0);
+  ASSERT_EQ(trees.size(), 16u);
+  for (int r = 0; r < 16; ++r) {
+    const auto& t = trees[static_cast<std::size_t>(r)];
+    EXPECT_EQ(t.root, r);
+    EXPECT_EQ(t.hops.size(), 15u);
+    EXPECT_EQ(t.depth(), 1);  // §3.5: one-hop trees
+  }
+}
+
+TEST(Dgx2Trees, BroadcastRelayTreesShape) {
+  const sim::Fabric fabric(topo::make_dgx2(), sim::FabricParams{});
+  const auto trees = dgx2_broadcast_trees(fabric, 0, 5);
+  ASSERT_EQ(trees.size(), 15u);
+  for (const auto& t : trees) {
+    EXPECT_EQ(t.root, 5);
+    EXPECT_EQ(t.depth(), 2);
+    EXPECT_EQ(t.hops.size(), 15u);
+  }
+}
+
+TEST(Dgx2, AllReduceThroughputReasonable) {
+  Communicator comm(topo::make_dgx2());
+  const auto r = comm.all_reduce(1e9);
+  // Ingress-bound upper limit is 138 GB/s * 16/15; reductions and overheads
+  // keep the realized value below but in the tens of GB/s.
+  EXPECT_GT(r.algorithm_bw, 30e9);
+  EXPECT_LT(r.algorithm_bw, 150e9);
+  EXPECT_EQ(r.num_trees, 16);
+}
+
+TEST(Dgx2, SmallAllReduceLatencyIsMicroseconds) {
+  Communicator comm(topo::make_dgx2());
+  const auto r = comm.all_reduce(1e3);
+  // Two hops plus one kernel: tens of microseconds, not milliseconds
+  // (Figure 20's left edge).
+  EXPECT_LT(r.seconds, 200e-6);
+  EXPECT_GT(r.seconds, 1e-6);
+}
+
+TEST(Dgx2, BroadcastSaturatesRootEgress) {
+  Communicator comm(topo::make_dgx2());
+  const auto r = comm.broadcast(1e9, 3);
+  EXPECT_GT(r.algorithm_bw, 0.6 * topo::kNvswitchGpuBw);
+  EXPECT_LT(r.algorithm_bw, 1.01 * topo::kNvswitchGpuBw);
+}
+
+TEST(Dgx2, ThroughputMonotonicInSize) {
+  Communicator comm(topo::make_dgx2());
+  double prev = 0.0;
+  for (const double bytes : {1e4, 1e6, 1e8, 1e9}) {
+    const double bw = comm.all_reduce(bytes).algorithm_bw;
+    EXPECT_GT(bw, prev * 0.9) << bytes;
+    prev = bw;
+  }
+}
+
+}  // namespace
+}  // namespace blink

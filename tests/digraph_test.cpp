@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "blink/graph/digraph.h"
+#include "blink/topology/builders.h"
+
+namespace blink::graph {
+namespace {
+
+TEST(DiGraph, AddEdgeBookkeeping) {
+  DiGraph g(3);
+  const int e0 = g.add_edge(0, 1, 5e9, 1);
+  const int e1 = g.add_edge(1, 2, 7e9, 2);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.edge(e0).dst, 1);
+  EXPECT_EQ(g.edge(e1).lanes, 2);
+  EXPECT_EQ(g.out_edges(0).size(), 1u);
+  EXPECT_EQ(g.in_edges(2).size(), 1u);
+  EXPECT_TRUE(g.out_edges(2).empty());
+}
+
+TEST(DiGraph, Reachability) {
+  DiGraph g(3);
+  g.add_edge(0, 1, 1e9);
+  EXPECT_FALSE(g.reachable_from(0));
+  g.add_edge(1, 2, 1e9);
+  EXPECT_TRUE(g.reachable_from(0));
+  EXPECT_FALSE(g.reachable_from(2));
+}
+
+TEST(NvlinkDigraph, Dgx1vEdgesAndCapacities) {
+  const auto topo = topo::make_dgx1v();
+  const DiGraph g = nvlink_digraph(topo);
+  EXPECT_EQ(g.num_vertices(), 8);
+  // 16 undirected bundles -> 32 directed edges.
+  EXPECT_EQ(g.num_edges(), 32);
+  // Every directed edge capacity equals lanes * lane bw.
+  for (const auto& e : g.edges()) {
+    EXPECT_DOUBLE_EQ(e.capacity, e.lanes * topo.nvlink_lane_bw);
+  }
+}
+
+TEST(NvlinkDigraph, NvswitchIsFullMesh) {
+  const auto topo = topo::make_dgx2();
+  const DiGraph g = nvlink_digraph(topo);
+  EXPECT_EQ(g.num_edges(), 16 * 15);
+  EXPECT_DOUBLE_EQ(g.edge(0).capacity, topo.nvswitch_gpu_bw);
+}
+
+TEST(PcieDigraph, CapacityDependsOnHierarchyDistance) {
+  const auto topo = topo::make_dgx1v();
+  const DiGraph g = pcie_digraph(topo);
+  EXPECT_EQ(g.num_edges(), 8 * 7);
+  double same_plx = 0.0;
+  double cross_cpu = 0.0;
+  for (const auto& e : g.edges()) {
+    if (e.src == 0 && e.dst == 1) same_plx = e.capacity;      // share PLX0
+    if (e.src == 0 && e.dst == 7) cross_cpu = e.capacity;     // across QPI
+  }
+  EXPECT_DOUBLE_EQ(same_plx, topo.pcie.gpu_bw);
+  EXPECT_DOUBLE_EQ(cross_cpu, std::min(topo.pcie.qpi_bw, 5.0e9));
+  EXPECT_LT(cross_cpu, same_plx);
+}
+
+}  // namespace
+}  // namespace blink::graph

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "blink/dnn/models.h"
+#include "blink/dnn/training.h"
+
+namespace blink::dnn {
+namespace {
+
+TEST(Models, ZooHasFourModels) {
+  const auto zoo = model_zoo();
+  ASSERT_EQ(zoo.size(), 4u);
+  EXPECT_EQ(zoo[0].name, "AlexNet");
+  EXPECT_EQ(zoo[3].name, "VGG16");
+}
+
+TEST(Models, ParameterSizesMatchLiterature) {
+  EXPECT_NEAR(alexnet().param_bytes, 244e6, 5e6);
+  EXPECT_NEAR(resnet18().param_bytes, 46.8e6, 2e6);
+  EXPECT_NEAR(resnet50().param_bytes, 102e6, 3e6);
+  EXPECT_NEAR(vgg16().param_bytes, 553e6, 5e6);
+}
+
+TEST(Models, BucketFractionsSumToOne) {
+  for (const auto& m : model_zoo()) {
+    const double sum = std::accumulate(m.bucket_fractions.begin(),
+                                       m.bucket_fractions.end(), 0.0);
+    EXPECT_NEAR(sum, 1.0, 1e-9) << m.name;
+  }
+}
+
+TEST(Models, P100SlowerThanV100) {
+  for (const auto& m : model_zoo()) {
+    EXPECT_GT(m.fwd_seconds(GpuGeneration::kP100),
+              m.fwd_seconds(GpuGeneration::kV100));
+    EXPECT_GT(m.bwd_seconds(GpuGeneration::kP100),
+              m.bwd_seconds(GpuGeneration::kV100));
+  }
+}
+
+TEST(Training, NoCommMeansNoOverhead) {
+  const auto m = resnet50();
+  const auto it = simulate_iteration(
+      m, GpuGeneration::kV100, [](double) { return 0.0; }, {});
+  EXPECT_DOUBLE_EQ(it.exposed_comm_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(it.iteration_seconds, it.compute_seconds);
+  EXPECT_DOUBLE_EQ(it.comm_fraction, 0.0);
+}
+
+TEST(Training, SlowNetworkDominates) {
+  const auto m = vgg16();
+  // 1 GB/s: VGG's 553 MB gradient costs ~0.55 s vs 0.135 s compute.
+  const auto it = simulate_iteration(
+      m, GpuGeneration::kV100, [](double b) { return b / 1e9; },
+      {});
+  EXPECT_GT(it.comm_fraction, 0.4);
+  EXPECT_GT(it.iteration_seconds, it.compute_seconds);
+}
+
+TEST(Training, OverlapHidesPartOfComm) {
+  const auto m = resnet50();
+  const AllReduceFn slow = [](double b) { return b / 5e9; };
+  TrainingOptions overlap;
+  TrainingOptions sequential;
+  sequential.wait_free_backprop = false;
+  const auto with = simulate_iteration(m, GpuGeneration::kV100, slow, overlap);
+  const auto without =
+      simulate_iteration(m, GpuGeneration::kV100, slow, sequential);
+  EXPECT_LT(with.iteration_seconds, without.iteration_seconds);
+  EXPECT_LT(with.exposed_comm_seconds, without.exposed_comm_seconds);
+  EXPECT_NEAR(with.comm_seconds, without.comm_seconds,
+              0.1 * without.comm_seconds);
+}
+
+TEST(Training, FasterCollectiveReducesIterationTime) {
+  const auto m = alexnet();
+  const auto slow = simulate_iteration(
+      m, GpuGeneration::kV100, [](double b) { return b / 5e9; }, {});
+  const auto fast = simulate_iteration(
+      m, GpuGeneration::kV100, [](double b) { return b / 40e9; }, {});
+  EXPECT_LT(fast.iteration_seconds, slow.iteration_seconds);
+  EXPECT_LT(fast.comm_fraction, slow.comm_fraction);
+}
+
+TEST(Training, ImagesPerSecondScalesWithGpus) {
+  const auto m = resnet18();
+  TrainingOptions one;
+  one.num_gpus = 1;
+  TrainingOptions eight;
+  eight.num_gpus = 8;
+  const AllReduceFn fn = [](double b) { return b / 40e9; };
+  const auto i1 = simulate_iteration(m, GpuGeneration::kV100, fn, one);
+  const auto i8 = simulate_iteration(m, GpuGeneration::kV100, fn, eight);
+  EXPECT_NEAR(i8.images_per_second, 8 * i1.images_per_second, 1e-6);
+}
+
+TEST(Training, CommFractionBounded) {
+  for (const auto& m : model_zoo()) {
+    for (const double bw : {1e9, 5e9, 40e9, 130e9}) {
+      const auto it = simulate_iteration(
+          m, GpuGeneration::kV100, [bw](double b) { return b / bw; }, {});
+      EXPECT_GE(it.comm_fraction, 0.0) << m.name;
+      EXPECT_LT(it.comm_fraction, 1.0) << m.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace blink::dnn

@@ -1,0 +1,117 @@
+// Edge cases and less-travelled paths across the public API.
+#include <gtest/gtest.h>
+
+#include "blink/baselines/nccl_like.h"
+#include "blink/blink/communicator.h"
+#include "blink/blink/multiserver.h"
+#include "blink/topology/binning.h"
+#include "blink/topology/builders.h"
+#include "blink/topology/discovery.h"
+
+namespace blink {
+namespace {
+
+TEST(EdgeCases, Dgx2FullCollectiveSurface) {
+  Communicator comm(topo::make_dgx2());
+  const double bytes = 16e6;
+  EXPECT_GT(comm.gather(bytes, 3).algorithm_bw, 1e9);
+  EXPECT_GT(comm.reduce(bytes, 3).algorithm_bw, 1e9);
+  EXPECT_GT(comm.all_gather(bytes).seconds, 0.0);
+  EXPECT_GT(comm.reduce_scatter(bytes).seconds, 0.0);
+}
+
+TEST(EdgeCases, TinyPayloads) {
+  Communicator comm(topo::make_dgx1v());
+  for (const double bytes : {1.0, 100.0, 4096.0}) {
+    const auto b = comm.broadcast(bytes, 0);
+    EXPECT_GT(b.seconds, 0.0) << bytes;
+    const auto ar = comm.all_reduce(bytes);
+    EXPECT_GT(ar.seconds, b.seconds * 0.5) << bytes;
+  }
+}
+
+TEST(EdgeCases, HugePayloadRespectsChunkCap) {
+  CommunicatorOptions opts;
+  opts.codegen.max_chunks_per_tree = 32;
+  Communicator comm(topo::make_dgx1v(), opts);
+  const auto r = comm.broadcast(8e9, 0);
+  EXPECT_GT(r.algorithm_bw, 80e9);  // cap forces bigger chunks, still fast
+}
+
+TEST(EdgeCases, EveryRootOnEveryUniqueFourGpuConfig) {
+  const auto machine = topo::make_dgx1v();
+  for (const auto& bin :
+       topo::unique_configs(machine, 4, /*connected_only=*/true)) {
+    const auto topo = topo::induced_topology(machine, bin.representative);
+    Communicator comm(topo);
+    for (int root = 0; root < topo.num_gpus; ++root) {
+      EXPECT_GT(comm.broadcast(32e6, root).algorithm_bw, 5e9)
+          << ::testing::PrintToString(bin.representative) << " root " << root;
+    }
+  }
+}
+
+TEST(EdgeCases, TwoGpuSingleLane) {
+  const auto machine = topo::make_dgx1v();
+  Communicator comm(topo::induced_topology(machine, std::vector<int>{0, 1}));
+  const auto r = comm.broadcast(64e6, 1);  // non-zero root
+  EXPECT_GT(r.algorithm_bw, 0.7 * topo::kNvlinkGen2Bw);
+  EXPECT_LT(r.algorithm_bw, 1.3 * topo::kNvlinkGen2Bw);
+}
+
+TEST(EdgeCases, NcclTwoGpus) {
+  const auto machine = topo::make_dgx1v();
+  baselines::NcclCommunicator nccl(
+      topo::induced_topology(machine, std::vector<int>{0, 3}));  // 2 lanes
+  const auto r = nccl.broadcast(64e6, 0);
+  EXPECT_GT(r.algorithm_bw, 1.2 * topo::kNvlinkGen2Bw);
+}
+
+TEST(EdgeCases, ClusterWithDgx2Member) {
+  // Mixed cluster: a DGX-2 and a DGX-1V fragment.
+  const auto machine = topo::make_dgx1v();
+  ClusterCommunicator comm(
+      {topo::make_dgx2(),
+       topo::induced_topology(machine, std::vector<int>{4, 5, 6, 7})},
+      {});
+  EXPECT_EQ(comm.num_partitions(), 4);
+  const auto r = comm.all_reduce(32e6);
+  EXPECT_GT(r.seconds, 0.0);
+}
+
+TEST(EdgeCases, MemoizationOffStillDeterministic) {
+  CommunicatorOptions opts;
+  opts.memoize = false;
+  const auto machine = topo::make_dgx1v();
+  Communicator comm(topo::induced_topology(machine,
+                                           std::vector<int>{5, 6, 7}),
+                    opts);
+  const auto a = comm.all_reduce(48e6);
+  const auto b = comm.all_reduce(48e6);
+  EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
+}
+
+TEST(EdgeCases, GatherVolumeScalesWithSources) {
+  // Gather from n-1 sources moves (n-1) * per-GPU bytes.
+  const auto machine = topo::make_dgx1v();
+  const auto t3 = topo::induced_topology(machine, std::vector<int>{5, 6, 7});
+  const auto t4 =
+      topo::induced_topology(machine, std::vector<int>{4, 5, 6, 7});
+  Communicator c3(t3);
+  Communicator c4(t4);
+  // More sources means more total data: time grows with GPU count at equal
+  // per-GPU bytes on comparable fabrics.
+  EXPECT_GT(c4.gather(64e6, 0).seconds, 0.6 * c3.gather(64e6, 0).seconds);
+}
+
+TEST(EdgeCases, TreeSetCachesReturnSameObject) {
+  Communicator comm(topo::make_dgx1v());
+  const TreeSet* a = &comm.tree_set(2);
+  const TreeSet* b = &comm.tree_set(2);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, &comm.tree_set(3));
+  EXPECT_NE(a, &comm.bidir_tree_set(2));
+}
+
+}  // namespace
+}  // namespace blink

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "blink/sim/engine.h"
+
+namespace blink::sim {
+namespace {
+
+std::vector<double> rates(const std::vector<double>& caps,
+                          const std::vector<std::vector<int>>& routes) {
+  std::vector<FlowSpec> specs;
+  specs.reserve(routes.size());
+  for (const auto& r : routes) specs.push_back({r});
+  return max_min_rates(caps, specs);
+}
+
+TEST(MaxMin, SingleFlowGetsFullCapacity) {
+  const auto r = rates({10.0}, {{0}});
+  EXPECT_DOUBLE_EQ(r[0], 10.0);
+}
+
+TEST(MaxMin, TwoFlowsShareEqually) {
+  const auto r = rates({10.0}, {{0}, {0}});
+  EXPECT_DOUBLE_EQ(r[0], 5.0);
+  EXPECT_DOUBLE_EQ(r[1], 5.0);
+}
+
+TEST(MaxMin, EmptyRouteIsUnconstrained) {
+  const auto r = rates({10.0}, {{}});
+  EXPECT_TRUE(std::isinf(r[0]));
+}
+
+TEST(MaxMin, MultiChannelFlowLimitedByNarrowest) {
+  const auto r = rates({10.0, 2.0}, {{0, 1}});
+  EXPECT_DOUBLE_EQ(r[0], 2.0);
+}
+
+TEST(MaxMin, ClassicThreeFlowExample) {
+  // Flow A on channels {0,1}, flow B on {0}, flow C on {1}. Caps 10 each.
+  // Max-min: A=5, B=5, C=5.
+  const auto r = rates({10.0, 10.0}, {{0, 1}, {0}, {1}});
+  EXPECT_DOUBLE_EQ(r[0], 5.0);
+  EXPECT_DOUBLE_EQ(r[1], 5.0);
+  EXPECT_DOUBLE_EQ(r[2], 5.0);
+}
+
+TEST(MaxMin, UnevenBottleneck) {
+  // Channel 0 cap 2 shared by flows A,B; channel 1 cap 10 used by B,C.
+  // A=1, B=1 (bottlenecked on channel 0), C=9.
+  const auto r = rates({2.0, 10.0}, {{0}, {0, 1}, {1}});
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+  EXPECT_DOUBLE_EQ(r[1], 1.0);
+  EXPECT_DOUBLE_EQ(r[2], 9.0);
+}
+
+TEST(MaxMin, NoFlows) {
+  EXPECT_TRUE(rates({5.0}, {}).empty());
+}
+
+TEST(MaxMin, AllocationIsFeasibleAndSaturating) {
+  // Random-ish configuration: verify feasibility (no channel oversubscribed)
+  // and maximality (every flow has a saturated channel).
+  const std::vector<double> caps{3.0, 7.0, 2.0, 11.0};
+  const std::vector<std::vector<int>> routes{{0, 1}, {1, 2}, {2, 3},
+                                             {0, 3}, {1},    {3}};
+  const auto r = rates(caps, routes);
+  std::vector<double> load(caps.size(), 0.0);
+  for (std::size_t f = 0; f < routes.size(); ++f) {
+    for (const int c : routes[f]) load[static_cast<std::size_t>(c)] += r[f];
+  }
+  for (std::size_t c = 0; c < caps.size(); ++c) {
+    EXPECT_LE(load[c], caps[c] + 1e-9) << "channel " << c;
+  }
+  for (std::size_t f = 0; f < routes.size(); ++f) {
+    bool saturated = false;
+    for (const int c : routes[f]) {
+      if (load[static_cast<std::size_t>(c)] >=
+          caps[static_cast<std::size_t>(c)] - 1e-6) {
+        saturated = true;
+      }
+    }
+    EXPECT_TRUE(saturated) << "flow " << f << " could be increased";
+  }
+}
+
+TEST(MaxMin, ManyFlowsOneChannel) {
+  std::vector<std::vector<int>> routes(100, std::vector<int>{0});
+  const auto r = rates({50.0}, routes);
+  for (const double v : r) EXPECT_NEAR(v, 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace blink::sim

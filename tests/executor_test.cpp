@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include "blink/sim/executor.h"
+#include "blink/topology/builders.h"
+
+namespace blink::sim {
+namespace {
+
+Fabric chain_fabric(int n) {
+  FabricParams params;
+  params.copy_launch_latency = 0.0;
+  params.reduce_launch_latency = 0.0;
+  params.event_sync_latency = 0.0;  // exact-timing tests
+  return Fabric(topo::make_chain(n, /*lane_bw=*/10.0e9), params);
+}
+
+TEST(Executor, SingleCopyTiming) {
+  const Fabric f = chain_fabric(2);
+  Program p;
+  Op op;
+  op.kind = OpKind::kCopy;
+  op.route = f.nvlink_route(0, 0, 1);
+  op.bytes = 10.0e9;  // exactly one second at 10 GB/s
+  op.stream = p.new_stream();
+  p.add(op);
+  const auto result = execute(f, p);
+  EXPECT_NEAR(result.makespan, 1.0, 1e-9);
+}
+
+TEST(Executor, LatencyAddsToTransferTime) {
+  const Fabric f = chain_fabric(2);
+  Program p;
+  Op op;
+  op.kind = OpKind::kCopy;
+  op.route = f.nvlink_route(0, 0, 1);
+  op.bytes = 10.0e9;
+  op.latency = 0.25;
+  op.stream = p.new_stream();
+  p.add(op);
+  EXPECT_NEAR(execute(f, p).makespan, 1.25, 1e-9);
+}
+
+TEST(Executor, StreamSerializesOps) {
+  const Fabric f = chain_fabric(2);
+  Program p;
+  const int s = p.new_stream();
+  for (int i = 0; i < 3; ++i) {
+    Op op;
+    op.kind = OpKind::kCopy;
+    op.route = f.nvlink_route(0, 0, 1);
+    op.bytes = 10.0e9;
+    op.stream = s;
+    p.add(op);
+  }
+  EXPECT_NEAR(execute(f, p).makespan, 3.0, 1e-9);
+}
+
+TEST(Executor, ParallelStreamsShareChannelFairly) {
+  const Fabric f = chain_fabric(2);
+  Program p;
+  for (int i = 0; i < 2; ++i) {
+    Op op;
+    op.kind = OpKind::kCopy;
+    op.route = f.nvlink_route(0, 0, 1);
+    op.bytes = 10.0e9;
+    op.stream = p.new_stream();
+    p.add(op);
+  }
+  // Two flows on one 10 GB/s channel: both finish at 2 s.
+  EXPECT_NEAR(execute(f, p).makespan, 2.0, 1e-9);
+}
+
+TEST(Executor, IndependentChannelsRunConcurrently) {
+  const Fabric f = chain_fabric(3);
+  Program p;
+  for (const auto& route :
+       {f.nvlink_route(0, 0, 1), f.nvlink_route(0, 1, 2)}) {
+    Op op;
+    op.kind = OpKind::kCopy;
+    op.route = route;
+    op.bytes = 10.0e9;
+    op.stream = p.new_stream();
+    p.add(op);
+  }
+  EXPECT_NEAR(execute(f, p).makespan, 1.0, 1e-9);
+}
+
+TEST(Executor, DependencyChainsAcrossStreams) {
+  const Fabric f = chain_fabric(3);
+  Program p;
+  Op first;
+  first.kind = OpKind::kCopy;
+  first.route = f.nvlink_route(0, 0, 1);
+  first.bytes = 10.0e9;
+  first.stream = p.new_stream();
+  const int id = p.add(first);
+  Op second;
+  second.kind = OpKind::kCopy;
+  second.route = f.nvlink_route(0, 1, 2);
+  second.bytes = 10.0e9;
+  second.stream = p.new_stream();
+  second.deps = {id};
+  p.add(second);
+  EXPECT_NEAR(execute(f, p).makespan, 2.0, 1e-9);
+}
+
+TEST(Executor, ChunkedPipelineHalvesChainLatency) {
+  // Figure 11: two hops, payload split in chunks, hop 2 of chunk 1 overlaps
+  // hop 1 of chunk 2.
+  const Fabric f = chain_fabric(3);
+  const double total = 10.0e9;
+  for (const int chunks : {1, 2, 10}) {
+    Program p;
+    const int s0 = p.new_stream();
+    const int s1 = p.new_stream();
+    for (int c = 0; c < chunks; ++c) {
+      Op hop1;
+      hop1.kind = OpKind::kCopy;
+      hop1.route = f.nvlink_route(0, 0, 1);
+      hop1.bytes = total / chunks;
+      hop1.stream = s0;
+      const int id = p.add(hop1);
+      Op hop2;
+      hop2.kind = OpKind::kCopy;
+      hop2.route = f.nvlink_route(0, 1, 2);
+      hop2.bytes = total / chunks;
+      hop2.stream = s1;
+      hop2.deps = {id};
+      p.add(hop2);
+    }
+    const double expected = 1.0 + 1.0 / chunks;  // fill + drain
+    EXPECT_NEAR(execute(f, p).makespan, expected, 1e-9) << chunks;
+  }
+}
+
+TEST(Executor, EventSyncDelaysCrossStreamDependents) {
+  FabricParams params;
+  params.copy_launch_latency = 0.0;
+  params.reduce_launch_latency = 0.0;
+  params.event_sync_latency = 0.1;
+  const Fabric f(topo::make_chain(3, 10.0e9), params);
+  Program p;
+  Op first;
+  first.kind = OpKind::kCopy;
+  first.route = f.nvlink_route(0, 0, 1);
+  first.bytes = 10.0e9;
+  first.stream = p.new_stream();
+  const int id = p.add(first);
+  Op second;
+  second.kind = OpKind::kCopy;
+  second.route = f.nvlink_route(0, 1, 2);
+  second.bytes = 10.0e9;
+  second.stream = p.new_stream();  // different stream -> pays the sync
+  second.deps = {id};
+  p.add(second);
+  EXPECT_NEAR(execute(f, p).makespan, 2.1, 1e-9);
+
+  // Same-stream successors do not pay it.
+  Program q;
+  const int s = q.new_stream();
+  Op a = first;
+  a.stream = s;
+  const int ida = q.add(a);
+  Op b = second;
+  b.stream = s;
+  b.deps = {ida};
+  q.add(b);
+  EXPECT_NEAR(execute(f, q).makespan, 2.0, 1e-9);
+}
+
+TEST(Executor, DelayOp) {
+  const Fabric f = chain_fabric(2);
+  Program p;
+  Op op;
+  op.kind = OpKind::kDelay;
+  op.latency = 0.5;
+  op.stream = p.new_stream();
+  p.add(op);
+  EXPECT_NEAR(execute(f, p).makespan, 0.5, 1e-12);
+}
+
+TEST(Executor, ReduceEngineSharing) {
+  FabricParams params;
+  params.copy_launch_latency = 0.0;
+  params.reduce_launch_latency = 0.0;
+  params.event_sync_latency = 0.0;
+  params.reduce_bw = 10.0e9;
+  const Fabric f(topo::make_chain(2, 10.0e9), params);
+  Program p;
+  for (int i = 0; i < 2; ++i) {
+    Op op;
+    op.kind = OpKind::kReduce;
+    op.route = {f.reduce_channel(0, 0)};
+    op.bytes = 10.0e9;
+    op.stream = p.new_stream();
+    p.add(op);
+  }
+  EXPECT_NEAR(execute(f, p).makespan, 2.0, 1e-9);
+}
+
+TEST(Executor, EmptyProgram) {
+  const Fabric f = chain_fabric(2);
+  Program p;
+  EXPECT_DOUBLE_EQ(execute(f, p).makespan, 0.0);
+}
+
+TEST(Executor, ChannelBytesAccounting) {
+  const Fabric f = chain_fabric(2);
+  Program p;
+  Op op;
+  op.kind = OpKind::kCopy;
+  op.route = f.nvlink_route(0, 0, 1);
+  op.bytes = 4.0e9;
+  op.stream = p.new_stream();
+  p.add(op);
+  const auto result = execute(f, p);
+  EXPECT_DOUBLE_EQ(
+      result.channel_bytes[static_cast<std::size_t>(op.route[0])], 4.0e9);
+}
+
+TEST(Executor, ZeroByteOpsCompleteImmediately) {
+  const Fabric f = chain_fabric(2);
+  Program p;
+  Op op;
+  op.kind = OpKind::kCopy;
+  op.route = f.nvlink_route(0, 0, 1);
+  op.bytes = 0.0;
+  op.stream = p.new_stream();
+  const int id = p.add(op);
+  Op dep;
+  dep.kind = OpKind::kDelay;
+  dep.latency = 0.0;
+  dep.stream = p.new_stream();
+  dep.deps = {id};
+  p.add(dep);
+  EXPECT_DOUBLE_EQ(execute(f, p).makespan, 0.0);
+}
+
+}  // namespace
+}  // namespace blink::sim

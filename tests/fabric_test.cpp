@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "blink/sim/fabric.h"
+#include "blink/topology/builders.h"
+#include "blink/topology/discovery.h"
+
+namespace blink::sim {
+namespace {
+
+TEST(Fabric, Dgx1vChannelInventory) {
+  const auto topo = topo::make_dgx1v();
+  const Fabric f(topo, FabricParams{});
+  // 32 NVLink directions + 16 GPU PCIe + 8 PLX + 2 QPI + 2 sysmem staging
+  // + 8 reduce engines.
+  EXPECT_EQ(f.num_channels(), 32 + 16 + 8 + 2 + 2 + 8);
+}
+
+TEST(Fabric, NvlinkRouteIsSingleChannelWithLaneCapacity) {
+  const auto topo = topo::make_dgx1v();
+  const Fabric f(topo, FabricParams{});
+  const auto route = f.nvlink_route(0, 0, 3);  // doubled edge
+  ASSERT_EQ(route.size(), 1u);
+  EXPECT_DOUBLE_EQ(f.capacities()[static_cast<std::size_t>(route[0])],
+                   2 * topo.nvlink_lane_bw);
+  // Directions are distinct channels.
+  EXPECT_NE(f.nvlink_route(0, 0, 3)[0], f.nvlink_route(0, 3, 0)[0]);
+}
+
+TEST(Fabric, PcieRouteLengthDependsOnPlacement) {
+  const auto topo = topo::make_dgx1v();
+  const Fabric f(topo, FabricParams{});
+  EXPECT_EQ(f.pcie_route(0, 0, 1).size(), 2u);  // same PLX: up + down
+  EXPECT_EQ(f.pcie_route(0, 0, 2).size(), 5u);  // + 2 PLX hops + sysmem
+  EXPECT_EQ(f.pcie_route(0, 0, 7).size(), 6u);  // + QPI
+}
+
+TEST(Fabric, NvswitchRoutes) {
+  const auto topo = topo::make_dgx2();
+  const Fabric f(topo, FabricParams{});
+  const auto route = f.nvlink_route(0, 3, 9);
+  ASSERT_EQ(route.size(), 2u);  // egress + ingress
+  EXPECT_TRUE(f.nvlink_adjacent(0, 0, 15));
+  EXPECT_DOUBLE_EQ(f.capacities()[static_cast<std::size_t>(route[0])],
+                   topo.nvswitch_gpu_bw);
+}
+
+TEST(Fabric, ReduceChannelsPerGpu) {
+  const auto topo = topo::make_dgx1p();
+  FabricParams params;
+  params.reduce_bw = 55e9;
+  const Fabric f(topo, params);
+  EXPECT_NE(f.reduce_channel(0, 0), f.reduce_channel(0, 1));
+  EXPECT_DOUBLE_EQ(
+      f.capacities()[static_cast<std::size_t>(f.reduce_channel(0, 5))], 55e9);
+}
+
+TEST(Fabric, MultiServerNics) {
+  const auto topo = topo::make_dgx1v();
+  FabricParams params;
+  params.nic_bw = 12.5e9;  // 100 Gbps
+  const Fabric f({topo, topo}, params);
+  EXPECT_EQ(f.num_servers(), 2);
+  const auto route = f.nic_route(0, 1);
+  ASSERT_EQ(route.size(), 2u);
+  EXPECT_DOUBLE_EQ(f.capacities()[static_cast<std::size_t>(route[0])],
+                   12.5e9);
+  // Host staging routes exist on both sides (incl. the sysmem buffer).
+  EXPECT_EQ(f.pcie_to_host_route(0, 3).size(), 3u);
+  EXPECT_EQ(f.pcie_from_host_route(1, 6).size(), 3u);
+}
+
+TEST(Fabric, InducedTopologyWithSparseSwitchIds) {
+  const auto machine = topo::make_dgx1v();
+  const std::vector<int> alloc{6, 7};  // PLX 3 only
+  const auto topo = topo::induced_topology(machine, alloc);
+  const Fabric f(topo, FabricParams{});
+  const auto route = f.pcie_route(0, 0, 1);
+  EXPECT_EQ(route.size(), 2u);  // same PLX
+}
+
+TEST(Fabric, NvlinkAdjacency) {
+  const auto topo = topo::make_dgx1v();
+  const Fabric f(topo, FabricParams{});
+  EXPECT_TRUE(f.nvlink_adjacent(0, 0, 1));
+  EXPECT_FALSE(f.nvlink_adjacent(0, 1, 4));
+}
+
+}  // namespace
+}  // namespace blink::sim

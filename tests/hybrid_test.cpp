@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "blink/blink/communicator.h"
+#include "blink/blink/hybrid.h"
+#include "blink/topology/builders.h"
+
+namespace blink {
+namespace {
+
+TEST(HybridSplit, EqualRatesSplitHalfMinusSwitchCost) {
+  const auto s = compute_hybrid_split(100.0, 10.0, 10.0, 0.0);
+  EXPECT_DOUBLE_EQ(s.pcie_bytes, 50.0);
+  EXPECT_DOUBLE_EQ(s.nvlink_bytes, 50.0);
+}
+
+TEST(HybridSplit, Equation8Formula) {
+  const double total = 1000.0;
+  const double bw_n = 20.0;
+  const double bw_p = 5.0;
+  const double t_dpa = 2.0;
+  const auto s = compute_hybrid_split(total, bw_n, bw_p, t_dpa);
+  const double expected =
+      total * bw_p / (bw_p + bw_n) - t_dpa * bw_p * bw_n / (bw_p + bw_n);
+  EXPECT_DOUBLE_EQ(s.pcie_bytes, expected);
+  EXPECT_DOUBLE_EQ(s.nvlink_bytes, total - expected);
+  // The split equalizes completion times: T_nvl = D_nvl/bw_n equals
+  // T_pcie + t_dpa = D_pcie/bw_p + t_dpa.
+  EXPECT_NEAR(s.nvlink_bytes / bw_n, s.pcie_bytes / bw_p + t_dpa, 1e-9);
+}
+
+TEST(HybridSplit, SmallTransfersGoNvlinkOnly) {
+  // Switch cost exceeds any possible PCIe benefit.
+  const auto s = compute_hybrid_split(10.0, 20.0, 5.0, 100.0);
+  EXPECT_DOUBLE_EQ(s.pcie_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(s.nvlink_bytes, 10.0);
+}
+
+TEST(HybridSplit, NoNvlinkSendsEverythingOverPcie) {
+  const auto s = compute_hybrid_split(100.0, 0.0, 5.0, 1.0);
+  EXPECT_DOUBLE_EQ(s.pcie_bytes, 100.0);
+}
+
+TEST(HybridSplit, NoPcieSendsEverythingOverNvlink) {
+  const auto s = compute_hybrid_split(100.0, 5.0, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(s.nvlink_bytes, 100.0);
+}
+
+// Figure 21: hybrid broadcast beats NVLink-only for large payloads.
+TEST(HybridBroadcast, BeatsNvlinkOnlyForLargePayloads) {
+  CommunicatorOptions nvlink_only;
+  CommunicatorOptions hybrid;
+  hybrid.hybrid = true;
+  Communicator base(topo::make_dgx1v(), nvlink_only);
+  Communicator hyb(topo::make_dgx1v(), hybrid);
+  // Large enough that the PCIe slice clears the minimum-share guard on the
+  // full machine, where the peer-access toggle costs ~10 ms.
+  const double bytes = 8e9;
+  const auto r_base = base.broadcast(bytes, 0);
+  const auto r_hyb = hyb.broadcast(bytes, 0);
+  EXPECT_GT(r_hyb.algorithm_bw, r_base.algorithm_bw);
+  // The paper reports a 2-5 GB/s gain; allow a generous window.
+  EXPECT_LT(r_hyb.algorithm_bw, r_base.algorithm_bw + 12e9);
+}
+
+TEST(HybridBroadcast, SmallPayloadNotHurt) {
+  CommunicatorOptions hybrid;
+  hybrid.hybrid = true;
+  Communicator base(topo::make_dgx1v());
+  Communicator hyb(topo::make_dgx1v(), hybrid);
+  const double bytes = 1e6;  // switch cost dwarfs benefit -> NVLink only
+  const auto r_base = base.broadcast(bytes, 0);
+  const auto r_hyb = hyb.broadcast(bytes, 0);
+  EXPECT_NEAR(r_hyb.seconds, r_base.seconds, 0.2 * r_base.seconds);
+}
+
+}  // namespace
+}  // namespace blink

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "blink/common/rng.h"
+#include "blink/solver/ilp.h"
+
+namespace blink::solver {
+namespace {
+
+TEST(Ilp, SimpleKnapsackLike) {
+  // max x0 + x1 + x2 s.t. x0 + x1 <= 1, x1 + x2 <= 1 -> pick x0, x2.
+  LpProblem lp;
+  lp.c = {1.0, 1.0, 1.0};
+  lp.a = {{1.0, 1.0, 0.0}, {0.0, 1.0, 1.0}};
+  lp.b = {1.0, 1.0};
+  const auto sol = solve_01(lp);
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_NEAR(sol.objective, 2.0, 1e-9);
+  EXPECT_NEAR(sol.x[0], 1.0, 1e-9);
+  EXPECT_NEAR(sol.x[1], 0.0, 1e-9);
+  EXPECT_NEAR(sol.x[2], 1.0, 1e-9);
+}
+
+TEST(Ilp, FractionalLpRoundsDown) {
+  // LP optimum is x = (0.5, 0.5, 0.5) with objective 1.5 on the odd cycle;
+  // the integer optimum is 1.
+  LpProblem lp;
+  lp.c = {1.0, 1.0, 1.0};
+  lp.a = {{1.0, 1.0, 0.0}, {0.0, 1.0, 1.0}, {1.0, 0.0, 1.0}};
+  lp.b = {1.0, 1.0, 1.0};
+  const auto sol = solve_01(lp);
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_NEAR(sol.objective, 1.0, 1e-9);
+}
+
+TEST(Ilp, ZeroIsAlwaysFeasible) {
+  LpProblem lp;
+  lp.c = {5.0};
+  lp.a = {{10.0}};
+  lp.b = {1.0};  // x0 = 1 infeasible (10 > 1)
+  const auto sol = solve_01(lp);
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_NEAR(sol.objective, 0.0, 1e-12);
+}
+
+TEST(Ilp, WeightedObjective) {
+  // Prefer one heavy variable over two light ones sharing its capacity.
+  LpProblem lp;
+  lp.c = {3.0, 1.0, 1.0};
+  lp.a = {{1.0, 1.0, 0.0}, {1.0, 0.0, 1.0}};
+  lp.b = {1.0, 1.0};
+  const auto sol = solve_01(lp);
+  EXPECT_NEAR(sol.objective, 3.0, 1e-9);
+  EXPECT_NEAR(sol.x[0], 1.0, 1e-9);
+}
+
+// Exhaustive check against brute force on random packing instances.
+TEST(Ilp, MatchesBruteForceOnRandomInstances) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(rng.next_int(1, 10));
+    const std::size_t m = static_cast<std::size_t>(rng.next_int(1, 5));
+    LpProblem lp;
+    lp.c.resize(n);
+    for (auto& c : lp.c) c = static_cast<double>(rng.next_int(0, 5));
+    lp.a.assign(m, std::vector<double>(n, 0.0));
+    lp.b.resize(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        lp.a[i][j] = static_cast<double>(rng.next_int(0, 3));
+      }
+      lp.b[i] = static_cast<double>(rng.next_int(0, 6));
+    }
+    double best = 0.0;
+    for (std::uint64_t mask = 0; mask < (1ull << n); ++mask) {
+      double obj = 0.0;
+      bool ok = true;
+      for (std::size_t i = 0; i < m && ok; ++i) {
+        double lhs = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+          if (mask & (1ull << j)) lhs += lp.a[i][j];
+        }
+        ok = lhs <= lp.b[i] + 1e-9;
+      }
+      if (ok) {
+        for (std::size_t j = 0; j < n; ++j) {
+          if (mask & (1ull << j)) obj += lp.c[j];
+        }
+        best = std::max(best, obj);
+      }
+    }
+    const auto sol = solve_01(lp);
+    ASSERT_TRUE(sol.feasible) << trial;
+    EXPECT_NEAR(sol.objective, best, 1e-6) << trial;
+    // Solution itself must be feasible and 0/1.
+    for (std::size_t i = 0; i < m; ++i) {
+      double lhs = 0.0;
+      for (std::size_t j = 0; j < n; ++j) lhs += lp.a[i][j] * sol.x[j];
+      EXPECT_LE(lhs, lp.b[i] + 1e-6);
+    }
+    for (const double x : sol.x) {
+      EXPECT_TRUE(x == 0.0 || x == 1.0) << x;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace blink::solver

@@ -1,0 +1,141 @@
+// Cross-module integration tests: Blink vs the NCCL-like baseline across the
+// paper's unique configurations, asserting the paper's *qualitative* claims
+// end to end (who wins, by roughly what factor).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "blink/baselines/nccl_like.h"
+#include "blink/blink/communicator.h"
+#include "blink/dnn/training.h"
+#include "blink/topology/binning.h"
+#include "blink/topology/builders.h"
+#include "blink/topology/discovery.h"
+
+namespace blink {
+namespace {
+
+// Blink's broadcast never loses to NCCL on any unique connected DGX-1V
+// configuration (Figure 15's headline).
+class BroadcastSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BroadcastSweep, BlinkAtLeastMatchesNcclEverywhere) {
+  const auto machine = topo::make_dgx1v();
+  const double bytes = 500e6;
+  for (const auto& bin :
+       topo::unique_configs(machine, GetParam(), /*connected_only=*/true)) {
+    const auto topo = topo::induced_topology(machine, bin.representative);
+    Communicator blink_comm(topo);
+    baselines::NcclCommunicator nccl(topo);
+    const double blink_bw = blink_comm.broadcast(bytes, 0).algorithm_bw;
+    const double nccl_bw = nccl.broadcast(bytes, 0).algorithm_bw;
+    // Equal packed rates can differ a few percent in execution: the
+    // NCCL-like baseline runs fused persistent kernels (lower per-chunk
+    // command cost) while Blink's CodeGen issues discrete copies + events,
+    // so on ring-friendly configs the two land within a small band of each
+    // other ("NCCL matches Blink", §5.2.1).
+    EXPECT_GE(blink_bw, 0.92 * nccl_bw)
+        << ::testing::PrintToString(bin.representative);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BroadcastSweep,
+                         ::testing::Values(3, 4, 5, 6, 7, 8));
+
+TEST(Integration, BlinkWinsBigWhereNcclFallsToPcie) {
+  // Figure 2b / §5.2.1: partially connected configs give Blink multi-x wins.
+  const auto machine = topo::make_dgx1v();
+  const auto topo =
+      topo::induced_topology(machine, std::vector<int>{1, 4, 5, 6});
+  Communicator blink_comm(topo);
+  baselines::NcclCommunicator nccl(topo);
+  const double bytes = 500e6;
+  const double speedup = blink_comm.broadcast(bytes, 0).algorithm_bw /
+                         nccl.broadcast(bytes, 0).algorithm_bw;
+  EXPECT_GT(speedup, 3.0);
+  EXPECT_LT(speedup, 20.0);
+}
+
+TEST(Integration, AllReduceGeoMeanSpeedupAtLeastOne) {
+  const auto machine = topo::make_dgx1v();
+  double log_sum = 0.0;
+  int count = 0;
+  for (const int k : {3, 5, 7}) {
+    for (const auto& bin :
+         topo::unique_configs(machine, k, /*connected_only=*/true)) {
+      const auto topo = topo::induced_topology(machine, bin.representative);
+      Communicator blink_comm(topo);
+      baselines::NcclCommunicator nccl(topo);
+      const double ratio = blink_comm.all_reduce(100e6).algorithm_bw /
+                           nccl.all_reduce(100e6).algorithm_bw;
+      log_sum += std::log(ratio);
+      ++count;
+    }
+  }
+  const double geo_mean = std::exp(log_sum / count);
+  // The paper reports ~2x geometric mean across all 46 configs.
+  EXPECT_GT(geo_mean, 1.2);
+}
+
+TEST(Integration, Dgx2SmallSizeLatencyAdvantage) {
+  // Figures 19/20: one-hop trees beat double binary trees / rings at small
+  // sizes by ~3x in latency.
+  const auto topo = topo::make_dgx2();
+  Communicator blink_comm(topo);
+  baselines::NcclCommunicator nccl(topo);
+  const double small = 64e3;
+  const double blink_lat = blink_comm.all_reduce(small).seconds;
+  const double nccl_lat = nccl.all_reduce(small).seconds;
+  EXPECT_GT(nccl_lat / blink_lat, 2.0);
+}
+
+TEST(Integration, Dgx2LargeSizeNoRegression) {
+  const auto topo = topo::make_dgx2();
+  Communicator blink_comm(topo);
+  baselines::NcclCommunicator nccl(topo);
+  const double blink_bw = blink_comm.all_reduce(1e9).algorithm_bw;
+  const double nccl_bw = nccl.all_reduce(1e9).algorithm_bw;
+  EXPECT_GE(blink_bw, nccl_bw * 0.95);
+}
+
+TEST(Integration, EndToEndTrainingImproves) {
+  // Figure 18's mechanism: on a fragmented allocation Blink's faster
+  // AllReduce shortens the training iteration.
+  const auto machine = topo::make_dgx1v();
+  const auto topo =
+      topo::induced_topology(machine, std::vector<int>{1, 4, 5, 7});
+  Communicator blink_comm(topo);
+  baselines::NcclCommunicator nccl(topo);
+  const auto model = dnn::vgg16();
+  dnn::TrainingOptions opts;
+  opts.num_gpus = topo.num_gpus;
+  const auto blink_it = dnn::simulate_iteration(
+      model, dnn::GpuGeneration::kV100,
+      [&](double b) { return blink_comm.all_reduce(b).seconds; }, opts);
+  const auto nccl_it = dnn::simulate_iteration(
+      model, dnn::GpuGeneration::kV100,
+      [&](double b) { return nccl.all_reduce(b).seconds; }, opts);
+  EXPECT_LT(blink_it.iteration_seconds, nccl_it.iteration_seconds);
+  EXPECT_LT(blink_it.exposed_comm_seconds, nccl_it.exposed_comm_seconds);
+}
+
+TEST(Integration, TheoreticalSpeedupMatchesMeasuredDirection) {
+  // Figure 14 vs Figures 15-17: wherever the packed rate exceeds what rings
+  // deliver, the measured throughput ratio should agree in direction.
+  const auto machine = topo::make_dgx1v();
+  const auto topo =
+      topo::induced_topology(machine, std::vector<int>{0, 1, 2, 3});
+  Communicator blink_comm(topo);
+  baselines::NcclCommunicator nccl(topo);
+  const double packed_rate = blink_comm.tree_set(0).rate;
+  const double ring_rate =
+      nccl.ring_plan().num_directed() * topo.nvlink_lane_bw;
+  const double measured_ratio = blink_comm.broadcast(500e6, 0).algorithm_bw /
+                                nccl.broadcast(500e6, 0).algorithm_bw;
+  if (packed_rate > 1.1 * ring_rate) {
+    EXPECT_GT(measured_ratio, 1.05);
+  }
+}
+
+}  // namespace
+}  // namespace blink

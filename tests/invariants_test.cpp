@@ -1,0 +1,150 @@
+// Cross-cutting invariant checks (property-style) over the whole pipeline:
+// data conservation in generated schedules, capacity discipline under
+// execution, and bound consistency between planning and simulation.
+#include <gtest/gtest.h>
+
+#include "blink/baselines/nccl_like.h"
+#include "blink/blink/communicator.h"
+#include "blink/sim/executor.h"
+#include "blink/topology/binning.h"
+#include "blink/topology/builders.h"
+#include "blink/topology/discovery.h"
+
+namespace blink {
+namespace {
+
+// Every GPU must receive the full payload in a broadcast: the sum of copy
+// bytes equals (n-1) * payload, regardless of how trees split it.
+class BroadcastConservation : public ::testing::TestWithParam<int> {};
+
+TEST_P(BroadcastConservation, CopyVolumeIsReceiversTimesPayload) {
+  const auto machine = topo::make_dgx1v();
+  const double bytes = 96e6;
+  for (const auto& bin :
+       topo::unique_configs(machine, GetParam(), /*connected_only=*/true)) {
+    const auto topo = topo::induced_topology(machine, bin.representative);
+    const sim::Fabric fabric(topo, sim::FabricParams{});
+    const auto set = generate_trees(topo, 0);
+    ProgramBuilder builder(fabric, CodeGenOptions{});
+    builder.broadcast(route_trees(fabric, 0, set), bytes);
+    const auto program = builder.take();
+    EXPECT_NEAR(program.total_copy_bytes(), (topo.num_gpus - 1) * bytes,
+                1e-3 * bytes)
+        << ::testing::PrintToString(bin.representative);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BroadcastConservation,
+                         ::testing::Values(3, 4, 6, 8));
+
+// AllReduce moves exactly 2 * (n-1)/n-ish volume per tree edge: with our
+// tree formulation, reduce carries B up each edge and broadcast B down, so
+// total copy volume is 2 * (n-1) * B (per §3.3's message-count argument).
+TEST(AllReduceConservation, TwoPassesPerEdge) {
+  const auto machine = topo::make_dgx1v();
+  const auto topo =
+      topo::induced_topology(machine, std::vector<int>{4, 5, 6, 7});
+  const sim::Fabric fabric(topo, sim::FabricParams{});
+  Communicator comm(topo);
+  const double bytes = 64e6;
+  ProgramBuilder builder(fabric, CodeGenOptions{});
+  builder.all_reduce(route_trees(fabric, 0, comm.bidir_tree_set(0)), bytes);
+  const auto program = builder.take();
+  EXPECT_NEAR(program.total_copy_bytes(), 2.0 * (topo.num_gpus - 1) * bytes,
+              1e-3 * bytes);
+}
+
+// No channel may carry more bytes than capacity * makespan: execution never
+// oversubscribes the fluid fabric.
+TEST(CapacityDiscipline, ChannelBytesBoundedByCapacityTimesMakespan) {
+  const auto machine = topo::make_dgx1v();
+  for (const auto& alloc :
+       {std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}, std::vector<int>{1, 4, 5, 6},
+        std::vector<int>{5, 6, 7}}) {
+    const auto topo = topo::induced_topology(machine, alloc);
+    const sim::Fabric fabric(topo, sim::FabricParams{});
+    const auto set = generate_trees(topo, 0);
+    if (set.empty()) continue;
+    ProgramBuilder builder(fabric, CodeGenOptions{});
+    builder.all_reduce(route_trees(fabric, 0, set), 128e6);
+    const auto program = builder.take();
+    const auto run = sim::execute(fabric, program);
+    for (int c = 0; c < fabric.num_channels(); ++c) {
+      EXPECT_LE(run.channel_bytes[static_cast<std::size_t>(c)],
+                fabric.capacities()[static_cast<std::size_t>(c)] *
+                        run.makespan +
+                    1.0)
+          << fabric.channel_name(c);
+    }
+  }
+}
+
+// Simulated broadcast throughput never exceeds the packed (planned) rate,
+// and planned rate never exceeds the Edmonds bound.
+class PlanVsExecution : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlanVsExecution, SimulationRespectsPlanningBounds) {
+  const auto machine = topo::make_dgx1v();
+  for (const auto& bin :
+       topo::unique_configs(machine, GetParam(), /*connected_only=*/true)) {
+    const auto topo = topo::induced_topology(machine, bin.representative);
+    Communicator comm(topo);
+    const auto& set = comm.tree_set(0);
+    EXPECT_LE(set.rate, set.optimal_rate * (1.0 + 1e-6));
+    const auto result = comm.broadcast(400e6, 0);
+    EXPECT_LE(result.algorithm_bw, set.rate * (1.0 + 1e-6))
+        << ::testing::PrintToString(bin.representative);
+    EXPECT_GE(result.algorithm_bw, 0.5 * set.rate)
+        << ::testing::PrintToString(bin.representative);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PlanVsExecution, ::testing::Values(3, 5, 7));
+
+// Bidirectional (shared-capacity) packing never exceeds the one-directional
+// packing rate, and reaches at least half of it (each direction re-usable).
+TEST(BidirectionalPacking, BoundedByDirectedRate) {
+  const auto machine = topo::make_dgx1v();
+  for (const auto& alloc :
+       {std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}, std::vector<int>{5, 6, 7},
+        std::vector<int>{2, 3, 6, 7}}) {
+    const auto topo = topo::induced_topology(machine, alloc);
+    Communicator comm(topo);
+    const double directed = comm.tree_set(0).rate;
+    const double undirected = comm.bidir_tree_set(0).rate;
+    EXPECT_LE(undirected, directed * (1.0 + 1e-6));
+    EXPECT_GE(undirected, 0.45 * directed);
+  }
+}
+
+// Memoized results are invariant to call order (determinism of the whole
+// pipeline, including MWU and ILP).
+TEST(Determinism, RepeatedCommunicatorsAgree) {
+  const auto machine = topo::make_dgx1v();
+  const auto topo =
+      topo::induced_topology(machine, std::vector<int>{1, 2, 4, 5, 6, 7});
+  Communicator a(topo);
+  Communicator b(topo);
+  const auto ra1 = a.all_reduce(100e6);
+  const auto rb1 = b.broadcast(100e6, 2);
+  const auto ra2 = a.broadcast(100e6, 2);
+  const auto rb2 = b.all_reduce(100e6);
+  EXPECT_DOUBLE_EQ(ra1.seconds, rb2.seconds);
+  EXPECT_DOUBLE_EQ(ra2.seconds, rb1.seconds);
+}
+
+// The NCCL-like baseline also conserves broadcast volume on its rings.
+TEST(BaselineConservation, RingBroadcastVolume) {
+  const auto topo = topo::make_dgx1p();
+  const sim::Fabric fabric(
+      topo, baselines::apply_persistent_kernel_model(sim::FabricParams{}));
+  const auto plan = baselines::build_ring_plan(topo);
+  ProgramBuilder builder(fabric, CodeGenOptions{});
+  baselines::append_ring_broadcast(builder, fabric, 0, plan, 80e6, 0);
+  const auto program = builder.take();
+  EXPECT_NEAR(program.total_copy_bytes(), (topo.num_gpus - 1) * 80e6,
+              1e-3 * 80e6);
+}
+
+}  // namespace
+}  // namespace blink

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "blink/graph/maxflow.h"
+#include "blink/topology/builders.h"
+#include "blink/topology/discovery.h"
+
+namespace blink::graph {
+namespace {
+
+TEST(MaxFlow, SingleEdge) {
+  DiGraph g(2);
+  g.add_edge(0, 1, 5e9);
+  EXPECT_DOUBLE_EQ(max_flow(g, 0, 1), 5e9);
+  EXPECT_DOUBLE_EQ(max_flow(g, 1, 0), 0.0);
+}
+
+TEST(MaxFlow, ParallelPaths) {
+  DiGraph g(3);
+  g.add_edge(0, 1, 3e9);
+  g.add_edge(1, 2, 3e9);
+  g.add_edge(0, 2, 4e9);
+  EXPECT_DOUBLE_EQ(max_flow(g, 0, 2), 7e9);
+}
+
+TEST(MaxFlow, BottleneckInMiddle) {
+  DiGraph g(4);
+  g.add_edge(0, 1, 10e9);
+  g.add_edge(1, 2, 2e9);
+  g.add_edge(2, 3, 10e9);
+  EXPECT_DOUBLE_EQ(max_flow(g, 0, 3), 2e9);
+}
+
+TEST(MaxFlow, ClassicDiamondWithCross) {
+  DiGraph g(4);
+  g.add_edge(0, 1, 10.0);
+  g.add_edge(0, 2, 10.0);
+  g.add_edge(1, 3, 10.0);
+  g.add_edge(2, 3, 10.0);
+  g.add_edge(1, 2, 1.0);
+  EXPECT_DOUBLE_EQ(max_flow(g, 0, 3), 20.0);
+}
+
+TEST(BroadcastRate, ChainLimitedBySingleLink) {
+  const auto topo = topo::make_chain(4);
+  const DiGraph g = nvlink_digraph(topo);
+  EXPECT_DOUBLE_EQ(broadcast_rate_upper_bound(g, 0), topo.nvlink_lane_bw);
+}
+
+// Edmonds: on the full DGX-1V each GPU has 6 incoming lanes, so the optimal
+// broadcast rate from any root is exactly 6 lanes worth.
+TEST(BroadcastRate, FullDgx1vIsSixLanes) {
+  const auto topo = topo::make_dgx1v();
+  const DiGraph g = nvlink_digraph(topo);
+  for (int root = 0; root < 8; ++root) {
+    EXPECT_NEAR(broadcast_rate_upper_bound(g, root),
+                6 * topo.nvlink_lane_bw, 1.0)
+        << "root " << root;
+  }
+}
+
+TEST(BroadcastRate, FullDgx1pIsFourLanes) {
+  const auto topo = topo::make_dgx1p();
+  const DiGraph g = nvlink_digraph(topo);
+  EXPECT_NEAR(broadcast_rate_upper_bound(g, 0), 4 * topo.nvlink_lane_bw, 1.0);
+}
+
+// Figure 2a: GPUs {0,1,3} on a DGX-1P -> rate = 2 lanes from root 0.
+TEST(BroadcastRate, Figure2aTriangle) {
+  const auto machine = topo::make_dgx1p();
+  const std::vector<int> alloc{0, 1, 3};
+  const auto topo = topo::induced_topology(machine, alloc);
+  const DiGraph g = nvlink_digraph(topo);
+  EXPECT_NEAR(broadcast_rate_upper_bound(g, 0), 2 * topo.nvlink_lane_bw, 1.0);
+}
+
+TEST(BroadcastRate, DisconnectedIsZero) {
+  const auto machine = topo::make_dgx1v();
+  const std::vector<int> alloc{1, 4, 6};
+  const auto topo = topo::induced_topology(machine, alloc);
+  const DiGraph g = nvlink_digraph(topo);
+  EXPECT_DOUBLE_EQ(broadcast_rate_upper_bound(g, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace blink::graph

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "blink/blink/multiserver.h"
+#include "blink/topology/builders.h"
+#include "blink/topology/discovery.h"
+
+namespace blink {
+namespace {
+
+std::vector<topo::Topology> fragmented_3_5() {
+  const auto machine = topo::make_dgx1v();
+  return {topo::induced_topology(machine, std::vector<int>{0, 1, 2}),
+          topo::induced_topology(machine, std::vector<int>{3, 4, 5, 6, 7})};
+}
+
+TEST(Multiserver, RequiresTwoServers) {
+  EXPECT_THROW(ClusterCommunicator({topo::make_dgx1v()}, {}),
+               std::invalid_argument);
+}
+
+TEST(Multiserver, PartitionsFollowSmallestServer) {
+  ClusterCommunicator comm(fragmented_3_5(), {});
+  EXPECT_EQ(comm.num_partitions(), 3);
+  EXPECT_EQ(comm.num_gpus(), 8);
+}
+
+TEST(Multiserver, AllReduceBoundByNic) {
+  ClusterOptions opts;
+  opts.fabric.nic_bw = 5e9;  // 40 Gbps
+  ClusterCommunicator comm(fragmented_3_5(), opts);
+  const auto r = comm.all_reduce(100e6);
+  // Every byte crosses the NIC once per direction per partition exchange:
+  // throughput cannot exceed NIC bandwidth and should be within an order.
+  EXPECT_LT(r.algorithm_bw, 5e9);
+  EXPECT_GT(r.algorithm_bw, 0.2e9);
+}
+
+TEST(Multiserver, FasterNicHelpsUntilNvlinkBound) {
+  std::vector<double> rates;
+  for (const double nic : {5e9, 12.5e9, 50e9}) {  // 40/100/400 Gbps
+    ClusterOptions opts;
+    opts.fabric.nic_bw = nic;
+    ClusterCommunicator comm(fragmented_3_5(), opts);
+    rates.push_back(comm.all_reduce(100e6).algorithm_bw);
+  }
+  EXPECT_GT(rates[1], rates[0] * 1.5);  // 100 Gbps much better than 40
+  EXPECT_GT(rates[2], rates[1]);        // 400 still improves
+}
+
+TEST(Multiserver, EqualServersUseAllRoots) {
+  const auto machine = topo::make_dgx1v();
+  const auto half = topo::induced_topology(machine,
+                                           std::vector<int>{0, 1, 2, 3});
+  ClusterCommunicator comm({half, half}, {});
+  EXPECT_EQ(comm.num_partitions(), 4);
+  const auto r = comm.all_reduce(64e6);
+  EXPECT_GT(r.seconds, 0.0);
+  EXPECT_GT(r.num_trees, 0);
+}
+
+TEST(Multiserver, SingleGpuServerHandled) {
+  const auto machine = topo::make_dgx1v();
+  ClusterCommunicator comm(
+      {topo::induced_topology(machine, std::vector<int>{0}),
+       topo::induced_topology(machine, std::vector<int>{4, 5, 6, 7})},
+      {});
+  EXPECT_EQ(comm.num_partitions(), 1);
+  const auto r = comm.all_reduce(32e6);
+  EXPECT_GT(r.seconds, 0.0);
+}
+
+TEST(Multiserver, ThreeServers) {
+  const auto machine = topo::make_dgx1v();
+  const auto quad = topo::induced_topology(machine,
+                                           std::vector<int>{4, 5, 6, 7});
+  ClusterCommunicator comm({quad, quad, quad}, {});
+  const auto r = comm.all_reduce(64e6);
+  EXPECT_GT(r.seconds, 0.0);
+  EXPECT_LT(r.algorithm_bw, 5e9);  // NIC fan-out bound
+}
+
+}  // namespace
+}  // namespace blink

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "blink/blink/nccl_compat.h"
+
+namespace {
+
+TEST(NcclCompat, TypeSizes) {
+  EXPECT_EQ(blinkTypeSize(blinkInt8), 1u);
+  EXPECT_EQ(blinkTypeSize(blinkFloat16), 2u);
+  EXPECT_EQ(blinkTypeSize(blinkFloat32), 4u);
+  EXPECT_EQ(blinkTypeSize(blinkFloat64), 8u);
+}
+
+TEST(NcclCompat, InitAndDestroy) {
+  blinkComm_t comm = nullptr;
+  const int gpus[] = {0, 1, 2, 3};
+  ASSERT_EQ(blinkCommInitAll(&comm, "dgx1v", 4, gpus), blinkSuccess);
+  int count = 0;
+  EXPECT_EQ(blinkCommCount(comm, &count), blinkSuccess);
+  EXPECT_EQ(count, 4);
+  EXPECT_EQ(blinkCommDestroy(comm), blinkSuccess);
+}
+
+TEST(NcclCompat, RejectsBadArguments) {
+  blinkComm_t comm = nullptr;
+  const int gpus[] = {0, 99};
+  EXPECT_EQ(blinkCommInitAll(&comm, "dgx1v", 2, gpus), blinkInvalidArgument);
+  EXPECT_EQ(blinkCommInitAll(&comm, "notamachine", 1, gpus),
+            blinkInvalidArgument);
+  EXPECT_EQ(blinkCommInitAll(nullptr, "dgx1v", 1, gpus), blinkInvalidArgument);
+}
+
+TEST(NcclCompat, BroadcastRecordsResult) {
+  blinkComm_t comm = nullptr;
+  const int gpus[] = {4, 5, 6, 7};
+  ASSERT_EQ(blinkCommInitAll(&comm, "dgx1v", 4, gpus), blinkSuccess);
+  ASSERT_EQ(blinkBroadcast(nullptr, nullptr, 25'000'000, blinkFloat32, 0,
+                           comm, nullptr),
+            blinkSuccess);
+  blink::CollectiveResult result;
+  ASSERT_EQ(blinkCommLastResult(comm, &result), blinkSuccess);
+  EXPECT_DOUBLE_EQ(result.bytes, 1e8);
+  EXPECT_GT(result.algorithm_bw, 1e9);
+  blinkCommDestroy(comm);
+}
+
+TEST(NcclCompat, AllReduceOnDgx2) {
+  blinkComm_t comm = nullptr;
+  int gpus[16];
+  for (int i = 0; i < 16; ++i) gpus[i] = i;
+  ASSERT_EQ(blinkCommInitAll(&comm, "dgx2", 16, gpus), blinkSuccess);
+  ASSERT_EQ(blinkAllReduce(nullptr, nullptr, 1 << 20, blinkFloat32, blinkSum,
+                           comm, nullptr),
+            blinkSuccess);
+  blink::CollectiveResult result;
+  blinkCommLastResult(comm, &result);
+  EXPECT_GT(result.seconds, 0.0);
+  blinkCommDestroy(comm);
+}
+
+TEST(NcclCompat, InvalidRootRejected) {
+  blinkComm_t comm = nullptr;
+  const int gpus[] = {0, 1, 2};
+  ASSERT_EQ(blinkCommInitAll(&comm, "dgx1p", 3, gpus), blinkSuccess);
+  EXPECT_EQ(blinkBroadcast(nullptr, nullptr, 1024, blinkFloat32, 7, comm,
+                           nullptr),
+            blinkInvalidArgument);
+  blinkCommDestroy(comm);
+}
+
+TEST(NcclCompat, ReduceAndAllGatherAndReduceScatter) {
+  blinkComm_t comm = nullptr;
+  const int gpus[] = {0, 1, 2, 3};
+  ASSERT_EQ(blinkCommInitAll(&comm, "dgx1v", 4, gpus), blinkSuccess);
+  EXPECT_EQ(blinkReduce(nullptr, nullptr, 1 << 20, blinkFloat32, blinkSum, 0,
+                        comm, nullptr),
+            blinkSuccess);
+  EXPECT_EQ(blinkAllGather(nullptr, nullptr, 1 << 20, blinkFloat32, comm,
+                           nullptr),
+            blinkSuccess);
+  EXPECT_EQ(blinkReduceScatter(nullptr, nullptr, 1 << 20, blinkFloat32,
+                               blinkSum, comm, nullptr),
+            blinkSuccess);
+  blinkCommDestroy(comm);
+}
+
+}  // namespace

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "blink/blink/communicator.h"
+#include "blink/topology/builders.h"
+#include "blink/topology/parser.h"
+
+namespace blink::topo {
+namespace {
+
+TEST(Parser, MinimalMachine) {
+  const auto r = parse_topology(R"(
+    name tiny
+    gpus 3
+    nvlink 23
+    link 0 1
+    link 1 2 2
+  )");
+  ASSERT_TRUE(r.topology.has_value()) << r.error;
+  const auto& t = *r.topology;
+  EXPECT_EQ(t.name, "tiny");
+  EXPECT_EQ(t.num_gpus, 3);
+  EXPECT_DOUBLE_EQ(t.nvlink_lane_bw, 23e9);
+  EXPECT_EQ(t.lanes_between(1, 2), 2);
+  EXPECT_EQ(t.lanes_between(0, 2), 0);
+}
+
+TEST(Parser, CommentsAndBlankLines) {
+  const auto r = parse_topology(
+      "# a machine\n"
+      "gpus 2   # two of them\n"
+      "\n"
+      "nvlink 20\n"
+      "link 0 1\n");
+  ASSERT_TRUE(r.topology.has_value()) << r.error;
+  EXPECT_EQ(r.topology->num_gpus, 2);
+}
+
+TEST(Parser, NvswitchMachine) {
+  const auto r = parse_topology("gpus 16\nnvswitch 138\n");
+  ASSERT_TRUE(r.topology.has_value()) << r.error;
+  EXPECT_TRUE(r.topology->has_nvswitch);
+  EXPECT_DOUBLE_EQ(r.topology->nvswitch_gpu_bw, 138e9);
+}
+
+TEST(Parser, PcieHierarchy) {
+  const auto r = parse_topology(
+      "gpus 4\nnvlink 23\nlink 0 1\nlink 1 2\nlink 2 3\n"
+      "pcie 11 11 9\nplx 0 0 1 1\ncpu 0 1\n");
+  ASSERT_TRUE(r.topology.has_value()) << r.error;
+  EXPECT_EQ(r.topology->pcie.num_plx(), 2);
+  EXPECT_EQ(r.topology->pcie.num_cpus(), 2);
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  const auto r = parse_topology("gpus 2\nnvlink 23\nbogus 1 2\n");
+  ASSERT_FALSE(r.topology.has_value());
+  EXPECT_NE(r.error.find("line 3"), std::string::npos);
+  EXPECT_NE(r.error.find("bogus"), std::string::npos);
+}
+
+TEST(Parser, RejectsMissingGpus) {
+  const auto r = parse_topology("nvlink 23\n");
+  EXPECT_FALSE(r.topology.has_value());
+}
+
+TEST(Parser, RejectsLinksWithoutLaneRate) {
+  const auto r = parse_topology("gpus 2\nlink 0 1\n");
+  ASSERT_FALSE(r.topology.has_value());
+  EXPECT_NE(r.error.find("nvlink"), std::string::npos);
+}
+
+TEST(Parser, RejectsOutOfRangeLink) {
+  const auto r = parse_topology("gpus 2\nnvlink 23\nlink 0 5\n");
+  EXPECT_FALSE(r.topology.has_value());
+}
+
+TEST(Parser, RoundTripsBuiltinMachines) {
+  for (const auto& machine :
+       {make_dgx1p(), make_dgx1v(), make_dgx2(), make_chain(5)}) {
+    const auto text = format_topology(machine);
+    const auto r = parse_topology(text);
+    ASSERT_TRUE(r.topology.has_value()) << machine.name << ": " << r.error;
+    const auto& t = *r.topology;
+    EXPECT_EQ(t.num_gpus, machine.num_gpus);
+    EXPECT_EQ(t.has_nvswitch, machine.has_nvswitch);
+    for (int a = 0; a < t.num_gpus; ++a) {
+      for (int b = a + 1; b < t.num_gpus; ++b) {
+        EXPECT_EQ(t.lanes_between(a, b), machine.lanes_between(a, b));
+      }
+    }
+  }
+}
+
+TEST(Parser, ParsedMachineDrivesCommunicator) {
+  const auto r = parse_topology(
+      "name custom\ngpus 4\nnvlink 20\n"
+      "link 0 1 2\nlink 1 2\nlink 2 3\nlink 3 0\n");
+  ASSERT_TRUE(r.topology.has_value()) << r.error;
+  Communicator comm(*r.topology);
+  const auto result = comm.broadcast(100e6, 0);
+  EXPECT_GT(result.algorithm_bw, 15e9);  // at least one 20 GB/s lane packed
+}
+
+TEST(Parser, LoadMissingFileFails) {
+  const auto r = load_topology("/nonexistent/path.topo");
+  EXPECT_FALSE(r.topology.has_value());
+  EXPECT_FALSE(r.error.empty());
+}
+
+}  // namespace
+}  // namespace blink::topo

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "blink/sim/program.h"
+
+namespace blink::sim {
+namespace {
+
+Op copy_op(int stream, double bytes = 1.0) {
+  Op op;
+  op.kind = OpKind::kCopy;
+  op.route = {0};
+  op.bytes = bytes;
+  op.stream = stream;
+  return op;
+}
+
+TEST(Program, AddAssignsSequentialIds) {
+  Program p;
+  const int s = p.new_stream();
+  EXPECT_EQ(p.add(copy_op(s)), 0);
+  EXPECT_EQ(p.add(copy_op(s)), 1);
+  EXPECT_EQ(p.num_streams(), 1);
+  EXPECT_EQ(p.ops().size(), 2u);
+}
+
+TEST(Program, ValidateAcceptsWellFormed) {
+  Program p;
+  const int s0 = p.new_stream();
+  const int s1 = p.new_stream();
+  const int a = p.add(copy_op(s0));
+  Op b = copy_op(s1);
+  b.deps = {a};
+  p.add(b);
+  std::string err;
+  EXPECT_TRUE(p.validate(&err)) << err;
+}
+
+TEST(Program, ValidateRejectsForwardDependency) {
+  Program p;
+  const int s = p.new_stream();
+  Op op = copy_op(s);
+  op.deps = {5};  // references an op that does not exist yet
+  // Construct via the raw vector path: add() asserts in debug, so build a
+  // program that slips past add() and check validate() in release semantics.
+  Program q;
+  const int sq = q.new_stream();
+  q.add(copy_op(sq));
+  // Manually malformed program is not constructible through the API; check
+  // the other validate branches instead.
+  Op delay;
+  delay.kind = OpKind::kDelay;
+  delay.route = {1};  // delay ops must not use channels
+  delay.stream = sq;
+  Program r;
+  const int sr = r.new_stream();
+  delay.stream = sr;
+  r.add(delay);
+  std::string err;
+  EXPECT_FALSE(r.validate(&err));
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(Program, ValidateRejectsTransferWithoutRoute) {
+  Program p;
+  const int s = p.new_stream();
+  Op op;
+  op.kind = OpKind::kCopy;
+  op.bytes = 10.0;
+  op.stream = s;
+  p.add(op);
+  EXPECT_FALSE(p.validate());
+}
+
+TEST(Program, ValidateRejectsNegativeBytes) {
+  Program p;
+  const int s = p.new_stream();
+  Op op = copy_op(s);
+  op.bytes = -1.0;
+  p.add(op);
+  EXPECT_FALSE(p.validate());
+}
+
+TEST(Program, TotalCopyBytesIgnoresKernelsAndDelays) {
+  Program p;
+  const int s = p.new_stream();
+  p.add(copy_op(s, 100.0));
+  Op k;
+  k.kind = OpKind::kReduce;
+  k.route = {0};
+  k.bytes = 999.0;
+  k.stream = s;
+  p.add(k);
+  Op d;
+  d.kind = OpKind::kDelay;
+  d.latency = 1.0;
+  d.stream = s;
+  p.add(d);
+  EXPECT_DOUBLE_EQ(p.total_copy_bytes(), 100.0);
+}
+
+TEST(Program, EmptyProgramIsValid) {
+  Program p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_TRUE(p.validate());
+}
+
+}  // namespace
+}  // namespace blink::sim

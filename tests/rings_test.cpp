@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "blink/graph/rings.h"
+#include "blink/topology/builders.h"
+#include "blink/topology/discovery.h"
+
+namespace blink::graph {
+namespace {
+
+bool is_hamiltonian(const topo::Topology& t, const Ring& r) {
+  if (static_cast<int>(r.order.size()) != t.num_gpus) return false;
+  std::vector<bool> seen(static_cast<std::size_t>(t.num_gpus), false);
+  for (const int v : r.order) {
+    if (v < 0 || v >= t.num_gpus || seen[static_cast<std::size_t>(v)]) {
+      return false;
+    }
+    seen[static_cast<std::size_t>(v)] = true;
+  }
+  for (std::size_t i = 0; i < r.order.size(); ++i) {
+    const int a = r.order[i];
+    const int b = r.order[(i + 1) % r.order.size()];
+    if (t.lanes_between(a, b) == 0) return false;
+  }
+  return true;
+}
+
+bool rings_are_lane_disjoint(const topo::Topology& t,
+                             const std::vector<Ring>& rings) {
+  std::vector<std::vector<int>> used(
+      static_cast<std::size_t>(t.num_gpus),
+      std::vector<int>(static_cast<std::size_t>(t.num_gpus), 0));
+  for (const auto& r : rings) {
+    for (std::size_t i = 0; i < r.order.size(); ++i) {
+      const auto a = static_cast<std::size_t>(r.order[i]);
+      const auto b =
+          static_cast<std::size_t>(r.order[(i + 1) % r.order.size()]);
+      ++used[a][b];
+      ++used[b][a];
+    }
+  }
+  for (int a = 0; a < t.num_gpus; ++a) {
+    for (int b = 0; b < t.num_gpus; ++b) {
+      if (used[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] >
+          t.lanes_between(a, b)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+TEST(Rings, TriangleHasOneRing) {
+  const auto t = topo::make_clique(3);
+  const auto rings = max_disjoint_rings(t);
+  ASSERT_EQ(rings.size(), 1u);
+  EXPECT_TRUE(is_hamiltonian(t, rings[0]));
+}
+
+TEST(Rings, ChainHasNoRing) {
+  const auto t = topo::make_chain(4);
+  EXPECT_TRUE(max_disjoint_rings(t).empty());
+}
+
+TEST(Rings, TwoGpusUseAllLanes) {
+  auto t = topo::make_chain(2);
+  t.nvlinks[0].lanes = 3;
+  EXPECT_EQ(max_disjoint_rings(t).size(), 3u);
+}
+
+// The full DGX-1P decomposes into 2 lane-disjoint Hamiltonian cycles
+// (4 lanes per GPU, each ring consumes 2).
+TEST(Rings, FullDgx1pHasTwoRings) {
+  const auto t = topo::make_dgx1p();
+  const auto rings = max_disjoint_rings(t);
+  EXPECT_EQ(rings.size(), 2u);
+  for (const auto& r : rings) EXPECT_TRUE(is_hamiltonian(t, r));
+  EXPECT_TRUE(rings_are_lane_disjoint(t, rings));
+}
+
+// The full DGX-1V has 6 lanes per GPU -> 3 lane-disjoint rings.
+TEST(Rings, FullDgx1vHasThreeRings) {
+  const auto t = topo::make_dgx1v();
+  const auto rings = max_disjoint_rings(t);
+  EXPECT_EQ(rings.size(), 3u);
+  EXPECT_TRUE(rings_are_lane_disjoint(t, rings));
+}
+
+// Figure 4: the 6-GPU group {0,1,3,4,5,7} on a DGX-1P supports one
+// bi-directional ring (drawn as two directed rings in the paper) and must
+// drop the links between GPUs 1&3, 5&7 and 0&4.
+TEST(Rings, Figure4SixGpuGroup) {
+  const auto machine = topo::make_dgx1p();
+  const std::vector<int> alloc{0, 1, 3, 4, 5, 7};
+  const auto t = topo::induced_topology(machine, alloc);
+  const auto rings = max_disjoint_rings(t);
+  ASSERT_EQ(rings.size(), 1u);
+  EXPECT_TRUE(is_hamiltonian(t, rings[0]));
+  // 9 lanes available, the ring uses 6: exactly 3 links go unused.
+  int lanes = 0;
+  for (const auto& e : t.nvlinks) lanes += e.lanes;
+  EXPECT_EQ(lanes - t.num_gpus, 3);
+}
+
+// Figure 2b: GPUs {0,1,4} have no NVLink triangle (1-4 missing).
+TEST(Rings, Figure2bHasNoNvlinkRing) {
+  const auto machine = topo::make_dgx1p();
+  const std::vector<int> alloc{0, 1, 4};
+  const auto t = topo::induced_topology(machine, alloc);
+  EXPECT_TRUE(max_disjoint_rings(t).empty());
+}
+
+TEST(Rings, EnumerationDedupesReflections) {
+  const auto t = topo::make_clique(4);
+  // K4 has 3 distinct Hamiltonian cycles up to rotation+reflection.
+  EXPECT_EQ(enumerate_hamiltonian_cycles(t).size(), 3u);
+}
+
+TEST(Rings, AllUniqueDgx1vConfigsRespectLanes) {
+  const auto machine = topo::make_dgx1v();
+  for (int k = 3; k <= 8; ++k) {
+    for (const auto& bin : topo::enumerate_allocations(machine, k)) {
+      const auto t = topo::induced_topology(machine, bin);
+      const auto rings = max_disjoint_rings(t);
+      EXPECT_TRUE(rings_are_lane_disjoint(t, rings));
+      for (const auto& r : rings) EXPECT_TRUE(is_hamiltonian(t, r));
+    }
+    if (k >= 5) break;  // keep runtime bounded; larger sizes covered above
+  }
+}
+
+}  // namespace
+}  // namespace blink::graph

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "blink/common/rng.h"
+#include "blink/solver/simplex.h"
+
+namespace blink::solver {
+namespace {
+
+TEST(Simplex, SimpleTwoVariable) {
+  // max 3x + 2y s.t. x + y <= 4, x <= 2  ->  x=2, y=2, obj=10.
+  LpProblem lp;
+  lp.c = {3.0, 2.0};
+  lp.a = {{1.0, 1.0}, {1.0, 0.0}};
+  lp.b = {4.0, 2.0};
+  const auto sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 10.0, 1e-9);
+  EXPECT_NEAR(sol.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(sol.x[1], 2.0, 1e-9);
+}
+
+TEST(Simplex, UnboundedDetected) {
+  LpProblem lp;  // max x with no binding constraint
+  lp.c = {1.0, 0.0};
+  lp.a = {{0.0, 1.0}};
+  lp.b = {1.0};
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, ZeroObjective) {
+  LpProblem lp;
+  lp.c = {0.0};
+  lp.a = {{1.0}};
+  lp.b = {5.0};
+  const auto sol = solve_lp(lp);
+  EXPECT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 0.0, 1e-12);
+}
+
+TEST(Simplex, DegenerateDoesNotCycle) {
+  // Classic Beale cycling example (resolved by Bland's rule).
+  LpProblem lp;
+  lp.c = {0.75, -150.0, 0.02, -6.0};
+  lp.a = {{0.25, -60.0, -0.04, 9.0},
+          {0.5, -90.0, -0.02, 3.0},
+          {0.0, 0.0, 1.0, 0.0}};
+  lp.b = {0.0, 0.0, 1.0};
+  const auto sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 0.05, 1e-9);
+}
+
+TEST(Simplex, SolutionIsFeasible) {
+  Rng rng(77);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(rng.next_int(1, 6));
+    const std::size_t m = static_cast<std::size_t>(rng.next_int(1, 6));
+    LpProblem lp;
+    lp.c.resize(n);
+    for (auto& c : lp.c) c = rng.next_double() * 10.0;
+    lp.a.assign(m, std::vector<double>(n, 0.0));
+    lp.b.resize(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        lp.a[i][j] = rng.next_double();  // non-negative => bounded
+      }
+      lp.b[i] = rng.next_double() * 5.0 + 0.5;
+    }
+    const auto sol = solve_lp(lp);
+    ASSERT_EQ(sol.status, LpStatus::kOptimal) << trial;
+    for (std::size_t i = 0; i < m; ++i) {
+      double lhs = 0.0;
+      for (std::size_t j = 0; j < n; ++j) lhs += lp.a[i][j] * sol.x[j];
+      EXPECT_LE(lhs, lp.b[i] + 1e-6) << trial;
+    }
+    for (const double x : sol.x) EXPECT_GE(x, -1e-9);
+  }
+}
+
+TEST(Simplex, PackingShapedProblem) {
+  // Three "trees" over two unit-capacity "edges"; trees 0 and 1 share edge 0.
+  LpProblem lp;
+  lp.c = {1.0, 1.0, 1.0};
+  lp.a = {{1.0, 1.0, 0.0}, {0.0, 1.0, 1.0}};
+  lp.b = {1.0, 1.0};
+  const auto sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 2.0, 1e-9);  // x0 = x2 = 1
+}
+
+TEST(Simplex, WellFormedRejectsNegativeRhs) {
+  LpProblem lp;
+  lp.c = {1.0};
+  lp.a = {{1.0}};
+  lp.b = {-1.0};
+  EXPECT_FALSE(lp.well_formed());
+}
+
+}  // namespace
+}  // namespace blink::solver

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "blink/topology/builders.h"
+#include "blink/topology/discovery.h"
+#include "blink/topology/topology.h"
+
+namespace blink::topo {
+namespace {
+
+TEST(Builders, Dgx1pShape) {
+  const Topology t = make_dgx1p();
+  ASSERT_TRUE(t.validate());
+  EXPECT_EQ(t.num_gpus, 8);
+  EXPECT_EQ(t.nvlinks.size(), 16u);  // two K4 cliques + 4 cross links
+  // P100: exactly 4 NVLink lanes per GPU.
+  for (int g = 0; g < 8; ++g) {
+    EXPECT_EQ(t.nvlink_degree(g), 4) << "gpu " << g;
+  }
+  EXPECT_TRUE(t.nvlink_connected());
+}
+
+TEST(Builders, Dgx1vShape) {
+  const Topology t = make_dgx1v();
+  ASSERT_TRUE(t.validate());
+  // V100: exactly 6 NVLink lanes per GPU (the added gen2 lanes).
+  for (int g = 0; g < 8; ++g) {
+    EXPECT_EQ(t.nvlink_degree(g), 6) << "gpu " << g;
+  }
+  // Doubled edges from the AWS p3.16xlarge topology.
+  EXPECT_EQ(t.lanes_between(0, 3), 2);
+  EXPECT_EQ(t.lanes_between(1, 2), 2);
+  EXPECT_EQ(t.lanes_between(0, 4), 2);
+  EXPECT_EQ(t.lanes_between(0, 1), 1);
+  EXPECT_EQ(t.lanes_between(1, 4), 0);  // not adjacent
+}
+
+TEST(Builders, Dgx1GenerationsShareMesh) {
+  const Topology p = make_dgx1p();
+  const Topology v = make_dgx1v();
+  for (int a = 0; a < 8; ++a) {
+    for (int b = a + 1; b < 8; ++b) {
+      EXPECT_EQ(p.lanes_between(a, b) > 0, v.lanes_between(a, b) > 0)
+          << a << "-" << b;
+    }
+  }
+  EXPECT_LT(p.nvlink_lane_bw, v.nvlink_lane_bw);
+}
+
+TEST(Builders, Dgx2Shape) {
+  const Topology t = make_dgx2();
+  ASSERT_TRUE(t.validate());
+  EXPECT_EQ(t.num_gpus, 16);
+  EXPECT_TRUE(t.has_nvswitch);
+  EXPECT_TRUE(t.nvlinks.empty());
+  EXPECT_TRUE(t.nvlink_connected());  // via the switch
+}
+
+TEST(Builders, CliqueAndChain) {
+  const Topology clique = make_clique(5);
+  EXPECT_EQ(clique.nvlinks.size(), 10u);
+  EXPECT_TRUE(clique.nvlink_connected());
+  const Topology chain = make_chain(4);
+  EXPECT_EQ(chain.nvlinks.size(), 3u);
+  EXPECT_TRUE(chain.nvlink_connected());
+  EXPECT_EQ(chain.lanes_between(0, 2), 0);
+}
+
+TEST(Builders, PcieHierarchy) {
+  const PcieConfig pcie = make_dgx1_pcie(8);
+  EXPECT_EQ(pcie.num_plx(), 4);
+  EXPECT_EQ(pcie.num_cpus(), 2);
+  // Pairs share a PLX.
+  EXPECT_EQ(pcie.plx_of_gpu[0], pcie.plx_of_gpu[1]);
+  EXPECT_NE(pcie.plx_of_gpu[1], pcie.plx_of_gpu[2]);
+  // Quads share a socket.
+  EXPECT_EQ(pcie.cpu_of_plx[0], pcie.cpu_of_plx[1]);
+  EXPECT_NE(pcie.cpu_of_plx[1], pcie.cpu_of_plx[2]);
+}
+
+TEST(Topology, ValidateRejectsBadEdges) {
+  Topology t = make_chain(3);
+  t.nvlinks.push_back({0, 5, 1});  // out of range
+  std::string err;
+  EXPECT_FALSE(t.validate(&err));
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(Topology, ValidateRejectsSelfLoop) {
+  Topology t = make_chain(3);
+  t.nvlinks.push_back({1, 1, 1});
+  EXPECT_FALSE(t.validate());
+}
+
+TEST(Topology, CapacityIsLanesTimesLaneBw) {
+  const Topology t = make_dgx1v();
+  EXPECT_DOUBLE_EQ(t.nvlink_capacity(0, 3), 2 * t.nvlink_lane_bw);
+  EXPECT_DOUBLE_EQ(t.nvlink_capacity(0, 1), t.nvlink_lane_bw);
+  EXPECT_DOUBLE_EQ(t.nvlink_capacity(1, 4), 0.0);
+}
+
+TEST(Discovery, InducedKeepsInternalEdges) {
+  const Topology machine = make_dgx1v();
+  const std::vector<int> alloc{0, 1, 3};
+  const Topology t = induced_topology(machine, alloc);
+  ASSERT_TRUE(t.validate());
+  EXPECT_EQ(t.num_gpus, 3);
+  EXPECT_EQ(t.lanes_between(0, 1), 1);  // 0-1
+  EXPECT_EQ(t.lanes_between(0, 2), 2);  // 0-3 doubled
+  EXPECT_EQ(t.lanes_between(1, 2), 1);  // 1-3
+  EXPECT_EQ(t.global_id(2), 3);
+}
+
+TEST(Discovery, InducedDropsExternalEdges) {
+  const Topology machine = make_dgx1v();
+  const std::vector<int> alloc{1, 4, 5};  // 1-4 not adjacent
+  const Topology t = induced_topology(machine, alloc);
+  EXPECT_EQ(t.lanes_between(0, 1), 0);   // 1-4
+  EXPECT_EQ(t.lanes_between(1, 2), 1);   // 4-5
+  EXPECT_EQ(t.lanes_between(0, 2), 2);   // 1-5 doubled
+  EXPECT_TRUE(t.nvlink_connected());     // still connected through GPU 5
+}
+
+TEST(Discovery, InducedCanDisconnectNvlink) {
+  const Topology machine = make_dgx1v();
+  // GPU 1 has no NVLink to 4 or 6 (its links go to 0, 2, 3, 5).
+  const std::vector<int> alloc{1, 4, 6};
+  const Topology t = induced_topology(machine, alloc);
+  EXPECT_EQ(t.lanes_between(0, 1), 0);
+  EXPECT_EQ(t.lanes_between(0, 2), 0);
+  EXPECT_EQ(t.lanes_between(1, 2), 1);  // 4-6
+  EXPECT_FALSE(t.nvlink_connected());
+}
+
+TEST(Discovery, InducedPreservesPciePlacement) {
+  const Topology machine = make_dgx1v();
+  const std::vector<int> alloc{2, 6};
+  const Topology t = induced_topology(machine, alloc);
+  ASSERT_TRUE(t.validate());
+  // GPU2 under PLX1/CPU0, GPU6 under PLX3/CPU1: cross-QPI placement kept.
+  const int plx_a = t.pcie.plx_of_gpu[0];
+  const int plx_b = t.pcie.plx_of_gpu[1];
+  EXPECT_NE(plx_a, plx_b);
+  EXPECT_NE(t.pcie.cpu_of_plx[static_cast<std::size_t>(plx_a)],
+            t.pcie.cpu_of_plx[static_cast<std::size_t>(plx_b)]);
+}
+
+TEST(Discovery, EnumerateAllocationsCounts) {
+  const Topology machine = make_dgx1v();
+  EXPECT_EQ(enumerate_allocations(machine, 3).size(), 56u);   // C(8,3)
+  EXPECT_EQ(enumerate_allocations(machine, 8).size(), 1u);
+  EXPECT_EQ(enumerate_allocations(machine, 1).size(), 8u);
+}
+
+TEST(Discovery, AllocationsAreSortedAndDistinct) {
+  const Topology machine = make_dgx1p();
+  const auto allocs = enumerate_allocations(machine, 4);
+  EXPECT_EQ(allocs.size(), 70u);
+  for (const auto& a : allocs) {
+    EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+  }
+  auto copy = allocs;
+  std::sort(copy.begin(), copy.end());
+  EXPECT_TRUE(std::adjacent_find(copy.begin(), copy.end()) == copy.end());
+}
+
+}  // namespace
+}  // namespace blink::topo

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "blink/blink/codegen.h"
+#include "blink/sim/executor.h"
+#include "blink/sim/trace.h"
+#include "blink/topology/builders.h"
+
+namespace blink::sim {
+namespace {
+
+struct Executed {
+  Fabric fabric;
+  Program program;
+  RunResult result;
+};
+
+Executed run_broadcast() {
+  const auto topo = topo::make_dgx1v();
+  Fabric fabric(topo, FabricParams{});
+  const auto set = generate_trees(topo, 0);
+  ProgramBuilder builder(fabric, CodeGenOptions{});
+  builder.broadcast(route_trees(fabric, 0, set), 32e6);
+  Program program = builder.take();
+  RunResult result = execute(fabric, program);
+  return {std::move(fabric), std::move(program), std::move(result)};
+}
+
+TEST(Trace, ContainsSlicesForEveryOp) {
+  const auto ex = run_broadcast();
+  const std::string json =
+      to_chrome_trace(ex.fabric, ex.program, ex.result);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  // Every copy slice carries its byte count.
+  EXPECT_NE(json.find("\"bytes\""), std::string::npos);
+  // Rough slice count: one X event per op.
+  std::size_t count = 0;
+  for (std::size_t pos = json.find("\"ph\":\"X\""); pos != std::string::npos;
+       pos = json.find("\"ph\":\"X\"", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, ex.program.ops().size());
+}
+
+TEST(Trace, ChannelCountersOptional) {
+  const auto ex = run_broadcast();
+  TraceOptions with;
+  TraceOptions without;
+  without.include_channel_counters = false;
+  const auto a = to_chrome_trace(ex.fabric, ex.program, ex.result, with);
+  const auto b = to_chrome_trace(ex.fabric, ex.program, ex.result, without);
+  EXPECT_NE(a.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_EQ(b.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_GT(a.size(), b.size());
+}
+
+TEST(Trace, SliceTimesAreOrderedAndBounded) {
+  const auto ex = run_broadcast();
+  for (std::size_t i = 0; i < ex.program.ops().size(); ++i) {
+    EXPECT_GE(ex.result.op_start[i], 0.0);
+    EXPECT_LE(ex.result.op_start[i], ex.result.op_finish[i]);
+    EXPECT_LE(ex.result.op_finish[i], ex.result.makespan + 1e-12);
+  }
+}
+
+TEST(Trace, WriteToFileRoundTrips) {
+  const auto ex = run_broadcast();
+  const std::string path = "/tmp/blink_trace_test.json";
+  ASSERT_TRUE(
+      write_chrome_trace(path, ex.fabric, ex.program, ex.result));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, to_chrome_trace(ex.fabric, ex.program, ex.result));
+  std::remove(path.c_str());
+}
+
+TEST(Trace, EscapesLabels) {
+  const auto topo = topo::make_chain(2);
+  Fabric fabric(topo, FabricParams{});
+  Program p;
+  Op op;
+  op.kind = OpKind::kDelay;
+  op.latency = 1e-6;
+  op.stream = p.new_stream();
+  op.label = "quote\"back\\slash";
+  p.add(op);
+  const auto result = execute(fabric, p);
+  const auto json = to_chrome_trace(fabric, p, result);
+  EXPECT_NE(json.find("quote\\\"back\\\\slash"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace blink::sim

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "blink/blink/treegen.h"
+#include "blink/topology/builders.h"
+#include "blink/topology/discovery.h"
+
+namespace blink {
+namespace {
+
+TEST(TreeGen, FullDgx1v) {
+  const auto set = generate_trees(topo::make_dgx1v(), 0);
+  EXPECT_EQ(set.trees.size(), 6u);
+  EXPECT_GT(set.mwu_tree_count, 6);
+  EXPECT_NEAR(set.rate, 6 * topo::kNvlinkGen2Bw, 1e6);
+  EXPECT_NEAR(set.optimal_rate, set.rate, 1e6);
+  EXPECT_EQ(set.link, topo::LinkType::kNVLink);
+}
+
+TEST(TreeGen, FullDgx1p) {
+  const auto set = generate_trees(topo::make_dgx1p(), 3);
+  EXPECT_FALSE(set.empty());
+  EXPECT_NEAR(set.rate, 4 * topo::kNvlinkGen1Bw, 0.05 * set.optimal_rate);
+}
+
+TEST(TreeGen, MinimizeOffKeepsMwuTrees) {
+  TreeGenOptions opts;
+  opts.minimize = false;
+  const auto set = generate_trees(topo::make_dgx1v(), 0, opts);
+  EXPECT_EQ(static_cast<int>(set.trees.size()), set.mwu_tree_count);
+  EXPECT_GT(set.trees.size(), 6u);
+}
+
+TEST(TreeGen, DisconnectedNvlinkGivesEmptySet) {
+  const auto machine = topo::make_dgx1v();
+  const std::vector<int> alloc{1, 4, 6};
+  const auto t = topo::induced_topology(machine, alloc);
+  const auto set = generate_trees(t, 0);
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(TreeGen, PcieTreesExistWhenNvlinkDoesNot) {
+  const auto machine = topo::make_dgx1v();
+  const std::vector<int> alloc{1, 4, 6};
+  const auto t = topo::induced_topology(machine, alloc);
+  TreeGenOptions opts;
+  opts.link = topo::LinkType::kPCIe;
+  const auto set = generate_trees(t, 0, opts);
+  EXPECT_FALSE(set.empty());
+  EXPECT_EQ(set.link, topo::LinkType::kPCIe);
+  EXPECT_GT(set.rate, 0.0);
+  // Cross-PLX logical edges are staged-capped; the packed rate stays within
+  // a small multiple of one PCIe pipe.
+  EXPECT_LE(set.rate, 2.0 * machine.pcie.gpu_bw);
+}
+
+TEST(TreeGen, SingleGpu) {
+  const auto set = generate_trees(topo::make_chain(2), 0, {});
+  EXPECT_FALSE(set.empty());
+  EXPECT_EQ(set.trees.size(), 1u);
+}
+
+TEST(TreeGen, TreesRootedAtRequestedRoot) {
+  const auto machine = topo::make_dgx1v();
+  const std::vector<int> alloc{2, 3, 6, 7};
+  const auto t = topo::induced_topology(machine, alloc);
+  for (int root = 0; root < t.num_gpus; ++root) {
+    const auto set = generate_trees(t, root);
+    ASSERT_FALSE(set.empty());
+    for (const auto& wt : set.trees) {
+      EXPECT_EQ(wt.tree.root, root);
+      EXPECT_TRUE(wt.tree.spans(set.graph));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace blink
