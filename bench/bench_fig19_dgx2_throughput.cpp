@@ -17,7 +17,8 @@ int main() {
   std::vector<double> ratios;
   for (std::uint64_t bytes = 1'000; bytes <= 1'000'000'000; bytes *= 2) {
     const auto n = nccl.all_reduce(static_cast<double>(bytes));
-    const auto b = blink_comm.all_reduce(static_cast<double>(bytes));
+    const auto b = blink_comm.execute(*blink_comm.compile(
+        CollectiveKind::kAllReduce, static_cast<double>(bytes)));
     ratios.push_back(b.algorithm_bw / n.algorithm_bw);
     std::printf("%-8s %12.3f %12.3f %8.2fx\n",
                 format_bytes(bytes).c_str(), n.algorithm_bw / 1e9,

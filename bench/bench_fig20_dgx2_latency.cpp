@@ -17,7 +17,8 @@ int main() {
   std::vector<double> ratios;
   for (std::uint64_t bytes = 1'000; bytes <= 1'000'000'000; bytes *= 4) {
     const auto n = nccl.all_reduce(static_cast<double>(bytes));
-    const auto b = blink_comm.all_reduce(static_cast<double>(bytes));
+    const auto b = blink_comm.execute(*blink_comm.compile(
+        CollectiveKind::kAllReduce, static_cast<double>(bytes)));
     ratios.push_back(n.seconds / b.seconds);
     std::printf("%-8s %12.1f %12.1f %8.2fx\n", format_bytes(bytes).c_str(),
                 n.seconds * 1e6, b.seconds * 1e6, ratios.back());

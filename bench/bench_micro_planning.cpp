@@ -4,6 +4,7 @@
 // near-linear-time MWU claim (§3.2) is checked here in wall-clock form.
 #include <benchmark/benchmark.h>
 
+#include "blink/blink/communicator.h"
 #include "blink/blink/treegen.h"
 #include "blink/graph/arborescence.h"
 #include "blink/graph/maxflow.h"
@@ -75,6 +76,40 @@ void BM_SimulateBroadcast(benchmark::State& state) {
   state.SetLabel(std::to_string(state.range(0)) + "MB payload");
 }
 BENCHMARK(BM_SimulateBroadcast)->Arg(10)->Arg(100)->Arg(500);
+
+// The plan/execute split's two halves: what a cold compile costs (TreeGen +
+// CodeGen, paid once per shape) versus a warm compile (an LRU cache hit,
+// paid every iteration of a training job).
+void BM_CompileCold(benchmark::State& state) {
+  const auto machine = topo::make_dgx1v();
+  for (auto _ : state) {
+    Communicator comm(machine);  // fresh caches: full TreeGen + CodeGen
+    benchmark::DoNotOptimize(
+        comm.compile(CollectiveKind::kBroadcast, 500e6, 0));
+  }
+}
+BENCHMARK(BM_CompileCold);
+
+void BM_CompileCacheHit(benchmark::State& state) {
+  Communicator comm(topo::make_dgx1v());
+  comm.compile(CollectiveKind::kBroadcast, 500e6, 0);  // warm the cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        comm.compile(CollectiveKind::kBroadcast, 500e6, 0));
+  }
+}
+BENCHMARK(BM_CompileCacheHit);
+
+void BM_ExecutePlan(benchmark::State& state) {
+  CommunicatorOptions opts;
+  opts.memoize = false;  // re-run the fabric simulation every time
+  Communicator comm(topo::make_dgx1v(), opts);
+  const auto plan = comm.compile(CollectiveKind::kBroadcast, 500e6, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(comm.execute(*plan));
+  }
+}
+BENCHMARK(BM_ExecutePlan);
 
 }  // namespace
 

@@ -21,7 +21,8 @@ int main() {
 
   for (std::uint64_t bytes = 1000; bytes <= 1'000'000'000; bytes *= 10) {
     const auto n = nccl.all_reduce(static_cast<double>(bytes));
-    const auto b = blink_comm.all_reduce(static_cast<double>(bytes));
+    const auto b = blink_comm.execute(*blink_comm.compile(
+        CollectiveKind::kAllReduce, static_cast<double>(bytes)));
     std::printf("%-8s %11.1f us %11.1f us %14s %14s %7.2fx\n",
                 format_bytes(bytes).c_str(), n.seconds * 1e6,
                 b.seconds * 1e6, format_throughput(n.algorithm_bw).c_str(),

@@ -37,7 +37,8 @@ int main(int argc, char** argv) {
     const auto topo = topo::induced_topology(machine, bin.representative);
     Communicator blink_comm(topo);
     baselines::NcclCommunicator nccl(topo);
-    const double blink_bw = blink_comm.broadcast(bytes, 0).algorithm_bw;
+    const auto plan = blink_comm.compile(CollectiveKind::kBroadcast, bytes, 0);
+    const double blink_bw = blink_comm.execute(*plan).algorithm_bw;
     const double nccl_bw = nccl.broadcast(bytes, 0).algorithm_bw;
     speedups.push_back(blink_bw / nccl_bw);
 

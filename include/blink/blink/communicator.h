@@ -3,17 +3,28 @@
 // CodeGen -> execute).
 //
 // A Communicator owns the allocation's induced topology, the simulated
-// fabric, and per-root tree caches. Collective calls compile a schedule and
-// execute it on the fabric, returning the timing a real run would produce.
+// fabric, and per-root tree caches. The API is an explicit plan/execute
+// split: compile() turns (collective, bytes, root) into an immutable
+// CollectivePlan — running TreeGen, chunk tuning, and CodeGen once — and
+// execute() runs a plan on the fabric, returning the timing a real run would
+// produce. Compiled plans live in an LRU PlanCache, so repeated collectives
+// (every training iteration after the first) skip planning entirely. The
+// classic one-shot methods (broadcast, all_reduce, ...) remain as thin
+// wrappers over compile+execute, and run() launches a batch of requests as
+// one group on the fabric (NCCL group semantics).
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "blink/blink/chunking.h"
 #include "blink/blink/codegen.h"
+#include "blink/blink/plan.h"
+#include "blink/blink/plan_cache.h"
 #include "blink/blink/treegen.h"
 #include "blink/sim/executor.h"
 #include "blink/sim/fabric.h"
@@ -31,28 +42,10 @@ struct CommunicatorOptions {
   // reports the switch cost growing with the number of GPUs).
   double dpa_base_latency = 2.0e-3;
   double dpa_per_gpu_latency = 1.0e-3;
-  // Memoize collective results (the simulation is deterministic).
+  // Memoize each plan's execution result (the simulation is deterministic).
   bool memoize = true;
-};
-
-enum class CollectiveKind {
-  kBroadcast,
-  kGather,
-  kReduce,
-  kAllReduce,
-  kAllGather,
-  kReduceScatter,
-};
-
-const char* to_string(CollectiveKind kind);
-
-struct CollectiveResult {
-  double seconds = 0.0;
-  double bytes = 0.0;           // per-GPU buffer size (NCCL semantics)
-  double algorithm_bw = 0.0;    // bytes / seconds, the paper's "throughput"
-  int num_trees = 0;
-  int num_chunks = 0;           // chunks of the heaviest tree
-  int num_ops = 0;              // schedule size
+  // Compiled plans kept in the LRU cache.
+  std::size_t plan_cache_capacity = 256;
 };
 
 class Communicator {
@@ -78,7 +71,30 @@ class Communicator {
   // Root with the highest packed rate; AllReduce and friends use it.
   int best_root();
 
-  // --- collectives; |bytes| is each GPU's buffer size ----------------------
+  // --- plan/execute --------------------------------------------------------
+  // |bytes| is each GPU's buffer size (NCCL semantics) throughout.
+
+  // Compiles (or fetches from the plan cache) the schedule for a collective.
+  // root == -1 picks the default root, the same policy the one-shot methods
+  // use. Throws std::invalid_argument on a bad root or non-positive size.
+  std::shared_ptr<const CollectivePlan> compile(CollectiveKind kind,
+                                                double bytes, int root = -1);
+
+  // Runs a compiled plan on the fabric. Deterministic: re-executing a plan
+  // returns bit-identical results. Throws std::invalid_argument if the plan
+  // was compiled by a different communicator.
+  CollectiveResult execute(const CollectivePlan& plan);
+
+  // Compiles/fetches a plan per request and launches them all as one group
+  // sharing the fabric (ncclGroupStart/End semantics). Each result carries
+  // that request's own completion time under contention.
+  std::vector<CollectiveResult> run(std::span<const CollectiveRequest> reqs);
+
+  // Plan-cache statistics: hits count collectives that skipped TreeGen and
+  // CodeGen entirely.
+  const PlanCache& plan_cache() const { return plans_; }
+
+  // --- one-shot collectives (wrappers over compile + execute) --------------
   CollectiveResult broadcast(double bytes, int root);
   CollectiveResult gather(double bytes, int root);
   CollectiveResult reduce(double bytes, int root);
@@ -86,35 +102,48 @@ class Communicator {
   CollectiveResult all_gather(double bytes);
   CollectiveResult reduce_scatter(double bytes);
 
-  // MIAD auto-tuning trace for a collective (Figure 12); also primes the
-  // chunk-size cache used when codegen.chunk_bytes == 0.
+  // MIAD auto-tuning trace for a collective (Figure 12); compile() runs the
+  // same tuner when codegen.chunk_bytes == 0.
   MiadResult tune_chunk_size(CollectiveKind kind, double bytes, int root = -1,
                              const MiadOptions& miad = {});
 
  private:
-  CollectiveResult run_collective(CollectiveKind kind, double bytes, int root);
+  // Tree-set slot shared with plans so cache eviction or future slot churn
+  // never invalidates an outstanding plan's references.
+  using TreeSetPtr = std::shared_ptr<const TreeSet>;
+
+  const TreeSetPtr& shared_tree_set(int root);
+  const TreeSetPtr& shared_bidir_tree_set(int root);
+  const TreeSetPtr& shared_pcie_tree_set(int root);
+
+  int default_root(CollectiveKind kind);
+  std::shared_ptr<const CollectivePlan> compile_fresh(CollectiveKind kind,
+                                                      double bytes, int root,
+                                                      std::uint64_t chunk);
+  // One probe run at an explicit chunk size (the MIAD tuner's measure fn).
+  CollectiveResult probe(CollectiveKind kind, double bytes, int root,
+                         std::uint64_t chunk_bytes);
   // Achieved broadcast rate of a tree set, measured by a probe run (the
   // hybrid split needs effective rates: PCIe trees share host-staging
   // segments, so their packed rate overstates what they deliver together).
   double measured_rate(const TreeSet& set, double probe_bytes);
-  CollectiveResult execute(CollectiveKind kind, double bytes, int root,
-                           std::uint64_t chunk_bytes);
   sim::Program build_program(CollectiveKind kind, double bytes, int root,
-                             std::uint64_t chunk_bytes, CollectiveResult* meta);
-  std::uint64_t effective_chunk(CollectiveKind kind, double bytes, int root);
+                             std::uint64_t chunk_bytes, CollectiveResult* meta,
+                             std::vector<TreeSetPtr>* used_sets);
   double dpa_latency() const;
 
   topo::Topology topo_;
   CommunicatorOptions options_;
   sim::Fabric fabric_;
 
-  std::vector<std::optional<TreeSet>> nvlink_sets_;
-  std::vector<std::optional<TreeSet>> bidir_sets_;
-  std::vector<std::optional<TreeSet>> pcie_sets_;
+  std::vector<TreeSetPtr> nvlink_sets_;
+  std::vector<TreeSetPtr> bidir_sets_;
+  std::vector<TreeSetPtr> pcie_sets_;
   std::optional<int> best_root_;
-  std::map<std::tuple<int, int, std::uint64_t>, std::uint64_t> tuned_chunks_;
-  std::map<std::pair<const TreeSet*, std::uint64_t>, double> measured_rates_;
-  std::map<std::tuple<int, int, std::uint64_t>, CollectiveResult> memo_;
+  // Probe-rate cache keyed by (link, bidirectional, root, probe_bytes) —
+  // value identity, not the address of a TreeSet.
+  std::map<std::tuple<int, bool, int, std::uint64_t>, double> measured_rates_;
+  PlanCache plans_;
 };
 
 }  // namespace blink

@@ -11,10 +11,13 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "blink/blink/communicator.h"
+#include "blink/blink/plan.h"
+#include "blink/blink/plan_cache.h"
 #include "blink/blink/treegen.h"
 #include "blink/sim/fabric.h"
 
@@ -24,6 +27,9 @@ struct ClusterOptions {
   sim::FabricParams fabric;  // fabric.nic_bw sets the cross-machine rate
   TreeGenOptions treegen;
   CodeGenOptions codegen;
+  // Memoize each plan's execution result (the simulation is deterministic).
+  bool memoize = true;
+  std::size_t plan_cache_capacity = 64;
 };
 
 class ClusterCommunicator {
@@ -38,7 +44,17 @@ class ClusterCommunicator {
   // Number of data partitions (= per-server roots) the protocol uses.
   int num_partitions() const { return num_partitions_; }
 
-  // Three-phase AllReduce of a |bytes| buffer per GPU.
+  // Compiles (or fetches from the plan cache) the three-phase AllReduce
+  // schedule for a |bytes| buffer per GPU.
+  std::shared_ptr<const CollectivePlan> compile_all_reduce(double bytes);
+
+  // Runs a compiled plan; same semantics as Communicator::execute.
+  CollectiveResult execute(const CollectivePlan& plan);
+
+  const PlanCache& plan_cache() const { return plans_; }
+
+  // Three-phase AllReduce of a |bytes| buffer per GPU (one-shot wrapper
+  // over compile_all_reduce + execute).
   CollectiveResult all_reduce(double bytes);
 
  private:
@@ -48,7 +64,8 @@ class ClusterCommunicator {
   ClusterOptions options_;
   sim::Fabric fabric_;
   int num_partitions_ = 0;
-  std::map<std::pair<int, int>, TreeSet> sets_;
+  std::map<std::pair<int, int>, std::shared_ptr<const TreeSet>> sets_;
+  PlanCache plans_;
 };
 
 }  // namespace blink

@@ -47,6 +47,9 @@ typedef enum {
 // simulated machine.
 blinkResult_t blinkCommInitAll(blinkComm_t* comm, const char* machine,
                                int ndev, const int* gpu_ids);
+// Destroying a communicator that another thread holds queued inside an open
+// blinkGroupStart/End is undefined behavior, as in NCCL: group state is
+// per-thread, so only the destroying thread's queue is cleaned up.
 blinkResult_t blinkCommDestroy(blinkComm_t comm);
 blinkResult_t blinkCommCount(blinkComm_t comm, int* count);
 
@@ -69,7 +72,23 @@ blinkResult_t blinkReduceScatter(const void* sendbuff, void* recvbuff,
                                  blinkRedOp_t op, blinkComm_t comm,
                                  void* stream);
 
-// Simulated timing of the most recent collective on |comm|.
+// --- grouped launches (ncclGroupStart/End semantics) ------------------------
+// Collectives issued between blinkGroupStart and the matching blinkGroupEnd
+// are queued instead of run; blinkGroupEnd compiles (or fetches cached)
+// plans for the batch and launches it as one group contending for the
+// fabric. Calls nest; only the outermost blinkGroupEnd launches. Group state
+// is per-thread, like NCCL's.
+blinkResult_t blinkGroupStart(void);
+blinkResult_t blinkGroupEnd(void);
+
+// Per-request results of the last group launched on |comm|.
+blinkResult_t blinkCommGroupResultCount(blinkComm_t comm, int* count);
+blinkResult_t blinkCommGroupResult(blinkComm_t comm, int index,
+                                   blink::CollectiveResult* result);
+
+// Simulated timing of the most recent collective on |comm|. After a grouped
+// launch this is the group summary: seconds is the group makespan, bytes the
+// total payload.
 blinkResult_t blinkCommLastResult(blinkComm_t comm,
                                   blink::CollectiveResult* result);
 

@@ -1,0 +1,128 @@
+// The plan half of the plan/execute split (§3.2, §5): tree generation and
+// schedule compilation are one-time costs amortized over the many iterations
+// of a training job, so the compiled artifact is a first-class object.
+//
+// A CollectivePlan is an immutable compiled collective: the routed schedule
+// (a sim::Program), the chunking decision, references to the spanning-tree
+// sets it was compiled from, and result metadata. Plans are produced by
+// Communicator::compile(), shared via shared_ptr (cache eviction never
+// invalidates a plan a caller still holds), and run with
+// Communicator::execute() — once or many times, each run skipping TreeGen
+// and CodeGen entirely.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "blink/blink/treegen.h"
+#include "blink/sim/program.h"
+
+namespace blink {
+
+enum class CollectiveKind {
+  kBroadcast,
+  kGather,
+  kReduce,
+  kAllReduce,
+  kAllGather,
+  kReduceScatter,
+};
+
+const char* to_string(CollectiveKind kind);
+
+struct CollectiveResult {
+  double seconds = 0.0;
+  double bytes = 0.0;           // per-GPU buffer size (NCCL semantics)
+  double algorithm_bw = 0.0;    // bytes / seconds, the paper's "throughput"
+  int num_trees = 0;
+  int num_chunks = 0;           // chunks of the heaviest tree
+  int num_ops = 0;              // schedule size
+};
+
+// One collective in a batched Communicator::run() group. root == -1 lets the
+// communicator pick (best packed root for many-to-many, 0 otherwise), the
+// same policy the one-shot methods use.
+struct CollectiveRequest {
+  CollectiveKind kind = CollectiveKind::kBroadcast;
+  double bytes = 0.0;
+  int root = -1;
+};
+
+// Cache key of a compiled plan. Chunk size is not part of the key: it is a
+// derived decision (fixed by options or MIAD-tuned) recorded in the plan.
+struct PlanKey {
+  int kind = 0;
+  int root = 0;
+  std::uint64_t bytes = 0;
+
+  friend bool operator<(const PlanKey& a, const PlanKey& b) {
+    if (a.kind != b.kind) return a.kind < b.kind;
+    if (a.root != b.root) return a.root < b.root;
+    return a.bytes < b.bytes;
+  }
+  friend bool operator==(const PlanKey& a, const PlanKey& b) {
+    return a.kind == b.kind && a.root == b.root && a.bytes == b.bytes;
+  }
+};
+
+class CollectivePlan {
+ public:
+  CollectivePlan(const void* owner, CollectiveKind kind, double bytes,
+                 int root, std::uint64_t chunk_bytes, sim::Program program,
+                 CollectiveResult meta,
+                 std::vector<std::shared_ptr<const TreeSet>> tree_sets);
+
+  CollectivePlan(const CollectivePlan&) = delete;
+  CollectivePlan& operator=(const CollectivePlan&) = delete;
+
+  CollectiveKind kind() const { return kind_; }
+  double bytes() const { return bytes_; }
+  int root() const { return root_; }
+  std::uint64_t chunk_bytes() const { return chunk_bytes_; }
+  const sim::Program& program() const { return program_; }
+  int num_trees() const { return meta_.num_trees; }
+  int num_chunks() const { return meta_.num_chunks; }
+  int num_ops() const { return meta_.num_ops; }
+
+  // Result metadata with timing unfilled; execute() completes it.
+  const CollectiveResult& meta() const { return meta_; }
+
+  // The spanning-tree sets the schedule was compiled from, shared with the
+  // owning communicator's per-root caches (for inspection and invariant
+  // checks; the schedule itself no longer depends on them).
+  const std::vector<std::shared_ptr<const TreeSet>>& tree_sets() const {
+    return tree_sets_;
+  }
+
+  // Identity token of the communicator that compiled this plan; executing a
+  // plan on a different communicator is an error (routes reference its
+  // fabric's channel ids).
+  const void* owner() const { return owner_; }
+
+  PlanKey key() const {
+    return PlanKey{static_cast<int>(kind_), root_,
+                   static_cast<std::uint64_t>(bytes_)};
+  }
+
+  // Memoized execution result. The simulation is deterministic, so the first
+  // run's timing is every run's timing; logically const.
+  const std::optional<CollectiveResult>& cached_result() const {
+    return result_;
+  }
+  void memoize_result(const CollectiveResult& r) const { result_ = r; }
+
+ private:
+  const void* owner_;
+  CollectiveKind kind_;
+  double bytes_;
+  int root_;
+  std::uint64_t chunk_bytes_;
+  sim::Program program_;
+  CollectiveResult meta_;
+  std::vector<std::shared_ptr<const TreeSet>> tree_sets_;
+  mutable std::optional<CollectiveResult> result_;
+};
+
+}  // namespace blink

@@ -1,0 +1,48 @@
+// LRU cache of compiled CollectivePlans, replacing the communicator's former
+// trio of ad-hoc memo maps (result memo, tuned-chunk memo, and a fragile
+// pointer-keyed rate cache). Plans are held by shared_ptr: eviction drops the
+// cache's reference only, so outstanding plans held by callers stay valid.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+
+#include "blink/blink/plan.h"
+
+namespace blink {
+
+class PlanCache {
+ public:
+  explicit PlanCache(std::size_t capacity = 256);
+
+  // Returns the cached plan and bumps it to most-recently-used, or nullptr.
+  // Counts a hit or a miss.
+  std::shared_ptr<const CollectivePlan> find(const PlanKey& key);
+
+  // Inserts (or replaces) the plan for |key|, evicting the least recently
+  // used entry when over capacity.
+  void insert(const PlanKey& key, std::shared_ptr<const CollectivePlan> plan);
+
+  void clear();
+
+  std::size_t size() const { return index_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t evictions() const { return evictions_; }
+
+ private:
+  using Entry = std::pair<PlanKey, std::shared_ptr<const CollectivePlan>>;
+
+  std::size_t capacity_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::map<PlanKey, std::list<Entry>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace blink

@@ -22,6 +22,7 @@ struct TreeGenOptions {
 struct TreeSet {
   int root = 0;
   topo::LinkType link = topo::LinkType::kNVLink;
+  bool bidirectional = false;  // packed against undirected capacities (§3.3)
   graph::DiGraph graph{1};  // the planning graph the edge ids refer to
   std::vector<packing::WeightedTree> trees;
   double rate = 0.0;          // sum of tree weights, bytes/s

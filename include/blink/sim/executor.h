@@ -2,6 +2,8 @@
 // bandwidth sharing.
 #pragma once
 
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "blink/sim/fabric.h"
@@ -25,5 +27,19 @@ struct RunResult {
 // on deadlock (a dependency cycle through streams), which indicates a
 // schedule-generation bug.
 RunResult execute(const Fabric& fabric, const Program& program);
+
+// A grouped launch: all member programs start at t=0 on independent streams
+// and contend for the fabric, like collectives batched between
+// ncclGroupStart/ncclGroupEnd.
+struct GroupRunResult {
+  RunResult run;                          // timing over the merged schedule
+  std::vector<double> makespan;           // completion time per member
+  std::vector<std::pair<int, int>> ops;   // member's [begin, end) op range
+};
+
+// Merges |programs| into one schedule and runs it. Empty members get a zero
+// makespan and an empty range.
+GroupRunResult execute_group(const Fabric& fabric,
+                             std::span<const Program* const> programs);
 
 }  // namespace blink::sim

@@ -46,6 +46,13 @@ class Program {
   // Total bytes moved by kCopy ops (for utilization accounting).
   double total_copy_bytes() const;
 
+  // Appends all of |other|'s ops, remapping its stream ids and dependency
+  // indices past this program's. The two schedules share no streams or
+  // events, so they run concurrently — the primitive behind grouped
+  // (ncclGroupStart/End-style) launches. Returns the index of |other|'s
+  // first op in this program.
+  int append(const Program& other);
+
   // Validates stream ids and dependency indices (deps must point to earlier
   // ops, guaranteeing acyclicity).
   bool validate(std::string* error = nullptr) const;

@@ -3,34 +3,18 @@
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
+#include <utility>
 
 #include "blink/blink/dgx2.h"
 #include "blink/blink/hybrid.h"
 
 namespace blink {
 
-const char* to_string(CollectiveKind kind) {
-  switch (kind) {
-    case CollectiveKind::kBroadcast:
-      return "Broadcast";
-    case CollectiveKind::kGather:
-      return "Gather";
-    case CollectiveKind::kReduce:
-      return "Reduce";
-    case CollectiveKind::kAllReduce:
-      return "AllReduce";
-    case CollectiveKind::kAllGather:
-      return "AllGather";
-    case CollectiveKind::kReduceScatter:
-      return "ReduceScatter";
-  }
-  return "?";
-}
-
 Communicator::Communicator(topo::Topology topo, CommunicatorOptions options)
     : topo_(std::move(topo)),
       options_(std::move(options)),
-      fabric_(topo_, options_.fabric) {
+      fabric_(topo_, options_.fabric),
+      plans_(options_.plan_cache_capacity) {
   std::string err;
   if (!topo_.validate(&err)) {
     throw std::invalid_argument("invalid topology: " + err);
@@ -40,44 +24,62 @@ Communicator::Communicator(topo::Topology topo, CommunicatorOptions options)
   pcie_sets_.resize(static_cast<std::size_t>(topo_.num_gpus));
 }
 
-const TreeSet& Communicator::tree_set(int root) {
+const Communicator::TreeSetPtr& Communicator::shared_tree_set(int root) {
   assert(root >= 0 && root < topo_.num_gpus);
   auto& slot = nvlink_sets_[static_cast<std::size_t>(root)];
-  if (!slot.has_value()) {
+  if (slot == nullptr) {
     TreeGenOptions opts = options_.treegen;
     opts.link = topo::LinkType::kNVLink;
-    slot = generate_trees(topo_, root, opts);
-    if (slot->empty()) {
+    TreeSet set = generate_trees(topo_, root, opts);
+    if (set.empty()) {
       // NVLink does not connect this allocation: Blink falls back to PCIe
       // trees entirely (the situation where NCCL collapses, Figure 2b).
-      *slot = pcie_tree_set(root);
+      slot = shared_pcie_tree_set(root);
+    } else {
+      slot = std::make_shared<const TreeSet>(std::move(set));
     }
   }
-  return *slot;
+  return slot;
 }
 
-const TreeSet& Communicator::bidir_tree_set(int root) {
+const Communicator::TreeSetPtr& Communicator::shared_bidir_tree_set(int root) {
   assert(root >= 0 && root < topo_.num_gpus);
   auto& slot = bidir_sets_[static_cast<std::size_t>(root)];
-  if (!slot.has_value()) {
+  if (slot == nullptr) {
     TreeGenOptions opts = options_.treegen;
     opts.link = topo::LinkType::kNVLink;
     opts.bidirectional = true;
-    slot = generate_trees(topo_, root, opts);
-    if (slot->empty()) *slot = pcie_tree_set(root);
+    TreeSet set = generate_trees(topo_, root, opts);
+    if (set.empty()) {
+      slot = shared_pcie_tree_set(root);
+    } else {
+      slot = std::make_shared<const TreeSet>(std::move(set));
+    }
   }
-  return *slot;
+  return slot;
+}
+
+const Communicator::TreeSetPtr& Communicator::shared_pcie_tree_set(int root) {
+  assert(root >= 0 && root < topo_.num_gpus);
+  auto& slot = pcie_sets_[static_cast<std::size_t>(root)];
+  if (slot == nullptr) {
+    TreeGenOptions opts = options_.treegen;
+    opts.link = topo::LinkType::kPCIe;
+    slot = std::make_shared<const TreeSet>(generate_trees(topo_, root, opts));
+  }
+  return slot;
+}
+
+const TreeSet& Communicator::tree_set(int root) {
+  return *shared_tree_set(root);
+}
+
+const TreeSet& Communicator::bidir_tree_set(int root) {
+  return *shared_bidir_tree_set(root);
 }
 
 const TreeSet& Communicator::pcie_tree_set(int root) {
-  assert(root >= 0 && root < topo_.num_gpus);
-  auto& slot = pcie_sets_[static_cast<std::size_t>(root)];
-  if (!slot.has_value()) {
-    TreeGenOptions opts = options_.treegen;
-    opts.link = topo::LinkType::kPCIe;
-    slot = generate_trees(topo_, root, opts);
-  }
-  return *slot;
+  return *shared_pcie_tree_set(root);
 }
 
 int Communicator::best_root() {
@@ -96,40 +98,47 @@ int Communicator::best_root() {
   return *best_root_;
 }
 
+int Communicator::default_root(CollectiveKind kind) {
+  switch (kind) {
+    case CollectiveKind::kAllReduce:
+    case CollectiveKind::kAllGather:
+      return topo_.has_nvswitch ? 0 : best_root();
+    default:
+      return 0;
+  }
+}
+
 double Communicator::dpa_latency() const {
   return options_.dpa_base_latency +
          options_.dpa_per_gpu_latency * topo_.num_gpus;
 }
 
-std::uint64_t Communicator::effective_chunk(CollectiveKind kind, double bytes,
-                                            int root) {
-  if (options_.codegen.chunk_bytes != 0) return options_.codegen.chunk_bytes;
-  const auto key = std::make_tuple(static_cast<int>(kind), root,
-                                   static_cast<std::uint64_t>(bytes));
-  const auto it = tuned_chunks_.find(key);
-  if (it != tuned_chunks_.end()) return it->second;
-  const MiadResult tuned = tune_chunk_size(kind, bytes, root);
-  return tuned.selected_chunk;
-}
-
 MiadResult Communicator::tune_chunk_size(CollectiveKind kind, double bytes,
                                          int root, const MiadOptions& miad) {
-  if (root < 0) root = 0;
+  if (root < 0) root = default_root(kind);
   MiadResult result = blink::tune_chunk_size(
       [&](std::uint64_t chunk) {
-        const CollectiveResult r = execute(kind, bytes, root, chunk);
+        const CollectiveResult r = probe(kind, bytes, root, chunk);
         return r.algorithm_bw;
       },
       miad);
-  const auto key = std::make_tuple(static_cast<int>(kind), root,
-                                   static_cast<std::uint64_t>(bytes));
-  tuned_chunks_[key] = result.selected_chunk;
+  // Prime the plan cache with the schedule compile() would produce at this
+  // shape (the tuned chunk in auto mode; a fixed codegen.chunk_bytes wins
+  // over the tuner, matching compile()'s own policy), so the next collective
+  // here is a cache hit.
+  const std::uint64_t chunk = options_.codegen.chunk_bytes != 0
+                                  ? options_.codegen.chunk_bytes
+                                  : result.selected_chunk;
+  const PlanKey key{static_cast<int>(kind), root,
+                    static_cast<std::uint64_t>(bytes)};
+  plans_.insert(key, compile_fresh(kind, bytes, root, chunk));
   return result;
 }
 
 double Communicator::measured_rate(const TreeSet& set, double probe_bytes) {
   const auto key =
-      std::make_pair(&set, static_cast<std::uint64_t>(probe_bytes));
+      std::make_tuple(static_cast<int>(set.link), set.bidirectional, set.root,
+                      static_cast<std::uint64_t>(probe_bytes));
   const auto it = measured_rates_.find(key);
   if (it != measured_rates_.end()) return it->second;
   ProgramBuilder builder(fabric_, options_.codegen.chunk_bytes != 0
@@ -144,10 +153,16 @@ double Communicator::measured_rate(const TreeSet& set, double probe_bytes) {
 
 sim::Program Communicator::build_program(CollectiveKind kind, double bytes,
                                          int root, std::uint64_t chunk_bytes,
-                                         CollectiveResult* meta) {
+                                         CollectiveResult* meta,
+                                         std::vector<TreeSetPtr>* used_sets) {
   CodeGenOptions cg = options_.codegen;
   cg.chunk_bytes = chunk_bytes;
   ProgramBuilder builder(fabric_, cg);
+
+  auto use = [&](const TreeSetPtr& set) -> const TreeSet& {
+    if (used_sets != nullptr) used_sets->push_back(set);
+    return *set;
+  };
 
   std::vector<RoutedTree> trees;
   if (topo_.has_nvswitch) {
@@ -164,7 +179,8 @@ sim::Program Communicator::build_program(CollectiveKind kind, double bytes,
     const bool many_to_many = kind == CollectiveKind::kAllReduce ||
                               kind == CollectiveKind::kAllGather;
     trees = route_trees(fabric_, 0,
-                        many_to_many ? bidir_tree_set(root) : tree_set(root));
+                        many_to_many ? use(shared_bidir_tree_set(root))
+                                     : use(shared_tree_set(root)));
   }
   if (trees.empty()) {
     throw std::runtime_error("no spanning trees connect this allocation");
@@ -177,6 +193,7 @@ sim::Program Communicator::build_program(CollectiveKind kind, double bytes,
         const TreeSet& pcie = pcie_tree_set(root);
         const TreeSet& nvl = tree_set(root);
         if (!pcie.empty() && nvl.link == topo::LinkType::kNVLink) {
+          use(shared_pcie_tree_set(root));
           // Equation 8 with *measured* rates: the first calls into the
           // library probe both fabrics, like the paper's empirical T_dpa.
           // Probe the NVLink fabric at the request size (fill fraction
@@ -242,7 +259,8 @@ sim::Program Communicator::build_program(CollectiveKind kind, double bytes,
         builder.reduce(trees, bytes);  // one-hop trees already shard by root
       } else {
         for (int r = 0; r < topo_.num_gpus; ++r) {
-          const auto shard_trees = route_trees(fabric_, 0, tree_set(r));
+          const auto shard_trees =
+              route_trees(fabric_, 0, use(shared_tree_set(r)));
           if (!shard_trees.empty()) builder.reduce(shard_trees, shard);
         }
       }
@@ -258,12 +276,12 @@ sim::Program Communicator::build_program(CollectiveKind kind, double bytes,
   return builder.take();
 }
 
-CollectiveResult Communicator::execute(CollectiveKind kind, double bytes,
-                                       int root, std::uint64_t chunk_bytes) {
+CollectiveResult Communicator::probe(CollectiveKind kind, double bytes,
+                                     int root, std::uint64_t chunk_bytes) {
   CollectiveResult result;
   result.bytes = bytes;
   const sim::Program program =
-      build_program(kind, bytes, root, chunk_bytes, &result);
+      build_program(kind, bytes, root, chunk_bytes, &result, nullptr);
   result.num_ops = static_cast<int>(program.ops().size());
   const sim::RunResult run = sim::execute(fabric_, program);
   result.seconds = run.makespan;
@@ -271,39 +289,105 @@ CollectiveResult Communicator::execute(CollectiveKind kind, double bytes,
   return result;
 }
 
-CollectiveResult Communicator::run_collective(CollectiveKind kind,
-                                              double bytes, int root) {
-  const auto key = std::make_tuple(static_cast<int>(kind), root,
-                                   static_cast<std::uint64_t>(bytes));
-  if (options_.memoize) {
-    const auto it = memo_.find(key);
-    if (it != memo_.end()) return it->second;
+std::shared_ptr<const CollectivePlan> Communicator::compile_fresh(
+    CollectiveKind kind, double bytes, int root, std::uint64_t chunk) {
+  CollectiveResult meta;
+  meta.bytes = bytes;
+  std::vector<TreeSetPtr> used_sets;
+  sim::Program program =
+      build_program(kind, bytes, root, chunk, &meta, &used_sets);
+  meta.num_ops = static_cast<int>(program.ops().size());
+  // Deduplicate: the reduce-scatter path visits the same set per shard root,
+  // and the NVLink slot may alias the PCIe fallback.
+  std::sort(used_sets.begin(), used_sets.end());
+  used_sets.erase(std::unique(used_sets.begin(), used_sets.end()),
+                  used_sets.end());
+  return std::make_shared<const CollectivePlan>(
+      this, kind, bytes, root, chunk, std::move(program), meta,
+      std::move(used_sets));
+}
+
+std::shared_ptr<const CollectivePlan> Communicator::compile(
+    CollectiveKind kind, double bytes, int root) {
+  if (!(bytes > 0.0)) {
+    throw std::invalid_argument("collective size must be positive");
   }
-  const std::uint64_t chunk = effective_chunk(kind, bytes, root);
-  CollectiveResult result = execute(kind, bytes, root, chunk);
-  if (options_.memoize) memo_[key] = result;
+  if (root < -1 || root >= topo_.num_gpus) {
+    throw std::invalid_argument("root out of range");
+  }
+  if (root == -1) root = default_root(kind);
+  const PlanKey key{static_cast<int>(kind), root,
+                    static_cast<std::uint64_t>(bytes)};
+  if (auto plan = plans_.find(key)) return plan;
+  std::uint64_t chunk = options_.codegen.chunk_bytes;
+  if (chunk == 0) {
+    chunk = blink::tune_chunk_size(
+                [&](std::uint64_t c) {
+                  return probe(kind, bytes, root, c).algorithm_bw;
+                },
+                MiadOptions{})
+                .selected_chunk;
+  }
+  auto plan = compile_fresh(kind, bytes, root, chunk);
+  plans_.insert(key, plan);
+  return plan;
+}
+
+CollectiveResult Communicator::execute(const CollectivePlan& plan) {
+  if (plan.owner() != this) {
+    throw std::invalid_argument(
+        "plan was compiled by a different communicator");
+  }
+  if (options_.memoize && plan.cached_result().has_value()) {
+    return *plan.cached_result();
+  }
+  CollectiveResult result = plan.meta();
+  const sim::RunResult run = sim::execute(fabric_, plan.program());
+  result.seconds = run.makespan;
+  result.algorithm_bw = run.throughput(result.bytes);
+  if (options_.memoize) plan.memoize_result(result);
   return result;
 }
 
+std::vector<CollectiveResult> Communicator::run(
+    std::span<const CollectiveRequest> reqs) {
+  std::vector<std::shared_ptr<const CollectivePlan>> plans;
+  plans.reserve(reqs.size());
+  for (const CollectiveRequest& req : reqs) {
+    plans.push_back(compile(req.kind, req.bytes, req.root));
+  }
+  std::vector<const sim::Program*> programs;
+  programs.reserve(plans.size());
+  for (const auto& plan : plans) programs.push_back(&plan->program());
+  const sim::GroupRunResult group = sim::execute_group(fabric_, programs);
+  std::vector<CollectiveResult> results;
+  results.reserve(plans.size());
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    CollectiveResult r = plans[i]->meta();
+    r.seconds = group.makespan[i];
+    r.algorithm_bw = r.seconds > 0.0 ? r.bytes / r.seconds : 0.0;
+    results.push_back(r);
+  }
+  return results;
+}
+
 CollectiveResult Communicator::broadcast(double bytes, int root) {
-  return run_collective(CollectiveKind::kBroadcast, bytes, root);
+  return execute(*compile(CollectiveKind::kBroadcast, bytes, root));
 }
 CollectiveResult Communicator::gather(double bytes, int root) {
-  return run_collective(CollectiveKind::kGather, bytes, root);
+  return execute(*compile(CollectiveKind::kGather, bytes, root));
 }
 CollectiveResult Communicator::reduce(double bytes, int root) {
-  return run_collective(CollectiveKind::kReduce, bytes, root);
+  return execute(*compile(CollectiveKind::kReduce, bytes, root));
 }
 CollectiveResult Communicator::all_reduce(double bytes) {
-  return run_collective(CollectiveKind::kAllReduce, bytes,
-                        topo_.has_nvswitch ? 0 : best_root());
+  return execute(*compile(CollectiveKind::kAllReduce, bytes));
 }
 CollectiveResult Communicator::all_gather(double bytes) {
-  return run_collective(CollectiveKind::kAllGather, bytes,
-                        topo_.has_nvswitch ? 0 : best_root());
+  return execute(*compile(CollectiveKind::kAllGather, bytes));
 }
 CollectiveResult Communicator::reduce_scatter(double bytes) {
-  return run_collective(CollectiveKind::kReduceScatter, bytes, 0);
+  return execute(*compile(CollectiveKind::kReduceScatter, bytes));
 }
 
 }  // namespace blink

@@ -12,7 +12,8 @@ ClusterCommunicator::ClusterCommunicator(std::vector<topo::Topology> servers,
                                          ClusterOptions options)
     : servers_(std::move(servers)),
       options_(std::move(options)),
-      fabric_(servers_, options_.fabric) {
+      fabric_(servers_, options_.fabric),
+      plans_(options_.plan_cache_capacity) {
   if (servers_.size() < 2) {
     throw std::invalid_argument("cluster needs at least two servers");
   }
@@ -44,12 +45,21 @@ const TreeSet& ClusterCommunicator::tree_set(int server, int root) {
       set = generate_trees(servers_[static_cast<std::size_t>(server)], root,
                            opts);
     }
-    it = sets_.emplace(key, std::move(set)).first;
+    it = sets_.emplace(key, std::make_shared<const TreeSet>(std::move(set)))
+             .first;
   }
-  return it->second;
+  return *it->second;
 }
 
-CollectiveResult ClusterCommunicator::all_reduce(double bytes) {
+std::shared_ptr<const CollectivePlan> ClusterCommunicator::compile_all_reduce(
+    double bytes) {
+  if (!(bytes > 0.0)) {
+    throw std::invalid_argument("collective size must be positive");
+  }
+  const PlanKey key{static_cast<int>(CollectiveKind::kAllReduce), 0,
+                    static_cast<std::uint64_t>(bytes)};
+  if (auto plan = plans_.find(key)) return plan;
+
   const int k = num_partitions_;
   const int n_srv = fabric_.num_servers();
   const double partition_bytes = bytes / k;
@@ -57,6 +67,13 @@ CollectiveResult ClusterCommunicator::all_reduce(double bytes) {
   ProgramBuilder builder(fabric_, options_.codegen);
   CollectiveResult result;
   result.bytes = bytes;
+
+  std::vector<std::shared_ptr<const TreeSet>> used_sets;
+  auto use_set = [&](int server, int root) -> const TreeSet& {
+    const TreeSet& set = tree_set(server, root);
+    used_sets.push_back(sets_.at(std::make_pair(server, root)));
+    return set;
+  };
 
   // Per (partition, server): ops whose completion means "partition reduced
   // at this server's root".
@@ -73,7 +90,7 @@ CollectiveResult ClusterCommunicator::all_reduce(double bytes) {
       const int root = p % fabric_.server(s).num_gpus;
       root_of[static_cast<std::size_t>(p)][static_cast<std::size_t>(s)] = root;
       if (fabric_.server(s).num_gpus == 1) continue;  // nothing to reduce
-      const TreeSet& set = tree_set(s, root);
+      const TreeSet& set = use_set(s, root);
       if (set.empty()) {
         throw std::runtime_error("server has no connected fabric");
       }
@@ -136,7 +153,7 @@ CollectiveResult ClusterCommunicator::all_reduce(double bytes) {
       if (fabric_.server(s).num_gpus == 1) continue;
       const int root =
           root_of[static_cast<std::size_t>(p)][static_cast<std::size_t>(s)];
-      const TreeSet& set = tree_set(s, root);
+      const TreeSet& set = use_set(s, root);
       const auto trees = route_trees(fabric_, s, set);
       double total_w = 0.0;
       for (const auto& t : trees) total_w += t.weight;
@@ -151,13 +168,37 @@ CollectiveResult ClusterCommunicator::all_reduce(double bytes) {
     }
   }
 
-  const sim::Program program = builder.take();
-  result.num_ops = static_cast<int>(program.ops().size());
   result.num_chunks = builder.chunks_for(partition_bytes);
-  const auto run = sim::execute(fabric_, program);
+  sim::Program program = builder.take();
+  result.num_ops = static_cast<int>(program.ops().size());
+  std::sort(used_sets.begin(), used_sets.end());
+  used_sets.erase(std::unique(used_sets.begin(), used_sets.end()),
+                  used_sets.end());
+  auto plan = std::make_shared<const CollectivePlan>(
+      this, CollectiveKind::kAllReduce, bytes, 0, options_.codegen.chunk_bytes,
+      std::move(program), result, std::move(used_sets));
+  plans_.insert(key, plan);
+  return plan;
+}
+
+CollectiveResult ClusterCommunicator::execute(const CollectivePlan& plan) {
+  if (plan.owner() != this) {
+    throw std::invalid_argument(
+        "plan was compiled by a different communicator");
+  }
+  if (options_.memoize && plan.cached_result().has_value()) {
+    return *plan.cached_result();
+  }
+  CollectiveResult result = plan.meta();
+  const auto run = sim::execute(fabric_, plan.program());
   result.seconds = run.makespan;
-  result.algorithm_bw = run.throughput(bytes);
+  result.algorithm_bw = run.throughput(result.bytes);
+  if (options_.memoize) plan.memoize_result(result);
   return result;
+}
+
+CollectiveResult ClusterCommunicator::all_reduce(double bytes) {
+  return execute(*compile_all_reduce(bytes));
 }
 
 }  // namespace blink

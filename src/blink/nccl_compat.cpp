@@ -1,5 +1,6 @@
 #include "blink/blink/nccl_compat.h"
 
+#include <algorithm>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -11,9 +12,16 @@
 struct blinkComm {
   std::unique_ptr<blink::Communicator> impl;
   blink::CollectiveResult last;
+  std::vector<blink::CollectiveRequest> pending;      // queued group requests
+  std::vector<blink::CollectiveResult> group_results;  // last group's results
 };
 
 namespace {
+
+// NCCL group state is per-thread: a depth counter and the comms with queued
+// work. Only the outermost blinkGroupEnd launches.
+thread_local int g_group_depth = 0;
+thread_local std::vector<blinkComm_t> g_group_comms;
 
 bool build_machine(const char* machine, blink::topo::Topology* out) {
   const std::string m = machine == nullptr ? "" : machine;
@@ -29,15 +37,45 @@ bool build_machine(const char* machine, blink::topo::Topology* out) {
   return true;
 }
 
-template <typename Fn>
-blinkResult_t run(blinkComm_t comm, Fn&& fn) {
+// Runs one collective now, or queues it when inside a group.
+blinkResult_t submit(blinkComm_t comm, blink::CollectiveKind kind,
+                     double bytes, int root) {
   if (comm == nullptr || comm->impl == nullptr) return blinkInvalidArgument;
+  if (g_group_depth > 0) {
+    if (comm->pending.empty()) g_group_comms.push_back(comm);
+    comm->pending.push_back(blink::CollectiveRequest{kind, bytes, root});
+    return blinkSuccess;
+  }
   try {
-    comm->last = fn(*comm->impl);
+    comm->last = comm->impl->execute(*comm->impl->compile(kind, bytes, root));
     return blinkSuccess;
   } catch (const std::exception&) {
     return blinkInternalError;
   }
+}
+
+blinkResult_t flush_group(blinkComm_t comm) {
+  try {
+    comm->group_results = comm->impl->run(comm->pending);
+    comm->pending.clear();
+  } catch (const std::exception&) {
+    comm->pending.clear();
+    comm->group_results.clear();  // don't leave a previous group's results
+    return blinkInternalError;
+  }
+  // The group summary: makespan of the batch, total payload.
+  blink::CollectiveResult summary;
+  for (const auto& r : comm->group_results) {
+    summary.seconds = std::max(summary.seconds, r.seconds);
+    summary.bytes += r.bytes;
+    summary.num_trees += r.num_trees;
+    summary.num_ops += r.num_ops;
+    summary.num_chunks = std::max(summary.num_chunks, r.num_chunks);
+  }
+  summary.algorithm_bw =
+      summary.seconds > 0.0 ? summary.bytes / summary.seconds : 0.0;
+  comm->last = summary;
+  return blinkSuccess;
 }
 
 }  // namespace
@@ -88,6 +126,11 @@ blinkResult_t blinkCommInitAll(blinkComm_t* comm, const char* machine,
 }
 
 blinkResult_t blinkCommDestroy(blinkComm_t comm) {
+  if (comm != nullptr) {
+    const auto it =
+        std::find(g_group_comms.begin(), g_group_comms.end(), comm);
+    if (it != g_group_comms.end()) g_group_comms.erase(it);
+  }
   delete comm;
   return blinkSuccess;
 }
@@ -98,53 +141,87 @@ blinkResult_t blinkCommCount(blinkComm_t comm, int* count) {
   return blinkSuccess;
 }
 
+blinkResult_t blinkGroupStart(void) {
+  ++g_group_depth;
+  return blinkSuccess;
+}
+
+blinkResult_t blinkGroupEnd(void) {
+  if (g_group_depth == 0) return blinkInvalidArgument;
+  if (--g_group_depth > 0) return blinkSuccess;
+  blinkResult_t status = blinkSuccess;
+  std::vector<blinkComm_t> comms;
+  comms.swap(g_group_comms);
+  for (blinkComm_t comm : comms) {
+    const blinkResult_t r = flush_group(comm);
+    if (r != blinkSuccess) status = r;
+  }
+  return status;
+}
+
+blinkResult_t blinkCommGroupResultCount(blinkComm_t comm, int* count) {
+  if (comm == nullptr || count == nullptr) return blinkInvalidArgument;
+  *count = static_cast<int>(comm->group_results.size());
+  return blinkSuccess;
+}
+
+blinkResult_t blinkCommGroupResult(blinkComm_t comm, int index,
+                                   blink::CollectiveResult* result) {
+  if (comm == nullptr || result == nullptr || index < 0 ||
+      index >= static_cast<int>(comm->group_results.size())) {
+    return blinkInvalidArgument;
+  }
+  *result = comm->group_results[static_cast<std::size_t>(index)];
+  return blinkSuccess;
+}
+
 blinkResult_t blinkBroadcast(const void*, void*, size_t count,
                              blinkDataType_t dtype, int root, blinkComm_t comm,
                              void*) {
+  if (count == 0 || blinkTypeSize(dtype) == 0) return blinkInvalidArgument;
   if (comm != nullptr &&
       (root < 0 || root >= comm->impl->num_gpus())) {
     return blinkInvalidArgument;
   }
   const double bytes = static_cast<double>(count * blinkTypeSize(dtype));
-  return run(comm, [&](blink::Communicator& c) {
-    return c.broadcast(bytes, root);
-  });
+  return submit(comm, blink::CollectiveKind::kBroadcast, bytes, root);
 }
 
 blinkResult_t blinkAllReduce(const void*, void*, size_t count,
                              blinkDataType_t dtype, blinkRedOp_t,
                              blinkComm_t comm, void*) {
+  if (count == 0 || blinkTypeSize(dtype) == 0) return blinkInvalidArgument;
   const double bytes = static_cast<double>(count * blinkTypeSize(dtype));
-  return run(comm,
-             [&](blink::Communicator& c) { return c.all_reduce(bytes); });
+  return submit(comm, blink::CollectiveKind::kAllReduce, bytes, -1);
 }
 
 blinkResult_t blinkReduce(const void*, void*, size_t count,
                           blinkDataType_t dtype, blinkRedOp_t, int root,
                           blinkComm_t comm, void*) {
+  if (count == 0 || blinkTypeSize(dtype) == 0) return blinkInvalidArgument;
   if (comm != nullptr &&
       (root < 0 || root >= comm->impl->num_gpus())) {
     return blinkInvalidArgument;
   }
   const double bytes = static_cast<double>(count * blinkTypeSize(dtype));
-  return run(comm,
-             [&](blink::Communicator& c) { return c.reduce(bytes, root); });
+  return submit(comm, blink::CollectiveKind::kReduce, bytes, root);
 }
 
 blinkResult_t blinkAllGather(const void*, void*, size_t sendcount,
                              blinkDataType_t dtype, blinkComm_t comm, void*) {
+  if (sendcount == 0 || blinkTypeSize(dtype) == 0) return blinkInvalidArgument;
   const double bytes = static_cast<double>(sendcount * blinkTypeSize(dtype));
-  return run(comm,
-             [&](blink::Communicator& c) { return c.all_gather(bytes); });
+  return submit(comm, blink::CollectiveKind::kAllGather, bytes, -1);
 }
 
 blinkResult_t blinkReduceScatter(const void*, void*, size_t recvcount,
                                  blinkDataType_t dtype, blinkRedOp_t,
                                  blinkComm_t comm, void*) {
-  const double bytes = static_cast<double>(recvcount * blinkTypeSize(dtype));
-  return run(comm, [&](blink::Communicator& c) {
-    return c.reduce_scatter(bytes * c.num_gpus());
-  });
+  if (recvcount == 0 || blinkTypeSize(dtype) == 0) return blinkInvalidArgument;
+  if (comm == nullptr || comm->impl == nullptr) return blinkInvalidArgument;
+  const double bytes = static_cast<double>(recvcount * blinkTypeSize(dtype)) *
+                       comm->impl->num_gpus();
+  return submit(comm, blink::CollectiveKind::kReduceScatter, bytes, -1);
 }
 
 blinkResult_t blinkCommLastResult(blinkComm_t comm,

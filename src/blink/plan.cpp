@@ -1,0 +1,38 @@
+#include "blink/blink/plan.h"
+
+#include <utility>
+
+namespace blink {
+
+const char* to_string(CollectiveKind kind) {
+  switch (kind) {
+    case CollectiveKind::kBroadcast:
+      return "Broadcast";
+    case CollectiveKind::kGather:
+      return "Gather";
+    case CollectiveKind::kReduce:
+      return "Reduce";
+    case CollectiveKind::kAllReduce:
+      return "AllReduce";
+    case CollectiveKind::kAllGather:
+      return "AllGather";
+    case CollectiveKind::kReduceScatter:
+      return "ReduceScatter";
+  }
+  return "?";
+}
+
+CollectivePlan::CollectivePlan(
+    const void* owner, CollectiveKind kind, double bytes, int root,
+    std::uint64_t chunk_bytes, sim::Program program, CollectiveResult meta,
+    std::vector<std::shared_ptr<const TreeSet>> tree_sets)
+    : owner_(owner),
+      kind_(kind),
+      bytes_(bytes),
+      root_(root),
+      chunk_bytes_(chunk_bytes),
+      program_(std::move(program)),
+      meta_(meta),
+      tree_sets_(std::move(tree_sets)) {}
+
+}  // namespace blink

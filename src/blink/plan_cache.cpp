@@ -1,0 +1,44 @@
+#include "blink/blink/plan_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace blink {
+
+PlanCache::PlanCache(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {}
+
+std::shared_ptr<const CollectivePlan> PlanCache::find(const PlanKey& key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->second;
+}
+
+void PlanCache::insert(const PlanKey& key,
+                       std::shared_ptr<const CollectivePlan> plan) {
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(plan);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(plan));
+  index_[key] = lru_.begin();
+  while (index_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+void PlanCache::clear() {
+  lru_.clear();
+  index_.clear();
+}
+
+}  // namespace blink

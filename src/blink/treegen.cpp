@@ -52,6 +52,7 @@ TreeSet generate_trees(const topo::Topology& topo, int root,
   TreeSet set;
   set.root = root;
   set.link = options.link;
+  set.bidirectional = options.bidirectional;
   set.graph = options.link == topo::LinkType::kPCIe
                   ? graph::pcie_digraph(topo)
                   : graph::nvlink_digraph(topo, options.bidirectional);

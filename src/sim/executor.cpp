@@ -248,4 +248,25 @@ RunResult execute(const Fabric& fabric, const Program& program) {
   return Execution(fabric, program).run();
 }
 
+GroupRunResult execute_group(const Fabric& fabric,
+                             std::span<const Program* const> programs) {
+  GroupRunResult group;
+  Program merged;
+  group.ops.reserve(programs.size());
+  for (const Program* p : programs) {
+    const int begin = merged.append(*p);
+    group.ops.emplace_back(begin, static_cast<int>(merged.ops().size()));
+  }
+  group.run = execute(fabric, merged);
+  group.makespan.reserve(programs.size());
+  for (const auto& [begin, end] : group.ops) {
+    double t = 0.0;
+    for (int i = begin; i < end; ++i) {
+      t = std::max(t, group.run.op_finish[static_cast<std::size_t>(i)]);
+    }
+    group.makespan.push_back(t);
+  }
+  return group;
+}
+
 }  // namespace blink::sim

@@ -15,6 +15,20 @@ int Program::add(Op op) {
   return id;
 }
 
+int Program::append(const Program& other) {
+  const int op_base = static_cast<int>(ops_.size());
+  const int stream_base = num_streams_;
+  num_streams_ += other.num_streams_;
+  ops_.reserve(ops_.size() + other.ops_.size());
+  for (const Op& src : other.ops_) {
+    Op op = src;
+    op.stream += stream_base;
+    for (int& d : op.deps) d += op_base;
+    ops_.push_back(std::move(op));
+  }
+  return op_base;
+}
+
 double Program::total_copy_bytes() const {
   double total = 0.0;
   for (const auto& op : ops_) {

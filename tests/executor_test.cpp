@@ -236,5 +236,67 @@ TEST(Executor, ZeroByteOpsCompleteImmediately) {
   EXPECT_DOUBLE_EQ(execute(f, p).makespan, 0.0);
 }
 
+TEST(Executor, GroupMembersContendForChannels) {
+  const Fabric f = chain_fabric(2);
+  auto one_copy = [&] {
+    Program p;
+    Op op;
+    op.kind = OpKind::kCopy;
+    op.route = f.nvlink_route(0, 0, 1);
+    op.bytes = 10.0e9;  // one second alone at 10 GB/s
+    op.stream = p.new_stream();
+    p.add(op);
+    return p;
+  };
+  const Program a = one_copy();
+  const Program b = one_copy();
+  const std::vector<const Program*> members{&a, &b};
+  const auto group = execute_group(f, members);
+  // Fair sharing: both finish together at 2x the solo time.
+  ASSERT_EQ(group.makespan.size(), 2u);
+  EXPECT_NEAR(group.makespan[0], 2.0, 1e-9);
+  EXPECT_NEAR(group.makespan[1], 2.0, 1e-9);
+  EXPECT_NEAR(group.run.makespan, 2.0, 1e-9);
+  EXPECT_EQ(group.ops[0], (std::pair<int, int>{0, 1}));
+  EXPECT_EQ(group.ops[1], (std::pair<int, int>{1, 2}));
+}
+
+TEST(Executor, GroupDisjointChannelsRunConcurrently) {
+  const Fabric f = chain_fabric(3);
+  auto copy_between = [&](int src, int dst, double bytes) {
+    Program p;
+    Op op;
+    op.kind = OpKind::kCopy;
+    op.route = f.nvlink_route(0, src, dst);
+    op.bytes = bytes;
+    op.stream = p.new_stream();
+    p.add(op);
+    return p;
+  };
+  const Program a = copy_between(0, 1, 10.0e9);
+  const Program b = copy_between(1, 2, 5.0e9);
+  const std::vector<const Program*> members{&a, &b};
+  const auto group = execute_group(f, members);
+  EXPECT_NEAR(group.makespan[0], 1.0, 1e-9);  // unaffected by b
+  EXPECT_NEAR(group.makespan[1], 0.5, 1e-9);
+  EXPECT_NEAR(group.run.makespan, 1.0, 1e-9);
+}
+
+TEST(Executor, GroupWithEmptyMember) {
+  const Fabric f = chain_fabric(2);
+  Program a;
+  Op op;
+  op.kind = OpKind::kCopy;
+  op.route = f.nvlink_route(0, 0, 1);
+  op.bytes = 10.0e9;
+  op.stream = a.new_stream();
+  a.add(op);
+  const Program empty;
+  const std::vector<const Program*> members{&a, &empty};
+  const auto group = execute_group(f, members);
+  EXPECT_NEAR(group.makespan[0], 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(group.makespan[1], 0.0);
+}
+
 }  // namespace
 }  // namespace blink::sim

@@ -1,14 +1,22 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "blink/blink/nccl_compat.h"
 
 namespace {
 
 TEST(NcclCompat, TypeSizes) {
   EXPECT_EQ(blinkTypeSize(blinkInt8), 1u);
+  EXPECT_EQ(blinkTypeSize(blinkUint8), 1u);
   EXPECT_EQ(blinkTypeSize(blinkFloat16), 2u);
+  EXPECT_EQ(blinkTypeSize(blinkInt32), 4u);
+  EXPECT_EQ(blinkTypeSize(blinkUint32), 4u);
   EXPECT_EQ(blinkTypeSize(blinkFloat32), 4u);
+  EXPECT_EQ(blinkTypeSize(blinkInt64), 8u);
+  EXPECT_EQ(blinkTypeSize(blinkUint64), 8u);
   EXPECT_EQ(blinkTypeSize(blinkFloat64), 8u);
+  EXPECT_EQ(blinkTypeSize(static_cast<blinkDataType_t>(999)), 0u);
 }
 
 TEST(NcclCompat, InitAndDestroy) {
@@ -65,7 +73,106 @@ TEST(NcclCompat, InvalidRootRejected) {
   EXPECT_EQ(blinkBroadcast(nullptr, nullptr, 1024, blinkFloat32, 7, comm,
                            nullptr),
             blinkInvalidArgument);
+  EXPECT_EQ(blinkBroadcast(nullptr, nullptr, 1024, blinkFloat32, -1, comm,
+                           nullptr),
+            blinkInvalidArgument);
+  EXPECT_EQ(blinkReduce(nullptr, nullptr, 1024, blinkFloat32, blinkSum, 3,
+                        comm, nullptr),
+            blinkInvalidArgument);
+  // A dtype outside the enum (e.g. NCCL's bfloat16 = 9) is rejected rather
+  // than silently computing a zero-byte transfer.
+  EXPECT_EQ(blinkBroadcast(nullptr, nullptr, 1024,
+                           static_cast<blinkDataType_t>(9), 0, comm, nullptr),
+            blinkInvalidArgument);
   blinkCommDestroy(comm);
+}
+
+TEST(NcclCompat, ZeroCountRejected) {
+  blinkComm_t comm = nullptr;
+  const int gpus[] = {0, 1, 2, 3};
+  ASSERT_EQ(blinkCommInitAll(&comm, "dgx1v", 4, gpus), blinkSuccess);
+  EXPECT_EQ(blinkBroadcast(nullptr, nullptr, 0, blinkFloat32, 0, comm,
+                           nullptr),
+            blinkInvalidArgument);
+  EXPECT_EQ(blinkAllReduce(nullptr, nullptr, 0, blinkFloat32, blinkSum, comm,
+                           nullptr),
+            blinkInvalidArgument);
+  EXPECT_EQ(blinkAllGather(nullptr, nullptr, 0, blinkFloat32, comm, nullptr),
+            blinkInvalidArgument);
+  EXPECT_EQ(blinkReduceScatter(nullptr, nullptr, 0, blinkFloat32, blinkSum,
+                               comm, nullptr),
+            blinkInvalidArgument);
+  blinkCommDestroy(comm);
+}
+
+TEST(NcclCompat, GroupRoundTrip) {
+  blinkComm_t comm = nullptr;
+  const int gpus[] = {0, 1, 2, 3};
+  ASSERT_EQ(blinkCommInitAll(&comm, "dgx1v", 4, gpus), blinkSuccess);
+  // Baseline: the same broadcast run solo.
+  ASSERT_EQ(blinkBroadcast(nullptr, nullptr, 1 << 22, blinkFloat32, 0, comm,
+                           nullptr),
+            blinkSuccess);
+  blink::CollectiveResult solo;
+  ASSERT_EQ(blinkCommLastResult(comm, &solo), blinkSuccess);
+
+  ASSERT_EQ(blinkGroupStart(), blinkSuccess);
+  EXPECT_EQ(blinkBroadcast(nullptr, nullptr, 1 << 22, blinkFloat32, 0, comm,
+                           nullptr),
+            blinkSuccess);
+  EXPECT_EQ(blinkAllReduce(nullptr, nullptr, 1 << 20, blinkFloat32, blinkSum,
+                           comm, nullptr),
+            blinkSuccess);
+  // Queued, not yet launched: the last result is still the solo broadcast.
+  blink::CollectiveResult pending;
+  ASSERT_EQ(blinkCommLastResult(comm, &pending), blinkSuccess);
+  EXPECT_DOUBLE_EQ(pending.seconds, solo.seconds);
+  ASSERT_EQ(blinkGroupEnd(), blinkSuccess);
+
+  int count = 0;
+  ASSERT_EQ(blinkCommGroupResultCount(comm, &count), blinkSuccess);
+  ASSERT_EQ(count, 2);
+  blink::CollectiveResult r0, r1, summary;
+  ASSERT_EQ(blinkCommGroupResult(comm, 0, &r0), blinkSuccess);
+  ASSERT_EQ(blinkCommGroupResult(comm, 1, &r1), blinkSuccess);
+  EXPECT_EQ(blinkCommGroupResult(comm, 2, &r1), blinkInvalidArgument);
+  EXPECT_DOUBLE_EQ(r0.bytes, static_cast<double>(4 * (1 << 22)));
+  EXPECT_GT(r0.seconds, 0.0);
+  EXPECT_GT(r1.seconds, 0.0);
+  // Under contention the broadcast cannot beat its solo run.
+  EXPECT_GE(r0.seconds, 0.999 * solo.seconds);
+  ASSERT_EQ(blinkCommLastResult(comm, &summary), blinkSuccess);
+  EXPECT_DOUBLE_EQ(summary.seconds, std::max(r0.seconds, r1.seconds));
+  EXPECT_DOUBLE_EQ(summary.bytes, r0.bytes + r1.bytes);
+  blinkCommDestroy(comm);
+}
+
+TEST(NcclCompat, NestedGroupLaunchesOnOutermostEnd) {
+  blinkComm_t comm = nullptr;
+  const int gpus[] = {4, 5, 6, 7};
+  ASSERT_EQ(blinkCommInitAll(&comm, "dgx1v", 4, gpus), blinkSuccess);
+  ASSERT_EQ(blinkGroupStart(), blinkSuccess);
+  ASSERT_EQ(blinkGroupStart(), blinkSuccess);
+  EXPECT_EQ(blinkBroadcast(nullptr, nullptr, 1 << 20, blinkFloat32, 0, comm,
+                           nullptr),
+            blinkSuccess);
+  ASSERT_EQ(blinkGroupEnd(), blinkSuccess);  // inner: nothing launches
+  int count = -1;
+  ASSERT_EQ(blinkCommGroupResultCount(comm, &count), blinkSuccess);
+  EXPECT_EQ(count, 0);
+  ASSERT_EQ(blinkGroupEnd(), blinkSuccess);  // outermost: launch
+  ASSERT_EQ(blinkCommGroupResultCount(comm, &count), blinkSuccess);
+  EXPECT_EQ(count, 1);
+  blinkCommDestroy(comm);
+}
+
+TEST(NcclCompat, GroupEndWithoutStartFails) {
+  EXPECT_EQ(blinkGroupEnd(), blinkInvalidArgument);
+}
+
+TEST(NcclCompat, EmptyGroupIsANoOp) {
+  ASSERT_EQ(blinkGroupStart(), blinkSuccess);
+  EXPECT_EQ(blinkGroupEnd(), blinkSuccess);
 }
 
 TEST(NcclCompat, ReduceAndAllGatherAndReduceScatter) {

@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "blink/blink/communicator.h"
+#include "blink/blink/multiserver.h"
+#include "blink/packing/packing.h"
+#include "blink/topology/builders.h"
+#include "blink/topology/discovery.h"
+
+namespace blink {
+namespace {
+
+topo::Topology alloc_v100(std::vector<int> gpus) {
+  return topo::induced_topology(topo::make_dgx1v(), gpus);
+}
+
+const CollectiveKind kAllKinds[] = {
+    CollectiveKind::kBroadcast,    CollectiveKind::kGather,
+    CollectiveKind::kReduce,       CollectiveKind::kAllReduce,
+    CollectiveKind::kAllGather,    CollectiveKind::kReduceScatter,
+};
+
+bool identical(const CollectiveResult& a, const CollectiveResult& b) {
+  return a.seconds == b.seconds && a.bytes == b.bytes &&
+         a.algorithm_bw == b.algorithm_bw && a.num_trees == b.num_trees &&
+         a.num_chunks == b.num_chunks && a.num_ops == b.num_ops;
+}
+
+// Acceptance: compile + execute round-trips match the legacy one-shot
+// methods for all six collective kinds.
+TEST(Plan, CompileExecuteMatchesOneShot) {
+  Communicator comm(topo::make_dgx1v());
+  Communicator fresh(topo::make_dgx1v());
+  const double bytes = 200e6;
+  for (const CollectiveKind kind : kAllKinds) {
+    const auto plan = comm.compile(kind, bytes);
+    const CollectiveResult split = comm.execute(*plan);
+    CollectiveResult one_shot;
+    switch (kind) {
+      case CollectiveKind::kBroadcast:
+        one_shot = fresh.broadcast(bytes, 0);
+        break;
+      case CollectiveKind::kGather:
+        one_shot = fresh.gather(bytes, 0);
+        break;
+      case CollectiveKind::kReduce:
+        one_shot = fresh.reduce(bytes, 0);
+        break;
+      case CollectiveKind::kAllReduce:
+        one_shot = fresh.all_reduce(bytes);
+        break;
+      case CollectiveKind::kAllGather:
+        one_shot = fresh.all_gather(bytes);
+        break;
+      case CollectiveKind::kReduceScatter:
+        one_shot = fresh.reduce_scatter(bytes);
+        break;
+    }
+    EXPECT_TRUE(identical(split, one_shot)) << to_string(kind);
+  }
+}
+
+// A cached plan re-executed N times returns bit-identical results — with
+// memoization off, so every execute() really re-runs the simulation.
+TEST(Plan, ReExecutionBitIdentical) {
+  CommunicatorOptions opts;
+  opts.memoize = false;
+  Communicator comm(alloc_v100({1, 4, 5, 7}), opts);
+  for (const CollectiveKind kind :
+       {CollectiveKind::kBroadcast, CollectiveKind::kAllReduce}) {
+    const auto plan = comm.compile(kind, 100e6);
+    const CollectiveResult first = comm.execute(*plan);
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_TRUE(identical(first, comm.execute(*plan))) << to_string(kind);
+    }
+  }
+}
+
+// Every tree set referenced by a cached plan respects link capacities.
+TEST(Plan, CachedTreeSetsRespectCapacities) {
+  Communicator comm(topo::make_dgx1v());
+  for (const CollectiveKind kind : kAllKinds) {
+    const auto plan = comm.compile(kind, 100e6);
+    EXPECT_FALSE(plan->tree_sets().empty()) << to_string(kind);
+    for (const auto& set : plan->tree_sets()) {
+      EXPECT_TRUE(packing::respects_capacities(set->graph, set->trees))
+          << to_string(kind);
+    }
+  }
+}
+
+// Cache eviction never invalidates an outstanding shared plan.
+TEST(Plan, EvictionKeepsOutstandingPlanValid) {
+  CommunicatorOptions opts;
+  opts.plan_cache_capacity = 2;
+  Communicator comm(alloc_v100({4, 5, 6, 7}), opts);
+  const auto held = comm.compile(CollectiveKind::kBroadcast, 64e6, 0);
+  const CollectiveResult before = comm.execute(*held);
+  // Overflow the two-entry cache so |held|'s slot is evicted.
+  for (const double bytes : {1e6, 2e6, 3e6, 4e6, 5e6}) {
+    comm.compile(CollectiveKind::kBroadcast, bytes, 0);
+  }
+  EXPECT_LE(comm.plan_cache().size(), 2u);
+  EXPECT_GT(comm.plan_cache().evictions(), 0u);
+  // The evicted-but-held plan still executes, bit-identically.
+  EXPECT_TRUE(identical(before, comm.execute(*held)));
+  // Recompiling the evicted shape is a miss that produces an equivalent plan.
+  const auto recompiled = comm.compile(CollectiveKind::kBroadcast, 64e6, 0);
+  EXPECT_NE(recompiled.get(), held.get());
+  EXPECT_TRUE(identical(before, comm.execute(*recompiled)));
+}
+
+TEST(Plan, CacheHitsSkipRecompilation) {
+  Communicator comm(alloc_v100({0, 1, 2, 3}));
+  const auto first = comm.compile(CollectiveKind::kAllReduce, 50e6);
+  EXPECT_EQ(comm.plan_cache().hits(), 0u);
+  const auto second = comm.compile(CollectiveKind::kAllReduce, 50e6);
+  EXPECT_EQ(second.get(), first.get());  // the same compiled artifact
+  EXPECT_EQ(comm.plan_cache().hits(), 1u);
+  // A different shape misses.
+  comm.compile(CollectiveKind::kAllReduce, 51e6);
+  EXPECT_EQ(comm.plan_cache().hits(), 1u);
+  EXPECT_GE(comm.plan_cache().misses(), 2u);
+}
+
+TEST(Plan, LruKeepsRecentlyUsedPlans) {
+  CommunicatorOptions opts;
+  opts.plan_cache_capacity = 2;
+  Communicator comm(alloc_v100({5, 6, 7}), opts);
+  const auto a = comm.compile(CollectiveKind::kBroadcast, 1e6, 0);
+  comm.compile(CollectiveKind::kBroadcast, 2e6, 0);   // B
+  comm.compile(CollectiveKind::kBroadcast, 1e6, 0);   // touch A -> B is LRU
+  comm.compile(CollectiveKind::kBroadcast, 3e6, 0);   // C evicts B
+  const auto hits = comm.plan_cache().hits();
+  EXPECT_EQ(comm.compile(CollectiveKind::kBroadcast, 1e6, 0).get(), a.get());
+  EXPECT_EQ(comm.plan_cache().hits(), hits + 1);      // A survived
+  comm.compile(CollectiveKind::kBroadcast, 2e6, 0);   // B was evicted
+  EXPECT_EQ(comm.plan_cache().hits(), hits + 1);
+}
+
+// A fixed codegen.chunk_bytes wins over MIAD: tuning may report the trace,
+// but the primed plan (and every later compile) keeps the configured chunk.
+TEST(Plan, TuningRespectsFixedChunkSize) {
+  CommunicatorOptions opts;
+  opts.codegen.chunk_bytes = 4ull << 20;
+  Communicator comm(alloc_v100({0, 1, 2, 3}), opts);
+  comm.tune_chunk_size(CollectiveKind::kBroadcast, 200e6, 0);
+  const auto plan = comm.compile(CollectiveKind::kBroadcast, 200e6, 0);
+  EXPECT_GT(comm.plan_cache().hits(), 0u);  // tuning primed the cache...
+  EXPECT_EQ(plan->chunk_bytes(), 4ull << 20);  // ...with the fixed chunk
+}
+
+TEST(Plan, ExecuteRejectsForeignPlan) {
+  Communicator a(alloc_v100({0, 1, 2, 3}));
+  Communicator b(alloc_v100({0, 1, 2, 3}));
+  const auto plan = a.compile(CollectiveKind::kBroadcast, 1e6, 0);
+  EXPECT_THROW(b.execute(*plan), std::invalid_argument);
+}
+
+TEST(Plan, CompileRejectsBadArguments) {
+  Communicator comm(alloc_v100({0, 1, 2, 3}));
+  EXPECT_THROW(comm.compile(CollectiveKind::kBroadcast, 0.0, 0),
+               std::invalid_argument);
+  EXPECT_THROW(comm.compile(CollectiveKind::kBroadcast, -1.0, 0),
+               std::invalid_argument);
+  EXPECT_THROW(comm.compile(CollectiveKind::kBroadcast, 1e6, 99),
+               std::invalid_argument);
+  // Only -1 means "pick the default root"; other negatives are errors.
+  EXPECT_THROW(comm.compile(CollectiveKind::kBroadcast, 1e6, -2),
+               std::invalid_argument);
+}
+
+// Batched run(): per-request completion under fabric contention.
+TEST(Plan, GroupRunSharesFabric) {
+  Communicator comm(topo::make_dgx1v());
+  const double bytes = 100e6;
+  const CollectiveResult solo = comm.broadcast(bytes, 0);
+  const std::vector<CollectiveRequest> reqs{
+      {CollectiveKind::kBroadcast, bytes, 0},
+      {CollectiveKind::kBroadcast, bytes, 0},
+  };
+  const auto results = comm.run(reqs);
+  ASSERT_EQ(results.size(), 2u);
+  for (const auto& r : results) {
+    EXPECT_DOUBLE_EQ(r.bytes, bytes);
+    // Contending with a twin can only slow a request down...
+    EXPECT_GE(r.seconds, solo.seconds * 0.999);
+    // ...but fair sharing keeps it within ~2x of running alone.
+    EXPECT_LE(r.seconds, solo.seconds * 2.2);
+  }
+}
+
+TEST(Plan, GroupRunMixedKindsAndEmpty) {
+  Communicator comm(alloc_v100({4, 5, 6, 7}));
+  EXPECT_TRUE(comm.run({}).empty());
+  const std::vector<CollectiveRequest> reqs{
+      {CollectiveKind::kBroadcast, 32e6, 0},
+      {CollectiveKind::kAllReduce, 16e6, -1},
+      {CollectiveKind::kReduce, 8e6, 1},
+  };
+  const auto results = comm.run(reqs);
+  ASSERT_EQ(results.size(), 3u);
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(results[i].bytes, reqs[i].bytes);
+    EXPECT_GT(results[i].seconds, 0.0);
+  }
+  // Group members hit the plan cache for later solo calls.
+  const auto hits = comm.plan_cache().hits();
+  comm.broadcast(32e6, 0);
+  EXPECT_GT(comm.plan_cache().hits(), hits);
+}
+
+// The cluster communicator exposes the same plan/execute split.
+TEST(Plan, ClusterCompileExecute) {
+  const auto machine = topo::make_dgx1v();
+  ClusterCommunicator cluster(
+      {topo::induced_topology(machine, std::vector<int>{0, 1, 2}),
+       topo::induced_topology(machine, std::vector<int>{4, 5, 6, 7})});
+  const auto plan = cluster.compile_all_reduce(64e6);
+  const auto a = cluster.execute(*plan);
+  const auto b = cluster.all_reduce(64e6);  // cache hit on the same plan
+  EXPECT_TRUE(identical(a, b));
+  EXPECT_GT(cluster.plan_cache().hits(), 0u);
+  for (const auto& set : plan->tree_sets()) {
+    EXPECT_TRUE(packing::respects_capacities(set->graph, set->trees));
+  }
+}
+
+}  // namespace
+}  // namespace blink

@@ -104,5 +104,42 @@ TEST(Program, EmptyProgramIsValid) {
   EXPECT_TRUE(p.validate());
 }
 
+TEST(Program, AppendRemapsStreamsAndDeps) {
+  Program a;
+  const int sa = a.new_stream();
+  const int a0 = a.add(copy_op(sa));
+  Op a1 = copy_op(sa);
+  a1.deps = {a0};
+  a.add(a1);
+
+  Program b;
+  const int sb = b.new_stream();
+  const int b0 = b.add(copy_op(sb, 7.0));
+  Op b1 = copy_op(b.new_stream(), 8.0);
+  b1.deps = {b0};
+  b.add(b1);
+
+  const int base = a.append(b);
+  EXPECT_EQ(base, 2);
+  EXPECT_EQ(a.ops().size(), 4u);
+  EXPECT_EQ(a.num_streams(), 3);  // 1 from |a| + 2 remapped from |b|
+  // b's ops moved past a's: streams and deps offset, payload untouched.
+  EXPECT_EQ(a.op(2).stream, 1);
+  EXPECT_EQ(a.op(3).stream, 2);
+  ASSERT_EQ(a.op(3).deps.size(), 1u);
+  EXPECT_EQ(a.op(3).deps[0], base);
+  EXPECT_DOUBLE_EQ(a.op(3).bytes, 8.0);
+  EXPECT_TRUE(a.validate());
+}
+
+TEST(Program, AppendEmptyIsNoOp) {
+  Program a;
+  a.add(copy_op(a.new_stream()));
+  const Program empty;
+  EXPECT_EQ(a.append(empty), 1);
+  EXPECT_EQ(a.ops().size(), 1u);
+  EXPECT_TRUE(a.validate());
+}
+
 }  // namespace
 }  // namespace blink::sim
