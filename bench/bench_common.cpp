@@ -27,4 +27,34 @@ void banner(const std::string& figure, const std::string& description) {
   std::printf("================================================================\n");
 }
 
+std::vector<BackendFactory> comparison_backends() {
+  return {
+      {"blink",
+       [](const topo::Topology& topo) -> std::unique_ptr<CollectiveEngine> {
+         return std::make_unique<Communicator>(topo);
+       }},
+      {"nccl",
+       [](const topo::Topology& topo) -> std::unique_ptr<CollectiveEngine> {
+         return std::make_unique<baselines::NcclCommunicator>(topo);
+       }},
+  };
+}
+
+std::vector<std::vector<CollectiveResult>> run_backends(
+    const std::vector<BackendFactory>& backends, const topo::Topology& topo,
+    CollectiveKind kind, std::span<const double> sizes, int root) {
+  std::vector<std::vector<CollectiveResult>> results;
+  results.reserve(backends.size());
+  for (const BackendFactory& factory : backends) {
+    const auto engine = factory.make(topo);
+    std::vector<CollectiveResult> row;
+    row.reserve(sizes.size());
+    for (const double bytes : sizes) {
+      row.push_back(engine->execute(*engine->compile(kind, bytes, root)));
+    }
+    results.push_back(std::move(row));
+  }
+  return results;
+}
+
 }  // namespace blink::bench

@@ -3,11 +3,16 @@
 // full evaluation regenerates with:  for b in build/bench/*; do $b; done
 #pragma once
 
+#include <functional>
+#include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "blink/baselines/backends.h"
 #include "blink/baselines/nccl_like.h"
 #include "blink/blink/communicator.h"
+#include "blink/blink/engine.h"
 #include "blink/topology/binning.h"
 #include "blink/topology/builders.h"
 #include "blink/topology/discovery.h"
@@ -22,5 +27,25 @@ double geo_mean(const std::vector<double>& values);
 
 // Prints the standard figure banner.
 void banner(const std::string& figure, const std::string& description);
+
+// --- backend comparison ------------------------------------------------------
+// One comparison backend: a name plus a factory building a ready-to-run
+// engine (its default backend registered) for an allocation's topology.
+struct BackendFactory {
+  std::string name;
+  std::function<std::unique_ptr<CollectiveEngine>(const topo::Topology&)> make;
+};
+
+// The standard head-to-head set of Figures 15-17: Blink vs the NCCL2
+// baseline, each with its own engine and fabric model.
+std::vector<BackendFactory> comparison_backends();
+
+// Runs |kind| at every size in |sizes| on every backend in |backends| over
+// |topo| through the unified compile/execute interface (one engine per
+// backend, so warm sizes hit its plan cache). result[i][j] is backends[i]
+// at sizes[j].
+std::vector<std::vector<CollectiveResult>> run_backends(
+    const std::vector<BackendFactory>& backends, const topo::Topology& topo,
+    CollectiveKind kind, std::span<const double> sizes, int root = -1);
 
 }  // namespace blink::bench

@@ -10,20 +10,29 @@ int main() {
   bench::banner("Figure 15",
                 "Broadcast throughput (GB/s), all unique DGX-1V topologies");
   const auto machine = topo::make_dgx1v();
+  const auto backends = bench::comparison_backends();
   std::printf("%-18s %10s %10s %10s %10s %8s\n", "GPUs", "Blink", "lo", "hi",
               "NCCL2", "speedup");
 
+  // Main payload first, then the error-bar sizes; the bars run on Blink
+  // only, as in the figure.
+  const double blink_sizes[] = {500e6, 50e6, 1000e6};
+  const double nccl_sizes[] = {500e6};
   std::vector<double> speedups;
   for (int k = 3; k <= 8; ++k) {
     for (const auto& bin :
          topo::unique_configs(machine, k, /*connected_only=*/true)) {
       const auto topo = topo::induced_topology(machine, bin.representative);
-      Communicator blink_comm(topo);
-      baselines::NcclCommunicator nccl(topo);
-      const double blink_bw = blink_comm.broadcast(500e6, 0).algorithm_bw;
-      const double blink_lo = blink_comm.broadcast(50e6, 0).algorithm_bw;
-      const double blink_hi = blink_comm.broadcast(1000e6, 0).algorithm_bw;
-      const double nccl_bw = nccl.broadcast(500e6, 0).algorithm_bw;
+      const auto blink_rows = bench::run_backends({backends[0]}, topo,
+                                                  CollectiveKind::kBroadcast,
+                                                  blink_sizes, /*root=*/0);
+      const auto nccl_rows = bench::run_backends({backends[1]}, topo,
+                                                 CollectiveKind::kBroadcast,
+                                                 nccl_sizes, /*root=*/0);
+      const double blink_bw = blink_rows[0][0].algorithm_bw;
+      const double blink_lo = blink_rows[0][1].algorithm_bw;
+      const double blink_hi = blink_rows[0][2].algorithm_bw;
+      const double nccl_bw = nccl_rows[0][0].algorithm_bw;
       speedups.push_back(blink_bw / nccl_bw);
       std::printf("%-18s %10.1f %10.1f %10.1f %10.1f %7.2fx\n",
                   bench::alloc_label(bin.representative).c_str(),

@@ -10,17 +10,19 @@ int main() {
   bench::banner("Figure 17",
                 "AllReduce throughput (GB/s), all unique DGX-1V topologies");
   const auto machine = topo::make_dgx1v();
+  const auto backends = bench::comparison_backends();
   std::printf("%-18s %10s %10s %8s\n", "GPUs", "Blink", "NCCL2", "speedup");
 
+  const double sizes[] = {500e6};
   std::vector<double> speedups;
   for (int k = 3; k <= 8; ++k) {
     for (const auto& bin :
          topo::unique_configs(machine, k, /*connected_only=*/true)) {
       const auto topo = topo::induced_topology(machine, bin.representative);
-      Communicator blink_comm(topo);
-      baselines::NcclCommunicator nccl(topo);
-      const double blink_bw = blink_comm.all_reduce(500e6).algorithm_bw;
-      const double nccl_bw = nccl.all_reduce(500e6).algorithm_bw;
+      const auto rows = bench::run_backends(backends, topo,
+                                            CollectiveKind::kAllReduce, sizes);
+      const double blink_bw = rows[0][0].algorithm_bw;
+      const double nccl_bw = rows[1][0].algorithm_bw;
       speedups.push_back(blink_bw / nccl_bw);
       std::printf("%-18s %10.1f %10.1f %7.2fx\n",
                   bench::alloc_label(bin.representative).c_str(),

@@ -16,7 +16,9 @@ int main() {
   std::printf("%-8s %12s %12s %9s\n", "size", "NCCL", "Blink", "ratio");
   std::vector<double> ratios;
   for (std::uint64_t bytes = 1'000; bytes <= 1'000'000'000; bytes *= 4) {
-    const auto n = nccl.all_reduce(static_cast<double>(bytes));
+    // Both backends run through the same plan/execute engine interface.
+    const auto n = nccl.execute(*nccl.compile(CollectiveKind::kAllReduce,
+                                              static_cast<double>(bytes)));
     const auto b = blink_comm.execute(*blink_comm.compile(
         CollectiveKind::kAllReduce, static_cast<double>(bytes)));
     ratios.push_back(n.seconds / b.seconds);

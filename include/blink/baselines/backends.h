@@ -1,0 +1,115 @@
+// Every baseline collective algorithm as a CollectiveBackend, so each runs
+// through the shared plan/execute engine — argument validation, the
+// thread-safe LRU PlanCache, result memoization, and grouped launches come
+// from CollectiveEngine instead of per-baseline memo maps.
+//
+//   * NcclRingBackend ("nccl"): the full NCCL 2.4 model — lane-disjoint
+//     bi-directional rings with PCIe fallback, switching to double binary
+//     trees for small AllReduce payloads on switch fabrics.
+//   * RingBackend ("ring"): rings only, no small-payload tree switch.
+//   * DoubleBinaryBackend ("double_binary"): NCCL 2.4's double binary tree
+//     AllReduce [24] at every payload size.
+//   * ButterflyBackend ("butterfly"): recursive halving/doubling AllReduce
+//     [33, 41, 45]; needs a power-of-two GPU count and all-to-all
+//     reachability.
+//
+// Backends reference the owning engine's topology and fabric; construct them
+// via make_baseline_backend() or register them on a CollectiveEngine
+// directly.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "blink/baselines/nccl_like.h"
+#include "blink/baselines/ring.h"
+#include "blink/blink/backend.h"
+
+namespace blink::baselines {
+
+// NCCL's ring collectives (+ the double-binary-tree AllReduce switch below
+// tree_threshold_bytes on NVSwitch fabrics with >= 4 GPUs). Supports every
+// collective kind except ReduceScatter.
+class NcclRingBackend : public CollectiveBackend {
+ public:
+  // |topo| and |fabric| must outlive the backend (the owning engine's).
+  NcclRingBackend(const topo::Topology& topo, const sim::Fabric& fabric,
+                  NcclOptions options);
+
+  const char* name() const override { return "nccl"; }
+  bool supports(CollectiveKind kind) const override;
+  LoweredCollective lower(CollectiveKind kind, double bytes,
+                          int root) override;
+
+  const RingPlan& ring_plan() const { return plan_; }
+  const NcclOptions& options() const { return options_; }
+
+ protected:
+  // Whether AllReduce at |bytes| takes the double-binary-tree path;
+  // RingBackend pins this to false.
+  virtual bool use_double_binary(double bytes) const;
+
+  const topo::Topology& topo_;
+  const sim::Fabric& fabric_;
+  NcclOptions options_;
+  RingPlan plan_;
+};
+
+// Rings at every size: the pure bandwidth-optimal ring protocol, without the
+// small-payload double-binary-tree switch.
+class RingBackend : public NcclRingBackend {
+ public:
+  using NcclRingBackend::NcclRingBackend;
+  const char* name() const override { return "ring"; }
+
+ protected:
+  bool use_double_binary(double bytes) const override;
+};
+
+// Double-binary-tree AllReduce at every payload size. Requires every
+// parent-child pair of the two trees to be NVLink-reachable (an NVSwitch
+// fabric or a clique).
+class DoubleBinaryBackend : public CollectiveBackend {
+ public:
+  DoubleBinaryBackend(const topo::Topology& topo, const sim::Fabric& fabric,
+                      NcclOptions options);
+
+  const char* name() const override { return "double_binary"; }
+  bool supports(CollectiveKind kind) const override;
+  LoweredCollective lower(CollectiveKind kind, double bytes,
+                          int root) override;
+
+ private:
+  const topo::Topology& topo_;
+  const sim::Fabric& fabric_;
+  NcclOptions options_;
+  bool routable_ = false;
+};
+
+// Recursive halving/doubling AllReduce; supported only on power-of-two
+// allocations with all-to-all NVLink reachability.
+class ButterflyBackend : public CollectiveBackend {
+ public:
+  ButterflyBackend(const topo::Topology& topo, const sim::Fabric& fabric,
+                   NcclOptions options);
+
+  const char* name() const override { return "butterfly"; }
+  bool supports(CollectiveKind kind) const override;
+  LoweredCollective lower(CollectiveKind kind, double bytes,
+                          int root) override;
+
+ private:
+  const topo::Topology& topo_;
+  const sim::Fabric& fabric_;
+  NcclOptions options_;
+  bool supported_ = false;
+};
+
+// Factory over the registry above: "nccl", "ring", "double_binary" or
+// "butterfly". Returns nullptr for an unknown name. |topo| and |fabric| must
+// be the owning engine's (they must outlive the backend).
+std::unique_ptr<CollectiveBackend> make_baseline_backend(
+    std::string_view name, const topo::Topology& topo,
+    const sim::Fabric& fabric, const NcclOptions& options = {});
+
+}  // namespace blink::baselines

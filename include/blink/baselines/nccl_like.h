@@ -1,17 +1,23 @@
 // The NCCL-like baseline communicator: ring collectives with NVLink-first
 // ring construction, PCIe fallback, and NCCL 2.4's double binary trees for
-// small AllReduce payloads on switch fabrics. Mirrors the Communicator API
-// so benchmarks can swap backends.
+// small AllReduce payloads on switch fabrics.
+//
+// Since the backend refactor this is a thin CollectiveEngine over
+// NcclRingBackend (see baselines/backends.h), so it shares the Blink
+// Communicator's whole plan/execute surface — compile()/execute(), grouped
+// run(), the thread-safe LRU PlanCache with hit/miss counters, and argument
+// validation — instead of a private memo map.
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <optional>
+#include <memory>
 
 #include "blink/baselines/ring.h"
-#include "blink/blink/communicator.h"
+#include "blink/blink/engine.h"
 
 namespace blink::baselines {
+
+class NcclRingBackend;
 
 struct NcclOptions {
   sim::FabricParams fabric;
@@ -25,34 +31,21 @@ struct NcclOptions {
   // baseline's launch/sync latencies are reduced accordingly.
   bool persistent_kernel_model = true;
   bool memoize = true;
+  // Compiled plans kept in the shared LRU cache.
+  std::size_t plan_cache_capacity = 256;
 };
 
 // The per-step costs used when persistent_kernel_model is on.
 sim::FabricParams apply_persistent_kernel_model(sim::FabricParams params);
 
-class NcclCommunicator {
+class NcclCommunicator : public CollectiveEngine {
  public:
   explicit NcclCommunicator(topo::Topology topo, NcclOptions options = {});
 
-  int num_gpus() const { return topo_.num_gpus; }
-  const topo::Topology& topology() const { return topo_; }
-  const RingPlan& ring_plan() const { return plan_; }
-  const sim::Fabric& fabric() const { return fabric_; }
-
-  CollectiveResult broadcast(double bytes, int root);
-  CollectiveResult all_reduce(double bytes);
-  CollectiveResult gather(double bytes, int root);
-  CollectiveResult reduce(double bytes, int root);
-  CollectiveResult all_gather(double bytes);
+  const RingPlan& ring_plan() const;
 
  private:
-  CollectiveResult run(int kind, double bytes, int root);
-
-  topo::Topology topo_;
-  NcclOptions options_;
-  sim::Fabric fabric_;
-  RingPlan plan_;
-  std::map<std::tuple<int, int, std::uint64_t>, CollectiveResult> memo_;
+  NcclRingBackend* backend_;  // owned by the engine's backend registry
 };
 
 // NCCL-like multi-server AllReduce: one global ring visiting every GPU,

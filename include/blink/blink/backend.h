@@ -1,0 +1,64 @@
+// The CollectiveBackend interface: the single seam between collective
+// algorithms and the plan/execute engine.
+//
+// A backend's sole job is *lowering* — turning a validated
+// (CollectiveKind, bytes, root) into a sim::Program plus a chunking
+// decision. Everything else (argument validation, the LRU PlanCache, result
+// memoization, solo and grouped execution on the fabric) lives in
+// CollectiveEngine and is shared by every algorithm: Blink's packed spanning
+// trees, NCCL-like rings with the double-binary-tree switch, pure rings,
+// double binary trees, and the butterfly all lower through this interface,
+// so each gets plan caching and group launches for free.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "blink/blink/plan.h"
+#include "blink/blink/treegen.h"
+#include "blink/sim/program.h"
+
+namespace blink {
+
+// What lowering produces: the routed schedule, the chunk size it was emitted
+// at, result metadata (bytes / num_trees / num_chunks filled; timing left for
+// execute()), and the spanning-tree sets the schedule was compiled from
+// (provenance for inspection; empty for backends that do not plan via
+// TreeGen).
+struct LoweredCollective {
+  sim::Program program;
+  std::uint64_t chunk_bytes = 0;
+  CollectiveResult meta;
+  std::vector<std::shared_ptr<const TreeSet>> tree_sets;
+};
+
+class CollectiveBackend {
+ public:
+  virtual ~CollectiveBackend() = default;
+
+  // Short stable identifier ("blink", "nccl", "ring", "double_binary",
+  // "butterfly"); used by engine lookups and the facade's backend selector.
+  virtual const char* name() const = 0;
+
+  // Whether this backend can lower |kind| on its fabric. The engine rejects
+  // unsupported kinds with std::invalid_argument before calling lower().
+  virtual bool supports(CollectiveKind kind) const = 0;
+
+  // The root used when a request passes root == -1. Non-const because
+  // policies may probe lazily (Blink picks the root with the best packed
+  // rate).
+  virtual int default_root(CollectiveKind kind) {
+    (void)kind;
+    return 0;
+  }
+
+  // Lowers a collective to a program + chunking decision. The engine has
+  // already validated bytes > 0, the root range, and supports(kind), and
+  // serializes lower() calls under its compile mutex, so implementations may
+  // mutate internal caches (tree-set slots, probe rates) without locking.
+  virtual LoweredCollective lower(CollectiveKind kind, double bytes,
+                                  int root) = 0;
+};
+
+}  // namespace blink

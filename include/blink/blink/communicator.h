@@ -2,31 +2,29 @@
 // communicator abstraction (§2.3 workflow: discover topology -> TreeGen ->
 // CodeGen -> execute).
 //
-// A Communicator owns the allocation's induced topology, the simulated
-// fabric, and per-root tree caches. The API is an explicit plan/execute
-// split: compile() turns (collective, bytes, root) into an immutable
-// CollectivePlan — running TreeGen, chunk tuning, and CodeGen once — and
-// execute() runs a plan on the fabric, returning the timing a real run would
-// produce. Compiled plans live in an LRU PlanCache, so repeated collectives
-// (every training iteration after the first) skip planning entirely. The
-// classic one-shot methods (broadcast, all_reduce, ...) remain as thin
-// wrappers over compile+execute, and run() launches a batch of requests as
-// one group on the fabric (NCCL group semantics).
+// Since the backend refactor, planning and execution live in different
+// classes. BlinkBackend implements the CollectiveBackend interface with the
+// paper's pipeline — per-root packed spanning trees (TreeGen), MIAD chunk
+// tuning, hybrid PCIe+NVLink splits, and CodeGen — and Communicator is a
+// thin CollectiveEngine over it: compile() turns (collective, bytes, root)
+// into an immutable CollectivePlan via the backend, execute() runs plans on
+// the fabric, run() launches batched groups, and the shared thread-safe
+// PlanCache amortizes planning across iterations. The classic one-shot
+// methods (broadcast, all_reduce, ...) are engine wrappers over
+// compile+execute.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <optional>
-#include <span>
 #include <vector>
 
+#include "blink/blink/backend.h"
 #include "blink/blink/chunking.h"
 #include "blink/blink/codegen.h"
-#include "blink/blink/plan.h"
-#include "blink/blink/plan_cache.h"
+#include "blink/blink/engine.h"
 #include "blink/blink/treegen.h"
-#include "blink/sim/executor.h"
 #include "blink/sim/fabric.h"
 #include "blink/topology/topology.h"
 
@@ -48,15 +46,75 @@ struct CommunicatorOptions {
   std::size_t plan_cache_capacity = 256;
 };
 
-class Communicator {
+// Blink's planning pipeline as a CollectiveBackend: lowers a collective to a
+// schedule over the allocation's packed spanning trees. Owns the per-root
+// tree-set slots, the measured-rate probe cache, and the chunk-size policy
+// (fixed by options, or MIAD-tuned per shape when codegen.chunk_bytes == 0).
+// State mutation happens under the owning engine's compile mutex.
+class BlinkBackend : public CollectiveBackend {
+ public:
+  using TreeSetPtr = std::shared_ptr<const TreeSet>;
+
+  // |topo| and |fabric| must outlive the backend (the owning engine's).
+  BlinkBackend(const topo::Topology& topo, const sim::Fabric& fabric,
+               CommunicatorOptions options);
+
+  const char* name() const override { return "blink"; }
+  bool supports(CollectiveKind kind) const override;
+  // AllReduce/AllGather default to the best packed root (0 on NVSwitch
+  // fabrics), one-to-many collectives to 0.
+  int default_root(CollectiveKind kind) override;
+  LoweredCollective lower(CollectiveKind kind, double bytes,
+                          int root) override;
+
+  // Lowering at an explicit chunk size (chunk tuners bypass the policy).
+  LoweredCollective lower_at_chunk(CollectiveKind kind, double bytes, int root,
+                                   std::uint64_t chunk_bytes);
+
+  // One probe run at an explicit chunk size (the MIAD tuner's measure fn).
+  CollectiveResult probe(CollectiveKind kind, double bytes, int root,
+                         std::uint64_t chunk_bytes);
+
+  // Tree-set slots shared with plans so cache eviction or future slot churn
+  // never invalidates an outstanding plan's references.
+  const TreeSetPtr& shared_tree_set(int root);
+  const TreeSetPtr& shared_bidir_tree_set(int root);
+  const TreeSetPtr& shared_pcie_tree_set(int root);
+
+  // Root with the highest packed rate; AllReduce and friends use it.
+  int best_root();
+
+  const CommunicatorOptions& options() const { return options_; }
+
+ private:
+  sim::Program build_program(CollectiveKind kind, double bytes, int root,
+                             std::uint64_t chunk_bytes, CollectiveResult* meta,
+                             std::vector<TreeSetPtr>* used_sets);
+  // Achieved broadcast rate of a tree set, measured by a probe run (the
+  // hybrid split needs effective rates: PCIe trees share host-staging
+  // segments, so their packed rate overstates what they deliver together).
+  double measured_rate(const TreeSet& set, double probe_bytes);
+  double dpa_latency() const;
+
+  const topo::Topology& topo_;
+  const sim::Fabric& fabric_;
+  CommunicatorOptions options_;
+
+  std::vector<TreeSetPtr> nvlink_sets_;
+  std::vector<TreeSetPtr> bidir_sets_;
+  std::vector<TreeSetPtr> pcie_sets_;
+  std::optional<int> best_root_;
+  // Probe-rate cache keyed by (link, bidirectional, root, probe_bytes) —
+  // value identity, not the address of a TreeSet.
+  std::map<std::tuple<int, bool, int, std::uint64_t>, double> measured_rates_;
+};
+
+class Communicator : public CollectiveEngine {
  public:
   explicit Communicator(topo::Topology topo,
                         CommunicatorOptions options = {});
 
-  int num_gpus() const { return topo_.num_gpus; }
-  const topo::Topology& topology() const { return topo_; }
   const CommunicatorOptions& options() const { return options_; }
-  const sim::Fabric& fabric() const { return fabric_; }
 
   // The tree set used for one-to-many collectives rooted at |root| (NVLink
   // fabric, or the PCIe fallback when NVLink does not connect the
@@ -71,79 +129,15 @@ class Communicator {
   // Root with the highest packed rate; AllReduce and friends use it.
   int best_root();
 
-  // --- plan/execute --------------------------------------------------------
-  // |bytes| is each GPU's buffer size (NCCL semantics) throughout.
-
-  // Compiles (or fetches from the plan cache) the schedule for a collective.
-  // root == -1 picks the default root, the same policy the one-shot methods
-  // use. Throws std::invalid_argument on a bad root or non-positive size.
-  std::shared_ptr<const CollectivePlan> compile(CollectiveKind kind,
-                                                double bytes, int root = -1);
-
-  // Runs a compiled plan on the fabric. Deterministic: re-executing a plan
-  // returns bit-identical results. Throws std::invalid_argument if the plan
-  // was compiled by a different communicator.
-  CollectiveResult execute(const CollectivePlan& plan);
-
-  // Compiles/fetches a plan per request and launches them all as one group
-  // sharing the fabric (ncclGroupStart/End semantics). Each result carries
-  // that request's own completion time under contention.
-  std::vector<CollectiveResult> run(std::span<const CollectiveRequest> reqs);
-
-  // Plan-cache statistics: hits count collectives that skipped TreeGen and
-  // CodeGen entirely.
-  const PlanCache& plan_cache() const { return plans_; }
-
-  // --- one-shot collectives (wrappers over compile + execute) --------------
-  CollectiveResult broadcast(double bytes, int root);
-  CollectiveResult gather(double bytes, int root);
-  CollectiveResult reduce(double bytes, int root);
-  CollectiveResult all_reduce(double bytes);
-  CollectiveResult all_gather(double bytes);
-  CollectiveResult reduce_scatter(double bytes);
-
   // MIAD auto-tuning trace for a collective (Figure 12); compile() runs the
-  // same tuner when codegen.chunk_bytes == 0.
+  // same tuner when codegen.chunk_bytes == 0. Primes the plan cache with the
+  // schedule compile() would produce, so the next collective here is a hit.
   MiadResult tune_chunk_size(CollectiveKind kind, double bytes, int root = -1,
                              const MiadOptions& miad = {});
 
  private:
-  // Tree-set slot shared with plans so cache eviction or future slot churn
-  // never invalidates an outstanding plan's references.
-  using TreeSetPtr = std::shared_ptr<const TreeSet>;
-
-  const TreeSetPtr& shared_tree_set(int root);
-  const TreeSetPtr& shared_bidir_tree_set(int root);
-  const TreeSetPtr& shared_pcie_tree_set(int root);
-
-  int default_root(CollectiveKind kind);
-  std::shared_ptr<const CollectivePlan> compile_fresh(CollectiveKind kind,
-                                                      double bytes, int root,
-                                                      std::uint64_t chunk);
-  // One probe run at an explicit chunk size (the MIAD tuner's measure fn).
-  CollectiveResult probe(CollectiveKind kind, double bytes, int root,
-                         std::uint64_t chunk_bytes);
-  // Achieved broadcast rate of a tree set, measured by a probe run (the
-  // hybrid split needs effective rates: PCIe trees share host-staging
-  // segments, so their packed rate overstates what they deliver together).
-  double measured_rate(const TreeSet& set, double probe_bytes);
-  sim::Program build_program(CollectiveKind kind, double bytes, int root,
-                             std::uint64_t chunk_bytes, CollectiveResult* meta,
-                             std::vector<TreeSetPtr>* used_sets);
-  double dpa_latency() const;
-
-  topo::Topology topo_;
   CommunicatorOptions options_;
-  sim::Fabric fabric_;
-
-  std::vector<TreeSetPtr> nvlink_sets_;
-  std::vector<TreeSetPtr> bidir_sets_;
-  std::vector<TreeSetPtr> pcie_sets_;
-  std::optional<int> best_root_;
-  // Probe-rate cache keyed by (link, bidirectional, root, probe_bytes) —
-  // value identity, not the address of a TreeSet.
-  std::map<std::tuple<int, bool, int, std::uint64_t>, double> measured_rates_;
-  PlanCache plans_;
+  BlinkBackend* blink_;  // owned by the engine's backend registry
 };
 
 }  // namespace blink

@@ -1,0 +1,128 @@
+// The collective engine: the execute half of the plan/execute split, shared
+// by every algorithm (§2.3 workflow with the algorithm factored out).
+//
+// A CollectiveEngine owns an allocation's topology, its simulated fabric, a
+// registry of CollectiveBackends that lower collectives onto that fabric,
+// and the thread-safe LRU PlanCache amortizing their planning work. The
+// engine validates arguments, caches compiled plans, memoizes deterministic
+// execution results, and launches batched groups — identically for Blink's
+// packed trees and for every baseline, so backends only implement lowering.
+//
+// Concurrency: compile() serializes under an internal mutex (backends may
+// mutate lazy caches while lowering); execute() runs concurrently — the
+// simulation is a pure function of (fabric, program) and per-plan
+// memoization takes the plan's own lock. This is the serving path: many
+// threads execute cached plans while misses compile one at a time.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "blink/blink/backend.h"
+#include "blink/blink/plan.h"
+#include "blink/blink/plan_cache.h"
+#include "blink/sim/fabric.h"
+#include "blink/topology/topology.h"
+
+namespace blink {
+
+struct EngineOptions {
+  // Memoize each plan's execution result (the simulation is deterministic).
+  bool memoize = true;
+  // Compiled plans kept in the LRU cache.
+  std::size_t plan_cache_capacity = 256;
+};
+
+class CollectiveEngine {
+ public:
+  // Validates |topo| and builds the fabric; backends are registered
+  // afterwards with register_backend().
+  CollectiveEngine(topo::Topology topo, const sim::FabricParams& fabric_params,
+                   EngineOptions options = {});
+  virtual ~CollectiveEngine();
+
+  CollectiveEngine(const CollectiveEngine&) = delete;
+  CollectiveEngine& operator=(const CollectiveEngine&) = delete;
+
+  int num_gpus() const { return topo_.num_gpus; }
+  const topo::Topology& topology() const { return topo_; }
+  const sim::Fabric& fabric() const { return fabric_; }
+  const EngineOptions& engine_options() const { return engine_options_; }
+
+  // --- backend registry ----------------------------------------------------
+  // The first registered backend is the default for one-shot methods and for
+  // requests that leave CollectiveRequest::backend at 0. Returns the new
+  // backend's id.
+  int register_backend(std::unique_ptr<CollectiveBackend> backend);
+  int num_backends() const {
+    const std::lock_guard<std::mutex> lock(compile_mu_);
+    return static_cast<int>(backends_.size());
+  }
+  const CollectiveBackend& backend(int id = 0) const;
+  // Id of the backend named |name|, or -1.
+  int backend_id(std::string_view name) const;
+
+  // --- plan/execute --------------------------------------------------------
+  // |bytes| is each GPU's buffer size (NCCL semantics) throughout.
+
+  // Compiles (or fetches from the plan cache) the schedule for a collective
+  // on backend |backend|. root == -1 lets the backend pick its default root,
+  // the same policy the one-shot methods use. Throws std::invalid_argument
+  // on a bad root, non-positive size, unknown backend id, or a kind the
+  // backend does not support.
+  std::shared_ptr<const CollectivePlan> compile(CollectiveKind kind,
+                                                double bytes, int root = -1,
+                                                int backend = 0);
+
+  // Runs a compiled plan on the fabric. Deterministic: re-executing a plan
+  // returns bit-identical results. Throws std::invalid_argument if the plan
+  // was compiled by a different engine.
+  CollectiveResult execute(const CollectivePlan& plan);
+
+  // Compiles/fetches a plan per request and launches them all as one group
+  // sharing the fabric (ncclGroupStart/End semantics). Requests may name
+  // different backends; each result carries that request's own completion
+  // time under contention.
+  std::vector<CollectiveResult> run(std::span<const CollectiveRequest> reqs);
+
+  // Plan-cache statistics: hits count collectives that skipped lowering
+  // (TreeGen/CodeGen for Blink, ring/tree emission for the baselines).
+  const PlanCache& plan_cache() const { return plans_; }
+
+  // --- one-shot collectives (wrappers over compile + execute) --------------
+  CollectiveResult broadcast(double bytes, int root);
+  CollectiveResult gather(double bytes, int root);
+  CollectiveResult reduce(double bytes, int root);
+  CollectiveResult all_reduce(double bytes);
+  CollectiveResult all_gather(double bytes);
+  CollectiveResult reduce_scatter(double bytes);
+
+ protected:
+  // Serializes compile() and backend-state mutation; subclasses lock it
+  // around accessors that touch backend lazy caches (e.g. tree sets).
+  std::mutex& compile_mutex() { return compile_mu_; }
+
+  // Wraps an already-lowered collective into a plan and caches it (chunk
+  // tuners use this to prime the cache with the schedule compile() would
+  // produce).
+  std::shared_ptr<const CollectivePlan> adopt_plan(CollectiveKind kind,
+                                                   double bytes, int root,
+                                                   int backend,
+                                                   LoweredCollective lowered);
+
+ private:
+  topo::Topology topo_;
+  EngineOptions engine_options_;
+  sim::Fabric fabric_;
+  std::vector<std::unique_ptr<CollectiveBackend>> backends_;
+  PlanCache plans_;
+  // Guards compile()/lowering and the backend registry (readers included:
+  // register_backend may reallocate the vector mid-session).
+  mutable std::mutex compile_mu_;
+};
+
+}  // namespace blink

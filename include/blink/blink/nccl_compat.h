@@ -42,11 +42,43 @@ typedef enum {
   blinkAvg = 4,
 } blinkRedOp_t;
 
+// --- backend selection -------------------------------------------------------
+// Every algorithm is a CollectiveBackend over the same plan/execute engine,
+// so one NCCL-compat communicator can run any of them: Blink's packed
+// spanning trees (default), the NCCL 2.4 model (rings + double binary
+// trees), pure rings, double binary trees at every size, or the butterfly.
+typedef enum {
+  blinkBackendBlink = 0,
+  blinkBackendNccl = 1,
+  blinkBackendRing = 2,
+  blinkBackendDoubleBinary = 3,
+  blinkBackendButterfly = 4,
+} blinkBackend_t;
+
+typedef struct {
+  blinkBackend_t backend;
+} blinkBackendConfig_t;
+
 // Creates a communicator over the GPUs |gpu_ids[0..ndev)| of a machine kind
 // ("dgx1p", "dgx1v", "dgx2"). NCCL's ncclCommInitAll analogue for the
-// simulated machine.
+// simulated machine. The backend defaults to Blink; the BLINK_BACKEND
+// environment variable ("blink", "nccl", "ring", "double_binary",
+// "butterfly") overrides it without source changes, matching the LD_PRELOAD
+// deployment story. An unknown BLINK_BACKEND value fails with
+// blinkInvalidArgument rather than silently running the wrong algorithm.
 blinkResult_t blinkCommInitAll(blinkComm_t* comm, const char* machine,
                                int ndev, const int* gpu_ids);
+
+// As blinkCommInitAll, but with an explicit backend choice; |config| takes
+// precedence over BLINK_BACKEND. A null |config| behaves like
+// blinkCommInitAll.
+blinkResult_t blinkCommInitAllWithConfig(blinkComm_t* comm,
+                                         const char* machine, int ndev,
+                                         const int* gpu_ids,
+                                         const blinkBackendConfig_t* config);
+
+// The backend a communicator was created with.
+blinkResult_t blinkCommBackend(blinkComm_t comm, blinkBackend_t* backend);
 // Destroying a communicator that another thread holds queued inside an open
 // blinkGroupStart/End is undefined behavior, as in NCCL: group state is
 // per-thread, so only the destroying thread's queue is cleaned up.

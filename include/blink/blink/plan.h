@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -41,37 +42,44 @@ struct CollectiveResult {
   int num_ops = 0;              // schedule size
 };
 
-// One collective in a batched Communicator::run() group. root == -1 lets the
-// communicator pick (best packed root for many-to-many, 0 otherwise), the
-// same policy the one-shot methods use.
+// One collective in a batched CollectiveEngine::run() group. root == -1 lets
+// the backend pick (Blink: best packed root for many-to-many, 0 otherwise),
+// the same policy the one-shot methods use. |backend| selects one of the
+// engine's registered backends (0 = default), so a single group launch can
+// mix algorithms on the shared fabric.
 struct CollectiveRequest {
   CollectiveKind kind = CollectiveKind::kBroadcast;
   double bytes = 0.0;
   int root = -1;
+  int backend = 0;
 };
 
 // Cache key of a compiled plan. Chunk size is not part of the key: it is a
 // derived decision (fixed by options or MIAD-tuned) recorded in the plan.
+// |backend| keeps plans lowered by different backends of one engine apart.
 struct PlanKey {
   int kind = 0;
   int root = 0;
   std::uint64_t bytes = 0;
+  int backend = 0;
 
   friend bool operator<(const PlanKey& a, const PlanKey& b) {
     if (a.kind != b.kind) return a.kind < b.kind;
     if (a.root != b.root) return a.root < b.root;
-    return a.bytes < b.bytes;
+    if (a.bytes != b.bytes) return a.bytes < b.bytes;
+    return a.backend < b.backend;
   }
   friend bool operator==(const PlanKey& a, const PlanKey& b) {
-    return a.kind == b.kind && a.root == b.root && a.bytes == b.bytes;
+    return a.kind == b.kind && a.root == b.root && a.bytes == b.bytes &&
+           a.backend == b.backend;
   }
 };
 
 class CollectivePlan {
  public:
   CollectivePlan(const void* owner, CollectiveKind kind, double bytes,
-                 int root, std::uint64_t chunk_bytes, sim::Program program,
-                 CollectiveResult meta,
+                 int root, int backend, std::uint64_t chunk_bytes,
+                 sim::Program program, CollectiveResult meta,
                  std::vector<std::shared_ptr<const TreeSet>> tree_sets);
 
   CollectivePlan(const CollectivePlan&) = delete;
@@ -80,6 +88,7 @@ class CollectivePlan {
   CollectiveKind kind() const { return kind_; }
   double bytes() const { return bytes_; }
   int root() const { return root_; }
+  int backend() const { return backend_; }
   std::uint64_t chunk_bytes() const { return chunk_bytes_; }
   const sim::Program& program() const { return program_; }
   int num_trees() const { return meta_.num_trees; }
@@ -103,25 +112,33 @@ class CollectivePlan {
 
   PlanKey key() const {
     return PlanKey{static_cast<int>(kind_), root_,
-                   static_cast<std::uint64_t>(bytes_)};
+                   static_cast<std::uint64_t>(bytes_), backend_};
   }
 
-  // Memoized execution result. The simulation is deterministic, so the first
-  // run's timing is every run's timing; logically const.
-  const std::optional<CollectiveResult>& cached_result() const {
+  // Memoized execution result, returned by value under an internal lock so
+  // concurrent execute() calls on one shared plan are safe. The simulation
+  // is deterministic, so the first run's timing is every run's timing;
+  // logically const.
+  std::optional<CollectiveResult> cached_result() const {
+    const std::lock_guard<std::mutex> lock(result_mu_);
     return result_;
   }
-  void memoize_result(const CollectiveResult& r) const { result_ = r; }
+  void memoize_result(const CollectiveResult& r) const {
+    const std::lock_guard<std::mutex> lock(result_mu_);
+    result_ = r;
+  }
 
  private:
   const void* owner_;
   CollectiveKind kind_;
   double bytes_;
   int root_;
+  int backend_;
   std::uint64_t chunk_bytes_;
   sim::Program program_;
   CollectiveResult meta_;
   std::vector<std::shared_ptr<const TreeSet>> tree_sets_;
+  mutable std::mutex result_mu_;
   mutable std::optional<CollectiveResult> result_;
 };
 

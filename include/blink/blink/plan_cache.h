@@ -1,7 +1,12 @@
-// LRU cache of compiled CollectivePlans, replacing the communicator's former
-// trio of ad-hoc memo maps (result memo, tuned-chunk memo, and a fragile
-// pointer-keyed rate cache). Plans are held by shared_ptr: eviction drops the
-// cache's reference only, so outstanding plans held by callers stay valid.
+// LRU cache of compiled CollectivePlans, replacing the communicators' former
+// per-backend ad-hoc memo maps (result memos, tuned-chunk memos, and a
+// fragile pointer-keyed rate cache). Plans are held by shared_ptr: eviction
+// drops the cache's reference only, so outstanding plans held by callers
+// stay valid.
+//
+// Thread-safe: every operation (including the statistics accessors) takes an
+// internal mutex, so concurrent compile()/execute() on one engine — the
+// serving path — needs no external locking around the cache.
 #pragma once
 
 #include <cstddef>
@@ -9,6 +14,7 @@
 #include <list>
 #include <map>
 #include <memory>
+#include <mutex>
 
 #include "blink/blink/plan.h"
 
@@ -17,6 +23,9 @@ namespace blink {
 class PlanCache {
  public:
   explicit PlanCache(std::size_t capacity = 256);
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
 
   // Returns the cached plan and bumps it to most-recently-used, or nullptr.
   // Counts a hit or a miss.
@@ -28,16 +37,29 @@ class PlanCache {
 
   void clear();
 
-  std::size_t size() const { return index_.size(); }
+  std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return index_.size();
+  }
   std::size_t capacity() const { return capacity_; }
-  std::uint64_t hits() const { return hits_; }
-  std::uint64_t misses() const { return misses_; }
-  std::uint64_t evictions() const { return evictions_; }
+  std::uint64_t hits() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+  std::uint64_t misses() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+  }
+  std::uint64_t evictions() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return evictions_;
+  }
 
  private:
   using Entry = std::pair<PlanKey, std::shared_ptr<const CollectivePlan>>;
 
-  std::size_t capacity_;
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
   std::list<Entry> lru_;  // front = most recently used
   std::map<PlanKey, std::list<Entry>::iterator> index_;
   std::uint64_t hits_ = 0;

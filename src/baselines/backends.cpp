@@ -1,0 +1,188 @@
+#include "blink/baselines/backends.h"
+
+#include <cmath>
+#include <utility>
+
+#include "blink/baselines/butterfly.h"
+#include "blink/baselines/double_binary_tree.h"
+#include "blink/sim/executor.h"
+
+namespace blink::baselines {
+
+// --- NcclRingBackend --------------------------------------------------------
+
+NcclRingBackend::NcclRingBackend(const topo::Topology& topo,
+                                 const sim::Fabric& fabric,
+                                 NcclOptions options)
+    : topo_(topo),
+      fabric_(fabric),
+      options_(std::move(options)),
+      plan_(build_ring_plan(topo_)) {}
+
+bool NcclRingBackend::supports(CollectiveKind kind) const {
+  // NCCL has no tree/ring ReduceScatter emitter here; everything else rides
+  // the ring (or the DBT switch for small AllReduce).
+  return kind != CollectiveKind::kReduceScatter;
+}
+
+bool NcclRingBackend::use_double_binary(double bytes) const {
+  return topo_.has_nvswitch && bytes < options_.tree_threshold_bytes &&
+         topo_.num_gpus >= 4;
+}
+
+LoweredCollective NcclRingBackend::lower(CollectiveKind kind, double bytes,
+                                         int root) {
+  ProgramBuilder builder(fabric_, options_.codegen);
+  LoweredCollective lowered;
+  lowered.chunk_bytes = options_.codegen.chunk_bytes;
+  CollectiveResult& result = lowered.meta;
+  result.bytes = bytes;
+  // Directed rings are chain trees from the root's perspective, so the ring
+  // variants of gather/reduce/allgather reuse the tree emitters directly.
+  auto ring_chains = [&](int chain_root) {
+    std::vector<RoutedTree> chains;
+    for (const auto& ring : plan_.rings) {
+      chains.push_back(ring_chain_tree(fabric_, 0, ring, chain_root,
+                                       /*forward=*/true, plan_.link));
+      chains.push_back(ring_chain_tree(fabric_, 0, ring, chain_root,
+                                       /*forward=*/false, plan_.link));
+    }
+    return chains;
+  };
+  switch (kind) {
+    case CollectiveKind::kBroadcast:
+      append_ring_broadcast(builder, fabric_, 0, plan_, bytes, root);
+      result.num_trees = plan_.num_directed();
+      break;
+    case CollectiveKind::kAllReduce:
+      if (use_double_binary(bytes)) {
+        append_double_binary_all_reduce(builder, fabric_, 0, bytes);
+        result.num_trees = 2;
+      } else {
+        append_ring_all_reduce(builder, fabric_, 0, plan_, bytes);
+        result.num_trees = plan_.num_directed();
+      }
+      break;
+    case CollectiveKind::kGather:
+      builder.gather(ring_chains(root), bytes);
+      result.num_trees = plan_.num_directed();
+      break;
+    case CollectiveKind::kReduce:
+      builder.reduce(ring_chains(root), bytes);
+      result.num_trees = plan_.num_directed();
+      break;
+    case CollectiveKind::kAllGather:
+      builder.all_gather(ring_chains(root), bytes);
+      result.num_trees = plan_.num_directed();
+      break;
+    case CollectiveKind::kReduceScatter:
+      break;  // rejected by supports()
+  }
+  result.num_chunks = builder.chunks_for(bytes / plan_.num_directed());
+  lowered.program = builder.take();
+  result.num_ops = static_cast<int>(lowered.program.ops().size());
+  return lowered;
+}
+
+bool RingBackend::use_double_binary(double bytes) const {
+  (void)bytes;
+  return false;
+}
+
+// --- DoubleBinaryBackend ----------------------------------------------------
+
+DoubleBinaryBackend::DoubleBinaryBackend(const topo::Topology& topo,
+                                         const sim::Fabric& fabric,
+                                         NcclOptions options)
+    : topo_(topo), fabric_(fabric), options_(std::move(options)) {
+  routable_ = topo_.num_gpus >= 2;
+  if (routable_ && !topo_.has_nvswitch) {
+    // Without a switch every parent-child hop of both trees must be a
+    // direct NVLink; checking up front keeps supports() cheap and lower()
+    // total.
+    const auto [t1, t2] = graph::double_binary_trees(topo_.num_gpus);
+    for (const auto& tree : {t1, t2}) {
+      for (int gpu = 0; gpu < topo_.num_gpus; ++gpu) {
+        const int parent = tree.parent[static_cast<std::size_t>(gpu)];
+        if (parent >= 0 && !fabric_.nvlink_adjacent(0, parent, gpu)) {
+          routable_ = false;
+        }
+      }
+    }
+  }
+}
+
+bool DoubleBinaryBackend::supports(CollectiveKind kind) const {
+  return kind == CollectiveKind::kAllReduce && routable_;
+}
+
+LoweredCollective DoubleBinaryBackend::lower(CollectiveKind kind, double bytes,
+                                             int root) {
+  (void)kind;
+  (void)root;
+  ProgramBuilder builder(fabric_, options_.codegen);
+  append_double_binary_all_reduce(builder, fabric_, 0, bytes);
+  LoweredCollective lowered;
+  lowered.chunk_bytes = options_.codegen.chunk_bytes;
+  lowered.meta.bytes = bytes;
+  lowered.meta.num_trees = 2;
+  lowered.meta.num_chunks = builder.chunks_for(bytes / 2.0);
+  lowered.program = builder.take();
+  lowered.meta.num_ops = static_cast<int>(lowered.program.ops().size());
+  return lowered;
+}
+
+// --- ButterflyBackend -------------------------------------------------------
+
+ButterflyBackend::ButterflyBackend(const topo::Topology& topo,
+                                   const sim::Fabric& fabric,
+                                   NcclOptions options)
+    : topo_(topo),
+      fabric_(fabric),
+      options_(std::move(options)),
+      supported_(butterfly_supported(fabric_, 0)) {}
+
+bool ButterflyBackend::supports(CollectiveKind kind) const {
+  return kind == CollectiveKind::kAllReduce && supported_;
+}
+
+LoweredCollective ButterflyBackend::lower(CollectiveKind kind, double bytes,
+                                          int root) {
+  (void)kind;
+  (void)root;
+  ProgramBuilder builder(fabric_, options_.codegen);
+  append_butterfly_all_reduce(builder, fabric_, 0, bytes);
+  LoweredCollective lowered;
+  lowered.chunk_bytes = options_.codegen.chunk_bytes;
+  lowered.meta.bytes = bytes;
+  // The butterfly has no spanning trees; report the number of exchange
+  // rounds (reduce-scatter + all-gather) instead.
+  lowered.meta.num_trees =
+      2 * static_cast<int>(std::lround(std::log2(topo_.num_gpus)));
+  lowered.meta.num_chunks = 1;
+  lowered.program = builder.take();
+  lowered.meta.num_ops = static_cast<int>(lowered.program.ops().size());
+  return lowered;
+}
+
+// --- factory ----------------------------------------------------------------
+
+std::unique_ptr<CollectiveBackend> make_baseline_backend(
+    std::string_view name, const topo::Topology& topo,
+    const sim::Fabric& fabric, const NcclOptions& options) {
+  if (name == "nccl") {
+    return std::make_unique<NcclRingBackend>(topo, fabric, options);
+  }
+  if (name == "ring") {
+    return std::make_unique<RingBackend>(topo, fabric, options);
+  }
+  if (name == "double_binary") {
+    return std::make_unique<DoubleBinaryBackend>(topo, fabric, options);
+  }
+  if (name == "butterfly") {
+    return std::make_unique<ButterflyBackend>(topo, fabric, options);
+  }
+  return nullptr;
+}
+
+}  // namespace blink::baselines

@@ -1,9 +1,10 @@
 #include "blink/baselines/nccl_like.h"
 
 #include <cassert>
-#include <stdexcept>
+#include <utility>
 
-#include "blink/baselines/double_binary_tree.h"
+#include "blink/baselines/backends.h"
+#include "blink/sim/executor.h"
 
 namespace blink::baselines {
 
@@ -15,99 +16,20 @@ sim::FabricParams apply_persistent_kernel_model(sim::FabricParams params) {
 }
 
 NcclCommunicator::NcclCommunicator(topo::Topology topo, NcclOptions options)
-    : topo_(std::move(topo)),
-      options_(std::move(options)),
-      fabric_(topo_, options_.persistent_kernel_model
-                         ? apply_persistent_kernel_model(options_.fabric)
-                         : options_.fabric),
-      plan_(build_ring_plan(topo_)) {
-  std::string err;
-  if (!topo_.validate(&err)) {
-    throw std::invalid_argument("invalid topology: " + err);
-  }
+    : CollectiveEngine(
+          std::move(topo),
+          options.persistent_kernel_model
+              ? apply_persistent_kernel_model(options.fabric)
+              : options.fabric,
+          EngineOptions{options.memoize, options.plan_cache_capacity}) {
+  auto backend = std::make_unique<NcclRingBackend>(topology(), fabric(),
+                                                   std::move(options));
+  backend_ = backend.get();
+  register_backend(std::move(backend));
 }
 
-CollectiveResult NcclCommunicator::run(int kind, double bytes, int root) {
-  const auto key = std::make_tuple(kind, root,
-                                   static_cast<std::uint64_t>(bytes));
-  if (options_.memoize) {
-    const auto it = memo_.find(key);
-    if (it != memo_.end()) return it->second;
-  }
-
-  ProgramBuilder builder(fabric_, options_.codegen);
-  CollectiveResult result;
-  result.bytes = bytes;
-  // Directed rings are chain trees from the root's perspective, so the ring
-  // variants of gather/reduce/allgather reuse the tree emitters directly.
-  auto ring_chains = [&](int chain_root) {
-    std::vector<RoutedTree> chains;
-    for (const auto& ring : plan_.rings) {
-      chains.push_back(ring_chain_tree(fabric_, 0, ring, chain_root,
-                                       /*forward=*/true, plan_.link));
-      chains.push_back(ring_chain_tree(fabric_, 0, ring, chain_root,
-                                       /*forward=*/false, plan_.link));
-    }
-    return chains;
-  };
-  switch (kind) {
-    case 0:
-      append_ring_broadcast(builder, fabric_, 0, plan_, bytes, root);
-      result.num_trees = plan_.num_directed();
-      break;
-    case 1:
-      if (topo_.has_nvswitch && bytes < options_.tree_threshold_bytes &&
-          topo_.num_gpus >= 4) {
-        append_double_binary_all_reduce(builder, fabric_, 0, bytes);
-        result.num_trees = 2;
-      } else {
-        append_ring_all_reduce(builder, fabric_, 0, plan_, bytes);
-        result.num_trees = plan_.num_directed();
-      }
-      break;
-    case 2:
-      builder.gather(ring_chains(root), bytes);
-      result.num_trees = plan_.num_directed();
-      break;
-    case 3:
-      builder.reduce(ring_chains(root), bytes);
-      result.num_trees = plan_.num_directed();
-      break;
-    case 4:
-      builder.all_gather(ring_chains(root), bytes);
-      result.num_trees = plan_.num_directed();
-      break;
-    default:
-      break;
-  }
-  const sim::Program program = builder.take();
-  result.num_ops = static_cast<int>(program.ops().size());
-  result.num_chunks = builder.chunks_for(bytes / plan_.num_directed());
-  const auto run_result = sim::execute(fabric_, program);
-  result.seconds = run_result.makespan;
-  result.algorithm_bw = run_result.throughput(bytes);
-  if (options_.memoize) memo_[key] = result;
-  return result;
-}
-
-CollectiveResult NcclCommunicator::broadcast(double bytes, int root) {
-  return run(0, bytes, root);
-}
-
-CollectiveResult NcclCommunicator::all_reduce(double bytes) {
-  return run(1, bytes, 0);
-}
-
-CollectiveResult NcclCommunicator::gather(double bytes, int root) {
-  return run(2, bytes, root);
-}
-
-CollectiveResult NcclCommunicator::reduce(double bytes, int root) {
-  return run(3, bytes, root);
-}
-
-CollectiveResult NcclCommunicator::all_gather(double bytes) {
-  return run(4, bytes, 0);
+const RingPlan& NcclCommunicator::ring_plan() const {
+  return backend_->ring_plan();
 }
 
 CollectiveResult multi_server_ring_all_reduce(

@@ -7,24 +7,27 @@
 
 #include "blink/blink/dgx2.h"
 #include "blink/blink/hybrid.h"
+#include "blink/sim/executor.h"
 
 namespace blink {
 
-Communicator::Communicator(topo::Topology topo, CommunicatorOptions options)
-    : topo_(std::move(topo)),
-      options_(std::move(options)),
-      fabric_(topo_, options_.fabric),
-      plans_(options_.plan_cache_capacity) {
-  std::string err;
-  if (!topo_.validate(&err)) {
-    throw std::invalid_argument("invalid topology: " + err);
-  }
+// --- BlinkBackend -----------------------------------------------------------
+
+BlinkBackend::BlinkBackend(const topo::Topology& topo,
+                           const sim::Fabric& fabric,
+                           CommunicatorOptions options)
+    : topo_(topo), fabric_(fabric), options_(std::move(options)) {
   nvlink_sets_.resize(static_cast<std::size_t>(topo_.num_gpus));
   bidir_sets_.resize(static_cast<std::size_t>(topo_.num_gpus));
   pcie_sets_.resize(static_cast<std::size_t>(topo_.num_gpus));
 }
 
-const Communicator::TreeSetPtr& Communicator::shared_tree_set(int root) {
+bool BlinkBackend::supports(CollectiveKind kind) const {
+  (void)kind;
+  return true;  // Blink lowers every collective on every topology.
+}
+
+const BlinkBackend::TreeSetPtr& BlinkBackend::shared_tree_set(int root) {
   assert(root >= 0 && root < topo_.num_gpus);
   auto& slot = nvlink_sets_[static_cast<std::size_t>(root)];
   if (slot == nullptr) {
@@ -42,7 +45,7 @@ const Communicator::TreeSetPtr& Communicator::shared_tree_set(int root) {
   return slot;
 }
 
-const Communicator::TreeSetPtr& Communicator::shared_bidir_tree_set(int root) {
+const BlinkBackend::TreeSetPtr& BlinkBackend::shared_bidir_tree_set(int root) {
   assert(root >= 0 && root < topo_.num_gpus);
   auto& slot = bidir_sets_[static_cast<std::size_t>(root)];
   if (slot == nullptr) {
@@ -59,7 +62,7 @@ const Communicator::TreeSetPtr& Communicator::shared_bidir_tree_set(int root) {
   return slot;
 }
 
-const Communicator::TreeSetPtr& Communicator::shared_pcie_tree_set(int root) {
+const BlinkBackend::TreeSetPtr& BlinkBackend::shared_pcie_tree_set(int root) {
   assert(root >= 0 && root < topo_.num_gpus);
   auto& slot = pcie_sets_[static_cast<std::size_t>(root)];
   if (slot == nullptr) {
@@ -70,24 +73,12 @@ const Communicator::TreeSetPtr& Communicator::shared_pcie_tree_set(int root) {
   return slot;
 }
 
-const TreeSet& Communicator::tree_set(int root) {
-  return *shared_tree_set(root);
-}
-
-const TreeSet& Communicator::bidir_tree_set(int root) {
-  return *shared_bidir_tree_set(root);
-}
-
-const TreeSet& Communicator::pcie_tree_set(int root) {
-  return *shared_pcie_tree_set(root);
-}
-
-int Communicator::best_root() {
+int BlinkBackend::best_root() {
   if (!best_root_.has_value()) {
     int best = 0;
     double best_rate = -1.0;
     for (int r = 0; r < topo_.num_gpus; ++r) {
-      const double rate = tree_set(r).rate;
+      const double rate = shared_tree_set(r)->rate;
       if (rate > best_rate) {
         best_rate = rate;
         best = r;
@@ -98,7 +89,7 @@ int Communicator::best_root() {
   return *best_root_;
 }
 
-int Communicator::default_root(CollectiveKind kind) {
+int BlinkBackend::default_root(CollectiveKind kind) {
   switch (kind) {
     case CollectiveKind::kAllReduce:
     case CollectiveKind::kAllGather:
@@ -108,34 +99,12 @@ int Communicator::default_root(CollectiveKind kind) {
   }
 }
 
-double Communicator::dpa_latency() const {
+double BlinkBackend::dpa_latency() const {
   return options_.dpa_base_latency +
          options_.dpa_per_gpu_latency * topo_.num_gpus;
 }
 
-MiadResult Communicator::tune_chunk_size(CollectiveKind kind, double bytes,
-                                         int root, const MiadOptions& miad) {
-  if (root < 0) root = default_root(kind);
-  MiadResult result = blink::tune_chunk_size(
-      [&](std::uint64_t chunk) {
-        const CollectiveResult r = probe(kind, bytes, root, chunk);
-        return r.algorithm_bw;
-      },
-      miad);
-  // Prime the plan cache with the schedule compile() would produce at this
-  // shape (the tuned chunk in auto mode; a fixed codegen.chunk_bytes wins
-  // over the tuner, matching compile()'s own policy), so the next collective
-  // here is a cache hit.
-  const std::uint64_t chunk = options_.codegen.chunk_bytes != 0
-                                  ? options_.codegen.chunk_bytes
-                                  : result.selected_chunk;
-  const PlanKey key{static_cast<int>(kind), root,
-                    static_cast<std::uint64_t>(bytes)};
-  plans_.insert(key, compile_fresh(kind, bytes, root, chunk));
-  return result;
-}
-
-double Communicator::measured_rate(const TreeSet& set, double probe_bytes) {
+double BlinkBackend::measured_rate(const TreeSet& set, double probe_bytes) {
   const auto key =
       std::make_tuple(static_cast<int>(set.link), set.bidirectional, set.root,
                       static_cast<std::uint64_t>(probe_bytes));
@@ -151,7 +120,7 @@ double Communicator::measured_rate(const TreeSet& set, double probe_bytes) {
   return rate;
 }
 
-sim::Program Communicator::build_program(CollectiveKind kind, double bytes,
+sim::Program BlinkBackend::build_program(CollectiveKind kind, double bytes,
                                          int root, std::uint64_t chunk_bytes,
                                          CollectiveResult* meta,
                                          std::vector<TreeSetPtr>* used_sets) {
@@ -190,8 +159,8 @@ sim::Program Communicator::build_program(CollectiveKind kind, double bytes,
   switch (kind) {
     case CollectiveKind::kBroadcast: {
       if (options_.hybrid && !topo_.has_nvswitch) {
-        const TreeSet& pcie = pcie_tree_set(root);
-        const TreeSet& nvl = tree_set(root);
+        const TreeSet& pcie = *shared_pcie_tree_set(root);
+        const TreeSet& nvl = *shared_tree_set(root);
         if (!pcie.empty() && nvl.link == topo::LinkType::kNVLink) {
           use(shared_pcie_tree_set(root));
           // Equation 8 with *measured* rates: the first calls into the
@@ -276,7 +245,7 @@ sim::Program Communicator::build_program(CollectiveKind kind, double bytes,
   return builder.take();
 }
 
-CollectiveResult Communicator::probe(CollectiveKind kind, double bytes,
+CollectiveResult BlinkBackend::probe(CollectiveKind kind, double bytes,
                                      int root, std::uint64_t chunk_bytes) {
   CollectiveResult result;
   result.bytes = bytes;
@@ -289,36 +258,27 @@ CollectiveResult Communicator::probe(CollectiveKind kind, double bytes,
   return result;
 }
 
-std::shared_ptr<const CollectivePlan> Communicator::compile_fresh(
-    CollectiveKind kind, double bytes, int root, std::uint64_t chunk) {
-  CollectiveResult meta;
-  meta.bytes = bytes;
+LoweredCollective BlinkBackend::lower_at_chunk(CollectiveKind kind,
+                                               double bytes, int root,
+                                               std::uint64_t chunk_bytes) {
+  LoweredCollective lowered;
+  lowered.chunk_bytes = chunk_bytes;
+  lowered.meta.bytes = bytes;
   std::vector<TreeSetPtr> used_sets;
-  sim::Program program =
-      build_program(kind, bytes, root, chunk, &meta, &used_sets);
-  meta.num_ops = static_cast<int>(program.ops().size());
+  lowered.program =
+      build_program(kind, bytes, root, chunk_bytes, &lowered.meta, &used_sets);
+  lowered.meta.num_ops = static_cast<int>(lowered.program.ops().size());
   // Deduplicate: the reduce-scatter path visits the same set per shard root,
   // and the NVLink slot may alias the PCIe fallback.
   std::sort(used_sets.begin(), used_sets.end());
   used_sets.erase(std::unique(used_sets.begin(), used_sets.end()),
                   used_sets.end());
-  return std::make_shared<const CollectivePlan>(
-      this, kind, bytes, root, chunk, std::move(program), meta,
-      std::move(used_sets));
+  lowered.tree_sets = std::move(used_sets);
+  return lowered;
 }
 
-std::shared_ptr<const CollectivePlan> Communicator::compile(
-    CollectiveKind kind, double bytes, int root) {
-  if (!(bytes > 0.0)) {
-    throw std::invalid_argument("collective size must be positive");
-  }
-  if (root < -1 || root >= topo_.num_gpus) {
-    throw std::invalid_argument("root out of range");
-  }
-  if (root == -1) root = default_root(kind);
-  const PlanKey key{static_cast<int>(kind), root,
-                    static_cast<std::uint64_t>(bytes)};
-  if (auto plan = plans_.find(key)) return plan;
+LoweredCollective BlinkBackend::lower(CollectiveKind kind, double bytes,
+                                      int root) {
   std::uint64_t chunk = options_.codegen.chunk_bytes;
   if (chunk == 0) {
     chunk = blink::tune_chunk_size(
@@ -328,66 +288,62 @@ std::shared_ptr<const CollectivePlan> Communicator::compile(
                 MiadOptions{})
                 .selected_chunk;
   }
-  auto plan = compile_fresh(kind, bytes, root, chunk);
-  plans_.insert(key, plan);
-  return plan;
+  return lower_at_chunk(kind, bytes, root, chunk);
 }
 
-CollectiveResult Communicator::execute(const CollectivePlan& plan) {
-  if (plan.owner() != this) {
-    throw std::invalid_argument(
-        "plan was compiled by a different communicator");
-  }
-  if (options_.memoize && plan.cached_result().has_value()) {
-    return *plan.cached_result();
-  }
-  CollectiveResult result = plan.meta();
-  const sim::RunResult run = sim::execute(fabric_, plan.program());
-  result.seconds = run.makespan;
-  result.algorithm_bw = run.throughput(result.bytes);
-  if (options_.memoize) plan.memoize_result(result);
+// --- Communicator -----------------------------------------------------------
+
+Communicator::Communicator(topo::Topology topo, CommunicatorOptions options)
+    : CollectiveEngine(
+          std::move(topo), options.fabric,
+          EngineOptions{options.memoize, options.plan_cache_capacity}),
+      options_(std::move(options)) {
+  auto backend =
+      std::make_unique<BlinkBackend>(topology(), fabric(), options_);
+  blink_ = backend.get();
+  register_backend(std::move(backend));
+}
+
+const TreeSet& Communicator::tree_set(int root) {
+  const std::lock_guard<std::mutex> lock(compile_mutex());
+  return *blink_->shared_tree_set(root);
+}
+
+const TreeSet& Communicator::bidir_tree_set(int root) {
+  const std::lock_guard<std::mutex> lock(compile_mutex());
+  return *blink_->shared_bidir_tree_set(root);
+}
+
+const TreeSet& Communicator::pcie_tree_set(int root) {
+  const std::lock_guard<std::mutex> lock(compile_mutex());
+  return *blink_->shared_pcie_tree_set(root);
+}
+
+int Communicator::best_root() {
+  const std::lock_guard<std::mutex> lock(compile_mutex());
+  return blink_->best_root();
+}
+
+MiadResult Communicator::tune_chunk_size(CollectiveKind kind, double bytes,
+                                         int root, const MiadOptions& miad) {
+  const std::lock_guard<std::mutex> lock(compile_mutex());
+  if (root < 0) root = blink_->default_root(kind);
+  MiadResult result = blink::tune_chunk_size(
+      [&](std::uint64_t chunk) {
+        const CollectiveResult r = blink_->probe(kind, bytes, root, chunk);
+        return r.algorithm_bw;
+      },
+      miad);
+  // Prime the plan cache with the schedule compile() would produce at this
+  // shape (the tuned chunk in auto mode; a fixed codegen.chunk_bytes wins
+  // over the tuner, matching compile()'s own policy), so the next collective
+  // here is a cache hit.
+  const std::uint64_t chunk = options_.codegen.chunk_bytes != 0
+                                  ? options_.codegen.chunk_bytes
+                                  : result.selected_chunk;
+  adopt_plan(kind, bytes, root, /*backend=*/0,
+             blink_->lower_at_chunk(kind, bytes, root, chunk));
   return result;
-}
-
-std::vector<CollectiveResult> Communicator::run(
-    std::span<const CollectiveRequest> reqs) {
-  std::vector<std::shared_ptr<const CollectivePlan>> plans;
-  plans.reserve(reqs.size());
-  for (const CollectiveRequest& req : reqs) {
-    plans.push_back(compile(req.kind, req.bytes, req.root));
-  }
-  std::vector<const sim::Program*> programs;
-  programs.reserve(plans.size());
-  for (const auto& plan : plans) programs.push_back(&plan->program());
-  const sim::GroupRunResult group = sim::execute_group(fabric_, programs);
-  std::vector<CollectiveResult> results;
-  results.reserve(plans.size());
-  for (std::size_t i = 0; i < plans.size(); ++i) {
-    CollectiveResult r = plans[i]->meta();
-    r.seconds = group.makespan[i];
-    r.algorithm_bw = r.seconds > 0.0 ? r.bytes / r.seconds : 0.0;
-    results.push_back(r);
-  }
-  return results;
-}
-
-CollectiveResult Communicator::broadcast(double bytes, int root) {
-  return execute(*compile(CollectiveKind::kBroadcast, bytes, root));
-}
-CollectiveResult Communicator::gather(double bytes, int root) {
-  return execute(*compile(CollectiveKind::kGather, bytes, root));
-}
-CollectiveResult Communicator::reduce(double bytes, int root) {
-  return execute(*compile(CollectiveKind::kReduce, bytes, root));
-}
-CollectiveResult Communicator::all_reduce(double bytes) {
-  return execute(*compile(CollectiveKind::kAllReduce, bytes));
-}
-CollectiveResult Communicator::all_gather(double bytes) {
-  return execute(*compile(CollectiveKind::kAllGather, bytes));
-}
-CollectiveResult Communicator::reduce_scatter(double bytes) {
-  return execute(*compile(CollectiveKind::kReduceScatter, bytes));
 }
 
 }  // namespace blink

@@ -1,0 +1,147 @@
+#include "blink/blink/engine.h"
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "blink/sim/executor.h"
+
+namespace blink {
+
+CollectiveEngine::CollectiveEngine(topo::Topology topo,
+                                   const sim::FabricParams& fabric_params,
+                                   EngineOptions options)
+    : topo_(std::move(topo)),
+      engine_options_(options),
+      fabric_(topo_, fabric_params),
+      plans_(options.plan_cache_capacity) {
+  std::string err;
+  if (!topo_.validate(&err)) {
+    throw std::invalid_argument("invalid topology: " + err);
+  }
+}
+
+CollectiveEngine::~CollectiveEngine() = default;
+
+int CollectiveEngine::register_backend(
+    std::unique_ptr<CollectiveBackend> backend) {
+  if (backend == nullptr) {
+    throw std::invalid_argument("backend must not be null");
+  }
+  const std::lock_guard<std::mutex> lock(compile_mu_);
+  backends_.push_back(std::move(backend));
+  return static_cast<int>(backends_.size()) - 1;
+}
+
+const CollectiveBackend& CollectiveEngine::backend(int id) const {
+  const std::lock_guard<std::mutex> lock(compile_mu_);
+  if (id < 0 || id >= static_cast<int>(backends_.size())) {
+    throw std::invalid_argument("backend id out of range");
+  }
+  return *backends_[static_cast<std::size_t>(id)];
+}
+
+int CollectiveEngine::backend_id(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(compile_mu_);
+  for (std::size_t i = 0; i < backends_.size(); ++i) {
+    if (name == backends_[i]->name()) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::shared_ptr<const CollectivePlan> CollectiveEngine::adopt_plan(
+    CollectiveKind kind, double bytes, int root, int backend,
+    LoweredCollective lowered) {
+  auto plan = std::make_shared<const CollectivePlan>(
+      this, kind, bytes, root, backend, lowered.chunk_bytes,
+      std::move(lowered.program), lowered.meta, std::move(lowered.tree_sets));
+  plans_.insert(plan->key(), plan);
+  return plan;
+}
+
+std::shared_ptr<const CollectivePlan> CollectiveEngine::compile(
+    CollectiveKind kind, double bytes, int root, int backend) {
+  if (!(bytes > 0.0)) {
+    throw std::invalid_argument("collective size must be positive");
+  }
+  if (root < -1 || root >= topo_.num_gpus) {
+    throw std::invalid_argument("root out of range");
+  }
+  const std::lock_guard<std::mutex> lock(compile_mu_);
+  if (backends_.empty()) {
+    throw std::logic_error("engine has no registered backend");
+  }
+  if (backend < 0 || backend >= static_cast<int>(backends_.size())) {
+    throw std::invalid_argument("backend id out of range");
+  }
+  CollectiveBackend& be = *backends_[static_cast<std::size_t>(backend)];
+  if (!be.supports(kind)) {
+    throw std::invalid_argument(std::string(be.name()) +
+                                " backend does not support " +
+                                to_string(kind));
+  }
+  if (root == -1) root = be.default_root(kind);
+  const PlanKey key{static_cast<int>(kind), root,
+                    static_cast<std::uint64_t>(bytes), backend};
+  if (auto plan = plans_.find(key)) return plan;
+  return adopt_plan(kind, bytes, root, backend, be.lower(kind, bytes, root));
+}
+
+CollectiveResult CollectiveEngine::execute(const CollectivePlan& plan) {
+  if (plan.owner() != this) {
+    throw std::invalid_argument("plan was compiled by a different engine");
+  }
+  if (engine_options_.memoize) {
+    if (const auto cached = plan.cached_result()) return *cached;
+  }
+  CollectiveResult result = plan.meta();
+  const sim::RunResult run = sim::execute(fabric_, plan.program());
+  result.seconds = run.makespan;
+  result.algorithm_bw = run.throughput(result.bytes);
+  if (engine_options_.memoize) plan.memoize_result(result);
+  return result;
+}
+
+std::vector<CollectiveResult> CollectiveEngine::run(
+    std::span<const CollectiveRequest> reqs) {
+  std::vector<std::shared_ptr<const CollectivePlan>> plans;
+  plans.reserve(reqs.size());
+  for (const CollectiveRequest& req : reqs) {
+    plans.push_back(compile(req.kind, req.bytes, req.root, req.backend));
+  }
+  std::vector<const sim::Program*> programs;
+  programs.reserve(plans.size());
+  for (const auto& plan : plans) programs.push_back(&plan->program());
+  const sim::GroupRunResult group = sim::execute_group(fabric_, programs);
+  std::vector<CollectiveResult> results;
+  results.reserve(plans.size());
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    CollectiveResult r = plans[i]->meta();
+    r.seconds = group.makespan[i];
+    r.algorithm_bw = r.seconds > 0.0 ? r.bytes / r.seconds : 0.0;
+    results.push_back(r);
+  }
+  return results;
+}
+
+CollectiveResult CollectiveEngine::broadcast(double bytes, int root) {
+  return execute(*compile(CollectiveKind::kBroadcast, bytes, root));
+}
+CollectiveResult CollectiveEngine::gather(double bytes, int root) {
+  return execute(*compile(CollectiveKind::kGather, bytes, root));
+}
+CollectiveResult CollectiveEngine::reduce(double bytes, int root) {
+  return execute(*compile(CollectiveKind::kReduce, bytes, root));
+}
+CollectiveResult CollectiveEngine::all_reduce(double bytes) {
+  return execute(*compile(CollectiveKind::kAllReduce, bytes));
+}
+CollectiveResult CollectiveEngine::all_gather(double bytes) {
+  return execute(*compile(CollectiveKind::kAllGather, bytes));
+}
+CollectiveResult CollectiveEngine::reduce_scatter(double bytes) {
+  return execute(*compile(CollectiveKind::kReduceScatter, bytes));
+}
+
+}  // namespace blink

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "blink/blink/codegen.h"
+#include "blink/sim/executor.h"
 
 namespace blink {
 
@@ -175,8 +176,9 @@ std::shared_ptr<const CollectivePlan> ClusterCommunicator::compile_all_reduce(
   used_sets.erase(std::unique(used_sets.begin(), used_sets.end()),
                   used_sets.end());
   auto plan = std::make_shared<const CollectivePlan>(
-      this, CollectiveKind::kAllReduce, bytes, 0, options_.codegen.chunk_bytes,
-      std::move(program), result, std::move(used_sets));
+      this, CollectiveKind::kAllReduce, bytes, 0, /*backend=*/0,
+      options_.codegen.chunk_bytes, std::move(program), result,
+      std::move(used_sets));
   plans_.insert(key, plan);
   return plan;
 }
@@ -186,8 +188,8 @@ CollectiveResult ClusterCommunicator::execute(const CollectivePlan& plan) {
     throw std::invalid_argument(
         "plan was compiled by a different communicator");
   }
-  if (options_.memoize && plan.cached_result().has_value()) {
-    return *plan.cached_result();
+  if (options_.memoize) {
+    if (const auto cached = plan.cached_result()) return *cached;
   }
   CollectiveResult result = plan.meta();
   const auto run = sim::execute(fabric_, plan.program());

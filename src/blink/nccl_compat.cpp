@@ -1,16 +1,20 @@
 #include "blink/blink/nccl_compat.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "blink/baselines/backends.h"
+#include "blink/baselines/nccl_like.h"
 #include "blink/topology/builders.h"
 #include "blink/topology/discovery.h"
 
 struct blinkComm {
-  std::unique_ptr<blink::Communicator> impl;
+  std::unique_ptr<blink::CollectiveEngine> impl;
+  blinkBackend_t backend = blinkBackendBlink;
   blink::CollectiveResult last;
   std::vector<blink::CollectiveRequest> pending;      // queued group requests
   std::vector<blink::CollectiveResult> group_results;  // last group's results
@@ -37,6 +41,67 @@ bool build_machine(const char* machine, blink::topo::Topology* out) {
   return true;
 }
 
+// Resolves the backend for a new communicator: explicit config wins, then
+// the BLINK_BACKEND environment variable, then the Blink default. Returns
+// false on an unknown BLINK_BACKEND value.
+bool resolve_backend(const blinkBackendConfig_t* config,
+                     blinkBackend_t* backend) {
+  if (config != nullptr) {
+    *backend = config->backend;
+    return *backend >= blinkBackendBlink && *backend <= blinkBackendButterfly;
+  }
+  const char* env = std::getenv("BLINK_BACKEND");
+  if (env == nullptr || *env == '\0') {
+    *backend = blinkBackendBlink;
+    return true;
+  }
+  const std::string name = env;
+  if (name == "blink") {
+    *backend = blinkBackendBlink;
+  } else if (name == "nccl") {
+    *backend = blinkBackendNccl;
+  } else if (name == "ring") {
+    *backend = blinkBackendRing;
+  } else if (name == "double_binary") {
+    *backend = blinkBackendDoubleBinary;
+  } else if (name == "butterfly") {
+    *backend = blinkBackendButterfly;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::unique_ptr<blink::CollectiveEngine> make_engine(blinkBackend_t backend,
+                                                     blink::topo::Topology
+                                                         topo) {
+  using blink::baselines::NcclOptions;
+  switch (backend) {
+    case blinkBackendBlink:
+      return std::make_unique<blink::Communicator>(std::move(topo));
+    case blinkBackendNccl:
+      return std::make_unique<blink::baselines::NcclCommunicator>(
+          std::move(topo));
+    case blinkBackendRing:
+    case blinkBackendDoubleBinary:
+    case blinkBackendButterfly: {
+      const char* name = backend == blinkBackendRing ? "ring"
+                         : backend == blinkBackendDoubleBinary
+                             ? "double_binary"
+                             : "butterfly";
+      const NcclOptions options;  // persistent-kernel step costs, like NCCL
+      auto engine = std::make_unique<blink::CollectiveEngine>(
+          std::move(topo),
+          blink::baselines::apply_persistent_kernel_model(options.fabric),
+          blink::EngineOptions{options.memoize, options.plan_cache_capacity});
+      engine->register_backend(blink::baselines::make_baseline_backend(
+          name, engine->topology(), engine->fabric(), options));
+      return engine;
+    }
+  }
+  return nullptr;
+}
+
 // Runs one collective now, or queues it when inside a group.
 blinkResult_t submit(blinkComm_t comm, blink::CollectiveKind kind,
                      double bytes, int root) {
@@ -49,6 +114,8 @@ blinkResult_t submit(blinkComm_t comm, blink::CollectiveKind kind,
   try {
     comm->last = comm->impl->execute(*comm->impl->compile(kind, bytes, root));
     return blinkSuccess;
+  } catch (const std::invalid_argument&) {
+    return blinkInvalidArgument;
   } catch (const std::exception&) {
     return blinkInternalError;
   }
@@ -58,9 +125,13 @@ blinkResult_t flush_group(blinkComm_t comm) {
   try {
     comm->group_results = comm->impl->run(comm->pending);
     comm->pending.clear();
-  } catch (const std::exception&) {
+  } catch (const std::invalid_argument&) {
     comm->pending.clear();
     comm->group_results.clear();  // don't leave a previous group's results
+    return blinkInvalidArgument;
+  } catch (const std::exception&) {
+    comm->pending.clear();
+    comm->group_results.clear();
     return blinkInternalError;
   }
   // The group summary: makespan of the batch, total payload.
@@ -101,11 +172,15 @@ size_t blinkTypeSize(blinkDataType_t dtype) {
   return 0;
 }
 
-blinkResult_t blinkCommInitAll(blinkComm_t* comm, const char* machine,
-                               int ndev, const int* gpu_ids) {
+blinkResult_t blinkCommInitAllWithConfig(blinkComm_t* comm,
+                                         const char* machine, int ndev,
+                                         const int* gpu_ids,
+                                         const blinkBackendConfig_t* config) {
   if (comm == nullptr || ndev <= 0 || gpu_ids == nullptr) {
     return blinkInvalidArgument;
   }
+  blinkBackend_t backend = blinkBackendBlink;
+  if (!resolve_backend(config, &backend)) return blinkInvalidArgument;
   blink::topo::Topology full;
   if (!build_machine(machine, &full)) return blinkInvalidArgument;
   for (int i = 0; i < ndev; ++i) {
@@ -117,12 +192,27 @@ blinkResult_t blinkCommInitAll(blinkComm_t* comm, const char* machine,
     const std::vector<int> ids(gpu_ids, gpu_ids + ndev);
     auto topo = blink::topo::induced_topology(full, ids);
     auto c = std::make_unique<blinkComm>();
-    c->impl = std::make_unique<blink::Communicator>(std::move(topo));
+    c->impl = make_engine(backend, std::move(topo));
+    if (c->impl == nullptr) return blinkInvalidArgument;
+    c->backend = backend;
     *comm = c.release();
     return blinkSuccess;
+  } catch (const std::invalid_argument&) {
+    return blinkInvalidArgument;
   } catch (const std::exception&) {
     return blinkInternalError;
   }
+}
+
+blinkResult_t blinkCommInitAll(blinkComm_t* comm, const char* machine,
+                               int ndev, const int* gpu_ids) {
+  return blinkCommInitAllWithConfig(comm, machine, ndev, gpu_ids, nullptr);
+}
+
+blinkResult_t blinkCommBackend(blinkComm_t comm, blinkBackend_t* backend) {
+  if (comm == nullptr || backend == nullptr) return blinkInvalidArgument;
+  *backend = comm->backend;
+  return blinkSuccess;
 }
 
 blinkResult_t blinkCommDestroy(blinkComm_t comm) {

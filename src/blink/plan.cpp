@@ -24,12 +24,14 @@ const char* to_string(CollectiveKind kind) {
 
 CollectivePlan::CollectivePlan(
     const void* owner, CollectiveKind kind, double bytes, int root,
-    std::uint64_t chunk_bytes, sim::Program program, CollectiveResult meta,
+    int backend, std::uint64_t chunk_bytes, sim::Program program,
+    CollectiveResult meta,
     std::vector<std::shared_ptr<const TreeSet>> tree_sets)
     : owner_(owner),
       kind_(kind),
       bytes_(bytes),
       root_(root),
+      backend_(backend),
       chunk_bytes_(chunk_bytes),
       program_(std::move(program)),
       meta_(meta),

@@ -9,6 +9,7 @@ PlanCache::PlanCache(std::size_t capacity)
     : capacity_(std::max<std::size_t>(capacity, 1)) {}
 
 std::shared_ptr<const CollectivePlan> PlanCache::find(const PlanKey& key) {
+  const std::lock_guard<std::mutex> lock(mu_);
   const auto it = index_.find(key);
   if (it == index_.end()) {
     ++misses_;
@@ -21,6 +22,7 @@ std::shared_ptr<const CollectivePlan> PlanCache::find(const PlanKey& key) {
 
 void PlanCache::insert(const PlanKey& key,
                        std::shared_ptr<const CollectivePlan> plan) {
+  const std::lock_guard<std::mutex> lock(mu_);
   const auto it = index_.find(key);
   if (it != index_.end()) {
     it->second->second = std::move(plan);
@@ -37,6 +39,7 @@ void PlanCache::insert(const PlanKey& key,
 }
 
 void PlanCache::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   index_.clear();
 }

@@ -1,0 +1,223 @@
+// The CollectiveBackend unification: every baseline algorithm runs through
+// the shared plan/execute engine — compile()/execute() with the common
+// PlanCache, argument validation, and grouped launches mixing backends.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "blink/baselines/backends.h"
+#include "blink/baselines/nccl_like.h"
+#include "blink/blink/communicator.h"
+#include "blink/blink/engine.h"
+#include "blink/topology/builders.h"
+#include "blink/topology/discovery.h"
+
+namespace blink {
+namespace {
+
+using baselines::NcclOptions;
+using baselines::make_baseline_backend;
+
+// An engine running one named baseline backend on a DGX-2 with the
+// persistent-kernel fabric model, as the facade builds them.
+std::unique_ptr<CollectiveEngine> baseline_engine(const char* name,
+                                                  topo::Topology topo) {
+  const NcclOptions options;
+  auto engine = std::make_unique<CollectiveEngine>(
+      std::move(topo),
+      baselines::apply_persistent_kernel_model(options.fabric),
+      EngineOptions{});
+  auto backend = make_baseline_backend(name, engine->topology(),
+                                       engine->fabric(), options);
+  EXPECT_NE(backend, nullptr) << name;
+  engine->register_backend(std::move(backend));
+  return engine;
+}
+
+// Acceptance: all four baseline algorithms run through compile()/execute()
+// with the shared PlanCache — the second identical collective on each
+// backend is a cache hit (zero recompiles).
+TEST(Backend, AllBaselinesCompileExecuteWithSharedPlanCache) {
+  for (const char* name : {"nccl", "ring", "double_binary", "butterfly"}) {
+    auto engine = baseline_engine(name, topo::make_dgx2());
+    const auto first = engine->compile(CollectiveKind::kAllReduce, 64e6);
+    const CollectiveResult r1 = engine->execute(*first);
+    EXPECT_GT(r1.seconds, 0.0) << name;
+    EXPECT_GT(r1.algorithm_bw, 0.0) << name;
+    EXPECT_EQ(engine->plan_cache().misses(), 1u) << name;
+    const auto second = engine->compile(CollectiveKind::kAllReduce, 64e6);
+    EXPECT_EQ(second.get(), first.get()) << name;  // same compiled artifact
+    EXPECT_EQ(engine->plan_cache().hits(), 1u) << name;
+    EXPECT_EQ(engine->plan_cache().misses(), 1u) << name;  // zero recompiles
+    const CollectiveResult r2 = engine->execute(*second);
+    EXPECT_DOUBLE_EQ(r1.seconds, r2.seconds) << name;
+  }
+}
+
+// Backends keep their algorithmic identity through the unified interface:
+// the same AllReduce lowers to visibly different schedules per backend.
+TEST(Backend, AlgorithmsStayDistinct) {
+  auto ring = baseline_engine("ring", topo::make_dgx2());
+  auto dbt = baseline_engine("double_binary", topo::make_dgx2());
+  auto fly = baseline_engine("butterfly", topo::make_dgx2());
+  const double bytes = 64e6;
+  const auto ring_r = ring->all_reduce(bytes);
+  const auto dbt_r = dbt->all_reduce(bytes);
+  const auto fly_r = fly->all_reduce(bytes);
+  EXPECT_EQ(ring_r.num_trees, 12);  // 6 lanes, both directions
+  EXPECT_EQ(dbt_r.num_trees, 2);
+  EXPECT_EQ(fly_r.num_trees, 8);    // 2 * log2(16) exchange rounds
+  EXPECT_NE(ring_r.num_ops, dbt_r.num_ops);
+  EXPECT_NE(ring_r.seconds, dbt_r.seconds);
+  EXPECT_NE(ring_r.seconds, fly_r.seconds);
+}
+
+// The NCCL backend is the ring backend plus the small-payload double-binary
+// switch; below the threshold they must diverge, above they must agree.
+TEST(Backend, NcclSwitchesToTreesOnlyBelowThreshold) {
+  auto nccl = baseline_engine("nccl", topo::make_dgx2());
+  auto ring = baseline_engine("ring", topo::make_dgx2());
+  const auto small_nccl = nccl->all_reduce(8e3);
+  const auto small_ring = ring->all_reduce(8e3);
+  EXPECT_EQ(small_nccl.num_trees, 2);
+  EXPECT_EQ(small_ring.num_trees, 12);  // 6 lanes, both directions
+  const auto big_nccl = nccl->all_reduce(1e9);
+  const auto big_ring = ring->all_reduce(1e9);
+  EXPECT_DOUBLE_EQ(big_nccl.seconds, big_ring.seconds);
+}
+
+// Acceptance: a group launch mixing two backends' requests on one engine
+// returns per-request makespans.
+TEST(Backend, GroupLaunchMixesBackends) {
+  Communicator comm(topo::make_dgx2());
+  const int butterfly = comm.register_backend(make_baseline_backend(
+      "butterfly", comm.topology(), comm.fabric(), NcclOptions{}));
+  EXPECT_EQ(butterfly, 1);
+  EXPECT_EQ(comm.backend_id("butterfly"), butterfly);
+  EXPECT_EQ(comm.backend_id("blink"), 0);
+
+  const double bytes = 32e6;
+  const std::vector<CollectiveRequest> reqs{
+      {CollectiveKind::kAllReduce, bytes, -1, 0},
+      {CollectiveKind::kAllReduce, bytes, -1, butterfly},
+  };
+  const auto results = comm.run(reqs);
+  ASSERT_EQ(results.size(), 2u);
+  for (const auto& r : results) {
+    EXPECT_DOUBLE_EQ(r.bytes, bytes);
+    EXPECT_GT(r.seconds, 0.0);
+  }
+  // Contending with the butterfly can only slow Blink's own request down.
+  const CollectiveResult solo = comm.all_reduce(bytes);
+  EXPECT_GE(results[0].seconds, 0.999 * solo.seconds);
+  // Both backends' plans landed in the one shared cache under distinct keys.
+  EXPECT_GE(comm.plan_cache().size(), 2u);
+  const auto blink_plan = comm.compile(CollectiveKind::kAllReduce, bytes);
+  const auto fly_plan =
+      comm.compile(CollectiveKind::kAllReduce, bytes, -1, butterfly);
+  EXPECT_NE(blink_plan.get(), fly_plan.get());
+  EXPECT_EQ(blink_plan->backend(), 0);
+  EXPECT_EQ(fly_plan->backend(), butterfly);
+}
+
+// Satellite: baselines validate arguments exactly like Communicator —
+// std::invalid_argument on zero/negative bytes and out-of-range roots,
+// where they previously built garbage schedules silently.
+TEST(Backend, BaselinesRejectBadArguments) {
+  for (const char* name : {"nccl", "ring", "double_binary", "butterfly"}) {
+    auto engine = baseline_engine(name, topo::make_dgx2());
+    EXPECT_THROW(engine->compile(CollectiveKind::kAllReduce, 0.0),
+                 std::invalid_argument)
+        << name;
+    EXPECT_THROW(engine->compile(CollectiveKind::kAllReduce, -5.0),
+                 std::invalid_argument)
+        << name;
+    EXPECT_THROW(engine->compile(CollectiveKind::kAllReduce, 1e6, 99),
+                 std::invalid_argument)
+        << name;
+    // Only -1 means "pick the default root"; other negatives are errors.
+    EXPECT_THROW(engine->compile(CollectiveKind::kAllReduce, 1e6, -2),
+                 std::invalid_argument)
+        << name;
+  }
+  baselines::NcclCommunicator nccl(topo::make_dgx1v());
+  EXPECT_THROW(nccl.broadcast(0.0, 0), std::invalid_argument);
+  EXPECT_THROW(nccl.broadcast(-1.0, 0), std::invalid_argument);
+  EXPECT_THROW(nccl.broadcast(1e6, 99), std::invalid_argument);
+  EXPECT_THROW(nccl.reduce(1e6, -2), std::invalid_argument);
+}
+
+// Kinds a backend cannot lower are invalid arguments, not empty programs.
+TEST(Backend, UnsupportedKindsRejected) {
+  auto butterfly = baseline_engine("butterfly", topo::make_dgx2());
+  EXPECT_THROW(butterfly->compile(CollectiveKind::kBroadcast, 1e6, 0),
+               std::invalid_argument);
+  auto nccl = baseline_engine("nccl", topo::make_dgx2());
+  EXPECT_THROW(nccl->reduce_scatter(1e6), std::invalid_argument);
+  // The butterfly needs a power-of-two clique; a 6-GPU allocation is out.
+  auto engine = baseline_engine(
+      "butterfly", topo::induced_topology(topo::make_dgx1v(),
+                                          std::vector<int>{0, 1, 2, 3, 4, 5}));
+  EXPECT_FALSE(engine->backend().supports(CollectiveKind::kAllReduce));
+  EXPECT_THROW(engine->compile(CollectiveKind::kAllReduce, 1e6),
+               std::invalid_argument);
+}
+
+// Executing another engine's plan is rejected across engine types.
+TEST(Backend, ExecuteRejectsForeignPlan) {
+  Communicator blink_comm(topo::make_dgx2());
+  baselines::NcclCommunicator nccl(topo::make_dgx2());
+  const auto plan = blink_comm.compile(CollectiveKind::kAllReduce, 1e6);
+  EXPECT_THROW(nccl.execute(*plan), std::invalid_argument);
+}
+
+// The unified one-shot wrappers match compile+execute for baselines too
+// (the engine memoizes deterministic results).
+TEST(Backend, OneShotMatchesCompileExecute) {
+  baselines::NcclCommunicator nccl(topo::make_dgx1v());
+  const auto plan = nccl.compile(CollectiveKind::kBroadcast, 200e6, 0);
+  const CollectiveResult split = nccl.execute(*plan);
+  baselines::NcclCommunicator fresh(topo::make_dgx1v());
+  const CollectiveResult one_shot = fresh.broadcast(200e6, 0);
+  EXPECT_DOUBLE_EQ(split.seconds, one_shot.seconds);
+  EXPECT_DOUBLE_EQ(split.algorithm_bw, one_shot.algorithm_bw);
+  EXPECT_EQ(split.num_trees, one_shot.num_trees);
+  EXPECT_EQ(split.num_ops, one_shot.num_ops);
+}
+
+// Group launches work for a pure baseline engine (previously Blink-only).
+TEST(Backend, BaselineGroupLaunch) {
+  baselines::NcclCommunicator nccl(topo::make_dgx1v());
+  const std::vector<CollectiveRequest> reqs{
+      {CollectiveKind::kBroadcast, 32e6, 0},
+      {CollectiveKind::kAllReduce, 16e6, -1},
+  };
+  const auto results = nccl.run(reqs);
+  ASSERT_EQ(results.size(), 2u);
+  const CollectiveResult solo = nccl.broadcast(32e6, 0);
+  EXPECT_GE(results[0].seconds, 0.999 * solo.seconds);
+  EXPECT_GT(results[1].seconds, 0.0);
+}
+
+// An engine with no registered backend fails loudly, and unknown backend
+// ids / names are rejected.
+TEST(Backend, RegistryErrors) {
+  CollectiveEngine engine(topo::make_dgx2(), sim::FabricParams{},
+                          EngineOptions{});
+  EXPECT_THROW(engine.compile(CollectiveKind::kAllReduce, 1e6),
+               std::logic_error);
+  EXPECT_EQ(engine.backend_id("blink"), -1);
+  EXPECT_THROW(engine.backend(0), std::invalid_argument);
+  EXPECT_EQ(make_baseline_backend("notabackend", engine.topology(),
+                                  engine.fabric()),
+            nullptr);
+  engine.register_backend(make_baseline_backend("ring", engine.topology(),
+                                                engine.fabric()));
+  EXPECT_THROW(engine.compile(CollectiveKind::kAllReduce, 1e6, -1, 7),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace blink

@@ -43,6 +43,49 @@ TEST(HybridSplit, NoNvlinkSendsEverythingOverPcie) {
 TEST(HybridSplit, NoPcieSendsEverythingOverNvlink) {
   const auto s = compute_hybrid_split(100.0, 5.0, 0.0, 1.0);
   EXPECT_DOUBLE_EQ(s.nvlink_bytes, 100.0);
+  EXPECT_DOUBLE_EQ(s.pcie_bytes, 0.0);
+}
+
+// --- clamp paths (Equation 8 falls outside [0, total]) ----------------------
+
+TEST(HybridSplit, ZeroTotalBytesYieldsZeroSplit) {
+  const auto s = compute_hybrid_split(0.0, 20.0, 5.0, 2.0);
+  EXPECT_DOUBLE_EQ(s.pcie_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(s.nvlink_bytes, 0.0);
+}
+
+TEST(HybridSplit, ZeroTotalBytesWithoutSwitchCost) {
+  const auto s = compute_hybrid_split(0.0, 20.0, 5.0, 0.0);
+  EXPECT_DOUBLE_EQ(s.pcie_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(s.nvlink_bytes, 0.0);
+}
+
+TEST(HybridSplit, TDpaDominatesTinyTransfer) {
+  // Unclamped Equation 8 is negative: D * BWp/(BWp+BWn) = 0.2 while the
+  // switch-cost term is 800. The clamp keeps the PCIe share at exactly 0 and
+  // all bytes on NVLink — never a negative byte count.
+  const auto s = compute_hybrid_split(1.0, 1000.0, 0.25, 4.0);
+  EXPECT_DOUBLE_EQ(s.pcie_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(s.nvlink_bytes, 1.0);
+  // The boundary where the two terms cancel: D = t_dpa * BWn.
+  const auto edge = compute_hybrid_split(4.0 * 1000.0, 1000.0, 0.25, 4.0);
+  EXPECT_DOUBLE_EQ(edge.pcie_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(edge.nvlink_bytes, 4000.0);
+}
+
+TEST(HybridSplit, ZeroPcieRateWithZeroTotal) {
+  // Degenerate rate and degenerate size at once: still all-NVLink, no NaNs.
+  const auto s = compute_hybrid_split(0.0, 5.0, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(s.pcie_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(s.nvlink_bytes, 0.0);
+}
+
+TEST(HybridSplit, BothRatesZeroFallsBackToPcie) {
+  // No usable fabric at all; the split defaults to the PCIe side (callers
+  // gate on a non-empty NVLink tree set before trusting the split).
+  const auto s = compute_hybrid_split(100.0, 0.0, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(s.pcie_bytes, 100.0);
+  EXPECT_DOUBLE_EQ(s.nvlink_bytes, 0.0);
 }
 
 // Figure 21: hybrid broadcast beats NVLink-only for large payloads.

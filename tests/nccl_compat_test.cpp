@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
+#include <map>
 
 #include "blink/blink/nccl_compat.h"
 
@@ -173,6 +175,109 @@ TEST(NcclCompat, GroupEndWithoutStartFails) {
 TEST(NcclCompat, EmptyGroupIsANoOp) {
   ASSERT_EQ(blinkGroupStart(), blinkSuccess);
   EXPECT_EQ(blinkGroupEnd(), blinkSuccess);
+}
+
+TEST(NcclCompat, BackendConfigSelectsAlgorithm) {
+  int gpus[16];
+  for (int i = 0; i < 16; ++i) gpus[i] = i;
+  const size_t count = 16'000'000;  // 64 MB of float32
+  std::map<blinkBackend_t, double> seconds;
+  for (const blinkBackend_t kind :
+       {blinkBackendBlink, blinkBackendNccl, blinkBackendRing,
+        blinkBackendDoubleBinary, blinkBackendButterfly}) {
+    blinkComm_t comm = nullptr;
+    const blinkBackendConfig_t config{kind};
+    ASSERT_EQ(blinkCommInitAllWithConfig(&comm, "dgx2", 16, gpus, &config),
+              blinkSuccess);
+    blinkBackend_t got;
+    ASSERT_EQ(blinkCommBackend(comm, &got), blinkSuccess);
+    EXPECT_EQ(got, kind);
+    ASSERT_EQ(blinkAllReduce(nullptr, nullptr, count, blinkFloat32, blinkSum,
+                             comm, nullptr),
+              blinkSuccess);
+    blink::CollectiveResult result;
+    ASSERT_EQ(blinkCommLastResult(comm, &result), blinkSuccess);
+    EXPECT_GT(result.seconds, 0.0);
+    seconds[kind] = result.seconds;
+    blinkCommDestroy(comm);
+  }
+  // Different algorithms, different schedules, different timings.
+  EXPECT_NE(seconds[blinkBackendRing], seconds[blinkBackendDoubleBinary]);
+  EXPECT_NE(seconds[blinkBackendRing], seconds[blinkBackendButterfly]);
+}
+
+TEST(NcclCompat, BackendEnvVarSelectsAlgorithm) {
+  const int gpus[] = {0, 1, 2, 3};
+  setenv("BLINK_BACKEND", "nccl", 1);
+  blinkComm_t comm = nullptr;
+  ASSERT_EQ(blinkCommInitAll(&comm, "dgx1v", 4, gpus), blinkSuccess);
+  blinkBackend_t got;
+  ASSERT_EQ(blinkCommBackend(comm, &got), blinkSuccess);
+  EXPECT_EQ(got, blinkBackendNccl);
+  blinkCommDestroy(comm);
+  // An unknown name fails loudly instead of silently running Blink.
+  setenv("BLINK_BACKEND", "notabackend", 1);
+  EXPECT_EQ(blinkCommInitAll(&comm, "dgx1v", 4, gpus), blinkInvalidArgument);
+  // An explicit config wins over the (bad) environment.
+  const blinkBackendConfig_t config{blinkBackendRing};
+  ASSERT_EQ(blinkCommInitAllWithConfig(&comm, "dgx1v", 4, gpus, &config),
+            blinkSuccess);
+  ASSERT_EQ(blinkCommBackend(comm, &got), blinkSuccess);
+  EXPECT_EQ(got, blinkBackendRing);
+  blinkCommDestroy(comm);
+  unsetenv("BLINK_BACKEND");
+}
+
+TEST(NcclCompat, ErrorMappingForUnsupportedCollectives) {
+  // The butterfly backend only lowers AllReduce; the facade must surface
+  // blinkInvalidArgument (the engine's std::invalid_argument), not an
+  // internal error — solo and inside groups.
+  const int gpus[] = {0, 1, 2, 3};
+  const blinkBackendConfig_t config{blinkBackendButterfly};
+  blinkComm_t comm = nullptr;
+  ASSERT_EQ(blinkCommInitAllWithConfig(&comm, "dgx2", 4, gpus, &config),
+            blinkSuccess);
+  EXPECT_EQ(blinkBroadcast(nullptr, nullptr, 1024, blinkFloat32, 0, comm,
+                           nullptr),
+            blinkInvalidArgument);
+  EXPECT_EQ(blinkAllReduce(nullptr, nullptr, 1024, blinkFloat32, blinkSum,
+                           comm, nullptr),
+            blinkSuccess);
+  // Grouped: the bad request is only detected at launch.
+  ASSERT_EQ(blinkGroupStart(), blinkSuccess);
+  EXPECT_EQ(blinkReduce(nullptr, nullptr, 1024, blinkFloat32, blinkSum, 0,
+                        comm, nullptr),
+            blinkSuccess);  // queued
+  EXPECT_EQ(blinkGroupEnd(), blinkInvalidArgument);
+  int count = -1;
+  ASSERT_EQ(blinkCommGroupResultCount(comm, &count), blinkSuccess);
+  EXPECT_EQ(count, 0);  // failed group leaves no stale results
+  blinkCommDestroy(comm);
+}
+
+TEST(NcclCompat, GroupRoundTripOnBaselineBackend) {
+  const int gpus[] = {0, 1, 2, 3};
+  const blinkBackendConfig_t config{blinkBackendNccl};
+  blinkComm_t comm = nullptr;
+  ASSERT_EQ(blinkCommInitAllWithConfig(&comm, "dgx1v", 4, gpus, &config),
+            blinkSuccess);
+  ASSERT_EQ(blinkGroupStart(), blinkSuccess);
+  EXPECT_EQ(blinkBroadcast(nullptr, nullptr, 1 << 22, blinkFloat32, 0, comm,
+                           nullptr),
+            blinkSuccess);
+  EXPECT_EQ(blinkAllReduce(nullptr, nullptr, 1 << 20, blinkFloat32, blinkSum,
+                           comm, nullptr),
+            blinkSuccess);
+  ASSERT_EQ(blinkGroupEnd(), blinkSuccess);
+  int count = 0;
+  ASSERT_EQ(blinkCommGroupResultCount(comm, &count), blinkSuccess);
+  ASSERT_EQ(count, 2);
+  blink::CollectiveResult r0, r1;
+  ASSERT_EQ(blinkCommGroupResult(comm, 0, &r0), blinkSuccess);
+  ASSERT_EQ(blinkCommGroupResult(comm, 1, &r1), blinkSuccess);
+  EXPECT_GT(r0.seconds, 0.0);
+  EXPECT_GT(r1.seconds, 0.0);
+  blinkCommDestroy(comm);
 }
 
 TEST(NcclCompat, ReduceAndAllGatherAndReduceScatter) {

@@ -1,0 +1,133 @@
+// Concurrency stress for the serving path: many threads compile and execute
+// the same and different plan keys on one engine, and the shared PlanCache's
+// hit/miss counters must stay exactly consistent.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "blink/baselines/nccl_like.h"
+#include "blink/blink/communicator.h"
+#include "blink/topology/builders.h"
+#include "blink/topology/discovery.h"
+
+namespace blink {
+namespace {
+
+topo::Topology alloc_v100(std::vector<int> gpus) {
+  return topo::induced_topology(topo::make_dgx1v(), gpus);
+}
+
+struct StressOutcome {
+  std::uint64_t compiles = 0;
+  // seconds per key, to check every thread saw identical results.
+  std::map<std::uint64_t, double> seconds_by_key;
+};
+
+// Hammers |engine| from |num_threads| threads, each compiling+executing
+// every (bytes) shape |iterations| times. Returns the aggregate.
+StressOutcome stress(CollectiveEngine& engine,
+                     const std::vector<double>& shapes, int num_threads,
+                     int iterations) {
+  StressOutcome outcome;
+  std::mutex mu;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(num_threads));
+  for (int t = 0; t < num_threads; ++t) {
+    threads.emplace_back([&, t] {
+      // Stagger starting shapes so threads collide on different keys.
+      for (int i = 0; i < iterations && !failed.load(); ++i) {
+        const double bytes =
+            shapes[static_cast<std::size_t>(t + i) % shapes.size()];
+        try {
+          const auto plan =
+              engine.compile(CollectiveKind::kAllReduce, bytes);
+          const CollectiveResult r = engine.execute(*plan);
+          const std::lock_guard<std::mutex> lock(mu);
+          ++outcome.compiles;
+          const auto key = static_cast<std::uint64_t>(bytes);
+          const auto it = outcome.seconds_by_key.find(key);
+          if (it == outcome.seconds_by_key.end()) {
+            outcome.seconds_by_key[key] = r.seconds;
+          } else if (it->second != r.seconds) {
+            failed.store(true);  // nondeterminism across threads
+          }
+        } catch (...) {
+          failed.store(true);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_FALSE(failed.load());
+  return outcome;
+}
+
+// compile() fully serializes under the engine mutex, so the counters are
+// exact: every compile is one cache lookup, and only the first lookup of
+// each distinct key may miss.
+void check_counters(const CollectiveEngine& engine,
+                    const StressOutcome& outcome, std::size_t num_keys) {
+  const PlanCache& cache = engine.plan_cache();
+  EXPECT_EQ(cache.hits() + cache.misses(), outcome.compiles);
+  EXPECT_EQ(cache.misses(), num_keys);  // zero duplicate recompiles
+  EXPECT_EQ(cache.size(), num_keys);
+  EXPECT_EQ(cache.evictions(), 0u);
+  EXPECT_EQ(outcome.seconds_by_key.size(), num_keys);
+}
+
+TEST(PlanCacheStress, ConcurrentSameAndDifferentKeysBlink) {
+  CommunicatorOptions options;
+  // A fixed chunk size keeps each miss cheap (no MIAD probing) so the test
+  // stresses contention, not the tuner.
+  options.codegen.chunk_bytes = 1ull << 20;
+  Communicator comm(alloc_v100({4, 5, 6, 7}), options);
+  const std::vector<double> shapes{4e6, 8e6, 16e6, 32e6};
+  const auto outcome = stress(comm, shapes, /*num_threads=*/8,
+                              /*iterations=*/25);
+  EXPECT_EQ(outcome.compiles, 8u * 25u);
+  check_counters(comm, outcome, shapes.size());
+}
+
+TEST(PlanCacheStress, ConcurrentBaselineBackend) {
+  baselines::NcclCommunicator nccl(alloc_v100({0, 1, 2, 3}));
+  const std::vector<double> shapes{2e6, 6e6, 18e6};
+  const auto outcome = stress(nccl, shapes, /*num_threads=*/6,
+                              /*iterations=*/20);
+  EXPECT_EQ(outcome.compiles, 6u * 20u);
+  check_counters(nccl, outcome, shapes.size());
+}
+
+// Concurrent execute() of one shared plan: memoization under the plan's own
+// lock must return bit-identical results everywhere.
+TEST(PlanCacheStress, ConcurrentExecuteSharedPlan) {
+  CommunicatorOptions options;
+  options.codegen.chunk_bytes = 1ull << 20;
+  options.memoize = false;  // force every execute through the simulator
+  Communicator comm(alloc_v100({1, 4, 5, 7}), options);
+  const auto plan = comm.compile(CollectiveKind::kBroadcast, 24e6, 0);
+  const CollectiveResult reference = comm.execute(*plan);
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10; ++i) {
+        const CollectiveResult r = comm.execute(*plan);
+        if (r.seconds != reference.seconds ||
+            r.algorithm_bw != reference.algorithm_bw) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace blink
