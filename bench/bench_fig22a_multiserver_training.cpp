@@ -45,7 +45,8 @@ int main() {
       return dnn::simulate_iteration(
           model, dnn::GpuGeneration::kV100,
           [&](double b) {
-            return blink_cluster.execute(*blink_cluster.compile_all_reduce(b))
+            return blink_cluster
+                .execute(*blink_cluster.compile(CollectiveKind::kAllReduce, b))
                 .seconds;
           },
           train);

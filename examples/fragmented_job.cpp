@@ -37,9 +37,12 @@ int main(int argc, char** argv) {
     const auto topo = topo::induced_topology(machine, bin.representative);
     Communicator blink_comm(topo);
     baselines::NcclCommunicator nccl(topo);
+    // Both communicators are CollectiveEngines: compile once, execute the
+    // immutable plan (later executions would be cache hits).
     const auto plan = blink_comm.compile(CollectiveKind::kBroadcast, bytes, 0);
     const double blink_bw = blink_comm.execute(*plan).algorithm_bw;
-    const double nccl_bw = nccl.broadcast(bytes, 0).algorithm_bw;
+    const auto nccl_plan = nccl.compile(CollectiveKind::kBroadcast, bytes, 0);
+    const double nccl_bw = nccl.execute(*nccl_plan).algorithm_bw;
     speedups.push_back(blink_bw / nccl_bw);
 
     std::string ids;
@@ -57,5 +60,20 @@ int main(int argc, char** argv) {
   std::printf("\nmin %.2fx  median %.2fx  geomean %.2fx  max %.2fx\n",
               speedups.front(), speedups[speedups.size() / 2],
               std::exp(log_sum / speedups.size()), speedups.back());
+
+  // A grouped training step on one fragmented allocation: gradient AllReduce
+  // batched with the next step's parameter Broadcast via run(), so both
+  // contend for the allocation's links as they would inside
+  // ncclGroupStart/End.
+  Communicator comm(topo::induced_topology(machine,
+                                           std::vector<int>{1, 4, 5, 7}));
+  const std::vector<CollectiveRequest> step{
+      {CollectiveKind::kAllReduce, 200e6, -1},
+      {CollectiveKind::kBroadcast, 50e6, 0},
+  };
+  const auto group = comm.run(step);
+  std::printf("\ngrouped step on GPUs 1,4,5,7: AllReduce %.1f ms, "
+              "Broadcast %.1f ms\n",
+              group[0].seconds * 1e3, group[1].seconds * 1e3);
   return 0;
 }

@@ -38,6 +38,7 @@ class NcclRingBackend : public CollectiveBackend {
 
   const char* name() const override { return "nccl"; }
   bool supports(CollectiveKind kind) const override;
+  int num_ranks() const override { return topo_.num_gpus; }
   LoweredCollective lower(CollectiveKind kind, double bytes,
                           int root) override;
 
@@ -76,6 +77,7 @@ class DoubleBinaryBackend : public CollectiveBackend {
 
   const char* name() const override { return "double_binary"; }
   bool supports(CollectiveKind kind) const override;
+  int num_ranks() const override { return topo_.num_gpus; }
   LoweredCollective lower(CollectiveKind kind, double bytes,
                           int root) override;
 
@@ -95,6 +97,7 @@ class ButterflyBackend : public CollectiveBackend {
 
   const char* name() const override { return "butterfly"; }
   bool supports(CollectiveKind kind) const override;
+  int num_ranks() const override { return topo_.num_gpus; }
   LoweredCollective lower(CollectiveKind kind, double bytes,
                           int root) override;
 

@@ -45,6 +45,12 @@ class CollectiveBackend {
   // unsupported kinds with std::invalid_argument before calling lower().
   virtual bool supports(CollectiveKind kind) const = 0;
 
+  // Number of GPU ranks this backend can address as roots, or -1 to accept
+  // any rank of the engine. Backends lowering onto a subset of the engine's
+  // fabric (a single server of a cluster engine) report that subset's size;
+  // the engine rejects roots beyond it before calling lower().
+  virtual int num_ranks() const { return -1; }
+
   // The root used when a request passes root == -1. Non-const because
   // policies may probe lazily (Blink picks the root with the best packed
   // rate).

@@ -61,6 +61,7 @@ class BlinkBackend : public CollectiveBackend {
 
   const char* name() const override { return "blink"; }
   bool supports(CollectiveKind kind) const override;
+  int num_ranks() const override { return topo_.num_gpus; }
   // AllReduce/AllGather default to the best packed root (0 on NVSwitch
   // fabrics), one-to-many collectives to 0.
   int default_root(CollectiveKind kind) override;

@@ -1,12 +1,14 @@
 // The collective engine: the execute half of the plan/execute split, shared
 // by every algorithm (§2.3 workflow with the algorithm factored out).
 //
-// A CollectiveEngine owns an allocation's topology, its simulated fabric, a
-// registry of CollectiveBackends that lower collectives onto that fabric,
-// and the thread-safe LRU PlanCache amortizing their planning work. The
-// engine validates arguments, caches compiled plans, memoizes deterministic
-// execution results, and launches batched groups — identically for Blink's
-// packed trees and for every baseline, so backends only implement lowering.
+// A CollectiveEngine owns an allocation's topology — one server, or a
+// multi-server fragment list whose fabric spans the machines plus their NICs
+// (§3.5) — a registry of CollectiveBackends that lower collectives onto that
+// fabric, and the thread-safe LRU PlanCache amortizing their planning work.
+// The engine validates arguments, caches compiled plans, memoizes
+// deterministic execution results, and launches batched groups — identically
+// for Blink's packed trees, every baseline, and the three-phase cluster
+// backend, so backends only implement lowering.
 //
 // Concurrency: compile() serializes under an internal mutex (backends may
 // mutate lazy caches while lowering); execute() runs concurrently — the
@@ -16,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -39,17 +42,33 @@ struct EngineOptions {
 
 class CollectiveEngine {
  public:
+  // Sentinel accepted wherever a backend id is: compile candidate plans on
+  // every registered backend that supports the collective, keep the fastest
+  // (NCCL-tuner style), and cache the choice per (kind, bytes, root) so the
+  // measurement runs once per shape.
+  static constexpr int kAutoBackend = -1;
+
   // Validates |topo| and builds the fabric; backends are registered
   // afterwards with register_backend().
   CollectiveEngine(topo::Topology topo, const sim::FabricParams& fabric_params,
+                   EngineOptions options = {});
+  // Multi-server engine: one fabric spanning every server plus its NICs.
+  // GPU ids (roots, num_gpus) are global and server-major: server 0's GPUs
+  // come first, then server 1's, and so on.
+  CollectiveEngine(std::vector<topo::Topology> servers,
+                   const sim::FabricParams& fabric_params,
                    EngineOptions options = {});
   virtual ~CollectiveEngine();
 
   CollectiveEngine(const CollectiveEngine&) = delete;
   CollectiveEngine& operator=(const CollectiveEngine&) = delete;
 
-  int num_gpus() const { return topo_.num_gpus; }
-  const topo::Topology& topology() const { return topo_; }
+  // Total across all servers.
+  int num_gpus() const { return num_gpus_; }
+  int num_servers() const { return static_cast<int>(servers_.size()); }
+  // The first (single-server engines: only) server's topology.
+  const topo::Topology& topology() const { return servers_.front(); }
+  const std::vector<topo::Topology>& servers() const { return servers_; }
   const sim::Fabric& fabric() const { return fabric_; }
   const EngineOptions& engine_options() const { return engine_options_; }
 
@@ -71,9 +90,10 @@ class CollectiveEngine {
 
   // Compiles (or fetches from the plan cache) the schedule for a collective
   // on backend |backend|. root == -1 lets the backend pick its default root,
-  // the same policy the one-shot methods use. Throws std::invalid_argument
-  // on a bad root, non-positive size, unknown backend id, or a kind the
-  // backend does not support.
+  // the same policy the one-shot methods use. backend == kAutoBackend
+  // measures every supporting backend once for this shape and compiles on
+  // the fastest. Throws std::invalid_argument on a bad root, non-positive
+  // size, unknown backend id, or a kind the backend does not support.
   std::shared_ptr<const CollectivePlan> compile(CollectiveKind kind,
                                                 double bytes, int root = -1,
                                                 int backend = 0);
@@ -115,11 +135,23 @@ class CollectiveEngine {
                                                    LoweredCollective lowered);
 
  private:
-  topo::Topology topo_;
+  std::shared_ptr<const CollectivePlan> compile_locked(CollectiveKind kind,
+                                                       double bytes, int root,
+                                                       int backend);
+  // Resolves kAutoBackend for one shape: compiles and executes a candidate
+  // plan per supporting backend (each lands in the plan cache) and caches
+  // the winner's id so later compiles skip the measurement.
+  int select_backend_locked(CollectiveKind kind, double bytes, int root);
+
+  std::vector<topo::Topology> servers_;
+  int num_gpus_ = 0;
   EngineOptions engine_options_;
   sim::Fabric fabric_;
   std::vector<std::unique_ptr<CollectiveBackend>> backends_;
   PlanCache plans_;
+  // kAutoBackend decisions per (kind, bytes, requested root); guarded by
+  // compile_mu_ like all compile-path state.
+  std::map<PlanKey, int> auto_choices_;
   // Guards compile()/lowering and the backend registry (readers included:
   // register_backend may reallocate the vector mid-session).
   mutable std::mutex compile_mu_;

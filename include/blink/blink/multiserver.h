@@ -1,23 +1,35 @@
-// Multi-server collectives (§3.5, Figure 10): the three-phase AllReduce for
-// GPU allocations fragmented across machines.
+// Multi-server collectives (§3.5, Figure 10): the three-phase protocol for
+// GPU allocations fragmented across machines, as a CollectiveBackend over
+// the shared plan/execute engine.
 //
-// Phase 1: per-server reduce over the server's packed spanning trees, one
-//          data partition per server-local root.
-// Phase 2: cross-server one-hop reduce-broadcast among the per-partition
-//          roots over the NICs (every root sends its partial to the other
-//          servers' roots and reduces what it receives).
-// Phase 3: per-server broadcast of the fully-reduced partition.
+// Every kind follows the same shape — a per-server phase over the server's
+// packed spanning trees (or direct local routes when data just moves), a
+// cross-server exchange over the NICs, and a per-server completion phase —
+// with the buffer split into one partition per server-local root so the
+// local trees and the NICs pipeline against each other:
+//
+//   kind          phase 1 (local)     phase 2 (NICs)            phase 3 (local)
+//   AllReduce     tree reduce         all-to-all + reduce       tree broadcast
+//   ReduceScatter tree reduce         all-to-all + reduce       shard copies
+//   Reduce        tree reduce         to root server + reduce   copy to root
+//   Broadcast     (root resident)     root server fans out      tree broadcast
+//   AllGather     copies to roots     all-to-all                tree broadcast
+//   Gather        copies to roots     to root server            copy to root
+//
+// ClusterCommunicator is CollectiveEngine with ClusterBackend registered, so
+// the full one-shot surface, run() group launches, thread-safe plan caching,
+// and memoized concurrent execution all work on fragmented allocations.
 #pragma once
 
-#include <cstdint>
 #include <map>
 #include <memory>
-#include <optional>
+#include <utility>
 #include <vector>
 
-#include "blink/blink/communicator.h"
+#include "blink/blink/backend.h"
+#include "blink/blink/codegen.h"
+#include "blink/blink/engine.h"
 #include "blink/blink/plan.h"
-#include "blink/blink/plan_cache.h"
 #include "blink/blink/treegen.h"
 #include "blink/sim/fabric.h"
 
@@ -27,45 +39,61 @@ struct ClusterOptions {
   sim::FabricParams fabric;  // fabric.nic_bw sets the cross-machine rate
   TreeGenOptions treegen;
   CodeGenOptions codegen;
-  // Memoize each plan's execution result (the simulation is deterministic).
-  bool memoize = true;
-  std::size_t plan_cache_capacity = 64;
+  // Result memoization and plan-cache capacity live on the shared engine
+  // (these used to be duplicated cluster-private knobs).
+  EngineOptions engine;
 };
 
-class ClusterCommunicator {
+// The three-phase lowering. Owns the lazily-built per-(server, root)
+// spanning-tree sets; state mutation happens under the owning engine's
+// compile mutex. Roots are global server-major GPU ids.
+class ClusterBackend : public CollectiveBackend {
  public:
-  ClusterCommunicator(std::vector<topo::Topology> servers,
-                      ClusterOptions options = {});
+  using TreeSetPtr = std::shared_ptr<const TreeSet>;
 
-  int num_servers() const { return fabric_.num_servers(); }
-  int num_gpus() const;  // across all servers
-  const sim::Fabric& fabric() const { return fabric_; }
+  // |servers| and |fabric| must outlive the backend (the owning engine's).
+  ClusterBackend(const std::vector<topo::Topology>& servers,
+                 const sim::Fabric& fabric, TreeGenOptions treegen,
+                 CodeGenOptions codegen);
 
-  // Number of data partitions (= per-server roots) the protocol uses.
+  const char* name() const override { return "cluster"; }
+  bool supports(CollectiveKind kind) const override;
+  LoweredCollective lower(CollectiveKind kind, double bytes,
+                          int root) override;
+
+  // Number of data partitions (= per-server roots) the protocol uses: the
+  // smallest server's GPU count, so every server hosts every partition root.
   int num_partitions() const { return num_partitions_; }
 
-  // Compiles (or fetches from the plan cache) the three-phase AllReduce
-  // schedule for a |bytes| buffer per GPU.
-  std::shared_ptr<const CollectivePlan> compile_all_reduce(double bytes);
+ private:
+  struct Emit;  // one lowering's builder + bookkeeping (multiserver.cpp)
 
-  // Runs a compiled plan; same semantics as Communicator::execute.
-  CollectiveResult execute(const CollectivePlan& plan);
+  const TreeSetPtr& tree_set(int server, int root);
 
-  const PlanCache& plan_cache() const { return plans_; }
+  const std::vector<topo::Topology>& servers_;
+  const sim::Fabric& fabric_;
+  TreeGenOptions treegen_;
+  CodeGenOptions codegen_;
+  int num_partitions_ = 0;
+  std::map<std::pair<int, int>, TreeSetPtr> sets_;
+};
 
-  // Three-phase AllReduce of a |bytes| buffer per GPU (one-shot wrapper
-  // over compile_all_reduce + execute).
-  CollectiveResult all_reduce(double bytes);
+// The multi-server communicator: a CollectiveEngine over a fabric spanning
+// every server plus the NICs, with ClusterBackend as the default backend.
+// compile()/execute()/run() and the one-shot collectives come from the
+// engine, as do the thread-safe PlanCache (hit/miss counters via
+// plan_cache()) and argument validation against the global GPU count.
+class ClusterCommunicator : public CollectiveEngine {
+ public:
+  explicit ClusterCommunicator(std::vector<topo::Topology> servers,
+                               ClusterOptions options = {});
+
+  const ClusterOptions& options() const { return options_; }
+  int num_partitions() const { return cluster_->num_partitions(); }
 
  private:
-  const TreeSet& tree_set(int server, int root);
-
-  std::vector<topo::Topology> servers_;
   ClusterOptions options_;
-  sim::Fabric fabric_;
-  int num_partitions_ = 0;
-  std::map<std::pair<int, int>, std::shared_ptr<const TreeSet>> sets_;
-  PlanCache plans_;
+  ClusterBackend* cluster_;  // owned by the engine's backend registry
 };
 
 }  // namespace blink

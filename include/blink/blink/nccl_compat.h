@@ -47,12 +47,18 @@ typedef enum {
 // so one NCCL-compat communicator can run any of them: Blink's packed
 // spanning trees (default), the NCCL 2.4 model (rings + double binary
 // trees), pure rings, double binary trees at every size, or the butterfly.
+// blinkBackendAuto registers them all and, per collective shape, measures
+// each supporting algorithm once and keeps the fastest (NCCL-tuner style).
+// blinkBackendCluster is the multi-server three-phase protocol; it is not
+// selectable here — blinkClusterCommInitAll creates those communicators.
 typedef enum {
   blinkBackendBlink = 0,
   blinkBackendNccl = 1,
   blinkBackendRing = 2,
   blinkBackendDoubleBinary = 3,
   blinkBackendButterfly = 4,
+  blinkBackendAuto = 5,
+  blinkBackendCluster = 6,
 } blinkBackend_t;
 
 typedef struct {
@@ -63,11 +69,23 @@ typedef struct {
 // ("dgx1p", "dgx1v", "dgx2"). NCCL's ncclCommInitAll analogue for the
 // simulated machine. The backend defaults to Blink; the BLINK_BACKEND
 // environment variable ("blink", "nccl", "ring", "double_binary",
-// "butterfly") overrides it without source changes, matching the LD_PRELOAD
-// deployment story. An unknown BLINK_BACKEND value fails with
+// "butterfly", "auto") overrides it without source changes, matching the
+// LD_PRELOAD deployment story. An unknown BLINK_BACKEND value fails with
 // blinkInvalidArgument rather than silently running the wrong algorithm.
 blinkResult_t blinkCommInitAll(blinkComm_t* comm, const char* machine,
                                int ndev, const int* gpu_ids);
+
+// Creates a communicator over a GPU allocation fragmented across
+// |num_servers| machines of kind |machine| (§3.5): server s owns the
+// |ndev_per_server[s]| GPUs listed next in |gpu_ids| (flattened,
+// server-major). GPU ranks in collective calls are global and server-major.
+// Every collective lowers through the three-phase cluster backend
+// (per-server reduce -> cross-server exchange over the NICs -> per-server
+// broadcast), and grouped launches work as on single-server communicators.
+blinkResult_t blinkClusterCommInitAll(blinkComm_t* comm, const char* machine,
+                                      int num_servers,
+                                      const int* ndev_per_server,
+                                      const int* gpu_ids);
 
 // As blinkCommInitAll, but with an explicit backend choice; |config| takes
 // precedence over BLINK_BACKEND. A null |config| behaves like

@@ -12,14 +12,17 @@ namespace blink {
 CollectiveEngine::CollectiveEngine(topo::Topology topo,
                                    const sim::FabricParams& fabric_params,
                                    EngineOptions options)
-    : topo_(std::move(topo)),
+    : CollectiveEngine(std::vector<topo::Topology>{std::move(topo)},
+                       fabric_params, options) {}
+
+CollectiveEngine::CollectiveEngine(std::vector<topo::Topology> servers,
+                                   const sim::FabricParams& fabric_params,
+                                   EngineOptions options)
+    : servers_(std::move(servers)),
       engine_options_(options),
-      fabric_(topo_, fabric_params),
+      fabric_(servers_, fabric_params),  // validates every server's topology
       plans_(options.plan_cache_capacity) {
-  std::string err;
-  if (!topo_.validate(&err)) {
-    throw std::invalid_argument("invalid topology: " + err);
-  }
+  for (const auto& s : servers_) num_gpus_ += s.num_gpus;
 }
 
 CollectiveEngine::~CollectiveEngine() = default;
@@ -65,12 +68,20 @@ std::shared_ptr<const CollectivePlan> CollectiveEngine::compile(
   if (!(bytes > 0.0)) {
     throw std::invalid_argument("collective size must be positive");
   }
-  if (root < -1 || root >= topo_.num_gpus) {
+  if (root < -1 || root >= num_gpus_) {
     throw std::invalid_argument("root out of range");
   }
   const std::lock_guard<std::mutex> lock(compile_mu_);
+  return compile_locked(kind, bytes, root, backend);
+}
+
+std::shared_ptr<const CollectivePlan> CollectiveEngine::compile_locked(
+    CollectiveKind kind, double bytes, int root, int backend) {
   if (backends_.empty()) {
     throw std::logic_error("engine has no registered backend");
+  }
+  if (backend == kAutoBackend) {
+    backend = select_backend_locked(kind, bytes, root);
   }
   if (backend < 0 || backend >= static_cast<int>(backends_.size())) {
     throw std::invalid_argument("backend id out of range");
@@ -81,11 +92,51 @@ std::shared_ptr<const CollectivePlan> CollectiveEngine::compile(
                                 " backend does not support " +
                                 to_string(kind));
   }
+  // A backend covering a subset of the fabric (a single server of a cluster
+  // engine) cannot address roots beyond its own ranks.
+  if (be.num_ranks() >= 0 && root >= be.num_ranks()) {
+    throw std::invalid_argument(std::string("root out of range for the ") +
+                                be.name() + " backend");
+  }
   if (root == -1) root = be.default_root(kind);
   const PlanKey key{static_cast<int>(kind), root,
                     static_cast<std::uint64_t>(bytes), backend};
   if (auto plan = plans_.find(key)) return plan;
   return adopt_plan(kind, bytes, root, backend, be.lower(kind, bytes, root));
+}
+
+int CollectiveEngine::select_backend_locked(CollectiveKind kind, double bytes,
+                                            int root) {
+  const PlanKey key{static_cast<int>(kind), root,
+                    static_cast<std::uint64_t>(bytes), 0};
+  const auto it = auto_choices_.find(key);
+  if (it != auto_choices_.end()) return it->second;
+  int best = -1;
+  double best_seconds = 0.0;
+  for (int id = 0; id < static_cast<int>(backends_.size()); ++id) {
+    const CollectiveBackend& be = *backends_[static_cast<std::size_t>(id)];
+    if (!be.supports(kind)) continue;
+    if (be.num_ranks() >= 0 && root >= be.num_ranks()) continue;
+    // The candidate plan lands in the shared cache either way, so the
+    // winner's later compile is a hit and the losers stay reusable.
+    const auto plan = compile_locked(kind, bytes, root, id);
+    const double seconds = execute(*plan).seconds;
+    if (best == -1 || seconds < best_seconds) {
+      best = id;
+      best_seconds = seconds;
+    }
+  }
+  if (best == -1) {
+    throw std::invalid_argument(std::string("no registered backend supports ") +
+                                to_string(kind));
+  }
+  // Keep the choice map bounded like the plan cache beside it; past the cap
+  // the stalest thing to do is re-measure, so start over.
+  if (auto_choices_.size() >= engine_options_.plan_cache_capacity) {
+    auto_choices_.clear();
+  }
+  auto_choices_.emplace(key, best);
+  return best;
 }
 
 CollectiveResult CollectiveEngine::execute(const CollectivePlan& plan) {

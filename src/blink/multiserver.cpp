@@ -1,43 +1,59 @@
 #include "blink/blink/multiserver.h"
 
 #include <algorithm>
-#include <cassert>
 #include <stdexcept>
-
-#include "blink/blink/codegen.h"
-#include "blink/sim/executor.h"
+#include <string>
 
 namespace blink {
 
-ClusterCommunicator::ClusterCommunicator(std::vector<topo::Topology> servers,
-                                         ClusterOptions options)
-    : servers_(std::move(servers)),
-      options_(std::move(options)),
-      fabric_(servers_, options_.fabric),
-      plans_(options_.plan_cache_capacity) {
-  if (servers_.size() < 2) {
+namespace {
+
+template <typename T>
+T& at(std::vector<T>& v, int i) {
+  return v[static_cast<std::size_t>(i)];
+}
+template <typename T>
+const T& at(const std::vector<T>& v, int i) {
+  return v[static_cast<std::size_t>(i)];
+}
+
+std::vector<topo::Topology> validated_cluster(
+    std::vector<topo::Topology> servers) {
+  if (servers.size() < 2) {
     throw std::invalid_argument("cluster needs at least two servers");
   }
-  int min_gpus = servers_[0].num_gpus;
+  return servers;
+}
+
+}  // namespace
+
+// --- ClusterBackend ---------------------------------------------------------
+
+ClusterBackend::ClusterBackend(const std::vector<topo::Topology>& servers,
+                               const sim::Fabric& fabric,
+                               TreeGenOptions treegen, CodeGenOptions codegen)
+    : servers_(servers),
+      fabric_(fabric),
+      treegen_(treegen),
+      codegen_(codegen) {
+  int min_gpus = servers_.front().num_gpus;
   for (const auto& s : servers_) min_gpus = std::min(min_gpus, s.num_gpus);
   // One partition per server-local root; every server must host a root for
   // every partition (Figure 10 uses one partition per GPU on equal servers).
   num_partitions_ = min_gpus;
 }
 
-int ClusterCommunicator::num_gpus() const {
-  int total = 0;
-  for (int s = 0; s < fabric_.num_servers(); ++s) {
-    total += fabric_.server(s).num_gpus;
-  }
-  return total;
+bool ClusterBackend::supports(CollectiveKind kind) const {
+  (void)kind;  // every kind has a three-phase lowering
+  return true;
 }
 
-const TreeSet& ClusterCommunicator::tree_set(int server, int root) {
+const ClusterBackend::TreeSetPtr& ClusterBackend::tree_set(int server,
+                                                           int root) {
   const auto key = std::make_pair(server, root);
   auto it = sets_.find(key);
   if (it == sets_.end()) {
-    TreeGenOptions opts = options_.treegen;
+    TreeGenOptions opts = treegen_;
     opts.link = topo::LinkType::kNVLink;
     TreeSet set =
         generate_trees(servers_[static_cast<std::size_t>(server)], root, opts);
@@ -49,158 +65,383 @@ const TreeSet& ClusterCommunicator::tree_set(int server, int root) {
     it = sets_.emplace(key, std::make_shared<const TreeSet>(std::move(set)))
              .first;
   }
-  return *it->second;
+  return it->second;
 }
 
-std::shared_ptr<const CollectivePlan> ClusterCommunicator::compile_all_reduce(
-    double bytes) {
-  if (!(bytes > 0.0)) {
-    throw std::invalid_argument("collective size must be positive");
+// One lowering's emission state: the builder, result bookkeeping, and the
+// phase emitters every kind composes. Partition p's server-local root is
+// root_of(p, s); since num_partitions_ is the smallest server size, every
+// server hosts every partition root.
+struct ClusterBackend::Emit {
+  ClusterBackend& be;
+  ProgramBuilder builder;
+  CollectiveResult meta;
+  std::vector<TreeSetPtr> used;
+  const int k;      // data partitions
+  const int n_srv;  // servers
+  int tag = 0;      // fresh stream per point-to-point transfer
+
+  explicit Emit(ClusterBackend& backend)
+      : be(backend),
+        builder(backend.fabric_, backend.codegen_),
+        k(backend.num_partitions_),
+        n_srv(static_cast<int>(backend.servers_.size())) {}
+
+  int gpus(int s) const {
+    return at(be.servers_, s).num_gpus;
   }
-  const PlanKey key{static_cast<int>(CollectiveKind::kAllReduce), 0,
-                    static_cast<std::uint64_t>(bytes)};
-  if (auto plan = plans_.find(key)) return plan;
+  int total_gpus() const {
+    int n = 0;
+    for (int s = 0; s < n_srv; ++s) n += gpus(s);
+    return n;
+  }
+  int root_of(int p, int s) const { return p % gpus(s); }
+  // Splits a global server-major GPU id into (server, local id).
+  std::pair<int, int> locate(int global) const {
+    int s = 0;
+    while (global >= gpus(s)) global -= gpus(s++);
+    return {s, global};
+  }
+  int global_of(int s, int local) const {
+    int base = 0;
+    for (int i = 0; i < s; ++i) base += gpus(i);
+    return base + local;
+  }
 
-  const int k = num_partitions_;
-  const int n_srv = fabric_.num_servers();
-  const double partition_bytes = bytes / k;
+  const TreeSet& use_set(int s, int root) {
+    const TreeSetPtr& set = be.tree_set(s, root);
+    used.push_back(set);
+    return *set;
+  }
 
-  ProgramBuilder builder(fabric_, options_.codegen);
-  CollectiveResult result;
-  result.bytes = bytes;
+  std::vector<int> local_route(int s, int src, int dst) const {
+    return be.fabric_.nvlink_adjacent(s, src, dst)
+               ? be.fabric_.nvlink_route(s, src, dst)
+               : be.fabric_.pcie_route(s, src, dst);
+  }
 
-  std::vector<std::shared_ptr<const TreeSet>> used_sets;
-  auto use_set = [&](int server, int root) -> const TreeSet& {
-    const TreeSet& set = tree_set(server, root);
-    used_sets.push_back(sets_.at(std::make_pair(server, root)));
-    return set;
-  };
+  int join(std::vector<int> deps, const char* label) {
+    return builder.delay(0.0, label, std::move(deps));
+  }
 
-  // Per (partition, server): ops whose completion means "partition reduced
-  // at this server's root".
-  std::vector<std::vector<std::vector<int>>> phase1_done(
-      static_cast<std::size_t>(k),
-      std::vector<std::vector<int>>(static_cast<std::size_t>(n_srv)));
-  std::vector<std::vector<int>> root_of(static_cast<std::size_t>(k),
-                                        std::vector<int>(
-                                            static_cast<std::size_t>(n_srv)));
+  // Chunked reduce of |bytes| to local |root| over the server's packed
+  // trees; the returned ops complete when the buffer is reduced at the root.
+  std::vector<int> tree_reduce(int s, int root, double bytes) {
+    std::vector<int> done;
+    if (gpus(s) == 1) return done;  // nothing to reduce
+    const TreeSet& set = use_set(s, root);
+    if (set.empty()) {
+      throw std::runtime_error("server has no connected fabric");
+    }
+    const auto trees = route_trees(be.fabric_, s, set);
+    meta.num_trees += static_cast<int>(trees.size());
+    double total_w = 0.0;
+    for (const auto& t : trees) total_w += t.weight;
+    for (const auto& tree : trees) {
+      const double tree_bytes = bytes * tree.weight / total_w;
+      const int chunks = builder.chunks_for(tree_bytes);
+      const auto ops = builder.tree_reduce_chunks(tree, tree_bytes, chunks,
+                                                  /*with_kernels=*/true);
+      done.insert(done.end(), ops.begin(), ops.end());
+    }
+    return done;
+  }
 
-  // ---- Phase 1: per-server local reduce ------------------------------------
-  for (int p = 0; p < k; ++p) {
-    for (int s = 0; s < n_srv; ++s) {
-      const int root = p % fabric_.server(s).num_gpus;
-      root_of[static_cast<std::size_t>(p)][static_cast<std::size_t>(s)] = root;
-      if (fabric_.server(s).num_gpus == 1) continue;  // nothing to reduce
-      const TreeSet& set = use_set(s, root);
-      if (set.empty()) {
-        throw std::runtime_error("server has no connected fabric");
-      }
-      const auto trees = route_trees(fabric_, s, set);
-      result.num_trees += static_cast<int>(trees.size());
-      double total_w = 0.0;
-      for (const auto& t : trees) total_w += t.weight;
-      for (const auto& tree : trees) {
-        const double tree_bytes = partition_bytes * tree.weight / total_w;
-        const int chunks = builder.chunks_for(tree_bytes);
-        auto done = builder.tree_reduce_chunks(tree, tree_bytes, chunks,
-                                               /*with_kernels=*/true);
-        auto& sink = phase1_done[static_cast<std::size_t>(p)]
-                                [static_cast<std::size_t>(s)];
-        sink.insert(sink.end(), done.begin(), done.end());
-      }
+  // Chunked broadcast of |bytes| from local |root| over the packed trees,
+  // every chunk gated on |gate| (-1: ungated).
+  void tree_broadcast(int s, int root, double bytes, int gate) {
+    if (gpus(s) == 1) return;
+    const TreeSet& set = use_set(s, root);
+    if (set.empty()) {
+      throw std::runtime_error("server has no connected fabric");
+    }
+    const auto trees = route_trees(be.fabric_, s, set);
+    meta.num_trees += static_cast<int>(trees.size());
+    double total_w = 0.0;
+    for (const auto& t : trees) total_w += t.weight;
+    for (const auto& tree : trees) {
+      const double tree_bytes = bytes * tree.weight / total_w;
+      const int chunks = builder.chunks_for(tree_bytes);
+      const std::vector<int> gates(static_cast<std::size_t>(chunks), gate);
+      builder.tree_broadcast_chunks(tree, tree_bytes, chunks, gates);
     }
   }
 
-  // ---- Phase 2: cross-server one-hop reduce-broadcast over NICs ------------
-  // Every per-partition root sends its partial to the other servers' roots;
-  // each root reduces the n_srv-1 partials it receives with its own.
-  std::vector<std::vector<int>> phase2_done(
-      static_cast<std::size_t>(k),
-      std::vector<int>(static_cast<std::size_t>(n_srv), -1));
-  for (int p = 0; p < k; ++p) {
-    std::vector<std::vector<int>> arrivals(static_cast<std::size_t>(n_srv));
-    for (int src = 0; src < n_srv; ++src) {
-      const auto& ready = phase1_done[static_cast<std::size_t>(p)]
-                                     [static_cast<std::size_t>(src)];
-      for (int dst = 0; dst < n_srv; ++dst) {
-        if (dst == src) continue;
-        const auto route = fabric_.nic_route(src, dst);
-        const int chunks = builder.chunks_for(partition_bytes);
+  int copy(const std::vector<int>& route, double bytes, int gate) {
+    const int chunks = builder.chunks_for(bytes);
+    const std::vector<int> gates(static_cast<std::size_t>(chunks), gate);
+    return builder.copy_chunks(route, bytes, chunks, tag++, gates).back();
+  }
+  // Chunked point-to-point copy within server |s| (gather/scatter phases).
+  int local_copy(int s, int src, int dst, double bytes, int gate) {
+    return copy(local_route(s, src, dst), bytes, gate);
+  }
+  // Chunked one-hop copy over the NICs.
+  int nic_copy(int src_srv, int dst_srv, double bytes, int gate) {
+    return copy(be.fabric_.nic_route(src_srv, dst_srv), bytes, gate);
+  }
+
+  // Phases 1+2 shared by AllReduce and ReduceScatter: per-server tree reduce
+  // of every partition, then the all-to-all exchange over the NICs with a
+  // reduction at each server's partition root. Returns op [p][s] whose
+  // completion means "partition p fully reduced at root_of(p, s)".
+  std::vector<std::vector<int>> reduce_exchange(double part_bytes) {
+    std::vector<std::vector<std::vector<int>>> phase1(
+        static_cast<std::size_t>(k),
+        std::vector<std::vector<int>>(static_cast<std::size_t>(n_srv)));
+    for (int p = 0; p < k; ++p) {
+      for (int s = 0; s < n_srv; ++s) {
+        at(at(phase1, p), s) = tree_reduce(s, root_of(p, s), part_bytes);
+      }
+    }
+    std::vector<std::vector<int>> reduced(
+        static_cast<std::size_t>(k),
+        std::vector<int>(static_cast<std::size_t>(n_srv), -1));
+    for (int p = 0; p < k; ++p) {
+      std::vector<std::vector<int>> arrivals(static_cast<std::size_t>(n_srv));
+      for (int src = 0; src < n_srv; ++src) {
         // The transfer may start only once the whole partition is reduced
         // locally; partitions still pipeline against each other.
-        const int join = builder.delay(0.0, "phase1-join", ready);
-        const std::vector<int> gates(static_cast<std::size_t>(chunks), join);
-        auto done = builder.copy_chunks(route, partition_bytes, chunks,
-                                        /*stream_tag=*/p * n_srv + src, gates);
-        arrivals[static_cast<std::size_t>(dst)].push_back(done.back());
+        const int gate = join(at(at(phase1, p), src), "phase1-join");
+        for (int dst = 0; dst < n_srv; ++dst) {
+          if (dst == src) continue;
+          at(arrivals, dst).push_back(nic_copy(src, dst, part_bytes, gate));
+        }
+      }
+      for (int s = 0; s < n_srv; ++s) {
+        // The kernel needs every local tree's reduction, not just the last
+        // emitted one: the trees run on independent streams.
+        auto deps = at(arrivals, s);
+        const auto& own = at(at(phase1, p), s);
+        deps.insert(deps.end(), own.begin(), own.end());
+        at(at(reduced, p), s) = builder.reduce_kernel(
+            s, root_of(p, s), part_bytes * n_srv, std::move(deps));
       }
     }
+    return reduced;
+  }
+
+  // Phase 1 shared by AllGather and Gather: each local GPU g (contributing
+  // to partition g % k) copies its buffer to the partition's local root.
+  // Fills |count| (GPUs per partition per server) and returns the copy ops
+  // per (p, s).
+  std::vector<std::vector<std::vector<int>>> gather_to_roots(
+      double bytes, std::vector<std::vector<int>>* count) {
+    count->assign(static_cast<std::size_t>(k),
+                  std::vector<int>(static_cast<std::size_t>(n_srv), 0));
+    std::vector<std::vector<std::vector<int>>> gathered(
+        static_cast<std::size_t>(k),
+        std::vector<std::vector<int>>(static_cast<std::size_t>(n_srv)));
     for (int s = 0; s < n_srv; ++s) {
-      auto deps = arrivals[static_cast<std::size_t>(s)];
-      const auto& own = phase1_done[static_cast<std::size_t>(p)]
-                                   [static_cast<std::size_t>(s)];
-      if (!own.empty()) deps.push_back(own.back());
-      const int root =
-          root_of[static_cast<std::size_t>(p)][static_cast<std::size_t>(s)];
-      phase2_done[static_cast<std::size_t>(p)][static_cast<std::size_t>(s)] =
-          builder.reduce_kernel(s, root, partition_bytes * n_srv,
-                                std::move(deps));
+      for (int g = 0; g < gpus(s); ++g) {
+        const int p = g % k;
+        ++at(at(*count, p), s);
+        if (g != root_of(p, s)) {
+          at(at(gathered, p), s)
+              .push_back(local_copy(s, g, root_of(p, s), bytes, -1));
+        }
+      }
+    }
+    return gathered;
+  }
+
+  // --- the six kinds --------------------------------------------------------
+
+  void all_reduce(double bytes) {
+    const double part_bytes = bytes / k;
+    const auto reduced = reduce_exchange(part_bytes);
+    for (int p = 0; p < k; ++p) {
+      for (int s = 0; s < n_srv; ++s) {
+        tree_broadcast(s, root_of(p, s), part_bytes, at(at(reduced, p), s));
+      }
     }
   }
 
-  // ---- Phase 3: per-server local broadcast ---------------------------------
-  for (int p = 0; p < k; ++p) {
+  void reduce_scatter(double bytes) {
+    const auto reduced = reduce_exchange(bytes / k);
+    // Each GPU's output shard lives in the partition its global rank maps
+    // to; one copy from that partition's local root delivers it.
+    const double shard = bytes / total_gpus();
     for (int s = 0; s < n_srv; ++s) {
-      if (fabric_.server(s).num_gpus == 1) continue;
-      const int root =
-          root_of[static_cast<std::size_t>(p)][static_cast<std::size_t>(s)];
-      const TreeSet& set = use_set(s, root);
-      const auto trees = route_trees(fabric_, s, set);
-      double total_w = 0.0;
-      for (const auto& t : trees) total_w += t.weight;
-      const int gate =
-          phase2_done[static_cast<std::size_t>(p)][static_cast<std::size_t>(s)];
-      for (const auto& tree : trees) {
-        const double tree_bytes = partition_bytes * tree.weight / total_w;
-        const int chunks = builder.chunks_for(tree_bytes);
-        const std::vector<int> gates(static_cast<std::size_t>(chunks), gate);
-        builder.tree_broadcast_chunks(tree, tree_bytes, chunks, gates);
+      for (int g = 0; g < gpus(s); ++g) {
+        const int p = global_of(s, g) % k;
+        const int src = root_of(p, s);
+        if (src != g) local_copy(s, src, g, shard, at(at(reduced, p), s));
       }
     }
   }
 
-  result.num_chunks = builder.chunks_for(partition_bytes);
-  sim::Program program = builder.take();
-  result.num_ops = static_cast<int>(program.ops().size());
-  std::sort(used_sets.begin(), used_sets.end());
-  used_sets.erase(std::unique(used_sets.begin(), used_sets.end()),
-                  used_sets.end());
-  auto plan = std::make_shared<const CollectivePlan>(
-      this, CollectiveKind::kAllReduce, bytes, 0, /*backend=*/0,
-      options_.codegen.chunk_bytes, std::move(program), result,
-      std::move(used_sets));
-  plans_.insert(key, plan);
-  return plan;
-}
+  void broadcast(double bytes, int root) {
+    const auto [sr, lr] = locate(root);
+    const double part_bytes = bytes / k;
+    // No phase 1: the buffer is resident at the root. Phase 2 fans each
+    // partition out to the other servers' partition roots; phase 3
+    // broadcasts locally over every server's packed trees.
+    tree_broadcast(sr, lr, bytes, -1);
+    for (int s = 0; s < n_srv; ++s) {
+      if (s == sr) continue;
+      for (int p = 0; p < k; ++p) {
+        const int arrival = nic_copy(sr, s, part_bytes, -1);
+        tree_broadcast(s, root_of(p, s), part_bytes, arrival);
+      }
+    }
+  }
 
-CollectiveResult ClusterCommunicator::execute(const CollectivePlan& plan) {
-  if (plan.owner() != this) {
+  void reduce(double bytes, int root) {
+    const auto [sr, lr] = locate(root);
+    const double part_bytes = bytes / k;
+    std::vector<std::vector<std::vector<int>>> phase1(
+        static_cast<std::size_t>(k),
+        std::vector<std::vector<int>>(static_cast<std::size_t>(n_srv)));
+    for (int p = 0; p < k; ++p) {
+      for (int s = 0; s < n_srv; ++s) {
+        at(at(phase1, p), s) = tree_reduce(s, root_of(p, s), part_bytes);
+      }
+    }
+    // Phase 2 converges on the root server instead of going all-to-all.
+    for (int p = 0; p < k; ++p) {
+      std::vector<int> deps;
+      for (int s = 0; s < n_srv; ++s) {
+        if (s == sr) continue;
+        const int gate = join(at(at(phase1, p), s), "phase1-join");
+        deps.push_back(nic_copy(s, sr, part_bytes, gate));
+      }
+      const auto& own = at(at(phase1, p), sr);
+      deps.insert(deps.end(), own.begin(), own.end());
+      const int kernel = builder.reduce_kernel(
+          sr, root_of(p, sr), part_bytes * n_srv, std::move(deps));
+      // Phase 3: the reduced partitions converge on the root GPU.
+      if (root_of(p, sr) != lr) {
+        local_copy(sr, root_of(p, sr), lr, part_bytes, kernel);
+      }
+    }
+  }
+
+  void all_gather(double bytes) {
+    std::vector<std::vector<int>> count;
+    const auto gathered = gather_to_roots(bytes, &count);
+    std::vector<int> cluster_count(static_cast<std::size_t>(k), 0);
+    for (int p = 0; p < k; ++p) {
+      for (int s = 0; s < n_srv; ++s) at(cluster_count, p) += at(at(count, p), s);
+    }
+    // Phase 2: all-to-all of each server's per-partition block.
+    std::vector<std::vector<std::vector<int>>> arrivals(
+        static_cast<std::size_t>(k),
+        std::vector<std::vector<int>>(static_cast<std::size_t>(n_srv)));
+    for (int p = 0; p < k; ++p) {
+      for (int src = 0; src < n_srv; ++src) {
+        const int gate = join(at(at(gathered, p), src), "gather-join");
+        const double block = at(at(count, p), src) * bytes;
+        for (int dst = 0; dst < n_srv; ++dst) {
+          if (dst == src) continue;
+          at(at(arrivals, p), dst).push_back(nic_copy(src, dst, block, gate));
+        }
+      }
+    }
+    // Phase 3: broadcast each cluster-wide partition block locally (on a
+    // single-GPU server the blocks already landed at the only GPU).
+    for (int s = 0; s < n_srv; ++s) {
+      if (gpus(s) == 1) continue;
+      for (int p = 0; p < k; ++p) {
+        // Wait on every local copy into the partition root — they run on
+        // independent streams — plus every NIC arrival.
+        auto deps = at(at(arrivals, p), s);
+        const auto& own = at(at(gathered, p), s);
+        deps.insert(deps.end(), own.begin(), own.end());
+        const int gate = join(std::move(deps), "exchange-join");
+        tree_broadcast(s, root_of(p, s), at(cluster_count, p) * bytes, gate);
+      }
+    }
+  }
+
+  void gather(double bytes, int root) {
+    const auto [sr, lr] = locate(root);
+    std::vector<std::vector<int>> count;
+    const auto gathered = gather_to_roots(bytes, &count);
+    // Phase 2: blocks converge on the root server's partition roots.
+    std::vector<std::vector<int>> arrivals(static_cast<std::size_t>(k));
+    for (int p = 0; p < k; ++p) {
+      for (int s = 0; s < n_srv; ++s) {
+        if (s == sr) continue;
+        const int gate = join(at(at(gathered, p), s), "gather-join");
+        at(arrivals, p)
+            .push_back(nic_copy(s, sr, at(at(count, p), s) * bytes, gate));
+      }
+    }
+    // Phase 3: the root GPU collects every partition's cluster-wide block.
+    for (int p = 0; p < k; ++p) {
+      if (root_of(p, sr) == lr) continue;
+      double block = 0.0;
+      for (int s = 0; s < n_srv; ++s) block += at(at(count, p), s) * bytes;
+      auto deps = at(arrivals, p);
+      const auto& own = at(at(gathered, p), sr);
+      deps.insert(deps.end(), own.begin(), own.end());
+      const int gate = join(std::move(deps), "exchange-join");
+      local_copy(sr, root_of(p, sr), lr, block, gate);
+    }
+  }
+};
+
+LoweredCollective ClusterBackend::lower(CollectiveKind kind, double bytes,
+                                        int root) {
+  // The engine validated bytes > 0 and the global root range. Kinds that
+  // split the payload across partitions additionally need every partition
+  // to carry at least one byte (sizes that do not divide evenly are split
+  // fractionally, never truncated); Gather/AllGather move each GPU's whole
+  // buffer and accept any positive size.
+  const bool splits_payload = kind == CollectiveKind::kBroadcast ||
+                              kind == CollectiveKind::kReduce ||
+                              kind == CollectiveKind::kAllReduce ||
+                              kind == CollectiveKind::kReduceScatter;
+  if (splits_payload && bytes < num_partitions_) {
     throw std::invalid_argument(
-        "plan was compiled by a different communicator");
+        "collective size must give every partition at least one byte");
   }
-  if (options_.memoize) {
-    if (const auto cached = plan.cached_result()) return *cached;
+  Emit e(*this);
+  switch (kind) {
+    case CollectiveKind::kBroadcast:
+      e.broadcast(bytes, root);
+      break;
+    case CollectiveKind::kGather:
+      e.gather(bytes, root);
+      break;
+    case CollectiveKind::kReduce:
+      e.reduce(bytes, root);
+      break;
+    case CollectiveKind::kAllReduce:
+      e.all_reduce(bytes);
+      break;
+    case CollectiveKind::kAllGather:
+      e.all_gather(bytes);
+      break;
+    case CollectiveKind::kReduceScatter:
+      e.reduce_scatter(bytes);
+      break;
   }
-  CollectiveResult result = plan.meta();
-  const auto run = sim::execute(fabric_, plan.program());
-  result.seconds = run.makespan;
-  result.algorithm_bw = run.throughput(result.bytes);
-  if (options_.memoize) plan.memoize_result(result);
-  return result;
+  LoweredCollective lowered;
+  lowered.chunk_bytes = codegen_.chunk_bytes;
+  lowered.meta = e.meta;
+  lowered.meta.bytes = bytes;
+  lowered.meta.num_chunks = e.builder.chunks_for(bytes / num_partitions_);
+  lowered.program = e.builder.take();
+  lowered.meta.num_ops = static_cast<int>(lowered.program.ops().size());
+  std::sort(e.used.begin(), e.used.end());
+  e.used.erase(std::unique(e.used.begin(), e.used.end()), e.used.end());
+  lowered.tree_sets = std::move(e.used);
+  return lowered;
 }
 
-CollectiveResult ClusterCommunicator::all_reduce(double bytes) {
-  return execute(*compile_all_reduce(bytes));
+// --- ClusterCommunicator ----------------------------------------------------
+
+ClusterCommunicator::ClusterCommunicator(std::vector<topo::Topology> servers,
+                                         ClusterOptions options)
+    : CollectiveEngine(validated_cluster(std::move(servers)), options.fabric,
+                       options.engine),
+      options_(std::move(options)) {
+  auto backend = std::make_unique<ClusterBackend>(
+      this->servers(), fabric(), options_.treegen, options_.codegen);
+  cluster_ = backend.get();
+  register_backend(std::move(backend));
 }
 
 }  // namespace blink

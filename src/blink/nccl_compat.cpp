@@ -9,12 +9,16 @@
 
 #include "blink/baselines/backends.h"
 #include "blink/baselines/nccl_like.h"
+#include "blink/blink/multiserver.h"
 #include "blink/topology/builders.h"
 #include "blink/topology/discovery.h"
 
 struct blinkComm {
   std::unique_ptr<blink::CollectiveEngine> impl;
   blinkBackend_t backend = blinkBackendBlink;
+  // Engine backend id collectives compile on: 0 (the default backend) except
+  // for auto communicators, which pass CollectiveEngine::kAutoBackend.
+  int engine_backend = 0;
   blink::CollectiveResult last;
   std::vector<blink::CollectiveRequest> pending;      // queued group requests
   std::vector<blink::CollectiveResult> group_results;  // last group's results
@@ -48,7 +52,8 @@ bool resolve_backend(const blinkBackendConfig_t* config,
                      blinkBackend_t* backend) {
   if (config != nullptr) {
     *backend = config->backend;
-    return *backend >= blinkBackendBlink && *backend <= blinkBackendButterfly;
+    // The cluster backend comes from blinkClusterCommInitAll, not a config.
+    return *backend >= blinkBackendBlink && *backend <= blinkBackendAuto;
   }
   const char* env = std::getenv("BLINK_BACKEND");
   if (env == nullptr || *env == '\0') {
@@ -66,6 +71,8 @@ bool resolve_backend(const blinkBackendConfig_t* config,
     *backend = blinkBackendDoubleBinary;
   } else if (name == "butterfly") {
     *backend = blinkBackendButterfly;
+  } else if (name == "auto") {
+    *backend = blinkBackendAuto;
   } else {
     return false;
   }
@@ -98,6 +105,18 @@ std::unique_ptr<blink::CollectiveEngine> make_engine(blinkBackend_t backend,
           name, engine->topology(), engine->fabric(), options));
       return engine;
     }
+    case blinkBackendAuto: {
+      // Blink plus every baseline on one engine and fabric; the engine's
+      // kAutoBackend selector measures each per shape and keeps the fastest.
+      auto engine = std::make_unique<blink::Communicator>(std::move(topo));
+      for (const char* name : {"nccl", "ring", "double_binary", "butterfly"}) {
+        engine->register_backend(blink::baselines::make_baseline_backend(
+            name, engine->topology(), engine->fabric(), NcclOptions{}));
+      }
+      return engine;
+    }
+    case blinkBackendCluster:
+      break;  // created by blinkClusterCommInitAll, never via config
   }
   return nullptr;
 }
@@ -108,11 +127,13 @@ blinkResult_t submit(blinkComm_t comm, blink::CollectiveKind kind,
   if (comm == nullptr || comm->impl == nullptr) return blinkInvalidArgument;
   if (g_group_depth > 0) {
     if (comm->pending.empty()) g_group_comms.push_back(comm);
-    comm->pending.push_back(blink::CollectiveRequest{kind, bytes, root});
+    comm->pending.push_back(
+        blink::CollectiveRequest{kind, bytes, root, comm->engine_backend});
     return blinkSuccess;
   }
   try {
-    comm->last = comm->impl->execute(*comm->impl->compile(kind, bytes, root));
+    comm->last = comm->impl->execute(
+        *comm->impl->compile(kind, bytes, root, comm->engine_backend));
     return blinkSuccess;
   } catch (const std::invalid_argument&) {
     return blinkInvalidArgument;
@@ -195,6 +216,9 @@ blinkResult_t blinkCommInitAllWithConfig(blinkComm_t* comm,
     c->impl = make_engine(backend, std::move(topo));
     if (c->impl == nullptr) return blinkInvalidArgument;
     c->backend = backend;
+    c->engine_backend = backend == blinkBackendAuto
+                            ? blink::CollectiveEngine::kAutoBackend
+                            : 0;
     *comm = c.release();
     return blinkSuccess;
   } catch (const std::invalid_argument&) {
@@ -207,6 +231,44 @@ blinkResult_t blinkCommInitAllWithConfig(blinkComm_t* comm,
 blinkResult_t blinkCommInitAll(blinkComm_t* comm, const char* machine,
                                int ndev, const int* gpu_ids) {
   return blinkCommInitAllWithConfig(comm, machine, ndev, gpu_ids, nullptr);
+}
+
+blinkResult_t blinkClusterCommInitAll(blinkComm_t* comm, const char* machine,
+                                      int num_servers,
+                                      const int* ndev_per_server,
+                                      const int* gpu_ids) {
+  if (comm == nullptr || num_servers < 2 || ndev_per_server == nullptr ||
+      gpu_ids == nullptr) {
+    return blinkInvalidArgument;
+  }
+  blink::topo::Topology full;
+  if (!build_machine(machine, &full)) return blinkInvalidArgument;
+  try {
+    std::vector<blink::topo::Topology> servers;
+    servers.reserve(static_cast<std::size_t>(num_servers));
+    const int* next = gpu_ids;
+    for (int s = 0; s < num_servers; ++s) {
+      const int ndev = ndev_per_server[s];
+      if (ndev <= 0) return blinkInvalidArgument;
+      for (int i = 0; i < ndev; ++i) {
+        if (next[i] < 0 || next[i] >= full.num_gpus) {
+          return blinkInvalidArgument;
+        }
+      }
+      servers.push_back(blink::topo::induced_topology(
+          full, std::vector<int>(next, next + ndev)));
+      next += ndev;
+    }
+    auto c = std::make_unique<blinkComm>();
+    c->impl = std::make_unique<blink::ClusterCommunicator>(std::move(servers));
+    c->backend = blinkBackendCluster;
+    *comm = c.release();
+    return blinkSuccess;
+  } catch (const std::invalid_argument&) {
+    return blinkInvalidArgument;
+  } catch (const std::exception&) {
+    return blinkInternalError;
+  }
 }
 
 blinkResult_t blinkCommBackend(blinkComm_t comm, blinkBackend_t* backend) {

@@ -122,6 +122,82 @@ TEST(Backend, GroupLaunchMixesBackends) {
   EXPECT_EQ(fly_plan->backend(), butterfly);
 }
 
+// An engine with every algorithm registered; backend == kAutoBackend
+// measures each supporting backend once per shape and compiles on the
+// fastest, NCCL-tuner style.
+std::unique_ptr<Communicator> auto_engine(topo::Topology topo) {
+  auto comm = std::make_unique<Communicator>(std::move(topo));
+  for (const char* name : {"nccl", "ring", "double_binary", "butterfly"}) {
+    comm->register_backend(make_baseline_backend(name, comm->topology(),
+                                                 comm->fabric(),
+                                                 NcclOptions{}));
+  }
+  return comm;
+}
+
+TEST(Backend, AutoSelectionPicksTheFastestPerShape) {
+  auto comm = auto_engine(topo::make_dgx2());
+  const double bytes = 64e6;
+  const auto plan =
+      comm->compile(CollectiveKind::kAllReduce, bytes, -1,
+                    CollectiveEngine::kAutoBackend);
+  ASSERT_GE(plan->backend(), 0);
+  ASSERT_LT(plan->backend(), comm->num_backends());
+  // The winner really is the fastest candidate: every backend supports
+  // AllReduce on a DGX-2, so compare against each measured solo.
+  const double winner = comm->execute(*plan).seconds;
+  for (int id = 0; id < comm->num_backends(); ++id) {
+    const auto r =
+        comm->execute(*comm->compile(CollectiveKind::kAllReduce, bytes, -1,
+                                     id));
+    EXPECT_GE(r.seconds, winner) << comm->backend(id).name();
+  }
+}
+
+TEST(Backend, AutoSelectionCachesChoiceAndPlans) {
+  auto comm = auto_engine(topo::make_dgx2());
+  const double bytes = 32e6;
+  const auto first = comm->compile(CollectiveKind::kAllReduce, bytes, -1,
+                                   CollectiveEngine::kAutoBackend);
+  // The measurement compiled one candidate per backend (all five support
+  // AllReduce on a DGX-2) and each landed in the shared cache.
+  EXPECT_EQ(comm->plan_cache().misses(), 5u);
+  const auto again = comm->compile(CollectiveKind::kAllReduce, bytes, -1,
+                                   CollectiveEngine::kAutoBackend);
+  EXPECT_EQ(again.get(), first.get());  // cached choice, cached plan
+  EXPECT_EQ(comm->plan_cache().misses(), 5u);  // no re-measurement
+  EXPECT_GE(comm->plan_cache().hits(), 1u);
+  // A different shape measures afresh and may pick differently.
+  const auto small = comm->compile(CollectiveKind::kAllReduce, 8e3, -1,
+                                   CollectiveEngine::kAutoBackend);
+  EXPECT_EQ(comm->plan_cache().misses(), 10u);
+  EXPECT_GE(small->backend(), 0);
+}
+
+TEST(Backend, AutoSelectionSkipsUnsupportedKinds) {
+  // Only Blink lowers ReduceScatter here, so auto must land on it.
+  auto comm = auto_engine(topo::make_dgx2());
+  const auto plan = comm->compile(CollectiveKind::kReduceScatter, 16e6, -1,
+                                  CollectiveEngine::kAutoBackend);
+  EXPECT_EQ(plan->backend(), 0);
+  // No backend at all: invalid, same as naming an unsupported kind.
+  auto butterfly = baseline_engine("butterfly", topo::make_dgx2());
+  EXPECT_THROW(butterfly->compile(CollectiveKind::kBroadcast, 16e6, 0,
+                                  CollectiveEngine::kAutoBackend),
+               std::invalid_argument);
+}
+
+TEST(Backend, AutoSelectionInGroupRequests) {
+  auto comm = auto_engine(topo::make_dgx2());
+  const std::vector<CollectiveRequest> reqs{
+      {CollectiveKind::kAllReduce, 16e6, -1, CollectiveEngine::kAutoBackend},
+      {CollectiveKind::kBroadcast, 8e6, 0, CollectiveEngine::kAutoBackend},
+  };
+  const auto results = comm->run(reqs);
+  ASSERT_EQ(results.size(), 2u);
+  for (const auto& r : results) EXPECT_GT(r.seconds, 0.0);
+}
+
 // Satellite: baselines validate arguments exactly like Communicator —
 // std::invalid_argument on zero/negative bytes and out-of-range roots,
 // where they previously built garbage schedules silently.

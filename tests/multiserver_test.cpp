@@ -1,6 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "blink/baselines/backends.h"
+#include "blink/blink/codegen.h"
 #include "blink/blink/multiserver.h"
+#include "blink/sim/executor.h"
 #include "blink/topology/builders.h"
 #include "blink/topology/discovery.h"
 
@@ -11,6 +18,82 @@ std::vector<topo::Topology> fragmented_3_5() {
   const auto machine = topo::make_dgx1v();
   return {topo::induced_topology(machine, std::vector<int>{0, 1, 2}),
           topo::induced_topology(machine, std::vector<int>{3, 4, 5, 6, 7})};
+}
+
+// --- flat single-tree references --------------------------------------------
+// Hand-built unpartitioned schedules over the same fabric: one NIC transfer
+// of the whole buffer per server pair and a single heaviest packed tree per
+// server, with no partition pipelining. The three-phase protocol splits the
+// buffer across every per-server root and all packed trees, so it must never
+// be slower than these.
+
+RoutedTree heaviest_tree(const sim::Fabric& fabric,
+                         const std::vector<topo::Topology>& servers, int s,
+                         const ClusterOptions& opts) {
+  TreeGenOptions tg = opts.treegen;
+  tg.link = topo::LinkType::kNVLink;
+  const TreeSet set =
+      generate_trees(servers[static_cast<std::size_t>(s)], 0, tg);
+  EXPECT_FALSE(set.empty());
+  auto trees = route_trees(fabric, s, set);
+  std::sort(trees.begin(), trees.end(),
+            [](const RoutedTree& a, const RoutedTree& b) {
+              return a.weight > b.weight;
+            });
+  return trees.front();
+}
+
+double flat_broadcast_seconds(const std::vector<topo::Topology>& servers,
+                              double bytes, const ClusterOptions& opts) {
+  const sim::Fabric fabric(servers, opts.fabric);
+  ProgramBuilder builder(fabric, opts.codegen);
+  const int chunks = builder.chunks_for(bytes);
+  builder.tree_broadcast_chunks(heaviest_tree(fabric, servers, 0, opts),
+                                bytes, chunks);
+  for (int s = 1; s < fabric.num_servers(); ++s) {
+    const auto arrived =
+        builder.copy_chunks(fabric.nic_route(0, s), bytes, chunks, s);
+    const std::vector<int> gates(static_cast<std::size_t>(chunks),
+                                 arrived.back());
+    builder.tree_broadcast_chunks(heaviest_tree(fabric, servers, s, opts),
+                                  bytes, chunks, gates);
+  }
+  return sim::execute(fabric, builder.take()).makespan;
+}
+
+double flat_all_reduce_seconds(const std::vector<topo::Topology>& servers,
+                               double bytes, const ClusterOptions& opts) {
+  const sim::Fabric fabric(servers, opts.fabric);
+  ProgramBuilder builder(fabric, opts.codegen);
+  const int n_srv = fabric.num_servers();
+  const int chunks = builder.chunks_for(bytes);
+  std::vector<RoutedTree> tree;
+  std::vector<int> reduced;  // whole buffer reduced at each server's GPU 0
+  for (int s = 0; s < n_srv; ++s) {
+    tree.push_back(heaviest_tree(fabric, servers, s, opts));
+    const auto done = builder.tree_reduce_chunks(tree.back(), bytes, chunks,
+                                                 /*with_kernels=*/true);
+    reduced.push_back(done.back());
+  }
+  for (int s = 0; s < n_srv; ++s) {
+    std::vector<int> deps{reduced[static_cast<std::size_t>(s)]};
+    for (int src = 0; src < n_srv; ++src) {
+      if (src == s) continue;
+      const std::vector<int> gates(
+          static_cast<std::size_t>(chunks),
+          reduced[static_cast<std::size_t>(src)]);
+      deps.push_back(builder
+                         .copy_chunks(fabric.nic_route(src, s), bytes, chunks,
+                                      n_srv * src + s, gates)
+                         .back());
+    }
+    const int kernel = builder.reduce_kernel(s, 0, bytes * n_srv,
+                                             std::move(deps));
+    const std::vector<int> gates(static_cast<std::size_t>(chunks), kernel);
+    builder.tree_broadcast_chunks(tree[static_cast<std::size_t>(s)], bytes,
+                                  chunks, gates);
+  }
+  return sim::execute(fabric, builder.take()).makespan;
 }
 
 TEST(Multiserver, RequiresTwoServers) {
@@ -77,6 +160,185 @@ TEST(Multiserver, ThreeServers) {
   const auto r = comm.all_reduce(64e6);
   EXPECT_GT(r.seconds, 0.0);
   EXPECT_LT(r.algorithm_bw, 5e9);  // NIC fan-out bound
+}
+
+// --- the engine port ---------------------------------------------------------
+
+// Acceptance: ClusterCommunicator is a CollectiveEngine — all six one-shot
+// collectives lower through the three-phase cluster backend on a fragmented
+// allocation, with hit/miss counters on the shared plan cache.
+TEST(Multiserver, AllKindsCompileExecuteWithSharedPlanCache) {
+  ClusterCommunicator comm(fragmented_3_5(), {});
+  EXPECT_EQ(comm.num_servers(), 2);
+  EXPECT_EQ(comm.backend_id("cluster"), 0);
+  const double bytes = 48e6;
+  std::uint64_t expected_misses = 0;
+  for (const CollectiveKind kind :
+       {CollectiveKind::kBroadcast, CollectiveKind::kGather,
+        CollectiveKind::kReduce, CollectiveKind::kAllReduce,
+        CollectiveKind::kAllGather, CollectiveKind::kReduceScatter}) {
+    const auto plan = comm.compile(kind, bytes, 0);
+    EXPECT_EQ(comm.plan_cache().misses(), ++expected_misses) << to_string(kind);
+    const auto r = comm.execute(*plan);
+    EXPECT_GT(r.seconds, 0.0) << to_string(kind);
+    EXPECT_GT(r.algorithm_bw, 0.0) << to_string(kind);
+    EXPECT_DOUBLE_EQ(r.bytes, bytes) << to_string(kind);
+    EXPECT_GT(r.num_ops, 0) << to_string(kind);
+    // Identical shape: a cache hit returning the same compiled artifact.
+    const auto again = comm.compile(kind, bytes, 0);
+    EXPECT_EQ(again.get(), plan.get()) << to_string(kind);
+    EXPECT_EQ(comm.plan_cache().misses(), expected_misses) << to_string(kind);
+  }
+  EXPECT_EQ(comm.plan_cache().hits(), 6u);
+}
+
+// Every byte of an exchange crosses the NICs at least once, so each kind's
+// makespan is bounded below by its cross-server volume at NIC rate.
+TEST(Multiserver, NicVolumeLowerBounds) {
+  ClusterOptions opts;
+  opts.fabric.nic_bw = 5e9;
+  ClusterCommunicator comm(fragmented_3_5(), opts);
+  const double bytes = 50e6;
+  struct Case {
+    CollectiveKind kind;
+    int root;
+    double nic_bytes;  // bottleneck server's NIC volume (one direction)
+  };
+  // Server 0 has 3 GPUs, server 1 has 5; global root 0 lives on server 0.
+  const std::vector<Case> cases{
+      {CollectiveKind::kBroadcast, 0, bytes},       // root server egress
+      {CollectiveKind::kGather, 0, 5 * bytes},      // root server ingress
+      {CollectiveKind::kReduce, 0, bytes},          // root server ingress
+      {CollectiveKind::kAllReduce, -1, bytes},      // per-server egress
+      {CollectiveKind::kAllGather, -1, 5 * bytes},  // server-0 ingress
+      {CollectiveKind::kReduceScatter, -1, bytes},  // per-server egress
+  };
+  for (const auto& c : cases) {
+    const auto r = comm.execute(*comm.compile(c.kind, bytes, c.root));
+    EXPECT_GE(r.seconds, 0.999 * c.nic_bytes / opts.fabric.nic_bw)
+        << to_string(c.kind);
+  }
+}
+
+// Correctness versus the flat single-tree reference: partitioning across
+// every per-server root and pipelining the phases can only help.
+TEST(Multiserver, BroadcastBeatsFlatSingleTreeReference) {
+  const auto servers = fragmented_3_5();
+  const ClusterOptions opts;
+  ClusterCommunicator comm(servers, opts);
+  const double bytes = 100e6;
+  const auto r = comm.broadcast(bytes, 0);
+  EXPECT_LE(r.seconds, flat_broadcast_seconds(servers, bytes, opts) * 1.001);
+}
+
+TEST(Multiserver, AllReduceBeatsFlatSingleTreeReference) {
+  const auto servers = fragmented_3_5();
+  const ClusterOptions opts;
+  ClusterCommunicator comm(servers, opts);
+  const double bytes = 100e6;
+  const auto r = comm.all_reduce(bytes);
+  EXPECT_LE(r.seconds, flat_all_reduce_seconds(servers, bytes, opts) * 1.001);
+}
+
+// Rooted collectives accept any global (server-major) GPU id; the root's
+// server changes which NIC direction saturates.
+TEST(Multiserver, GlobalRootsOnEitherServer) {
+  ClusterCommunicator comm(fragmented_3_5(), {});
+  for (const int root : {0, 2, 3, 7}) {  // server 0: {0,1,2}; server 1: rest
+    const auto b = comm.broadcast(32e6, root);
+    EXPECT_GT(b.seconds, 0.0) << root;
+    const auto g = comm.gather(32e6, root);
+    EXPECT_GT(g.seconds, 0.0) << root;
+    const auto r = comm.reduce(32e6, root);
+    EXPECT_GT(r.seconds, 0.0) << root;
+  }
+}
+
+// Bugfix: bad roots and degenerate sizes are invalid arguments, where the
+// old cluster path ignored roots entirely and accepted any size.
+TEST(Multiserver, ValidatesLikeTheEngine) {
+  ClusterCommunicator comm(fragmented_3_5(), {});
+  EXPECT_THROW(comm.compile(CollectiveKind::kAllReduce, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(comm.compile(CollectiveKind::kAllReduce, -4e6),
+               std::invalid_argument);
+  EXPECT_THROW(comm.broadcast(32e6, 8), std::invalid_argument);   // 8 GPUs
+  EXPECT_THROW(comm.broadcast(32e6, -2), std::invalid_argument);
+  EXPECT_THROW(comm.reduce(32e6, 99), std::invalid_argument);
+  // Sizes below one byte per partition cannot be split three-phase...
+  EXPECT_THROW(comm.all_reduce(2.0), std::invalid_argument);  // 3 partitions
+  EXPECT_THROW(comm.broadcast(2.0, 0), std::invalid_argument);
+  // ...but Gather/AllGather move whole per-GPU buffers and stay valid.
+  EXPECT_GT(comm.gather(2.0, 0).seconds, 0.0);
+  EXPECT_GT(comm.all_gather(2.0).seconds, 0.0);
+  // A foreign engine's plan is rejected.
+  ClusterCommunicator other(fragmented_3_5(), {});
+  const auto plan = other.compile(CollectiveKind::kAllReduce, 16e6);
+  EXPECT_THROW(comm.execute(*plan), std::invalid_argument);
+}
+
+// run() group launches work on the cluster engine: per-request makespans
+// under shared-fabric contention, all plans landing in the one cache.
+TEST(Multiserver, GroupLaunchOnCluster) {
+  ClusterCommunicator comm(fragmented_3_5(), {});
+  const std::vector<CollectiveRequest> reqs{
+      {CollectiveKind::kAllReduce, 32e6, -1},
+      {CollectiveKind::kBroadcast, 8e6, 0},
+      {CollectiveKind::kGather, 4e6, 5},
+  };
+  const auto results = comm.run(reqs);
+  ASSERT_EQ(results.size(), 3u);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_DOUBLE_EQ(results[i].bytes, reqs[i].bytes);
+    EXPECT_GT(results[i].seconds, 0.0);
+  }
+  // Contention can only slow the AllReduce relative to running solo.
+  const auto solo = comm.all_reduce(32e6);
+  EXPECT_GE(results[0].seconds, 0.999 * solo.seconds);
+  EXPECT_EQ(comm.plan_cache().size(), 3u);
+}
+
+// A group can mix the cluster backend with a baseline registered on the
+// same engine (the ring lowers onto server 0's fragment of the shared
+// fabric), so cluster-wide and server-local work contend in one launch.
+TEST(Multiserver, MixedBackendGroupLaunch) {
+  ClusterCommunicator comm(fragmented_3_5(), {});
+  const int ring = comm.register_backend(baselines::make_baseline_backend(
+      "ring", comm.topology(), comm.fabric(), baselines::NcclOptions{}));
+  EXPECT_EQ(ring, 1);
+  EXPECT_EQ(comm.backend_id("ring"), ring);
+  const std::vector<CollectiveRequest> reqs{
+      {CollectiveKind::kAllReduce, 32e6, -1, 0},
+      {CollectiveKind::kBroadcast, 8e6, 0, ring},
+  };
+  const auto results = comm.run(reqs);
+  ASSERT_EQ(results.size(), 2u);
+  for (const auto& r : results) EXPECT_GT(r.seconds, 0.0);
+  const auto cluster_plan = comm.compile(CollectiveKind::kAllReduce, 32e6);
+  const auto ring_plan = comm.compile(CollectiveKind::kBroadcast, 8e6, 0, ring);
+  EXPECT_EQ(cluster_plan->backend(), 0);
+  EXPECT_EQ(ring_plan->backend(), ring);
+  EXPECT_NE(cluster_plan.get(), ring_plan.get());
+  // A globally-valid root beyond the ring's server-0 fragment is rejected
+  // (the ring backend only addresses its own 3 ranks).
+  EXPECT_THROW(comm.compile(CollectiveKind::kBroadcast, 8e6, 5, ring),
+               std::invalid_argument);
+}
+
+// Plans record their provenance: the per-(server, root) packed tree sets.
+TEST(Multiserver, PlansShareTreeSetProvenance) {
+  ClusterCommunicator comm(fragmented_3_5(), {});
+  const auto plan = comm.compile(CollectiveKind::kAllGather, 24e6);
+  EXPECT_FALSE(plan->tree_sets().empty());
+  // A second kind reuses the same cached per-server sets: AllReduce's trees
+  // (every partition root on every server) are the very shared_ptrs the
+  // AllGather plan references.
+  const auto other = comm.compile(CollectiveKind::kAllReduce, 24e6);
+  for (const auto& set : other->tree_sets()) {
+    EXPECT_NE(std::find(plan->tree_sets().begin(), plan->tree_sets().end(),
+                        set),
+              plan->tree_sets().end());
+  }
 }
 
 }  // namespace

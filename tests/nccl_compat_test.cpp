@@ -296,4 +296,122 @@ TEST(NcclCompat, ReduceAndAllGatherAndReduceScatter) {
   blinkCommDestroy(comm);
 }
 
+// blinkBackendAuto (config or BLINK_BACKEND=auto) registers every algorithm
+// and picks the fastest per shape through the engine's auto selector.
+TEST(NcclCompat, AutoBackendSelection) {
+  int gpus[16];
+  for (int i = 0; i < 16; ++i) gpus[i] = i;
+  blinkComm_t comm = nullptr;
+  const blinkBackendConfig_t config{blinkBackendAuto};
+  ASSERT_EQ(blinkCommInitAllWithConfig(&comm, "dgx2", 16, gpus, &config),
+            blinkSuccess);
+  blinkBackend_t got;
+  ASSERT_EQ(blinkCommBackend(comm, &got), blinkSuccess);
+  EXPECT_EQ(got, blinkBackendAuto);
+  ASSERT_EQ(blinkAllReduce(nullptr, nullptr, 16'000'000, blinkFloat32,
+                           blinkSum, comm, nullptr),
+            blinkSuccess);
+  blink::CollectiveResult result;
+  ASSERT_EQ(blinkCommLastResult(comm, &result), blinkSuccess);
+  EXPECT_GT(result.seconds, 0.0);
+  blinkCommDestroy(comm);
+
+  setenv("BLINK_BACKEND", "auto", 1);
+  ASSERT_EQ(blinkCommInitAll(&comm, "dgx2", 16, gpus), blinkSuccess);
+  ASSERT_EQ(blinkCommBackend(comm, &got), blinkSuccess);
+  EXPECT_EQ(got, blinkBackendAuto);
+  blinkCommDestroy(comm);
+  unsetenv("BLINK_BACKEND");
+  // The cluster backend is created by blinkClusterCommInitAll, not a config.
+  const blinkBackendConfig_t cluster{blinkBackendCluster};
+  EXPECT_EQ(blinkCommInitAllWithConfig(&comm, "dgx2", 16, gpus, &cluster),
+            blinkInvalidArgument);
+}
+
+// A communicator over a 3+5 fragmented allocation: every collective runs
+// through the three-phase cluster engine with global server-major ranks.
+TEST(NcclCompat, ClusterCommInitAll) {
+  blinkComm_t comm = nullptr;
+  const int ndev[] = {3, 5};
+  const int gpus[] = {0, 1, 2, 3, 4, 5, 6, 7};
+  ASSERT_EQ(blinkClusterCommInitAll(&comm, "dgx1v", 2, ndev, gpus),
+            blinkSuccess);
+  int count = 0;
+  ASSERT_EQ(blinkCommCount(comm, &count), blinkSuccess);
+  EXPECT_EQ(count, 8);
+  blinkBackend_t got;
+  ASSERT_EQ(blinkCommBackend(comm, &got), blinkSuccess);
+  EXPECT_EQ(got, blinkBackendCluster);
+
+  ASSERT_EQ(blinkAllReduce(nullptr, nullptr, 16'000'000, blinkFloat32,
+                           blinkSum, comm, nullptr),
+            blinkSuccess);
+  blink::CollectiveResult result;
+  ASSERT_EQ(blinkCommLastResult(comm, &result), blinkSuccess);
+  EXPECT_GT(result.seconds, 0.0);
+  // Rooted collectives take global ranks — including server 1's GPUs.
+  EXPECT_EQ(blinkBroadcast(nullptr, nullptr, 1 << 22, blinkFloat32, 7, comm,
+                           nullptr),
+            blinkSuccess);
+  EXPECT_EQ(blinkReduce(nullptr, nullptr, 1 << 22, blinkFloat32, blinkSum, 4,
+                        comm, nullptr),
+            blinkSuccess);
+  blinkCommDestroy(comm);
+}
+
+// Bugfix satellite: the cluster path validates roots and degenerate sizes
+// like every engine and maps them to blinkInvalidArgument.
+TEST(NcclCompat, ClusterValidationMapsToInvalidArgument) {
+  blinkComm_t comm = nullptr;
+  const int ndev[] = {3, 5};
+  const int gpus[] = {0, 1, 2, 3, 4, 5, 6, 7};
+  ASSERT_EQ(blinkClusterCommInitAll(&comm, "dgx1v", 2, ndev, gpus),
+            blinkSuccess);
+  // Root 8 is past the global (cluster-wide) GPU count.
+  EXPECT_EQ(blinkBroadcast(nullptr, nullptr, 1 << 20, blinkFloat32, 8, comm,
+                           nullptr),
+            blinkInvalidArgument);
+  // One byte cannot split across three partitions.
+  EXPECT_EQ(blinkAllReduce(nullptr, nullptr, 1, blinkInt8, blinkSum, comm,
+                           nullptr),
+            blinkInvalidArgument);
+  blinkCommDestroy(comm);
+  // Malformed cluster shapes fail at init.
+  EXPECT_EQ(blinkClusterCommInitAll(&comm, "dgx1v", 1, ndev, gpus),
+            blinkInvalidArgument);
+  const int bad_ndev[] = {3, 0};
+  EXPECT_EQ(blinkClusterCommInitAll(&comm, "dgx1v", 2, bad_ndev, gpus),
+            blinkInvalidArgument);
+  const int bad_gpus[] = {0, 1, 2, 3, 4, 5, 6, 99};
+  EXPECT_EQ(blinkClusterCommInitAll(&comm, "dgx1v", 2, ndev, bad_gpus),
+            blinkInvalidArgument);
+}
+
+// Grouped launches on a cluster communicator: queued between GroupStart/End
+// and launched as one contention group on the multi-server fabric.
+TEST(NcclCompat, ClusterGroupRoundTrip) {
+  blinkComm_t comm = nullptr;
+  const int ndev[] = {3, 5};
+  const int gpus[] = {0, 1, 2, 3, 4, 5, 6, 7};
+  ASSERT_EQ(blinkClusterCommInitAll(&comm, "dgx1v", 2, ndev, gpus),
+            blinkSuccess);
+  ASSERT_EQ(blinkGroupStart(), blinkSuccess);
+  EXPECT_EQ(blinkAllReduce(nullptr, nullptr, 8'000'000, blinkFloat32,
+                           blinkSum, comm, nullptr),
+            blinkSuccess);
+  EXPECT_EQ(blinkBroadcast(nullptr, nullptr, 1'000'000, blinkFloat32, 0, comm,
+                           nullptr),
+            blinkSuccess);
+  ASSERT_EQ(blinkGroupEnd(), blinkSuccess);
+  int n = 0;
+  ASSERT_EQ(blinkCommGroupResultCount(comm, &n), blinkSuccess);
+  EXPECT_EQ(n, 2);
+  blink::CollectiveResult r;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_EQ(blinkCommGroupResult(comm, i, &r), blinkSuccess);
+    EXPECT_GT(r.seconds, 0.0);
+  }
+  blinkCommDestroy(comm);
+}
+
 }  // namespace

@@ -12,6 +12,7 @@
 
 #include "blink/baselines/nccl_like.h"
 #include "blink/blink/communicator.h"
+#include "blink/blink/multiserver.h"
 #include "blink/topology/builders.h"
 #include "blink/topology/discovery.h"
 
@@ -92,6 +93,21 @@ TEST(PlanCacheStress, ConcurrentSameAndDifferentKeysBlink) {
                               /*iterations=*/25);
   EXPECT_EQ(outcome.compiles, 8u * 25u);
   check_counters(comm, outcome, shapes.size());
+}
+
+// The cluster engine serves concurrently like any other: three-phase
+// compiles serialize under the engine mutex (exact counters, zero duplicate
+// recompiles) while executes run in parallel with identical results.
+TEST(PlanCacheStress, ConcurrentClusterEngine) {
+  const auto machine = topo::make_dgx1v();
+  ClusterCommunicator cluster(
+      {topo::induced_topology(machine, std::vector<int>{0, 1, 2}),
+       topo::induced_topology(machine, std::vector<int>{4, 5, 6, 7})});
+  const std::vector<double> shapes{8e6, 16e6, 24e6};
+  const auto outcome = stress(cluster, shapes, /*num_threads=*/6,
+                              /*iterations=*/15);
+  EXPECT_EQ(outcome.compiles, 6u * 15u);
+  check_counters(cluster, outcome, shapes.size());
 }
 
 TEST(PlanCacheStress, ConcurrentBaselineBackend) {

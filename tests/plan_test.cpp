@@ -217,7 +217,7 @@ TEST(Plan, ClusterCompileExecute) {
   ClusterCommunicator cluster(
       {topo::induced_topology(machine, std::vector<int>{0, 1, 2}),
        topo::induced_topology(machine, std::vector<int>{4, 5, 6, 7})});
-  const auto plan = cluster.compile_all_reduce(64e6);
+  const auto plan = cluster.compile(CollectiveKind::kAllReduce, 64e6);
   const auto a = cluster.execute(*plan);
   const auto b = cluster.all_reduce(64e6);  // cache hit on the same plan
   EXPECT_TRUE(identical(a, b));
