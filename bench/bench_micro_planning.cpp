@@ -4,6 +4,10 @@
 // near-linear-time MWU claim (§3.2) is checked here in wall-clock form.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
 #include "blink/blink/communicator.h"
 #include "blink/blink/treegen.h"
 #include "blink/graph/arborescence.h"
@@ -111,6 +115,69 @@ void BM_ExecutePlan(benchmark::State& state) {
 }
 BENCHMARK(BM_ExecutePlan);
 
+// Compiling against a warm persistent plan store: every shape is a cache
+// hit loaded from disk, never TreeGen/CodeGen.
+void BM_CompileWarmStore(benchmark::State& state) {
+  const auto tmp =
+      std::filesystem::temp_directory_path() / "blink-bench-plan-store";
+  std::filesystem::create_directories(tmp);
+  CommunicatorOptions opts;
+  opts.plan_store_dir = tmp.string();
+  {
+    Communicator comm(topo::make_dgx1v(), opts);  // cold: compile + flush
+    comm.compile(CollectiveKind::kBroadcast, 500e6, 0);
+  }
+  for (auto _ : state) {
+    Communicator comm(topo::make_dgx1v(), opts);
+    benchmark::DoNotOptimize(
+        comm.compile(CollectiveKind::kBroadcast, 500e6, 0));
+    if (comm.plan_cache().misses() != 0) {
+      state.SkipWithError("warm store compile recompiled");
+    }
+  }
+  std::filesystem::remove_all(tmp);
+}
+BENCHMARK(BM_CompileWarmStore);
+
+// The fig18-style zero-recompile check, across real process boundaries:
+// when BLINK_PLAN_CACHE_DIR is set, compile a model-sized shape mix against
+// that store. On a cold start (no store file yet) the plans are compiled
+// and flushed at exit; on a warm start (the previous run's file exists)
+// every compile must be a hit — a single TreeGen/CodeGen recompile exits
+// nonzero, so `bench_micro_planning` run twice with a shared dir proves
+// that schedules survive process restarts.
+int plan_store_warm_start_check() {
+  const char* dir = std::getenv("BLINK_PLAN_CACHE_DIR");
+  if (dir == nullptr || *dir == '\0') return 0;
+  CommunicatorOptions opts;
+  opts.codegen.chunk_bytes = 4u << 20;
+  opts.plan_store_dir = dir;
+  Communicator comm(topo::make_dgx1v(), opts);
+  const bool warm = std::filesystem::exists(comm.plan_store_path());
+  comm.all_reduce(400e6);   // AlexNet-scale gradient exchange
+  comm.all_reduce(100e6);
+  comm.broadcast(200e6, 0);
+  const auto misses = comm.plan_cache().misses();
+  const auto hits = comm.plan_cache().hits();
+  if (warm && misses != 0) {
+    std::fprintf(stderr,
+                 "FAIL: warm start from %s recompiled %llu plans "
+                 "(expected every compile to hit the loaded store)\n",
+                 dir, static_cast<unsigned long long>(misses));
+    return 1;
+  }
+  std::printf("plan store %s start: %llu compiles, %llu hits (%s)\n",
+              warm ? "warm" : "cold", static_cast<unsigned long long>(misses),
+              static_cast<unsigned long long>(hits), dir);
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return plan_store_warm_start_check();
+}

@@ -39,6 +39,7 @@ class NcclRingBackend : public CollectiveBackend {
   const char* name() const override { return "nccl"; }
   bool supports(CollectiveKind kind) const override;
   int num_ranks() const override { return topo_.num_gpus; }
+  std::uint64_t planning_fingerprint() const override;
   LoweredCollective lower(CollectiveKind kind, double bytes,
                           int root) override;
 
@@ -78,6 +79,7 @@ class DoubleBinaryBackend : public CollectiveBackend {
   const char* name() const override { return "double_binary"; }
   bool supports(CollectiveKind kind) const override;
   int num_ranks() const override { return topo_.num_gpus; }
+  std::uint64_t planning_fingerprint() const override;
   LoweredCollective lower(CollectiveKind kind, double bytes,
                           int root) override;
 
@@ -98,6 +100,7 @@ class ButterflyBackend : public CollectiveBackend {
   const char* name() const override { return "butterfly"; }
   bool supports(CollectiveKind kind) const override;
   int num_ranks() const override { return topo_.num_gpus; }
+  std::uint64_t planning_fingerprint() const override;
   LoweredCollective lower(CollectiveKind kind, double bytes,
                           int root) override;
 

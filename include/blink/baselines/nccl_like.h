@@ -33,6 +33,9 @@ struct NcclOptions {
   bool memoize = true;
   // Compiled plans kept in the shared LRU cache.
   std::size_t plan_cache_capacity = 256;
+  // Persistent plan store directory (see EngineOptions::plan_store_dir);
+  // empty disables persistence.
+  std::string plan_store_dir;
 };
 
 // The per-step costs used when persistent_kernel_model is on.

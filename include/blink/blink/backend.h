@@ -59,6 +59,14 @@ class CollectiveBackend {
     return 0;
   }
 
+  // Fingerprint of the options that change what lower() emits for a given
+  // (kind, bytes, root) — chunk policy, tree-generation knobs, protocol
+  // thresholds. Folded into the engine's fabric fingerprint so a persistent
+  // plan store compiled under one configuration is never warm-loaded into
+  // an engine configured differently. Backends whose lowering has no
+  // tunables keep the default.
+  virtual std::uint64_t planning_fingerprint() const { return 0; }
+
   // Lowers a collective to a program + chunking decision. The engine has
   // already validated bytes > 0, the root range, and supports(kind), and
   // serializes lower() calls under its compile mutex, so implementations may

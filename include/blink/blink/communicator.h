@@ -44,6 +44,9 @@ struct CommunicatorOptions {
   bool memoize = true;
   // Compiled plans kept in the LRU cache.
   std::size_t plan_cache_capacity = 256;
+  // Persistent plan store directory (see EngineOptions::plan_store_dir);
+  // empty disables persistence.
+  std::string plan_store_dir;
 };
 
 // Blink's planning pipeline as a CollectiveBackend: lowers a collective to a
@@ -65,6 +68,7 @@ class BlinkBackend : public CollectiveBackend {
   // AllReduce/AllGather default to the best packed root (0 on NVSwitch
   // fabrics), one-to-many collectives to 0.
   int default_root(CollectiveKind kind) override;
+  std::uint64_t planning_fingerprint() const override;
   LoweredCollective lower(CollectiveKind kind, double bytes,
                           int root) override;
 

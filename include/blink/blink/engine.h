@@ -22,6 +22,7 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -38,6 +39,14 @@ struct EngineOptions {
   bool memoize = true;
   // Compiled plans kept in the LRU cache.
   std::size_t plan_cache_capacity = 256;
+  // Directory for the persistent plan store (empty = disabled). The engine
+  // warm-loads its store file — plans-<fabric fingerprint>.bpc — before the
+  // first compile (after construction, so every backend the owner registers
+  // is part of the fingerprint) and flushes the plan cache back to it on
+  // destruction, so schedules survive process restarts. A file whose format
+  // version or fabric fingerprint does not match is ignored with a warning;
+  // nothing stale is ever executed.
+  std::string plan_store_dir;
 };
 
 class CollectiveEngine {
@@ -113,6 +122,32 @@ class CollectiveEngine {
   // (TreeGen/CodeGen for Blink, ring/tree emission for the baselines).
   const PlanCache& plan_cache() const { return plans_; }
 
+  // --- persistent plans (plan_io.h format) ---------------------------------
+
+  // Fingerprint of this engine's fabric, backend registry, and every
+  // backend's planning configuration (CollectiveBackend::
+  // planning_fingerprint()); a plan store only loads into an engine whose
+  // fingerprint matches the one it was saved under. Changes when backends
+  // are registered.
+  std::uint64_t fabric_fingerprint() const;
+
+  // The store file EngineOptions::plan_store_dir resolves to right now, or
+  // "" when persistence is disabled.
+  std::string plan_store_path() const;
+
+  // Serializes every cached plan to |path| (version + fingerprint header).
+  // Returns the number of plans written.
+  std::size_t export_plans(const std::string& path) const;
+
+  // Loads plans saved by export_plans() (or a plan-store flush) into the
+  // plan cache, so the next compile() of each shape is a cache hit — zero
+  // TreeGen/CodeGen recompiles. Throws std::invalid_argument — and adopts
+  // nothing — when the file is corrupt, its format version or fabric
+  // fingerprint mismatches, a plan names an unregistered backend, or a
+  // schedule fails validation against this fabric. Returns the number of
+  // plans loaded.
+  std::size_t import_plans(const std::string& path);
+
   // --- one-shot collectives (wrappers over compile + execute) --------------
   CollectiveResult broadcast(double bytes, int root);
   CollectiveResult gather(double bytes, int root);
@@ -140,8 +175,20 @@ class CollectiveEngine {
                                                        int backend);
   // Resolves kAutoBackend for one shape: compiles and executes a candidate
   // plan per supporting backend (each lands in the plan cache) and caches
-  // the winner's id so later compiles skip the measurement.
+  // the winner's id so later compiles skip the measurement. |root| is
+  // concrete (never -1): every candidate is timed at the same root.
   int select_backend_locked(CollectiveKind kind, double bytes, int root);
+  // The root a root == -1 request resolves to before auto-selection: the
+  // first supporting backend's default.
+  int default_root_locked(CollectiveKind kind);
+  std::uint64_t fingerprint_locked() const;
+  int backend_id_locked(std::string_view name) const;
+  std::size_t import_plans_locked(const std::string& path);
+  // One-time lazy warm-load from plan_store_dir; runs before the first
+  // compile so the owner's constructor has registered every backend. A
+  // missing file is a cold start; a mismatched or corrupt one is logged and
+  // ignored.
+  void maybe_warm_load_locked();
 
   std::vector<topo::Topology> servers_;
   int num_gpus_ = 0;
@@ -149,9 +196,12 @@ class CollectiveEngine {
   sim::Fabric fabric_;
   std::vector<std::unique_ptr<CollectiveBackend>> backends_;
   PlanCache plans_;
-  // kAutoBackend decisions per (kind, bytes, requested root); guarded by
-  // compile_mu_ like all compile-path state.
+  // kAutoBackend decisions per (kind, bytes, resolved root); guarded by
+  // compile_mu_ like all compile-path state, and cleared whenever a backend
+  // is registered so new backends get measured.
   std::map<PlanKey, int> auto_choices_;
+  // Whether the plan_store_dir warm-load has been attempted.
+  bool plan_store_checked_ = false;
   // Guards compile()/lowering and the backend registry (readers included:
   // register_backend may reallocate the vector mid-session).
   mutable std::mutex compile_mu_;

@@ -58,6 +58,7 @@ class ClusterBackend : public CollectiveBackend {
 
   const char* name() const override { return "cluster"; }
   bool supports(CollectiveKind kind) const override;
+  std::uint64_t planning_fingerprint() const override;
   LoweredCollective lower(CollectiveKind kind, double bytes,
                           int root) override;
 

@@ -63,6 +63,15 @@ typedef enum {
 
 typedef struct {
   blinkBackend_t backend;
+  // Directory for the persistent plan store, or null/empty to fall back to
+  // the BLINK_PLAN_CACHE_DIR environment variable (unset = disabled). When
+  // set, the communicator warm-loads previously saved plans before its
+  // first collective and flushes its plan cache on destroy, so compiled
+  // schedules survive process restarts (§3.2's one-time planning cost is
+  // paid once per fabric, not once per process). A store whose format
+  // version or fabric fingerprint does not match is ignored — stale plans
+  // are never executed.
+  const char* plan_cache_dir;
 } blinkBackendConfig_t;
 
 // Creates a communicator over the GPUs |gpu_ids[0..ndev)| of a machine kind
@@ -97,6 +106,19 @@ blinkResult_t blinkCommInitAllWithConfig(blinkComm_t* comm,
 
 // The backend a communicator was created with.
 blinkResult_t blinkCommBackend(blinkComm_t comm, blinkBackend_t* backend);
+
+// --- persistent plans -------------------------------------------------------
+// Serializes the communicator's cached plans to |path| under a header
+// carrying the plan-store format version and the fabric fingerprint
+// (server shapes, link parameters, backend names and planning options).
+blinkResult_t blinkCommExportPlans(blinkComm_t comm, const char* path);
+// Loads plans saved by blinkCommExportPlans into the communicator's plan
+// cache, so each loaded shape's next collective skips TreeGen/CodeGen
+// entirely. Returns blinkInvalidArgument — loading nothing — when the file
+// is corrupt or truncated, its format version mismatches, or it was saved
+// against a different fabric fingerprint: a stale plan is rejected, never
+// executed.
+blinkResult_t blinkCommImportPlans(blinkComm_t comm, const char* path);
 // Destroying a communicator that another thread holds queued inside an open
 // blinkGroupStart/End is undefined behavior, as in NCCL: group state is
 // per-thread, so only the destroying thread's queue is cleaned up.

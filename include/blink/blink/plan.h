@@ -11,6 +11,7 @@
 // and CodeGen entirely.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -60,18 +61,28 @@ struct CollectiveRequest {
 struct PlanKey {
   int kind = 0;
   int root = 0;
-  std::uint64_t bytes = 0;
+  // The exact bit pattern of the requested size, not a truncation: sizes are
+  // doubles, and keying on static_cast<uint64_t>(bytes) made fractional
+  // sizes (1024.2 vs 1024.7) collide — the second caller silently got a
+  // plan compiled for different bytes.
+  std::uint64_t bytes_bits = 0;
   int backend = 0;
+
+  static PlanKey make(CollectiveKind kind, double bytes, int root,
+                      int backend) {
+    return PlanKey{static_cast<int>(kind), root,
+                   std::bit_cast<std::uint64_t>(bytes), backend};
+  }
 
   friend bool operator<(const PlanKey& a, const PlanKey& b) {
     if (a.kind != b.kind) return a.kind < b.kind;
     if (a.root != b.root) return a.root < b.root;
-    if (a.bytes != b.bytes) return a.bytes < b.bytes;
+    if (a.bytes_bits != b.bytes_bits) return a.bytes_bits < b.bytes_bits;
     return a.backend < b.backend;
   }
   friend bool operator==(const PlanKey& a, const PlanKey& b) {
-    return a.kind == b.kind && a.root == b.root && a.bytes == b.bytes &&
-           a.backend == b.backend;
+    return a.kind == b.kind && a.root == b.root &&
+           a.bytes_bits == b.bytes_bits && a.backend == b.backend;
   }
 };
 
@@ -110,10 +121,7 @@ class CollectivePlan {
   // fabric's channel ids).
   const void* owner() const { return owner_; }
 
-  PlanKey key() const {
-    return PlanKey{static_cast<int>(kind_), root_,
-                   static_cast<std::uint64_t>(bytes_), backend_};
-  }
+  PlanKey key() const { return PlanKey::make(kind_, bytes_, root_, backend_); }
 
   // Memoized execution result, returned by value under an internal lock so
   // concurrent execute() calls on one shared plan are safe. The simulation

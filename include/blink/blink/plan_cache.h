@@ -11,12 +11,16 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string>
+#include <string_view>
 
 #include "blink/blink/plan.h"
+#include "blink/blink/plan_io.h"
 
 namespace blink {
 
@@ -36,6 +40,31 @@ class PlanCache {
   void insert(const PlanKey& key, std::shared_ptr<const CollectivePlan> plan);
 
   void clear();
+
+  // --- persistence (plan_io.h formats) -------------------------------------
+
+  // Writes every cached plan to |path| under a header carrying the format
+  // version and |fabric_fingerprint|. |backend_name| maps a plan's backend
+  // id to its stable name (ids are process-local; names travel). Entries are
+  // written least-recently-used first so a load replays them in recency
+  // order. Returns the number of plans written; throws std::invalid_argument
+  // when the file cannot be written.
+  std::size_t save(const std::string& path, std::uint64_t fabric_fingerprint,
+                   const std::function<std::string(int)>& backend_name) const;
+
+  // Loads a store written by save() into the cache, re-keying each plan on
+  // the id |backend_id| resolves its backend name to (throws on -1: a plan
+  // for an unregistered backend must not execute). |validate| — when set —
+  // inspects every record before it is adopted and throws to reject it (the
+  // engine checks roots and route channel ids against its fabric). Plans are
+  // created owned by |owner|. Throws std::invalid_argument on a missing or
+  // corrupt file, a format version mismatch, or a fingerprint mismatch;
+  // nothing is inserted on failure. Returns the number of plans loaded.
+  // Loaded entries count as neither hits nor misses.
+  std::size_t load(const std::string& path, std::uint64_t fabric_fingerprint,
+                   const void* owner,
+                   const std::function<int(std::string_view)>& backend_id,
+                   const std::function<void(const PlanRecord&)>& validate = {});
 
   std::size_t size() const {
     const std::lock_guard<std::mutex> lock(mu_);

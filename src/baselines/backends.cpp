@@ -5,9 +5,24 @@
 
 #include "blink/baselines/butterfly.h"
 #include "blink/baselines/double_binary_tree.h"
+#include "blink/blink/plan_io.h"
 #include "blink/sim/executor.h"
 
 namespace blink::baselines {
+
+namespace {
+
+// The NcclOptions knobs that change what the baseline backends emit, for
+// planning_fingerprint(). Fabric calibration is hashed by the engine.
+std::uint64_t nccl_options_fingerprint(const NcclOptions& options) {
+  FingerprintHasher fp;
+  fp.f64(options.tree_threshold_bytes);
+  fp.i32(options.persistent_kernel_model);
+  hash_options(options.codegen, &fp);
+  return fp.value();
+}
+
+}  // namespace
 
 // --- NcclRingBackend --------------------------------------------------------
 
@@ -23,6 +38,10 @@ bool NcclRingBackend::supports(CollectiveKind kind) const {
   // NCCL has no tree/ring ReduceScatter emitter here; everything else rides
   // the ring (or the DBT switch for small AllReduce).
   return kind != CollectiveKind::kReduceScatter;
+}
+
+std::uint64_t NcclRingBackend::planning_fingerprint() const {
+  return nccl_options_fingerprint(options_);
 }
 
 bool NcclRingBackend::use_double_binary(double bytes) const {
@@ -112,6 +131,10 @@ DoubleBinaryBackend::DoubleBinaryBackend(const topo::Topology& topo,
   }
 }
 
+std::uint64_t DoubleBinaryBackend::planning_fingerprint() const {
+  return nccl_options_fingerprint(options_);
+}
+
 bool DoubleBinaryBackend::supports(CollectiveKind kind) const {
   return kind == CollectiveKind::kAllReduce && routable_;
 }
@@ -141,6 +164,10 @@ ButterflyBackend::ButterflyBackend(const topo::Topology& topo,
       fabric_(fabric),
       options_(std::move(options)),
       supported_(butterfly_supported(fabric_, 0)) {}
+
+std::uint64_t ButterflyBackend::planning_fingerprint() const {
+  return nccl_options_fingerprint(options_);
+}
 
 bool ButterflyBackend::supports(CollectiveKind kind) const {
   return kind == CollectiveKind::kAllReduce && supported_;

@@ -21,7 +21,8 @@ NcclCommunicator::NcclCommunicator(topo::Topology topo, NcclOptions options)
           options.persistent_kernel_model
               ? apply_persistent_kernel_model(options.fabric)
               : options.fabric,
-          EngineOptions{options.memoize, options.plan_cache_capacity}) {
+          EngineOptions{options.memoize, options.plan_cache_capacity,
+                        options.plan_store_dir}) {
   auto backend = std::make_unique<NcclRingBackend>(topology(), fabric(),
                                                    std::move(options));
   backend_ = backend.get();

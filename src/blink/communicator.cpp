@@ -7,6 +7,7 @@
 
 #include "blink/blink/dgx2.h"
 #include "blink/blink/hybrid.h"
+#include "blink/blink/plan_io.h"
 #include "blink/sim/executor.h"
 
 namespace blink {
@@ -277,6 +278,16 @@ LoweredCollective BlinkBackend::lower_at_chunk(CollectiveKind kind,
   return lowered;
 }
 
+std::uint64_t BlinkBackend::planning_fingerprint() const {
+  FingerprintHasher fp;
+  hash_options(options_.treegen, &fp);
+  hash_options(options_.codegen, &fp);
+  fp.i32(options_.hybrid);
+  fp.f64(options_.dpa_base_latency);
+  fp.f64(options_.dpa_per_gpu_latency);
+  return fp.value();
+}
+
 LoweredCollective BlinkBackend::lower(CollectiveKind kind, double bytes,
                                       int root) {
   std::uint64_t chunk = options_.codegen.chunk_bytes;
@@ -294,9 +305,10 @@ LoweredCollective BlinkBackend::lower(CollectiveKind kind, double bytes,
 // --- Communicator -----------------------------------------------------------
 
 Communicator::Communicator(topo::Topology topo, CommunicatorOptions options)
-    : CollectiveEngine(
-          std::move(topo), options.fabric,
-          EngineOptions{options.memoize, options.plan_cache_capacity}),
+    : CollectiveEngine(std::move(topo), options.fabric,
+                       EngineOptions{options.memoize,
+                                     options.plan_cache_capacity,
+                                     options.plan_store_dir}),
       options_(std::move(options)) {
   auto backend =
       std::make_unique<BlinkBackend>(topology(), fabric(), options_);

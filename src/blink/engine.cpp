@@ -1,13 +1,27 @@
 #include "blink/blink/engine.h"
 
 #include <cstring>
+#include <filesystem>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
+#include "blink/blink/plan_io.h"
+#include "blink/common/logging.h"
 #include "blink/sim/executor.h"
 
 namespace blink {
+
+namespace {
+
+// The paper's "throughput" of a collective: payload bytes over completion
+// time. The single definition for solo execute() and grouped run() results,
+// so both report the same bandwidth for the same plan and timing.
+double algorithm_bw(double bytes, double seconds) {
+  return seconds > 0.0 ? bytes / seconds : 0.0;
+}
+
+}  // namespace
 
 CollectiveEngine::CollectiveEngine(topo::Topology topo,
                                    const sim::FabricParams& fabric_params,
@@ -25,7 +39,25 @@ CollectiveEngine::CollectiveEngine(std::vector<topo::Topology> servers,
   for (const auto& s : servers_) num_gpus_ += s.num_gpus;
 }
 
-CollectiveEngine::~CollectiveEngine() = default;
+CollectiveEngine::~CollectiveEngine() {
+  // Flush the plan cache to the persistent store so the next process starts
+  // warm. Destructors must not throw; a failed flush costs the next process
+  // a recompile, nothing more.
+  if (engine_options_.plan_store_dir.empty()) return;
+  try {
+    const std::lock_guard<std::mutex> lock(compile_mu_);
+    if (plans_.size() == 0) return;
+    std::filesystem::create_directories(engine_options_.plan_store_dir);
+    const std::uint64_t fingerprint = fingerprint_locked();
+    plans_.save(plan_store_file(engine_options_.plan_store_dir, fingerprint),
+                fingerprint, [this](int id) {
+                  return std::string(
+                      backends_[static_cast<std::size_t>(id)]->name());
+                });
+  } catch (const std::exception& e) {
+    BLINK_LOG(kWarning) << "plan store flush failed: " << e.what();
+  }
+}
 
 int CollectiveEngine::register_backend(
     std::unique_ptr<CollectiveBackend> backend) {
@@ -34,6 +66,10 @@ int CollectiveEngine::register_backend(
   }
   const std::lock_guard<std::mutex> lock(compile_mu_);
   backends_.push_back(std::move(backend));
+  // Auto-selection winners were chosen among the backends registered at the
+  // time; a stale choice map would leave the new backend unmeasured for
+  // every already-seen (kind, bytes, root) forever.
+  auto_choices_.clear();
   return static_cast<int>(backends_.size()) - 1;
 }
 
@@ -72,6 +108,7 @@ std::shared_ptr<const CollectivePlan> CollectiveEngine::compile(
     throw std::invalid_argument("root out of range");
   }
   const std::lock_guard<std::mutex> lock(compile_mu_);
+  maybe_warm_load_locked();
   return compile_locked(kind, bytes, root, backend);
 }
 
@@ -81,6 +118,10 @@ std::shared_ptr<const CollectivePlan> CollectiveEngine::compile_locked(
     throw std::logic_error("engine has no registered backend");
   }
   if (backend == kAutoBackend) {
+    // Resolve root == -1 once, before the bake-off: candidates resolving it
+    // each to their own default would be timed at different roots, and the
+    // winner cached under a key no concrete-root request ever maps to.
+    if (root == -1) root = default_root_locked(kind);
     backend = select_backend_locked(kind, bytes, root);
   }
   if (backend < 0 || backend >= static_cast<int>(backends_.size())) {
@@ -99,16 +140,22 @@ std::shared_ptr<const CollectivePlan> CollectiveEngine::compile_locked(
                                 be.name() + " backend");
   }
   if (root == -1) root = be.default_root(kind);
-  const PlanKey key{static_cast<int>(kind), root,
-                    static_cast<std::uint64_t>(bytes), backend};
+  const PlanKey key = PlanKey::make(kind, bytes, root, backend);
   if (auto plan = plans_.find(key)) return plan;
   return adopt_plan(kind, bytes, root, backend, be.lower(kind, bytes, root));
 }
 
+int CollectiveEngine::default_root_locked(CollectiveKind kind) {
+  for (const auto& be : backends_) {
+    if (be->supports(kind)) return be->default_root(kind);
+  }
+  throw std::invalid_argument(std::string("no registered backend supports ") +
+                              to_string(kind));
+}
+
 int CollectiveEngine::select_backend_locked(CollectiveKind kind, double bytes,
                                             int root) {
-  const PlanKey key{static_cast<int>(kind), root,
-                    static_cast<std::uint64_t>(bytes), 0};
+  const PlanKey key = PlanKey::make(kind, bytes, root, 0);
   const auto it = auto_choices_.find(key);
   if (it != auto_choices_.end()) return it->second;
   int best = -1;
@@ -149,7 +196,7 @@ CollectiveResult CollectiveEngine::execute(const CollectivePlan& plan) {
   CollectiveResult result = plan.meta();
   const sim::RunResult run = sim::execute(fabric_, plan.program());
   result.seconds = run.makespan;
-  result.algorithm_bw = run.throughput(result.bytes);
+  result.algorithm_bw = algorithm_bw(result.bytes, result.seconds);
   if (engine_options_.memoize) plan.memoize_result(result);
   return result;
 }
@@ -170,10 +217,100 @@ std::vector<CollectiveResult> CollectiveEngine::run(
   for (std::size_t i = 0; i < plans.size(); ++i) {
     CollectiveResult r = plans[i]->meta();
     r.seconds = group.makespan[i];
-    r.algorithm_bw = r.seconds > 0.0 ? r.bytes / r.seconds : 0.0;
+    r.algorithm_bw = algorithm_bw(r.bytes, r.seconds);
     results.push_back(r);
   }
   return results;
+}
+
+std::uint64_t CollectiveEngine::fingerprint_locked() const {
+  std::vector<std::string> names;
+  names.reserve(backends_.size());
+  for (const auto& be : backends_) names.emplace_back(be->name());
+  FingerprintHasher fp;
+  fp.u64(blink::fabric_fingerprint(servers_, fabric_.params(), names));
+  // Planning configuration separates stores too: plans compiled under a
+  // different chunk policy or tree-generation knobs must not warm-load.
+  for (const auto& be : backends_) fp.u64(be->planning_fingerprint());
+  return fp.value();
+}
+
+int CollectiveEngine::backend_id_locked(std::string_view name) const {
+  for (std::size_t i = 0; i < backends_.size(); ++i) {
+    if (name == backends_[i]->name()) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::uint64_t CollectiveEngine::fabric_fingerprint() const {
+  const std::lock_guard<std::mutex> lock(compile_mu_);
+  return fingerprint_locked();
+}
+
+std::string CollectiveEngine::plan_store_path() const {
+  if (engine_options_.plan_store_dir.empty()) return "";
+  const std::lock_guard<std::mutex> lock(compile_mu_);
+  return plan_store_file(engine_options_.plan_store_dir, fingerprint_locked());
+}
+
+std::size_t CollectiveEngine::export_plans(const std::string& path) const {
+  const std::lock_guard<std::mutex> lock(compile_mu_);
+  return plans_.save(path, fingerprint_locked(), [this](int id) {
+    return std::string(backends_[static_cast<std::size_t>(id)]->name());
+  });
+}
+
+std::size_t CollectiveEngine::import_plans(const std::string& path) {
+  const std::lock_guard<std::mutex> lock(compile_mu_);
+  const std::size_t n = import_plans_locked(path);
+  // A successful explicit import supersedes the lazy warm-load; a failed
+  // one (the throw above) must leave it armed — a bad path passed here is
+  // no reason to ignore a valid store in plan_store_dir.
+  plan_store_checked_ = true;
+  return n;
+}
+
+std::size_t CollectiveEngine::import_plans_locked(const std::string& path) {
+  return plans_.load(
+      path, fingerprint_locked(), this,
+      [this](std::string_view name) { return backend_id_locked(name); },
+      [this](const PlanRecord& record) {
+        // The fingerprint already ties the store to this fabric and backend
+        // registry; these checks keep a hand-edited or bit-flipped record
+        // that happens to pass the header from ever reaching execute().
+        if (!(record.bytes > 0.0)) {
+          throw std::invalid_argument("plan store: non-positive size");
+        }
+        if (record.root < 0 || record.root >= num_gpus_) {
+          throw std::invalid_argument("plan store: root out of range");
+        }
+        for (const sim::Op& op : record.program.ops()) {
+          for (const int channel : op.route) {
+            if (channel < 0 || channel >= fabric_.num_channels()) {
+              throw std::invalid_argument(
+                  "plan store: route channel out of range for this fabric");
+            }
+          }
+        }
+      });
+}
+
+void CollectiveEngine::maybe_warm_load_locked() {
+  if (plan_store_checked_ || engine_options_.plan_store_dir.empty()) return;
+  plan_store_checked_ = true;
+  const std::string path =
+      plan_store_file(engine_options_.plan_store_dir, fingerprint_locked());
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec) || ec) return;  // cold start
+  try {
+    const std::size_t n = import_plans_locked(path);
+    BLINK_LOG(kInfo) << "plan store: warm-loaded " << n << " plans from "
+                     << path;
+  } catch (const std::exception& e) {
+    // A stale or corrupt store is rejected, never executed; recompiling is
+    // always safe, so a warm-start failure must not fail the job.
+    BLINK_LOG(kWarning) << "plan store: ignoring " << path << ": " << e.what();
+  }
 }
 
 CollectiveResult CollectiveEngine::broadcast(double bytes, int root) {

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "blink/blink/plan_io.h"
+
 namespace blink {
 
 namespace {
@@ -46,6 +48,13 @@ ClusterBackend::ClusterBackend(const std::vector<topo::Topology>& servers,
 bool ClusterBackend::supports(CollectiveKind kind) const {
   (void)kind;  // every kind has a three-phase lowering
   return true;
+}
+
+std::uint64_t ClusterBackend::planning_fingerprint() const {
+  FingerprintHasher fp;
+  hash_options(treegen_, &fp);
+  hash_options(codegen_, &fp);
+  return fp.value();
 }
 
 const ClusterBackend::TreeSetPtr& ClusterBackend::tree_set(int server,

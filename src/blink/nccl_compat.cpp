@@ -79,16 +79,33 @@ bool resolve_backend(const blinkBackendConfig_t* config,
   return true;
 }
 
-std::unique_ptr<blink::CollectiveEngine> make_engine(blinkBackend_t backend,
-                                                     blink::topo::Topology
-                                                         topo) {
+// The plan-store directory for a new communicator: the config field wins,
+// then the BLINK_PLAN_CACHE_DIR environment variable, else disabled.
+std::string resolve_plan_store_dir(const blinkBackendConfig_t* config) {
+  if (config != nullptr && config->plan_cache_dir != nullptr &&
+      *config->plan_cache_dir != '\0') {
+    return config->plan_cache_dir;
+  }
+  const char* env = std::getenv("BLINK_PLAN_CACHE_DIR");
+  return env == nullptr ? "" : env;
+}
+
+std::unique_ptr<blink::CollectiveEngine> make_engine(
+    blinkBackend_t backend, blink::topo::Topology topo,
+    const std::string& plan_store_dir) {
   using blink::baselines::NcclOptions;
   switch (backend) {
-    case blinkBackendBlink:
-      return std::make_unique<blink::Communicator>(std::move(topo));
-    case blinkBackendNccl:
+    case blinkBackendBlink: {
+      blink::CommunicatorOptions options;
+      options.plan_store_dir = plan_store_dir;
+      return std::make_unique<blink::Communicator>(std::move(topo), options);
+    }
+    case blinkBackendNccl: {
+      NcclOptions options;
+      options.plan_store_dir = plan_store_dir;
       return std::make_unique<blink::baselines::NcclCommunicator>(
-          std::move(topo));
+          std::move(topo), options);
+    }
     case blinkBackendRing:
     case blinkBackendDoubleBinary:
     case blinkBackendButterfly: {
@@ -100,7 +117,8 @@ std::unique_ptr<blink::CollectiveEngine> make_engine(blinkBackend_t backend,
       auto engine = std::make_unique<blink::CollectiveEngine>(
           std::move(topo),
           blink::baselines::apply_persistent_kernel_model(options.fabric),
-          blink::EngineOptions{options.memoize, options.plan_cache_capacity});
+          blink::EngineOptions{options.memoize, options.plan_cache_capacity,
+                               plan_store_dir});
       engine->register_backend(blink::baselines::make_baseline_backend(
           name, engine->topology(), engine->fabric(), options));
       return engine;
@@ -108,7 +126,12 @@ std::unique_ptr<blink::CollectiveEngine> make_engine(blinkBackend_t backend,
     case blinkBackendAuto: {
       // Blink plus every baseline on one engine and fabric; the engine's
       // kAutoBackend selector measures each per shape and keeps the fastest.
-      auto engine = std::make_unique<blink::Communicator>(std::move(topo));
+      // The warm-load happens lazily at the first collective, so every
+      // backend registered here is part of the store fingerprint.
+      blink::CommunicatorOptions options;
+      options.plan_store_dir = plan_store_dir;
+      auto engine =
+          std::make_unique<blink::Communicator>(std::move(topo), options);
       for (const char* name : {"nccl", "ring", "double_binary", "butterfly"}) {
         engine->register_backend(blink::baselines::make_baseline_backend(
             name, engine->topology(), engine->fabric(), NcclOptions{}));
@@ -213,7 +236,8 @@ blinkResult_t blinkCommInitAllWithConfig(blinkComm_t* comm,
     const std::vector<int> ids(gpu_ids, gpu_ids + ndev);
     auto topo = blink::topo::induced_topology(full, ids);
     auto c = std::make_unique<blinkComm>();
-    c->impl = make_engine(backend, std::move(topo));
+    c->impl = make_engine(backend, std::move(topo),
+                          resolve_plan_store_dir(config));
     if (c->impl == nullptr) return blinkInvalidArgument;
     c->backend = backend;
     c->engine_backend = backend == blinkBackendAuto
@@ -260,7 +284,10 @@ blinkResult_t blinkClusterCommInitAll(blinkComm_t* comm, const char* machine,
       next += ndev;
     }
     auto c = std::make_unique<blinkComm>();
-    c->impl = std::make_unique<blink::ClusterCommunicator>(std::move(servers));
+    blink::ClusterOptions options;
+    options.engine.plan_store_dir = resolve_plan_store_dir(nullptr);
+    c->impl = std::make_unique<blink::ClusterCommunicator>(std::move(servers),
+                                                           options);
     c->backend = blinkBackendCluster;
     *comm = c.release();
     return blinkSuccess;
@@ -275,6 +302,36 @@ blinkResult_t blinkCommBackend(blinkComm_t comm, blinkBackend_t* backend) {
   if (comm == nullptr || backend == nullptr) return blinkInvalidArgument;
   *backend = comm->backend;
   return blinkSuccess;
+}
+
+blinkResult_t blinkCommExportPlans(blinkComm_t comm, const char* path) {
+  if (comm == nullptr || comm->impl == nullptr || path == nullptr ||
+      *path == '\0') {
+    return blinkInvalidArgument;
+  }
+  try {
+    comm->impl->export_plans(path);
+    return blinkSuccess;
+  } catch (const std::invalid_argument&) {
+    return blinkInvalidArgument;
+  } catch (const std::exception&) {
+    return blinkInternalError;
+  }
+}
+
+blinkResult_t blinkCommImportPlans(blinkComm_t comm, const char* path) {
+  if (comm == nullptr || comm->impl == nullptr || path == nullptr ||
+      *path == '\0') {
+    return blinkInvalidArgument;
+  }
+  try {
+    comm->impl->import_plans(path);
+    return blinkSuccess;
+  } catch (const std::invalid_argument&) {
+    return blinkInvalidArgument;
+  } catch (const std::exception&) {
+    return blinkInternalError;
+  }
 }
 
 blinkResult_t blinkCommDestroy(blinkComm_t comm) {

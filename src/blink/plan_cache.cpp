@@ -1,7 +1,9 @@
 #include "blink/blink/plan_cache.h"
 
 #include <algorithm>
+#include <stdexcept>
 #include <utility>
+#include <vector>
 
 namespace blink {
 
@@ -42,6 +44,64 @@ void PlanCache::clear() {
   const std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   index_.clear();
+}
+
+std::size_t PlanCache::save(
+    const std::string& path, std::uint64_t fabric_fingerprint,
+    const std::function<std::string(int)>& backend_name) const {
+  std::vector<PlanRecord> records;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    records.reserve(lru_.size());
+    // Least-recently-used first: a load replays insertions in this order,
+    // so the reloaded cache ends up with the same recency ranking.
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      const CollectivePlan& plan = *it->second;
+      PlanRecord record;
+      record.backend_name = backend_name(plan.backend());
+      record.kind = static_cast<int>(plan.kind());
+      record.root = plan.root();
+      record.bytes = plan.bytes();
+      record.chunk_bytes = plan.chunk_bytes();
+      record.meta = plan.meta();
+      record.program = plan.program();
+      records.push_back(std::move(record));
+    }
+  }
+  write_plan_store(path, fabric_fingerprint, records);
+  return records.size();
+}
+
+std::size_t PlanCache::load(
+    const std::string& path, std::uint64_t fabric_fingerprint,
+    const void* owner,
+    const std::function<int(std::string_view)>& backend_id,
+    const std::function<void(const PlanRecord&)>& validate) {
+  const std::vector<PlanRecord> records =
+      read_plan_store(path, fabric_fingerprint);
+  // Validate every record before adopting any: a store that is rejected
+  // must leave the cache untouched.
+  std::vector<int> backends;
+  backends.reserve(records.size());
+  for (const PlanRecord& record : records) {
+    const int id = backend_id(record.backend_name);
+    if (id < 0) {
+      throw std::invalid_argument("plan store: unknown backend \"" +
+                                  record.backend_name + "\"");
+    }
+    if (validate) validate(record);
+    backends.push_back(id);
+  }
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const PlanRecord& record = records[i];
+    auto plan = std::make_shared<const CollectivePlan>(
+        owner, static_cast<CollectiveKind>(record.kind), record.bytes,
+        record.root, backends[i], record.chunk_bytes, record.program,
+        record.meta, std::vector<std::shared_ptr<const TreeSet>>{});
+    const PlanKey key = plan->key();
+    insert(key, std::move(plan));
+  }
+  return records.size();
 }
 
 }  // namespace blink

@@ -1,0 +1,328 @@
+#include "blink/blink/plan_io.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+namespace blink {
+
+namespace {
+
+// Little-endian fixed-width writes into a growing string. The format is
+// declared little-endian; on the LP64 little-endian hosts this project
+// targets a memcpy is exactly that.
+class Writer {
+ public:
+  explicit Writer(std::string* out) : out_(out) {}
+  void u32(std::uint32_t v) { raw(&v, sizeof v); }
+  void u64(std::uint64_t v) { raw(&v, sizeof v); }
+  void i32(std::int32_t v) { raw(&v, sizeof v); }
+  void f64(double v) { raw(&v, sizeof v); }
+  void str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    out_->append(s.data(), s.size());
+  }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    out_->append(static_cast<const char*>(p), n);
+  }
+  std::string* out_;
+};
+
+[[noreturn]] void corrupt(const char* what) {
+  throw std::invalid_argument(std::string("plan store: ") + what);
+}
+
+class Reader {
+ public:
+  Reader(std::string_view buf, std::size_t pos) : buf_(buf), pos_(pos) {
+    if (pos_ > buf_.size()) corrupt("truncated file");
+  }
+  std::uint32_t u32() { return fixed<std::uint32_t>(); }
+  std::uint64_t u64() { return fixed<std::uint64_t>(); }
+  std::int32_t i32() { return fixed<std::int32_t>(); }
+  double f64() { return fixed<double>(); }
+  // A double field that must be a real quantity: a bit-flipped exponent
+  // yielding NaN/inf passes every sign check downstream (NaN compares false
+  // against everything) and would flow through execute() into results.
+  double finite_f64() {
+    const double v = f64();
+    if (!std::isfinite(v)) corrupt("non-finite value");
+    return v;
+  }
+  std::string str() {
+    const std::uint32_t n = u32();
+    need(n);
+    std::string s(buf_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+  // A count of items that each occupy at least |item_bytes| more input;
+  // checking up front keeps a corrupt length from triggering a huge
+  // allocation before the overrun would be noticed.
+  std::uint32_t count(std::size_t item_bytes) {
+    const std::uint32_t n = u32();
+    if (remaining() / item_bytes < n) corrupt("truncated file");
+    return n;
+  }
+  std::size_t remaining() const { return buf_.size() - pos_; }
+  std::size_t pos() const { return pos_; }
+
+ private:
+  template <typename T>
+  T fixed() {
+    need(sizeof(T));
+    T v;
+    std::memcpy(&v, buf_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+  void need(std::size_t n) {
+    if (remaining() < n) corrupt("truncated file");
+  }
+
+  std::string_view buf_;
+  std::size_t pos_;
+};
+
+void write_int_vector(Writer* w, const std::vector<int>& v) {
+  w->u32(static_cast<std::uint32_t>(v.size()));
+  for (int x : v) w->i32(x);
+}
+
+std::vector<int> read_int_vector(Reader* r) {
+  const std::uint32_t n = r->count(sizeof(std::int32_t));
+  std::vector<int> v;
+  v.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) v.push_back(r->i32());
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t fabric_fingerprint(
+    const std::vector<topo::Topology>& servers,
+    const sim::FabricParams& params,
+    const std::vector<std::string>& backend_names) {
+  FingerprintHasher fp;
+  fp.str("blink-plan-store");
+  fp.u64(servers.size());
+  for (const topo::Topology& t : servers) {
+    fp.i32(static_cast<int>(t.kind));
+    fp.str(t.name);
+    fp.i32(t.num_gpus);
+    fp.f64(t.nvlink_lane_bw);
+    fp.u64(t.nvlinks.size());
+    for (const topo::NvlinkEdge& e : t.nvlinks) {
+      fp.i32(e.a);
+      fp.i32(e.b);
+      fp.i32(e.lanes);
+    }
+    fp.i32(t.has_nvswitch ? 1 : 0);
+    fp.f64(t.nvswitch_gpu_bw);
+    fp.u64(t.pcie.plx_of_gpu.size());
+    for (int x : t.pcie.plx_of_gpu) fp.i32(x);
+    fp.u64(t.pcie.cpu_of_plx.size());
+    for (int x : t.pcie.cpu_of_plx) fp.i32(x);
+    fp.f64(t.pcie.gpu_bw);
+    fp.f64(t.pcie.plx_bw);
+    fp.f64(t.pcie.qpi_bw);
+    fp.u64(t.global_ids.size());
+    for (int x : t.global_ids) fp.i32(x);
+  }
+  fp.f64(params.copy_launch_latency);
+  fp.f64(params.reduce_launch_latency);
+  fp.f64(params.event_sync_latency);
+  fp.f64(params.reduce_bw);
+  fp.f64(params.nic_bw);
+  fp.f64(params.sysmem_bw);
+  fp.u64(backend_names.size());
+  for (const std::string& name : backend_names) fp.str(name);
+  return fp.value();
+}
+
+void hash_options(const TreeGenOptions& treegen, FingerprintHasher* fp) {
+  fp->f64(treegen.mwu_epsilon);
+  fp->f64(treegen.minimize_threshold);
+  fp->i32(treegen.minimize);
+  fp->i32(static_cast<int>(treegen.link));
+  fp->i32(treegen.bidirectional);
+}
+
+void hash_options(const CodeGenOptions& codegen, FingerprintHasher* fp) {
+  fp->u64(codegen.chunk_bytes);
+  fp->i32(codegen.stream_reuse);
+  fp->i32(codegen.max_chunks_per_tree);
+}
+
+std::string plan_store_file(const std::string& dir, std::uint64_t fingerprint) {
+  char name[32];
+  std::snprintf(name, sizeof name, "plans-%016llx.bpc",
+                static_cast<unsigned long long>(fingerprint));
+  return (std::filesystem::path(dir) / name).string();
+}
+
+void serialize_program(const sim::Program& program, std::string* out) {
+  Writer w(out);
+  w.i32(program.num_streams());
+  w.u32(static_cast<std::uint32_t>(program.ops().size()));
+  for (const sim::Op& op : program.ops()) {
+    w.u32(static_cast<std::uint32_t>(op.kind));
+    write_int_vector(&w, op.route);
+    w.f64(op.bytes);
+    w.f64(op.latency);
+    w.i32(op.stream);
+    write_int_vector(&w, op.deps);
+    w.str(op.label);
+  }
+}
+
+sim::Program deserialize_program(std::string_view buf, std::size_t* pos) {
+  Reader r(buf, *pos);
+  sim::Program program;
+  const int num_streams = r.i32();
+  // Like Reader::count, bound the count against the input size so one
+  // corrupt field cannot drive a ~2^31-iteration loop: every real stream is
+  // accompanied by serialized ops, so a stream count beyond the remaining
+  // byte count is garbage.
+  if (num_streams < 0 ||
+      static_cast<std::size_t>(num_streams) > r.remaining()) {
+    corrupt("implausible stream count");
+  }
+  for (int s = 0; s < num_streams; ++s) program.new_stream();
+  // A minimal op: kind, three empty vector/string lengths, two doubles, and
+  // the stream id.
+  const std::uint32_t num_ops = r.count(4 * sizeof(std::uint32_t) +
+                                        2 * sizeof(double) +
+                                        sizeof(std::int32_t));
+  for (std::uint32_t i = 0; i < num_ops; ++i) {
+    sim::Op op;
+    const std::uint32_t kind = r.u32();
+    if (kind > static_cast<std::uint32_t>(sim::OpKind::kDelay)) {
+      corrupt("unknown op kind");
+    }
+    op.kind = static_cast<sim::OpKind>(kind);
+    op.route = read_int_vector(&r);
+    op.bytes = r.finite_f64();
+    op.latency = r.finite_f64();
+    op.stream = r.i32();
+    op.deps = read_int_vector(&r);
+    op.label = r.str();
+    program.add(std::move(op));
+  }
+  std::string error;
+  if (!program.validate(&error)) corrupt("invalid program");
+  *pos = r.pos();
+  return program;
+}
+
+void serialize_plan_record(const PlanRecord& record, std::string* out) {
+  Writer w(out);
+  w.str(record.backend_name);
+  w.i32(record.kind);
+  w.i32(record.root);
+  w.f64(record.bytes);
+  w.u64(record.chunk_bytes);
+  w.f64(record.meta.seconds);
+  w.f64(record.meta.bytes);
+  w.f64(record.meta.algorithm_bw);
+  w.i32(record.meta.num_trees);
+  w.i32(record.meta.num_chunks);
+  w.i32(record.meta.num_ops);
+  serialize_program(record.program, out);
+}
+
+PlanRecord deserialize_plan_record(std::string_view buf, std::size_t* pos) {
+  Reader r(buf, *pos);
+  PlanRecord record;
+  record.backend_name = r.str();
+  record.kind = r.i32();
+  if (record.kind < static_cast<int>(CollectiveKind::kBroadcast) ||
+      record.kind > static_cast<int>(CollectiveKind::kReduceScatter)) {
+    corrupt("unknown collective kind");
+  }
+  record.root = r.i32();
+  record.bytes = r.finite_f64();
+  record.chunk_bytes = r.u64();
+  record.meta.seconds = r.finite_f64();
+  record.meta.bytes = r.finite_f64();
+  record.meta.algorithm_bw = r.finite_f64();
+  record.meta.num_trees = r.i32();
+  record.meta.num_chunks = r.i32();
+  record.meta.num_ops = r.i32();
+  std::size_t p = r.pos();
+  record.program = deserialize_program(buf, &p);
+  *pos = p;
+  return record;
+}
+
+void write_plan_store(const std::string& path, std::uint64_t fingerprint,
+                      const std::vector<PlanRecord>& records) {
+  std::string buf;
+  Writer w(&buf);
+  w.u32(kPlanStoreMagic);
+  w.u32(kPlanStoreVersion);
+  w.u64(fingerprint);
+  w.u32(static_cast<std::uint32_t>(records.size()));
+  for (const PlanRecord& record : records) serialize_plan_record(record, &buf);
+
+  // Unique temp name per writer: engines of identical fabrics (e.g. the
+  // ranks of an LD_PRELOAD job sharing one store dir) flush to the same
+  // |path|, and a shared ".tmp" would let one writer truncate another's
+  // half-written file before the rename.
+  static std::atomic<unsigned> tmp_seq{0};
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(tmp_seq.fetch_add(1));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::invalid_argument("plan store: cannot write " + tmp);
+    }
+    out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+    if (!out) {
+      throw std::invalid_argument("plan store: short write to " + tmp);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    throw std::invalid_argument("plan store: cannot replace " + path);
+  }
+}
+
+std::vector<PlanRecord> read_plan_store(const std::string& path,
+                                        std::uint64_t expected_fingerprint) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::invalid_argument("plan store: cannot read " + path);
+  std::string buf((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+
+  Reader r(buf, 0);
+  if (r.u32() != kPlanStoreMagic) corrupt("not a plan store file");
+  const std::uint32_t version = r.u32();
+  if (version != kPlanStoreVersion) corrupt("format version mismatch");
+  if (r.u64() != expected_fingerprint) corrupt("fabric fingerprint mismatch");
+  // A minimal record (empty backend name, empty program) is 72 bytes; this
+  // conservative bound keeps a corrupt count field from reserving gigabytes
+  // of PlanRecords before the first record parse would reject the file.
+  const std::uint32_t count = r.count(64);
+  std::vector<PlanRecord> records;
+  records.reserve(count);
+  std::size_t pos = r.pos();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    records.push_back(deserialize_plan_record(buf, &pos));
+  }
+  if (pos != buf.size()) corrupt("trailing bytes after last plan");
+  return records;
+}
+
+}  // namespace blink

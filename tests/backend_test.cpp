@@ -187,6 +187,93 @@ TEST(Backend, AutoSelectionSkipsUnsupportedKinds) {
                std::invalid_argument);
 }
 
+// A backend whose speed is an exact, root-dependent delay, so auto-selection
+// behavior can be pinned down: completion time = base + per_root * root.
+class StubBackend : public CollectiveBackend {
+ public:
+  StubBackend(const char* name, double base, double per_root, int root)
+      : name_(name), base_(base), per_root_(per_root), root_(root) {}
+  const char* name() const override { return name_; }
+  bool supports(CollectiveKind kind) const override {
+    (void)kind;
+    return true;
+  }
+  int default_root(CollectiveKind kind) override {
+    (void)kind;
+    return root_;
+  }
+  LoweredCollective lower(CollectiveKind kind, double bytes,
+                          int root) override {
+    (void)kind;
+    LoweredCollective out;
+    const int stream = out.program.new_stream();
+    out.program.add(sim::Op{sim::OpKind::kDelay,
+                            {},
+                            0.0,
+                            base_ + per_root_ * root,
+                            stream,
+                            {},
+                            "stub"});
+    out.meta.bytes = bytes;
+    out.meta.num_ops = 1;
+    return out;
+  }
+
+ private:
+  const char* name_;
+  double base_;
+  double per_root_;
+  int root_;
+};
+
+// Satellite regression: select_backend_locked used to pass the unresolved
+// root == -1 to each candidate, timing backends at their *own* default
+// roots (apples to oranges) and caching the choice under root == -1. Now
+// the root is resolved once — to the first supporting backend's default —
+// every candidate is measured at that same root, and the choice is keyed
+// on it.
+TEST(Backend, AutoSelectionResolvesRootConsistently) {
+  CollectiveEngine engine(topo::make_dgx2(), sim::FabricParams{});
+  // slow_a: 2ms at every root, default root 0 (it goes first, so root == -1
+  // resolves to 0). fast_at_0: 1ms at root 0 but 5ms at its own default
+  // root 1 — the old per-candidate resolution would have measured it at
+  // 5ms and wrongly picked slow_a.
+  engine.register_backend(
+      std::make_unique<StubBackend>("slow_a", 2e-3, 0.0, 0));
+  const int fast_at_0 = engine.register_backend(
+      std::make_unique<StubBackend>("fast_at_0", 1e-3, 4e-3, 1));
+
+  const auto plan = engine.compile(CollectiveKind::kBroadcast, 1e6, -1,
+                                   CollectiveEngine::kAutoBackend);
+  EXPECT_EQ(plan->backend(), fast_at_0);
+  EXPECT_EQ(plan->root(), 0);  // the consistently resolved root, not 1
+  // The choice is cached under the resolved root: asking for root 0
+  // explicitly reuses it without re-measuring.
+  const auto misses = engine.plan_cache().misses();
+  const auto again = engine.compile(CollectiveKind::kBroadcast, 1e6, 0,
+                                    CollectiveEngine::kAutoBackend);
+  EXPECT_EQ(again.get(), plan.get());
+  EXPECT_EQ(engine.plan_cache().misses(), misses);
+}
+
+// Satellite regression: register_backend() now invalidates cached auto
+// choices, so a backend registered after a winner was picked still gets
+// measured for already-seen shapes.
+TEST(Backend, RegisteringBackendInvalidatesAutoChoices) {
+  CollectiveEngine engine(topo::make_dgx2(), sim::FabricParams{});
+  const int slow = engine.register_backend(
+      std::make_unique<StubBackend>("slow", 5e-3, 0.0, 0));
+  const auto first = engine.compile(CollectiveKind::kAllReduce, 1e6, -1,
+                                    CollectiveEngine::kAutoBackend);
+  EXPECT_EQ(first->backend(), slow);  // only candidate
+
+  const int fast = engine.register_backend(
+      std::make_unique<StubBackend>("fast", 1e-4, 0.0, 0));
+  const auto second = engine.compile(CollectiveKind::kAllReduce, 1e6, -1,
+                                     CollectiveEngine::kAutoBackend);
+  EXPECT_EQ(second->backend(), fast);  // re-measured, new winner
+}
+
 TEST(Backend, AutoSelectionInGroupRequests) {
   auto comm = auto_engine(topo::make_dgx2());
   const std::vector<CollectiveRequest> reqs{

@@ -1,0 +1,398 @@
+// Plan serialization and the persistent plan store: round-trip equality of
+// programs and plans, warm-start (a plan compiled in one "process" —
+// engine — executes in a fresh one with zero recompiles), and rejection of
+// version-mismatched, fingerprint-mismatched, corrupt, and truncated stores.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "blink/baselines/backends.h"
+#include "blink/blink/communicator.h"
+#include "blink/blink/multiserver.h"
+#include "blink/blink/nccl_compat.h"
+#include "blink/blink/plan_io.h"
+#include "blink/topology/builders.h"
+
+namespace blink {
+namespace {
+
+namespace fs = std::filesystem;
+
+// A fresh per-test scratch directory under the system temp dir.
+class PlanStore : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("blink-plan-store-" + std::string(::testing::UnitTest::GetInstance()
+                                                  ->current_test_info()
+                                                  ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string path(const char* name) const { return (dir_ / name).string(); }
+
+  fs::path dir_;
+};
+
+// Fixed chunk size keeps compiles fast (no MIAD probe runs) and, more
+// importantly for these tests, deterministic across engine instances.
+CommunicatorOptions fast_options() {
+  CommunicatorOptions options;
+  options.codegen.chunk_bytes = 4u << 20;
+  return options;
+}
+
+bool identical(const CollectiveResult& a, const CollectiveResult& b) {
+  return a.seconds == b.seconds && a.bytes == b.bytes &&
+         a.algorithm_bw == b.algorithm_bw && a.num_trees == b.num_trees &&
+         a.num_chunks == b.num_chunks && a.num_ops == b.num_ops;
+}
+
+sim::Program sample_program() {
+  sim::Program p;
+  const int s0 = p.new_stream();
+  const int s1 = p.new_stream();
+  const int first =
+      p.add(sim::Op{sim::OpKind::kCopy, {0, 3}, 4096.0, 2e-6, s0, {}, "c0"});
+  p.add(sim::Op{sim::OpKind::kReduce, {5}, 1024.5, 6e-6, s1, {first}, "r"});
+  p.add(sim::Op{sim::OpKind::kDelay, {}, 0.0, 1e-3, s0, {first}, ""});
+  return p;
+}
+
+TEST_F(PlanStore, ProgramRoundTrip) {
+  const sim::Program original = sample_program();
+  std::string buf;
+  serialize_program(original, &buf);
+  std::size_t pos = 0;
+  const sim::Program restored = deserialize_program(buf, &pos);
+  EXPECT_EQ(pos, buf.size());
+  ASSERT_EQ(restored.num_streams(), original.num_streams());
+  ASSERT_EQ(restored.ops().size(), original.ops().size());
+  for (std::size_t i = 0; i < original.ops().size(); ++i) {
+    const sim::Op& a = original.ops()[i];
+    const sim::Op& b = restored.ops()[i];
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.route, b.route);
+    EXPECT_EQ(a.bytes, b.bytes);
+    EXPECT_EQ(a.latency, b.latency);
+    EXPECT_EQ(a.stream, b.stream);
+    EXPECT_EQ(a.deps, b.deps);
+    EXPECT_EQ(a.label, b.label);
+  }
+}
+
+TEST_F(PlanStore, PlanRecordRoundTrip) {
+  PlanRecord record;
+  record.backend_name = "blink";
+  record.kind = static_cast<int>(CollectiveKind::kAllReduce);
+  record.root = 3;
+  record.bytes = 1024.7;  // fractional sizes must survive exactly
+  record.chunk_bytes = 1u << 20;
+  record.meta.bytes = 1024.7;
+  record.meta.num_trees = 6;
+  record.meta.num_chunks = 4;
+  record.meta.num_ops = 3;
+  record.program = sample_program();
+
+  std::string buf;
+  serialize_plan_record(record, &buf);
+  std::size_t pos = 0;
+  const PlanRecord restored = deserialize_plan_record(buf, &pos);
+  EXPECT_EQ(pos, buf.size());
+  EXPECT_EQ(restored.backend_name, record.backend_name);
+  EXPECT_EQ(restored.kind, record.kind);
+  EXPECT_EQ(restored.root, record.root);
+  EXPECT_EQ(restored.bytes, record.bytes);
+  EXPECT_EQ(restored.chunk_bytes, record.chunk_bytes);
+  EXPECT_TRUE(identical(restored.meta, record.meta));
+  EXPECT_EQ(restored.program.ops().size(), record.program.ops().size());
+}
+
+// A flipped exponent bit turns a stored double into NaN/inf without
+// tripping any truncation check; the reader must reject it — NaN slips
+// past every downstream sign comparison and would surface in results.
+TEST_F(PlanStore, NonFiniteValuesRejected) {
+  PlanRecord record;
+  record.backend_name = "blink";
+  record.bytes = std::numeric_limits<double>::quiet_NaN();
+  record.meta.bytes = 1.0;
+  record.program = sample_program();
+  std::string buf;
+  serialize_plan_record(record, &buf);
+  std::size_t pos = 0;
+  EXPECT_THROW(deserialize_plan_record(buf, &pos), std::invalid_argument);
+
+  sim::Program program = sample_program();
+  sim::Op op;
+  op.kind = sim::OpKind::kDelay;
+  op.latency = std::numeric_limits<double>::infinity();
+  program.add(op);
+  buf.clear();
+  serialize_program(program, &buf);
+  pos = 0;
+  EXPECT_THROW(deserialize_program(buf, &pos), std::invalid_argument);
+}
+
+TEST_F(PlanStore, FingerprintSeparatesFabrics) {
+  const std::vector<std::string> names{"blink"};
+  const sim::FabricParams params;
+  const auto v100 = fabric_fingerprint({topo::make_dgx1v()}, params, names);
+  const auto p100 = fabric_fingerprint({topo::make_dgx1p()}, params, names);
+  EXPECT_NE(v100, p100);
+
+  sim::FabricParams slow_nic = params;
+  slow_nic.nic_bw /= 2;
+  EXPECT_NE(fabric_fingerprint({topo::make_dgx1v()}, slow_nic, names), v100);
+
+  EXPECT_NE(fabric_fingerprint({topo::make_dgx1v()}, params,
+                               {"blink", "ring"}),
+            v100);
+  EXPECT_NE(fabric_fingerprint(
+                {topo::make_dgx1v(), topo::make_dgx1v()}, params, names),
+            v100);
+  // Deterministic across calls (it names the store file).
+  EXPECT_EQ(fabric_fingerprint({topo::make_dgx1v()}, params, names), v100);
+}
+
+// Export in one engine, import in a fresh one: every shape is a cache hit
+// (zero TreeGen/CodeGen recompiles) and results are bit-identical.
+TEST_F(PlanStore, ExportImportWarmStartsAFreshEngine) {
+  const std::string store = path("plans.bpc");
+  std::vector<CollectiveResult> saved;
+  {
+    Communicator comm(topo::make_dgx1v(), fast_options());
+    saved.push_back(comm.execute(
+        *comm.compile(CollectiveKind::kBroadcast, 100e6, 0)));
+    saved.push_back(comm.execute(
+        *comm.compile(CollectiveKind::kAllReduce, 64e6, -1)));
+    saved.push_back(comm.execute(
+        *comm.compile(CollectiveKind::kReduce, 1024.7, 2)));
+    EXPECT_EQ(comm.export_plans(store), 3u);
+  }
+
+  Communicator fresh(topo::make_dgx1v(), fast_options());
+  EXPECT_EQ(fresh.import_plans(store), 3u);
+  EXPECT_EQ(fresh.plan_cache().size(), 3u);
+
+  std::vector<CollectiveResult> loaded;
+  loaded.push_back(fresh.execute(
+      *fresh.compile(CollectiveKind::kBroadcast, 100e6, 0)));
+  loaded.push_back(fresh.execute(
+      *fresh.compile(CollectiveKind::kAllReduce, 64e6, -1)));
+  loaded.push_back(fresh.execute(
+      *fresh.compile(CollectiveKind::kReduce, 1024.7, 2)));
+
+  // Zero recompiles: every compile() was a hit on a loaded plan.
+  EXPECT_EQ(fresh.plan_cache().misses(), 0u);
+  EXPECT_EQ(fresh.plan_cache().hits(), 3u);
+  for (std::size_t i = 0; i < saved.size(); ++i) {
+    EXPECT_TRUE(identical(saved[i], loaded[i])) << "shape " << i;
+  }
+}
+
+// The EngineOptions::plan_store_dir lifecycle: flush on destruction,
+// warm-load before the first compile of the next engine.
+TEST_F(PlanStore, StoreDirFlushesOnDestructionAndWarmLoads) {
+  CommunicatorOptions options = fast_options();
+  options.plan_store_dir = dir_.string();
+  CollectiveResult cold;
+  std::string store_path;
+  {
+    Communicator comm(topo::make_dgx1v(), options);
+    cold = comm.execute(*comm.compile(CollectiveKind::kAllReduce, 32e6, -1));
+    EXPECT_GT(comm.plan_cache().misses(), 0u);
+    store_path = comm.plan_store_path();
+    EXPECT_FALSE(fs::exists(store_path));  // flushed only at destruction
+  }
+  ASSERT_TRUE(fs::exists(store_path));
+
+  Communicator warm(topo::make_dgx1v(), options);
+  const CollectiveResult hot =
+      warm.execute(*warm.compile(CollectiveKind::kAllReduce, 32e6, -1));
+  EXPECT_EQ(warm.plan_cache().misses(), 0u);
+  EXPECT_EQ(warm.plan_cache().hits(), 1u);
+  EXPECT_TRUE(identical(cold, hot));
+
+  // A failed explicit import must not disarm the lazy warm-load: the store
+  // in plan_store_dir is still valid.
+  Communicator warm2(topo::make_dgx1v(), options);
+  EXPECT_THROW(warm2.import_plans(path("missing.bpc")),
+               std::invalid_argument);
+  warm2.execute(*warm2.compile(CollectiveKind::kAllReduce, 32e6, -1));
+  EXPECT_EQ(warm2.plan_cache().misses(), 0u);
+}
+
+// A store saved under a different fabric (DGX-1V vs DGX-1P) is rejected
+// with std::invalid_argument and nothing is adopted.
+TEST_F(PlanStore, FingerprintMismatchRejected) {
+  const std::string store = path("plans.bpc");
+  {
+    Communicator comm(topo::make_dgx1v(), fast_options());
+    comm.compile(CollectiveKind::kBroadcast, 10e6, 0);
+    comm.export_plans(store);
+  }
+  Communicator other(topo::make_dgx1p(), fast_options());
+  EXPECT_THROW(other.import_plans(store), std::invalid_argument);
+  EXPECT_EQ(other.plan_cache().size(), 0u);
+
+  // Same machine but a different backend registry also mismatches: backend
+  // ids must mean the same thing in the loading process.
+  Communicator extra(topo::make_dgx1v(), fast_options());
+  extra.register_backend(baselines::make_baseline_backend(
+      "ring", extra.topology(), extra.fabric(), baselines::NcclOptions{}));
+  EXPECT_THROW(extra.import_plans(store), std::invalid_argument);
+
+  // Same fabric and backends but a different planning configuration (here
+  // the chunk policy) mismatches too: plans lowered under another
+  // configuration must not warm-load as if they were this engine's.
+  CommunicatorOptions other_chunk = fast_options();
+  other_chunk.codegen.chunk_bytes = 8u << 20;
+  Communicator tuned(topo::make_dgx1v(), other_chunk);
+  EXPECT_THROW(tuned.import_plans(store), std::invalid_argument);
+  EXPECT_EQ(tuned.plan_cache().size(), 0u);
+}
+
+TEST_F(PlanStore, VersionMismatchRejected) {
+  const std::string store = path("plans.bpc");
+  Communicator comm(topo::make_dgx1v(), fast_options());
+  comm.compile(CollectiveKind::kBroadcast, 10e6, 0);
+  comm.export_plans(store);
+
+  // Flip the version field (bytes 4..8 of the header).
+  std::fstream f(store, std::ios::in | std::ios::out | std::ios::binary);
+  const std::uint32_t bogus = kPlanStoreVersion + 1;
+  f.seekp(4);
+  f.write(reinterpret_cast<const char*>(&bogus), sizeof bogus);
+  f.close();
+
+  Communicator fresh(topo::make_dgx1v(), fast_options());
+  EXPECT_THROW(fresh.import_plans(store), std::invalid_argument);
+  EXPECT_EQ(fresh.plan_cache().size(), 0u);
+}
+
+TEST_F(PlanStore, CorruptAndTruncatedStoresRejected) {
+  const std::string store = path("plans.bpc");
+  Communicator comm(topo::make_dgx1v(), fast_options());
+  comm.compile(CollectiveKind::kBroadcast, 10e6, 0);
+  comm.export_plans(store);
+  const auto full_size = fs::file_size(store);
+
+  Communicator fresh(topo::make_dgx1v(), fast_options());
+  // Truncated at every interesting boundary: mid-header, mid-record.
+  for (const std::uintmax_t size :
+       {std::uintmax_t{0}, std::uintmax_t{7}, std::uintmax_t{20},
+        full_size / 2, full_size - 1}) {
+    const std::string cut = path("truncated.bpc");
+    fs::copy_file(store, cut, fs::copy_options::overwrite_existing);
+    fs::resize_file(cut, size);
+    EXPECT_THROW(fresh.import_plans(cut), std::invalid_argument)
+        << "size " << size;
+  }
+  // Not a store file at all.
+  const std::string garbage = path("garbage.bpc");
+  std::ofstream(garbage, std::ios::binary) << "definitely not a plan store";
+  EXPECT_THROW(fresh.import_plans(garbage), std::invalid_argument);
+  // Missing entirely.
+  EXPECT_THROW(fresh.import_plans(path("missing.bpc")),
+               std::invalid_argument);
+  EXPECT_EQ(fresh.plan_cache().size(), 0u);
+
+  // A rejected store never poisons the engine: it still compiles and runs.
+  const auto r = fresh.all_reduce(16e6);
+  EXPECT_GT(r.seconds, 0.0);
+}
+
+// A stale store in plan_store_dir must not break warm engines: the lazy
+// warm-load logs and ignores it, then compiles cold.
+TEST_F(PlanStore, WarmLoadIgnoresStaleStore) {
+  CommunicatorOptions options = fast_options();
+  options.plan_store_dir = dir_.string();
+  std::string store_path;
+  {
+    Communicator comm(topo::make_dgx1v(), options);
+    comm.compile(CollectiveKind::kBroadcast, 10e6, 0);
+    store_path = comm.plan_store_path();
+  }
+  ASSERT_TRUE(fs::exists(store_path));
+  fs::resize_file(store_path, fs::file_size(store_path) / 2);
+
+  Communicator comm(topo::make_dgx1v(), options);
+  const auto r = comm.broadcast(10e6, 0);
+  EXPECT_GT(r.seconds, 0.0);
+  EXPECT_EQ(comm.plan_cache().misses(), 1u);  // compiled cold, no crash
+}
+
+// The multi-server path persists through the same engine surface.
+TEST_F(PlanStore, ClusterPlansRoundTrip) {
+  const std::string store = path("cluster.bpc");
+  ClusterOptions options;
+  options.codegen.chunk_bytes = 4u << 20;
+  std::vector<topo::Topology> servers{topo::make_dgx1v(), topo::make_dgx1v()};
+  CollectiveResult saved;
+  {
+    ClusterCommunicator comm(servers, options);
+    saved = comm.execute(*comm.compile(CollectiveKind::kAllReduce, 64e6, -1));
+    EXPECT_EQ(comm.export_plans(store), 1u);
+  }
+  ClusterCommunicator fresh(servers, options);
+  EXPECT_EQ(fresh.import_plans(store), 1u);
+  const auto loaded =
+      fresh.execute(*fresh.compile(CollectiveKind::kAllReduce, 64e6, -1));
+  EXPECT_EQ(fresh.plan_cache().misses(), 0u);
+  EXPECT_TRUE(identical(saved, loaded));
+}
+
+// The NCCL facade surface: BLINK_PLAN_CACHE_DIR warm-starts a second
+// communicator, and blinkCommImportPlans maps mismatch to
+// blinkInvalidArgument.
+TEST_F(PlanStore, FacadeEnvVarAndExplicitImport) {
+  const int gpus[] = {0, 1, 2, 3, 4, 5, 6, 7};
+  ASSERT_EQ(setenv("BLINK_PLAN_CACHE_DIR", dir_.string().c_str(), 1), 0);
+
+  blinkComm_t comm = nullptr;
+  ASSERT_EQ(blinkCommInitAll(&comm, "dgx1v", 8, gpus), blinkSuccess);
+  EXPECT_EQ(blinkAllReduce(nullptr, nullptr, 1 << 20, blinkFloat32, blinkSum,
+                           comm, nullptr),
+            blinkSuccess);
+  CollectiveResult cold;
+  EXPECT_EQ(blinkCommLastResult(comm, &cold), blinkSuccess);
+  const std::string exported = path("facade.bpc");
+  EXPECT_EQ(blinkCommExportPlans(comm, exported.c_str()), blinkSuccess);
+  EXPECT_EQ(blinkCommDestroy(comm), blinkSuccess);  // flushes the store
+
+  blinkComm_t warm = nullptr;
+  ASSERT_EQ(blinkCommInitAll(&warm, "dgx1v", 8, gpus), blinkSuccess);
+  EXPECT_EQ(blinkAllReduce(nullptr, nullptr, 1 << 20, blinkFloat32, blinkSum,
+                           warm, nullptr),
+            blinkSuccess);
+  CollectiveResult hot;
+  EXPECT_EQ(blinkCommLastResult(warm, &hot), blinkSuccess);
+  EXPECT_TRUE(identical(cold, hot));
+  EXPECT_EQ(blinkCommDestroy(warm), blinkSuccess);
+  ASSERT_EQ(unsetenv("BLINK_PLAN_CACHE_DIR"), 0);
+
+  // Explicit import into a mismatched communicator (different machine).
+  blinkComm_t other = nullptr;
+  const int four[] = {0, 1, 2, 3};
+  ASSERT_EQ(blinkCommInitAll(&other, "dgx2", 4, four), blinkSuccess);
+  EXPECT_EQ(blinkCommImportPlans(other, exported.c_str()),
+            blinkInvalidArgument);
+  // And bad arguments.
+  EXPECT_EQ(blinkCommImportPlans(other, nullptr), blinkInvalidArgument);
+  EXPECT_EQ(blinkCommExportPlans(nullptr, exported.c_str()),
+            blinkInvalidArgument);
+  EXPECT_EQ(blinkCommDestroy(other), blinkSuccess);
+}
+
+}  // namespace
+}  // namespace blink

@@ -124,6 +124,42 @@ TEST(Plan, CacheHitsSkipRecompilation) {
   EXPECT_GE(comm.plan_cache().misses(), 2u);
 }
 
+// Regression: PlanKey used to truncate the (double) byte size to uint64, so
+// two fractional sizes like 1024.2 and 1024.7 collided and the second
+// caller silently got a plan compiled for different bytes. The key is the
+// exact double bit pattern now.
+TEST(Plan, FractionalByteSizesDoNotCollide) {
+  Communicator comm(alloc_v100({0, 1, 2, 3}));
+  const auto a = comm.compile(CollectiveKind::kBroadcast, 1024.2, 0);
+  const auto b = comm.compile(CollectiveKind::kBroadcast, 1024.7, 0);
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(a->bytes(), 1024.2);
+  EXPECT_EQ(b->bytes(), 1024.7);
+  // Each size still hits its own plan.
+  EXPECT_EQ(comm.compile(CollectiveKind::kBroadcast, 1024.2, 0).get(),
+            a.get());
+  EXPECT_EQ(comm.compile(CollectiveKind::kBroadcast, 1024.7, 0).get(),
+            b.get());
+  EXPECT_EQ(comm.plan_cache().misses(), 2u);
+  EXPECT_EQ(comm.plan_cache().hits(), 2u);
+}
+
+// Solo execute() and grouped run() route algorithm_bw through one shared
+// helper, so a plan run alone and the same plan run as a single-member
+// group report the same bandwidth.
+TEST(Plan, SoloAndGroupedBandwidthAgree) {
+  Communicator comm(alloc_v100({0, 1, 2, 3}));
+  const auto solo = comm.execute(*comm.compile(CollectiveKind::kAllReduce,
+                                               50e6));
+  const std::vector<CollectiveRequest> reqs{
+      {CollectiveKind::kAllReduce, 50e6, -1, 0}};
+  const auto grouped = comm.run(reqs);
+  ASSERT_EQ(grouped.size(), 1u);
+  EXPECT_DOUBLE_EQ(grouped[0].seconds, solo.seconds);
+  EXPECT_DOUBLE_EQ(grouped[0].algorithm_bw, solo.algorithm_bw);
+  EXPECT_DOUBLE_EQ(solo.algorithm_bw, solo.bytes / solo.seconds);
+}
+
 TEST(Plan, LruKeepsRecentlyUsedPlans) {
   CommunicatorOptions opts;
   opts.plan_cache_capacity = 2;
