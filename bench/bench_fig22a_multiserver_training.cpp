@@ -69,5 +69,14 @@ int main() {
               "recompiled across iterations 2-%d\n",
               static_cast<unsigned long long>(cold_compiles),
               static_cast<unsigned long long>(warm_compiles), kIterations);
+  // The exchange the auto-tuner settled on for a representative gradient
+  // bucket (partition shares come from the same link-rate probes).
+  const auto sample = blink_cluster.compile(CollectiveKind::kAllReduce, 25e6);
+  std::printf("phase-2 exchange for 25 MB buckets: %s; partition shares:",
+              to_string(sample->phase2_strategy()));
+  for (const double s : blink_cluster.partition_shares()) {
+    std::printf(" %.3f", s);
+  }
+  std::printf("\n");
   return warm_compiles == 0 ? 0 : 1;
 }

@@ -2,11 +2,40 @@
 // GPU split) as the cross-machine link grows 40 -> 100 -> 400 Gbps. NCCL's
 // ring stays bound by intra-server PCIe; Blink tracks the NIC until the
 // intra-server NVLink trees saturate.
+//
+// Extended with the NIC-aware phase-2 projections:
+//   * per-server / total phase-2 NIC volume versus server count for the
+//     ring exchange against the flat all-to-all — ring volume must grow
+//     linearly with the server count, not quadratically (exit 1 otherwise);
+//   * a heterogeneous two-server cluster (unequal NVLink rates) where
+//     bandwidth-weighted partition sizing must beat the equal split on
+//     modeled AllReduce time (exit 1 otherwise).
+#include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.h"
 #include "blink/blink/multiserver.h"
 #include "blink/common/units.h"
+
+namespace {
+
+using namespace blink;
+
+// Max over servers of the schedule's NIC egress volume.
+double max_per_server_egress(const ClusterCommunicator& comm,
+                             const sim::Program& program, double* total) {
+  double worst = 0.0;
+  *total = 0.0;
+  for (int s = 0; s < comm.num_servers(); ++s) {
+    const double v = nic_egress_bytes(comm.fabric(), program, s);
+    worst = std::max(worst, v);
+    *total += v;
+  }
+  return worst;
+}
+
+}  // namespace
 
 int main() {
   using namespace blink;
@@ -33,5 +62,89 @@ int main() {
   }
   std::printf("\npaper: NCCL plateaus at PCIe rate while Blink keeps "
               "scaling with the interconnect.\n");
-  return 0;
+
+  // --- phase-2 NIC volume versus server count -------------------------------
+  // Identical 4-GPU fragments so only the exchange topology varies. The ring
+  // forwards each partition at most twice per server, so its per-server
+  // egress is flat and the cluster-wide volume grows linearly; the flat
+  // all-to-all sends every partial to every server, quadratic in total.
+  std::printf("\nphase-2 NIC volume, 64 MB AllReduce on identical 4-GPU "
+              "servers\n");
+  std::printf("%-8s | %14s %14s | %14s %14s | %s\n", "servers",
+              "a2a MB/server", "a2a MB total", "ring MB/server",
+              "ring MB total", "auto picks");
+  const auto quad =
+      topo::induced_topology(machine, std::vector<int>{4, 5, 6, 7});
+  std::vector<double> ring_per_server, ring_total, atoa_total;
+  bool volumes_ok = true;
+  for (int n = 2; n <= 6; ++n) {
+    const std::vector<topo::Topology> cluster(static_cast<std::size_t>(n),
+                                              quad);
+    double per[2] = {0.0, 0.0}, tot[2] = {0.0, 0.0};
+    const Phase2Policy forced[2] = {Phase2Policy::kAllToAll,
+                                    Phase2Policy::kRing};
+    for (int i = 0; i < 2; ++i) {
+      ClusterOptions opts;
+      opts.phase2 = forced[i];
+      ClusterCommunicator comm(cluster, opts);
+      const auto plan = comm.compile(CollectiveKind::kAllReduce, 64e6);
+      per[i] = max_per_server_egress(comm, plan->program(), &tot[i]);
+    }
+    ClusterOptions auto_opts;
+    ClusterCommunicator auto_comm(cluster, auto_opts);
+    const auto auto_plan = auto_comm.compile(CollectiveKind::kAllReduce, 64e6);
+    std::printf("%-8d | %14.1f %14.1f | %14.1f %14.1f | %s\n", n, per[0] / 1e6,
+                tot[0] / 1e6, per[1] / 1e6, tot[1] / 1e6,
+                to_string(auto_plan->phase2_strategy()));
+    ring_per_server.push_back(per[1]);
+    ring_total.push_back(tot[1]);
+    atoa_total.push_back(tot[0]);
+  }
+  // Linear, not quadratic: every server sends each partition at most twice
+  // under the ring (once accumulating, once distributing), so per-server
+  // egress is bounded by 2x the payload however many servers join and the
+  // cluster-wide volume grows linearly — doubling the cluster from 3 to 6
+  // servers grows ring volume ~2x where the all-to-all grows ~5x.
+  const double ring_growth = ring_total[4] / ring_total[1];  // n=6 vs n=3
+  const double atoa_growth = atoa_total[4] / atoa_total[1];
+  for (const double per : ring_per_server) {
+    if (per > 2.0 * 64e6 * 1.001) volumes_ok = false;  // bounded per server
+  }
+  if (ring_growth > 3.0 || atoa_growth < 4.0) volumes_ok = false;
+  std::printf("ring total x%.2f vs all-to-all x%.2f when 3 -> 6 servers "
+              "(ring per-server <= 2x payload everywhere): %s\n",
+              ring_growth, atoa_growth,
+              volumes_ok ? "linear" : "NOT LINEAR");
+
+  // --- heterogeneous partition sizing ---------------------------------------
+  // Unequal link rates: the second server is an older generation at a
+  // quarter of the NVLink lane bandwidth. Bandwidth-weighted sizing must
+  // beat the equal split on modeled AllReduce time.
+  std::printf("\nheterogeneous 2-server AllReduce, 100 MB, second server at "
+              "0.25x NVLink\n");
+  auto old_gen = topo::induced_topology(machine, std::vector<int>{3, 4, 5, 6, 7});
+  old_gen.nvlink_lane_bw *= 0.25;
+  const std::vector<topo::Topology> hetero{
+      topo::induced_topology(machine, std::vector<int>{0, 1, 2}), old_gen};
+  double seconds[2] = {0.0, 0.0};
+  const PartitionSizing sizings[2] = {PartitionSizing::kEqual,
+                                      PartitionSizing::kBandwidthWeighted};
+  for (int i = 0; i < 2; ++i) {
+    ClusterOptions opts;
+    opts.partition_sizing = sizings[i];
+    ClusterCommunicator comm(hetero, opts);
+    seconds[i] = comm.all_reduce(100e6).seconds;
+    std::printf("%-20s %8.2f ms", to_string(sizings[i]), seconds[i] * 1e3);
+    if (sizings[i] == PartitionSizing::kBandwidthWeighted) {
+      std::printf("  shares:");
+      for (const double s : comm.partition_shares()) std::printf(" %.3f", s);
+    }
+    std::printf("\n");
+  }
+  const bool hetero_ok = seconds[1] < seconds[0];
+  std::printf("weighted vs equal: %+.1f%% (%s)\n",
+              100.0 * (seconds[0] / seconds[1] - 1.0),
+              hetero_ok ? "weighted wins" : "EQUAL SPLIT WON");
+
+  return volumes_ok && hetero_ok ? 0 : 1;
 }

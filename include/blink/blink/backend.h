@@ -1,14 +1,15 @@
-// The CollectiveBackend interface: the single seam between collective
-// algorithms and the plan/execute engine.
-//
-// A backend's sole job is *lowering* — turning a validated
-// (CollectiveKind, bytes, root) into a sim::Program plus a chunking
-// decision. Everything else (argument validation, the LRU PlanCache, result
-// memoization, solo and grouped execution on the fabric) lives in
-// CollectiveEngine and is shared by every algorithm: Blink's packed spanning
-// trees, NCCL-like rings with the double-binary-tree switch, pure rings,
-// double binary trees, and the butterfly all lower through this interface,
-// so each gets plan caching and group launches for free.
+/// \file
+/// The CollectiveBackend interface: the single seam between collective
+/// algorithms and the plan/execute engine.
+///
+/// A backend's sole job is *lowering* — turning a validated
+/// (CollectiveKind, bytes, root) into a sim::Program plus a chunking
+/// decision. Everything else (argument validation, the LRU PlanCache, result
+/// memoization, solo and grouped execution on the fabric) lives in
+/// CollectiveEngine and is shared by every algorithm: Blink's packed spanning
+/// trees, NCCL-like rings with the double-binary-tree switch, pure rings,
+/// double binary trees, and the butterfly all lower through this interface,
+/// so each gets plan caching and group launches for free.
 #pragma once
 
 #include <cstdint>
@@ -19,58 +20,76 @@
 #include "blink/blink/treegen.h"
 #include "blink/sim/program.h"
 
+/// Blink: a reproduction of "Blink: Fast and Generic Collectives for
+/// Distributed ML" (MLSys 2020) grown into a plan/execute collective engine
+/// over a simulated multi-server GPU fabric.
 namespace blink {
 
-// What lowering produces: the routed schedule, the chunk size it was emitted
-// at, result metadata (bytes / num_trees / num_chunks filled; timing left for
-// execute()), and the spanning-tree sets the schedule was compiled from
-// (provenance for inspection; empty for backends that do not plan via
-// TreeGen).
+/// What lowering produces: the routed schedule, the chunk size it was emitted
+/// at, result metadata (bytes / num_trees / num_chunks filled; timing left
+/// for execute()), and the spanning-tree sets the schedule was compiled from
+/// (provenance for inspection; empty for backends that do not plan via
+/// TreeGen).
 struct LoweredCollective {
+  /// The routed, chunked transfer schedule ready for the simulator.
   sim::Program program;
+  /// Chunk size the schedule was emitted at (fixed or tuner-chosen).
   std::uint64_t chunk_bytes = 0;
+  /// Result metadata with timing unfilled; execute() completes it.
   CollectiveResult meta;
+  /// Spanning-tree provenance, shared with the backend's per-root caches.
   std::vector<std::shared_ptr<const TreeSet>> tree_sets;
+  /// The cross-server exchange schedule the lowering chose; kNone for
+  /// backends without a NIC phase. Recorded on the plan and persisted.
+  Phase2Strategy phase2 = Phase2Strategy::kNone;
 };
 
+/// A collective algorithm as seen by CollectiveEngine: a named lowering
+/// policy from (kind, bytes, root) to a LoweredCollective. Implementations
+/// may keep lazy planning caches (tree sets, probe rates); the engine
+/// serializes lower() calls under its compile mutex so they need no locking.
 class CollectiveBackend {
  public:
+  /// Backends are owned and destroyed by the engine's registry.
   virtual ~CollectiveBackend() = default;
 
-  // Short stable identifier ("blink", "nccl", "ring", "double_binary",
-  // "butterfly"); used by engine lookups and the facade's backend selector.
+  /// Short stable identifier ("blink", "nccl", "ring", "double_binary",
+  /// "butterfly", "cluster"); used by engine lookups, the facade's backend
+  /// selector, and the plan store (plans travel by backend name).
   virtual const char* name() const = 0;
 
-  // Whether this backend can lower |kind| on its fabric. The engine rejects
-  // unsupported kinds with std::invalid_argument before calling lower().
+  /// Whether this backend can lower \p kind on its fabric. The engine
+  /// rejects unsupported kinds with std::invalid_argument before calling
+  /// lower().
   virtual bool supports(CollectiveKind kind) const = 0;
 
-  // Number of GPU ranks this backend can address as roots, or -1 to accept
-  // any rank of the engine. Backends lowering onto a subset of the engine's
-  // fabric (a single server of a cluster engine) report that subset's size;
-  // the engine rejects roots beyond it before calling lower().
+  /// Number of GPU ranks this backend can address as roots, or -1 to accept
+  /// any rank of the engine. Backends lowering onto a subset of the engine's
+  /// fabric (a single server of a cluster engine) report that subset's size;
+  /// the engine rejects roots beyond it before calling lower().
   virtual int num_ranks() const { return -1; }
 
-  // The root used when a request passes root == -1. Non-const because
-  // policies may probe lazily (Blink picks the root with the best packed
-  // rate).
+  /// The root used when a request passes root == -1. Non-const because
+  /// policies may probe lazily (Blink picks the root with the best packed
+  /// rate).
   virtual int default_root(CollectiveKind kind) {
     (void)kind;
     return 0;
   }
 
-  // Fingerprint of the options that change what lower() emits for a given
-  // (kind, bytes, root) — chunk policy, tree-generation knobs, protocol
-  // thresholds. Folded into the engine's fabric fingerprint so a persistent
-  // plan store compiled under one configuration is never warm-loaded into
-  // an engine configured differently. Backends whose lowering has no
-  // tunables keep the default.
+  /// Fingerprint of the options that change what lower() emits for a given
+  /// (kind, bytes, root) — chunk policy, tree-generation knobs, protocol
+  /// thresholds, exchange and partition-sizing policies. Folded into the
+  /// engine's fabric fingerprint so a persistent plan store compiled under
+  /// one configuration is never warm-loaded into an engine configured
+  /// differently. Backends whose lowering has no tunables keep the default.
   virtual std::uint64_t planning_fingerprint() const { return 0; }
 
-  // Lowers a collective to a program + chunking decision. The engine has
-  // already validated bytes > 0, the root range, and supports(kind), and
-  // serializes lower() calls under its compile mutex, so implementations may
-  // mutate internal caches (tree-set slots, probe rates) without locking.
+  /// Lowers a collective to a program + chunking decision. The engine has
+  /// already validated bytes > 0, the root range, and supports(kind), and
+  /// serializes lower() calls under its compile mutex, so implementations
+  /// may mutate internal caches (tree-set slots, probe rates) without
+  /// locking.
   virtual LoweredCollective lower(CollectiveKind kind, double bytes,
                                   int root) = 0;
 };

@@ -1,20 +1,21 @@
-// The collective engine: the execute half of the plan/execute split, shared
-// by every algorithm (§2.3 workflow with the algorithm factored out).
-//
-// A CollectiveEngine owns an allocation's topology — one server, or a
-// multi-server fragment list whose fabric spans the machines plus their NICs
-// (§3.5) — a registry of CollectiveBackends that lower collectives onto that
-// fabric, and the thread-safe LRU PlanCache amortizing their planning work.
-// The engine validates arguments, caches compiled plans, memoizes
-// deterministic execution results, and launches batched groups — identically
-// for Blink's packed trees, every baseline, and the three-phase cluster
-// backend, so backends only implement lowering.
-//
-// Concurrency: compile() serializes under an internal mutex (backends may
-// mutate lazy caches while lowering); execute() runs concurrently — the
-// simulation is a pure function of (fabric, program) and per-plan
-// memoization takes the plan's own lock. This is the serving path: many
-// threads execute cached plans while misses compile one at a time.
+/// \file
+/// The collective engine: the execute half of the plan/execute split, shared
+/// by every algorithm (§2.3 workflow with the algorithm factored out).
+///
+/// A CollectiveEngine owns an allocation's topology — one server, or a
+/// multi-server fragment list whose fabric spans the machines plus their
+/// NICs (§3.5) — a registry of CollectiveBackends that lower collectives
+/// onto that fabric, and the thread-safe LRU PlanCache amortizing their
+/// planning work. The engine validates arguments, caches compiled plans,
+/// memoizes deterministic execution results, and launches batched groups —
+/// identically for Blink's packed trees, every baseline, and the three-phase
+/// cluster backend, so backends only implement lowering.
+///
+/// Concurrency: compile() serializes under an internal mutex (backends may
+/// mutate lazy caches while lowering); execute() runs concurrently — the
+/// simulation is a pure function of (fabric, program) and per-plan
+/// memoization takes the plan's own lock. This is the serving path: many
+/// threads execute cached plans while misses compile one at a time.
 #pragma once
 
 #include <cstdint>
@@ -34,136 +35,162 @@
 
 namespace blink {
 
+/// Engine-level knobs shared by every communicator flavour.
 struct EngineOptions {
-  // Memoize each plan's execution result (the simulation is deterministic).
+  /// Memoize each plan's execution result (the simulation is deterministic).
   bool memoize = true;
-  // Compiled plans kept in the LRU cache.
+  /// Compiled plans kept in the LRU cache.
   std::size_t plan_cache_capacity = 256;
-  // Directory for the persistent plan store (empty = disabled). The engine
-  // warm-loads its store file — plans-<fabric fingerprint>.bpc — before the
-  // first compile (after construction, so every backend the owner registers
-  // is part of the fingerprint) and flushes the plan cache back to it on
-  // destruction, so schedules survive process restarts. A file whose format
-  // version or fabric fingerprint does not match is ignored with a warning;
-  // nothing stale is ever executed.
+  /// Directory for the persistent plan store (empty = disabled). The engine
+  /// warm-loads its store file — plans-\<fabric fingerprint\>.bpc — before
+  /// the first compile (after construction, so every backend the owner
+  /// registers is part of the fingerprint) and flushes the plan cache back
+  /// to it on destruction when the cache holds plans the store has not seen
+  /// (a clean warm-started cache skips the rewrite), so schedules survive
+  /// process restarts. A file whose format version or fabric fingerprint
+  /// does not match is ignored with a warning; nothing stale is ever
+  /// executed.
   std::string plan_store_dir;
 };
 
+/// The plan/execute engine: backend registry, argument validation, plan
+/// cache, persistent plan store, result memoization, and solo or grouped
+/// execution over one simulated fabric.
 class CollectiveEngine {
  public:
-  // Sentinel accepted wherever a backend id is: compile candidate plans on
-  // every registered backend that supports the collective, keep the fastest
-  // (NCCL-tuner style), and cache the choice per (kind, bytes, root) so the
-  // measurement runs once per shape.
+  /// Sentinel accepted wherever a backend id is: compile candidate plans on
+  /// every registered backend that supports the collective, keep the
+  /// fastest (NCCL-tuner style), and cache the choice per (kind, bytes,
+  /// root) so the measurement runs once per shape.
   static constexpr int kAutoBackend = -1;
 
-  // Validates |topo| and builds the fabric; backends are registered
-  // afterwards with register_backend().
+  /// Single-server engine: validates \p topo and builds the fabric;
+  /// backends are registered afterwards with register_backend().
   CollectiveEngine(topo::Topology topo, const sim::FabricParams& fabric_params,
                    EngineOptions options = {});
-  // Multi-server engine: one fabric spanning every server plus its NICs.
-  // GPU ids (roots, num_gpus) are global and server-major: server 0's GPUs
-  // come first, then server 1's, and so on.
+  /// Multi-server engine: one fabric spanning every server plus its NICs.
+  /// GPU ids (roots, num_gpus) are global and server-major: server 0's GPUs
+  /// come first, then server 1's, and so on.
   CollectiveEngine(std::vector<topo::Topology> servers,
                    const sim::FabricParams& fabric_params,
                    EngineOptions options = {});
+  /// Flushes the plan cache to the persistent store (when configured and
+  /// dirty); never throws.
   virtual ~CollectiveEngine();
 
+  /// Not copyable: the fabric and plan cache are identity.
   CollectiveEngine(const CollectiveEngine&) = delete;
+  /// Not copyable: the fabric and plan cache are identity.
   CollectiveEngine& operator=(const CollectiveEngine&) = delete;
 
-  // Total across all servers.
+  /// Total GPU count across all servers.
   int num_gpus() const { return num_gpus_; }
+  /// Number of servers the fabric spans.
   int num_servers() const { return static_cast<int>(servers_.size()); }
-  // The first (single-server engines: only) server's topology.
+  /// The first (single-server engines: only) server's topology.
   const topo::Topology& topology() const { return servers_.front(); }
+  /// Every server's topology, server-major.
   const std::vector<topo::Topology>& servers() const { return servers_; }
+  /// The simulated fabric schedules execute on.
   const sim::Fabric& fabric() const { return fabric_; }
+  /// The engine options this engine was created with.
   const EngineOptions& engine_options() const { return engine_options_; }
 
   // --- backend registry ----------------------------------------------------
-  // The first registered backend is the default for one-shot methods and for
-  // requests that leave CollectiveRequest::backend at 0. Returns the new
-  // backend's id.
+
+  /// Registers a backend. The first registered backend is the default for
+  /// one-shot methods and for requests that leave CollectiveRequest::backend
+  /// at 0. Returns the new backend's id.
   int register_backend(std::unique_ptr<CollectiveBackend> backend);
+  /// Number of registered backends.
   int num_backends() const {
     const std::lock_guard<std::mutex> lock(compile_mu_);
     return static_cast<int>(backends_.size());
   }
+  /// The backend with id \p id; throws std::invalid_argument when out of
+  /// range.
   const CollectiveBackend& backend(int id = 0) const;
-  // Id of the backend named |name|, or -1.
+  /// Id of the backend named \p name, or -1.
   int backend_id(std::string_view name) const;
 
   // --- plan/execute --------------------------------------------------------
   // |bytes| is each GPU's buffer size (NCCL semantics) throughout.
 
-  // Compiles (or fetches from the plan cache) the schedule for a collective
-  // on backend |backend|. root == -1 lets the backend pick its default root,
-  // the same policy the one-shot methods use. backend == kAutoBackend
-  // measures every supporting backend once for this shape and compiles on
-  // the fastest. Throws std::invalid_argument on a bad root, non-positive
-  // size, unknown backend id, or a kind the backend does not support.
+  /// Compiles (or fetches from the plan cache) the schedule for a collective
+  /// on backend \p backend. root == -1 lets the backend pick its default
+  /// root, the same policy the one-shot methods use. backend ==
+  /// kAutoBackend measures every supporting backend once for this shape and
+  /// compiles on the fastest. Throws std::invalid_argument on a bad root,
+  /// non-positive size, unknown backend id, or a kind the backend does not
+  /// support.
   std::shared_ptr<const CollectivePlan> compile(CollectiveKind kind,
                                                 double bytes, int root = -1,
                                                 int backend = 0);
 
-  // Runs a compiled plan on the fabric. Deterministic: re-executing a plan
-  // returns bit-identical results. Throws std::invalid_argument if the plan
-  // was compiled by a different engine.
+  /// Runs a compiled plan on the fabric. Deterministic: re-executing a plan
+  /// returns bit-identical results. Throws std::invalid_argument if the
+  /// plan was compiled by a different engine.
   CollectiveResult execute(const CollectivePlan& plan);
 
-  // Compiles/fetches a plan per request and launches them all as one group
-  // sharing the fabric (ncclGroupStart/End semantics). Requests may name
-  // different backends; each result carries that request's own completion
-  // time under contention.
+  /// Compiles/fetches a plan per request and launches them all as one group
+  /// sharing the fabric (ncclGroupStart/End semantics). Requests may name
+  /// different backends; each result carries that request's own completion
+  /// time under contention.
   std::vector<CollectiveResult> run(std::span<const CollectiveRequest> reqs);
 
-  // Plan-cache statistics: hits count collectives that skipped lowering
-  // (TreeGen/CodeGen for Blink, ring/tree emission for the baselines).
+  /// Plan-cache statistics: hits count collectives that skipped lowering
+  /// (TreeGen/CodeGen for Blink, ring/tree emission for the baselines).
   const PlanCache& plan_cache() const { return plans_; }
 
   // --- persistent plans (plan_io.h format) ---------------------------------
 
-  // Fingerprint of this engine's fabric, backend registry, and every
-  // backend's planning configuration (CollectiveBackend::
-  // planning_fingerprint()); a plan store only loads into an engine whose
-  // fingerprint matches the one it was saved under. Changes when backends
-  // are registered.
+  /// Fingerprint of this engine's fabric, backend registry, and every
+  /// backend's planning configuration
+  /// (CollectiveBackend::planning_fingerprint()); a plan store only loads
+  /// into an engine whose fingerprint matches the one it was saved under.
+  /// Changes when backends are registered.
   std::uint64_t fabric_fingerprint() const;
 
-  // The store file EngineOptions::plan_store_dir resolves to right now, or
-  // "" when persistence is disabled.
+  /// The store file EngineOptions::plan_store_dir resolves to right now, or
+  /// "" when persistence is disabled.
   std::string plan_store_path() const;
 
-  // Serializes every cached plan to |path| (version + fingerprint header).
-  // Returns the number of plans written.
+  /// Serializes every cached plan to \p path (version + fingerprint
+  /// header). Returns the number of plans written.
   std::size_t export_plans(const std::string& path) const;
 
-  // Loads plans saved by export_plans() (or a plan-store flush) into the
-  // plan cache, so the next compile() of each shape is a cache hit — zero
-  // TreeGen/CodeGen recompiles. Throws std::invalid_argument — and adopts
-  // nothing — when the file is corrupt, its format version or fabric
-  // fingerprint mismatches, a plan names an unregistered backend, or a
-  // schedule fails validation against this fabric. Returns the number of
-  // plans loaded.
+  /// Loads plans saved by export_plans() (or a plan-store flush) into the
+  /// plan cache, so the next compile() of each shape is a cache hit — zero
+  /// TreeGen/CodeGen recompiles. Throws std::invalid_argument — and adopts
+  /// nothing — when the file is corrupt, its format version or fabric
+  /// fingerprint mismatches, a plan names an unregistered backend, or a
+  /// schedule fails validation against this fabric. Returns the number of
+  /// plans loaded.
   std::size_t import_plans(const std::string& path);
 
   // --- one-shot collectives (wrappers over compile + execute) --------------
+
+  /// One-shot broadcast from \p root.
   CollectiveResult broadcast(double bytes, int root);
+  /// One-shot gather to \p root.
   CollectiveResult gather(double bytes, int root);
+  /// One-shot reduce to \p root.
   CollectiveResult reduce(double bytes, int root);
+  /// One-shot all-reduce.
   CollectiveResult all_reduce(double bytes);
+  /// One-shot all-gather.
   CollectiveResult all_gather(double bytes);
+  /// One-shot reduce-scatter.
   CollectiveResult reduce_scatter(double bytes);
 
  protected:
-  // Serializes compile() and backend-state mutation; subclasses lock it
-  // around accessors that touch backend lazy caches (e.g. tree sets).
+  /// Serializes compile() and backend-state mutation; subclasses lock it
+  /// around accessors that touch backend lazy caches (e.g. tree sets).
   std::mutex& compile_mutex() { return compile_mu_; }
 
-  // Wraps an already-lowered collective into a plan and caches it (chunk
-  // tuners use this to prime the cache with the schedule compile() would
-  // produce).
+  /// Wraps an already-lowered collective into a plan and caches it (chunk
+  /// tuners use this to prime the cache with the schedule compile() would
+  /// produce).
   std::shared_ptr<const CollectivePlan> adopt_plan(CollectiveKind kind,
                                                    double bytes, int root,
                                                    int backend,
@@ -181,6 +208,10 @@ class CollectiveEngine {
   // The root a root == -1 request resolves to before auto-selection: the
   // first supporting backend's default.
   int default_root_locked(CollectiveKind kind);
+  // Whether |path| is the configured plan store's file: only syncs with it
+  // clear the plan cache's dirty flag (exports/imports to side paths must
+  // leave the destructor flush armed).
+  bool is_canonical_store_locked(const std::string& path) const;
   std::uint64_t fingerprint_locked() const;
   int backend_id_locked(std::string_view name) const;
   std::size_t import_plans_locked(const std::string& path);

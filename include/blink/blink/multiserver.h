@@ -1,24 +1,42 @@
-// Multi-server collectives (§3.5, Figure 10): the three-phase protocol for
-// GPU allocations fragmented across machines, as a CollectiveBackend over
-// the shared plan/execute engine.
-//
-// Every kind follows the same shape — a per-server phase over the server's
-// packed spanning trees (or direct local routes when data just moves), a
-// cross-server exchange over the NICs, and a per-server completion phase —
-// with the buffer split into one partition per server-local root so the
-// local trees and the NICs pipeline against each other:
-//
-//   kind          phase 1 (local)     phase 2 (NICs)            phase 3 (local)
-//   AllReduce     tree reduce         all-to-all + reduce       tree broadcast
-//   ReduceScatter tree reduce         all-to-all + reduce       shard copies
-//   Reduce        tree reduce         to root server + reduce   copy to root
-//   Broadcast     (root resident)     root server fans out      tree broadcast
-//   AllGather     copies to roots     all-to-all                tree broadcast
-//   Gather        copies to roots     to root server            copy to root
-//
-// ClusterCommunicator is CollectiveEngine with ClusterBackend registered, so
-// the full one-shot surface, run() group launches, thread-safe plan caching,
-// and memoized concurrent execution all work on fragmented allocations.
+/// \file
+/// Multi-server collectives (§3.5, Figure 10): the three-phase protocol for
+/// GPU allocations fragmented across machines, as a CollectiveBackend over
+/// the shared plan/execute engine.
+///
+/// Every kind follows the same shape — a per-server phase over the server's
+/// packed spanning trees (or direct local routes when data just moves), a
+/// cross-server exchange over the NICs, and a per-server completion phase —
+/// with the buffer split into one partition per server-local root so the
+/// local trees and the NICs pipeline against each other:
+///
+///     kind          phase 1 (local)    phase 2 (NICs)             phase 3 (local)
+///     AllReduce     tree reduce        exchange + reduce          tree broadcast
+///     ReduceScatter tree reduce        exchange + reduce          shard copies
+///     Reduce        tree reduce        converge on root + reduce  copy to root
+///     Broadcast     (root resident)    root server fans out       tree broadcast
+///     AllGather     copies to roots    block exchange             tree broadcast
+///     Gather        copies to roots    converge on root           copy to root
+///
+/// The phase-2 exchange itself is pluggable (Phase2Strategy): the flat
+/// all-to-all, a ring schedule whose total NIC volume grows linearly with
+/// the server count instead of quadratically, or a hierarchical (recursive
+/// doubling / binomial) exchange with logarithmic step count. Under the
+/// default auto policy the backend compiles each applicable candidate and
+/// keeps the fastest on the simulated fabric — the same measure-and-cache
+/// approach as the engine's backend auto-tuner, amortized by the plan cache
+/// to one bake-off per (kind, bytes, root) shape.
+///
+/// Partitions are sized heterogeneously by default: the measured per-server
+/// packed-tree rates (the link-rate probes TreeGen already runs) set a
+/// geometric stagger across partitions, floored so no partition starves, so
+/// clusters mixing fast and slow servers pipeline the slow box's local
+/// phases against the NIC exchange instead of marching in lockstep behind
+/// the slowest server.
+///
+/// ClusterCommunicator is CollectiveEngine with ClusterBackend registered,
+/// so the full one-shot surface, run() group launches, thread-safe plan
+/// caching, and memoized concurrent execution all work on fragmented
+/// allocations.
 #pragma once
 
 #include <map>
@@ -35,39 +53,118 @@
 
 namespace blink {
 
+/// How ClusterBackend picks the phase-2 exchange schedule. kAuto compiles
+/// every applicable Phase2Strategy candidate for the shape and keeps the one
+/// with the shortest simulated makespan; forcing a strategy skips the
+/// bake-off (and throws std::invalid_argument when the strategy cannot
+/// lower the kind on this cluster, e.g. a hierarchical reduce exchange on a
+/// non-power-of-two server count).
+enum class Phase2Policy {
+  kAuto = 0,          ///< measure applicable strategies, keep the fastest
+  kAllToAll = 1,      ///< always the flat pairwise exchange
+  kRing = 2,          ///< always the ring schedule
+  kHierarchical = 3,  ///< always recursive doubling / binomial trees
+};
+
+/// Human-readable name of a phase-2 policy ("auto", "ring", ...).
+const char* to_string(Phase2Policy policy);
+
+/// How ClusterBackend sizes the per-root data partitions.
+enum class PartitionSizing {
+  /// Partition shares staggered by the measured intra-server bandwidth
+  /// imbalance: per-server rates come from the packed-tree probes
+  /// (TreeSet::rate, the link-rate measurement TreeGen runs while packing)
+  /// and shares follow a geometric ramp with ratio
+  /// q = 1 + (r_max - r_min) / (r_max + r_min), floored at
+  /// ClusterOptions::min_partition_share of an equal share. On unequal
+  /// servers the stagger pipelines the slow box's local phases against the
+  /// NIC exchange; on a balanced cluster q = 1 and the result is the equal
+  /// split, bit-for-bit.
+  kBandwidthWeighted = 0,
+  /// The historical equal split: bytes / num_partitions each.
+  kEqual = 1,
+};
+
+/// Human-readable name of a sizing policy ("bandwidth-weighted", "equal").
+const char* to_string(PartitionSizing sizing);
+
+/// Configuration of a ClusterCommunicator (and of the ClusterBackend it
+/// registers).
 struct ClusterOptions {
-  sim::FabricParams fabric;  // fabric.nic_bw sets the cross-machine rate
+  /// Fabric calibration; fabric.nic_bw sets the cross-machine rate.
+  sim::FabricParams fabric;
+  /// Spanning-tree generation knobs for the per-server packed trees.
   TreeGenOptions treegen;
+  /// Schedule emission knobs (chunk size, stream reuse).
   CodeGenOptions codegen;
-  // Result memoization and plan-cache capacity live on the shared engine
-  // (these used to be duplicated cluster-private knobs).
+  /// Phase-2 exchange selection (see Phase2Policy).
+  Phase2Policy phase2 = Phase2Policy::kAuto;
+  /// Under kAuto, the flat all-to-all stays a candidate only while the
+  /// cluster has at most this many servers: its total NIC volume grows
+  /// quadratically, so past the threshold only the linear-volume exchanges
+  /// (ring, hierarchical) are considered.
+  int all_to_all_max_servers = 4;
+  /// Partition sizing policy (see PartitionSizing).
+  PartitionSizing partition_sizing = PartitionSizing::kBandwidthWeighted;
+  /// Bandwidth-weighted sizing never hands a partition less than this
+  /// fraction of an equal share — a near-dead server must slow its
+  /// partition, not starve it out of the schedule.
+  double min_partition_share = 0.05;
+  /// Result memoization, plan-cache capacity, and the persistent plan store
+  /// live on the shared engine (these used to be duplicated cluster-private
+  /// knobs).
   EngineOptions engine;
 };
 
-// The three-phase lowering. Owns the lazily-built per-(server, root)
-// spanning-tree sets; state mutation happens under the owning engine's
-// compile mutex. Roots are global server-major GPU ids.
+/// The three-phase lowering. Owns the lazily-built per-(server, root)
+/// spanning-tree sets; state mutation happens under the owning engine's
+/// compile mutex. Roots are global server-major GPU ids.
 class ClusterBackend : public CollectiveBackend {
  public:
+  /// Shared immutable spanning-tree set (also referenced by plans).
   using TreeSetPtr = std::shared_ptr<const TreeSet>;
 
-  // |servers| and |fabric| must outlive the backend (the owning engine's).
+  /// Builds the backend over \p servers and \p fabric, which must outlive
+  /// it (both are the owning engine's). Of \p options, the backend uses the
+  /// planning fields (treegen, codegen, phase2, all_to_all_max_servers,
+  /// partition_sizing, min_partition_share).
   ClusterBackend(const std::vector<topo::Topology>& servers,
-                 const sim::Fabric& fabric, TreeGenOptions treegen,
-                 CodeGenOptions codegen);
+                 const sim::Fabric& fabric, const ClusterOptions& options);
 
+  /// Stable name: "cluster".
   const char* name() const override { return "cluster"; }
+  /// Every kind has a three-phase lowering.
   bool supports(CollectiveKind kind) const override;
+  /// Hashes TreeGen/CodeGen knobs plus the phase-2 and partition-sizing
+  /// policies, so differently configured engines never share a plan store.
   std::uint64_t planning_fingerprint() const override;
+  /// Emits the three-phase schedule; under Phase2Policy::kAuto, compiles
+  /// every applicable exchange and keeps the fastest on the simulated
+  /// fabric.
   LoweredCollective lower(CollectiveKind kind, double bytes,
                           int root) override;
 
-  // Number of data partitions (= per-server roots) the protocol uses: the
-  // smallest server's GPU count, so every server hosts every partition root.
+  /// Number of data partitions (= per-server roots) the protocol uses: the
+  /// smallest server's GPU count, so every server hosts every partition
+  /// root.
   int num_partitions() const { return num_partitions_; }
+
+  /// Byte share of each partition (num_partitions() entries summing to 1).
+  /// Lazily measured from the packed-tree rates; call only under the owning
+  /// engine's compile mutex, like lower().
+  const std::vector<double>& partition_shares();
+
+  /// The phase-2 strategies lower() considers for \p kind on this cluster
+  /// under the configured policy, in evaluation order. A forced policy
+  /// whose strategy cannot lower \p kind here yields an empty list (lower()
+  /// throws).
+  std::vector<Phase2Strategy> candidate_strategies(CollectiveKind kind) const;
 
  private:
   struct Emit;  // one lowering's builder + bookkeeping (multiserver.cpp)
+
+  LoweredCollective lower_with(Phase2Strategy strategy, CollectiveKind kind,
+                               double bytes, int root);
 
   const TreeSetPtr& tree_set(int server, int root);
 
@@ -75,26 +172,45 @@ class ClusterBackend : public CollectiveBackend {
   const sim::Fabric& fabric_;
   TreeGenOptions treegen_;
   CodeGenOptions codegen_;
+  Phase2Policy phase2_;
+  int all_to_all_max_servers_;
+  PartitionSizing partition_sizing_;
+  double min_partition_share_;
   int num_partitions_ = 0;
+  std::vector<double> shares_;  // lazily filled by partition_shares()
   std::map<std::pair<int, int>, TreeSetPtr> sets_;
 };
 
-// The multi-server communicator: a CollectiveEngine over a fabric spanning
-// every server plus the NICs, with ClusterBackend as the default backend.
-// compile()/execute()/run() and the one-shot collectives come from the
-// engine, as do the thread-safe PlanCache (hit/miss counters via
-// plan_cache()) and argument validation against the global GPU count.
+/// The multi-server communicator: a CollectiveEngine over a fabric spanning
+/// every server plus the NICs, with ClusterBackend as the default backend.
+/// compile()/execute()/run() and the one-shot collectives come from the
+/// engine, as do the thread-safe PlanCache (hit/miss counters via
+/// plan_cache()) and argument validation against the global GPU count.
 class ClusterCommunicator : public CollectiveEngine {
  public:
+  /// Builds an engine over \p servers (at least two) with ClusterBackend
+  /// registered as the default backend.
   explicit ClusterCommunicator(std::vector<topo::Topology> servers,
                                ClusterOptions options = {});
 
+  /// The options this communicator was created with.
   const ClusterOptions& options() const { return options_; }
+  /// Number of data partitions the three-phase protocol uses.
   int num_partitions() const { return cluster_->num_partitions(); }
+
+  /// The partition byte shares the cluster backend plans with (sums to 1);
+  /// equal under PartitionSizing::kEqual, bandwidth-weighted otherwise.
+  std::vector<double> partition_shares();
 
  private:
   ClusterOptions options_;
   ClusterBackend* cluster_;  // owned by the engine's backend registry
 };
+
+/// Bytes that \p program moves out of \p server's NIC egress channel — in a
+/// three-phase schedule, exactly the server's phase-2 egress volume (every
+/// cross-server copy is phase 2). For benchmarking exchange strategies.
+double nic_egress_bytes(const sim::Fabric& fabric, const sim::Program& program,
+                        int server);
 
 }  // namespace blink

@@ -34,6 +34,21 @@ enum class CollectiveKind {
 
 const char* to_string(CollectiveKind kind);
 
+// The cross-server (phase 2) exchange schedule a multi-server plan was
+// compiled with (§3.5). Recorded on every plan — kNone for single-server
+// backends, whose schedules have no NIC phase — and persisted by the plan
+// store, so a warm-loaded schedule's exchange topology is inspectable.
+// Strategy selection lives in ClusterBackend (multiserver.h); the enum lives
+// here because plans and plan records carry it.
+enum class Phase2Strategy {
+  kNone = 0,        // single-server plan: no cross-server phase
+  kAllToAll = 1,    // flat pairwise exchange: O(n^2) total NIC volume
+  kRing = 2,        // ring schedule: O(n) total NIC volume, O(n) steps
+  kHierarchical = 3,  // recursive doubling / binomial: O(n log n), log steps
+};
+
+const char* to_string(Phase2Strategy strategy);
+
 struct CollectiveResult {
   double seconds = 0.0;
   double bytes = 0.0;           // per-GPU buffer size (NCCL semantics)
@@ -91,7 +106,8 @@ class CollectivePlan {
   CollectivePlan(const void* owner, CollectiveKind kind, double bytes,
                  int root, int backend, std::uint64_t chunk_bytes,
                  sim::Program program, CollectiveResult meta,
-                 std::vector<std::shared_ptr<const TreeSet>> tree_sets);
+                 std::vector<std::shared_ptr<const TreeSet>> tree_sets,
+                 Phase2Strategy phase2 = Phase2Strategy::kNone);
 
   CollectivePlan(const CollectivePlan&) = delete;
   CollectivePlan& operator=(const CollectivePlan&) = delete;
@@ -105,6 +121,10 @@ class CollectivePlan {
   int num_trees() const { return meta_.num_trees; }
   int num_chunks() const { return meta_.num_chunks; }
   int num_ops() const { return meta_.num_ops; }
+
+  // The cross-server exchange schedule this plan was compiled with; kNone
+  // for plans whose backend has no NIC phase (every single-server backend).
+  Phase2Strategy phase2_strategy() const { return phase2_; }
 
   // Result metadata with timing unfilled; execute() completes it.
   const CollectiveResult& meta() const { return meta_; }
@@ -143,6 +163,7 @@ class CollectivePlan {
   int root_;
   int backend_;
   std::uint64_t chunk_bytes_;
+  Phase2Strategy phase2_;
   sim::Program program_;
   CollectiveResult meta_;
   std::vector<std::shared_ptr<const TreeSet>> tree_sets_;

@@ -47,24 +47,44 @@ class PlanCache {
   // version and |fabric_fingerprint|. |backend_name| maps a plan's backend
   // id to its stable name (ids are process-local; names travel). Entries are
   // written least-recently-used first so a load replays them in recency
-  // order. Returns the number of plans written; throws std::invalid_argument
+  // order. |mark_clean| says |path| is the cache's canonical store: on
+  // success the dirty flag clears (unless an insert raced the write) —
+  // exports to side paths pass false so the canonical store still gets its
+  // flush. Returns the number of plans written; throws std::invalid_argument
   // when the file cannot be written.
   std::size_t save(const std::string& path, std::uint64_t fabric_fingerprint,
-                   const std::function<std::string(int)>& backend_name) const;
+                   const std::function<std::string(int)>& backend_name,
+                   bool mark_clean = true) const;
 
   // Loads a store written by save() into the cache, re-keying each plan on
   // the id |backend_id| resolves its backend name to (throws on -1: a plan
   // for an unregistered backend must not execute). |validate| — when set —
   // inspects every record before it is adopted and throws to reject it (the
   // engine checks roots and route channel ids against its fabric). Plans are
-  // created owned by |owner|. Throws std::invalid_argument on a missing or
+  // created owned by |owner|. |mark_clean| says |path| is the cache's
+  // canonical store: when the cache held nothing unsaved and no insert
+  // raced the load, the dirty flag clears (the cache now mirrors the file)
+  // — imports from side paths pass false, since their plans are not in the
+  // canonical store yet. Throws std::invalid_argument on a missing or
   // corrupt file, a format version mismatch, or a fingerprint mismatch;
   // nothing is inserted on failure. Returns the number of plans loaded.
   // Loaded entries count as neither hits nor misses.
   std::size_t load(const std::string& path, std::uint64_t fabric_fingerprint,
                    const void* owner,
                    const std::function<int(std::string_view)>& backend_id,
-                   const std::function<void(const PlanRecord&)>& validate = {});
+                   const std::function<void(const PlanRecord&)>& validate = {},
+                   bool mark_clean = true);
+
+  // Whether the cache holds plans its canonical store has not seen: set by
+  // insert(), cleared by save()/load() when they sync that store
+  // (mark_clean). The engine's destructor-flush consults this to skip
+  // rewriting the store file when every cached plan came from (or already
+  // reached) it — a warm-started process that compiled nothing new must
+  // not churn the store.
+  bool dirty() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return dirty_;
+  }
 
   std::size_t size() const {
     const std::lock_guard<std::mutex> lock(mu_);
@@ -94,6 +114,12 @@ class PlanCache {
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
+  // Plans inserted since the last save()/load(); mutable because save() is
+  // logically const (persisting does not change what is cached). The
+  // generation counter lets save() detect inserts that raced the file write
+  // and keep the cache dirty for them.
+  mutable bool dirty_ = false;
+  std::uint64_t generation_ = 0;
 };
 
 }  // namespace blink

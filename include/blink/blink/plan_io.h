@@ -1,19 +1,21 @@
-// Plan serialization: compiled CollectivePlans as durable artifacts (§3.2,
-// §5 — TreeGen/CodeGen are one-time costs amortized over millions of
-// iterations, so the compiled schedule must survive process restarts
-// instead of being repaid at every startup).
-//
-// The format is a compact little-endian binary stream. A store file opens
-// with a header carrying a magic tag, the format version, and a fabric
-// fingerprint — a hash of the server shapes, link parameters, and the
-// registered backend names — so a stale or mismatched plan is rejected at
-// load time, never executed. Each record then carries the plan's identity
-// (kind, bytes, root, backend *name* — ids are re-resolved at import),
-// its chunking decision, result metadata, and the full sim::Program.
-//
-// Tree-set provenance is deliberately not persisted: the schedule no longer
-// depends on the TreeSets it was compiled from, so a loaded plan simply has
-// an empty tree_sets() list.
+/// \file
+/// Plan serialization: compiled CollectivePlans as durable artifacts (§3.2,
+/// §5 — TreeGen/CodeGen are one-time costs amortized over millions of
+/// iterations, so the compiled schedule must survive process restarts
+/// instead of being repaid at every startup).
+///
+/// The format is a compact little-endian binary stream. A store file opens
+/// with a header carrying a magic tag, the format version, and a fabric
+/// fingerprint — a hash of the server shapes, link parameters, and the
+/// registered backend names — so a stale or mismatched plan is rejected at
+/// load time, never executed. Each record then carries the plan's identity
+/// (kind, bytes, root, backend *name* — ids are re-resolved at import), its
+/// chunking decision, the phase-2 exchange strategy, result metadata, and
+/// the full sim::Program.
+///
+/// Tree-set provenance is deliberately not persisted: the schedule no longer
+/// depends on the TreeSets it was compiled from, so a loaded plan simply has
+/// an empty tree_sets() list.
 #pragma once
 
 #include <cstdint>
@@ -30,16 +32,19 @@
 
 namespace blink {
 
-// "BLKP" little-endian.
+/// Store-file magic tag: "BLKP", little-endian.
 inline constexpr std::uint32_t kPlanStoreMagic = 0x504b4c42u;
-// Bump on any layout change; read_plan_store rejects other versions.
-inline constexpr std::uint32_t kPlanStoreVersion = 1;
+/// Store format version; bumped on any layout change, and read_plan_store
+/// rejects other versions. v2: records carry the phase-2 exchange strategy
+/// (Phase2Strategy).
+inline constexpr std::uint32_t kPlanStoreVersion = 2;
 
-// Incremental FNV-1a (64-bit), the hasher behind fabric_fingerprint() and
-// CollectiveBackend::planning_fingerprint(). Multi-byte values hash their
-// little-endian in-memory representation.
+/// Incremental FNV-1a (64-bit), the hasher behind fabric_fingerprint() and
+/// CollectiveBackend::planning_fingerprint(). Multi-byte values hash their
+/// little-endian in-memory representation.
 class FingerprintHasher {
  public:
+  /// Hashes \p n raw bytes starting at \p data.
   void bytes(const void* data, std::size_t n) {
     const auto* p = static_cast<const unsigned char*>(data);
     for (std::size_t i = 0; i < n; ++i) {
@@ -47,79 +52,99 @@ class FingerprintHasher {
       hash_ *= 1099511628211ull;
     }
   }
+  /// Hashes a 64-bit value.
   void u64(std::uint64_t v) { bytes(&v, sizeof v); }
+  /// Hashes a 32-bit value.
   void i32(std::int32_t v) { bytes(&v, sizeof v); }
+  /// Hashes a double's bit pattern.
   void f64(double v) { bytes(&v, sizeof v); }
+  /// Hashes a string, length-prefixed so "ab"+"c" and "a"+"bc" differ.
   void str(std::string_view s) {
     u64(s.size());
     bytes(s.data(), s.size());
   }
+  /// The current hash value.
   std::uint64_t value() const { return hash_; }
 
  private:
   std::uint64_t hash_ = 1469598103934665603ull;
 };
 
-// Fingerprint of everything structural a plan's routed schedule depends on:
-// every server's topology (GPU count, NVLink edges and lane bandwidth,
-// NVSwitch, the PCIe hierarchy), the fabric calibration parameters, and the
-// backend names in registration order (channel ids and backend ids must
-// mean the same thing in the loading process as in the saving one).
-// CollectiveEngine::fabric_fingerprint() additionally folds in each
-// backend's planning_fingerprint(), so configuration knobs that change what
-// lowering emits (chunk policy, tree-generation options) separate stores
-// too.
+/// Fingerprint of everything structural a plan's routed schedule depends on:
+/// every server's topology (GPU count, NVLink edges and lane bandwidth,
+/// NVSwitch, the PCIe hierarchy), the fabric calibration parameters, and the
+/// backend names in registration order (channel ids and backend ids must
+/// mean the same thing in the loading process as in the saving one).
+/// CollectiveEngine::fabric_fingerprint() additionally folds in each
+/// backend's planning_fingerprint(), so configuration knobs that change what
+/// lowering emits (chunk policy, tree-generation options, phase-2 exchange
+/// and partition-sizing policies) separate stores too.
 std::uint64_t fabric_fingerprint(const std::vector<topo::Topology>& servers,
                                  const sim::FabricParams& params,
                                  const std::vector<std::string>& backend_names);
 
-// Hash every planning knob of the shared option structs, for backends'
-// planning_fingerprint() implementations. One definition each, so a knob
-// added to TreeGenOptions/CodeGenOptions separates every backend's stores
-// at once instead of only the backends whose hand-rolled hash was updated.
+/// Hashes every planning knob of TreeGenOptions into \p fp, for backends'
+/// planning_fingerprint() implementations. One definition, so a knob added
+/// to the struct separates every backend's stores at once instead of only
+/// the backends whose hand-rolled hash was updated.
 void hash_options(const TreeGenOptions& treegen, FingerprintHasher* fp);
+/// Hashes every planning knob of CodeGenOptions into \p fp (see the
+/// TreeGenOptions overload).
 void hash_options(const CodeGenOptions& codegen, FingerprintHasher* fp);
 
-// The store file an engine with |fingerprint| reads and writes under |dir|;
-// the fingerprint is part of the name so engines with different fabrics can
-// share one directory.
+/// The store file an engine with \p fingerprint reads and writes under
+/// \p dir; the fingerprint is part of the name so engines with different
+/// fabrics can share one directory.
 std::string plan_store_file(const std::string& dir, std::uint64_t fingerprint);
 
-// One serialized plan, independent of any live engine: the backend travels
-// by name and is re-resolved to an id at import.
+/// One serialized plan, independent of any live engine: the backend travels
+/// by name and is re-resolved to an id at import.
 struct PlanRecord {
+  /// Stable backend name (CollectiveBackend::name()) re-resolved at import.
   std::string backend_name;
-  int kind = 0;  // CollectiveKind, range-checked on read
+  /// CollectiveKind as an integer, range-checked on read.
+  int kind = 0;
+  /// Root GPU rank the plan was compiled for.
   int root = 0;
+  /// Per-GPU buffer size the plan was compiled for.
   double bytes = 0.0;
+  /// Chunk size the schedule was emitted at.
   std::uint64_t chunk_bytes = 0;
-  CollectiveResult meta;  // timing unfilled, as in a freshly compiled plan
+  /// Phase2Strategy as an integer, range-checked on read.
+  int phase2 = 0;
+  /// Result metadata; timing unfilled, as in a freshly compiled plan.
+  CollectiveResult meta;
+  /// The full routed schedule.
   sim::Program program;
 };
 
 // --- stream-level primitives (exposed for tests) ----------------------------
 
+/// Appends \p program's serialized form to \p out.
 void serialize_program(const sim::Program& program, std::string* out);
-// Parses a program starting at |*pos| (advanced past it). Throws
-// std::invalid_argument on truncated or internally inconsistent input (the
-// parsed program must pass sim::Program::validate()).
+/// Parses a program starting at \p *pos (advanced past it). Throws
+/// std::invalid_argument on truncated or internally inconsistent input (the
+/// parsed program must pass sim::Program::validate()).
 sim::Program deserialize_program(std::string_view buf, std::size_t* pos);
 
+/// Appends \p record's serialized form to \p out.
 void serialize_plan_record(const PlanRecord& record, std::string* out);
+/// Parses a plan record starting at \p *pos (advanced past it); throws
+/// std::invalid_argument on corrupt input.
 PlanRecord deserialize_plan_record(std::string_view buf, std::size_t* pos);
 
 // --- whole-file store -------------------------------------------------------
 
-// Writes header + records atomically (temp file + rename), so a concurrent
-// reader never sees a half-written store.
+/// Writes header + records atomically (temp file + rename), so a concurrent
+/// reader never sees a half-written store.
 void write_plan_store(const std::string& path, std::uint64_t fingerprint,
                       const std::vector<PlanRecord>& records);
 
-// Reads a store written by write_plan_store. Throws std::invalid_argument
-// when the file is missing or unreadable, the magic or format version does
-// not match, |expected_fingerprint| differs from the header's (a plan saved
-// against a different fabric must never execute), or the content is
-// corrupt or truncated.
+/// Reads a store written by write_plan_store. Throws std::invalid_argument
+/// when the file is missing or unreadable, the magic or format version does
+/// not match, \p expected_fingerprint differs from the header's (a plan
+/// saved against a different fabric must never execute), or the content is
+/// corrupt or truncated.
 std::vector<PlanRecord> read_plan_store(const std::string& path,
                                         std::uint64_t expected_fingerprint);
 

@@ -47,6 +47,10 @@ CollectiveEngine::~CollectiveEngine() {
   try {
     const std::lock_guard<std::mutex> lock(compile_mu_);
     if (plans_.size() == 0) return;
+    // A warm-started process that compiled nothing new holds exactly what
+    // the store already has: rewriting the whole file would only churn
+    // mtimes and race sibling ranks, so a clean cache skips the flush.
+    if (!plans_.dirty()) return;
     std::filesystem::create_directories(engine_options_.plan_store_dir);
     const std::uint64_t fingerprint = fingerprint_locked();
     plans_.save(plan_store_file(engine_options_.plan_store_dir, fingerprint),
@@ -94,7 +98,8 @@ std::shared_ptr<const CollectivePlan> CollectiveEngine::adopt_plan(
     LoweredCollective lowered) {
   auto plan = std::make_shared<const CollectivePlan>(
       this, kind, bytes, root, backend, lowered.chunk_bytes,
-      std::move(lowered.program), lowered.meta, std::move(lowered.tree_sets));
+      std::move(lowered.program), lowered.meta, std::move(lowered.tree_sets),
+      lowered.phase2);
   plans_.insert(plan->key(), plan);
   return plan;
 }
@@ -253,11 +258,25 @@ std::string CollectiveEngine::plan_store_path() const {
   return plan_store_file(engine_options_.plan_store_dir, fingerprint_locked());
 }
 
+bool CollectiveEngine::is_canonical_store_locked(
+    const std::string& path) const {
+  // The dirty flag tracks divergence from the configured plan store only:
+  // exports to (or imports from) side paths must leave the
+  // flush-on-destruction armed, or a backup export would silently cost the
+  // next process its warm start.
+  if (engine_options_.plan_store_dir.empty()) return false;
+  return path ==
+         plan_store_file(engine_options_.plan_store_dir, fingerprint_locked());
+}
+
 std::size_t CollectiveEngine::export_plans(const std::string& path) const {
   const std::lock_guard<std::mutex> lock(compile_mu_);
-  return plans_.save(path, fingerprint_locked(), [this](int id) {
-    return std::string(backends_[static_cast<std::size_t>(id)]->name());
-  });
+  return plans_.save(
+      path, fingerprint_locked(),
+      [this](int id) {
+        return std::string(backends_[static_cast<std::size_t>(id)]->name());
+      },
+      /*mark_clean=*/is_canonical_store_locked(path));
 }
 
 std::size_t CollectiveEngine::import_plans(const std::string& path) {
@@ -292,7 +311,8 @@ std::size_t CollectiveEngine::import_plans_locked(const std::string& path) {
             }
           }
         }
-      });
+      },
+      /*mark_clean=*/is_canonical_store_locked(path));
 }
 
 void CollectiveEngine::maybe_warm_load_locked() {

@@ -1,10 +1,12 @@
 #include "blink/blink/multiserver.h"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 #include <string>
 
 #include "blink/blink/plan_io.h"
+#include "blink/sim/executor.h"
 
 namespace blink {
 
@@ -19,6 +21,8 @@ const T& at(const std::vector<T>& v, int i) {
   return v[static_cast<std::size_t>(i)];
 }
 
+bool is_power_of_two(int n) { return n > 0 && (n & (n - 1)) == 0; }
+
 std::vector<topo::Topology> validated_cluster(
     std::vector<topo::Topology> servers) {
   if (servers.size() < 2) {
@@ -29,15 +33,43 @@ std::vector<topo::Topology> validated_cluster(
 
 }  // namespace
 
+const char* to_string(Phase2Policy policy) {
+  switch (policy) {
+    case Phase2Policy::kAuto:
+      return "auto";
+    case Phase2Policy::kAllToAll:
+      return "all-to-all";
+    case Phase2Policy::kRing:
+      return "ring";
+    case Phase2Policy::kHierarchical:
+      return "hierarchical";
+  }
+  return "?";
+}
+
+const char* to_string(PartitionSizing sizing) {
+  switch (sizing) {
+    case PartitionSizing::kBandwidthWeighted:
+      return "bandwidth-weighted";
+    case PartitionSizing::kEqual:
+      return "equal";
+  }
+  return "?";
+}
+
 // --- ClusterBackend ---------------------------------------------------------
 
 ClusterBackend::ClusterBackend(const std::vector<topo::Topology>& servers,
                                const sim::Fabric& fabric,
-                               TreeGenOptions treegen, CodeGenOptions codegen)
+                               const ClusterOptions& options)
     : servers_(servers),
       fabric_(fabric),
-      treegen_(treegen),
-      codegen_(codegen) {
+      treegen_(options.treegen),
+      codegen_(options.codegen),
+      phase2_(options.phase2),
+      all_to_all_max_servers_(options.all_to_all_max_servers),
+      partition_sizing_(options.partition_sizing),
+      min_partition_share_(options.min_partition_share) {
   int min_gpus = servers_.front().num_gpus;
   for (const auto& s : servers_) min_gpus = std::min(min_gpus, s.num_gpus);
   // One partition per server-local root; every server must host a root for
@@ -54,6 +86,13 @@ std::uint64_t ClusterBackend::planning_fingerprint() const {
   FingerprintHasher fp;
   hash_options(treegen_, &fp);
   hash_options(codegen_, &fp);
+  // The phase-2 exchange policy and the partition-sizing policy change what
+  // lower() emits for a given shape: two engines differing in either must
+  // never share a plan store.
+  fp.i32(static_cast<int>(phase2_));
+  fp.i32(all_to_all_max_servers_);
+  fp.i32(static_cast<int>(partition_sizing_));
+  fp.f64(min_partition_share_);
   return fp.value();
 }
 
@@ -77,22 +116,121 @@ const ClusterBackend::TreeSetPtr& ClusterBackend::tree_set(int server,
   return it->second;
 }
 
+const std::vector<double>& ClusterBackend::partition_shares() {
+  if (!shares_.empty()) return shares_;
+  const int k = num_partitions_;
+  shares_.assign(static_cast<std::size_t>(k), 1.0 / k);
+  if (partition_sizing_ == PartitionSizing::kEqual || k == 1) return shares_;
+
+  // Measure each server's intra-server bandwidth: the packed-tree rate at
+  // its partition roots (TreeSet::rate, the link-rate probe TreeGen runs
+  // while packing). Single-GPU servers have no local tree phase to bound.
+  double r_min = std::numeric_limits<double>::infinity();
+  double r_max = 0.0;
+  bool any_probe = false;
+  for (int s = 0; s < static_cast<int>(servers_.size()); ++s) {
+    const topo::Topology& server = at(servers_, s);
+    if (server.num_gpus == 1) continue;
+    double server_rate = std::numeric_limits<double>::infinity();
+    bool found = false;
+    for (int p = 0; p < k; ++p) {
+      const TreeSetPtr& set = tree_set(s, p % server.num_gpus);
+      if (set->empty() || !(set->rate > 0.0)) continue;  // unusable probe
+      server_rate = std::min(server_rate, set->rate);
+      found = true;
+    }
+    if (found) {
+      r_min = std::min(r_min, server_rate);
+      r_max = std::max(r_max, server_rate);
+      any_probe = true;
+    }
+  }
+  // A balanced cluster (or one with no usable probes) keeps the equal
+  // split, bit-for-bit: the old behaviour is the fixed point.
+  if (!any_probe || !(r_max > r_min)) return shares_;
+
+  // Unequal servers: per-server local work is irreducible (every server
+  // reduces and broadcasts the whole buffer), so the win comes from
+  // pipelining — staggering partition sizes so the earliest partitions
+  // clear the slow server's local phase while later ones still reduce,
+  // keeping the NICs and the slow box busy simultaneously instead of in
+  // lockstep. The stagger is a geometric ramp whose ratio is the measured
+  // bandwidth imbalance, q in (1, 2): near-equal clusters barely deviate
+  // from the equal split, a badly mismatched cluster staggers by up to 2x
+  // per partition.
+  const double q = 1.0 + (r_max - r_min) / (r_max + r_min);
+  std::vector<double> weight(static_cast<std::size_t>(k));
+  double w = 1.0;
+  for (int p = k - 1; p >= 0; --p) {
+    at(weight, p) = w;
+    w *= q;
+  }
+  // Floor every share at min_partition_share of an equal share, then hand
+  // out the remainder proportionally — shares sum to 1 exactly and no
+  // partition starves however steep the ramp.
+  const double floor = min_partition_share_ / k;
+  double total = 0.0;
+  for (const double v : weight) total += v;
+  for (int p = 0; p < k; ++p) {
+    at(shares_, p) = floor + (1.0 - k * floor) * at(weight, p) / total;
+  }
+  return shares_;
+}
+
+std::vector<Phase2Strategy> ClusterBackend::candidate_strategies(
+    CollectiveKind kind) const {
+  const int n_srv = static_cast<int>(servers_.size());
+  // The symmetric exchanges lower hierarchically via recursive doubling,
+  // which pairs servers by XOR: power-of-two counts only. The rooted kinds
+  // use binomial trees, which work at any count.
+  const bool needs_pow2 = kind == CollectiveKind::kAllReduce ||
+                          kind == CollectiveKind::kReduceScatter ||
+                          kind == CollectiveKind::kAllGather;
+  const bool hierarchical_ok = !needs_pow2 || is_power_of_two(n_srv);
+  switch (phase2_) {
+    case Phase2Policy::kAllToAll:
+      return {Phase2Strategy::kAllToAll};
+    case Phase2Policy::kRing:
+      return {Phase2Strategy::kRing};
+    case Phase2Policy::kHierarchical:
+      if (!hierarchical_ok) return {};
+      return {Phase2Strategy::kHierarchical};
+    case Phase2Policy::kAuto:
+      break;
+  }
+  std::vector<Phase2Strategy> candidates;
+  // Past the threshold the flat exchange's quadratic NIC volume is not
+  // worth measuring; the linear-volume schedules take over.
+  if (n_srv <= all_to_all_max_servers_) {
+    candidates.push_back(Phase2Strategy::kAllToAll);
+  }
+  candidates.push_back(Phase2Strategy::kRing);
+  if (hierarchical_ok) candidates.push_back(Phase2Strategy::kHierarchical);
+  return candidates;
+}
+
 // One lowering's emission state: the builder, result bookkeeping, and the
 // phase emitters every kind composes. Partition p's server-local root is
 // root_of(p, s); since num_partitions_ is the smallest server size, every
-// server hosts every partition root.
+// server hosts every partition root. The cross-server (phase 2) exchanges
+// dispatch on |strategy|.
 struct ClusterBackend::Emit {
   ClusterBackend& be;
   ProgramBuilder builder;
   CollectiveResult meta;
   std::vector<TreeSetPtr> used;
+  const Phase2Strategy strategy;
+  const std::vector<double>& share;  // partition byte shares, sum 1
   const int k;      // data partitions
   const int n_srv;  // servers
   int tag = 0;      // fresh stream per point-to-point transfer
 
-  explicit Emit(ClusterBackend& backend)
+  Emit(ClusterBackend& backend, Phase2Strategy phase2,
+       const std::vector<double>& shares)
       : be(backend),
         builder(backend.fabric_, backend.codegen_),
+        strategy(phase2),
+        share(shares),
         k(backend.num_partitions_),
         n_srv(static_cast<int>(backend.servers_.size())) {}
 
@@ -105,6 +243,10 @@ struct ClusterBackend::Emit {
     return n;
   }
   int root_of(int p, int s) const { return p % gpus(s); }
+  // Partition p's slice of a |total|-byte buffer.
+  double part(int p, double total) const { return total * at(share, p); }
+  // The server |off| ring positions after |base|.
+  int ring_at(int base, int off) const { return (base + off) % n_srv; }
   // Splits a global server-major GPU id into (server, local id).
   std::pair<int, int> locate(int global) const {
     int s = 0;
@@ -190,44 +332,233 @@ struct ClusterBackend::Emit {
     return copy(be.fabric_.nic_route(src_srv, dst_srv), bytes, gate);
   }
 
-  // Phases 1+2 shared by AllReduce and ReduceScatter: per-server tree reduce
-  // of every partition, then the all-to-all exchange over the NICs with a
-  // reduction at each server's partition root. Returns op [p][s] whose
-  // completion means "partition p fully reduced at root_of(p, s)".
-  std::vector<std::vector<int>> reduce_exchange(double part_bytes) {
-    std::vector<std::vector<std::vector<int>>> phase1(
-        static_cast<std::size_t>(k),
-        std::vector<std::vector<int>>(static_cast<std::size_t>(n_srv)));
+  // Per-server tree reduce of every partition — phase 1 of the reducing
+  // kinds. Fills phase1[p][s] (the tree ops) and joins[p][s] (a single op
+  // gating on all of them).
+  void reduce_phase1(double total,
+                     std::vector<std::vector<std::vector<int>>>* phase1,
+                     std::vector<std::vector<int>>* joins) {
+    phase1->assign(static_cast<std::size_t>(k),
+                   std::vector<std::vector<int>>(static_cast<std::size_t>(n_srv)));
+    joins->assign(static_cast<std::size_t>(k),
+                  std::vector<int>(static_cast<std::size_t>(n_srv), -1));
     for (int p = 0; p < k; ++p) {
       for (int s = 0; s < n_srv; ++s) {
-        at(at(phase1, p), s) = tree_reduce(s, root_of(p, s), part_bytes);
+        at(at(*phase1, p), s) = tree_reduce(s, root_of(p, s), part(p, total));
+        // The transfer may start only once the whole partition is reduced
+        // locally; partitions still pipeline against each other.
+        at(at(*joins, p), s) = join(at(at(*phase1, p), s), "phase1-join");
       }
     }
+  }
+
+  // Phases 1+2 shared by AllReduce and ReduceScatter: per-server tree reduce
+  // of every partition, then the cross-server exchange with reductions so
+  // every server ends up holding the full sum of its partitions. Returns op
+  // [p][s] whose completion means "partition p fully reduced at
+  // root_of(p, s)". The exchange dispatches on the phase-2 strategy.
+  std::vector<std::vector<int>> reduce_exchange(double total) {
+    std::vector<std::vector<std::vector<int>>> phase1;
+    std::vector<std::vector<int>> joins;
+    reduce_phase1(total, &phase1, &joins);
     std::vector<std::vector<int>> reduced(
         static_cast<std::size_t>(k),
         std::vector<int>(static_cast<std::size_t>(n_srv), -1));
     for (int p = 0; p < k; ++p) {
-      std::vector<std::vector<int>> arrivals(static_cast<std::size_t>(n_srv));
-      for (int src = 0; src < n_srv; ++src) {
-        // The transfer may start only once the whole partition is reduced
-        // locally; partitions still pipeline against each other.
-        const int gate = join(at(at(phase1, p), src), "phase1-join");
-        for (int dst = 0; dst < n_srv; ++dst) {
-          if (dst == src) continue;
-          at(arrivals, dst).push_back(nic_copy(src, dst, part_bytes, gate));
-        }
-      }
-      for (int s = 0; s < n_srv; ++s) {
-        // The kernel needs every local tree's reduction, not just the last
-        // emitted one: the trees run on independent streams.
-        auto deps = at(arrivals, s);
-        const auto& own = at(at(phase1, p), s);
-        deps.insert(deps.end(), own.begin(), own.end());
-        at(at(reduced, p), s) = builder.reduce_kernel(
-            s, root_of(p, s), part_bytes * n_srv, std::move(deps));
+      const double pb = part(p, total);
+      switch (strategy) {
+        case Phase2Strategy::kAllToAll:
+          exchange_all_to_all(p, pb, at(phase1, p), at(joins, p),
+                              &at(reduced, p));
+          break;
+        case Phase2Strategy::kRing:
+          exchange_ring(p, pb, at(joins, p), &at(reduced, p));
+          break;
+        case Phase2Strategy::kHierarchical:
+          exchange_recursive_doubling(p, pb, at(joins, p), &at(reduced, p));
+          break;
+        case Phase2Strategy::kNone:
+          throw std::logic_error("cluster exchange needs a strategy");
       }
     }
     return reduced;
+  }
+
+  // The flat exchange: every server sends its partial to every other and
+  // reduces the n_srv partials it holds. O(n^2) total NIC volume, one step.
+  void exchange_all_to_all(int p, double pb,
+                           const std::vector<std::vector<int>>& phase1,
+                           const std::vector<int>& joins,
+                           std::vector<int>* reduced) {
+    std::vector<std::vector<int>> arrivals(static_cast<std::size_t>(n_srv));
+    for (int src = 0; src < n_srv; ++src) {
+      for (int dst = 0; dst < n_srv; ++dst) {
+        if (dst == src) continue;
+        at(arrivals, dst).push_back(nic_copy(src, dst, pb, at(joins, src)));
+      }
+    }
+    for (int s = 0; s < n_srv; ++s) {
+      // The kernel needs every local tree's reduction, not just the last
+      // emitted one: the trees run on independent streams.
+      auto deps = at(arrivals, s);
+      const auto& own = at(phase1, s);
+      deps.insert(deps.end(), own.begin(), own.end());
+      at(*reduced, s) = builder.reduce_kernel(s, root_of(p, s), pb * n_srv,
+                                              std::move(deps));
+    }
+  }
+
+  // The ring exchange: an accumulate pass threads the partial around the
+  // ring, reducing at each hop, then a distribute pass forwards the full
+  // sum the rest of the way. Every server sends the partition at most
+  // twice, so total NIC volume is O(n) — linear in the server count — at
+  // the price of 2(n-1) pipelined steps. Partition p's chain starts at
+  // server p % n_srv so concurrent partitions load every NIC evenly.
+  void exchange_ring(int p, double pb, const std::vector<int>& joins,
+                     std::vector<int>* reduced) {
+    const int start = p % n_srv;
+    int holder = start;
+    int carry = at(joins, start);
+    for (int i = 1; i < n_srv; ++i) {
+      const int next = ring_at(holder, 1);
+      const int arrive = nic_copy(holder, next, pb, carry);
+      carry = builder.reduce_kernel(next, root_of(p, next), pb * 2,
+                                    {at(joins, next), arrive});
+      holder = next;
+    }
+    at(*reduced, holder) = carry;  // the full sum lives here first
+    for (int i = 1; i < n_srv; ++i) {
+      const int next = ring_at(holder, 1);
+      carry = nic_copy(holder, next, pb, carry);
+      at(*reduced, next) = carry;
+      holder = next;
+    }
+  }
+
+  // The recursive-doubling exchange (power-of-two server counts): log2(n)
+  // rounds of pairwise partial swaps, each server reducing what it receives
+  // into what it holds. O(n log n) total NIC volume, log2(n) steps.
+  void exchange_recursive_doubling(int p, double pb,
+                                   const std::vector<int>& joins,
+                                   std::vector<int>* reduced) {
+    std::vector<int> holding = joins;
+    for (int r = 1; r < n_srv; r <<= 1) {
+      std::vector<int> next(static_cast<std::size_t>(n_srv));
+      for (int s = 0; s < n_srv; ++s) {
+        const int peer = s ^ r;
+        const int arrive = nic_copy(peer, s, pb, at(holding, peer));
+        at(next, s) = builder.reduce_kernel(s, root_of(p, s), pb * 2,
+                                            {at(holding, s), arrive});
+      }
+      holding = std::move(next);
+    }
+    *reduced = holding;
+  }
+
+  // Phase-2 fan-out for Broadcast: delivers partition p (resident on server
+  // |sr|) to every other server, returning the arrival op per server (-1 at
+  // |sr|). Direct fan-out under all-to-all, chain forwarding under ring
+  // (root egress O(1)), binomial tree under hierarchical (log2(n) steps,
+  // any server count).
+  std::vector<int> fan_out(int sr, double pb) {
+    std::vector<int> arrival(static_cast<std::size_t>(n_srv), -1);
+    switch (strategy) {
+      case Phase2Strategy::kAllToAll:
+        for (int s = 0; s < n_srv; ++s) {
+          if (s == sr) continue;
+          at(arrival, s) = nic_copy(sr, s, pb, -1);
+        }
+        break;
+      case Phase2Strategy::kRing: {
+        int gate = -1;
+        int cur = sr;
+        for (int i = 1; i < n_srv; ++i) {
+          const int next = ring_at(cur, 1);
+          gate = nic_copy(cur, next, pb, gate);
+          at(arrival, next) = gate;
+          cur = next;
+        }
+        break;
+      }
+      case Phase2Strategy::kHierarchical:
+        binomial_spread(sr, 0, n_srv, -1, pb, &arrival);
+        break;
+      case Phase2Strategy::kNone:
+        throw std::logic_error("cluster exchange needs a strategy");
+    }
+    return arrival;
+  }
+
+  // Binomial broadcast over ring offsets [off, off + count) from |sr|: the
+  // holder at |off| sends to the far half's first server, both halves
+  // recurse. Works for any server count.
+  void binomial_spread(int sr, int off, int count, int gate, double pb,
+                       std::vector<int>* arrival) {
+    if (count <= 1) return;
+    const int near = count - count / 2;  // holder keeps the larger half
+    const int dst_off = off + near;
+    const int a = nic_copy(ring_at(sr, off), ring_at(sr, dst_off), pb, gate);
+    at(*arrival, ring_at(sr, dst_off)) = a;
+    binomial_spread(sr, dst_off, count / 2, a, pb, arrival);
+    binomial_spread(sr, off, near, gate, pb, arrival);
+  }
+
+  // Phase-2 convergence for Reduce: every server's partial of partition p
+  // reaches |sr| reduced into one sum; returns the final kernel's op id.
+  // Direct convergence under all-to-all (root ingress O(n)), chain with
+  // en-route reduction under ring (root ingress O(1)), binomial reduction
+  // tree under hierarchical.
+  int converge_reduce(int p, double pb, int sr,
+                      const std::vector<int>& joins) {
+    switch (strategy) {
+      case Phase2Strategy::kAllToAll: {
+        // The root's own join covers every local tree's reduction — the
+        // trees run on independent streams — and keeps the per-(p, s)
+        // joins fully consumed (sr is the only server that never sends).
+        std::vector<int> deps{at(joins, sr)};
+        for (int s = 0; s < n_srv; ++s) {
+          if (s == sr) continue;
+          deps.push_back(nic_copy(s, sr, pb, at(joins, s)));
+        }
+        return builder.reduce_kernel(sr, root_of(p, sr), pb * n_srv,
+                                     std::move(deps));
+      }
+      case Phase2Strategy::kRing: {
+        // Accumulate along the ring from the server after |sr| all the way
+        // around; every hop reduces the carried partial into the local one.
+        int holder = ring_at(sr, 1);
+        int carry = at(joins, holder);
+        for (int i = 2; i < n_srv; ++i) {
+          const int next = ring_at(sr, i);
+          const int arrive = nic_copy(holder, next, pb, carry);
+          carry = builder.reduce_kernel(next, root_of(p, next), pb * 2,
+                                        {at(joins, next), arrive});
+          holder = next;
+        }
+        const int arrive = nic_copy(holder, sr, pb, carry);
+        return builder.reduce_kernel(sr, root_of(p, sr), pb * 2,
+                                     {at(joins, sr), arrive});
+      }
+      case Phase2Strategy::kHierarchical:
+        return binomial_collect(p, pb, sr, 0, n_srv, joins);
+      case Phase2Strategy::kNone:
+        break;
+    }
+    throw std::logic_error("cluster exchange needs a strategy");
+  }
+
+  // Binomial reduction over ring offsets [off, off + count) toward the
+  // server at |off|; returns the op holding that segment's sum there.
+  int binomial_collect(int p, double pb, int sr, int off, int count,
+                       const std::vector<int>& joins) {
+    const int s = ring_at(sr, off);
+    if (count <= 1) return at(joins, s);
+    const int near = count - count / 2;
+    const int src_off = off + near;
+    const int have = binomial_collect(p, pb, sr, off, near, joins);
+    const int far = binomial_collect(p, pb, sr, src_off, count / 2, joins);
+    const int arrive = nic_copy(ring_at(sr, src_off), s, pb, far);
+    return builder.reduce_kernel(s, root_of(p, s), pb * 2, {have, arrive});
   }
 
   // Phase 1 shared by AllGather and Gather: each local GPU g (contributing
@@ -254,20 +585,154 @@ struct ClusterBackend::Emit {
     return gathered;
   }
 
+  // Phase-2 block exchange for AllGather: every server's per-partition
+  // block reaches every other server. Fills arrivals[s] with ops that
+  // complete once all foreign blocks of partition p landed on s. Direct
+  // under all-to-all; blocks circulate hop by hop under ring (same total
+  // volume — AllGather moves every block everywhere regardless — but
+  // pipelined); recursive doubling under hierarchical (power-of-two).
+  void exchange_blocks(int p, double bytes,
+                       const std::vector<std::vector<int>>& count,
+                       const std::vector<std::vector<int>>& gathered,
+                       std::vector<std::vector<int>>* arrivals) {
+    const auto gate_of = [&](int src) {
+      return join(at(gathered, src), "gather-join");
+    };
+    switch (strategy) {
+      case Phase2Strategy::kAllToAll:
+        for (int src = 0; src < n_srv; ++src) {
+          const int gate = gate_of(src);
+          const double block = at(at(count, p), src) * bytes;
+          for (int dst = 0; dst < n_srv; ++dst) {
+            if (dst == src) continue;
+            at(*arrivals, dst).push_back(nic_copy(src, dst, block, gate));
+          }
+        }
+        break;
+      case Phase2Strategy::kRing:
+        for (int src = 0; src < n_srv; ++src) {
+          const double block = at(at(count, p), src) * bytes;
+          int gate = gate_of(src);
+          int cur = src;
+          for (int i = 1; i < n_srv; ++i) {
+            const int next = ring_at(cur, 1);
+            gate = nic_copy(cur, next, block, gate);
+            at(*arrivals, next).push_back(gate);
+            cur = next;
+          }
+        }
+        break;
+      case Phase2Strategy::kHierarchical: {
+        // Round r: each server swaps everything it holds with its XOR
+        // partner, doubling its blocks; after log2(n) rounds every block is
+        // everywhere.
+        std::vector<double> held(static_cast<std::size_t>(n_srv));
+        std::vector<int> ready(static_cast<std::size_t>(n_srv));
+        for (int s = 0; s < n_srv; ++s) {
+          at(held, s) = at(at(count, p), s) * bytes;
+          at(ready, s) = gate_of(s);
+        }
+        for (int r = 1; r < n_srv; r <<= 1) {
+          std::vector<double> next_held = held;
+          std::vector<int> next_ready(static_cast<std::size_t>(n_srv));
+          for (int s = 0; s < n_srv; ++s) {
+            const int peer = s ^ r;
+            const int arrive = nic_copy(peer, s, at(held, peer),
+                                        at(ready, peer));
+            at(*arrivals, s).push_back(arrive);
+            at(next_ready, s) = join({at(ready, s), arrive}, "exchange-join");
+            at(next_held, s) = at(held, s) + at(held, peer);
+          }
+          held = std::move(next_held);
+          ready = std::move(next_ready);
+        }
+        break;
+      }
+      case Phase2Strategy::kNone:
+        throw std::logic_error("cluster exchange needs a strategy");
+    }
+  }
+
+  // Phase-2 convergence for Gather: every server's per-partition block
+  // reaches |sr|. Returns the arrival deps for the root's phase-3 copy.
+  // Direct under all-to-all; chain forwarding with growing payload under
+  // ring; binomial collection under hierarchical.
+  std::vector<int> converge_blocks(int p, double bytes, int sr,
+                                   const std::vector<std::vector<int>>& count,
+                                   const std::vector<std::vector<int>>& gathered) {
+    const auto gate_of = [&](int s) {
+      return join(at(gathered, s), "gather-join");
+    };
+    const auto block_of = [&](int s) { return at(at(count, p), s) * bytes; };
+    std::vector<int> arrivals;
+    switch (strategy) {
+      case Phase2Strategy::kAllToAll:
+        for (int s = 0; s < n_srv; ++s) {
+          if (s == sr) continue;
+          arrivals.push_back(nic_copy(s, sr, block_of(s), gate_of(s)));
+        }
+        break;
+      case Phase2Strategy::kRing: {
+        // The chain walks the ring toward |sr|, each server forwarding the
+        // accumulated foreign blocks together with its own.
+        int holder = ring_at(sr, 1);
+        double carried = block_of(holder);
+        int carry = gate_of(holder);
+        for (int i = 2; i < n_srv; ++i) {
+          const int next = ring_at(sr, i);
+          const int arrive = nic_copy(holder, next, carried, carry);
+          carry = join({gate_of(next), arrive}, "exchange-join");
+          carried += block_of(next);
+          holder = next;
+        }
+        arrivals.push_back(nic_copy(holder, sr, carried, carry));
+        break;
+      }
+      case Phase2Strategy::kHierarchical:
+        arrivals.push_back(binomial_collect_blocks(p, bytes, sr, 0, n_srv,
+                                                   count, gathered));
+        break;
+      case Phase2Strategy::kNone:
+        throw std::logic_error("cluster exchange needs a strategy");
+    }
+    return arrivals;
+  }
+
+  // Binomial block collection toward the server at ring offset |off|;
+  // returns an op that completes once every block of [off, off + count)
+  // sits there, and adds that segment's bytes into the forwarded payload.
+  int binomial_collect_blocks(int p, double bytes, int sr, int off, int count,
+                              const std::vector<std::vector<int>>& count_tbl,
+                              const std::vector<std::vector<int>>& gathered) {
+    const int s = ring_at(sr, off);
+    if (count <= 1) return join(at(gathered, s), "gather-join");
+    const int near = count - count / 2;
+    const int src_off = off + near;
+    const int have = binomial_collect_blocks(p, bytes, sr, off, near,
+                                             count_tbl, gathered);
+    const int far = binomial_collect_blocks(p, bytes, sr, src_off, count / 2,
+                                            count_tbl, gathered);
+    double segment = 0.0;
+    for (int i = 0; i < count / 2; ++i) {
+      segment += at(at(count_tbl, p), ring_at(sr, src_off + i)) * bytes;
+    }
+    const int arrive = nic_copy(ring_at(sr, src_off), s, segment, far);
+    return join({have, arrive}, "exchange-join");
+  }
+
   // --- the six kinds --------------------------------------------------------
 
   void all_reduce(double bytes) {
-    const double part_bytes = bytes / k;
-    const auto reduced = reduce_exchange(part_bytes);
+    const auto reduced = reduce_exchange(bytes);
     for (int p = 0; p < k; ++p) {
       for (int s = 0; s < n_srv; ++s) {
-        tree_broadcast(s, root_of(p, s), part_bytes, at(at(reduced, p), s));
+        tree_broadcast(s, root_of(p, s), part(p, bytes), at(at(reduced, p), s));
       }
     }
   }
 
   void reduce_scatter(double bytes) {
-    const auto reduced = reduce_exchange(bytes / k);
+    const auto reduced = reduce_exchange(bytes);
     // Each GPU's output shard lives in the partition its global rank maps
     // to; one copy from that partition's local root delivers it.
     const double shard = bytes / total_gpus();
@@ -282,46 +747,32 @@ struct ClusterBackend::Emit {
 
   void broadcast(double bytes, int root) {
     const auto [sr, lr] = locate(root);
-    const double part_bytes = bytes / k;
     // No phase 1: the buffer is resident at the root. Phase 2 fans each
     // partition out to the other servers' partition roots; phase 3
     // broadcasts locally over every server's packed trees.
     tree_broadcast(sr, lr, bytes, -1);
-    for (int s = 0; s < n_srv; ++s) {
-      if (s == sr) continue;
-      for (int p = 0; p < k; ++p) {
-        const int arrival = nic_copy(sr, s, part_bytes, -1);
-        tree_broadcast(s, root_of(p, s), part_bytes, arrival);
+    for (int p = 0; p < k; ++p) {
+      const double pb = part(p, bytes);
+      const auto arrival = fan_out(sr, pb);
+      for (int s = 0; s < n_srv; ++s) {
+        if (s == sr) continue;
+        tree_broadcast(s, root_of(p, s), pb, at(arrival, s));
       }
     }
   }
 
   void reduce(double bytes, int root) {
     const auto [sr, lr] = locate(root);
-    const double part_bytes = bytes / k;
-    std::vector<std::vector<std::vector<int>>> phase1(
-        static_cast<std::size_t>(k),
-        std::vector<std::vector<int>>(static_cast<std::size_t>(n_srv)));
+    std::vector<std::vector<std::vector<int>>> phase1;
+    std::vector<std::vector<int>> joins;
+    reduce_phase1(bytes, &phase1, &joins);
     for (int p = 0; p < k; ++p) {
-      for (int s = 0; s < n_srv; ++s) {
-        at(at(phase1, p), s) = tree_reduce(s, root_of(p, s), part_bytes);
-      }
-    }
-    // Phase 2 converges on the root server instead of going all-to-all.
-    for (int p = 0; p < k; ++p) {
-      std::vector<int> deps;
-      for (int s = 0; s < n_srv; ++s) {
-        if (s == sr) continue;
-        const int gate = join(at(at(phase1, p), s), "phase1-join");
-        deps.push_back(nic_copy(s, sr, part_bytes, gate));
-      }
-      const auto& own = at(at(phase1, p), sr);
-      deps.insert(deps.end(), own.begin(), own.end());
-      const int kernel = builder.reduce_kernel(
-          sr, root_of(p, sr), part_bytes * n_srv, std::move(deps));
+      const double pb = part(p, bytes);
+      // Phase 2 converges the partials on the root server.
+      const int kernel = converge_reduce(p, pb, sr, at(joins, p));
       // Phase 3: the reduced partitions converge on the root GPU.
       if (root_of(p, sr) != lr) {
-        local_copy(sr, root_of(p, sr), lr, part_bytes, kernel);
+        local_copy(sr, root_of(p, sr), lr, pb, kernel);
       }
     }
   }
@@ -333,19 +784,12 @@ struct ClusterBackend::Emit {
     for (int p = 0; p < k; ++p) {
       for (int s = 0; s < n_srv; ++s) at(cluster_count, p) += at(at(count, p), s);
     }
-    // Phase 2: all-to-all of each server's per-partition block.
+    // Phase 2: exchange each server's per-partition block.
     std::vector<std::vector<std::vector<int>>> arrivals(
         static_cast<std::size_t>(k),
         std::vector<std::vector<int>>(static_cast<std::size_t>(n_srv)));
     for (int p = 0; p < k; ++p) {
-      for (int src = 0; src < n_srv; ++src) {
-        const int gate = join(at(at(gathered, p), src), "gather-join");
-        const double block = at(at(count, p), src) * bytes;
-        for (int dst = 0; dst < n_srv; ++dst) {
-          if (dst == src) continue;
-          at(at(arrivals, p), dst).push_back(nic_copy(src, dst, block, gate));
-        }
-      }
+      exchange_blocks(p, bytes, count, at(gathered, p), &at(arrivals, p));
     }
     // Phase 3: broadcast each cluster-wide partition block locally (on a
     // single-GPU server the blocks already landed at the only GPU).
@@ -367,22 +811,13 @@ struct ClusterBackend::Emit {
     const auto [sr, lr] = locate(root);
     std::vector<std::vector<int>> count;
     const auto gathered = gather_to_roots(bytes, &count);
-    // Phase 2: blocks converge on the root server's partition roots.
-    std::vector<std::vector<int>> arrivals(static_cast<std::size_t>(k));
+    // Phase 2: blocks converge on the root server's partition roots;
+    // phase 3: the root GPU collects every partition's cluster-wide block.
     for (int p = 0; p < k; ++p) {
-      for (int s = 0; s < n_srv; ++s) {
-        if (s == sr) continue;
-        const int gate = join(at(at(gathered, p), s), "gather-join");
-        at(arrivals, p)
-            .push_back(nic_copy(s, sr, at(at(count, p), s) * bytes, gate));
-      }
-    }
-    // Phase 3: the root GPU collects every partition's cluster-wide block.
-    for (int p = 0; p < k; ++p) {
+      auto deps = converge_blocks(p, bytes, sr, count, at(gathered, p));
       if (root_of(p, sr) == lr) continue;
       double block = 0.0;
       for (int s = 0; s < n_srv; ++s) block += at(at(count, p), s) * bytes;
-      auto deps = at(arrivals, p);
       const auto& own = at(at(gathered, p), sr);
       deps.insert(deps.end(), own.begin(), own.end());
       const int gate = join(std::move(deps), "exchange-join");
@@ -391,22 +826,10 @@ struct ClusterBackend::Emit {
   }
 };
 
-LoweredCollective ClusterBackend::lower(CollectiveKind kind, double bytes,
-                                        int root) {
-  // The engine validated bytes > 0 and the global root range. Kinds that
-  // split the payload across partitions additionally need every partition
-  // to carry at least one byte (sizes that do not divide evenly are split
-  // fractionally, never truncated); Gather/AllGather move each GPU's whole
-  // buffer and accept any positive size.
-  const bool splits_payload = kind == CollectiveKind::kBroadcast ||
-                              kind == CollectiveKind::kReduce ||
-                              kind == CollectiveKind::kAllReduce ||
-                              kind == CollectiveKind::kReduceScatter;
-  if (splits_payload && bytes < num_partitions_) {
-    throw std::invalid_argument(
-        "collective size must give every partition at least one byte");
-  }
-  Emit e(*this);
+LoweredCollective ClusterBackend::lower_with(Phase2Strategy strategy,
+                                             CollectiveKind kind, double bytes,
+                                             int root) {
+  Emit e(*this, strategy, partition_shares());
   switch (kind) {
     case CollectiveKind::kBroadcast:
       e.broadcast(bytes, root);
@@ -429,15 +852,62 @@ LoweredCollective ClusterBackend::lower(CollectiveKind kind, double bytes,
   }
   LoweredCollective lowered;
   lowered.chunk_bytes = codegen_.chunk_bytes;
+  lowered.phase2 = strategy;
   lowered.meta = e.meta;
   lowered.meta.bytes = bytes;
-  lowered.meta.num_chunks = e.builder.chunks_for(bytes / num_partitions_);
+  const double heaviest_share =
+      *std::max_element(partition_shares().begin(), partition_shares().end());
+  lowered.meta.num_chunks = e.builder.chunks_for(bytes * heaviest_share);
   lowered.program = e.builder.take();
   lowered.meta.num_ops = static_cast<int>(lowered.program.ops().size());
   std::sort(e.used.begin(), e.used.end());
   e.used.erase(std::unique(e.used.begin(), e.used.end()), e.used.end());
   lowered.tree_sets = std::move(e.used);
   return lowered;
+}
+
+LoweredCollective ClusterBackend::lower(CollectiveKind kind, double bytes,
+                                        int root) {
+  // The engine validated bytes > 0 and the global root range. Kinds that
+  // split the payload across partitions additionally need every partition
+  // to carry at least one byte under an equal split (sizes that do not
+  // divide evenly are split fractionally, never truncated); Gather/AllGather
+  // move each GPU's whole buffer and accept any positive size.
+  const bool splits_payload = kind == CollectiveKind::kBroadcast ||
+                              kind == CollectiveKind::kReduce ||
+                              kind == CollectiveKind::kAllReduce ||
+                              kind == CollectiveKind::kReduceScatter;
+  if (splits_payload && bytes < num_partitions_) {
+    throw std::invalid_argument(
+        "collective size must give every partition at least one byte");
+  }
+  const std::vector<Phase2Strategy> candidates = candidate_strategies(kind);
+  if (candidates.empty()) {
+    throw std::invalid_argument(
+        std::string("phase-2 policy ") + to_string(phase2_) +
+        " cannot lower " + to_string(kind) + " on " +
+        std::to_string(servers_.size()) +
+        " servers (hierarchical reduce exchanges need a power-of-two count)");
+  }
+  if (candidates.size() == 1) return lower_with(candidates.front(), kind,
+                                                bytes, root);
+  // The auto bake-off: compile every candidate exchange and keep the one
+  // with the shortest simulated makespan — the engine's backend auto-tuner
+  // applied to exchange schedules. The plan cache amortizes this to one
+  // bake-off per (kind, bytes, root) shape.
+  LoweredCollective best;
+  double best_seconds = 0.0;
+  bool have_best = false;
+  for (const Phase2Strategy strategy : candidates) {
+    LoweredCollective candidate = lower_with(strategy, kind, bytes, root);
+    const double seconds = sim::execute(fabric_, candidate.program).makespan;
+    if (!have_best || seconds < best_seconds) {
+      best = std::move(candidate);
+      best_seconds = seconds;
+      have_best = true;
+    }
+  }
+  return best;
 }
 
 // --- ClusterCommunicator ----------------------------------------------------
@@ -447,10 +917,35 @@ ClusterCommunicator::ClusterCommunicator(std::vector<topo::Topology> servers,
     : CollectiveEngine(validated_cluster(std::move(servers)), options.fabric,
                        options.engine),
       options_(std::move(options)) {
-  auto backend = std::make_unique<ClusterBackend>(
-      this->servers(), fabric(), options_.treegen, options_.codegen);
+  auto backend =
+      std::make_unique<ClusterBackend>(this->servers(), fabric(), options_);
   cluster_ = backend.get();
   register_backend(std::move(backend));
+}
+
+std::vector<double> ClusterCommunicator::partition_shares() {
+  // Shares are measured lazily from the packed-tree probes, which mutate
+  // the backend's tree-set cache: compile-path state.
+  const std::lock_guard<std::mutex> lock(compile_mutex());
+  return cluster_->partition_shares();
+}
+
+double nic_egress_bytes(const sim::Fabric& fabric, const sim::Program& program,
+                        int server) {
+  if (fabric.num_servers() < 2) return 0.0;
+  const int egress =
+      fabric.nic_route(server, (server + 1) % fabric.num_servers()).front();
+  double total = 0.0;
+  for (const sim::Op& op : program.ops()) {
+    if (op.kind != sim::OpKind::kCopy) continue;
+    for (const int channel : op.route) {
+      if (channel == egress) {
+        total += op.bytes;
+        break;
+      }
+    }
+  }
+  return total;
 }
 
 }  // namespace blink

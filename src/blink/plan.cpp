@@ -22,17 +22,33 @@ const char* to_string(CollectiveKind kind) {
   return "?";
 }
 
+const char* to_string(Phase2Strategy strategy) {
+  switch (strategy) {
+    case Phase2Strategy::kNone:
+      return "none";
+    case Phase2Strategy::kAllToAll:
+      return "all-to-all";
+    case Phase2Strategy::kRing:
+      return "ring";
+    case Phase2Strategy::kHierarchical:
+      return "hierarchical";
+  }
+  return "?";
+}
+
 CollectivePlan::CollectivePlan(
     const void* owner, CollectiveKind kind, double bytes, int root,
     int backend, std::uint64_t chunk_bytes, sim::Program program,
     CollectiveResult meta,
-    std::vector<std::shared_ptr<const TreeSet>> tree_sets)
+    std::vector<std::shared_ptr<const TreeSet>> tree_sets,
+    Phase2Strategy phase2)
     : owner_(owner),
       kind_(kind),
       bytes_(bytes),
       root_(root),
       backend_(backend),
       chunk_bytes_(chunk_bytes),
+      phase2_(phase2),
       program_(std::move(program)),
       meta_(meta),
       tree_sets_(std::move(tree_sets)) {}

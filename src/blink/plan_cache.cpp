@@ -25,6 +25,8 @@ std::shared_ptr<const CollectivePlan> PlanCache::find(const PlanKey& key) {
 void PlanCache::insert(const PlanKey& key,
                        std::shared_ptr<const CollectivePlan> plan) {
   const std::lock_guard<std::mutex> lock(mu_);
+  dirty_ = true;
+  ++generation_;
   const auto it = index_.find(key);
   if (it != index_.end()) {
     it->second->second = std::move(plan);
@@ -44,14 +46,19 @@ void PlanCache::clear() {
   const std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   index_.clear();
+  dirty_ = true;  // content now diverges from any previously synced store
+  ++generation_;
 }
 
 std::size_t PlanCache::save(
     const std::string& path, std::uint64_t fabric_fingerprint,
-    const std::function<std::string(int)>& backend_name) const {
+    const std::function<std::string(int)>& backend_name,
+    bool mark_clean) const {
   std::vector<PlanRecord> records;
+  std::uint64_t snapshot_generation = 0;
   {
     const std::lock_guard<std::mutex> lock(mu_);
+    snapshot_generation = generation_;
     records.reserve(lru_.size());
     // Least-recently-used first: a load replays insertions in this order,
     // so the reloaded cache ends up with the same recency ranking.
@@ -63,12 +70,21 @@ std::size_t PlanCache::save(
       record.root = plan.root();
       record.bytes = plan.bytes();
       record.chunk_bytes = plan.chunk_bytes();
+      record.phase2 = static_cast<int>(plan.phase2_strategy());
       record.meta = plan.meta();
       record.program = plan.program();
       records.push_back(std::move(record));
     }
   }
   write_plan_store(path, fabric_fingerprint, records);
+  if (mark_clean) {
+    // Everything cached at snapshot time is now in the canonical store;
+    // only mark the cache clean if nothing changed while the file was
+    // being written (a racing insert must keep it dirty so its plan
+    // reaches the next flush).
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (generation_ == snapshot_generation) dirty_ = false;
+  }
   return records.size();
 }
 
@@ -76,7 +92,7 @@ std::size_t PlanCache::load(
     const std::string& path, std::uint64_t fabric_fingerprint,
     const void* owner,
     const std::function<int(std::string_view)>& backend_id,
-    const std::function<void(const PlanRecord&)>& validate) {
+    const std::function<void(const PlanRecord&)>& validate, bool mark_clean) {
   const std::vector<PlanRecord> records =
       read_plan_store(path, fabric_fingerprint);
   // Validate every record before adopting any: a store that is rejected
@@ -92,14 +108,31 @@ std::size_t PlanCache::load(
     if (validate) validate(record);
     backends.push_back(id);
   }
+  bool had_unsaved = false;
+  std::uint64_t snapshot_generation = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    had_unsaved = dirty_;
+    snapshot_generation = generation_;
+  }
   for (std::size_t i = 0; i < records.size(); ++i) {
     const PlanRecord& record = records[i];
     auto plan = std::make_shared<const CollectivePlan>(
         owner, static_cast<CollectiveKind>(record.kind), record.bytes,
         record.root, backends[i], record.chunk_bytes, record.program,
-        record.meta, std::vector<std::shared_ptr<const TreeSet>>{});
+        record.meta, std::vector<std::shared_ptr<const TreeSet>>{},
+        static_cast<Phase2Strategy>(record.phase2));
     const PlanKey key = plan->key();
     insert(key, std::move(plan));
+  }
+  if (mark_clean && !had_unsaved) {
+    // The cache now mirrors the canonical store it just read (the common
+    // case: a warm-load into an empty cache), so a flush with no further
+    // compiles can be skipped. Plans cached unsaved before the load are
+    // still unsaved, and an insert that raced the load bumped the
+    // generation past our own inserts: both keep the dirty flag.
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (generation_ == snapshot_generation + records.size()) dirty_ = false;
   }
   return records.size();
 }

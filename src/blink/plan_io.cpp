@@ -231,6 +231,7 @@ void serialize_plan_record(const PlanRecord& record, std::string* out) {
   w.i32(record.root);
   w.f64(record.bytes);
   w.u64(record.chunk_bytes);
+  w.i32(record.phase2);
   w.f64(record.meta.seconds);
   w.f64(record.meta.bytes);
   w.f64(record.meta.algorithm_bw);
@@ -252,6 +253,11 @@ PlanRecord deserialize_plan_record(std::string_view buf, std::size_t* pos) {
   record.root = r.i32();
   record.bytes = r.finite_f64();
   record.chunk_bytes = r.u64();
+  record.phase2 = r.i32();
+  if (record.phase2 < static_cast<int>(Phase2Strategy::kNone) ||
+      record.phase2 > static_cast<int>(Phase2Strategy::kHierarchical)) {
+    corrupt("unknown phase-2 strategy");
+  }
   record.meta.seconds = r.finite_f64();
   record.meta.bytes = r.finite_f64();
   record.meta.algorithm_bw = r.finite_f64();

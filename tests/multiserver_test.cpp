@@ -325,6 +325,199 @@ TEST(Multiserver, MixedBackendGroupLaunch) {
                std::invalid_argument);
 }
 
+// --- NIC-aware phase-2 exchanges --------------------------------------------
+
+std::vector<topo::Topology> quad_cluster(int n) {
+  const auto machine = topo::make_dgx1v();
+  const auto quad = topo::induced_topology(machine,
+                                           std::vector<int>{4, 5, 6, 7});
+  return std::vector<topo::Topology>(static_cast<std::size_t>(n), quad);
+}
+
+double total_nic_bytes(const ClusterCommunicator& comm,
+                       const sim::Program& program) {
+  double total = 0.0;
+  for (int s = 0; s < comm.num_servers(); ++s) {
+    total += nic_egress_bytes(comm.fabric(), program, s);
+  }
+  return total;
+}
+
+// Ring and all-to-all phase-2 exchanges are interchangeable for every kind:
+// both lower, both execute, both record their strategy on the plan, and the
+// ring never moves more NIC bytes than the flat exchange.
+TEST(Multiserver, RingAndAllToAllEquivalentForAllKinds) {
+  const auto servers = quad_cluster(3);
+  ClusterOptions ring_opts, atoa_opts;
+  ring_opts.phase2 = Phase2Policy::kRing;
+  atoa_opts.phase2 = Phase2Policy::kAllToAll;
+  ClusterCommunicator ring(servers, ring_opts);
+  ClusterCommunicator atoa(servers, atoa_opts);
+  const double bytes = 32e6;
+  for (const CollectiveKind kind :
+       {CollectiveKind::kBroadcast, CollectiveKind::kGather,
+        CollectiveKind::kReduce, CollectiveKind::kAllReduce,
+        CollectiveKind::kAllGather, CollectiveKind::kReduceScatter}) {
+    const auto ring_plan = ring.compile(kind, bytes, 0);
+    const auto atoa_plan = atoa.compile(kind, bytes, 0);
+    EXPECT_EQ(ring_plan->phase2_strategy(), Phase2Strategy::kRing)
+        << to_string(kind);
+    EXPECT_EQ(atoa_plan->phase2_strategy(), Phase2Strategy::kAllToAll)
+        << to_string(kind);
+    const auto ring_r = ring.execute(*ring_plan);
+    const auto atoa_r = atoa.execute(*atoa_plan);
+    EXPECT_GT(ring_r.seconds, 0.0) << to_string(kind);
+    EXPECT_GT(atoa_r.seconds, 0.0) << to_string(kind);
+    EXPECT_DOUBLE_EQ(ring_r.bytes, atoa_r.bytes) << to_string(kind);
+    // The ring never moves more NIC bytes than the flat exchange — except
+    // Gather, whose chain forwards accumulated blocks through the
+    // intermediate servers (the root's ingress still drops to one stream).
+    const double slack = kind == CollectiveKind::kGather ? 2.0 : 1.001;
+    EXPECT_LE(total_nic_bytes(ring, ring_plan->program()),
+              total_nic_bytes(atoa, atoa_plan->program()) * slack)
+        << to_string(kind);
+  }
+}
+
+// The ring exchange's linear NIC volume: every server sends each partition
+// at most twice, so per-server egress stays bounded by 2x the payload while
+// the flat exchange grows with the server count.
+TEST(Multiserver, RingEgressBoundedPerServer) {
+  const auto servers = quad_cluster(5);
+  ClusterOptions ring_opts, atoa_opts;
+  ring_opts.phase2 = Phase2Policy::kRing;
+  atoa_opts.phase2 = Phase2Policy::kAllToAll;
+  ClusterCommunicator ring(servers, ring_opts);
+  ClusterCommunicator atoa(servers, atoa_opts);
+  const double bytes = 40e6;
+  const auto ring_plan = ring.compile(CollectiveKind::kAllReduce, bytes);
+  const auto atoa_plan = atoa.compile(CollectiveKind::kAllReduce, bytes);
+  for (int s = 0; s < 5; ++s) {
+    EXPECT_LE(nic_egress_bytes(ring.fabric(), ring_plan->program(), s),
+              2.0 * bytes * 1.001)
+        << s;
+    EXPECT_GE(nic_egress_bytes(atoa.fabric(), atoa_plan->program(), s),
+              4.0 * bytes * 0.999)
+        << s;  // (n-1) partials out of every server
+  }
+}
+
+// Auto phase-2 selection measures every applicable exchange and keeps the
+// fastest — never slower than any forced strategy.
+TEST(Multiserver, AutoPhase2PicksFastestCandidate) {
+  const auto servers = quad_cluster(4);  // power of two: all three apply
+  ClusterOptions auto_opts;
+  ClusterCommunicator auto_comm(servers, auto_opts);
+  const double bytes = 48e6;
+  const auto auto_plan = auto_comm.compile(CollectiveKind::kAllReduce, bytes);
+  EXPECT_NE(auto_plan->phase2_strategy(), Phase2Strategy::kNone);
+  const double auto_seconds = auto_comm.execute(*auto_plan).seconds;
+  for (const Phase2Policy forced :
+       {Phase2Policy::kAllToAll, Phase2Policy::kRing,
+        Phase2Policy::kHierarchical}) {
+    ClusterOptions opts;
+    opts.phase2 = forced;
+    ClusterCommunicator comm(servers, opts);
+    const auto r = comm.all_reduce(bytes);
+    EXPECT_LE(auto_seconds, r.seconds * 1.001) << to_string(forced);
+  }
+}
+
+// Hierarchical reduce exchanges pair servers by XOR and need a power-of-two
+// count; the rooted kinds lower through binomial trees at any count.
+TEST(Multiserver, HierarchicalPolicyValidatesServerCount) {
+  ClusterOptions opts;
+  opts.phase2 = Phase2Policy::kHierarchical;
+  ClusterCommunicator three(quad_cluster(3), opts);
+  EXPECT_THROW(three.all_reduce(32e6), std::invalid_argument);
+  EXPECT_THROW(three.reduce_scatter(32e6), std::invalid_argument);
+  EXPECT_THROW(three.all_gather(8e6), std::invalid_argument);
+  const auto b = three.broadcast(32e6, 0);  // binomial: any server count
+  EXPECT_GT(b.seconds, 0.0);
+  EXPECT_EQ(three.compile(CollectiveKind::kBroadcast, 32e6, 0)
+                ->phase2_strategy(),
+            Phase2Strategy::kHierarchical);
+  EXPECT_GT(three.reduce(32e6, 0).seconds, 0.0);
+  EXPECT_GT(three.gather(8e6, 0).seconds, 0.0);
+
+  ClusterCommunicator four(quad_cluster(4), opts);
+  const auto plan = four.compile(CollectiveKind::kAllReduce, 32e6);
+  EXPECT_EQ(plan->phase2_strategy(), Phase2Strategy::kHierarchical);
+  EXPECT_GT(four.execute(*plan).seconds, 0.0);
+}
+
+// --- heterogeneous partition sizing -----------------------------------------
+
+// A balanced cluster's bandwidth-weighted sizing is the equal split,
+// bit-for-bit: identical shares and an identical compiled schedule.
+TEST(Multiserver, EqualServersReduceToEqualSplitBitForBit) {
+  const auto servers = quad_cluster(2);
+  ClusterOptions weighted_opts, equal_opts;
+  equal_opts.partition_sizing = PartitionSizing::kEqual;
+  ClusterCommunicator weighted(servers, weighted_opts);
+  ClusterCommunicator equal(servers, equal_opts);
+  const auto shares = weighted.partition_shares();
+  ASSERT_EQ(shares.size(), 4u);
+  for (const double s : shares) EXPECT_EQ(s, 1.0 / 4);  // exact, not approx
+  const auto wp = weighted.compile(CollectiveKind::kAllReduce, 64e6);
+  const auto ep = equal.compile(CollectiveKind::kAllReduce, 64e6);
+  const auto& wo = wp->program().ops();
+  const auto& eo = ep->program().ops();
+  ASSERT_EQ(wo.size(), eo.size());
+  for (std::size_t i = 0; i < wo.size(); ++i) {
+    EXPECT_EQ(wo[i].kind, eo[i].kind) << i;
+    EXPECT_EQ(wo[i].route, eo[i].route) << i;
+    EXPECT_EQ(wo[i].bytes, eo[i].bytes) << i;  // bitwise-identical split
+    EXPECT_EQ(wo[i].stream, eo[i].stream) << i;
+    EXPECT_EQ(wo[i].deps, eo[i].deps) << i;
+  }
+}
+
+// Unequal link rates: the stagger from the measured probes beats the equal
+// split on modeled AllReduce time.
+TEST(Multiserver, HeterogeneousSizingBeatsEqualSplit) {
+  const auto machine = topo::make_dgx1v();
+  auto old_gen =
+      topo::induced_topology(machine, std::vector<int>{3, 4, 5, 6, 7});
+  old_gen.nvlink_lane_bw *= 0.25;
+  const std::vector<topo::Topology> servers{
+      topo::induced_topology(machine, std::vector<int>{0, 1, 2}), old_gen};
+  ClusterOptions weighted_opts, equal_opts;
+  equal_opts.partition_sizing = PartitionSizing::kEqual;
+  ClusterCommunicator weighted(servers, weighted_opts);
+  ClusterCommunicator equal(servers, equal_opts);
+  const auto shares = weighted.partition_shares();
+  EXPECT_GT(shares.front(), shares.back());  // staggered, front-loaded
+  double sum = 0.0;
+  for (const double s : shares) sum += s;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_LT(weighted.all_reduce(100e6).seconds,
+            equal.all_reduce(100e6).seconds);
+}
+
+// A server with near-zero bandwidth steepens the stagger to its cap, but
+// the floor keeps every partition alive: shares clamp to a minimum, never
+// zero.
+TEST(Multiserver, NearZeroBandwidthServerClampsSharesToFloor) {
+  auto dead = topo::make_dgx1v();
+  dead.nvlink_lane_bw *= 1e-7;  // effectively no spare bandwidth
+  ClusterOptions opts;
+  ClusterCommunicator comm({topo::make_dgx1v(), dead}, opts);
+  const auto shares = comm.partition_shares();
+  ASSERT_EQ(shares.size(), 8u);
+  const double floor = opts.min_partition_share / 8;
+  double sum = 0.0;
+  for (const double s : shares) {
+    EXPECT_GT(s, 0.0);
+    EXPECT_GE(s, floor);
+    sum += s;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  // The steepest stagger still hands the tail partition essentially the
+  // floor, not more than twice it.
+  EXPECT_LT(shares.back(), 2.5 * floor);
+}
+
 // Plans record their provenance: the per-(server, root) packed tree sets.
 TEST(Multiserver, PlansShareTreeSetProvenance) {
   ClusterCommunicator comm(fragmented_3_5(), {});

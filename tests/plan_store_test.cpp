@@ -394,5 +394,158 @@ TEST_F(PlanStore, FacadeEnvVarAndExplicitImport) {
   EXPECT_EQ(blinkCommDestroy(other), blinkSuccess);
 }
 
+// --- phase-2 strategy recording and policy fingerprints ---------------------
+
+// Plans record the phase-2 exchange they were compiled with, and the record
+// survives the store round-trip.
+TEST_F(PlanStore, Phase2StrategySurvivesRoundTrip) {
+  const std::string store = path("phase2.bpc");
+  ClusterOptions options;
+  options.codegen.chunk_bytes = 4u << 20;
+  options.phase2 = Phase2Policy::kRing;
+  std::vector<topo::Topology> servers{topo::make_dgx1v(), topo::make_dgx1v()};
+  {
+    ClusterCommunicator comm(servers, options);
+    const auto plan = comm.compile(CollectiveKind::kAllReduce, 64e6, -1);
+    EXPECT_EQ(plan->phase2_strategy(), Phase2Strategy::kRing);
+    EXPECT_EQ(comm.export_plans(store), 1u);
+  }
+  ClusterCommunicator fresh(servers, options);
+  EXPECT_EQ(fresh.import_plans(store), 1u);
+  const auto plan = fresh.compile(CollectiveKind::kAllReduce, 64e6, -1);
+  EXPECT_EQ(fresh.plan_cache().misses(), 0u);  // warm: no recompile
+  EXPECT_EQ(plan->phase2_strategy(), Phase2Strategy::kRing);
+}
+
+// A store compiled under one phase-2 policy or partition-sizing policy is
+// rejected by an engine configured with another: both are part of the
+// cluster backend's planning fingerprint, so a warm-load can never hand an
+// engine a schedule its own lowering would not produce.
+TEST_F(PlanStore, Phase2AndSizingPoliciesSeparateStores) {
+  const std::string store = path("policies.bpc");
+  std::vector<topo::Topology> servers{topo::make_dgx1v(), topo::make_dgx1v()};
+  ClusterOptions ring;
+  ring.codegen.chunk_bytes = 4u << 20;
+  ring.phase2 = Phase2Policy::kRing;
+  {
+    ClusterCommunicator comm(servers, ring);
+    comm.compile(CollectiveKind::kAllReduce, 64e6, -1);
+    EXPECT_EQ(comm.export_plans(store), 1u);
+  }
+  ClusterOptions all_to_all = ring;
+  all_to_all.phase2 = Phase2Policy::kAllToAll;
+  ClusterCommunicator exchange_mismatch(servers, all_to_all);
+  EXPECT_THROW(exchange_mismatch.import_plans(store), std::invalid_argument);
+  EXPECT_EQ(exchange_mismatch.plan_cache().size(), 0u);  // nothing adopted
+
+  ClusterOptions equal_split = ring;
+  equal_split.partition_sizing = PartitionSizing::kEqual;
+  ClusterCommunicator sizing_mismatch(servers, equal_split);
+  EXPECT_THROW(sizing_mismatch.import_plans(store), std::invalid_argument);
+  EXPECT_EQ(sizing_mismatch.plan_cache().size(), 0u);
+
+  ClusterCommunicator match(servers, ring);
+  EXPECT_EQ(match.import_plans(store), 1u);
+}
+
+// --- the clean-flush bugfix -------------------------------------------------
+
+// The cache knows whether it holds plans the store has not seen: inserts
+// dirty it, save()/load() sync it.
+TEST_F(PlanStore, PlanCacheDirtyFlagLifecycle) {
+  Communicator comm(topo::make_dgx1v(), fast_options());
+  const auto plan = comm.compile(CollectiveKind::kBroadcast, 8e6, 0);
+  PlanCache cache(8);
+  EXPECT_FALSE(cache.dirty());
+  cache.insert(plan->key(), plan);
+  EXPECT_TRUE(cache.dirty());
+  const std::string store = path("dirty.bpc");
+  cache.save(store, 42, [](int) { return std::string("blink"); });
+  EXPECT_FALSE(cache.dirty());
+  // Lookups do not dirty the cache; a fresh insert does.
+  cache.find(plan->key());
+  EXPECT_FALSE(cache.dirty());
+  cache.insert(plan->key(), plan);
+  EXPECT_TRUE(cache.dirty());
+
+  PlanCache loaded(8);
+  loaded.load(store, 42, &comm, [](std::string_view) { return 0; });
+  EXPECT_FALSE(loaded.dirty());  // mirrors the store it just read
+}
+
+// A warm-started engine that compiled nothing new must leave its store file
+// untouched at shutdown instead of rewriting identical bytes; a new shape
+// dirties the cache and the next flush writes again.
+TEST_F(PlanStore, CleanFlushSkipsStoreRewrite) {
+  CommunicatorOptions options = fast_options();
+  options.plan_store_dir = dir_.string();
+  std::string store_path;
+  {
+    Communicator comm(topo::make_dgx1v(), options);
+    comm.compile(CollectiveKind::kAllReduce, 16e6, -1);
+    store_path = comm.plan_store_path();
+  }  // dirty cache: flushed at destruction
+  ASSERT_TRUE(fs::exists(store_path));
+  const auto stamp = fs::last_write_time(store_path);
+  {
+    Communicator comm(topo::make_dgx1v(), options);
+    comm.all_reduce(16e6);  // warm-loaded: a cache hit, still clean
+    EXPECT_EQ(comm.plan_cache().misses(), 0u);
+  }  // clean cache: flush skipped
+  EXPECT_EQ(fs::last_write_time(store_path), stamp);
+  {
+    Communicator comm(topo::make_dgx1v(), options);
+    comm.all_reduce(32e6);  // a new shape dirties the warm-loaded cache
+  }
+  EXPECT_NE(fs::last_write_time(store_path), stamp);  // flushed again
+  Communicator comm(topo::make_dgx1v(), options);
+  comm.all_reduce(16e6);
+  comm.all_reduce(32e6);
+  EXPECT_EQ(comm.plan_cache().misses(), 0u);  // both shapes persisted
+}
+
+// An export to a side path (a backup) is not a sync with the configured
+// store: the cache stays dirty and the destructor still flushes.
+TEST_F(PlanStore, SideExportKeepsConfiguredStoreFlushArmed) {
+  CommunicatorOptions options = fast_options();
+  options.plan_store_dir = (dir_ / "store").string();
+  std::string store_path;
+  {
+    Communicator comm(topo::make_dgx1v(), options);
+    comm.compile(CollectiveKind::kAllReduce, 16e6, -1);
+    EXPECT_EQ(comm.export_plans(path("backup.bpc")), 1u);
+    EXPECT_TRUE(comm.plan_cache().dirty());  // backup != the store
+    store_path = comm.plan_store_path();
+  }
+  ASSERT_TRUE(fs::exists(store_path));  // the flush still happened
+  Communicator warm(topo::make_dgx1v(), options);
+  warm.all_reduce(16e6);
+  EXPECT_EQ(warm.plan_cache().misses(), 0u);
+}
+
+// Importing a seed from a side path leaves the cache dirty relative to the
+// configured store, so the seeded plans reach it at shutdown.
+TEST_F(PlanStore, SideImportStillFlushesConfiguredStore) {
+  const std::string seed = path("seed.bpc");
+  {
+    Communicator comm(topo::make_dgx1v(), fast_options());
+    comm.compile(CollectiveKind::kBroadcast, 12e6, 0);
+    EXPECT_EQ(comm.export_plans(seed), 1u);
+  }
+  CommunicatorOptions options = fast_options();
+  options.plan_store_dir = (dir_ / "store2").string();
+  std::string store_path;
+  {
+    Communicator comm(topo::make_dgx1v(), options);
+    EXPECT_EQ(comm.import_plans(seed), 1u);
+    EXPECT_TRUE(comm.plan_cache().dirty());  // seed is not in the store yet
+    store_path = comm.plan_store_path();
+  }
+  ASSERT_TRUE(fs::exists(store_path));  // seeded plans flushed
+  Communicator warm(topo::make_dgx1v(), options);
+  warm.broadcast(12e6, 0);
+  EXPECT_EQ(warm.plan_cache().misses(), 0u);
+}
+
 }  // namespace
 }  // namespace blink
