@@ -1,0 +1,282 @@
+// Serving-layer SLO bench: sustained compile+execute traffic through
+// serve::PlanService from 8 client threads across 3 tenants on 2 fabric
+// shards, gated by exit code for CI:
+//
+//   * warm hit-rate SLO — after a cold compile pass, the sustained phase
+//     must serve >= 99% of its collective requests from the sharded plan
+//     caches (exit 1 below 95%);
+//   * typed admission — a rogue tenant with a near-zero compile quota must
+//     be rejected with ServeStatus values, never an exception or crash, and
+//     must not starve the well-behaved tenants (their traffic stays 100%
+//     kOk);
+//   * queue overflow stays typed — with workers paused, submissions beyond
+//     the queue capacity come back kRejectedQueueFull;
+//   * store GC — after flushing the live shards amid decoy store files, one
+//     sweep must bring the store directory under its size cap without
+//     evicting any live shard's file.
+//
+// Prints a summary table (throughput, hit rate, per-tenant reject counters)
+// like the figure benches.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "blink/serve/service.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using blink::CollectiveKind;
+using blink::serve::FabricSpec;
+using blink::serve::PlanService;
+using blink::serve::RequestType;
+using blink::serve::ServeRequest;
+using blink::serve::ServeResponse;
+using blink::serve::ServeStatus;
+using blink::serve::ServiceOptions;
+using blink::serve::ServiceStats;
+
+constexpr int kClientThreads = 8;      // >= 8 per the acceptance criteria
+constexpr int kWarmIterations = 40;    // per thread, over every shape
+constexpr double kHitRateSlo = 0.95;
+constexpr std::uint64_t kGcCapBytes = 256 * 1024;
+
+ServeRequest make_request(const std::string& tenant, const FabricSpec& fabric,
+                          CollectiveKind kind, double bytes,
+                          RequestType type = RequestType::kExecute) {
+  ServeRequest request;
+  request.tenant = tenant;
+  request.type = type;
+  request.fabric = fabric;
+  request.kind = kind;
+  request.bytes = bytes;
+  return request;
+}
+
+bool check(bool ok, const char* what) {
+  std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what);
+  return ok;
+}
+
+}  // namespace
+
+int main() {
+  blink::bench::banner("bench_serving",
+                       "multi-tenant plan serving: throughput, admission, GC");
+
+  const fs::path store_dir = fs::temp_directory_path() / "blink-bench-serving";
+  std::error_code ec;
+  fs::remove_all(store_dir, ec);
+
+  ServiceOptions options;
+  options.num_workers = 4;
+  options.queue_capacity = 1024;
+  options.store_dir = store_dir.string();
+  options.gc.max_total_bytes = kGcCapBytes;
+  options.default_quota.compile_rate = 1000.0;
+  options.default_quota.compile_burst = 200.0;
+  options.default_quota.max_in_flight = 256;
+  // The rogue tenant gets a token bucket that admits almost nothing.
+  options.tenant_quotas["rogue"] =
+      blink::serve::TenantQuota{0.0, 2.0, 256};
+
+  bool all_ok = true;
+  const std::vector<FabricSpec> fabrics{
+      FabricSpec{"dgx1v", {0, 1, 2, 3}, "blink"},
+      FabricSpec{"dgx2", {0, 1, 2, 3, 4, 5, 6, 7}, "blink"},
+  };
+  const std::vector<double> shapes{4e6, 16e6, 64e6};
+  const std::vector<CollectiveKind> kinds{CollectiveKind::kAllReduce,
+                                          CollectiveKind::kBroadcast};
+
+  {
+    PlanService service(options);
+
+    // --- cold pass: compile every (fabric, kind, shape) once ---------------
+    std::size_t cold_failures = 0;
+    for (const FabricSpec& fabric : fabrics) {
+      for (const CollectiveKind kind : kinds) {
+        for (const double bytes : shapes) {
+          const ServeResponse r = service.handle(
+              make_request("loader", fabric, kind, bytes, RequestType::kCompile));
+          if (r.status != ServeStatus::kOk) ++cold_failures;
+        }
+      }
+    }
+    all_ok &= check(cold_failures == 0, "cold compile pass all ok");
+
+    // --- sustained warm phase: 8 threads, 2 serving tenants ----------------
+    std::atomic<std::uint64_t> served{0};
+    std::atomic<std::uint64_t> not_ok{0};
+    std::atomic<std::uint64_t> untyped{0};
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> clients;
+    for (int t = 0; t < kClientThreads; ++t) {
+      clients.emplace_back([&, t] {
+        const std::string tenant = t % 2 == 0 ? "train" : "infer";
+        for (int i = 0; i < kWarmIterations; ++i) {
+          for (std::size_t f = 0; f < fabrics.size(); ++f) {
+            for (const CollectiveKind kind : kinds) {
+              const double bytes =
+                  shapes[(static_cast<std::size_t>(t + i) + f) % shapes.size()];
+              try {
+                const ServeResponse r = service.handle(make_request(
+                    tenant, fabrics[f], kind, bytes));
+                served.fetch_add(1);
+                if (r.status != ServeStatus::kOk) not_ok.fetch_add(1);
+              } catch (...) {
+                untyped.fetch_add(1);  // an admission reject escaped as a throw
+              }
+            }
+          }
+        }
+      });
+    }
+    for (auto& c : clients) c.join();
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    const ServiceStats warm_stats = service.stats();
+    const double hit_rate = warm_stats.warm_hit_rate();
+    std::printf(
+        "\nsustained: %llu requests, %d threads, %.3f s wall -> %.0f req/s\n"
+        "warm hit rate %.4f (SLO >= %.2f), shards %zu, cache h/m %llu/%llu\n",
+        static_cast<unsigned long long>(served.load()), kClientThreads, wall,
+        wall > 0 ? static_cast<double>(served.load()) / wall : 0.0, hit_rate,
+        kHitRateSlo, warm_stats.num_shards,
+        static_cast<unsigned long long>(warm_stats.cache_hits),
+        static_cast<unsigned long long>(warm_stats.cache_misses));
+    all_ok &= check(untyped.load() == 0, "no request escaped as an exception");
+    all_ok &= check(not_ok.load() == 0, "well-behaved tenants all served kOk");
+    all_ok &= check(hit_rate >= kHitRateSlo, "warm hit-rate SLO met");
+    all_ok &= check(warm_stats.num_shards == fabrics.size(),
+                    "one shard per distinct fabric");
+
+    // --- rogue tenant: tiny quota, distinct cold shapes --------------------
+    std::uint64_t rogue_quota_rejects = 0;
+    std::uint64_t rogue_untyped = 0;
+    for (int i = 0; i < 32; ++i) {
+      try {
+        const ServeResponse r = service.handle(
+            make_request("rogue", fabrics[0], CollectiveKind::kAllReduce,
+                         1e6 + static_cast<double>(i), RequestType::kCompile));
+        if (r.status == ServeStatus::kRejectedQuota) ++rogue_quota_rejects;
+      } catch (...) {
+        ++rogue_untyped;
+      }
+    }
+    const ServeResponse good_after = service.handle(make_request(
+        "train", fabrics[0], CollectiveKind::kAllReduce, shapes[0]));
+    std::printf("\nrogue tenant: %llu/32 typed quota rejections\n",
+                static_cast<unsigned long long>(rogue_quota_rejects));
+    all_ok &= check(rogue_untyped == 0, "rogue rejections all typed");
+    all_ok &= check(rogue_quota_rejects >= 25,
+                    "rogue tenant throttled by its token bucket");
+    all_ok &= check(good_after.status == ServeStatus::kOk &&
+                        good_after.warm_hit,
+                    "well-behaved tenant unaffected by the rogue");
+
+    // --- queue overflow stays typed ----------------------------------------
+    {
+      ServiceOptions tiny = options;
+      tiny.store_dir.clear();
+      tiny.gc = {};
+      tiny.num_workers = 1;
+      tiny.queue_capacity = 4;
+      PlanService small(tiny);
+      small.pause_workers();
+      std::vector<std::future<ServeResponse>> pending;
+      std::uint64_t queue_rejects = 0;
+      std::uint64_t overflow_untyped = 0;
+      for (int i = 0; i < 12; ++i) {
+        try {
+          auto future = small.submit(make_request(
+              "burst" + std::to_string(i), fabrics[0],
+              CollectiveKind::kAllReduce, 2e6 + static_cast<double>(i)));
+          if (future.wait_for(std::chrono::seconds(0)) ==
+              std::future_status::ready) {
+            if (future.get().status == ServeStatus::kRejectedQueueFull) {
+              ++queue_rejects;
+            }
+          } else {
+            pending.push_back(std::move(future));
+          }
+        } catch (...) {
+          ++overflow_untyped;
+        }
+      }
+      small.resume_workers();
+      for (auto& future : pending) future.get();  // drain before destruction
+      std::printf("\nqueue overflow: %llu/12 typed queue-full rejections\n",
+                  static_cast<unsigned long long>(queue_rejects));
+      all_ok &= check(overflow_untyped == 0 && queue_rejects == 8,
+                      "admission queue overflow rejected, typed, exact");
+    }
+
+    // --- store GC under a size cap -----------------------------------------
+    fs::create_directories(store_dir, ec);
+    for (int i = 0; i < 24; ++i) {
+      // Decoy store files from long-gone fabrics, together far over the cap.
+      std::ofstream decoy(store_dir /
+                          ("plans-00000000000000" + std::to_string(10 + i) +
+                           ".bpc"));
+      decoy << std::string(32 * 1024, 'x');
+    }
+    const std::size_t flushed = service.flush();
+    const auto report = service.run_gc();
+    std::uintmax_t dir_bytes = 0;
+    std::size_t live_missing = 0;
+    for (const auto& entry : fs::directory_iterator(store_dir)) {
+      dir_bytes += entry.file_size();
+    }
+    // The live shards' files must have survived the sweep.
+    const ServeResponse probe = service.handle(make_request(
+        "train", fabrics[0], CollectiveKind::kAllReduce, shapes[0]));
+    if (probe.status != ServeStatus::kOk) ++live_missing;
+    std::printf(
+        "\ngc: flushed %zu plans; evicted %zu files (%llu B); %llu B remain "
+        "(cap %llu)\n",
+        flushed, report.files_evicted,
+        static_cast<unsigned long long>(report.bytes_evicted),
+        static_cast<unsigned long long>(dir_bytes),
+        static_cast<unsigned long long>(kGcCapBytes));
+    all_ok &= check(flushed > 0, "live shards flushed plans to the store");
+    all_ok &= check(report.files_evicted > 0, "gc evicted decoy store files");
+    all_ok &= check(dir_bytes <= kGcCapBytes,
+                    "store directory within its size cap after gc");
+    all_ok &= check(report.files_protected == fabrics.size() &&
+                        live_missing == 0,
+                    "gc protected every live shard's store file");
+  }
+
+  // --- warm restart: a fresh service over the flushed store ----------------
+  {
+    ServiceOptions warm_options = options;
+    warm_options.gc_on_start = true;
+    PlanService warm(warm_options);
+    const ServeResponse warm_load = warm.handle(make_request(
+        "train", fabrics[0], CollectiveKind::kAllReduce, shapes[0],
+        RequestType::kWarmLoad));
+    const ServeResponse first = warm.handle(make_request(
+        "train", fabrics[0], CollectiveKind::kAllReduce, shapes[0]));
+    std::printf("\nrestart: warm-loaded %zu plans, first request %s\n",
+                warm_load.plans_touched, first.warm_hit ? "warm" : "cold");
+    all_ok &= check(warm_load.status == ServeStatus::kOk &&
+                        warm_load.plans_touched > 0,
+                    "restarted service warm-loads the store");
+    all_ok &= check(first.status == ServeStatus::kOk && first.warm_hit,
+                    "first request after restart is a warm hit");
+  }
+
+  fs::remove_all(store_dir, ec);
+  std::printf("\nbench_serving: %s\n", all_ok ? "OK" : "FAILED");
+  return all_ok ? 0 : 1;
+}

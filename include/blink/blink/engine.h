@@ -142,6 +142,28 @@ class CollectiveEngine {
   /// (TreeGen/CodeGen for Blink, ring/tree emission for the baselines).
   const PlanCache& plan_cache() const { return plans_; }
 
+  /// Whether compile() with these arguments would be a cache hit right now,
+  /// without compiling anything or touching the hit/miss counters. Resolves
+  /// root == -1 and kAutoBackend the way compile() would (an unmeasured auto
+  /// shape reports false: compiling it would run the bake-off). Invalid
+  /// arguments report false instead of throwing — this is the serving
+  /// layer's admission peek, which must never fail a request itself.
+  bool has_cached_plan(CollectiveKind kind, double bytes, int root = -1,
+                       int backend = 0);
+
+  /// Writes the plan cache to the configured store file now (the same flush
+  /// the destructor performs), so a long-lived serving process persists
+  /// plans without restarting. No-op — returning 0 — when persistence is
+  /// disabled, the cache is empty, or nothing changed since the last sync.
+  /// Returns the number of plans written.
+  std::size_t flush_plans();
+
+  /// Drops every cached plan and auto-selection decision, so the next
+  /// compile of each shape re-lowers against current state (the serving
+  /// layer's invalidate request). Outstanding shared_ptr plans stay valid.
+  /// Returns the number of plans dropped.
+  std::size_t invalidate_plans();
+
   // --- persistent plans (plan_io.h format) ---------------------------------
 
   /// Fingerprint of this engine's fabric, backend registry, and every

@@ -107,6 +107,22 @@ blinkResult_t blinkCommInitAllWithConfig(blinkComm_t* comm,
 // The backend a communicator was created with.
 blinkResult_t blinkCommBackend(blinkComm_t comm, blinkBackend_t* backend);
 
+// Snapshot of a communicator's plan-cache counters: hits are collectives
+// that skipped planning entirely (warm starts included — plans warm-loaded
+// from a store count as hits on their first use), misses are cold compiles.
+typedef struct {
+  unsigned long long hits;
+  unsigned long long misses;
+  unsigned long long evictions;
+  unsigned long long size;      // plans currently cached
+  unsigned long long capacity;  // LRU capacity
+} blinkCacheStats_t;
+
+// Fills |stats| with the communicator's current plan-cache counters, so
+// LD_PRELOAD clients can observe warm-start behavior (e.g. assert zero
+// misses after a plan-store warm load) without any C++ surface.
+blinkResult_t blinkCommCacheStats(blinkComm_t comm, blinkCacheStats_t* stats);
+
 // --- persistent plans -------------------------------------------------------
 // Serializes the communicator's cached plans to |path| under a header
 // carrying the plan-store format version and the fabric fingerprint

@@ -35,6 +35,15 @@ class PlanCache {
   // Counts a hit or a miss.
   std::shared_ptr<const CollectivePlan> find(const PlanKey& key);
 
+  // Whether |key| is cached, without bumping recency or counting a hit or a
+  // miss — the serving layer's admission peek (a warm request must not be
+  // charged against a tenant's compile quota, and probing must not skew the
+  // hit-rate counters the SLO is asserted on).
+  bool contains(const PlanKey& key) const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return index_.find(key) != index_.end();
+  }
+
   // Inserts (or replaces) the plan for |key|, evicting the least recently
   // used entry when over capacity.
   void insert(const PlanKey& key, std::shared_ptr<const CollectivePlan> plan);

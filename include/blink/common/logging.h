@@ -1,7 +1,12 @@
 // Minimal leveled logging. Off by default so benchmarks stay quiet; tests and
 // examples can raise the level to trace schedule execution.
+//
+// Thread-safe: each message is formatted into one string and handed to the
+// sink as a single write under a global lock, so concurrent daemon/worker
+// threads never interleave characters within a line.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -12,6 +17,15 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 
 // Global threshold; messages below it are discarded.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+// Where complete log lines go. Called with the sink lock held — one call per
+// message, messages never tear — so the sink itself needs no synchronization.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+
+// Replaces the sink (default: one locked fwrite of "[blink LEVEL] msg\n" to
+// stderr). Pass an empty function to restore the default. Tests use this to
+// capture output; the serving daemon to redirect worker logs.
+void set_log_sink(LogSink sink);
 
 namespace internal {
 void emit_log(LogLevel level, const std::string& message);

@@ -1,0 +1,74 @@
+/// \file
+/// Admission-control primitives for the plan-serving layer (serve/service.h):
+/// per-tenant quotas and the deterministic token bucket that enforces them.
+///
+/// Time is injected as a plain seconds value rather than read from a clock,
+/// so admission decisions are a pure function of (quota, request times) —
+/// tests drive a fake clock and assert exactly which request is the first
+/// rejected one.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+namespace blink::serve {
+
+/// Per-tenant serving limits. A tenant's compiles — the expensive planning
+/// work (TreeGen/MWU/CodeGen) — drain a token bucket; warm cache hits are
+/// free, so a tenant replaying cached shapes is never throttled. In-flight
+/// work (queued + executing requests) is bounded separately so one tenant
+/// cannot occupy the whole worker pool with slow requests.
+struct TenantQuota {
+  /// Token-bucket refill rate: compiles per second the tenant may sustain.
+  double compile_rate = 100.0;
+  /// Token-bucket capacity: the cold-compile burst allowed after idleness.
+  double compile_burst = 20.0;
+  /// Maximum requests a tenant may have queued or executing at once.
+  std::size_t max_in_flight = 64;
+};
+
+/// A standard token bucket over an injected timeline: |burst| tokens
+/// capacity, refilled at |rate| tokens/second, deterministic given the
+/// sequence of |now| values (which must be non-decreasing; a backwards step
+/// refills nothing). Not thread-safe — callers (the service's admission
+/// path) hold their own lock.
+class TokenBucket {
+ public:
+  /// A bucket created full, so a tenant's first |burst| compiles are
+  /// admitted immediately.
+  TokenBucket(double rate, double burst, double now)
+      : rate_(std::max(rate, 0.0)),
+        burst_(std::max(burst, 0.0)),
+        tokens_(burst_),
+        last_(now) {}
+
+  /// Takes |tokens| if available after refilling up to |now|; returns
+  /// whether the caller may proceed. A failed acquire takes nothing.
+  bool try_acquire(double now, double tokens = 1.0) {
+    refill(now);
+    if (tokens_ + 1e-9 < tokens) return false;
+    tokens_ -= tokens;
+    return true;
+  }
+
+  /// Tokens available at |now| (refills as a side effect).
+  double available(double now) {
+    refill(now);
+    return tokens_;
+  }
+
+ private:
+  void refill(double now) {
+    if (now > last_) {
+      tokens_ = std::min(burst_, tokens_ + (now - last_) * rate_);
+      last_ = now;
+    }
+  }
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  double last_;
+};
+
+}  // namespace blink::serve

@@ -1,0 +1,273 @@
+/// \file
+/// Planning-as-a-service: a multi-tenant plan-serving front end over the
+/// plan/execute engine stack. One PlanService hosts many engine *shards* —
+/// one CollectiveEngine per distinct fabric spec, each with its own
+/// thread-safe PlanCache and persistent store file — so tenants on distinct
+/// fabrics never contend on one cache mutex, and a worker pool serves
+/// compile / execute / warm-load / invalidate requests from thousands of
+/// concurrent communicator clients.
+///
+/// Admission control keeps one misbehaving tenant from starving the rest:
+/// cold compiles drain a per-tenant token bucket (serve/admission.h), each
+/// tenant's in-flight work is bounded, and the shared admission queue is
+/// bounded too — every limit rejects with a typed ServeStatus, never an
+/// exception or a crash. Warm cache hits bypass the compile quota entirely,
+/// so steady-state serving traffic is admission-free.
+///
+/// Observability is first-class: stats() snapshots per-tenant and global
+/// counters (admits, rejects by cause, warm hits, compiles), summed
+/// plan-cache hit/miss/eviction counters across shards, queue depth and
+/// high-water mark, and log-scale latency histograms — benches and tests
+/// assert SLOs (warm hit rate, zero untyped failures) directly on the
+/// snapshot. Plan-store lifecycle management (serve/store_gc.h) runs on
+/// startup and every gc_interval_requests completions, protecting the store
+/// files of live shards.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "blink/blink/plan.h"
+#include "blink/serve/admission.h"
+#include "blink/serve/store_gc.h"
+
+namespace blink::serve {
+
+/// The fabric a request plans against, and the shard key: requests with
+/// identical specs share one engine (and its plan cache); distinct specs
+/// get distinct shards. Mirrors the facade's communicator-init surface.
+struct FabricSpec {
+  /// Machine kind: "dgx1p", "dgx1v" or "dgx2".
+  std::string machine = "dgx1v";
+  /// The GPUs of the allocation, as physical ids on that machine.
+  std::vector<int> gpu_ids;
+  /// Planning algorithm: "blink" (default), "nccl", "ring",
+  /// "double_binary", "butterfly", or "auto" (register them all and let the
+  /// engine's per-shape bake-off pick).
+  std::string backend = "blink";
+};
+
+/// What a ServeRequest asks the service to do.
+enum class RequestType {
+  kCompile = 0,   ///< Compile (or fetch cached) the plan; no execution.
+  kExecute = 1,   ///< Compile if needed, then execute; returns the timing.
+  kWarmLoad = 2,  ///< Import the shard's store file into its plan cache now.
+  kInvalidate = 3,  ///< Drop the shard's cached plans and auto choices.
+};
+
+/// A conversion to a stable lowercase name ("compile", ...).
+const char* to_string(RequestType type);
+
+/// One client request. kWarmLoad/kInvalidate ignore the collective fields.
+struct ServeRequest {
+  /// The requesting tenant; quotas and per-tenant stats key on this.
+  std::string tenant;
+  /// What to do.
+  RequestType type = RequestType::kExecute;
+  /// The fabric (and so the shard) the request targets.
+  FabricSpec fabric;
+  /// Collective to plan (kCompile/kExecute).
+  CollectiveKind kind = CollectiveKind::kAllReduce;
+  /// Per-GPU payload bytes (kCompile/kExecute); must be positive.
+  double bytes = 0.0;
+  /// Root GPU rank, or -1 for the backend default.
+  int root = -1;
+};
+
+/// Typed outcome of a request. Everything except kOk is an orderly
+/// rejection or failure the client can retry or fix — admission limits and
+/// bad requests never surface as exceptions or crashes.
+enum class ServeStatus {
+  kOk = 0,                 ///< Served; the response fields are valid.
+  kRejectedQuota = 1,      ///< Tenant's compile token bucket is empty.
+  kRejectedInFlight = 2,   ///< Tenant hit TenantQuota::max_in_flight.
+  kRejectedQueueFull = 3,  ///< The shared admission queue is at capacity.
+  kInvalidRequest = 4,     ///< Bad tenant/fabric/arguments (typed, no throw).
+  kInternalError = 5,      ///< Unexpected failure; message has details.
+};
+
+/// A conversion to a stable name ("ok", "rejected_quota", ...).
+const char* to_string(ServeStatus status);
+
+/// What the service returns for one request.
+struct ServeResponse {
+  /// Outcome; fields below are meaningful only on kOk.
+  ServeStatus status = ServeStatus::kOk;
+  /// kExecute: the simulated timing. kCompile: the plan's metadata with
+  /// timing unfilled, as from CollectiveEngine::compile().
+  CollectiveResult result;
+  /// Whether the plan was already cached in the shard when the request was
+  /// served (kCompile/kExecute) — the per-request view of the hit rate.
+  bool warm_hit = false;
+  /// The serving shard's fabric fingerprint (0 for rejected requests).
+  std::uint64_t shard_fingerprint = 0;
+  /// kWarmLoad: plans imported; kInvalidate: plans dropped; else 0.
+  std::size_t plans_touched = 0;
+  /// Failure or rejection detail; empty on success.
+  std::string message;
+};
+
+/// Counters kept per tenant and (as ServiceStats::totals) globally.
+struct TenantCounters {
+  /// Requests handed to submit() for this tenant.
+  std::uint64_t submitted = 0;
+  /// Requests that passed admission and were queued.
+  std::uint64_t admitted = 0;
+  /// Admitted requests fully served (any final status).
+  std::uint64_t completed = 0;
+  /// Served compile/execute requests that found their plan cached.
+  std::uint64_t warm_hits = 0;
+  /// Served compile/execute requests that had to compile (cold).
+  std::uint64_t compiles = 0;
+  /// Rejections: compile token bucket empty.
+  std::uint64_t rejected_quota = 0;
+  /// Rejections: per-tenant in-flight cap reached.
+  std::uint64_t rejected_in_flight = 0;
+  /// Rejections: shared admission queue full.
+  std::uint64_t rejected_queue_full = 0;
+  /// Requests answered kInvalidRequest (at admission or dispatch).
+  std::uint64_t invalid = 0;
+  /// Requests answered kInternalError.
+  std::uint64_t errors = 0;
+};
+
+/// Latency histogram shape: bucket i counts requests whose service latency
+/// (admission to response, by the service clock) fell in [2^i, 2^(i+1))
+/// microseconds; bucket 0 also absorbs sub-microsecond requests, the last
+/// bucket everything slower.
+inline constexpr std::size_t kLatencyBuckets = 24;
+
+/// A consistent point-in-time snapshot of the service's counters.
+struct ServiceStats {
+  /// Global counters: the sum over every tenant.
+  TenantCounters totals;
+  /// Per-tenant counters, keyed by tenant name.
+  std::map<std::string, TenantCounters> tenants;
+  /// Requests waiting in the admission queue right now.
+  std::size_t queue_depth = 0;
+  /// Deepest the admission queue has ever been.
+  std::size_t queue_high_water = 0;
+  /// Engine shards created so far.
+  std::size_t num_shards = 0;
+  /// PlanCache hits summed across every shard.
+  std::uint64_t cache_hits = 0;
+  /// PlanCache misses summed across every shard.
+  std::uint64_t cache_misses = 0;
+  /// PlanCache evictions summed across every shard.
+  std::uint64_t cache_evictions = 0;
+  /// Latency histogram of served kCompile requests (see kLatencyBuckets).
+  std::array<std::uint64_t, kLatencyBuckets> compile_latency_us{};
+  /// Latency histogram of served kExecute requests.
+  std::array<std::uint64_t, kLatencyBuckets> execute_latency_us{};
+  /// Plan-store GC sweeps run (startup + periodic + explicit).
+  std::uint64_t gc_runs = 0;
+  /// The most recent GC sweep's report.
+  StoreGcReport last_gc;
+
+  /// Warm hits over served compile/execute requests, in [0, 1]; 1.0 when
+  /// none were served yet. The serving SLO benches gate on this.
+  double warm_hit_rate() const {
+    const std::uint64_t served = totals.warm_hits + totals.compiles;
+    return served == 0 ? 1.0
+                       : static_cast<double>(totals.warm_hits) /
+                             static_cast<double>(served);
+  }
+};
+
+/// Service-wide configuration.
+struct ServiceOptions {
+  /// Worker threads serving the admission queue.
+  int num_workers = 4;
+  /// Admission queue capacity; submissions beyond it are rejected with
+  /// kRejectedQueueFull.
+  std::size_t queue_capacity = 256;
+  /// Quota applied to tenants without an explicit entry below.
+  TenantQuota default_quota;
+  /// Per-tenant quota overrides, keyed by tenant name.
+  std::map<std::string, TenantQuota> tenant_quotas;
+  /// Each shard engine's LRU plan-cache capacity.
+  std::size_t plan_cache_capacity = 256;
+  /// Persistent plan-store directory shared by every shard (each shard uses
+  /// its own plans-\<fingerprint\>.bpc file inside it); empty disables
+  /// persistence, warm-load, flush() and GC.
+  std::string store_dir;
+  /// GC policy for store_dir (StoreGcOptions::protect is ignored — the
+  /// service always protects its live shards' store files).
+  StoreGcOptions gc;
+  /// Run a GC sweep in the constructor, before any shard loads.
+  bool gc_on_start = true;
+  /// Run a GC sweep every this many completed requests (0 = only on start
+  /// and explicit run_gc()).
+  std::size_t gc_interval_requests = 0;
+  /// Monotonic clock in seconds, used for token-bucket refill and latency
+  /// histograms. Defaults to std::chrono::steady_clock; tests inject a fake
+  /// clock to make admission decisions deterministic.
+  std::function<double()> clock;
+};
+
+/// The multi-tenant plan-serving front end. Thread-safe throughout: any
+/// number of client threads may submit() concurrently while workers serve.
+class PlanService {
+ public:
+  /// Starts the worker pool (and the startup GC sweep when configured).
+  explicit PlanService(ServiceOptions options = {});
+  /// Drains every admitted request, joins the workers, and flushes each
+  /// shard's plan cache to its store file (when persistence is enabled).
+  ~PlanService();
+
+  /// Not copyable: workers, queue and shards are identity.
+  PlanService(const PlanService&) = delete;
+  /// Not copyable: workers, queue and shards are identity.
+  PlanService& operator=(const PlanService&) = delete;
+
+  /// Admission-checks |request| and either queues it (future resolves when
+  /// a worker serves it) or resolves the future immediately with a typed
+  /// rejection. Never throws on bad input — invalid requests resolve to
+  /// kInvalidRequest.
+  std::future<ServeResponse> submit(ServeRequest request);
+
+  /// Convenience: submit() and wait for the response.
+  ServeResponse handle(ServeRequest request);
+
+  /// A consistent snapshot of every counter (see ServiceStats).
+  ServiceStats stats() const;
+
+  /// Writes each shard's plan cache to its store file now (the flush the
+  /// destructor performs), so a long-lived daemon persists plans without
+  /// restarting. Returns the number of plans written; 0 when persistence is
+  /// disabled.
+  std::size_t flush();
+
+  /// Runs one GC sweep over ServiceOptions::store_dir with the configured
+  /// cap, protecting every live shard's store file, and records it in the
+  /// stats. Returns the sweep's report (empty when persistence is off).
+  StoreGcReport run_gc();
+
+  /// Engine shards created so far (one per distinct FabricSpec served).
+  std::size_t num_shards() const;
+
+  /// Holds the workers after their current request: queued work stays
+  /// queued and admission keeps accepting until the queue fills. A
+  /// maintenance/test hook — tests use it to fill the admission queue
+  /// deterministically.
+  void pause_workers();
+
+  /// Releases pause_workers().
+  void resume_workers();
+
+ private:
+  struct Shard;
+  struct TenantState;
+  struct Job;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace blink::serve

@@ -1,0 +1,60 @@
+/// \file
+/// Plan-store lifecycle GC. Persistent stores grow one
+/// plans-\<fingerprint\>.bpc file per distinct fabric forever (every new
+/// allocation shape, backend mix, or planning-knob change mints a new
+/// fingerprint), so any long-lived deployment needs a sweeper. store_gc()
+/// walks a store directory and evicts least-recently-used files — by mtime,
+/// which both the engine flush and a warm-load-then-flush refresh — until
+/// the directory fits under a total-size cap.
+///
+/// Usable standalone (a cron-style sweep over a shared store directory) and
+/// invoked by serve::PlanService on startup and periodically; the service
+/// passes the store files of its live engine shards as |protect| so a file a
+/// shard just wrote is never deleted out from under it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace blink::serve {
+
+/// What store_gc() may evict and when.
+struct StoreGcOptions {
+  /// Total-size cap in bytes for the directory's store files; eviction
+  /// stops once the surviving files fit. 0 means no cap: the sweep only
+  /// reports sizes and evicts nothing.
+  std::uint64_t max_total_bytes = 0;
+  /// Store files that must never be evicted (live engines' canonical store
+  /// paths, from CollectiveEngine::plan_store_path()). Protected files
+  /// still count toward the total, so a cap smaller than the live working
+  /// set leaves the directory over cap — reported, not forced.
+  std::vector<std::string> protect;
+};
+
+/// What one sweep saw and did.
+struct StoreGcReport {
+  /// Store files examined (only plans-*.bpc files are considered).
+  std::size_t files_scanned = 0;
+  /// Their total size before eviction.
+  std::uint64_t bytes_scanned = 0;
+  /// Files deleted, oldest mtime first.
+  std::size_t files_evicted = 0;
+  /// Bytes reclaimed by those deletions.
+  std::uint64_t bytes_evicted = 0;
+  /// Files skipped because StoreGcOptions::protect named them.
+  std::size_t files_protected = 0;
+  /// Total size of the surviving store files. Exceeds the cap only when
+  /// protected files alone exceed it.
+  std::uint64_t bytes_remaining = 0;
+};
+
+/// Sweeps the plan-store files directly under |dir| (non-recursive; only
+/// names shaped plans-*.bpc are touched — nothing else in the directory is
+/// ever deleted), evicting least-recently-used files by mtime until the
+/// survivors fit StoreGcOptions::max_total_bytes. A missing directory is an
+/// empty sweep, not an error; files that vanish mid-sweep are skipped.
+StoreGcReport store_gc(const std::string& dir, const StoreGcOptions& options);
+
+}  // namespace blink::serve

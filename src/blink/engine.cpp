@@ -191,6 +191,53 @@ int CollectiveEngine::select_backend_locked(CollectiveKind kind, double bytes,
   return best;
 }
 
+bool CollectiveEngine::has_cached_plan(CollectiveKind kind, double bytes,
+                                       int root, int backend) {
+  if (!(bytes > 0.0) || root < -1 || root >= num_gpus_) return false;
+  const std::lock_guard<std::mutex> lock(compile_mu_);
+  maybe_warm_load_locked();  // warm-loaded store plans count as cached
+  if (backends_.empty()) return false;
+  try {
+    if (backend == kAutoBackend) {
+      if (root == -1) root = default_root_locked(kind);
+      const auto it = auto_choices_.find(PlanKey::make(kind, bytes, root, 0));
+      if (it == auto_choices_.end()) return false;  // bake-off still pending
+      backend = it->second;
+    }
+    if (backend < 0 || backend >= static_cast<int>(backends_.size())) {
+      return false;
+    }
+    CollectiveBackend& be = *backends_[static_cast<std::size_t>(backend)];
+    if (!be.supports(kind)) return false;
+    if (be.num_ranks() >= 0 && root >= be.num_ranks()) return false;
+    if (root == -1) root = be.default_root(kind);
+    return plans_.contains(PlanKey::make(kind, bytes, root, backend));
+  } catch (const std::exception&) {
+    return false;  // compile() would throw; either way, not a cached plan
+  }
+}
+
+std::size_t CollectiveEngine::flush_plans() {
+  if (engine_options_.plan_store_dir.empty()) return 0;
+  const std::lock_guard<std::mutex> lock(compile_mu_);
+  if (plans_.size() == 0 || !plans_.dirty()) return 0;
+  std::filesystem::create_directories(engine_options_.plan_store_dir);
+  const std::uint64_t fingerprint = fingerprint_locked();
+  return plans_.save(
+      plan_store_file(engine_options_.plan_store_dir, fingerprint), fingerprint,
+      [this](int id) {
+        return std::string(backends_[static_cast<std::size_t>(id)]->name());
+      });
+}
+
+std::size_t CollectiveEngine::invalidate_plans() {
+  const std::lock_guard<std::mutex> lock(compile_mu_);
+  const std::size_t dropped = plans_.size();
+  plans_.clear();
+  auto_choices_.clear();
+  return dropped;
+}
+
 CollectiveResult CollectiveEngine::execute(const CollectivePlan& plan) {
   if (plan.owner() != this) {
     throw std::invalid_argument("plan was compiled by a different engine");

@@ -304,6 +304,19 @@ blinkResult_t blinkCommBackend(blinkComm_t comm, blinkBackend_t* backend) {
   return blinkSuccess;
 }
 
+blinkResult_t blinkCommCacheStats(blinkComm_t comm, blinkCacheStats_t* stats) {
+  if (comm == nullptr || comm->impl == nullptr || stats == nullptr) {
+    return blinkInvalidArgument;
+  }
+  const blink::PlanCache& cache = comm->impl->plan_cache();
+  stats->hits = cache.hits();
+  stats->misses = cache.misses();
+  stats->evictions = cache.evictions();
+  stats->size = cache.size();
+  stats->capacity = cache.capacity();
+  return blinkSuccess;
+}
+
 blinkResult_t blinkCommExportPlans(blinkComm_t comm, const char* path) {
   if (comm == nullptr || comm->impl == nullptr || path == nullptr ||
       *path == '\0') {

@@ -2,11 +2,25 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
+#include <utility>
 
 namespace blink {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarning};
+
+// Serializes sink calls so messages from concurrent threads never interleave
+// within a line; also guards the sink pointer itself.
+std::mutex& sink_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+LogSink& sink_slot() {
+  static LogSink sink;
+  return sink;
+}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -29,9 +43,27 @@ const char* level_name(LogLevel level) {
 void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }
 
+void set_log_sink(LogSink sink) {
+  const std::lock_guard<std::mutex> lock(sink_mutex());
+  sink_slot() = std::move(sink);
+}
+
 namespace internal {
 void emit_log(LogLevel level, const std::string& message) {
-  std::fprintf(stderr, "[blink %s] %s\n", level_name(level), message.c_str());
+  // Format the full line first, then emit it as a single write under the
+  // lock: concurrent workers' lines may be reordered, never torn.
+  std::string line = "[blink ";
+  line += level_name(level);
+  line += "] ";
+  line += message;
+  line += '\n';
+  const std::lock_guard<std::mutex> lock(sink_mutex());
+  if (const LogSink& sink = sink_slot()) {
+    sink(level, message);
+    return;
+  }
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  std::fflush(stderr);
 }
 }  // namespace internal
 

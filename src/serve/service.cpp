@@ -1,0 +1,535 @@
+#include "blink/serve/service.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <filesystem>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "blink/baselines/backends.h"
+#include "blink/baselines/nccl_like.h"
+#include "blink/blink/communicator.h"
+#include "blink/blink/engine.h"
+#include "blink/common/logging.h"
+#include "blink/topology/builders.h"
+#include "blink/topology/discovery.h"
+
+namespace blink::serve {
+
+namespace {
+
+double steady_now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// The shard key: requests with identical specs share one engine. The
+// backend is part of the key because it changes what lowering emits (and
+// the engine's fabric fingerprint).
+std::string spec_key(const FabricSpec& spec) {
+  std::string key = spec.machine;
+  key += '|';
+  key += spec.backend;
+  key += '|';
+  for (const int id : spec.gpu_ids) {
+    key += std::to_string(id);
+    key += ',';
+  }
+  return key;
+}
+
+topo::Topology build_machine(const std::string& machine) {
+  if (machine == "dgx1p") return topo::make_dgx1p();
+  if (machine == "dgx1v") return topo::make_dgx1v();
+  if (machine == "dgx2") return topo::make_dgx2();
+  throw std::invalid_argument("unknown machine kind: " + machine);
+}
+
+// Builds the shard engine for a spec, mirroring the facade's communicator
+// factory: Communicator for "blink", baseline engines otherwise, everything
+// registered on one Communicator for "auto". Throws std::invalid_argument on
+// a bad spec — the worker maps that to kInvalidRequest.
+std::unique_ptr<CollectiveEngine> build_engine(const FabricSpec& spec,
+                                               const ServiceOptions& options,
+                                               int* engine_backend) {
+  using baselines::NcclOptions;
+  *engine_backend = 0;
+  const topo::Topology full = build_machine(spec.machine);
+  for (const int id : spec.gpu_ids) {
+    if (id < 0 || id >= full.num_gpus) {
+      throw std::invalid_argument("gpu id out of range for " + spec.machine);
+    }
+  }
+  auto topo = topo::induced_topology(full, spec.gpu_ids);
+  if (spec.backend == "blink" || spec.backend == "auto") {
+    CommunicatorOptions comm_options;
+    comm_options.plan_cache_capacity = options.plan_cache_capacity;
+    comm_options.plan_store_dir = options.store_dir;
+    auto engine =
+        std::make_unique<Communicator>(std::move(topo), comm_options);
+    if (spec.backend == "auto") {
+      for (const char* name : {"nccl", "ring", "double_binary", "butterfly"}) {
+        engine->register_backend(baselines::make_baseline_backend(
+            name, engine->topology(), engine->fabric(), NcclOptions{}));
+      }
+      *engine_backend = CollectiveEngine::kAutoBackend;
+    }
+    return engine;
+  }
+  if (spec.backend == "nccl") {
+    NcclOptions nccl_options;
+    nccl_options.plan_cache_capacity = options.plan_cache_capacity;
+    nccl_options.plan_store_dir = options.store_dir;
+    return std::make_unique<baselines::NcclCommunicator>(std::move(topo),
+                                                         nccl_options);
+  }
+  if (spec.backend == "ring" || spec.backend == "double_binary" ||
+      spec.backend == "butterfly") {
+    const NcclOptions nccl_options;  // persistent-kernel step costs
+    auto engine = std::make_unique<CollectiveEngine>(
+        std::move(topo),
+        baselines::apply_persistent_kernel_model(nccl_options.fabric),
+        EngineOptions{nccl_options.memoize, options.plan_cache_capacity,
+                      options.store_dir});
+    engine->register_backend(baselines::make_baseline_backend(
+        spec.backend, engine->topology(), engine->fabric(), nccl_options));
+    return engine;
+  }
+  throw std::invalid_argument("unknown backend: " + spec.backend);
+}
+
+std::size_t latency_bucket(double seconds) {
+  double us = seconds * 1e6;
+  std::size_t bucket = 0;
+  while (us >= 2.0 && bucket + 1 < kLatencyBuckets) {
+    us *= 0.5;
+    ++bucket;
+  }
+  return bucket;
+}
+
+}  // namespace
+
+const char* to_string(RequestType type) {
+  switch (type) {
+    case RequestType::kCompile:
+      return "compile";
+    case RequestType::kExecute:
+      return "execute";
+    case RequestType::kWarmLoad:
+      return "warm_load";
+    case RequestType::kInvalidate:
+      return "invalidate";
+  }
+  return "?";
+}
+
+const char* to_string(ServeStatus status) {
+  switch (status) {
+    case ServeStatus::kOk:
+      return "ok";
+    case ServeStatus::kRejectedQuota:
+      return "rejected_quota";
+    case ServeStatus::kRejectedInFlight:
+      return "rejected_in_flight";
+    case ServeStatus::kRejectedQueueFull:
+      return "rejected_queue_full";
+    case ServeStatus::kInvalidRequest:
+      return "invalid_request";
+    case ServeStatus::kInternalError:
+      return "internal_error";
+  }
+  return "?";
+}
+
+struct PlanService::Shard {
+  std::unique_ptr<CollectiveEngine> engine;
+  // Backend id compiles use: 0 (the default backend) or kAutoBackend.
+  int engine_backend = 0;
+};
+
+struct PlanService::TenantState {
+  TokenBucket bucket;
+  std::size_t max_in_flight = 0;
+  std::size_t in_flight = 0;
+  TenantCounters counters;
+};
+
+struct PlanService::Job {
+  ServeRequest request;
+  std::promise<ServeResponse> promise;
+  double submit_time = 0.0;
+};
+
+struct PlanService::Impl {
+  ServiceOptions options;
+  std::function<double()> clock;
+
+  // Admission + stats state. Never held across planning work: workers take
+  // it only to pop the queue and to bump counters after serving.
+  mutable std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Job> queue;
+  bool stop = false;
+  bool paused = false;
+  std::size_t queue_high_water = 0;
+  std::map<std::string, TenantState> tenants;
+  std::array<std::uint64_t, kLatencyBuckets> compile_latency_us{};
+  std::array<std::uint64_t, kLatencyBuckets> execute_latency_us{};
+  std::uint64_t gc_runs = 0;
+  StoreGcReport last_gc;
+  std::size_t completed_since_gc = 0;
+
+  // The shard map. Shards are created on first use and never destroyed
+  // before the service, so engine pointers handed out under this lock stay
+  // valid without it.
+  mutable std::mutex shard_mu;
+  std::map<std::string, Shard> shards;
+
+  std::vector<std::thread> workers;
+
+  const TenantQuota& quota_for(const std::string& tenant) const {
+    const auto it = options.tenant_quotas.find(tenant);
+    return it == options.tenant_quotas.end() ? options.default_quota
+                                             : it->second;
+  }
+
+  // The tenant's state, created full-bucket on first sight. Caller holds mu.
+  TenantState& tenant_state_locked(const std::string& tenant, double now) {
+    const auto it = tenants.find(tenant);
+    if (it != tenants.end()) return it->second;
+    const TenantQuota& quota = quota_for(tenant);
+    return tenants
+        .emplace(tenant,
+                 TenantState{TokenBucket(quota.compile_rate,
+                                         quota.compile_burst, now),
+                             quota.max_in_flight, 0, TenantCounters{}})
+        .first->second;
+  }
+
+  // The existing shard's engine, or nullptr — the admission-time warm peek
+  // must not pay for engine construction.
+  CollectiveEngine* find_engine(const FabricSpec& spec, int* engine_backend) {
+    const std::lock_guard<std::mutex> lock(shard_mu);
+    const auto it = shards.find(spec_key(spec));
+    if (it == shards.end()) return nullptr;
+    *engine_backend = it->second.engine_backend;
+    return it->second.engine.get();
+  }
+
+  Shard& get_or_create_shard(const FabricSpec& spec) {
+    const std::string key = spec_key(spec);
+    const std::lock_guard<std::mutex> lock(shard_mu);
+    const auto it = shards.find(key);
+    if (it != shards.end()) return it->second;
+    Shard shard;
+    shard.engine = build_engine(spec, options, &shard.engine_backend);
+    BLINK_LOG(kInfo) << "serve: new shard " << key << " fingerprint "
+                     << shard.engine->fabric_fingerprint();
+    return shards.emplace(key, std::move(shard)).first->second;
+  }
+
+  ServeResponse serve(const ServeRequest& request) {
+    ServeResponse response;
+    try {
+      Shard& shard = get_or_create_shard(request.fabric);
+      CollectiveEngine& engine = *shard.engine;
+      switch (request.type) {
+        case RequestType::kCompile: {
+          response.warm_hit = engine.has_cached_plan(
+              request.kind, request.bytes, request.root, shard.engine_backend);
+          const auto plan = engine.compile(request.kind, request.bytes,
+                                           request.root, shard.engine_backend);
+          response.result = plan->meta();
+          break;
+        }
+        case RequestType::kExecute: {
+          response.warm_hit = engine.has_cached_plan(
+              request.kind, request.bytes, request.root, shard.engine_backend);
+          const auto plan = engine.compile(request.kind, request.bytes,
+                                           request.root, shard.engine_backend);
+          response.result = engine.execute(*plan);
+          break;
+        }
+        case RequestType::kWarmLoad: {
+          const std::string path = engine.plan_store_path();
+          if (path.empty()) {
+            response.status = ServeStatus::kInvalidRequest;
+            response.message = "persistence disabled: no store_dir";
+            return response;
+          }
+          std::error_code ec;
+          if (std::filesystem::exists(path, ec) && !ec) {
+            response.plans_touched = engine.import_plans(path);
+          }
+          break;
+        }
+        case RequestType::kInvalidate:
+          response.plans_touched = engine.invalidate_plans();
+          break;
+      }
+      response.shard_fingerprint = engine.fabric_fingerprint();
+    } catch (const std::invalid_argument& e) {
+      response = ServeResponse{};
+      response.status = ServeStatus::kInvalidRequest;
+      response.message = e.what();
+    } catch (const std::exception& e) {
+      response = ServeResponse{};
+      response.status = ServeStatus::kInternalError;
+      response.message = e.what();
+    }
+    return response;
+  }
+
+  void complete(Job& job, ServeResponse response) {
+    const double latency = clock() - job.submit_time;
+    const bool collective = job.request.type == RequestType::kCompile ||
+                            job.request.type == RequestType::kExecute;
+    bool gc_due = false;
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      TenantState& ts = tenant_state_locked(job.request.tenant, job.submit_time);
+      if (ts.in_flight > 0) --ts.in_flight;
+      ++ts.counters.completed;
+      if (response.status == ServeStatus::kOk && collective) {
+        if (response.warm_hit) {
+          ++ts.counters.warm_hits;
+        } else {
+          ++ts.counters.compiles;
+        }
+      }
+      if (response.status == ServeStatus::kInvalidRequest) {
+        ++ts.counters.invalid;
+      } else if (response.status == ServeStatus::kInternalError) {
+        ++ts.counters.errors;
+      }
+      if (collective && latency >= 0.0) {
+        auto& hist = job.request.type == RequestType::kCompile
+                         ? compile_latency_us
+                         : execute_latency_us;
+        ++hist[latency_bucket(latency)];
+      }
+      if (options.gc_interval_requests > 0 &&
+          ++completed_since_gc >= options.gc_interval_requests) {
+        completed_since_gc = 0;
+        gc_due = true;
+      }
+    }
+    job.promise.set_value(std::move(response));
+    if (gc_due) run_gc();
+  }
+
+  StoreGcReport run_gc() {
+    if (options.store_dir.empty()) return StoreGcReport{};
+    StoreGcOptions gc = options.gc;
+    gc.protect.clear();
+    {
+      const std::lock_guard<std::mutex> lock(shard_mu);
+      for (const auto& [key, shard] : shards) {
+        const std::string path = shard.engine->plan_store_path();
+        if (!path.empty()) gc.protect.push_back(path);
+      }
+    }
+    const StoreGcReport report = store_gc(options.store_dir, gc);
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      ++gc_runs;
+      last_gc = report;
+    }
+    return report;
+  }
+
+  void worker_loop() {
+    for (;;) {
+      Job job;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock,
+                [this] { return stop || (!queue.empty() && !paused); });
+        if (queue.empty()) {
+          if (stop) return;  // drained
+          continue;
+        }
+        if (paused && !stop) continue;
+        job = std::move(queue.front());
+        queue.pop_front();
+      }
+      complete(job, serve(job.request));
+    }
+  }
+};
+
+PlanService::PlanService(ServiceOptions options) : impl_(new Impl) {
+  impl_->options = std::move(options);
+  impl_->clock =
+      impl_->options.clock ? impl_->options.clock : std::function<double()>(steady_now);
+  if (impl_->options.num_workers < 1) impl_->options.num_workers = 1;
+  if (impl_->options.gc_on_start && !impl_->options.store_dir.empty()) {
+    impl_->run_gc();
+  }
+  impl_->workers.reserve(static_cast<std::size_t>(impl_->options.num_workers));
+  for (int i = 0; i < impl_->options.num_workers; ++i) {
+    impl_->workers.emplace_back([impl = impl_.get()] { impl->worker_loop(); });
+  }
+}
+
+PlanService::~PlanService() {
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->stop = true;
+    impl_->paused = false;  // a paused service still drains on shutdown
+  }
+  impl_->cv.notify_all();
+  for (std::thread& worker : impl_->workers) worker.join();
+  // Shard engines flush their plan caches to the store in their destructors.
+}
+
+std::future<ServeResponse> PlanService::submit(ServeRequest request) {
+  std::promise<ServeResponse> promise;
+  std::future<ServeResponse> future = promise.get_future();
+  const double now = impl_->clock();
+
+  const bool collective = request.type == RequestType::kCompile ||
+                          request.type == RequestType::kExecute;
+  std::string invalid_reason;
+  if (request.tenant.empty()) {
+    invalid_reason = "tenant must be named";
+  } else if (request.fabric.gpu_ids.empty()) {
+    invalid_reason = "fabric spec has no GPUs";
+  } else if (collective && !(request.bytes > 0.0)) {
+    invalid_reason = "collective size must be positive";
+  }
+
+  // Warm requests bypass the compile quota: peek the shard's cache without
+  // creating the shard (a never-seen fabric is by definition cold).
+  bool warm = false;
+  if (collective && invalid_reason.empty()) {
+    int engine_backend = 0;
+    if (CollectiveEngine* engine =
+            impl_->find_engine(request.fabric, &engine_backend)) {
+      warm = engine->has_cached_plan(request.kind, request.bytes, request.root,
+                                     engine_backend);
+    }
+  }
+
+  const auto reject = [&](ServeStatus status, std::string message) {
+    ServeResponse response;
+    response.status = status;
+    response.message = std::move(message);
+    promise.set_value(std::move(response));
+    return std::move(future);
+  };
+
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mu);
+    TenantState& ts = impl_->tenant_state_locked(request.tenant, now);
+    ++ts.counters.submitted;
+    if (!invalid_reason.empty()) {
+      ++ts.counters.invalid;
+      return reject(ServeStatus::kInvalidRequest, invalid_reason);
+    }
+    if (impl_->stop) {
+      ++ts.counters.errors;
+      return reject(ServeStatus::kInternalError, "service shutting down");
+    }
+    if (ts.in_flight >= ts.max_in_flight) {
+      ++ts.counters.rejected_in_flight;
+      return reject(ServeStatus::kRejectedInFlight,
+                    "tenant in-flight limit reached");
+    }
+    if (impl_->queue.size() >= impl_->options.queue_capacity) {
+      ++ts.counters.rejected_queue_full;
+      return reject(ServeStatus::kRejectedQueueFull, "admission queue full");
+    }
+    // Last, so a rejected request never drains a token.
+    if (collective && !warm && !ts.bucket.try_acquire(now)) {
+      ++ts.counters.rejected_quota;
+      return reject(ServeStatus::kRejectedQuota,
+                    "tenant compile quota exhausted");
+    }
+    ++ts.in_flight;
+    ++ts.counters.admitted;
+    impl_->queue.push_back(Job{std::move(request), std::move(promise), now});
+    impl_->queue_high_water =
+        std::max(impl_->queue_high_water, impl_->queue.size());
+  }
+  impl_->cv.notify_one();
+  return future;
+}
+
+ServeResponse PlanService::handle(ServeRequest request) {
+  return submit(std::move(request)).get();
+}
+
+ServiceStats PlanService::stats() const {
+  ServiceStats stats;
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mu);
+    for (const auto& [name, state] : impl_->tenants) {
+      stats.tenants.emplace(name, state.counters);
+      const TenantCounters& c = state.counters;
+      stats.totals.submitted += c.submitted;
+      stats.totals.admitted += c.admitted;
+      stats.totals.completed += c.completed;
+      stats.totals.warm_hits += c.warm_hits;
+      stats.totals.compiles += c.compiles;
+      stats.totals.rejected_quota += c.rejected_quota;
+      stats.totals.rejected_in_flight += c.rejected_in_flight;
+      stats.totals.rejected_queue_full += c.rejected_queue_full;
+      stats.totals.invalid += c.invalid;
+      stats.totals.errors += c.errors;
+    }
+    stats.queue_depth = impl_->queue.size();
+    stats.queue_high_water = impl_->queue_high_water;
+    stats.compile_latency_us = impl_->compile_latency_us;
+    stats.execute_latency_us = impl_->execute_latency_us;
+    stats.gc_runs = impl_->gc_runs;
+    stats.last_gc = impl_->last_gc;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(impl_->shard_mu);
+    stats.num_shards = impl_->shards.size();
+    for (const auto& [key, shard] : impl_->shards) {
+      const PlanCache& cache = shard.engine->plan_cache();
+      stats.cache_hits += cache.hits();
+      stats.cache_misses += cache.misses();
+      stats.cache_evictions += cache.evictions();
+    }
+  }
+  return stats;
+}
+
+std::size_t PlanService::flush() {
+  const std::lock_guard<std::mutex> lock(impl_->shard_mu);
+  std::size_t written = 0;
+  for (const auto& [key, shard] : impl_->shards) {
+    written += shard.engine->flush_plans();
+  }
+  return written;
+}
+
+StoreGcReport PlanService::run_gc() { return impl_->run_gc(); }
+
+std::size_t PlanService::num_shards() const {
+  const std::lock_guard<std::mutex> lock(impl_->shard_mu);
+  return impl_->shards.size();
+}
+
+void PlanService::pause_workers() {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->paused = true;
+}
+
+void PlanService::resume_workers() {
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->paused = false;
+  }
+  impl_->cv.notify_all();
+}
+
+}  // namespace blink::serve

@@ -1,0 +1,104 @@
+#include "blink/serve/store_gc.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <system_error>
+
+#include "blink/common/logging.h"
+
+namespace blink::serve {
+namespace fs = std::filesystem;
+
+namespace {
+
+bool is_store_file(const fs::path& path) {
+  const std::string name = path.filename().string();
+  return name.size() > std::string("plans-.bpc").size() &&
+         name.rfind("plans-", 0) == 0 &&
+         name.compare(name.size() - 4, 4, ".bpc") == 0;
+}
+
+bool is_protected(const fs::path& path,
+                  const std::vector<fs::path>& protected_paths) {
+  for (const fs::path& p : protected_paths) {
+    std::error_code ec;
+    if (fs::equivalent(path, p, ec) && !ec) return true;
+    // equivalent() fails when the protected file does not exist yet (a live
+    // shard that has not flushed); fall back to comparing normalized names.
+    if (path.lexically_normal() == p.lexically_normal()) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+StoreGcReport store_gc(const std::string& dir, const StoreGcOptions& options) {
+  StoreGcReport report;
+  std::error_code ec;
+  if (dir.empty() || !fs::is_directory(dir, ec) || ec) return report;
+
+  std::vector<fs::path> protected_paths;
+  protected_paths.reserve(options.protect.size());
+  for (const std::string& p : options.protect) {
+    if (!p.empty()) protected_paths.emplace_back(p);
+  }
+
+  struct Candidate {
+    fs::path path;
+    std::uint64_t size = 0;
+    fs::file_time_type mtime;
+  };
+  std::vector<Candidate> evictable;
+  std::uint64_t protected_bytes = 0;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+    if (ec) break;
+    std::error_code entry_ec;
+    if (!entry.is_regular_file(entry_ec) || entry_ec) continue;
+    if (!is_store_file(entry.path())) continue;
+    const std::uint64_t size = entry.file_size(entry_ec);
+    if (entry_ec) continue;  // vanished mid-sweep
+    const fs::file_time_type mtime = entry.last_write_time(entry_ec);
+    if (entry_ec) continue;
+    ++report.files_scanned;
+    report.bytes_scanned += size;
+    if (is_protected(entry.path(), protected_paths)) {
+      ++report.files_protected;
+      protected_bytes += size;
+      continue;
+    }
+    evictable.push_back(Candidate{entry.path(), size, mtime});
+  }
+
+  std::uint64_t evictable_bytes = 0;
+  for (const Candidate& c : evictable) evictable_bytes += c.size;
+  report.bytes_remaining = protected_bytes + evictable_bytes;
+  if (options.max_total_bytes == 0) return report;  // report-only sweep
+
+  // Oldest mtime first: the engine flush rewrites (and a warm-load-then-
+  // flush refreshes) the files still in use, so stale fabrics sink to the
+  // front of the eviction order.
+  std::sort(evictable.begin(), evictable.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.mtime != b.mtime) return a.mtime < b.mtime;
+              return a.path < b.path;  // deterministic tie-break
+            });
+  for (const Candidate& c : evictable) {
+    if (report.bytes_remaining <= options.max_total_bytes) break;
+    std::error_code rm_ec;
+    if (!fs::remove(c.path, rm_ec) || rm_ec) continue;  // already gone
+    ++report.files_evicted;
+    report.bytes_evicted += c.size;
+    report.bytes_remaining -= c.size;
+    BLINK_LOG(kInfo) << "store_gc: evicted " << c.path.string() << " ("
+                     << c.size << " bytes)";
+  }
+  if (report.bytes_remaining > options.max_total_bytes) {
+    BLINK_LOG(kWarning) << "store_gc: " << dir << " still holds "
+                        << report.bytes_remaining
+                        << " bytes of protected store files (cap "
+                        << options.max_total_bytes << ")";
+  }
+  return report;
+}
+
+}  // namespace blink::serve

@@ -387,6 +387,43 @@ TEST(NcclCompat, ClusterValidationMapsToInvalidArgument) {
             blinkInvalidArgument);
 }
 
+// Serving satellite: the facade exposes the communicator's plan-cache
+// counters, so operators can watch warm-path health without the C++ API.
+TEST(NcclCompat, CacheStatsCountMissesAndHits) {
+  blinkComm_t comm = nullptr;
+  const int gpus[] = {0, 1, 2, 3};
+  ASSERT_EQ(blinkCommInitAll(&comm, "dgx1v", 4, gpus), blinkSuccess);
+
+  blinkCacheStats_t stats;
+  ASSERT_EQ(blinkCommCacheStats(comm, &stats), blinkSuccess);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.size, 0u);
+  EXPECT_GT(stats.capacity, 0u);
+
+  // First launch compiles (one miss); the repeat is served from the cache.
+  ASSERT_EQ(blinkAllReduce(nullptr, nullptr, 1 << 22, blinkFloat32, blinkSum,
+                           comm, nullptr),
+            blinkSuccess);
+  ASSERT_EQ(blinkCommCacheStats(comm, &stats), blinkSuccess);
+  const unsigned long long misses_after_cold = stats.misses;
+  EXPECT_GE(misses_after_cold, 1u);
+  EXPECT_EQ(stats.size, 1u);
+
+  ASSERT_EQ(blinkAllReduce(nullptr, nullptr, 1 << 22, blinkFloat32, blinkSum,
+                           comm, nullptr),
+            blinkSuccess);
+  ASSERT_EQ(blinkCommCacheStats(comm, &stats), blinkSuccess);
+  EXPECT_GE(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, misses_after_cold);  // warm repeat: no new miss
+  EXPECT_EQ(stats.size, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+
+  EXPECT_EQ(blinkCommCacheStats(nullptr, &stats), blinkInvalidArgument);
+  EXPECT_EQ(blinkCommCacheStats(comm, nullptr), blinkInvalidArgument);
+  blinkCommDestroy(comm);
+}
+
 // Grouped launches on a cluster communicator: queued between GroupStart/End
 // and launched as one contention group on the multi-server fabric.
 TEST(NcclCompat, ClusterGroupRoundTrip) {

@@ -1,0 +1,452 @@
+// The plan-serving subsystem: sharding, admission control (quota /
+// in-flight / queue bounds, all typed), warm-vs-cold accounting, plan-store
+// lifecycle (flush, warm restart, GC protection of live shards), and
+// concurrent multi-tenant stress.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "blink/blink/communicator.h"
+#include "blink/serve/admission.h"
+#include "blink/serve/service.h"
+#include "blink/topology/builders.h"
+#include "blink/topology/discovery.h"
+
+namespace blink::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+// A controllable timeline: admission decisions become a pure function of
+// the requests and the times we advance to.
+struct FakeClock {
+  std::shared_ptr<std::atomic<double>> now =
+      std::make_shared<std::atomic<double>>(0.0);
+  std::function<double()> fn() const {
+    return [now = now] { return now->load(); };
+  }
+  void advance(double seconds) {
+    now->store(now->load() + seconds);
+  }
+};
+
+FabricSpec spec_v100(std::vector<int> gpus, std::string backend = "blink") {
+  return FabricSpec{"dgx1v", std::move(gpus), std::move(backend)};
+}
+
+ServeRequest request_for(const std::string& tenant, const FabricSpec& fabric,
+                         double bytes,
+                         RequestType type = RequestType::kExecute,
+                         CollectiveKind kind = CollectiveKind::kAllReduce) {
+  ServeRequest request;
+  request.tenant = tenant;
+  request.type = type;
+  request.fabric = fabric;
+  request.kind = kind;
+  request.bytes = bytes;
+  return request;
+}
+
+// Service options tuned for tests: single worker (deterministic dispatch
+// order), no persistence unless a test opts in.
+ServiceOptions test_options(const FakeClock& clock) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.clock = clock.fn();
+  return options;
+}
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& name)
+      : path_(fs::temp_directory_path() / name) {
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  const fs::path& path() const { return path_; }
+
+ private:
+  fs::path path_;
+};
+
+TEST(TokenBucket, DeterministicRefill) {
+  TokenBucket bucket(/*rate=*/2.0, /*burst=*/3.0, /*now=*/0.0);
+  EXPECT_TRUE(bucket.try_acquire(0.0));
+  EXPECT_TRUE(bucket.try_acquire(0.0));
+  EXPECT_TRUE(bucket.try_acquire(0.0));
+  EXPECT_FALSE(bucket.try_acquire(0.0));  // burst spent
+  EXPECT_FALSE(bucket.try_acquire(0.4));  // 0.8 tokens: not enough
+  EXPECT_TRUE(bucket.try_acquire(0.5));   // 1.0 token refilled
+  // Refill caps at burst even after a long idle stretch.
+  EXPECT_DOUBLE_EQ(bucket.available(100.0), 3.0);
+}
+
+TEST(Serve, ExecuteMatchesDirectEngineBitForBit) {
+  FakeClock clock;
+  PlanService service(test_options(clock));
+  const std::vector<int> gpus{4, 5, 6, 7};
+  const double bytes = 16e6;
+  const ServeResponse response =
+      service.handle(request_for("t", spec_v100(gpus), bytes));
+  ASSERT_EQ(response.status, ServeStatus::kOk);
+  EXPECT_FALSE(response.warm_hit);
+
+  Communicator reference(
+      topo::induced_topology(topo::make_dgx1v(), gpus));
+  const CollectiveResult direct =
+      reference.all_reduce(bytes);
+  EXPECT_EQ(response.result.seconds, direct.seconds);
+  EXPECT_EQ(response.result.algorithm_bw, direct.algorithm_bw);
+  EXPECT_EQ(response.result.num_ops, direct.num_ops);
+  EXPECT_EQ(response.shard_fingerprint, reference.fabric_fingerprint());
+}
+
+TEST(Serve, DistinctFabricsGetDistinctShards) {
+  FakeClock clock;
+  PlanService service(test_options(clock));
+  EXPECT_EQ(service.handle(request_for("t", spec_v100({0, 1, 2, 3}), 4e6))
+                .status,
+            ServeStatus::kOk);
+  EXPECT_EQ(service.handle(request_for("t", spec_v100({4, 5, 6, 7}), 4e6))
+                .status,
+            ServeStatus::kOk);
+  EXPECT_EQ(service.num_shards(), 2u);
+  // Same spec again: no third shard, and the plan is warm.
+  const ServeResponse warm =
+      service.handle(request_for("t", spec_v100({0, 1, 2, 3}), 4e6));
+  EXPECT_EQ(service.num_shards(), 2u);
+  EXPECT_TRUE(warm.warm_hit);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.num_shards, 2u);
+  EXPECT_EQ(stats.cache_misses, 2u);
+  EXPECT_EQ(stats.totals.compiles, 2u);
+  EXPECT_EQ(stats.totals.warm_hits, 1u);
+}
+
+TEST(Serve, QuotaExhaustionIsTypedAndRefills) {
+  FakeClock clock;
+  ServiceOptions options = test_options(clock);
+  options.default_quota = TenantQuota{/*rate=*/1.0, /*burst=*/2.0,
+                                      /*in_flight=*/64};
+  PlanService service(options);
+  const FabricSpec fabric = spec_v100({0, 1, 2, 3});
+  // Two cold compiles fit the burst; the third is a typed reject.
+  EXPECT_EQ(service.handle(request_for("t", fabric, 1e6)).status,
+            ServeStatus::kOk);
+  EXPECT_EQ(service.handle(request_for("t", fabric, 2e6)).status,
+            ServeStatus::kOk);
+  const ServeResponse rejected = service.handle(request_for("t", fabric, 3e6));
+  EXPECT_EQ(rejected.status, ServeStatus::kRejectedQuota);
+  EXPECT_FALSE(rejected.message.empty());
+  // Warm traffic is quota-free even with an empty bucket.
+  const ServeResponse warm = service.handle(request_for("t", fabric, 1e6));
+  EXPECT_EQ(warm.status, ServeStatus::kOk);
+  EXPECT_TRUE(warm.warm_hit);
+  // The bucket refills with time; the rejected shape then compiles.
+  clock.advance(1.0);
+  EXPECT_EQ(service.handle(request_for("t", fabric, 3e6)).status,
+            ServeStatus::kOk);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.tenants.at("t").rejected_quota, 1u);
+  EXPECT_EQ(stats.totals.rejected_quota, 1u);
+  // Another tenant has its own bucket: not throttled by t's spending.
+  EXPECT_EQ(service.handle(request_for("u", fabric, 5e6)).status,
+            ServeStatus::kOk);
+}
+
+TEST(Serve, InFlightBoundIsTyped) {
+  FakeClock clock;
+  ServiceOptions options = test_options(clock);
+  options.default_quota.max_in_flight = 2;
+  options.queue_capacity = 16;
+  PlanService service(options);
+  service.pause_workers();
+  const FabricSpec fabric = spec_v100({0, 1});
+  auto a = service.submit(request_for("t", fabric, 1e6));
+  auto b = service.submit(request_for("t", fabric, 2e6));
+  auto c = service.submit(request_for("t", fabric, 3e6));
+  ASSERT_EQ(c.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_EQ(c.get().status, ServeStatus::kRejectedInFlight);
+  // Another tenant is not affected by t's in-flight work.
+  auto d = service.submit(request_for("u", fabric, 1e6));
+  EXPECT_NE(d.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  service.resume_workers();
+  EXPECT_EQ(a.get().status, ServeStatus::kOk);
+  EXPECT_EQ(b.get().status, ServeStatus::kOk);
+  EXPECT_EQ(d.get().status, ServeStatus::kOk);
+  EXPECT_EQ(service.stats().tenants.at("t").rejected_in_flight, 1u);
+}
+
+TEST(Serve, QueueOverflowIsTyped) {
+  FakeClock clock;
+  ServiceOptions options = test_options(clock);
+  options.queue_capacity = 2;
+  PlanService service(options);
+  service.pause_workers();
+  const FabricSpec fabric = spec_v100({0, 1});
+  // Distinct tenants, so the per-tenant in-flight bound never fires first.
+  auto a = service.submit(request_for("a", fabric, 1e6));
+  auto b = service.submit(request_for("b", fabric, 2e6));
+  auto c = service.submit(request_for("c", fabric, 3e6));
+  ASSERT_EQ(c.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_EQ(c.get().status, ServeStatus::kRejectedQueueFull);
+  const ServiceStats paused = service.stats();
+  EXPECT_EQ(paused.queue_depth, 2u);
+  EXPECT_EQ(paused.queue_high_water, 2u);
+  EXPECT_EQ(paused.tenants.at("c").rejected_queue_full, 1u);
+  service.resume_workers();
+  EXPECT_EQ(a.get().status, ServeStatus::kOk);
+  EXPECT_EQ(b.get().status, ServeStatus::kOk);
+  // A queue-full reject must not have drained c's token bucket.
+  EXPECT_EQ(service.handle(request_for("c", fabric, 3e6)).status,
+            ServeStatus::kOk);
+}
+
+TEST(Serve, InvalidRequestsAreTypedNotThrown) {
+  FakeClock clock;
+  PlanService service(test_options(clock));
+  // Unknown machine kind.
+  ServeRequest bad_machine = request_for("t", spec_v100({0, 1}), 1e6);
+  bad_machine.fabric.machine = "dgx9000";
+  EXPECT_EQ(service.handle(bad_machine).status, ServeStatus::kInvalidRequest);
+  // Unknown backend.
+  EXPECT_EQ(service.handle(request_for("t", spec_v100({0, 1}, "mpi"), 1e6))
+                .status,
+            ServeStatus::kInvalidRequest);
+  // GPU id out of range for the machine.
+  EXPECT_EQ(service.handle(request_for("t", spec_v100({0, 99}), 1e6)).status,
+            ServeStatus::kInvalidRequest);
+  // Non-positive size, empty allocation, anonymous tenant.
+  EXPECT_EQ(service.handle(request_for("t", spec_v100({0, 1}), 0.0)).status,
+            ServeStatus::kInvalidRequest);
+  EXPECT_EQ(service.handle(request_for("t", spec_v100({}), 1e6)).status,
+            ServeStatus::kInvalidRequest);
+  EXPECT_EQ(service.handle(request_for("", spec_v100({0, 1}), 1e6)).status,
+            ServeStatus::kInvalidRequest);
+  // Root out of range reaches the engine and comes back typed.
+  ServeRequest bad_root = request_for("t", spec_v100({0, 1}), 1e6,
+                                      RequestType::kExecute,
+                                      CollectiveKind::kBroadcast);
+  bad_root.root = 7;
+  EXPECT_EQ(service.handle(bad_root).status, ServeStatus::kInvalidRequest);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.totals.invalid, 7u);
+  EXPECT_EQ(stats.totals.errors, 0u);
+}
+
+TEST(Serve, InvalidateDropsPlansAndNextCompileIsCold) {
+  FakeClock clock;
+  PlanService service(test_options(clock));
+  const FabricSpec fabric = spec_v100({0, 1, 2, 3});
+  EXPECT_EQ(service.handle(request_for("t", fabric, 4e6)).status,
+            ServeStatus::kOk);
+  EXPECT_TRUE(service.handle(request_for("t", fabric, 4e6)).warm_hit);
+  const ServeResponse invalidated = service.handle(
+      request_for("t", fabric, 0.0, RequestType::kInvalidate));
+  EXPECT_EQ(invalidated.status, ServeStatus::kOk);
+  EXPECT_EQ(invalidated.plans_touched, 1u);
+  const ServeResponse after = service.handle(request_for("t", fabric, 4e6));
+  EXPECT_EQ(after.status, ServeStatus::kOk);
+  EXPECT_FALSE(after.warm_hit);
+}
+
+TEST(Serve, FlushWarmRestartAndWarmLoad) {
+  TempDir store("blink-serve-warm-restart");
+  const FabricSpec fabric = spec_v100({1, 3, 5, 7});
+  double cold_seconds = 0.0;
+  {
+    FakeClock clock;
+    ServiceOptions options = test_options(clock);
+    options.store_dir = store.path().string();
+    PlanService service(options);
+    const ServeResponse cold = service.handle(request_for("t", fabric, 8e6));
+    ASSERT_EQ(cold.status, ServeStatus::kOk);
+    cold_seconds = cold.result.seconds;
+    EXPECT_GT(service.flush(), 0u);
+    // flush() is idempotent while nothing new was compiled.
+    EXPECT_EQ(service.flush(), 0u);
+  }
+  {
+    FakeClock clock;
+    ServiceOptions options = test_options(clock);
+    options.store_dir = store.path().string();
+    PlanService service(options);
+    const ServeResponse loaded = service.handle(
+        request_for("t", fabric, 0.0, RequestType::kWarmLoad));
+    EXPECT_EQ(loaded.status, ServeStatus::kOk);
+    EXPECT_EQ(loaded.plans_touched, 1u);
+    const ServeResponse warm = service.handle(request_for("t", fabric, 8e6));
+    EXPECT_EQ(warm.status, ServeStatus::kOk);
+    EXPECT_TRUE(warm.warm_hit);
+    EXPECT_EQ(warm.result.seconds, cold_seconds);  // bit-identical schedule
+    EXPECT_EQ(service.stats().totals.compiles, 0u);
+  }
+}
+
+TEST(Serve, WarmLoadWithoutStoreDirIsInvalid) {
+  FakeClock clock;
+  PlanService service(test_options(clock));
+  const ServeResponse response = service.handle(request_for(
+      "t", spec_v100({0, 1}), 0.0, RequestType::kWarmLoad));
+  EXPECT_EQ(response.status, ServeStatus::kInvalidRequest);
+}
+
+TEST(Serve, GcNeverEvictsALiveShardsFreshStoreFile) {
+  TempDir store("blink-serve-gc-live");
+  FakeClock clock;
+  ServiceOptions options = test_options(clock);
+  options.store_dir = store.path().string();
+  options.gc.max_total_bytes = 4 * 1024;  // far below the decoys' total
+  PlanService service(options);
+  ASSERT_EQ(service.handle(request_for("t", spec_v100({0, 1, 2, 3}), 8e6))
+                .status,
+            ServeStatus::kOk);
+  ASSERT_GT(service.flush(), 0u);
+  std::vector<fs::path> live_files;
+  for (const auto& entry : fs::directory_iterator(store.path())) {
+    live_files.push_back(entry.path());
+  }
+  ASSERT_EQ(live_files.size(), 1u);
+  // Decoys newer than the live file: naive LRU would evict the live file
+  // first, so only the protect list keeps it alive.
+  const auto live_mtime = fs::last_write_time(live_files[0]);
+  for (int i = 0; i < 4; ++i) {
+    const fs::path decoy =
+        store.path() / ("plans-deadbeef0000000" + std::to_string(i) + ".bpc");
+    std::ofstream(decoy) << std::string(8 * 1024, 'd');
+    fs::last_write_time(decoy, live_mtime + std::chrono::seconds(i + 1));
+  }
+  const StoreGcReport report = service.run_gc();
+  EXPECT_EQ(report.files_protected, 1u);
+  EXPECT_EQ(report.files_evicted, 4u);
+  EXPECT_TRUE(fs::exists(live_files[0]));
+  const ServiceStats stats = service.stats();
+  EXPECT_GE(stats.gc_runs, 1u);  // startup sweep + this one
+  EXPECT_EQ(stats.last_gc.files_evicted, 4u);
+}
+
+TEST(Serve, AutoBackendShardServes) {
+  FakeClock clock;
+  PlanService service(test_options(clock));
+  const FabricSpec fabric = spec_v100({0, 1, 2, 3}, "auto");
+  const ServeResponse cold = service.handle(request_for("t", fabric, 4e6));
+  ASSERT_EQ(cold.status, ServeStatus::kOk);
+  EXPECT_FALSE(cold.warm_hit);
+  const ServeResponse warm = service.handle(request_for("t", fabric, 4e6));
+  ASSERT_EQ(warm.status, ServeStatus::kOk);
+  EXPECT_TRUE(warm.warm_hit);
+  EXPECT_EQ(warm.result.seconds, cold.result.seconds);
+}
+
+TEST(Serve, ConcurrentMultiTenantStress) {
+  FakeClock clock;
+  ServiceOptions options = test_options(clock);
+  options.num_workers = 4;
+  options.queue_capacity = 512;
+  options.default_quota = TenantQuota{/*rate=*/0.0, /*burst=*/1e9,
+                                      /*in_flight=*/512};
+  // One tenant is starved to force quota rejections amid live traffic.
+  options.tenant_quotas["rogue"] = TenantQuota{0.0, 1.0, 512};
+  PlanService service(options);
+  const std::vector<FabricSpec> fabrics{spec_v100({0, 1, 2, 3}),
+                                        spec_v100({4, 5, 6, 7})};
+  const std::vector<double> shapes{2e6, 4e6, 8e6};
+  std::atomic<std::uint64_t> ok{0}, rejected{0}, unexpected{0};
+  std::mutex mu;
+  std::map<std::string, double> seconds_by_key;
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 8; ++t) {
+    clients.emplace_back([&, t] {
+      const std::string tenant =
+          t == 0 ? "rogue" : "tenant" + std::to_string(t % 3);
+      for (int i = 0; i < 30; ++i) {
+        const FabricSpec& fabric =
+            fabrics[static_cast<std::size_t>(i + t) % fabrics.size()];
+        // The rogue tenant asks for shapes nobody else compiles, so its
+        // requests stay cold and its single-token bucket must reject them
+        // deterministically (one combo gets compiled, the other five never
+        // earn a token with the fake clock frozen).
+        const double bytes =
+            shapes[static_cast<std::size_t>(i + t) % shapes.size()] +
+            (tenant == "rogue" ? 1.0 : 0.0);
+        const ServeResponse r =
+            service.handle(request_for(tenant, fabric, bytes));
+        if (r.status == ServeStatus::kOk) {
+          ok.fetch_add(1);
+          const std::string key = fabric.gpu_ids[0] == 0
+                                      ? "a" + std::to_string(bytes)
+                                      : "b" + std::to_string(bytes);
+          const std::lock_guard<std::mutex> lock(mu);
+          const auto it = seconds_by_key.find(key);
+          if (it == seconds_by_key.end()) {
+            seconds_by_key[key] = r.result.seconds;
+          } else if (it->second != r.result.seconds) {
+            unexpected.fetch_add(1);  // nondeterminism across tenants
+          }
+        } else if (r.status == ServeStatus::kRejectedQuota) {
+          rejected.fetch_add(1);
+        } else {
+          unexpected.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(unexpected.load(), 0u);
+  // The rogue tenant's one burst token admits exactly one cold combo; its
+  // other five (fabric, shape) combos are rejected on every visit.
+  EXPECT_EQ(rejected.load(), 25u);
+  EXPECT_EQ(ok.load() + rejected.load(), 8u * 30u);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.totals.submitted, 8u * 30u);
+  EXPECT_EQ(stats.totals.completed + stats.totals.rejected_quota,
+            stats.totals.submitted);
+  EXPECT_EQ(stats.totals.errors, 0u);
+  EXPECT_EQ(stats.num_shards, 2u);
+  // Every served request either hit or compiled; the sums must agree.
+  EXPECT_EQ(stats.totals.warm_hits + stats.totals.compiles,
+            stats.totals.completed);
+  // Exactly one cold compile per distinct plan key: the engines serialize
+  // compilation, so the six shared (shard, shape) keys plus the rogue's one
+  // admitted combo miss once each. Racing requests that peek cold at
+  // admission but find the plan compiled by serve time count as compiles in
+  // the tenant view, so compiles >= misses.
+  EXPECT_EQ(stats.cache_misses, 7u);
+  EXPECT_GE(stats.totals.compiles, stats.cache_misses);
+}
+
+TEST(Serve, StatsSnapshotLatencyHistogramsFill) {
+  // Real clock so latencies are positive; just checks the histograms count.
+  ServiceOptions options;
+  options.num_workers = 2;
+  PlanService service(options);
+  const FabricSpec fabric = spec_v100({0, 1});
+  ASSERT_EQ(service
+                .handle(request_for("t", fabric, 1e6, RequestType::kCompile))
+                .status,
+            ServeStatus::kOk);
+  ASSERT_EQ(service.handle(request_for("t", fabric, 1e6)).status,
+            ServeStatus::kOk);
+  const ServiceStats stats = service.stats();
+  std::uint64_t compile_total = 0, execute_total = 0;
+  for (const std::uint64_t c : stats.compile_latency_us) compile_total += c;
+  for (const std::uint64_t c : stats.execute_latency_us) execute_total += c;
+  EXPECT_EQ(compile_total, 1u);
+  EXPECT_EQ(execute_total, 1u);
+}
+
+}  // namespace
+}  // namespace blink::serve

@@ -1,0 +1,176 @@
+// Plan-store garbage collection: LRU-by-mtime eviction under a total-size
+// cap, protection of live files, and report accounting.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "blink/serve/store_gc.h"
+
+namespace blink::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+class StoreGcTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Unique per test: ctest runs the suite in parallel, and a shared
+    // directory would let one test's SetUp wipe another's files mid-run.
+    const ::testing::TestInfo* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::temp_directory_path() /
+           (std::string("blink-store-gc-") + info->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  // Writes a store file of |bytes| aged |age_seconds| into the past, so the
+  // LRU order is explicit regardless of how fast the test runs.
+  fs::path put(const std::string& name, std::size_t bytes,
+               int age_seconds) {
+    const fs::path path = dir_ / name;
+    std::ofstream(path) << std::string(bytes, 'p');
+    fs::last_write_time(path, fs::file_time_type::clock::now() -
+                                  std::chrono::seconds(age_seconds));
+    return path;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(StoreGcTest, MissingDirectoryIsEmptyReport) {
+  StoreGcOptions options;
+  options.max_total_bytes = 1;
+  const StoreGcReport report = store_gc((dir_ / "nope").string(), options);
+  EXPECT_EQ(report.files_scanned, 0u);
+  EXPECT_EQ(report.files_evicted, 0u);
+  EXPECT_EQ(report.bytes_remaining, 0u);
+}
+
+TEST_F(StoreGcTest, NoCapIsReportOnly) {
+  put("plans-0000000000000001.bpc", 1000, 30);
+  put("plans-0000000000000002.bpc", 2000, 20);
+  const StoreGcReport report = store_gc(dir_.string(), StoreGcOptions{});
+  EXPECT_EQ(report.files_scanned, 2u);
+  EXPECT_EQ(report.bytes_scanned, 3000u);
+  EXPECT_EQ(report.files_evicted, 0u);
+  EXPECT_EQ(report.bytes_remaining, 3000u);
+  EXPECT_TRUE(fs::exists(dir_ / "plans-0000000000000001.bpc"));
+}
+
+TEST_F(StoreGcTest, EvictsOldestFirstUntilUnderCap) {
+  put("plans-000000000000000a.bpc", 1000, 40);  // oldest
+  put("plans-000000000000000b.bpc", 1000, 30);
+  put("plans-000000000000000c.bpc", 1000, 20);
+  put("plans-000000000000000d.bpc", 1000, 10);  // newest
+  StoreGcOptions options;
+  options.max_total_bytes = 2000;
+  const StoreGcReport report = store_gc(dir_.string(), options);
+  EXPECT_EQ(report.files_scanned, 4u);
+  EXPECT_EQ(report.files_evicted, 2u);
+  EXPECT_EQ(report.bytes_evicted, 2000u);
+  EXPECT_EQ(report.bytes_remaining, 2000u);
+  // Eviction is strictly oldest-first: a and b go, c and d stay.
+  EXPECT_FALSE(fs::exists(dir_ / "plans-000000000000000a.bpc"));
+  EXPECT_FALSE(fs::exists(dir_ / "plans-000000000000000b.bpc"));
+  EXPECT_TRUE(fs::exists(dir_ / "plans-000000000000000c.bpc"));
+  EXPECT_TRUE(fs::exists(dir_ / "plans-000000000000000d.bpc"));
+}
+
+TEST_F(StoreGcTest, AlreadyUnderCapEvictsNothing) {
+  put("plans-0000000000000001.bpc", 500, 10);
+  StoreGcOptions options;
+  options.max_total_bytes = 1000;
+  const StoreGcReport report = store_gc(dir_.string(), options);
+  EXPECT_EQ(report.files_evicted, 0u);
+  EXPECT_EQ(report.bytes_remaining, 500u);
+}
+
+TEST_F(StoreGcTest, ProtectedFilesSurviveEvenWhenOldest) {
+  const fs::path live = put("plans-00000000000000aa.bpc", 1500, 99);
+  put("plans-00000000000000bb.bpc", 1500, 10);
+  put("plans-00000000000000cc.bpc", 1500, 5);
+  StoreGcOptions options;
+  options.max_total_bytes = 2000;
+  options.protect.push_back(live.string());
+  const StoreGcReport report = store_gc(dir_.string(), options);
+  EXPECT_EQ(report.files_protected, 1u);
+  EXPECT_TRUE(fs::exists(live));
+  // bb (older than cc) is evicted; the protected file still counts toward
+  // the total, so cc must go too to reach the cap.
+  EXPECT_FALSE(fs::exists(dir_ / "plans-00000000000000bb.bpc"));
+  EXPECT_FALSE(fs::exists(dir_ / "plans-00000000000000cc.bpc"));
+  EXPECT_EQ(report.files_evicted, 2u);
+  EXPECT_EQ(report.bytes_remaining, 1500u);
+}
+
+TEST_F(StoreGcTest, ProtectedBytesAloneMayExceedCapWithoutEviction) {
+  const fs::path live = put("plans-00000000000000aa.bpc", 4000, 50);
+  StoreGcOptions options;
+  options.max_total_bytes = 1000;
+  options.protect.push_back(live.string());
+  const StoreGcReport report = store_gc(dir_.string(), options);
+  EXPECT_EQ(report.files_evicted, 0u);
+  EXPECT_EQ(report.files_protected, 1u);
+  EXPECT_EQ(report.bytes_remaining, 4000u);
+  EXPECT_TRUE(fs::exists(live));
+}
+
+TEST_F(StoreGcTest, ProtectListToleratesNotYetWrittenPaths) {
+  put("plans-0000000000000001.bpc", 1000, 10);
+  StoreGcOptions options;
+  options.max_total_bytes = 500;
+  // A live shard that has not flushed yet: its store path does not exist.
+  options.protect.push_back((dir_ / "plans-ffffffffffffffff.bpc").string());
+  const StoreGcReport report = store_gc(dir_.string(), options);
+  EXPECT_EQ(report.files_evicted, 1u);
+  EXPECT_EQ(report.files_protected, 0u);
+}
+
+TEST_F(StoreGcTest, IgnoresNonStoreFiles) {
+  put("plans-0000000000000001.bpc", 1000, 10);
+  std::ofstream(dir_ / "README.txt") << std::string(5000, 'r');
+  std::ofstream(dir_ / "plans-0000000000000002.tmp") << std::string(5000, 't');
+  std::ofstream(dir_ / "other-0000000000000003.bpc") << std::string(5000, 'o');
+  StoreGcOptions options;
+  options.max_total_bytes = 100;
+  const StoreGcReport report = store_gc(dir_.string(), options);
+  EXPECT_EQ(report.files_scanned, 1u);
+  EXPECT_EQ(report.bytes_scanned, 1000u);
+  EXPECT_EQ(report.files_evicted, 1u);
+  // Only the store file is eligible; foreign files are never touched.
+  EXPECT_TRUE(fs::exists(dir_ / "README.txt"));
+  EXPECT_TRUE(fs::exists(dir_ / "plans-0000000000000002.tmp"));
+  EXPECT_TRUE(fs::exists(dir_ / "other-0000000000000003.bpc"));
+}
+
+TEST_F(StoreGcTest, MtimeTiesBreakDeterministicallyByPath) {
+  const auto stamp = fs::file_time_type::clock::now() -
+                     std::chrono::seconds(60);
+  for (const char* name :
+       {"plans-0000000000000003.bpc", "plans-0000000000000001.bpc",
+        "plans-0000000000000002.bpc"}) {
+    const fs::path path = dir_ / name;
+    std::ofstream(path) << std::string(1000, 'p');
+    fs::last_write_time(path, stamp);
+  }
+  StoreGcOptions options;
+  options.max_total_bytes = 2000;
+  const StoreGcReport report = store_gc(dir_.string(), options);
+  EXPECT_EQ(report.files_evicted, 1u);
+  // Equal mtimes fall back to lexicographic path order: ...0001 goes first.
+  EXPECT_FALSE(fs::exists(dir_ / "plans-0000000000000001.bpc"));
+  EXPECT_TRUE(fs::exists(dir_ / "plans-0000000000000002.bpc"));
+  EXPECT_TRUE(fs::exists(dir_ / "plans-0000000000000003.bpc"));
+}
+
+}  // namespace
+}  // namespace blink::serve

@@ -1,0 +1,236 @@
+// blink_served: the planning-as-a-service daemon. Wires a serve::PlanService
+// over a line-oriented request loop on stdin — the transport a real
+// deployment would replace with RPC, kept trivial here so the serving layer
+// (sharding, admission control, quotas, GC) is the whole story.
+//
+// Protocol (one request per line, one response line per request):
+//
+//   <tenant> compile|execute <machine> <g0,g1,...> <kind> <bytes> [root] [backend]
+//   <tenant> warm|invalidate <machine> <g0,g1,...> [backend]
+//   stats | flush | gc | help | quit
+//
+// kinds: broadcast gather reduce allreduce allgather reducescatter
+// machines: dgx1p dgx1v dgx2    backends: blink nccl ring double_binary
+// butterfly auto (default blink)
+//
+// Example session:
+//   tenantA execute dgx1v 0,1,2,3 allreduce 16e6
+//   tenantA execute dgx1v 0,1,2,3 allreduce 16e6
+//   stats
+//
+// Flags: --workers N --queue N --store-dir DIR --gc-cap BYTES
+//        --rate COMPILES_PER_SEC --burst N --in-flight N --verbose
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "blink/common/logging.h"
+#include "blink/common/units.h"
+#include "blink/serve/service.h"
+
+namespace {
+
+using blink::serve::PlanService;
+using blink::serve::ServeRequest;
+using blink::serve::ServeResponse;
+using blink::serve::ServeStatus;
+using blink::serve::ServiceStats;
+
+bool parse_kind(const std::string& name, blink::CollectiveKind* kind) {
+  using blink::CollectiveKind;
+  if (name == "broadcast") *kind = CollectiveKind::kBroadcast;
+  else if (name == "gather") *kind = CollectiveKind::kGather;
+  else if (name == "reduce") *kind = CollectiveKind::kReduce;
+  else if (name == "allreduce") *kind = CollectiveKind::kAllReduce;
+  else if (name == "allgather") *kind = CollectiveKind::kAllGather;
+  else if (name == "reducescatter") *kind = CollectiveKind::kReduceScatter;
+  else return false;
+  return true;
+}
+
+std::vector<int> parse_gpu_list(const std::string& csv) {
+  std::vector<int> ids;
+  std::stringstream ss(csv);
+  std::string part;
+  while (std::getline(ss, part, ',')) {
+    if (!part.empty()) ids.push_back(std::atoi(part.c_str()));
+  }
+  return ids;
+}
+
+void print_response(const ServeRequest& request, const ServeResponse& r) {
+  std::cout << to_string(r.status);
+  if (r.status == ServeStatus::kOk) {
+    switch (request.type) {
+      case blink::serve::RequestType::kCompile:
+        std::cout << " compiled " << (r.warm_hit ? "(warm) " : "(cold) ")
+                  << r.result.num_ops << " ops, " << r.result.num_trees
+                  << " trees";
+        break;
+      case blink::serve::RequestType::kExecute:
+        std::cout << " " << (r.warm_hit ? "warm " : "cold ") << r.result.seconds
+                  << " s, "
+                  << blink::format_throughput(r.result.algorithm_bw);
+        break;
+      case blink::serve::RequestType::kWarmLoad:
+        std::cout << " warm-loaded " << r.plans_touched << " plans";
+        break;
+      case blink::serve::RequestType::kInvalidate:
+        std::cout << " invalidated " << r.plans_touched << " plans";
+        break;
+    }
+  } else {
+    std::cout << " " << r.message;
+  }
+  std::cout << std::endl;
+}
+
+void print_stats(const ServiceStats& stats) {
+  std::cout << "shards=" << stats.num_shards
+            << " queue=" << stats.queue_depth << "/" << stats.queue_high_water
+            << " cache(h/m/e)=" << stats.cache_hits << "/" << stats.cache_misses
+            << "/" << stats.cache_evictions
+            << " warm_hit_rate=" << stats.warm_hit_rate()
+            << " gc_runs=" << stats.gc_runs << std::endl;
+  for (const auto& [tenant, c] : stats.tenants) {
+    std::cout << "  tenant " << tenant << ": submitted=" << c.submitted
+              << " completed=" << c.completed << " warm=" << c.warm_hits
+              << " compiles=" << c.compiles
+              << " rejects(quota/inflight/queue)=" << c.rejected_quota << "/"
+              << c.rejected_in_flight << "/" << c.rejected_queue_full
+              << " invalid=" << c.invalid << " errors=" << c.errors
+              << std::endl;
+  }
+}
+
+int usage() {
+  std::cerr
+      << "usage: blink_served [--workers N] [--queue N] [--store-dir DIR]\n"
+         "                    [--gc-cap BYTES] [--rate R] [--burst N]\n"
+         "                    [--in-flight N] [--verbose]\n"
+         "then speak the line protocol on stdin (type 'help').\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  blink::serve::ServiceOptions options;
+  options.gc_interval_requests = 1000;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--workers" && has_value) {
+      options.num_workers = std::atoi(argv[++i]);
+    } else if (arg == "--queue" && has_value) {
+      options.queue_capacity = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--store-dir" && has_value) {
+      options.store_dir = argv[++i];
+    } else if (arg == "--gc-cap" && has_value) {
+      options.gc.max_total_bytes =
+          static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--rate" && has_value) {
+      options.default_quota.compile_rate = std::atof(argv[++i]);
+    } else if (arg == "--burst" && has_value) {
+      options.default_quota.compile_burst = std::atof(argv[++i]);
+    } else if (arg == "--in-flight" && has_value) {
+      options.default_quota.max_in_flight =
+          static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--verbose") {
+      blink::set_log_level(blink::LogLevel::kInfo);
+    } else {
+      return usage();
+    }
+  }
+
+  PlanService service(options);
+  std::cout << "blink_served ready (" << options.num_workers
+            << " workers, queue " << options.queue_capacity
+            << (options.store_dir.empty() ? ", no store"
+                                          : ", store " + options.store_dir)
+            << ")" << std::endl;
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::stringstream ss(line);
+    std::string first;
+    if (!(ss >> first) || first.empty() || first[0] == '#') continue;
+    if (first == "quit" || first == "exit") break;
+    if (first == "stats") {
+      print_stats(service.stats());
+      continue;
+    }
+    if (first == "flush") {
+      std::cout << "flushed " << service.flush() << " plans" << std::endl;
+      continue;
+    }
+    if (first == "gc") {
+      const auto report = service.run_gc();
+      std::cout << "gc: scanned " << report.files_scanned << " files ("
+                << report.bytes_scanned << " B), evicted "
+                << report.files_evicted << " (" << report.bytes_evicted
+                << " B), " << report.bytes_remaining << " B remain"
+                << std::endl;
+      continue;
+    }
+    if (first == "help") {
+      std::cout
+          << "<tenant> compile|execute <machine> <g0,g1,...> <kind> <bytes> "
+             "[root] [backend]\n"
+             "<tenant> warm|invalidate <machine> <g0,g1,...> [backend]\n"
+             "stats | flush | gc | quit"
+          << std::endl;
+      continue;
+    }
+
+    ServeRequest request;
+    request.tenant = first;
+    std::string verb, machine, gpus;
+    if (!(ss >> verb >> machine >> gpus)) {
+      std::cout << "invalid_request malformed line (try 'help')" << std::endl;
+      continue;
+    }
+    request.fabric.machine = machine;
+    request.fabric.gpu_ids = parse_gpu_list(gpus);
+    if (verb == "compile" || verb == "execute") {
+      request.type = verb == "compile" ? blink::serve::RequestType::kCompile
+                                       : blink::serve::RequestType::kExecute;
+      std::string kind_name;
+      double bytes = 0.0;
+      if (!(ss >> kind_name >> bytes) ||
+          !parse_kind(kind_name, &request.kind)) {
+        std::cout << "invalid_request malformed collective (try 'help')"
+                  << std::endl;
+        continue;
+      }
+      request.bytes = bytes;
+      // Optional trailing tokens: a numeric root, then a backend name.
+      std::string token;
+      while (ss >> token) {
+        char* end = nullptr;
+        const long root = std::strtol(token.c_str(), &end, 10);
+        if (end != nullptr && *end == '\0') {
+          request.root = static_cast<int>(root);
+        } else {
+          request.fabric.backend = token;
+        }
+      }
+    } else if (verb == "warm" || verb == "invalidate") {
+      request.type = verb == "warm" ? blink::serve::RequestType::kWarmLoad
+                                    : blink::serve::RequestType::kInvalidate;
+      std::string backend;
+      if (ss >> backend) request.fabric.backend = backend;
+    } else {
+      std::cout << "invalid_request unknown verb '" << verb << "' (try 'help')"
+                << std::endl;
+      continue;
+    }
+    print_response(request, service.handle(std::move(request)));
+  }
+
+  std::cout << "flushed " << service.flush() << " plans; bye" << std::endl;
+  return 0;
+}
