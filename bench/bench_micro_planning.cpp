@@ -4,11 +4,18 @@
 // near-linear-time MWU claim (§3.2) is checked here in wall-clock form.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "blink/blink/communicator.h"
+#include "blink/blink/plan_io.h"
 #include "blink/blink/treegen.h"
 #include "blink/graph/arborescence.h"
 #include "blink/graph/maxflow.h"
@@ -91,8 +98,38 @@ void BM_CompileCold(benchmark::State& state) {
     benchmark::DoNotOptimize(
         comm.compile(CollectiveKind::kBroadcast, 500e6, 0));
   }
+  // items/sec is cold plans per second — the planner's throughput unit,
+  // comparable directly against BM_CompileColdParallel below.
+  state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_CompileCold);
+
+// Cold-compile throughput under concurrent clients: every thread compiles a
+// stream of distinct shapes against one shared communicator, so each compile
+// is a cache miss on its own plan key and the engine's per-key single-flight
+// admits them all concurrently. items/sec at --benchmark_min_time growth
+// over the 1-thread row is the planner-pool speedup (bounded by cores; on a
+// single-core host the rows collapse to serial throughput).
+void BM_CompileColdParallel(benchmark::State& state) {
+  static Communicator* comm = nullptr;
+  static std::atomic<std::uint64_t> next_shape{0};
+  if (state.thread_index() == 0) {
+    comm = new Communicator(topo::make_dgx1v());
+  }
+  for (auto _ : state) {
+    // Distinct bytes per compile: always cold, never single-flight-merged.
+    const double bytes =
+        1e6 + 4096.0 * static_cast<double>(next_shape.fetch_add(1));
+    benchmark::DoNotOptimize(
+        comm->compile(CollectiveKind::kBroadcast, bytes, 0));
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    delete comm;
+    comm = nullptr;
+  }
+}
+BENCHMARK(BM_CompileColdParallel)->ThreadRange(1, 8)->UseRealTime();
 
 void BM_CompileCacheHit(benchmark::State& state) {
   Communicator comm(topo::make_dgx1v());
@@ -172,6 +209,88 @@ int plan_store_warm_start_check() {
   return 0;
 }
 
+// The parallel-planning gate, in exit-code form: compile 16 distinct shapes
+// twice — once on a serial planner (planner_threads = 1, one client thread)
+// and once on the full pool (default width, 8 client threads) — then require
+// (a) every parallel-compiled program to be bit-identical to its serial
+// twin (parallelism is a pure speed knob, §3.2's plans don't change), and
+// (b) a core-scaled cold-compile speedup: >= 4x on hosts with 8+ cores,
+// >= 0.45x-per-core below that. On a single-core host the speedup check is
+// skipped (there is nothing to parallelize onto) but the bit-identity check
+// still runs.
+int parallel_compile_gate() {
+  const auto machine = topo::make_dgx1v();
+  constexpr int kShapes = 16;
+  const auto shape_bytes = [](int i) { return 8e6 * (i + 1); };
+  const auto shape_kind = [](int i) {
+    return i % 2 == 0 ? CollectiveKind::kBroadcast
+                      : CollectiveKind::kAllReduce;
+  };
+
+  // Compiles every shape with |client_threads| racing clients and returns
+  // the wall-clock seconds; |blobs| gets each shape's serialized program.
+  const auto run = [&](int planner_threads, int client_threads,
+                       std::vector<std::string>* blobs) {
+    CommunicatorOptions opts;
+    opts.planner_threads = planner_threads;
+    Communicator comm(machine, opts);
+    blobs->assign(kShapes, {});
+    std::atomic<int> next{0};
+    const auto worker = [&] {
+      for (int i = next.fetch_add(1); i < kShapes; i = next.fetch_add(1)) {
+        const auto plan = comm.compile(shape_kind(i), shape_bytes(i), 0);
+        serialize_program(plan->program(), &(*blobs)[i]);
+      }
+    };
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> clients;
+    for (int t = 1; t < client_threads; ++t) clients.emplace_back(worker);
+    worker();
+    for (auto& c : clients) c.join();
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+
+  std::vector<std::string> serial_blobs;
+  std::vector<std::string> parallel_blobs;
+  const double serial_s = run(/*planner_threads=*/1, /*client_threads=*/1,
+                              &serial_blobs);
+  const double parallel_s = run(/*planner_threads=*/0, /*client_threads=*/8,
+                                &parallel_blobs);
+
+  for (int i = 0; i < kShapes; ++i) {
+    if (serial_blobs[i].empty() || serial_blobs[i] != parallel_blobs[i]) {
+      std::fprintf(stderr,
+                   "FAIL: parallel-compiled plan for shape %d differs from "
+                   "the serial compile (parallel planning must be "
+                   "bit-identical)\n",
+                   i);
+      return 1;
+    }
+  }
+
+  const double speedup = parallel_s > 0.0 ? serial_s / parallel_s : 0.0;
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  std::printf(
+      "parallel planning gate: %d shapes, serial %.3f s, parallel %.3f s "
+      "(%.2fx, %u cores), plans bit-identical\n",
+      kShapes, serial_s, parallel_s, speedup, cores);
+  if (cores <= 1) {
+    std::printf("SKIP: single-core host, parallel speedup not enforced\n");
+    return 0;
+  }
+  const double required = std::min(4.0, 0.45 * static_cast<double>(cores));
+  if (speedup < required) {
+    std::fprintf(stderr,
+                 "FAIL: parallel cold-compile speedup %.2fx < required "
+                 "%.2fx on %u cores\n",
+                 speedup, required, cores);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -179,5 +298,6 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (const int rc = parallel_compile_gate(); rc != 0) return rc;
   return plan_store_warm_start_check();
 }

@@ -36,6 +36,10 @@ struct NcclOptions {
   // Persistent plan store directory (see EngineOptions::plan_store_dir);
   // empty disables persistence.
   std::string plan_store_dir;
+  // Cold-path planning parallelism (see EngineOptions::planner_threads):
+  // 0 = BLINK_PLANNER_THREADS / hardware default, 1 = serial. Not part of
+  // the planning fingerprint.
+  int planner_threads = 0;
 };
 
 // The per-step costs used when persistent_kernel_model is on.

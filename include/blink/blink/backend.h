@@ -45,9 +45,13 @@ struct LoweredCollective {
 };
 
 /// A collective algorithm as seen by CollectiveEngine: a named lowering
-/// policy from (kind, bytes, root) to a LoweredCollective. Implementations
-/// may keep lazy planning caches (tree sets, probe rates); the engine
-/// serializes lower() calls under its compile mutex so they need no locking.
+/// policy from (kind, bytes, root) to a LoweredCollective. The engine
+/// single-flights compilation per plan key — duplicate requests for one
+/// shape share a single lower() call — but *distinct* shapes lower
+/// concurrently from the planner pool, so implementations that keep lazy
+/// planning caches (tree sets, probe rates) must synchronize them
+/// internally (BlinkBackend uses per-slot std::once_flag, ClusterBackend
+/// single-flights its tree-set builds). Stateless lowerings need nothing.
 class CollectiveBackend {
  public:
   /// Backends are owned and destroyed by the engine's registry.
@@ -87,9 +91,11 @@ class CollectiveBackend {
 
   /// Lowers a collective to a program + chunking decision. The engine has
   /// already validated bytes > 0, the root range, and supports(kind), and
-  /// serializes lower() calls under its compile mutex, so implementations
-  /// may mutate internal caches (tree-set slots, probe rates) without
-  /// locking.
+  /// guarantees at most one in-flight lower() *per plan key* (single-flight
+  /// compilation) — but calls for distinct keys may run concurrently, so
+  /// any internal caches an implementation mutates must be synchronized.
+  /// Lowering must be deterministic in (kind, bytes, root): concurrent and
+  /// serial compiles of one shape must produce bit-identical plans.
   virtual LoweredCollective lower(CollectiveKind kind, double bytes,
                                   int root) = 0;
 };

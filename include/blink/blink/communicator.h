@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -47,13 +48,20 @@ struct CommunicatorOptions {
   // Persistent plan store directory (see EngineOptions::plan_store_dir);
   // empty disables persistence.
   std::string plan_store_dir;
+  // Cold-path planning parallelism (see EngineOptions::planner_threads):
+  // 0 = BLINK_PLANNER_THREADS / hardware default, 1 = serial. Not part of
+  // the planning fingerprint — parallel and serial plans are bit-identical.
+  int planner_threads = 0;
 };
 
 // Blink's planning pipeline as a CollectiveBackend: lowers a collective to a
 // schedule over the allocation's packed spanning trees. Owns the per-root
 // tree-set slots, the measured-rate probe cache, and the chunk-size policy
 // (fixed by options, or MIAD-tuned per shape when codegen.chunk_bytes == 0).
-// State mutation happens under the owning engine's compile mutex.
+// Internally synchronized: concurrent lower() calls build each tree-set
+// slot exactly once (per-slot std::once_flag) and the probe-rate cache
+// takes its own short lock, so the engine's single-flight compiles may run
+// this backend from many threads at once.
 class BlinkBackend : public CollectiveBackend {
  public:
   using TreeSetPtr = std::shared_ptr<const TreeSet>;
@@ -104,11 +112,23 @@ class BlinkBackend : public CollectiveBackend {
   const topo::Topology& topo_;
   const sim::Fabric& fabric_;
   CommunicatorOptions options_;
+  // Resolved CommunicatorOptions::planner_threads (>= 1): how wide
+  // best_root()'s all-roots tree generation fans out.
+  std::size_t planner_threads_ = 1;
 
+  // Each slot is built exactly once under its flag; concurrent callers for
+  // one root wait on the one TreeGen run, distinct roots build in parallel.
   std::vector<TreeSetPtr> nvlink_sets_;
   std::vector<TreeSetPtr> bidir_sets_;
   std::vector<TreeSetPtr> pcie_sets_;
+  std::unique_ptr<std::once_flag[]> nvlink_once_;
+  std::unique_ptr<std::once_flag[]> bidir_once_;
+  std::unique_ptr<std::once_flag[]> pcie_once_;
+  std::once_flag best_root_once_;
   std::optional<int> best_root_;
+  // Guards measured_rates_ only; probes run outside it (duplicates compute
+  // the same deterministic value, first insert wins).
+  std::mutex rates_mu_;
   // Probe-rate cache keyed by (link, bidirectional, root, probe_bytes) —
   // value identity, not the address of a TreeSet.
   std::map<std::tuple<int, bool, int, std::uint64_t>, double> measured_rates_;

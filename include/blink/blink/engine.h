@@ -11,11 +11,15 @@
 /// identically for Blink's packed trees, every baseline, and the three-phase
 /// cluster backend, so backends only implement lowering.
 ///
-/// Concurrency: compile() serializes under an internal mutex (backends may
-/// mutate lazy caches while lowering); execute() runs concurrently — the
-/// simulation is a pure function of (fabric, program) and per-plan
-/// memoization takes the plan's own lock. This is the serving path: many
-/// threads execute cached plans while misses compile one at a time.
+/// Concurrency: compile() is per-PlanKey single-flight — distinct shapes
+/// lower fully in parallel (backends synchronize their own lazy caches;
+/// see CollectiveBackend), duplicate requests for one shape wait on the one
+/// in-flight lowering, and cache/store bookkeeping sits under a short
+/// critical-section mutex that is never held across planning work.
+/// execute() runs concurrently too — the simulation is a pure function of
+/// (fabric, program) and per-plan memoization takes the plan's own lock.
+/// This is the serving path: many threads execute cached plans while cold
+/// misses compile as wide as EngineOptions::planner_threads allows.
 #pragma once
 
 #include <cstdint>
@@ -30,6 +34,7 @@
 #include "blink/blink/backend.h"
 #include "blink/blink/plan.h"
 #include "blink/blink/plan_cache.h"
+#include "blink/common/single_flight.h"
 #include "blink/sim/fabric.h"
 #include "blink/topology/topology.h"
 
@@ -51,6 +56,15 @@ struct EngineOptions {
   /// does not match is ignored with a warning; nothing stale is ever
   /// executed.
   std::string plan_store_dir;
+  /// Width of the planner's cold-path parallelism: how many threads of the
+  /// process-wide planner pool (common::ThreadPool::shared()) one compile
+  /// may fan out across — bake-off candidates, batched kinds, per-root tree
+  /// generation. 0 resolves to the pool's default sizing (the
+  /// BLINK_PLANNER_THREADS environment variable, else hardware
+  /// concurrency); 1 plans serially on the calling thread. Parallelism
+  /// never changes what gets compiled: plans are bit-identical to serial
+  /// ones and the planning fingerprint is unaffected.
+  int planner_threads = 0;
 };
 
 /// The plan/execute engine: backend registry, argument validation, plan
@@ -135,8 +149,33 @@ class CollectiveEngine {
   /// Compiles/fetches a plan per request and launches them all as one group
   /// sharing the fabric (ncclGroupStart/End semantics). Requests may name
   /// different backends; each result carries that request's own completion
-  /// time under contention.
+  /// time under contention. Cold plans in the group compile concurrently
+  /// (see compile_batch()).
   std::vector<CollectiveResult> run(std::span<const CollectiveRequest> reqs);
+
+  /// Compiles (or fetches) every request's plan concurrently across the
+  /// planner pool, up to EngineOptions::planner_threads wide; requests
+  /// sharing a PlanKey coalesce onto one lowering via the single-flight
+  /// path. Results are positionally aligned with \p reqs and identical to
+  /// calling compile() per request in a loop — parallelism never changes a
+  /// plan. Throws what compile() would throw if any request is invalid.
+  std::vector<std::shared_ptr<const CollectivePlan>> compile_batch(
+      std::span<const CollectiveRequest> reqs);
+
+  /// Warms the cache for one shape in a single pass: compiles all six
+  /// collective kinds at (\p bytes, \p root, \p backend) concurrently, so
+  /// the kinds share the backend's lazily-built TreeGen state (tree sets,
+  /// link-rate probes) instead of each first-compile paying for it alone.
+  /// Kinds the backend cannot lower at this shape (unsupported kind, size
+  /// below a cluster's partition count) are skipped, not errors. Returns
+  /// the number of plans that were cold (actually compiled); a fully warm
+  /// shape returns 0. Throws std::invalid_argument on a non-positive size
+  /// or out-of-range root, like compile().
+  std::size_t precompile(double bytes, int root = -1, int backend = 0);
+
+  /// The resolved cold-path parallelism width (EngineOptions::
+  /// planner_threads after defaulting); 1 means serial planning.
+  std::size_t planner_threads() const { return planner_threads_; }
 
   /// Plan-cache statistics: hits count collectives that skipped lowering
   /// (TreeGen/CodeGen for Blink, ring/tree emission for the baselines).
@@ -206,30 +245,31 @@ class CollectiveEngine {
   CollectiveResult reduce_scatter(double bytes);
 
  protected:
-  /// Serializes compile() and backend-state mutation; subclasses lock it
-  /// around accessors that touch backend lazy caches (e.g. tree sets).
-  std::mutex& compile_mutex() { return compile_mu_; }
-
   /// Wraps an already-lowered collective into a plan and caches it (chunk
   /// tuners use this to prime the cache with the schedule compile() would
-  /// produce).
+  /// produce). Thread-safe: the plan cache takes its own lock.
   std::shared_ptr<const CollectivePlan> adopt_plan(CollectiveKind kind,
                                                    double bytes, int root,
                                                    int backend,
                                                    LoweredCollective lowered);
 
  private:
-  std::shared_ptr<const CollectivePlan> compile_locked(CollectiveKind kind,
-                                                       double bytes, int root,
-                                                       int backend);
+  // compile() with auto already resolved: validates the concrete backend id
+  // and runs the per-PlanKey single-flight lowering.
+  std::shared_ptr<const CollectivePlan> compile_concrete(CollectiveKind kind,
+                                                         double bytes,
+                                                         int root,
+                                                         int backend);
   // Resolves kAutoBackend for one shape: compiles and executes a candidate
-  // plan per supporting backend (each lands in the plan cache) and caches
-  // the winner's id so later compiles skip the measurement. |root| is
-  // concrete (never -1): every candidate is timed at the same root.
-  int select_backend_locked(CollectiveKind kind, double bytes, int root);
+  // plan per supporting backend — concurrently, up to planner_threads_ wide
+  // (each candidate lands in the plan cache) — and caches the winner's id
+  // so later compiles skip the measurement. Single-flight per shape:
+  // concurrent requests run one bake-off. |root| is concrete (never -1):
+  // every candidate is timed at the same root.
+  int select_backend(CollectiveKind kind, double bytes, int root);
   // The root a root == -1 request resolves to before auto-selection: the
   // first supporting backend's default.
-  int default_root_locked(CollectiveKind kind);
+  int default_root(CollectiveKind kind);
   // Whether |path| is the configured plan store's file: only syncs with it
   // clear the plan cache's dirty flag (exports/imports to side paths must
   // leave the destructor flush armed).
@@ -255,9 +295,31 @@ class CollectiveEngine {
   std::map<PlanKey, int> auto_choices_;
   // Whether the plan_store_dir warm-load has been attempted.
   bool plan_store_checked_ = false;
-  // Guards compile()/lowering and the backend registry (readers included:
-  // register_backend may reallocate the vector mid-session).
+  // Short-critical-section lock: the backend registry (readers included —
+  // register_backend may reallocate the vector mid-session; the pointed-to
+  // backends are stable), auto_choices_, and plan-store bookkeeping. Never
+  // held across lowering or candidate measurement.
   mutable std::mutex compile_mu_;
+
+  // Shard selector for the single-flight maps below.
+  struct PlanKeyHash {
+    std::size_t operator()(const PlanKey& k) const {
+      std::size_t h = static_cast<std::size_t>(k.bytes_bits);
+      h ^= static_cast<std::size_t>(k.kind) * 0x9e3779b97f4a7c15ULL;
+      h ^= static_cast<std::size_t>(k.root + 1) * 0xc2b2ae3d27d4eb4fULL;
+      h ^= static_cast<std::size_t>(k.backend + 2) * 0x165667b19e3779f9ULL;
+      return h;
+    }
+  };
+  // In-flight lowerings: distinct keys compile concurrently, duplicates
+  // wait for the leader's plan.
+  common::SingleFlight<PlanKey, std::shared_ptr<const CollectivePlan>,
+                       PlanKeyHash>
+      compile_flight_;
+  // In-flight auto bake-offs, keyed like auto_choices_.
+  common::SingleFlight<PlanKey, int, PlanKeyHash> auto_flight_;
+  // Resolved EngineOptions::planner_threads (>= 1).
+  std::size_t planner_threads_ = 1;
 };
 
 }  // namespace blink

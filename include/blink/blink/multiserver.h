@@ -41,6 +41,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -49,6 +50,7 @@
 #include "blink/blink/engine.h"
 #include "blink/blink/plan.h"
 #include "blink/blink/treegen.h"
+#include "blink/common/single_flight.h"
 #include "blink/sim/fabric.h"
 
 namespace blink {
@@ -117,8 +119,12 @@ struct ClusterOptions {
 };
 
 /// The three-phase lowering. Owns the lazily-built per-(server, root)
-/// spanning-tree sets; state mutation happens under the owning engine's
-/// compile mutex. Roots are global server-major GPU ids.
+/// spanning-tree sets; internally synchronized (single-flight tree-set
+/// builds, once-guarded partition sizing), so the engine's concurrent
+/// compiles may lower through it from many threads. Under
+/// Phase2Policy::kAuto the candidate exchanges of one bake-off are
+/// themselves lowered and measured concurrently across the planner pool.
+/// Roots are global server-major GPU ids.
 class ClusterBackend : public CollectiveBackend {
  public:
   /// Shared immutable spanning-tree set (also referenced by plans).
@@ -150,8 +156,8 @@ class ClusterBackend : public CollectiveBackend {
   int num_partitions() const { return num_partitions_; }
 
   /// Byte share of each partition (num_partitions() entries summing to 1).
-  /// Lazily measured from the packed-tree rates; call only under the owning
-  /// engine's compile mutex, like lower().
+  /// Lazily measured from the packed-tree rates, exactly once however many
+  /// threads race the first call; safe to call concurrently with lower().
   const std::vector<double>& partition_shares();
 
   /// The phase-2 strategies lower() considers for \p kind on this cluster
@@ -166,6 +172,9 @@ class ClusterBackend : public CollectiveBackend {
   LoweredCollective lower_with(Phase2Strategy strategy, CollectiveKind kind,
                                double bytes, int root);
 
+  // Fills shares_; runs exactly once under shares_once_.
+  void compute_shares();
+
   const TreeSetPtr& tree_set(int server, int root);
 
   const std::vector<topo::Topology>& servers_;
@@ -177,7 +186,23 @@ class ClusterBackend : public CollectiveBackend {
   PartitionSizing partition_sizing_;
   double min_partition_share_;
   int num_partitions_ = 0;
-  std::vector<double> shares_;  // lazily filled by partition_shares()
+  // Resolved ClusterOptions::engine.planner_threads (>= 1): bake-off and
+  // partition-probe fan-out width.
+  std::size_t planner_threads_ = 1;
+  std::once_flag shares_once_;
+  std::vector<double> shares_;  // filled once by partition_shares()
+  // Tree-set cache: lookups under sets_mu_, builds single-flighted so
+  // distinct (server, root) pairs generate concurrently and racers on one
+  // pair share the single TreeGen run.
+  mutable std::mutex sets_mu_;
+  struct PairHash {
+    std::size_t operator()(const std::pair<int, int>& p) const {
+      return static_cast<std::size_t>(p.first) * 0x9e3779b97f4a7c15ULL ^
+             static_cast<std::size_t>(p.second);
+    }
+  };
+  common::SingleFlight<std::pair<int, int>, TreeSetPtr, PairHash>
+      sets_flight_;
   std::map<std::pair<int, int>, TreeSetPtr> sets_;
 };
 

@@ -72,6 +72,12 @@ typedef struct {
   // version or fabric fingerprint does not match is ignored — stale plans
   // are never executed.
   const char* plan_cache_dir;
+  // Cold-path planning parallelism: worker count for the engine's planner
+  // fan-out (single-flight compiles, bake-offs, batched precompiles).
+  // 0 uses the BLINK_PLANNER_THREADS environment variable when set, else
+  // the hardware concurrency; 1 plans serially. A pure speed knob — plans
+  // are bit-identical at any width and plan stores stay compatible.
+  int planner_threads;
 } blinkBackendConfig_t;
 
 // Creates a communicator over the GPUs |gpu_ids[0..ndev)| of a machine kind
@@ -135,6 +141,16 @@ blinkResult_t blinkCommExportPlans(blinkComm_t comm, const char* path);
 // against a different fabric fingerprint: a stale plan is rejected, never
 // executed.
 blinkResult_t blinkCommImportPlans(blinkComm_t comm, const char* path);
+// Batch-compiles every collective kind the communicator's backend supports
+// for one payload shape (|count| elements of |dtype|, rooted at |root| or
+// -1 for the default) in a single pass across the planner pool, sharing
+// the per-root tree generation between kinds. |compiled| (optional)
+// receives how many plans were cold — 0 means the shape was already fully
+// warm. Call at startup to pay §3.2's one-time planning cost before the
+// first training step needs the plans.
+blinkResult_t blinkCommPrecompile(blinkComm_t comm, size_t count,
+                                  blinkDataType_t dtype, int root,
+                                  int* compiled);
 // Destroying a communicator that another thread holds queued inside an open
 // blinkGroupStart/End is undefined behavior, as in NCCL: group state is
 // per-thread, so only the destroying thread's queue is cleaned up.

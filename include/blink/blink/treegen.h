@@ -17,6 +17,12 @@ struct TreeGenOptions {
   // in the reverse direction (§3.3). One-to-many collectives leave this off
   // and get the full per-direction budget.
   bool bidirectional = false;
+  // Planning fan-out inside one TreeGen run (the optimal-rate max-flows and
+  // the minimizer's prune search); <= 1 is serial. A pure speed knob: the
+  // generated trees are bit-identical at any width, so it is deliberately
+  // NOT part of the planning fingerprint. Backends set it from the engine's
+  // resolved planner_threads.
+  int max_workers = 1;
 };
 
 struct TreeSet {

@@ -1,0 +1,115 @@
+/// \file
+/// Per-key single-flight execution: N concurrent callers asking for the same
+/// key run the computation exactly once — one leader computes while the rest
+/// wait on the in-flight slot — and callers with distinct keys proceed fully
+/// in parallel. The in-flight map is sharded so the bookkeeping lock never
+/// serializes unrelated keys.
+///
+/// This is the engine's compile-path concurrency primitive: the global
+/// compile lock became per-PlanKey single-flight, so a fleet of tenants cold-
+/// compiling distinct shapes scales with the core count while duplicate
+/// requests for one shape still cost one lowering.
+#pragma once
+
+#include <array>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+namespace blink::common {
+
+/// Single-flight over keys of type \p Key producing values of type \p Value.
+/// \p Hash picks the shard (defaults to std::hash); \p Key also needs
+/// operator< for the per-shard map. \p Value must be copyable (the waiters
+/// each get a copy; use a shared_ptr for heavy results).
+template <class Key, class Value, class Hash = std::hash<Key>,
+          std::size_t kShards = 8>
+class SingleFlight {
+ public:
+  /// Returns fn()'s value for \p key. The first caller for an idle key is
+  /// the leader and runs \p fn (outside every internal lock); concurrent
+  /// callers for the same key block until the leader finishes and share its
+  /// value. An exception from \p fn propagates to the leader and every
+  /// waiter, and the key is retired so the next caller retries. \p leader
+  /// (when non-null) reports whether this caller ran the computation.
+  template <class Fn>
+  Value run(const Key& key, Fn&& fn, bool* leader = nullptr) {
+    Shard& shard = shards_[Hash{}(key) % kShards];
+    std::shared_ptr<Slot> slot;
+    bool is_leader = false;
+    {
+      const std::lock_guard<std::mutex> lock(shard.mu);
+      auto it = shard.inflight.find(key);
+      if (it == shard.inflight.end()) {
+        slot = std::make_shared<Slot>();
+        shard.inflight.emplace(key, slot);
+        is_leader = true;
+      } else {
+        slot = it->second;
+      }
+    }
+    if (leader != nullptr) *leader = is_leader;
+
+    if (is_leader) {
+      Value value{};
+      try {
+        value = fn();
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock(slot->mu);
+          slot->error = std::current_exception();
+          slot->done = true;
+        }
+        slot->cv.notify_all();
+        retire(shard, key, slot);
+        throw;
+      }
+      {
+        const std::lock_guard<std::mutex> lock(slot->mu);
+        slot->value = value;
+        slot->done = true;
+      }
+      slot->cv.notify_all();
+      retire(shard, key, slot);
+      return value;
+    }
+
+    std::unique_lock<std::mutex> lock(slot->mu);
+    slot->cv.wait(lock, [&] { return slot->done; });
+    if (slot->error) std::rethrow_exception(slot->error);
+    return slot->value;
+  }
+
+ private:
+  struct Slot {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Value value{};
+    std::exception_ptr error;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::map<Key, std::shared_ptr<Slot>> inflight;
+  };
+
+  // Removes the finished flight so the next caller starts a fresh one; the
+  // identity check keeps a stale erase from removing a successor's slot.
+  void retire(Shard& shard, const Key& key,
+              const std::shared_ptr<Slot>& slot) {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.inflight.find(key);
+    if (it != shard.inflight.end() && it->second == slot) {
+      shard.inflight.erase(it);
+    }
+  }
+
+  std::array<Shard, kShards> shards_;
+};
+
+}  // namespace blink::common

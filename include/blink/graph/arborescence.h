@@ -3,6 +3,7 @@
 // directed spanning tree rooted at r.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -10,6 +11,8 @@
 #include "blink/graph/digraph.h"
 
 namespace blink::graph {
+
+class ArborescenceWorkspace;
 
 // A spanning arborescence as the list of edge ids into the owning DiGraph.
 // Every vertex except the root has exactly one incoming edge in the list.
@@ -29,5 +32,33 @@ struct Arborescence {
 // unreachable from the root). Costs must be non-negative.
 std::optional<Arborescence> min_cost_arborescence(const DiGraph& g, int root,
                                                   std::span<const double> cost);
+
+// Reusable scratch for min_cost_arborescence: the solver's per-contraction-
+// level buffers (best-in-edge, component, cycle, and contracted-edge arrays)
+// live here and are recycled across calls instead of reallocated. One
+// workspace per calling thread — it is not synchronized — and results are
+// bit-identical with or without one. The MWU packing loop, which solves one
+// arborescence per iteration over the same graph, hoists a workspace across
+// its iterations.
+class ArborescenceWorkspace {
+ public:
+  ArborescenceWorkspace();
+  ~ArborescenceWorkspace();
+  ArborescenceWorkspace(ArborescenceWorkspace&&) noexcept;
+  ArborescenceWorkspace& operator=(ArborescenceWorkspace&&) noexcept;
+
+ private:
+  friend std::optional<Arborescence> min_cost_arborescence(
+      const DiGraph& g, int root, std::span<const double> cost,
+      ArborescenceWorkspace* workspace);
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// As above, reusing |workspace|'s buffers (nullptr solves with a throwaway
+// workspace, identical to the three-argument overload).
+std::optional<Arborescence> min_cost_arborescence(
+    const DiGraph& g, int root, std::span<const double> cost,
+    ArborescenceWorkspace* workspace);
 
 }  // namespace blink::graph

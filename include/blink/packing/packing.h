@@ -25,8 +25,11 @@ struct WeightedTree {
   double weight = 0.0;  // bytes/s of bandwidth assigned to this tree
 };
 
-// Exact optimal broadcast packing rate from |root| (bytes/s).
-double optimal_rate(const graph::DiGraph& g, int root);
+// Exact optimal broadcast packing rate from |root| (bytes/s). The per-
+// destination max-flows are independent; |max_workers| > 1 computes them
+// across the shared planner pool (the min over destinations is exact, so
+// the result is bit-identical to the serial scan).
+double optimal_rate(const graph::DiGraph& g, int root, int max_workers = 1);
 
 // True when the trees' summed weights respect every edge capacity within a
 // relative tolerance. Used as the safety check after each packing stage.
@@ -68,6 +71,11 @@ struct MinimizeOptions {
   // fill and per-hop latency at execution time (§4.2.1). Each tree's
   // objective is discounted by penalty * depth / n.
   double depth_penalty = 0.02;
+  // Planning fan-out: > 1 evaluates the relaxation's prune candidates (and
+  // the optimal-rate max-flows) across the shared planner pool. Purely a
+  // speed knob — the accepted prune sequence, and therefore the result, is
+  // bit-identical to the serial search at any width.
+  int max_workers = 1;
 };
 
 enum class MinimizeStage {

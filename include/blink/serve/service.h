@@ -60,12 +60,18 @@ enum class RequestType {
   kExecute = 1,   ///< Compile if needed, then execute; returns the timing.
   kWarmLoad = 2,  ///< Import the shard's store file into its plan cache now.
   kInvalidate = 3,  ///< Drop the shard's cached plans and auto choices.
+  /// Batch-compile every collective kind at the request's (bytes, root) in
+  /// one pass (CollectiveEngine::precompile); plans_touched reports how
+  /// many were cold. Always charges the compile quota — a warm-up is by
+  /// definition cold work.
+  kPrecompile = 4,
 };
 
 /// A conversion to a stable lowercase name ("compile", ...).
 const char* to_string(RequestType type);
 
-/// One client request. kWarmLoad/kInvalidate ignore the collective fields.
+/// One client request. kWarmLoad/kInvalidate ignore the collective fields;
+/// kPrecompile ignores kind (it compiles every kind).
 struct ServeRequest {
   /// The requesting tenant; quotas and per-tenant stats key on this.
   std::string tenant;
@@ -108,7 +114,8 @@ struct ServeResponse {
   bool warm_hit = false;
   /// The serving shard's fabric fingerprint (0 for rejected requests).
   std::uint64_t shard_fingerprint = 0;
-  /// kWarmLoad: plans imported; kInvalidate: plans dropped; else 0.
+  /// kWarmLoad: plans imported; kInvalidate: plans dropped; kPrecompile:
+  /// plans that were cold and got compiled; else 0.
   std::size_t plans_touched = 0;
   /// Failure or rejection detail; empty on success.
   std::string message;
@@ -183,8 +190,14 @@ struct ServiceStats {
 
 /// Service-wide configuration.
 struct ServiceOptions {
-  /// Worker threads serving the admission queue.
+  /// Worker threads serving the admission queue (the service's own
+  /// common::ThreadPool — distinct from the shared planner pool, so request
+  /// workers and planner fan-out never starve each other).
   int num_workers = 4;
+  /// Cold-path planning parallelism inside each shard engine (see
+  /// EngineOptions::planner_threads): 0 = BLINK_PLANNER_THREADS / hardware
+  /// default, 1 = serial. Never changes plans or fingerprints.
+  int planner_threads = 0;
   /// Admission queue capacity; submissions beyond it are rejected with
   /// kRejectedQueueFull.
   std::size_t queue_capacity = 256;

@@ -22,7 +22,7 @@ NcclCommunicator::NcclCommunicator(topo::Topology topo, NcclOptions options)
               ? apply_persistent_kernel_model(options.fabric)
               : options.fabric,
           EngineOptions{options.memoize, options.plan_cache_capacity,
-                        options.plan_store_dir}) {
+                        options.plan_store_dir, options.planner_threads}) {
   auto backend = std::make_unique<NcclRingBackend>(topology(), fabric(),
                                                    std::move(options));
   backend_ = backend.get();

@@ -8,6 +8,7 @@
 #include "blink/blink/dgx2.h"
 #include "blink/blink/hybrid.h"
 #include "blink/blink/plan_io.h"
+#include "blink/common/thread_pool.h"
 #include "blink/sim/executor.h"
 
 namespace blink {
@@ -18,9 +19,20 @@ BlinkBackend::BlinkBackend(const topo::Topology& topo,
                            const sim::Fabric& fabric,
                            CommunicatorOptions options)
     : topo_(topo), fabric_(fabric), options_(std::move(options)) {
-  nvlink_sets_.resize(static_cast<std::size_t>(topo_.num_gpus));
-  bidir_sets_.resize(static_cast<std::size_t>(topo_.num_gpus));
-  pcie_sets_.resize(static_cast<std::size_t>(topo_.num_gpus));
+  planner_threads_ =
+      options_.planner_threads >= 1
+          ? static_cast<std::size_t>(options_.planner_threads)
+          : common::ThreadPool::default_threads();
+  // TreeGen fans out its internal searches (optimal-rate max-flows, prune
+  // candidates) at the same width; not fingerprinted, never changes trees.
+  options_.treegen.max_workers = static_cast<int>(planner_threads_);
+  const auto n = static_cast<std::size_t>(topo_.num_gpus);
+  nvlink_sets_.resize(n);
+  bidir_sets_.resize(n);
+  pcie_sets_.resize(n);
+  nvlink_once_ = std::make_unique<std::once_flag[]>(n);
+  bidir_once_ = std::make_unique<std::once_flag[]>(n);
+  pcie_once_ = std::make_unique<std::once_flag[]>(n);
 }
 
 bool BlinkBackend::supports(CollectiveKind kind) const {
@@ -30,8 +42,9 @@ bool BlinkBackend::supports(CollectiveKind kind) const {
 
 const BlinkBackend::TreeSetPtr& BlinkBackend::shared_tree_set(int root) {
   assert(root >= 0 && root < topo_.num_gpus);
-  auto& slot = nvlink_sets_[static_cast<std::size_t>(root)];
-  if (slot == nullptr) {
+  const auto slot_index = static_cast<std::size_t>(root);
+  auto& slot = nvlink_sets_[slot_index];
+  std::call_once(nvlink_once_[slot_index], [&] {
     TreeGenOptions opts = options_.treegen;
     opts.link = topo::LinkType::kNVLink;
     TreeSet set = generate_trees(topo_, root, opts);
@@ -42,14 +55,15 @@ const BlinkBackend::TreeSetPtr& BlinkBackend::shared_tree_set(int root) {
     } else {
       slot = std::make_shared<const TreeSet>(std::move(set));
     }
-  }
+  });
   return slot;
 }
 
 const BlinkBackend::TreeSetPtr& BlinkBackend::shared_bidir_tree_set(int root) {
   assert(root >= 0 && root < topo_.num_gpus);
-  auto& slot = bidir_sets_[static_cast<std::size_t>(root)];
-  if (slot == nullptr) {
+  const auto slot_index = static_cast<std::size_t>(root);
+  auto& slot = bidir_sets_[slot_index];
+  std::call_once(bidir_once_[slot_index], [&] {
     TreeGenOptions opts = options_.treegen;
     opts.link = topo::LinkType::kNVLink;
     opts.bidirectional = true;
@@ -59,34 +73,42 @@ const BlinkBackend::TreeSetPtr& BlinkBackend::shared_bidir_tree_set(int root) {
     } else {
       slot = std::make_shared<const TreeSet>(std::move(set));
     }
-  }
+  });
   return slot;
 }
 
 const BlinkBackend::TreeSetPtr& BlinkBackend::shared_pcie_tree_set(int root) {
   assert(root >= 0 && root < topo_.num_gpus);
-  auto& slot = pcie_sets_[static_cast<std::size_t>(root)];
-  if (slot == nullptr) {
+  const auto slot_index = static_cast<std::size_t>(root);
+  auto& slot = pcie_sets_[slot_index];
+  std::call_once(pcie_once_[slot_index], [&] {
     TreeGenOptions opts = options_.treegen;
     opts.link = topo::LinkType::kPCIe;
     slot = std::make_shared<const TreeSet>(generate_trees(topo_, root, opts));
-  }
+  });
   return slot;
 }
 
 int BlinkBackend::best_root() {
-  if (!best_root_.has_value()) {
+  std::call_once(best_root_once_, [&] {
+    // The first AllReduce on a non-NVSwitch box pays for TreeGen at every
+    // root; generating the per-root sets across the planner pool turns the
+    // worst cold-start into the cost of the slowest single root.
+    const auto n = static_cast<std::size_t>(topo_.num_gpus);
+    std::vector<double> rates(n, -1.0);
+    common::parallel_for(n, planner_threads_, [&](std::size_t r) {
+      rates[r] = shared_tree_set(static_cast<int>(r))->rate;
+    });
     int best = 0;
     double best_rate = -1.0;
-    for (int r = 0; r < topo_.num_gpus; ++r) {
-      const double rate = shared_tree_set(r)->rate;
-      if (rate > best_rate) {
-        best_rate = rate;
-        best = r;
+    for (std::size_t r = 0; r < n; ++r) {
+      if (rates[r] > best_rate) {
+        best_rate = rates[r];
+        best = static_cast<int>(r);
       }
     }
     best_root_ = best;
-  }
+  });
   return *best_root_;
 }
 
@@ -109,16 +131,21 @@ double BlinkBackend::measured_rate(const TreeSet& set, double probe_bytes) {
   const auto key =
       std::make_tuple(static_cast<int>(set.link), set.bidirectional, set.root,
                       static_cast<std::uint64_t>(probe_bytes));
-  const auto it = measured_rates_.find(key);
-  if (it != measured_rates_.end()) return it->second;
+  {
+    const std::lock_guard<std::mutex> lock(rates_mu_);
+    const auto it = measured_rates_.find(key);
+    if (it != measured_rates_.end()) return it->second;
+  }
+  // Probe outside the lock: concurrent duplicates simulate the same program
+  // and land on the same deterministic value; the first insert wins.
   ProgramBuilder builder(fabric_, options_.codegen.chunk_bytes != 0
                                       ? options_.codegen
                                       : CodeGenOptions{});
   builder.broadcast(route_trees(fabric_, 0, set), probe_bytes);
   const auto run = sim::execute(fabric_, builder.take());
   const double rate = run.throughput(probe_bytes);
-  measured_rates_[key] = rate;
-  return rate;
+  const std::lock_guard<std::mutex> lock(rates_mu_);
+  return measured_rates_.emplace(key, rate).first->second;
 }
 
 sim::Program BlinkBackend::build_program(CollectiveKind kind, double bytes,
@@ -308,7 +335,8 @@ Communicator::Communicator(topo::Topology topo, CommunicatorOptions options)
     : CollectiveEngine(std::move(topo), options.fabric,
                        EngineOptions{options.memoize,
                                      options.plan_cache_capacity,
-                                     options.plan_store_dir}),
+                                     options.plan_store_dir,
+                                     options.planner_threads}),
       options_(std::move(options)) {
   auto backend =
       std::make_unique<BlinkBackend>(topology(), fabric(), options_);
@@ -316,29 +344,25 @@ Communicator::Communicator(topo::Topology topo, CommunicatorOptions options)
   register_backend(std::move(backend));
 }
 
+// The backend synchronizes its own lazy state (per-slot once flags, probe
+// cache lock), so these accessors need no engine lock and never serialize
+// against an in-flight compile.
 const TreeSet& Communicator::tree_set(int root) {
-  const std::lock_guard<std::mutex> lock(compile_mutex());
   return *blink_->shared_tree_set(root);
 }
 
 const TreeSet& Communicator::bidir_tree_set(int root) {
-  const std::lock_guard<std::mutex> lock(compile_mutex());
   return *blink_->shared_bidir_tree_set(root);
 }
 
 const TreeSet& Communicator::pcie_tree_set(int root) {
-  const std::lock_guard<std::mutex> lock(compile_mutex());
   return *blink_->shared_pcie_tree_set(root);
 }
 
-int Communicator::best_root() {
-  const std::lock_guard<std::mutex> lock(compile_mutex());
-  return blink_->best_root();
-}
+int Communicator::best_root() { return blink_->best_root(); }
 
 MiadResult Communicator::tune_chunk_size(CollectiveKind kind, double bytes,
                                          int root, const MiadOptions& miad) {
-  const std::lock_guard<std::mutex> lock(compile_mutex());
   if (root < 0) root = blink_->default_root(kind);
   MiadResult result = blink::tune_chunk_size(
       [&](std::uint64_t chunk) {

@@ -1,5 +1,6 @@
 #include "blink/blink/engine.h"
 
+#include <atomic>
 #include <cstring>
 #include <filesystem>
 #include <stdexcept>
@@ -8,6 +9,7 @@
 
 #include "blink/blink/plan_io.h"
 #include "blink/common/logging.h"
+#include "blink/common/thread_pool.h"
 #include "blink/sim/executor.h"
 
 namespace blink {
@@ -37,6 +39,9 @@ CollectiveEngine::CollectiveEngine(std::vector<topo::Topology> servers,
       fabric_(servers_, fabric_params),  // validates every server's topology
       plans_(options.plan_cache_capacity) {
   for (const auto& s : servers_) num_gpus_ += s.num_gpus;
+  planner_threads_ = options.planner_threads >= 1
+                         ? static_cast<std::size_t>(options.planner_threads)
+                         : common::ThreadPool::default_threads();
 }
 
 CollectiveEngine::~CollectiveEngine() {
@@ -112,105 +117,185 @@ std::shared_ptr<const CollectivePlan> CollectiveEngine::compile(
   if (root < -1 || root >= num_gpus_) {
     throw std::invalid_argument("root out of range");
   }
-  const std::lock_guard<std::mutex> lock(compile_mu_);
-  maybe_warm_load_locked();
-  return compile_locked(kind, bytes, root, backend);
-}
-
-std::shared_ptr<const CollectivePlan> CollectiveEngine::compile_locked(
-    CollectiveKind kind, double bytes, int root, int backend) {
-  if (backends_.empty()) {
-    throw std::logic_error("engine has no registered backend");
+  {
+    const std::lock_guard<std::mutex> lock(compile_mu_);
+    maybe_warm_load_locked();
+    if (backends_.empty()) {
+      throw std::logic_error("engine has no registered backend");
+    }
   }
   if (backend == kAutoBackend) {
     // Resolve root == -1 once, before the bake-off: candidates resolving it
     // each to their own default would be timed at different roots, and the
     // winner cached under a key no concrete-root request ever maps to.
-    if (root == -1) root = default_root_locked(kind);
-    backend = select_backend_locked(kind, bytes, root);
+    if (root == -1) root = default_root(kind);
+    backend = select_backend(kind, bytes, root);
   }
-  if (backend < 0 || backend >= static_cast<int>(backends_.size())) {
-    throw std::invalid_argument("backend id out of range");
+  return compile_concrete(kind, bytes, root, backend);
+}
+
+std::shared_ptr<const CollectivePlan> CollectiveEngine::compile_concrete(
+    CollectiveKind kind, double bytes, int root, int backend) {
+  CollectiveBackend* be = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(compile_mu_);
+    if (backend < 0 || backend >= static_cast<int>(backends_.size())) {
+      throw std::invalid_argument("backend id out of range");
+    }
+    // The unique_ptr target is stable even if register_backend reallocates
+    // the vector while this compile is in flight.
+    be = backends_[static_cast<std::size_t>(backend)].get();
   }
-  CollectiveBackend& be = *backends_[static_cast<std::size_t>(backend)];
-  if (!be.supports(kind)) {
-    throw std::invalid_argument(std::string(be.name()) +
+  if (!be->supports(kind)) {
+    throw std::invalid_argument(std::string(be->name()) +
                                 " backend does not support " +
                                 to_string(kind));
   }
   // A backend covering a subset of the fabric (a single server of a cluster
   // engine) cannot address roots beyond its own ranks.
-  if (be.num_ranks() >= 0 && root >= be.num_ranks()) {
+  if (be->num_ranks() >= 0 && root >= be->num_ranks()) {
     throw std::invalid_argument(std::string("root out of range for the ") +
-                                be.name() + " backend");
+                                be->name() + " backend");
   }
-  if (root == -1) root = be.default_root(kind);
+  if (root == -1) root = be->default_root(kind);
   const PlanKey key = PlanKey::make(kind, bytes, root, backend);
-  if (auto plan = plans_.find(key)) return plan;
-  return adopt_plan(kind, bytes, root, backend, be.lower(kind, bytes, root));
-}
-
-int CollectiveEngine::default_root_locked(CollectiveKind kind) {
-  for (const auto& be : backends_) {
-    if (be->supports(kind)) return be->default_root(kind);
+  bool leader = false;
+  auto plan = compile_flight_.run(
+      key,
+      [&]() -> std::shared_ptr<const CollectivePlan> {
+        if (auto cached = plans_.find(key)) return cached;
+        return adopt_plan(kind, bytes, root, backend,
+                          be->lower(kind, bytes, root));
+      },
+      &leader);
+  if (!leader) {
+    // A coalesced request is logically a cache hit on the leader's plan:
+    // count it and bump recency exactly as the serial path would have —
+    // N racers on one cold key score 1 miss + N-1 hits. Fall back to the
+    // flight's plan if the cache already evicted it.
+    if (auto cached = plans_.find(key)) return cached;
   }
-  throw std::invalid_argument(std::string("no registered backend supports ") +
-                              to_string(kind));
+  return plan;
 }
 
-int CollectiveEngine::select_backend_locked(CollectiveKind kind, double bytes,
-                                            int root) {
-  const PlanKey key = PlanKey::make(kind, bytes, root, 0);
-  const auto it = auto_choices_.find(key);
-  if (it != auto_choices_.end()) return it->second;
-  int best = -1;
-  double best_seconds = 0.0;
-  for (int id = 0; id < static_cast<int>(backends_.size()); ++id) {
-    const CollectiveBackend& be = *backends_[static_cast<std::size_t>(id)];
-    if (!be.supports(kind)) continue;
-    if (be.num_ranks() >= 0 && root >= be.num_ranks()) continue;
-    // The candidate plan lands in the shared cache either way, so the
-    // winner's later compile is a hit and the losers stay reusable.
-    const auto plan = compile_locked(kind, bytes, root, id);
-    const double seconds = execute(*plan).seconds;
-    if (best == -1 || seconds < best_seconds) {
-      best = id;
-      best_seconds = seconds;
+int CollectiveEngine::default_root(CollectiveKind kind) {
+  CollectiveBackend* be = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(compile_mu_);
+    for (const auto& b : backends_) {
+      if (b->supports(kind)) {
+        be = b.get();
+        break;
+      }
     }
   }
-  if (best == -1) {
-    throw std::invalid_argument(std::string("no registered backend supports ") +
-                                to_string(kind));
+  if (be == nullptr) {
+    throw std::invalid_argument(
+        std::string("no registered backend supports ") + to_string(kind));
   }
-  // Keep the choice map bounded like the plan cache beside it; past the cap
-  // the stalest thing to do is re-measure, so start over.
-  if (auto_choices_.size() >= engine_options_.plan_cache_capacity) {
-    auto_choices_.clear();
+  return be->default_root(kind);
+}
+
+int CollectiveEngine::select_backend(CollectiveKind kind, double bytes,
+                                     int root) {
+  const PlanKey key = PlanKey::make(kind, bytes, root, 0);
+  {
+    const std::lock_guard<std::mutex> lock(compile_mu_);
+    const auto it = auto_choices_.find(key);
+    if (it != auto_choices_.end()) return it->second;
   }
-  auto_choices_.emplace(key, best);
-  return best;
+  // One bake-off per shape however many requests race it.
+  return auto_flight_.run(key, [&]() -> int {
+    {
+      // A flight that finished between the peek above and joining this one
+      // already recorded the choice.
+      const std::lock_guard<std::mutex> lock(compile_mu_);
+      const auto it = auto_choices_.find(key);
+      if (it != auto_choices_.end()) return it->second;
+    }
+    std::vector<int> candidates;
+    {
+      const std::lock_guard<std::mutex> lock(compile_mu_);
+      for (int id = 0; id < static_cast<int>(backends_.size()); ++id) {
+        const CollectiveBackend& be =
+            *backends_[static_cast<std::size_t>(id)];
+        if (!be.supports(kind)) continue;
+        if (be.num_ranks() >= 0 && root >= be.num_ranks()) continue;
+        candidates.push_back(id);
+      }
+    }
+    if (candidates.empty()) {
+      throw std::invalid_argument(
+          std::string("no registered backend supports ") + to_string(kind));
+    }
+    // Measure every candidate concurrently. The candidate plans land in the
+    // shared cache either way, so the winner's later compile is a hit and
+    // the losers stay reusable. The winner is the first minimum in
+    // candidate (registration) order — the same tie-break as the serial
+    // loop, so parallelism never changes the choice.
+    std::vector<double> seconds(candidates.size(), 0.0);
+    std::vector<std::exception_ptr> errors(candidates.size());
+    common::parallel_for(
+        candidates.size(), planner_threads_, [&](std::size_t i) {
+          try {
+            const auto plan =
+                compile_concrete(kind, bytes, root, candidates[i]);
+            seconds[i] = execute(*plan).seconds;
+          } catch (...) {
+            errors[i] = std::current_exception();
+          }
+        });
+    for (const auto& error : errors) {
+      if (error) std::rethrow_exception(error);
+    }
+    int best = candidates.front();
+    double best_seconds = seconds.front();
+    for (std::size_t i = 1; i < candidates.size(); ++i) {
+      if (seconds[i] < best_seconds) {
+        best = candidates[i];
+        best_seconds = seconds[i];
+      }
+    }
+    {
+      const std::lock_guard<std::mutex> lock(compile_mu_);
+      // Keep the choice map bounded like the plan cache beside it; past the
+      // cap the stalest thing to do is re-measure, so start over.
+      if (auto_choices_.size() >= engine_options_.plan_cache_capacity) {
+        auto_choices_.clear();
+      }
+      auto_choices_.emplace(key, best);
+    }
+    return best;
+  });
 }
 
 bool CollectiveEngine::has_cached_plan(CollectiveKind kind, double bytes,
                                        int root, int backend) {
   if (!(bytes > 0.0) || root < -1 || root >= num_gpus_) return false;
-  const std::lock_guard<std::mutex> lock(compile_mu_);
-  maybe_warm_load_locked();  // warm-loaded store plans count as cached
-  if (backends_.empty()) return false;
+  {
+    const std::lock_guard<std::mutex> lock(compile_mu_);
+    maybe_warm_load_locked();  // warm-loaded store plans count as cached
+    if (backends_.empty()) return false;
+  }
   try {
     if (backend == kAutoBackend) {
-      if (root == -1) root = default_root_locked(kind);
+      if (root == -1) root = default_root(kind);
+      const std::lock_guard<std::mutex> lock(compile_mu_);
       const auto it = auto_choices_.find(PlanKey::make(kind, bytes, root, 0));
       if (it == auto_choices_.end()) return false;  // bake-off still pending
       backend = it->second;
     }
-    if (backend < 0 || backend >= static_cast<int>(backends_.size())) {
-      return false;
+    CollectiveBackend* be = nullptr;
+    {
+      const std::lock_guard<std::mutex> lock(compile_mu_);
+      if (backend < 0 || backend >= static_cast<int>(backends_.size())) {
+        return false;
+      }
+      be = backends_[static_cast<std::size_t>(backend)].get();
     }
-    CollectiveBackend& be = *backends_[static_cast<std::size_t>(backend)];
-    if (!be.supports(kind)) return false;
-    if (be.num_ranks() >= 0 && root >= be.num_ranks()) return false;
-    if (root == -1) root = be.default_root(kind);
+    if (!be->supports(kind)) return false;
+    if (be->num_ranks() >= 0 && root >= be->num_ranks()) return false;
+    if (root == -1) root = be->default_root(kind);
     return plans_.contains(PlanKey::make(kind, bytes, root, backend));
   } catch (const std::exception&) {
     return false;  // compile() would throw; either way, not a cached plan
@@ -255,11 +340,8 @@ CollectiveResult CollectiveEngine::execute(const CollectivePlan& plan) {
 
 std::vector<CollectiveResult> CollectiveEngine::run(
     std::span<const CollectiveRequest> reqs) {
-  std::vector<std::shared_ptr<const CollectivePlan>> plans;
-  plans.reserve(reqs.size());
-  for (const CollectiveRequest& req : reqs) {
-    plans.push_back(compile(req.kind, req.bytes, req.root, req.backend));
-  }
+  std::vector<std::shared_ptr<const CollectivePlan>> plans =
+      compile_batch(reqs);
   std::vector<const sim::Program*> programs;
   programs.reserve(plans.size());
   for (const auto& plan : plans) programs.push_back(&plan->program());
@@ -273,6 +355,46 @@ std::vector<CollectiveResult> CollectiveEngine::run(
     results.push_back(r);
   }
   return results;
+}
+
+std::vector<std::shared_ptr<const CollectivePlan>>
+CollectiveEngine::compile_batch(std::span<const CollectiveRequest> reqs) {
+  std::vector<std::shared_ptr<const CollectivePlan>> plans(reqs.size());
+  // Compile positionally; requests sharing a key coalesce on the
+  // single-flight path, so duplicates cost one lowering, not a race.
+  common::parallel_for(reqs.size(), planner_threads_, [&](std::size_t i) {
+    const CollectiveRequest& req = reqs[i];
+    plans[i] = compile(req.kind, req.bytes, req.root, req.backend);
+  });
+  return plans;
+}
+
+std::size_t CollectiveEngine::precompile(double bytes, int root, int backend) {
+  if (!(bytes > 0.0)) {
+    throw std::invalid_argument("collective size must be positive");
+  }
+  if (root < -1 || root >= num_gpus_) {
+    throw std::invalid_argument("root out of range");
+  }
+  static constexpr CollectiveKind kKinds[] = {
+      CollectiveKind::kBroadcast,    CollectiveKind::kGather,
+      CollectiveKind::kReduce,       CollectiveKind::kAllReduce,
+      CollectiveKind::kAllGather,    CollectiveKind::kReduceScatter};
+  std::atomic<std::size_t> cold{0};
+  common::parallel_for(std::size(kKinds), planner_threads_,
+                       [&](std::size_t i) {
+                         const CollectiveKind kind = kKinds[i];
+                         try {
+                           const bool warm =
+                               has_cached_plan(kind, bytes, root, backend);
+                           compile(kind, bytes, root, backend);
+                           if (!warm) cold.fetch_add(1);
+                         } catch (const std::invalid_argument&) {
+                           // A kind this backend cannot lower at this shape
+                           // is skipped: precompile warms what it can.
+                         }
+                       });
+  return cold.load();
 }
 
 std::uint64_t CollectiveEngine::fingerprint_locked() const {

@@ -1,11 +1,13 @@
 #include "blink/blink/multiserver.h"
 
 #include <algorithm>
+#include <exception>
 #include <limits>
 #include <stdexcept>
 #include <string>
 
 #include "blink/blink/plan_io.h"
+#include "blink/common/thread_pool.h"
 #include "blink/sim/executor.h"
 
 namespace blink {
@@ -70,6 +72,13 @@ ClusterBackend::ClusterBackend(const std::vector<topo::Topology>& servers,
       all_to_all_max_servers_(options.all_to_all_max_servers),
       partition_sizing_(options.partition_sizing),
       min_partition_share_(options.min_partition_share) {
+  planner_threads_ =
+      options.engine.planner_threads >= 1
+          ? static_cast<std::size_t>(options.engine.planner_threads)
+          : common::ThreadPool::default_threads();
+  // TreeGen fans out its internal searches at the same width; not
+  // fingerprinted, never changes trees.
+  treegen_.max_workers = static_cast<int>(planner_threads_);
   int min_gpus = servers_.front().num_gpus;
   for (const auto& s : servers_) min_gpus = std::min(min_gpus, s.num_gpus);
   // One partition per server-local root; every server must host a root for
@@ -99,8 +108,14 @@ std::uint64_t ClusterBackend::planning_fingerprint() const {
 const ClusterBackend::TreeSetPtr& ClusterBackend::tree_set(int server,
                                                            int root) {
   const auto key = std::make_pair(server, root);
-  auto it = sets_.find(key);
-  if (it == sets_.end()) {
+  {
+    const std::lock_guard<std::mutex> lock(sets_mu_);
+    const auto it = sets_.find(key);
+    if (it != sets_.end()) return it->second;
+  }
+  // Single-flight the build: racers on one (server, root) share the one
+  // TreeGen run; distinct pairs generate concurrently.
+  sets_flight_.run(key, [&]() -> TreeSetPtr {
     TreeGenOptions opts = treegen_;
     opts.link = topo::LinkType::kNVLink;
     TreeSet set =
@@ -110,17 +125,38 @@ const ClusterBackend::TreeSetPtr& ClusterBackend::tree_set(int server,
       set = generate_trees(servers_[static_cast<std::size_t>(server)], root,
                            opts);
     }
-    it = sets_.emplace(key, std::make_shared<const TreeSet>(std::move(set)))
-             .first;
-  }
-  return it->second;
+    auto ptr = std::make_shared<const TreeSet>(std::move(set));
+    const std::lock_guard<std::mutex> lock(sets_mu_);
+    return sets_.emplace(key, std::move(ptr)).first->second;
+  });
+  // Map nodes are stable and never erased, so the reference outlives the
+  // lock.
+  const std::lock_guard<std::mutex> lock(sets_mu_);
+  return sets_.at(key);
 }
 
 const std::vector<double>& ClusterBackend::partition_shares() {
-  if (!shares_.empty()) return shares_;
+  std::call_once(shares_once_, [&] { compute_shares(); });
+  return shares_;
+}
+
+void ClusterBackend::compute_shares() {
   const int k = num_partitions_;
   shares_.assign(static_cast<std::size_t>(k), 1.0 / k);
-  if (partition_sizing_ == PartitionSizing::kEqual || k == 1) return shares_;
+  if (partition_sizing_ == PartitionSizing::kEqual || k == 1) return;
+
+  // Warm every (server, partition-root) tree set across the planner pool
+  // before the serial probe scan below reads the rates; tree_set() is
+  // single-flighted, so this only parallelizes the cold builds.
+  const int n_srv = static_cast<int>(servers_.size());
+  common::parallel_for(
+      static_cast<std::size_t>(n_srv) * static_cast<std::size_t>(k),
+      planner_threads_, [&](std::size_t i) {
+        const int s = static_cast<int>(i) / k;
+        const int p = static_cast<int>(i) % k;
+        const topo::Topology& server = at(servers_, s);
+        if (server.num_gpus > 1) tree_set(s, p % server.num_gpus);
+      });
 
   // Measure each server's intra-server bandwidth: the packed-tree rate at
   // its partition roots (TreeSet::rate, the link-rate probe TreeGen runs
@@ -147,7 +183,7 @@ const std::vector<double>& ClusterBackend::partition_shares() {
   }
   // A balanced cluster (or one with no usable probes) keeps the equal
   // split, bit-for-bit: the old behaviour is the fixed point.
-  if (!any_probe || !(r_max > r_min)) return shares_;
+  if (!any_probe || !(r_max > r_min)) return;
 
   // Unequal servers: per-server local work is irreducible (every server
   // reduces and broadcasts the whole buffer), so the win comes from
@@ -174,7 +210,6 @@ const std::vector<double>& ClusterBackend::partition_shares() {
   for (int p = 0; p < k; ++p) {
     at(shares_, p) = floor + (1.0 - k * floor) * at(weight, p) / total;
   }
-  return shares_;
 }
 
 std::vector<Phase2Strategy> ClusterBackend::candidate_strategies(
@@ -894,20 +929,31 @@ LoweredCollective ClusterBackend::lower(CollectiveKind kind, double bytes,
   // The auto bake-off: compile every candidate exchange and keep the one
   // with the shortest simulated makespan — the engine's backend auto-tuner
   // applied to exchange schedules. The plan cache amortizes this to one
-  // bake-off per (kind, bytes, root) shape.
-  LoweredCollective best;
-  double best_seconds = 0.0;
-  bool have_best = false;
-  for (const Phase2Strategy strategy : candidates) {
-    LoweredCollective candidate = lower_with(strategy, kind, bytes, root);
-    const double seconds = sim::execute(fabric_, candidate.program).makespan;
-    if (!have_best || seconds < best_seconds) {
-      best = std::move(candidate);
-      best_seconds = seconds;
-      have_best = true;
+  // bake-off per (kind, bytes, root) shape. Candidates lower and measure
+  // concurrently across the planner pool; the winner is the first minimum
+  // in candidate order, the same tie-break the serial loop applied, so the
+  // chosen plan is independent of planner_threads.
+  partition_shares();  // warm the once-guarded shares before fanning out
+  const std::size_t n = candidates.size();
+  std::vector<LoweredCollective> lowered(n);
+  std::vector<double> seconds(n, 0.0);
+  std::vector<std::exception_ptr> errors(n);
+  common::parallel_for(n, planner_threads_, [&](std::size_t i) {
+    try {
+      lowered[i] = lower_with(candidates[i], kind, bytes, root);
+      seconds[i] = sim::execute(fabric_, lowered[i].program).makespan;
+    } catch (...) {
+      errors[i] = std::current_exception();
     }
+  });
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
   }
-  return best;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (seconds[i] < seconds[best]) best = i;
+  }
+  return std::move(lowered[best]);
 }
 
 // --- ClusterCommunicator ----------------------------------------------------
@@ -924,9 +970,8 @@ ClusterCommunicator::ClusterCommunicator(std::vector<topo::Topology> servers,
 }
 
 std::vector<double> ClusterCommunicator::partition_shares() {
-  // Shares are measured lazily from the packed-tree probes, which mutate
-  // the backend's tree-set cache: compile-path state.
-  const std::lock_guard<std::mutex> lock(compile_mutex());
+  // The backend self-synchronizes (once-guarded shares over single-flighted
+  // tree-set builds); no engine lock needed.
   return cluster_->partition_shares();
 }
 

@@ -90,19 +90,30 @@ std::string resolve_plan_store_dir(const blinkBackendConfig_t* config) {
   return env == nullptr ? "" : env;
 }
 
+// The planner-thread count for a new communicator: the config field wins
+// when positive; 0 (or no config) defers to BLINK_PLANNER_THREADS / the
+// hardware default inside the engine.
+int resolve_planner_threads(const blinkBackendConfig_t* config) {
+  return config != nullptr && config->planner_threads > 0
+             ? config->planner_threads
+             : 0;
+}
+
 std::unique_ptr<blink::CollectiveEngine> make_engine(
     blinkBackend_t backend, blink::topo::Topology topo,
-    const std::string& plan_store_dir) {
+    const std::string& plan_store_dir, int planner_threads) {
   using blink::baselines::NcclOptions;
   switch (backend) {
     case blinkBackendBlink: {
       blink::CommunicatorOptions options;
       options.plan_store_dir = plan_store_dir;
+      options.planner_threads = planner_threads;
       return std::make_unique<blink::Communicator>(std::move(topo), options);
     }
     case blinkBackendNccl: {
       NcclOptions options;
       options.plan_store_dir = plan_store_dir;
+      options.planner_threads = planner_threads;
       return std::make_unique<blink::baselines::NcclCommunicator>(
           std::move(topo), options);
     }
@@ -118,7 +129,7 @@ std::unique_ptr<blink::CollectiveEngine> make_engine(
           std::move(topo),
           blink::baselines::apply_persistent_kernel_model(options.fabric),
           blink::EngineOptions{options.memoize, options.plan_cache_capacity,
-                               plan_store_dir});
+                               plan_store_dir, planner_threads});
       engine->register_backend(blink::baselines::make_baseline_backend(
           name, engine->topology(), engine->fabric(), options));
       return engine;
@@ -130,6 +141,7 @@ std::unique_ptr<blink::CollectiveEngine> make_engine(
       // backend registered here is part of the store fingerprint.
       blink::CommunicatorOptions options;
       options.plan_store_dir = plan_store_dir;
+      options.planner_threads = planner_threads;
       auto engine =
           std::make_unique<blink::Communicator>(std::move(topo), options);
       for (const char* name : {"nccl", "ring", "double_binary", "butterfly"}) {
@@ -237,7 +249,8 @@ blinkResult_t blinkCommInitAllWithConfig(blinkComm_t* comm,
     auto topo = blink::topo::induced_topology(full, ids);
     auto c = std::make_unique<blinkComm>();
     c->impl = make_engine(backend, std::move(topo),
-                          resolve_plan_store_dir(config));
+                          resolve_plan_store_dir(config),
+                          resolve_planner_threads(config));
     if (c->impl == nullptr) return blinkInvalidArgument;
     c->backend = backend;
     c->engine_backend = backend == blinkBackendAuto
@@ -339,6 +352,25 @@ blinkResult_t blinkCommImportPlans(blinkComm_t comm, const char* path) {
   }
   try {
     comm->impl->import_plans(path);
+    return blinkSuccess;
+  } catch (const std::invalid_argument&) {
+    return blinkInvalidArgument;
+  } catch (const std::exception&) {
+    return blinkInternalError;
+  }
+}
+
+blinkResult_t blinkCommPrecompile(blinkComm_t comm, size_t count,
+                                  blinkDataType_t dtype, int root,
+                                  int* compiled) {
+  if (comm == nullptr || comm->impl == nullptr) return blinkInvalidArgument;
+  const size_t elem = blinkTypeSize(dtype);
+  if (count == 0 || elem == 0) return blinkInvalidArgument;
+  try {
+    const std::size_t cold = comm->impl->precompile(
+        static_cast<double>(count) * static_cast<double>(elem), root,
+        comm->engine_backend);
+    if (compiled != nullptr) *compiled = static_cast<int>(cold);
     return blinkSuccess;
   } catch (const std::invalid_argument&) {
     return blinkInvalidArgument;

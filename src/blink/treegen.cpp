@@ -82,11 +82,13 @@ TreeSet generate_trees(const topo::Topology& topo, int root,
       if (!duplicate) packed.trees.push_back({*arb, 0.0});
     }
   }
-  set.optimal_rate = packing::optimal_rate(set.graph, root);
+  set.optimal_rate =
+      packing::optimal_rate(set.graph, root, options.max_workers);
 
   if (options.minimize) {
     packing::MinimizeOptions min_opts;
     min_opts.threshold = options.minimize_threshold;
+    min_opts.max_workers = options.max_workers;
     auto minimized =
         packing::minimize_trees(set.graph, root, packed.trees, min_opts);
     set.trees = std::move(minimized.trees);

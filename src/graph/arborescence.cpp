@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <deque>
 
 namespace blink::graph {
 
@@ -60,11 +61,44 @@ struct WorkEdge {
   int parent_index;  // index into the previous contraction level's edge list
 };
 
-// One level of Chu-Liu/Edmonds: returns indices into |es| forming a minimum
-// arborescence of the current (possibly contracted) graph.
-std::optional<std::vector<int>> solve(int n, int root,
-                                      const std::vector<WorkEdge>& es) {
-  std::vector<int> best(static_cast<std::size_t>(n), -1);
+}  // namespace
+
+// The solver's per-contraction-level scratch. One Level per recursion depth;
+// a deque keeps references stable while deeper levels are appended
+// mid-recursion. assign()/clear() below overwrite every slot they read, so
+// stale contents from a previous solve never leak into a result.
+struct ArborescenceWorkspace::Impl {
+  struct Level {
+    std::vector<int> best;               // per-vertex cheapest in-edge index
+    std::vector<int> comp;               // per-vertex contraction component
+    std::vector<int> mark;               // cycle-walk visit marks
+    std::vector<std::vector<int>> cycles;
+    std::vector<WorkEdge> contracted;    // edge list fed to the next level
+    std::vector<int> result;             // picked indices into this level's edges
+    std::vector<int> entered;            // per-cycle entry vertex
+  };
+
+  std::vector<WorkEdge> es;  // top-level edge list
+  std::deque<Level> levels;
+
+  Level& level(std::size_t depth) {
+    while (levels.size() <= depth) levels.emplace_back();
+    return levels[depth];
+  }
+
+  // One level of Chu-Liu/Edmonds: fills the level's result with indices
+  // into |es| forming a minimum arborescence of the current (possibly
+  // contracted) graph, returning a pointer to it, or nullptr when some
+  // vertex is unreachable.
+  const std::vector<int>* solve(std::size_t depth, int n, int root,
+                                const std::vector<WorkEdge>& es);
+};
+
+const std::vector<int>* ArborescenceWorkspace::Impl::solve(
+    std::size_t depth, int n, int root, const std::vector<WorkEdge>& es) {
+  auto& lv = level(depth);
+  auto& best = lv.best;
+  best.assign(static_cast<std::size_t>(n), -1);
   for (int i = 0; i < static_cast<int>(es.size()); ++i) {
     const auto& e = es[static_cast<std::size_t>(i)];
     if (e.v == root || e.u == e.v) continue;
@@ -75,14 +109,17 @@ std::optional<std::vector<int>> solve(int n, int root,
   }
   for (int v = 0; v < n; ++v) {
     if (v != root && best[static_cast<std::size_t>(v)] == -1) {
-      return std::nullopt;  // v unreachable
+      return nullptr;  // v unreachable
     }
   }
 
   // Detect cycles in the functional graph v -> best-in-edge source.
-  std::vector<int> comp(static_cast<std::size_t>(n), -1);
-  std::vector<int> mark(static_cast<std::size_t>(n), -1);
-  std::vector<std::vector<int>> cycles;
+  auto& comp = lv.comp;
+  auto& mark = lv.mark;
+  auto& cycles = lv.cycles;
+  comp.assign(static_cast<std::size_t>(n), -1);
+  mark.assign(static_cast<std::size_t>(n), -1);
+  cycles.clear();
   for (int v = 0; v < n; ++v) {
     if (v == root) continue;
     int u = v;
@@ -105,13 +142,14 @@ std::optional<std::vector<int>> solve(int n, int root,
     }
   }
 
+  auto& result = lv.result;
   if (cycles.empty()) {
-    std::vector<int> result;
+    result.clear();
     result.reserve(static_cast<std::size_t>(n - 1));
     for (int v = 0; v < n; ++v) {
       if (v != root) result.push_back(best[static_cast<std::size_t>(v)]);
     }
-    return result;
+    return &result;
   }
 
   // Contract every cycle into a supervertex.
@@ -121,7 +159,8 @@ std::optional<std::vector<int>> solve(int n, int root,
       comp[static_cast<std::size_t>(v)] = next_id++;
     }
   }
-  std::vector<WorkEdge> contracted;
+  auto& contracted = lv.contracted;
+  contracted.clear();
   contracted.reserve(es.size());
   for (int i = 0; i < static_cast<int>(es.size()); ++i) {
     const auto& e = es[static_cast<std::size_t>(i)];
@@ -136,14 +175,16 @@ std::optional<std::vector<int>> solve(int n, int root,
     contracted.push_back({cu, cv, w, i});
   }
 
-  auto sub = solve(next_id, comp[static_cast<std::size_t>(root)], contracted);
-  if (!sub.has_value()) return std::nullopt;
+  const auto* sub = solve(depth + 1, next_id,
+                          comp[static_cast<std::size_t>(root)], contracted);
+  if (sub == nullptr) return nullptr;
 
   // Expand: selected contracted edges map to their original edges; each
   // cycle keeps all of its chosen in-edges except at the vertex where the
   // selected entering edge lands.
-  std::vector<int> result;
-  std::vector<int> entered(cycles.size(), -1);  // vertex where cycle is entered
+  result.clear();
+  auto& entered = lv.entered;  // vertex where each cycle is entered
+  entered.assign(cycles.size(), -1);
   for (const int ci : *sub) {
     const int orig = contracted[static_cast<std::size_t>(ci)].parent_index;
     result.push_back(orig);
@@ -159,36 +200,53 @@ std::optional<std::vector<int>> solve(int n, int root,
       }
     }
   }
-  return result;
+  return &result;
 }
 
-}  // namespace
+ArborescenceWorkspace::ArborescenceWorkspace() : impl_(new Impl) {}
+ArborescenceWorkspace::~ArborescenceWorkspace() = default;
+ArborescenceWorkspace::ArborescenceWorkspace(ArborescenceWorkspace&&) noexcept =
+    default;
+ArborescenceWorkspace& ArborescenceWorkspace::operator=(
+    ArborescenceWorkspace&&) noexcept = default;
 
 std::optional<Arborescence> min_cost_arborescence(
-    const DiGraph& g, int root, std::span<const double> cost) {
+    const DiGraph& g, int root, std::span<const double> cost,
+    ArborescenceWorkspace* workspace) {
   assert(static_cast<int>(cost.size()) == g.num_edges());
   assert(root >= 0 && root < g.num_vertices());
   if (g.num_vertices() == 1) return Arborescence{root, {}};
 
-  std::vector<WorkEdge> es;
-  es.reserve(static_cast<std::size_t>(g.num_edges()));
+  std::optional<ArborescenceWorkspace> local;
+  if (workspace == nullptr || workspace->impl_ == nullptr) {
+    workspace = &local.emplace();
+  }
+  ArborescenceWorkspace::Impl& ws = *workspace->impl_;
+
+  ws.es.clear();
+  ws.es.reserve(static_cast<std::size_t>(g.num_edges()));
   for (int id = 0; id < g.num_edges(); ++id) {
     const auto& e = g.edge(id);
     assert(cost[static_cast<std::size_t>(id)] >= 0.0);
-    es.push_back({e.src, e.dst, cost[static_cast<std::size_t>(id)], id});
+    ws.es.push_back({e.src, e.dst, cost[static_cast<std::size_t>(id)], id});
   }
-  auto picked = solve(g.num_vertices(), root, es);
-  if (!picked.has_value()) return std::nullopt;
+  const auto* picked = ws.solve(0, g.num_vertices(), root, ws.es);
+  if (picked == nullptr) return std::nullopt;
 
   Arborescence arb;
   arb.root = root;
   arb.edge_ids.reserve(picked->size());
   for (const int i : *picked) {
-    arb.edge_ids.push_back(es[static_cast<std::size_t>(i)].parent_index);
+    arb.edge_ids.push_back(ws.es[static_cast<std::size_t>(i)].parent_index);
   }
   std::sort(arb.edge_ids.begin(), arb.edge_ids.end());
   assert(arb.spans(g));
   return arb;
+}
+
+std::optional<Arborescence> min_cost_arborescence(
+    const DiGraph& g, int root, std::span<const double> cost) {
+  return min_cost_arborescence(g, root, cost, nullptr);
 }
 
 }  // namespace blink::graph

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "blink/common/thread_pool.h"
 #include "blink/packing/packing.h"
 #include "blink/solver/ilp.h"
 
@@ -48,7 +49,7 @@ MinimizeResult minimize_trees(const graph::DiGraph& g, int root,
                               const std::vector<WeightedTree>& candidates,
                               const MinimizeOptions& options) {
   MinimizeResult result;
-  result.optimal = optimal_rate(g, root);
+  result.optimal = optimal_rate(g, root, options.max_workers);
   if (candidates.empty() || result.optimal <= 0.0) return result;
 
   // Restrict to the support of the fractional LP optimum first: a basic
@@ -136,7 +137,16 @@ MinimizeResult minimize_trees(const graph::DiGraph& g, int root,
   const double lp_objective = full_sol.objective;
 
   // Prune lightest trees while the remaining support still reaches the
-  // target rate (re-solving the LP on the reduced support each time).
+  // target rate (re-solving the LP on the reduced support each time). The
+  // serial search accepts the first (lightest-ordered) drop whose reduced
+  // LP still reaches the target; the parallel version evaluates drop
+  // candidates in blocks of the pool width and accepts the smallest
+  // successful index — the same drop the serial scan would have taken, so
+  // the prune sequence is identical at any worker count (each candidate's
+  // LP solve is deterministic in its input).
+  const std::size_t block =
+      options.max_workers > 1 ? static_cast<std::size_t>(options.max_workers)
+                              : 1;
   bool pruned = true;
   while (pruned && trees.size() > 1) {
     pruned = false;
@@ -144,17 +154,25 @@ MinimizeResult minimize_trees(const graph::DiGraph& g, int root,
               [](const WeightedTree& a, const WeightedTree& b) {
                 return a.weight < b.weight;
               });
-    for (std::size_t drop = 0; drop < trees.size(); ++drop) {
-      std::vector<WeightedTree> reduced;
-      for (std::size_t i = 0; i < trees.size(); ++i) {
-        if (i != drop) reduced.push_back(trees[i]);
-      }
-      const auto sub_lp = fractional_lp(g, reduced);
-      auto sub_sol = solver::solve_lp(sub_lp);
-      if (sub_sol.objective + 1e-9 >= std::min(target, lp_objective)) {
-        trees = trees_from_lp(reduced, sub_sol.x, 1e-9);
-        pruned = true;
-        break;
+    for (std::size_t base = 0; base < trees.size() && !pruned; base += block) {
+      const std::size_t count = std::min(block, trees.size() - base);
+      std::vector<solver::LpSolution> sols(count);
+      std::vector<std::vector<WeightedTree>> reductions(count);
+      common::parallel_for(count, block, [&](std::size_t k) {
+        const std::size_t drop = base + k;
+        auto& reduced = reductions[k];
+        reduced.reserve(trees.size() - 1);
+        for (std::size_t i = 0; i < trees.size(); ++i) {
+          if (i != drop) reduced.push_back(trees[i]);
+        }
+        sols[k] = solver::solve_lp(fractional_lp(g, reduced));
+      });
+      for (std::size_t k = 0; k < count; ++k) {
+        if (sols[k].objective + 1e-9 >= std::min(target, lp_objective)) {
+          trees = trees_from_lp(reductions[k], sols[k].x, 1e-9);
+          pruned = true;
+          break;
+        }
       }
     }
   }

@@ -54,12 +54,16 @@ MwuResult mwu_pack(const graph::DiGraph& g, int root,
   std::vector<WeightedTree> raw;
   int iterations = 0;
   std::vector<double> edge_length(static_cast<std::size_t>(g.num_edges()));
+  // One workspace across every iteration: the arborescence solver recycles
+  // its contraction-level scratch instead of reallocating it per solve (the
+  // loop runs up to max_iterations solves over the same graph).
+  graph::ArborescenceWorkspace workspace;
   while (iterations < options.max_iterations) {
     for (int e = 0; e < g.num_edges(); ++e) {
       edge_length[static_cast<std::size_t>(e)] =
           length[static_cast<std::size_t>(g.edge(e).group)];
     }
-    auto arb = min_cost_arborescence(g, root, edge_length);
+    auto arb = min_cost_arborescence(g, root, edge_length, &workspace);
     assert(arb.has_value());  // reachability checked above
     double tree_length = 0.0;
     double bottleneck = std::numeric_limits<double>::infinity();

@@ -2,13 +2,34 @@
 #include <cmath>
 #include <limits>
 
+#include "blink/common/thread_pool.h"
 #include "blink/graph/maxflow.h"
 #include "blink/packing/packing.h"
 
 namespace blink::packing {
 
-double optimal_rate(const graph::DiGraph& g, int root) {
-  return graph::broadcast_rate_upper_bound(g, root);
+double optimal_rate(const graph::DiGraph& g, int root, int max_workers) {
+  const int n = g.num_vertices();
+  if (n <= 1) return 0.0;
+  if (max_workers <= 1 || n <= 4) {
+    return graph::broadcast_rate_upper_bound(g, root);
+  }
+  // Edmonds: the packing optimum is min over v != root of maxflow(root->v).
+  // Each max-flow builds its own residual graph, so the destinations are
+  // independent; the min of exact doubles is order-free, making the parallel
+  // scan bit-identical to the serial one.
+  std::vector<double> flows(static_cast<std::size_t>(n),
+                            std::numeric_limits<double>::infinity());
+  common::parallel_for(static_cast<std::size_t>(n),
+                       static_cast<std::size_t>(max_workers),
+                       [&](std::size_t v) {
+                         const int dst = static_cast<int>(v);
+                         if (dst == root) return;
+                         flows[v] = graph::max_flow(g, root, dst);
+                       });
+  double rate = std::numeric_limits<double>::infinity();
+  for (const double f : flows) rate = std::min(rate, f);
+  return rate;
 }
 
 namespace {

@@ -1,12 +1,10 @@
 #include "blink/serve/service.h"
 
+#include <algorithm>
 #include <chrono>
-#include <condition_variable>
-#include <deque>
 #include <filesystem>
 #include <mutex>
 #include <stdexcept>
-#include <thread>
 #include <utility>
 
 #include "blink/baselines/backends.h"
@@ -14,6 +12,7 @@
 #include "blink/blink/communicator.h"
 #include "blink/blink/engine.h"
 #include "blink/common/logging.h"
+#include "blink/common/thread_pool.h"
 #include "blink/topology/builders.h"
 #include "blink/topology/discovery.h"
 
@@ -69,6 +68,7 @@ std::unique_ptr<CollectiveEngine> build_engine(const FabricSpec& spec,
     CommunicatorOptions comm_options;
     comm_options.plan_cache_capacity = options.plan_cache_capacity;
     comm_options.plan_store_dir = options.store_dir;
+    comm_options.planner_threads = options.planner_threads;
     auto engine =
         std::make_unique<Communicator>(std::move(topo), comm_options);
     if (spec.backend == "auto") {
@@ -84,6 +84,7 @@ std::unique_ptr<CollectiveEngine> build_engine(const FabricSpec& spec,
     NcclOptions nccl_options;
     nccl_options.plan_cache_capacity = options.plan_cache_capacity;
     nccl_options.plan_store_dir = options.store_dir;
+    nccl_options.planner_threads = options.planner_threads;
     return std::make_unique<baselines::NcclCommunicator>(std::move(topo),
                                                          nccl_options);
   }
@@ -94,7 +95,7 @@ std::unique_ptr<CollectiveEngine> build_engine(const FabricSpec& spec,
         std::move(topo),
         baselines::apply_persistent_kernel_model(nccl_options.fabric),
         EngineOptions{nccl_options.memoize, options.plan_cache_capacity,
-                      options.store_dir});
+                      options.store_dir, options.planner_threads});
     engine->register_backend(baselines::make_baseline_backend(
         spec.backend, engine->topology(), engine->fabric(), nccl_options));
     return engine;
@@ -124,6 +125,8 @@ const char* to_string(RequestType type) {
       return "warm_load";
     case RequestType::kInvalidate:
       return "invalidate";
+    case RequestType::kPrecompile:
+      return "precompile";
   }
   return "?";
 }
@@ -169,13 +172,19 @@ struct PlanService::Impl {
   ServiceOptions options;
   std::function<double()> clock;
 
-  // Admission + stats state. Never held across planning work: workers take
-  // it only to pop the queue and to bump counters after serving.
+  // The request workers: the repo's one thread-pool implementation, owned
+  // by the service so request serving and the shared planner pool's
+  // cold-path fan-out never starve each other. Admitted jobs are post()ed;
+  // pause_workers()/resume_workers() map to pool pause()/resume(), and the
+  // pool's drain-on-destruction is exactly the old shutdown contract
+  // (every admitted request still gets served).
+  std::unique_ptr<common::ThreadPool> pool;
+
+  // Admission + stats state. Never held across planning work: submit()
+  // takes it to admission-check and post, workers to bump counters after
+  // serving.
   mutable std::mutex mu;
-  std::condition_variable cv;
-  std::deque<Job> queue;
   bool stop = false;
-  bool paused = false;
   std::size_t queue_high_water = 0;
   std::map<std::string, TenantState> tenants;
   std::array<std::uint64_t, kLatencyBuckets> compile_latency_us{};
@@ -189,8 +198,6 @@ struct PlanService::Impl {
   // valid without it.
   mutable std::mutex shard_mu;
   std::map<std::string, Shard> shards;
-
-  std::vector<std::thread> workers;
 
   const TenantQuota& quota_for(const std::string& tenant) const {
     const auto it = options.tenant_quotas.find(tenant);
@@ -271,6 +278,12 @@ struct PlanService::Impl {
         case RequestType::kInvalidate:
           response.plans_touched = engine.invalidate_plans();
           break;
+        case RequestType::kPrecompile:
+          // One batched pass over every kind; warm_hit stays false so the
+          // completion counters book it as compile work.
+          response.plans_touched = engine.precompile(
+              request.bytes, request.root, shard.engine_backend);
+          break;
       }
       response.shard_fingerprint = engine.fabric_fingerprint();
     } catch (const std::invalid_argument& e) {
@@ -288,7 +301,8 @@ struct PlanService::Impl {
   void complete(Job& job, ServeResponse response) {
     const double latency = clock() - job.submit_time;
     const bool collective = job.request.type == RequestType::kCompile ||
-                            job.request.type == RequestType::kExecute;
+                            job.request.type == RequestType::kExecute ||
+                            job.request.type == RequestType::kPrecompile;
     bool gc_due = false;
     {
       const std::lock_guard<std::mutex> lock(mu);
@@ -308,9 +322,9 @@ struct PlanService::Impl {
         ++ts.counters.errors;
       }
       if (collective && latency >= 0.0) {
-        auto& hist = job.request.type == RequestType::kCompile
-                         ? compile_latency_us
-                         : execute_latency_us;
+        auto& hist = job.request.type == RequestType::kExecute
+                         ? execute_latency_us
+                         : compile_latency_us;  // compile + precompile
         ++hist[latency_bucket(latency)];
       }
       if (options.gc_interval_requests > 0 &&
@@ -343,24 +357,6 @@ struct PlanService::Impl {
     return report;
   }
 
-  void worker_loop() {
-    for (;;) {
-      Job job;
-      {
-        std::unique_lock<std::mutex> lock(mu);
-        cv.wait(lock,
-                [this] { return stop || (!queue.empty() && !paused); });
-        if (queue.empty()) {
-          if (stop) return;  // drained
-          continue;
-        }
-        if (paused && !stop) continue;
-        job = std::move(queue.front());
-        queue.pop_front();
-      }
-      complete(job, serve(job.request));
-    }
-  }
 };
 
 PlanService::PlanService(ServiceOptions options) : impl_(new Impl) {
@@ -371,20 +367,18 @@ PlanService::PlanService(ServiceOptions options) : impl_(new Impl) {
   if (impl_->options.gc_on_start && !impl_->options.store_dir.empty()) {
     impl_->run_gc();
   }
-  impl_->workers.reserve(static_cast<std::size_t>(impl_->options.num_workers));
-  for (int i = 0; i < impl_->options.num_workers; ++i) {
-    impl_->workers.emplace_back([impl = impl_.get()] { impl->worker_loop(); });
-  }
+  impl_->pool = std::make_unique<common::ThreadPool>(
+      static_cast<std::size_t>(impl_->options.num_workers));
 }
 
 PlanService::~PlanService() {
   {
     const std::lock_guard<std::mutex> lock(impl_->mu);
-    impl_->stop = true;
-    impl_->paused = false;  // a paused service still drains on shutdown
+    impl_->stop = true;  // submit() now rejects; nothing new gets posted
   }
-  impl_->cv.notify_all();
-  for (std::thread& worker : impl_->workers) worker.join();
+  // The pool destructor resumes a paused service and drains every admitted
+  // request before joining — the old shutdown contract, verbatim.
+  impl_->pool.reset();
   // Shard engines flush their plan caches to the store in their destructors.
 }
 
@@ -394,7 +388,8 @@ std::future<ServeResponse> PlanService::submit(ServeRequest request) {
   const double now = impl_->clock();
 
   const bool collective = request.type == RequestType::kCompile ||
-                          request.type == RequestType::kExecute;
+                          request.type == RequestType::kExecute ||
+                          request.type == RequestType::kPrecompile;
   std::string invalid_reason;
   if (request.tenant.empty()) {
     invalid_reason = "tenant must be named";
@@ -405,9 +400,12 @@ std::future<ServeResponse> PlanService::submit(ServeRequest request) {
   }
 
   // Warm requests bypass the compile quota: peek the shard's cache without
-  // creating the shard (a never-seen fabric is by definition cold).
+  // creating the shard (a never-seen fabric is by definition cold). A
+  // precompile never takes the bypass — warming a shape is cold work even
+  // when some kinds are already cached.
   bool warm = false;
-  if (collective && invalid_reason.empty()) {
+  if (collective && request.type != RequestType::kPrecompile &&
+      invalid_reason.empty()) {
     int engine_backend = 0;
     if (CollectiveEngine* engine =
             impl_->find_engine(request.fabric, &engine_backend)) {
@@ -441,7 +439,7 @@ std::future<ServeResponse> PlanService::submit(ServeRequest request) {
       return reject(ServeStatus::kRejectedInFlight,
                     "tenant in-flight limit reached");
     }
-    if (impl_->queue.size() >= impl_->options.queue_capacity) {
+    if (impl_->pool->queue_depth() >= impl_->options.queue_capacity) {
       ++ts.counters.rejected_queue_full;
       return reject(ServeStatus::kRejectedQueueFull, "admission queue full");
     }
@@ -453,11 +451,16 @@ std::future<ServeResponse> PlanService::submit(ServeRequest request) {
     }
     ++ts.in_flight;
     ++ts.counters.admitted;
-    impl_->queue.push_back(Job{std::move(request), std::move(promise), now});
+    // Posting under mu keeps the capacity check and the enqueue atomic
+    // (workers popping concurrently only ever free space).
+    auto job = std::make_shared<Job>(
+        Job{std::move(request), std::move(promise), now});
+    impl_->pool->post([impl = impl_.get(), job] {
+      impl->complete(*job, impl->serve(job->request));
+    });
     impl_->queue_high_water =
-        std::max(impl_->queue_high_water, impl_->queue.size());
+        std::max(impl_->queue_high_water, impl_->pool->queue_depth());
   }
-  impl_->cv.notify_one();
   return future;
 }
 
@@ -483,7 +486,7 @@ ServiceStats PlanService::stats() const {
       stats.totals.invalid += c.invalid;
       stats.totals.errors += c.errors;
     }
-    stats.queue_depth = impl_->queue.size();
+    stats.queue_depth = impl_->pool->queue_depth();
     stats.queue_high_water = impl_->queue_high_water;
     stats.compile_latency_us = impl_->compile_latency_us;
     stats.execute_latency_us = impl_->execute_latency_us;
@@ -519,17 +522,8 @@ std::size_t PlanService::num_shards() const {
   return impl_->shards.size();
 }
 
-void PlanService::pause_workers() {
-  const std::lock_guard<std::mutex> lock(impl_->mu);
-  impl_->paused = true;
-}
+void PlanService::pause_workers() { impl_->pool->pause(); }
 
-void PlanService::resume_workers() {
-  {
-    const std::lock_guard<std::mutex> lock(impl_->mu);
-    impl_->paused = false;
-  }
-  impl_->cv.notify_all();
-}
+void PlanService::resume_workers() { impl_->pool->resume(); }
 
 }  // namespace blink::serve

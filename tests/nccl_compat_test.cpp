@@ -186,7 +186,7 @@ TEST(NcclCompat, BackendConfigSelectsAlgorithm) {
        {blinkBackendBlink, blinkBackendNccl, blinkBackendRing,
         blinkBackendDoubleBinary, blinkBackendButterfly}) {
     blinkComm_t comm = nullptr;
-    const blinkBackendConfig_t config{kind, nullptr};
+    const blinkBackendConfig_t config{kind, nullptr, 0};
     ASSERT_EQ(blinkCommInitAllWithConfig(&comm, "dgx2", 16, gpus, &config),
               blinkSuccess);
     blinkBackend_t got;
@@ -219,7 +219,7 @@ TEST(NcclCompat, BackendEnvVarSelectsAlgorithm) {
   setenv("BLINK_BACKEND", "notabackend", 1);
   EXPECT_EQ(blinkCommInitAll(&comm, "dgx1v", 4, gpus), blinkInvalidArgument);
   // An explicit config wins over the (bad) environment.
-  const blinkBackendConfig_t config{blinkBackendRing, nullptr};
+  const blinkBackendConfig_t config{blinkBackendRing, nullptr, 0};
   ASSERT_EQ(blinkCommInitAllWithConfig(&comm, "dgx1v", 4, gpus, &config),
             blinkSuccess);
   ASSERT_EQ(blinkCommBackend(comm, &got), blinkSuccess);
@@ -233,7 +233,7 @@ TEST(NcclCompat, ErrorMappingForUnsupportedCollectives) {
   // blinkInvalidArgument (the engine's std::invalid_argument), not an
   // internal error — solo and inside groups.
   const int gpus[] = {0, 1, 2, 3};
-  const blinkBackendConfig_t config{blinkBackendButterfly, nullptr};
+  const blinkBackendConfig_t config{blinkBackendButterfly, nullptr, 0};
   blinkComm_t comm = nullptr;
   ASSERT_EQ(blinkCommInitAllWithConfig(&comm, "dgx2", 4, gpus, &config),
             blinkSuccess);
@@ -257,7 +257,7 @@ TEST(NcclCompat, ErrorMappingForUnsupportedCollectives) {
 
 TEST(NcclCompat, GroupRoundTripOnBaselineBackend) {
   const int gpus[] = {0, 1, 2, 3};
-  const blinkBackendConfig_t config{blinkBackendNccl, nullptr};
+  const blinkBackendConfig_t config{blinkBackendNccl, nullptr, 0};
   blinkComm_t comm = nullptr;
   ASSERT_EQ(blinkCommInitAllWithConfig(&comm, "dgx1v", 4, gpus, &config),
             blinkSuccess);
@@ -302,7 +302,7 @@ TEST(NcclCompat, AutoBackendSelection) {
   int gpus[16];
   for (int i = 0; i < 16; ++i) gpus[i] = i;
   blinkComm_t comm = nullptr;
-  const blinkBackendConfig_t config{blinkBackendAuto, nullptr};
+  const blinkBackendConfig_t config{blinkBackendAuto, nullptr, 0};
   ASSERT_EQ(blinkCommInitAllWithConfig(&comm, "dgx2", 16, gpus, &config),
             blinkSuccess);
   blinkBackend_t got;
@@ -323,7 +323,7 @@ TEST(NcclCompat, AutoBackendSelection) {
   blinkCommDestroy(comm);
   unsetenv("BLINK_BACKEND");
   // The cluster backend is created by blinkClusterCommInitAll, not a config.
-  const blinkBackendConfig_t cluster{blinkBackendCluster, nullptr};
+  const blinkBackendConfig_t cluster{blinkBackendCluster, nullptr, 0};
   EXPECT_EQ(blinkCommInitAllWithConfig(&comm, "dgx2", 16, gpus, &cluster),
             blinkInvalidArgument);
 }

@@ -263,6 +263,44 @@ TEST(Serve, InvalidateDropsPlansAndNextCompileIsCold) {
   EXPECT_FALSE(after.warm_hit);
 }
 
+TEST(Serve, PrecompileWarmsAllKindsAndChargesQuota) {
+  FakeClock clock;
+  ServiceOptions options = test_options(clock);
+  options.default_quota.compile_rate = 0.0;  // no refill: burst is the budget
+  options.default_quota.compile_burst = 2.0;
+  PlanService service(options);
+  const FabricSpec fabric = spec_v100({0, 1, 2, 3});
+
+  // One precompile batch-compiles every kind the backend supports at this
+  // shape; plans_touched reports the cold count.
+  ServeRequest warmup =
+      request_for("t", fabric, 16e6, RequestType::kPrecompile);
+  warmup.root = 0;
+  const ServeResponse first = service.handle(warmup);
+  EXPECT_EQ(first.status, ServeStatus::kOk);
+  EXPECT_GT(first.plans_touched, 0u);
+
+  // The shape is now fully warm: compile/execute of any kind hits.
+  const ServeResponse compile = service.handle(request_for(
+      "t", fabric, 16e6, RequestType::kCompile, CollectiveKind::kAllReduce));
+  EXPECT_EQ(compile.status, ServeStatus::kOk);
+  EXPECT_TRUE(compile.warm_hit);
+
+  // Precompile always charges the compile quota — warm-up is cold work by
+  // definition, so it never takes the warm-hit admission bypass (the warm
+  // kCompile above did, spending no token). The second precompile spends
+  // the last token and finds nothing cold; the third is a typed quota
+  // rejection even though it too would find everything warm.
+  const ServeResponse second = service.handle(warmup);
+  EXPECT_EQ(second.status, ServeStatus::kOk);
+  EXPECT_EQ(second.plans_touched, 0u);
+  EXPECT_EQ(service.handle(warmup).status, ServeStatus::kRejectedQuota);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_GE(stats.totals.compiles, 1u);
+  EXPECT_EQ(stats.totals.rejected_quota, 1u);
+}
+
 TEST(Serve, FlushWarmRestartAndWarmLoad) {
   TempDir store("blink-serve-warm-restart");
   const FabricSpec fabric = spec_v100({1, 3, 5, 7});

@@ -6,6 +6,7 @@
 // Protocol (one request per line, one response line per request):
 //
 //   <tenant> compile|execute <machine> <g0,g1,...> <kind> <bytes> [root] [backend]
+//   <tenant> precompile <machine> <g0,g1,...> <bytes> [root] [backend]
 //   <tenant> warm|invalidate <machine> <g0,g1,...> [backend]
 //   stats | flush | gc | help | quit
 //
@@ -80,6 +81,9 @@ void print_response(const ServeRequest& request, const ServeResponse& r) {
         break;
       case blink::serve::RequestType::kInvalidate:
         std::cout << " invalidated " << r.plans_touched << " plans";
+        break;
+      case blink::serve::RequestType::kPrecompile:
+        std::cout << " precompiled " << r.plans_touched << " cold plans";
         break;
     }
   } else {
@@ -180,6 +184,8 @@ int main(int argc, char** argv) {
       std::cout
           << "<tenant> compile|execute <machine> <g0,g1,...> <kind> <bytes> "
              "[root] [backend]\n"
+             "<tenant> precompile <machine> <g0,g1,...> <bytes> [root] "
+             "[backend]\n"
              "<tenant> warm|invalidate <machine> <g0,g1,...> [backend]\n"
              "stats | flush | gc | quit"
           << std::endl;
@@ -203,6 +209,27 @@ int main(int argc, char** argv) {
       if (!(ss >> kind_name >> bytes) ||
           !parse_kind(kind_name, &request.kind)) {
         std::cout << "invalid_request malformed collective (try 'help')"
+                  << std::endl;
+        continue;
+      }
+      request.bytes = bytes;
+      // Optional trailing tokens: a numeric root, then a backend name.
+      std::string token;
+      while (ss >> token) {
+        char* end = nullptr;
+        const long root = std::strtol(token.c_str(), &end, 10);
+        if (end != nullptr && *end == '\0') {
+          request.root = static_cast<int>(root);
+        } else {
+          request.fabric.backend = token;
+        }
+      }
+    } else if (verb == "precompile") {
+      // Batch-warm every collective kind at one size in a single request.
+      request.type = blink::serve::RequestType::kPrecompile;
+      double bytes = 0.0;
+      if (!(ss >> bytes)) {
+        std::cout << "invalid_request malformed precompile (try 'help')"
                   << std::endl;
         continue;
       }
