@@ -77,6 +77,42 @@ int main() {
   for (const double s : blink_cluster.partition_shares()) {
     std::printf(" %.3f", s);
   }
-  std::printf("\n");
-  return warm_compiles == 0 ? 0 : 1;
+  std::printf("\npipeline depth %d; chunk ops per phase: %d local-reduce, "
+              "%d nic, %d local-broadcast\n",
+              sample->meta().pipeline_depth, sample->meta().phase1_chunks,
+              sample->meta().phase2_chunks, sample->meta().phase3_chunks);
+
+  // The makespan-regression gate: cross-phase chunk pipelining must never
+  // lose to the whole-partition joins, and on a multi-chunk ring over four
+  // servers — where hops can store-and-forward chunk by chunk — it must
+  // strictly win. CI runs this binary and fails on a nonzero exit.
+  std::printf("\nchunk pipelining off vs on (4x 4-GPU servers, 64 MB "
+              "AllReduce):\n%-14s %14s %14s %10s\n", "phase-2", "off (ms)",
+              "on (ms)", "speedup");
+  const auto quad = topo::induced_topology(machine,
+                                           std::vector<int>{4, 5, 6, 7});
+  const std::vector<topo::Topology> quad4(4, quad);
+  bool pipeline_ok = true;
+  for (const Phase2Policy policy :
+       {Phase2Policy::kAllToAll, Phase2Policy::kRing,
+        Phase2Policy::kHierarchical}) {
+    ClusterOptions off_opts, on_opts;
+    off_opts.fabric.nic_bw = on_opts.fabric.nic_bw = gbitps(40.0);
+    off_opts.phase2 = on_opts.phase2 = policy;
+    off_opts.pipeline = false;
+    ClusterCommunicator off(quad4, off_opts);
+    ClusterCommunicator on(quad4, on_opts);
+    const double off_s = off.all_reduce(64e6).seconds;
+    const double on_s = on.all_reduce(64e6).seconds;
+    const bool never_worse = on_s <= off_s * 1.001;
+    // The ring's serial hop chain is where per-chunk store-and-forward has
+    // the most to overlap: demand a strict win there, not just parity.
+    const bool floor_met =
+        policy != Phase2Policy::kRing || on_s < off_s * 0.999;
+    pipeline_ok = pipeline_ok && never_worse && floor_met;
+    std::printf("%-14s %14.3f %14.3f %9.2fx%s\n", to_string(policy),
+                off_s * 1e3, on_s * 1e3, off_s / on_s,
+                never_worse && floor_met ? "" : "  REGRESSION");
+  }
+  return warm_compiles == 0 && pipeline_ok ? 0 : 1;
 }

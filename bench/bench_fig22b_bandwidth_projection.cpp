@@ -132,6 +132,10 @@ int main() {
   for (int i = 0; i < 2; ++i) {
     ClusterOptions opts;
     opts.partition_sizing = sizings[i];
+    // Whole-partition joins: the sizing stagger's win is overlapping the slow
+    // server's local phases with the exchange, which chunk pipelining already
+    // achieves at chunk granularity — with it on, the two splits tie.
+    opts.pipeline = false;
     ClusterCommunicator comm(hetero, opts);
     seconds[i] = comm.all_reduce(100e6).seconds;
     std::printf("%-20s %8.2f ms", to_string(sizings[i]), seconds[i] * 1e3);
@@ -146,5 +150,34 @@ int main() {
               100.0 * (seconds[0] / seconds[1] - 1.0),
               hetero_ok ? "weighted wins" : "EQUAL SPLIT WON");
 
-  return volumes_ok && hetero_ok ? 0 : 1;
+  // --- heterogeneous per-server NICs ----------------------------------------
+  // One server's NIC runs at a quarter rate. The ring start offsets park the
+  // slow NIC at the send-once position, so its egress must stay at ~1x the
+  // payload while fast servers absorb the double-send offsets; partition
+  // sizing folds the NIC rates into the link-rate probes, so the shares tilt
+  // away from the slow server.
+  std::printf("\nheterogeneous NICs, 4x 4-GPU servers, 64 MB ring AllReduce, "
+              "server 2 at 10 Gbps (others 40)\n");
+  ClusterOptions nic_opts;
+  nic_opts.phase2 = Phase2Policy::kRing;
+  nic_opts.fabric.nic_bw = gbitps(40.0);
+  nic_opts.fabric.nic_bw_per_server = {gbitps(40.0), gbitps(40.0),
+                                       gbitps(10.0), gbitps(40.0)};
+  const std::vector<topo::Topology> quad4(4, quad);
+  ClusterCommunicator nic_comm(quad4, nic_opts);
+  const auto nic_plan = nic_comm.compile(CollectiveKind::kAllReduce, 64e6);
+  const int slow_server = 2;
+  bool nic_ok = true;
+  std::printf("%-8s %14s %10s\n", "server", "egress MB", "share");
+  for (int s = 0; s < nic_comm.num_servers(); ++s) {
+    const double egress =
+        nic_egress_bytes(nic_comm.fabric(), nic_plan->program(), s);
+    std::printf("%-8d %14.1f %10.3f\n", s, egress / 1e6,
+                nic_comm.partition_shares()[static_cast<std::size_t>(s)]);
+    if (s == slow_server && egress > 64e6 * 1.001) nic_ok = false;
+  }
+  std::printf("slow NIC egress <= 1x payload (send-once ring offset): %s\n",
+              nic_ok ? "yes" : "NO -- slow NIC is double-sending");
+
+  return volumes_ok && hetero_ok && nic_ok ? 0 : 1;
 }

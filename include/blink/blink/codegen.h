@@ -99,10 +99,20 @@ class ProgramBuilder {
                                          std::span<const int> chunk_ready = {});
 
   // A chunked point-to-point copy over an explicit route (NIC hops in the
-  // three-phase protocol). Returns per-chunk completion ops.
+  // three-phase protocol). Returns per-chunk completion ops. |bytes| must be
+  // positive: a degenerate sub-chunk payload collapses to one chunk via
+  // chunks_for(), never to zero-byte ops.
   std::vector<int> copy_chunks(const std::vector<int>& route, double bytes,
                                int num_chunks, int stream_tag,
                                std::span<const int> chunk_ready = {});
+
+  // The multi-dependency variant for cross-phase chunk pipelining: chunk c
+  // additionally waits on every op in chunk_deps[c]. The copies share one
+  // in-order stream, so chunk c's dependencies transitively cover every
+  // earlier chunk's — callers list only the ops newly required per chunk.
+  std::vector<int> copy_chunks(const std::vector<int>& route, double bytes,
+                               int num_chunks, int stream_tag,
+                               std::span<const std::vector<int>> chunk_deps);
 
   // A reduction kernel on |server|/|gpu| covering |bytes| of input; waits on
   // |deps|. Returns the op id.

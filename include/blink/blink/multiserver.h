@@ -101,6 +101,14 @@ struct ClusterOptions {
   CodeGenOptions codegen;
   /// Phase-2 exchange selection (see Phase2Policy).
   Phase2Policy phase2 = Phase2Policy::kAuto;
+  /// Cross-phase chunk pipelining (on by default): phase-1 tree reduces
+  /// expose per-chunk completion, phase-2 transfers gate chunk-by-chunk on
+  /// the matching phase-1 chunks (ring hops store-and-forward per chunk),
+  /// and phase 3 starts per-chunk as reduced chunks arrive. Off reproduces
+  /// the whole-partition joins between phases, bit-for-bit the historical
+  /// schedules; the knob is part of planning_fingerprint(), so the two
+  /// modes never share a plan store.
+  bool pipeline = true;
   /// Under kAuto, the flat all-to-all stays a candidate only while the
   /// cluster has at most this many servers: its total NIC volume grows
   /// quadratically, so past the threshold only the linear-volume exchanges
@@ -141,8 +149,9 @@ class ClusterBackend : public CollectiveBackend {
   const char* name() const override { return "cluster"; }
   /// Every kind has a three-phase lowering.
   bool supports(CollectiveKind kind) const override;
-  /// Hashes TreeGen/CodeGen knobs plus the phase-2 and partition-sizing
-  /// policies, so differently configured engines never share a plan store.
+  /// Hashes TreeGen/CodeGen knobs plus the phase-2, chunk-pipelining, and
+  /// partition-sizing policies, so differently configured engines never
+  /// share a plan store.
   std::uint64_t planning_fingerprint() const override;
   /// Emits the three-phase schedule; under Phase2Policy::kAuto, compiles
   /// every applicable exchange and keeps the fastest on the simulated
@@ -182,6 +191,7 @@ class ClusterBackend : public CollectiveBackend {
   TreeGenOptions treegen_;
   CodeGenOptions codegen_;
   Phase2Policy phase2_;
+  bool pipeline_;
   int all_to_all_max_servers_;
   PartitionSizing partition_sizing_;
   double min_partition_share_;

@@ -56,6 +56,13 @@ struct CollectiveResult {
   int num_trees = 0;
   int num_chunks = 0;           // chunks of the heaviest tree
   int num_ops = 0;              // schedule size
+  // Cross-phase chunk-pipelining metadata (multi-server plans; zero for
+  // single-server plans and for cluster plans lowered with pipelining off,
+  // whose phases gate on whole-partition joins instead of chunk edges).
+  int pipeline_depth = 0;       // longest chain of chunk-gated stages
+  int phase1_chunks = 0;        // local reduce/gather chunk ops emitted
+  int phase2_chunks = 0;        // cross-server NIC transfer chunks emitted
+  int phase3_chunks = 0;        // local broadcast/scatter chunk ops emitted
 };
 
 // One collective in a batched CollectiveEngine::run() group. root == -1 lets

@@ -36,8 +36,10 @@ namespace blink {
 inline constexpr std::uint32_t kPlanStoreMagic = 0x504b4c42u;
 /// Store format version; bumped on any layout change, and read_plan_store
 /// rejects other versions. v2: records carry the phase-2 exchange strategy
-/// (Phase2Strategy).
-inline constexpr std::uint32_t kPlanStoreVersion = 2;
+/// (Phase2Strategy). v3: result metadata grows the chunk-pipelining fields
+/// (pipeline depth, per-phase chunk counts) and the fabric fingerprint
+/// covers per-server NIC rate overrides.
+inline constexpr std::uint32_t kPlanStoreVersion = 3;
 
 /// Incremental FNV-1a (64-bit), the hasher behind fabric_fingerprint() and
 /// CollectiveBackend::planning_fingerprint(). Multi-byte values hash their

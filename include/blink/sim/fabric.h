@@ -42,6 +42,11 @@ struct FabricParams {
   // NIC bandwidth per server per direction (bytes/s); 40 Gbps commodity
   // cloud fabric by default (§5.4).
   double nic_bw = 5.0e9;
+  // Optional per-server NIC rate override (bytes/s). Empty means every
+  // server runs at |nic_bw|; otherwise the vector must have one positive
+  // entry per server. Cloud tenants rarely get uniform NICs (§5.4), and
+  // partition sizing / ring placement should see the real per-link rates.
+  std::vector<double> nic_bw_per_server;
   // Host-memory staging bandwidth per CPU socket. PCIe P2P across PLX
   // switches (and NIC transfers) bounce through a host buffer, which is why
   // NCCL's PCIe fallback lands near 5 GB/s in Figure 2b rather than at raw
@@ -83,6 +88,13 @@ class Fabric {
 
   // Cross-machine path (NIC egress of src server + ingress of dst server).
   std::vector<int> nic_route(int src_server, int dst_server) const;
+
+  // Effective NIC rate of |server| (bytes/s): the per-server override when
+  // present, the uniform params_.nic_bw otherwise.
+  double nic_rate(int server) const;
+
+  // True when any per-server NIC override differs from the uniform rate.
+  bool heterogeneous_nics() const;
 
   // PCIe path from a GPU up to its CPU socket (NIC staging) and back down;
   // used by baselines whose cross-machine hops traverse PCIe + NIC + PCIe.

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 #include <sstream>
+#include <stdexcept>
 
 namespace blink {
 namespace {
@@ -519,6 +520,11 @@ std::vector<int> ProgramBuilder::copy_chunks(const std::vector<int>& route,
                                              int stream_tag,
                                              std::span<const int> chunk_ready) {
   assert(num_chunks >= 1);
+  if (!(bytes > 0.0)) {
+    // A zero-byte op would complete instantly in the executor and silently
+    // defeat every gate built on it; degenerate payloads are a caller bug.
+    throw std::invalid_argument("copy_chunks needs a positive payload");
+  }
   const double chunk_bytes = bytes / num_chunks;
   const int stream = stream_for(route, stream_tag);
   std::vector<int> done(static_cast<std::size_t>(num_chunks));
@@ -533,6 +539,31 @@ std::vector<int> ProgramBuilder::copy_chunks(const std::vector<int>& route,
         chunk_ready[static_cast<std::size_t>(c)] >= 0) {
       op.deps.push_back(chunk_ready[static_cast<std::size_t>(c)]);
     }
+    op.label = "copy";
+    done[static_cast<std::size_t>(c)] = program_.add(op);
+  }
+  return done;
+}
+
+std::vector<int> ProgramBuilder::copy_chunks(
+    const std::vector<int>& route, double bytes, int num_chunks,
+    int stream_tag, std::span<const std::vector<int>> chunk_deps) {
+  assert(num_chunks >= 1);
+  assert(chunk_deps.size() == static_cast<std::size_t>(num_chunks));
+  if (!(bytes > 0.0)) {
+    throw std::invalid_argument("copy_chunks needs a positive payload");
+  }
+  const double chunk_bytes = bytes / num_chunks;
+  const int stream = stream_for(route, stream_tag);
+  std::vector<int> done(static_cast<std::size_t>(num_chunks));
+  for (int c = 0; c < num_chunks; ++c) {
+    sim::Op op;
+    op.kind = sim::OpKind::kCopy;
+    op.route = route;
+    op.bytes = chunk_bytes;
+    op.latency = fabric_.params().copy_launch_latency;
+    op.stream = stream;
+    op.deps = chunk_deps[static_cast<std::size_t>(c)];
     op.label = "copy";
     done[static_cast<std::size_t>(c)] = program_.add(op);
   }

@@ -69,6 +69,7 @@ ClusterBackend::ClusterBackend(const std::vector<topo::Topology>& servers,
       treegen_(options.treegen),
       codegen_(options.codegen),
       phase2_(options.phase2),
+      pipeline_(options.pipeline),
       all_to_all_max_servers_(options.all_to_all_max_servers),
       partition_sizing_(options.partition_sizing),
       min_partition_share_(options.min_partition_share) {
@@ -99,6 +100,9 @@ std::uint64_t ClusterBackend::planning_fingerprint() const {
   // lower() emits for a given shape: two engines differing in either must
   // never share a plan store.
   fp.i32(static_cast<int>(phase2_));
+  // Chunk pipelining rewrites every cross-phase gate; off must keep loading
+  // the historical whole-partition schedules, so the knob separates stores.
+  fp.i32(pipeline_ ? 1 : 0);
   fp.i32(all_to_all_max_servers_);
   fp.i32(static_cast<int>(partition_sizing_));
   fp.f64(min_partition_share_);
@@ -161,25 +165,39 @@ void ClusterBackend::compute_shares() {
   // Measure each server's intra-server bandwidth: the packed-tree rate at
   // its partition roots (TreeSet::rate, the link-rate probe TreeGen runs
   // while packing). Single-GPU servers have no local tree phase to bound.
+  // With heterogeneous per-server NIC rates each server's effective rate
+  // additionally folds its NIC in harmonically — a partition pays the local
+  // phase and the NIC phase back to back, so the rates compose serially. On
+  // a uniform-NIC fabric the probe-only path is untouched, so those
+  // clusters keep sizing bit-for-bit as before.
+  const bool nic_aware = fabric_.heterogeneous_nics();
   double r_min = std::numeric_limits<double>::infinity();
   double r_max = 0.0;
   bool any_probe = false;
   for (int s = 0; s < static_cast<int>(servers_.size()); ++s) {
     const topo::Topology& server = at(servers_, s);
-    if (server.num_gpus == 1) continue;
-    double server_rate = std::numeric_limits<double>::infinity();
+    double local_rate = std::numeric_limits<double>::infinity();
     bool found = false;
-    for (int p = 0; p < k; ++p) {
-      const TreeSetPtr& set = tree_set(s, p % server.num_gpus);
-      if (set->empty() || !(set->rate > 0.0)) continue;  // unusable probe
-      server_rate = std::min(server_rate, set->rate);
-      found = true;
+    if (server.num_gpus > 1) {
+      for (int p = 0; p < k; ++p) {
+        const TreeSetPtr& set = tree_set(s, p % server.num_gpus);
+        if (set->empty() || !(set->rate > 0.0)) continue;  // unusable probe
+        local_rate = std::min(local_rate, set->rate);
+        found = true;
+      }
     }
-    if (found) {
-      r_min = std::min(r_min, server_rate);
-      r_max = std::max(r_max, server_rate);
-      any_probe = true;
+    double server_rate = local_rate;
+    if (nic_aware) {
+      // A single-GPU server (or one with no usable probe) has no local
+      // phase: its NIC rate alone bounds the partition.
+      const double nic = fabric_.nic_rate(s);
+      server_rate = found ? 1.0 / (1.0 / local_rate + 1.0 / nic) : nic;
+    } else if (!found) {
+      continue;
     }
+    r_min = std::min(r_min, server_rate);
+    r_max = std::max(r_max, server_rate);
+    any_probe = true;
   }
   // A balanced cluster (or one with no usable probes) keeps the equal
   // split, bit-for-bit: the old behaviour is the fixed point.
@@ -258,6 +276,7 @@ struct ClusterBackend::Emit {
   const std::vector<double>& share;  // partition byte shares, sum 1
   const int k;      // data partitions
   const int n_srv;  // servers
+  const bool pipeline;  // chunk-gated cross-phase pipelining (see Flow)
   int tag = 0;      // fresh stream per point-to-point transfer
 
   Emit(ClusterBackend& backend, Phase2Strategy phase2,
@@ -267,7 +286,8 @@ struct ClusterBackend::Emit {
         strategy(phase2),
         share(shares),
         k(backend.num_partitions_),
-        n_srv(static_cast<int>(backend.servers_.size())) {}
+        n_srv(static_cast<int>(backend.servers_.size())),
+        pipeline(backend.pipeline_) {}
 
   int gpus(int s) const {
     return at(be.servers_, s).num_gpus;
@@ -282,6 +302,20 @@ struct ClusterBackend::Emit {
   double part(int p, double total) const { return total * at(share, p); }
   // The server |off| ring positions after |base|.
   int ring_at(int base, int off) const { return (base + off) % n_srv; }
+  // First holder of partition p's ring chains. On uniform NICs: p % n_srv,
+  // the historical round-robin that loads every NIC evenly. With
+  // heterogeneous per-server NIC rates the chains instead start just after
+  // the slowest NIC: ring offsets 0..n-3 send a partition twice (accumulate
+  // then distribute) while offsets n-2 and n-1 send it once, so parking the
+  // slowest NIC at the last offset halves its egress.
+  int ring_start(int p) const {
+    if (!be.fabric_.heterogeneous_nics()) return p % n_srv;
+    int slow = 0;
+    for (int s = 1; s < n_srv; ++s) {
+      if (be.fabric_.nic_rate(s) < be.fabric_.nic_rate(slow)) slow = s;
+    }
+    return ring_at(slow, 1);
+  }
   // Splits a global server-major GPU id into (server, local id).
   std::pair<int, int> locate(int global) const {
     int s = 0;
@@ -367,6 +401,235 @@ struct ClusterBackend::Emit {
     return copy(be.fabric_.nic_route(src_srv, dst_srv), bytes, gate);
   }
 
+  // --- cross-phase chunk pipelining ----------------------------------------
+  //
+  // With ClusterOptions::pipeline on, the whole-partition joins between the
+  // three phases become per-chunk gates. Each stage exposes its output as a
+  // Flow — a completion-ordered view of a payload materializing somewhere —
+  // and the next stage's chunk c waits only on the flow prefix covering its
+  // own first c+1 chunks, so a ring hop forwards chunk c while the previous
+  // hop still moves chunk c+1 and phase 3 broadcasts chunks as they reduce.
+  //
+  // Every consumer emits its chunks in order (copies share one in-order
+  // stream; kernels are chained), so chunk c's dependency list only needs
+  // the ops *newly* required beyond chunk c-1's — earlier prefixes carry
+  // over transitively through the consumer's own stream order.
+
+  struct Flow {
+    std::vector<int> ops;       // completion ops, in expected finish order
+    std::vector<double> bytes;  // payload made available by each op
+    double ready_bytes = 0.0;   // payload resident from the start (no op)
+    bool sequential = false;    // ops[i] done implies ops[0..i-1] done
+    int depth = 0;              // chunk-gated stages this payload crossed
+    double total() const {
+      double t = ready_bytes;
+      for (const double b : bytes) t += b;
+      return t;
+    }
+  };
+
+  // A payload resident before the schedule starts (a root's own buffer).
+  static Flow resident(double bytes) {
+    Flow f;
+    f.ready_bytes = bytes;
+    f.sequential = true;
+    return f;
+  }
+
+  // The flow of one emitter's evenly-chunked op list.
+  Flow even_flow(std::vector<int> ops, double total, bool sequential,
+                 int depth) {
+    Flow f;
+    f.bytes.assign(ops.size(), total / static_cast<double>(ops.size()));
+    f.ops = std::move(ops);
+    f.sequential = sequential;
+    f.depth = depth;
+    note_depth(depth);
+    return f;
+  }
+
+  // Flows landing at one place merge by op id — emission order stands in
+  // for completion order across concurrent producers.
+  static Flow merge(std::vector<Flow> parts) {
+    Flow out;
+    std::vector<std::pair<int, double>> items;
+    for (Flow& f : parts) {
+      out.ready_bytes += f.ready_bytes;
+      out.depth = std::max(out.depth, f.depth);
+      for (std::size_t i = 0; i < f.ops.size(); ++i) {
+        items.emplace_back(f.ops[i], f.bytes[i]);
+      }
+    }
+    std::sort(items.begin(), items.end());
+    for (const auto& [op, b] : items) {
+      out.ops.push_back(op);
+      out.bytes.push_back(b);
+    }
+    out.sequential = out.ops.size() <= 1;
+    return out;
+  }
+
+  void note_depth(int depth) {
+    meta.pipeline_depth = std::max(meta.pipeline_depth, depth);
+  }
+
+  // Per-chunk dependency lists for an in-order consumer of |num_chunks|
+  // chunks: chunk c lists the flow ops newly needed so that a fraction
+  // (c+1)/num_chunks of the flow's payload is available. For sequential
+  // flows the last new op subsumes the rest of the prefix.
+  static std::vector<std::vector<int>> cut_gates(const Flow& flow,
+                                                 int num_chunks) {
+    std::vector<std::vector<int>> gates(static_cast<std::size_t>(num_chunks));
+    if (flow.ops.empty()) return gates;
+    const double total = flow.total();
+    double avail = flow.ready_bytes;
+    std::size_t next = 0;
+    for (int c = 0; c < num_chunks; ++c) {
+      // The 1e-9 slack keeps an exactly-matching chunk grid on both sides
+      // from pulling one extra producer op through float rounding.
+      const double need =
+          total * (static_cast<double>(c + 1) / num_chunks) * (1.0 - 1e-9);
+      auto& g = at(gates, c);
+      while (next < flow.ops.size() && avail < need) {
+        avail += at(flow.bytes, static_cast<int>(next));
+        g.push_back(at(flow.ops, static_cast<int>(next)));
+        ++next;
+      }
+      if (flow.sequential && g.size() > 1) g.erase(g.begin(), g.end() - 1);
+    }
+    return gates;
+  }
+
+  // A chunked copy gated chunk-by-chunk on |src|; the arrival flow is
+  // sequential (the copies share one in-order stream). |chunk_counter| is
+  // the per-phase meta counter the emitted chunks belong to.
+  Flow copy_flow(const std::vector<int>& route, double bytes, const Flow& src,
+                 int* chunk_counter) {
+    const int chunks = builder.chunks_for(bytes);
+    const auto gates = cut_gates(src, chunks);
+    auto ops = builder.copy_chunks(route, bytes, chunks, tag++,
+                                   std::span<const std::vector<int>>(gates));
+    *chunk_counter += chunks;
+    return even_flow(std::move(ops), bytes, /*sequential=*/true,
+                     src.depth + 1);
+  }
+  Flow nic_copy_flow(int src_srv, int dst_srv, double bytes, const Flow& src) {
+    return copy_flow(be.fabric_.nic_route(src_srv, dst_srv), bytes, src,
+                     &meta.phase2_chunks);
+  }
+
+  // Per-chunk reduction of a |bytes| partition at (s, gpu): chunk c's
+  // kernel waits on the matching chunk of every input flow. |kernel_bytes|
+  // is the total input volume the kernels read.
+  Flow reduce_flow(int s, int gpu, double bytes, double kernel_bytes,
+                   const std::vector<const Flow*>& inputs) {
+    const int chunks = builder.chunks_for(bytes);
+    std::vector<std::vector<std::vector<int>>> gates;
+    gates.reserve(inputs.size());
+    int depth = 0;
+    for (const Flow* f : inputs) {
+      gates.push_back(cut_gates(*f, chunks));
+      depth = std::max(depth, f->depth);
+    }
+    Flow out;
+    int prev = -1;
+    for (int c = 0; c < chunks; ++c) {
+      std::vector<int> deps;
+      for (const auto& g : gates) {
+        const auto& cut = at(g, c);
+        deps.insert(deps.end(), cut.begin(), cut.end());
+      }
+      // Chaining the chunk kernels keeps the output flow in completion
+      // order (kernels run on private streams, so order is not otherwise
+      // given) — the invariant the new-ops-only chunk gates rely on.
+      if (prev >= 0) deps.push_back(prev);
+      prev = builder.reduce_kernel(s, gpu, kernel_bytes / chunks,
+                                   std::move(deps));
+      out.ops.push_back(prev);
+      out.bytes.push_back(bytes / chunks);
+    }
+    out.sequential = true;
+    out.depth = depth + 1;
+    note_depth(out.depth);
+    return out;
+  }
+
+  // Phase-1 tree reduce as a flow: the per-tree per-chunk root reductions,
+  // interleaved round-robin across trees — the trees run concurrently, so
+  // round r of every tree lands in one wave, not tree after tree.
+  Flow tree_reduce_flow(int s, int root, double bytes) {
+    if (gpus(s) == 1) return resident(bytes);  // nothing to reduce
+    const TreeSet& set = use_set(s, root);
+    if (set.empty()) {
+      throw std::runtime_error("server has no connected fabric");
+    }
+    const auto trees = route_trees(be.fabric_, s, set);
+    meta.num_trees += static_cast<int>(trees.size());
+    double total_w = 0.0;
+    for (const auto& t : trees) total_w += t.weight;
+    struct TreeOut {
+      std::vector<int> ops;
+      double chunk_bytes = 0.0;
+    };
+    std::vector<TreeOut> outs;
+    std::size_t max_chunks = 0;
+    for (const auto& tree : trees) {
+      const double tree_bytes = bytes * tree.weight / total_w;
+      const int chunks = builder.chunks_for(tree_bytes);
+      TreeOut t;
+      t.ops = builder.tree_reduce_chunks(tree, tree_bytes, chunks,
+                                         /*with_kernels=*/true);
+      t.chunk_bytes = tree_bytes / chunks;
+      meta.phase1_chunks += chunks;
+      max_chunks = std::max(max_chunks, t.ops.size());
+      outs.push_back(std::move(t));
+    }
+    Flow out;
+    for (std::size_t c = 0; c < max_chunks; ++c) {
+      for (const TreeOut& t : outs) {
+        if (c < t.ops.size()) {
+          out.ops.push_back(t.ops[c]);
+          out.bytes.push_back(t.chunk_bytes);
+        }
+      }
+    }
+    out.depth = 1;
+    note_depth(1);
+    return out;
+  }
+
+  // Phase-3 tree broadcast consuming |flow| chunk by chunk: each tree's
+  // chunk c starts once the flow prefix covering it completed (multi-op
+  // prefixes join into one gate op).
+  void tree_broadcast_flow(int s, int root, double bytes, const Flow& flow) {
+    if (gpus(s) == 1) return;
+    const TreeSet& set = use_set(s, root);
+    if (set.empty()) {
+      throw std::runtime_error("server has no connected fabric");
+    }
+    const auto trees = route_trees(be.fabric_, s, set);
+    meta.num_trees += static_cast<int>(trees.size());
+    double total_w = 0.0;
+    for (const auto& t : trees) total_w += t.weight;
+    for (const auto& tree : trees) {
+      const double tree_bytes = bytes * tree.weight / total_w;
+      const int chunks = builder.chunks_for(tree_bytes);
+      const auto cut = cut_gates(flow, chunks);
+      std::vector<int> gates(static_cast<std::size_t>(chunks), -1);
+      for (int c = 0; c < chunks; ++c) {
+        const auto& deps = at(cut, c);
+        if (deps.size() == 1) {
+          at(gates, c) = deps.front();
+        } else if (!deps.empty()) {
+          at(gates, c) = join(deps, "chunk-gate");
+        }
+      }
+      builder.tree_broadcast_chunks(tree, tree_bytes, chunks, gates);
+      meta.phase3_chunks += chunks;
+    }
+    note_depth(flow.depth + 1);
+  }
+
   // Per-server tree reduce of every partition — phase 1 of the reducing
   // kinds. Fills phase1[p][s] (the tree ops) and joins[p][s] (a single op
   // gating on all of them).
@@ -448,10 +711,11 @@ struct ClusterBackend::Emit {
   // sum the rest of the way. Every server sends the partition at most
   // twice, so total NIC volume is O(n) — linear in the server count — at
   // the price of 2(n-1) pipelined steps. Partition p's chain starts at
-  // server p % n_srv so concurrent partitions load every NIC evenly.
+  // ring_start(p): round-robin on uniform NICs so concurrent partitions
+  // load every NIC evenly, just past the slowest NIC when rates differ.
   void exchange_ring(int p, double pb, const std::vector<int>& joins,
                      std::vector<int>* reduced) {
-    const int start = p % n_srv;
+    const int start = ring_start(p);
     int holder = start;
     int carry = at(joins, start);
     for (int i = 1; i < n_srv; ++i) {
@@ -755,9 +1019,357 @@ struct ClusterBackend::Emit {
     return join({have, arrive}, "exchange-join");
   }
 
+  // --- the pipelined (chunk-gated) phase drivers ----------------------------
+
+  // Phase 1 of the reducing kinds, flow form: flows[p][s] exposes partition
+  // p's local reduction at root_of(p, s) chunk by chunk (replacing the
+  // whole-partition join of reduce_phase1).
+  std::vector<std::vector<Flow>> reduce_phase1_flows(double total) {
+    std::vector<std::vector<Flow>> flows(
+        static_cast<std::size_t>(k),
+        std::vector<Flow>(static_cast<std::size_t>(n_srv)));
+    for (int p = 0; p < k; ++p) {
+      for (int s = 0; s < n_srv; ++s) {
+        at(at(flows, p), s) =
+            tree_reduce_flow(s, root_of(p, s), part(p, total));
+      }
+    }
+    return flows;
+  }
+
+  // Phases 1+2 of AllReduce/ReduceScatter, flow form: every NIC transfer
+  // gates chunk-by-chunk on the matching phase-1 chunks, ring hops
+  // store-and-forward per chunk (hop h moves chunk c while hop h+1 moves
+  // chunk c-1), and the per-hop reductions run as chunk kernel chains.
+  std::vector<std::vector<Flow>> reduce_exchange_flows(double total) {
+    auto local = reduce_phase1_flows(total);
+    std::vector<std::vector<Flow>> reduced(
+        static_cast<std::size_t>(k),
+        std::vector<Flow>(static_cast<std::size_t>(n_srv)));
+    for (int p = 0; p < k; ++p) {
+      const double pb = part(p, total);
+      const auto& mine = at(local, p);
+      auto& out = at(reduced, p);
+      switch (strategy) {
+        case Phase2Strategy::kAllToAll: {
+          // Every pairwise partial streams out as its chunks reduce; each
+          // destination reduces chunk c once every peer's chunk c landed.
+          std::vector<std::vector<Flow>> arrive(
+              static_cast<std::size_t>(n_srv));
+          for (int src = 0; src < n_srv; ++src) {
+            for (int dst = 0; dst < n_srv; ++dst) {
+              if (dst == src) continue;
+              at(arrive, dst).push_back(
+                  nic_copy_flow(src, dst, pb, at(mine, src)));
+            }
+          }
+          for (int s = 0; s < n_srv; ++s) {
+            std::vector<const Flow*> in{&at(mine, s)};
+            for (const Flow& f : at(arrive, s)) in.push_back(&f);
+            at(out, s) = reduce_flow(s, root_of(p, s), pb, pb * n_srv, in);
+          }
+          break;
+        }
+        case Phase2Strategy::kRing: {
+          const int start = ring_start(p);
+          int holder = start;
+          Flow carry = at(mine, start);
+          for (int i = 1; i < n_srv; ++i) {
+            const int next = ring_at(holder, 1);
+            const Flow arrive = nic_copy_flow(holder, next, pb, carry);
+            carry = reduce_flow(next, root_of(p, next), pb, pb * 2,
+                                {&at(mine, next), &arrive});
+            holder = next;
+          }
+          at(out, holder) = carry;  // the full sum lives here first
+          for (int i = 1; i < n_srv; ++i) {
+            const int next = ring_at(holder, 1);
+            carry = nic_copy_flow(holder, next, pb, carry);
+            at(out, next) = carry;
+            holder = next;
+          }
+          break;
+        }
+        case Phase2Strategy::kHierarchical: {
+          std::vector<Flow> holding = mine;
+          for (int r = 1; r < n_srv; r <<= 1) {
+            std::vector<Flow> next(static_cast<std::size_t>(n_srv));
+            for (int s = 0; s < n_srv; ++s) {
+              const int peer = s ^ r;
+              const Flow arrive =
+                  nic_copy_flow(peer, s, pb, at(holding, peer));
+              at(next, s) = reduce_flow(s, root_of(p, s), pb, pb * 2,
+                                        {&at(holding, s), &arrive});
+            }
+            holding = std::move(next);
+          }
+          out = std::move(holding);
+          break;
+        }
+        case Phase2Strategy::kNone:
+          throw std::logic_error("cluster exchange needs a strategy");
+      }
+    }
+    return reduced;
+  }
+
+  // Phase-2 fan-out for Broadcast, flow form: the arrival flow per server
+  // (empty at |sr|); under ring, hop h forwards chunk c while hop h-1
+  // still receives chunk c+1.
+  std::vector<Flow> fan_out_flows(int sr, double pb) {
+    std::vector<Flow> arrival(static_cast<std::size_t>(n_srv));
+    const Flow src = resident(pb);
+    switch (strategy) {
+      case Phase2Strategy::kAllToAll:
+        for (int s = 0; s < n_srv; ++s) {
+          if (s == sr) continue;
+          at(arrival, s) = nic_copy_flow(sr, s, pb, src);
+        }
+        break;
+      case Phase2Strategy::kRing: {
+        Flow cur = src;
+        int holder = sr;
+        for (int i = 1; i < n_srv; ++i) {
+          const int next = ring_at(holder, 1);
+          cur = nic_copy_flow(holder, next, pb, cur);
+          at(arrival, next) = cur;
+          holder = next;
+        }
+        break;
+      }
+      case Phase2Strategy::kHierarchical:
+        binomial_spread_flow(sr, 0, n_srv, src, pb, &arrival);
+        break;
+      case Phase2Strategy::kNone:
+        throw std::logic_error("cluster exchange needs a strategy");
+    }
+    return arrival;
+  }
+
+  void binomial_spread_flow(int sr, int off, int count, const Flow& gate,
+                            double pb, std::vector<Flow>* arrival) {
+    if (count <= 1) return;
+    const int near = count - count / 2;  // holder keeps the larger half
+    const int dst_off = off + near;
+    const Flow a =
+        nic_copy_flow(ring_at(sr, off), ring_at(sr, dst_off), pb, gate);
+    at(*arrival, ring_at(sr, dst_off)) = a;
+    binomial_spread_flow(sr, dst_off, count / 2, a, pb, arrival);
+    binomial_spread_flow(sr, off, near, gate, pb, arrival);
+  }
+
+  // Phase-2 convergence for Reduce, flow form: partition p's full sum
+  // materializing at |sr| chunk by chunk.
+  Flow converge_reduce_flow(int p, double pb, int sr,
+                            const std::vector<Flow>& local) {
+    switch (strategy) {
+      case Phase2Strategy::kAllToAll: {
+        std::vector<Flow> arrive;
+        arrive.reserve(static_cast<std::size_t>(n_srv));
+        for (int s = 0; s < n_srv; ++s) {
+          if (s == sr) continue;
+          arrive.push_back(nic_copy_flow(s, sr, pb, at(local, s)));
+        }
+        std::vector<const Flow*> in{&at(local, sr)};
+        for (const Flow& f : arrive) in.push_back(&f);
+        return reduce_flow(sr, root_of(p, sr), pb, pb * n_srv, in);
+      }
+      case Phase2Strategy::kRing: {
+        int holder = ring_at(sr, 1);
+        Flow carry = at(local, holder);
+        for (int i = 2; i < n_srv; ++i) {
+          const int next = ring_at(sr, i);
+          const Flow arrive = nic_copy_flow(holder, next, pb, carry);
+          carry = reduce_flow(next, root_of(p, next), pb, pb * 2,
+                              {&at(local, next), &arrive});
+          holder = next;
+        }
+        const Flow arrive = nic_copy_flow(holder, sr, pb, carry);
+        return reduce_flow(sr, root_of(p, sr), pb, pb * 2,
+                           {&at(local, sr), &arrive});
+      }
+      case Phase2Strategy::kHierarchical:
+        return binomial_collect_flow(p, pb, sr, 0, n_srv, local);
+      case Phase2Strategy::kNone:
+        break;
+    }
+    throw std::logic_error("cluster exchange needs a strategy");
+  }
+
+  Flow binomial_collect_flow(int p, double pb, int sr, int off, int count,
+                             const std::vector<Flow>& local) {
+    const int s = ring_at(sr, off);
+    if (count <= 1) return at(local, s);
+    const int near = count - count / 2;
+    const int src_off = off + near;
+    const Flow have = binomial_collect_flow(p, pb, sr, off, near, local);
+    const Flow far =
+        binomial_collect_flow(p, pb, sr, src_off, count / 2, local);
+    const Flow arrive = nic_copy_flow(ring_at(sr, src_off), s, pb, far);
+    return reduce_flow(s, root_of(p, s), pb, pb * 2, {&have, &arrive});
+  }
+
+  // Phase 1 of AllGather/Gather, flow form: flows[p][s] is partition p's
+  // local block (count[p][s] * bytes) materializing at root_of(p, s) — the
+  // root's own buffer resident, every other contributor streaming in.
+  std::vector<std::vector<Flow>> gather_to_roots_flows(
+      double bytes, std::vector<std::vector<int>>* count) {
+    count->assign(static_cast<std::size_t>(k),
+                  std::vector<int>(static_cast<std::size_t>(n_srv), 0));
+    std::vector<std::vector<std::vector<Flow>>> parts(
+        static_cast<std::size_t>(k),
+        std::vector<std::vector<Flow>>(static_cast<std::size_t>(n_srv)));
+    for (int s = 0; s < n_srv; ++s) {
+      for (int g = 0; g < gpus(s); ++g) {
+        const int p = g % k;
+        ++at(at(*count, p), s);
+        if (g == root_of(p, s)) {
+          at(at(parts, p), s).push_back(resident(bytes));
+        } else {
+          at(at(parts, p), s)
+              .push_back(copy_flow(local_route(s, g, root_of(p, s)), bytes,
+                                   resident(bytes), &meta.phase1_chunks));
+        }
+      }
+    }
+    std::vector<std::vector<Flow>> flows(
+        static_cast<std::size_t>(k),
+        std::vector<Flow>(static_cast<std::size_t>(n_srv)));
+    for (int p = 0; p < k; ++p) {
+      for (int s = 0; s < n_srv; ++s) {
+        at(at(flows, p), s) = merge(std::move(at(at(parts, p), s)));
+      }
+    }
+    return flows;
+  }
+
+  // Phase-2 block exchange for AllGather, flow form: arrivals[s] collects
+  // the foreign-block flows landing on s, each gated chunk-by-chunk on its
+  // source block's own gathering.
+  void exchange_blocks_flows(int p, double bytes,
+                             const std::vector<std::vector<int>>& count,
+                             const std::vector<Flow>& gathered,
+                             std::vector<std::vector<Flow>>* arrivals) {
+    const auto block_of = [&](int s) { return at(at(count, p), s) * bytes; };
+    switch (strategy) {
+      case Phase2Strategy::kAllToAll:
+        for (int src = 0; src < n_srv; ++src) {
+          for (int dst = 0; dst < n_srv; ++dst) {
+            if (dst == src) continue;
+            at(*arrivals, dst)
+                .push_back(
+                    nic_copy_flow(src, dst, block_of(src), at(gathered, src)));
+          }
+        }
+        break;
+      case Phase2Strategy::kRing:
+        for (int src = 0; src < n_srv; ++src) {
+          Flow cur = at(gathered, src);
+          int holder = src;
+          for (int i = 1; i < n_srv; ++i) {
+            const int next = ring_at(holder, 1);
+            cur = nic_copy_flow(holder, next, block_of(src), cur);
+            at(*arrivals, next).push_back(cur);
+            holder = next;
+          }
+        }
+        break;
+      case Phase2Strategy::kHierarchical: {
+        std::vector<Flow> held = gathered;
+        std::vector<double> held_bytes(static_cast<std::size_t>(n_srv));
+        for (int s = 0; s < n_srv; ++s) at(held_bytes, s) = block_of(s);
+        for (int r = 1; r < n_srv; r <<= 1) {
+          std::vector<Flow> next_held(static_cast<std::size_t>(n_srv));
+          std::vector<double> next_bytes = held_bytes;
+          for (int s = 0; s < n_srv; ++s) {
+            const int peer = s ^ r;
+            Flow arrive =
+                nic_copy_flow(peer, s, at(held_bytes, peer), at(held, peer));
+            at(*arrivals, s).push_back(arrive);
+            at(next_held, s) = merge({at(held, s), std::move(arrive)});
+            at(next_bytes, s) += at(held_bytes, peer);
+          }
+          held = std::move(next_held);
+          held_bytes = std::move(next_bytes);
+        }
+        break;
+      }
+      case Phase2Strategy::kNone:
+        throw std::logic_error("cluster exchange needs a strategy");
+    }
+  }
+
+  // Phase-2 convergence for Gather, flow form: partition p's cluster-wide
+  // block — the root server's own included — materializing at |sr|.
+  Flow converge_blocks_flows(int p, double bytes, int sr,
+                             const std::vector<std::vector<int>>& count,
+                             const std::vector<Flow>& gathered) {
+    const auto block_of = [&](int s) { return at(at(count, p), s) * bytes; };
+    switch (strategy) {
+      case Phase2Strategy::kAllToAll: {
+        std::vector<Flow> parts{at(gathered, sr)};
+        for (int s = 0; s < n_srv; ++s) {
+          if (s == sr) continue;
+          parts.push_back(nic_copy_flow(s, sr, block_of(s), at(gathered, s)));
+        }
+        return merge(std::move(parts));
+      }
+      case Phase2Strategy::kRing: {
+        int holder = ring_at(sr, 1);
+        double carried = block_of(holder);
+        Flow carry = at(gathered, holder);
+        for (int i = 2; i < n_srv; ++i) {
+          const int next = ring_at(sr, i);
+          Flow arrive = nic_copy_flow(holder, next, carried, carry);
+          carry = merge({at(gathered, next), std::move(arrive)});
+          carried += block_of(next);
+          holder = next;
+        }
+        Flow last = nic_copy_flow(holder, sr, carried, carry);
+        return merge({at(gathered, sr), std::move(last)});
+      }
+      case Phase2Strategy::kHierarchical:
+        return binomial_collect_blocks_flow(p, bytes, sr, 0, n_srv, count,
+                                            gathered);
+      case Phase2Strategy::kNone:
+        break;
+    }
+    throw std::logic_error("cluster exchange needs a strategy");
+  }
+
+  Flow binomial_collect_blocks_flow(
+      int p, double bytes, int sr, int off, int count,
+      const std::vector<std::vector<int>>& count_tbl,
+      const std::vector<Flow>& gathered) {
+    const int s = ring_at(sr, off);
+    if (count <= 1) return at(gathered, s);
+    const int near = count - count / 2;
+    const int src_off = off + near;
+    Flow have = binomial_collect_blocks_flow(p, bytes, sr, off, near,
+                                             count_tbl, gathered);
+    Flow far = binomial_collect_blocks_flow(p, bytes, sr, src_off, count / 2,
+                                            count_tbl, gathered);
+    double segment = 0.0;
+    for (int i = 0; i < count / 2; ++i) {
+      segment += at(at(count_tbl, p), ring_at(sr, src_off + i)) * bytes;
+    }
+    Flow arrive = nic_copy_flow(ring_at(sr, src_off), s, segment, far);
+    return merge({std::move(have), std::move(arrive)});
+  }
+
   // --- the six kinds --------------------------------------------------------
 
   void all_reduce(double bytes) {
+    if (pipeline) {
+      const auto reduced = reduce_exchange_flows(bytes);
+      for (int p = 0; p < k; ++p) {
+        for (int s = 0; s < n_srv; ++s) {
+          tree_broadcast_flow(s, root_of(p, s), part(p, bytes),
+                              at(at(reduced, p), s));
+        }
+      }
+      return;
+    }
     const auto reduced = reduce_exchange(bytes);
     for (int p = 0; p < k; ++p) {
       for (int s = 0; s < n_srv; ++s) {
@@ -767,10 +1379,27 @@ struct ClusterBackend::Emit {
   }
 
   void reduce_scatter(double bytes) {
-    const auto reduced = reduce_exchange(bytes);
     // Each GPU's output shard lives in the partition its global rank maps
-    // to; one copy from that partition's local root delivers it.
+    // to; one copy from that partition's local root delivers it. A shard's
+    // offset inside its partition is data-layout dependent, so even under
+    // pipelining the copy waits for the whole partition (the shard is far
+    // below one chunk anyway, so there is nothing to overlap).
     const double shard = bytes / total_gpus();
+    if (pipeline) {
+      const auto reduced = reduce_exchange_flows(bytes);
+      for (int s = 0; s < n_srv; ++s) {
+        for (int g = 0; g < gpus(s); ++g) {
+          const int p = global_of(s, g) % k;
+          const int src = root_of(p, s);
+          if (src != g) {
+            copy_flow(local_route(s, src, g), shard, at(at(reduced, p), s),
+                      &meta.phase3_chunks);
+          }
+        }
+      }
+      return;
+    }
+    const auto reduced = reduce_exchange(bytes);
     for (int s = 0; s < n_srv; ++s) {
       for (int g = 0; g < gpus(s); ++g) {
         const int p = global_of(s, g) % k;
@@ -788,6 +1417,14 @@ struct ClusterBackend::Emit {
     tree_broadcast(sr, lr, bytes, -1);
     for (int p = 0; p < k; ++p) {
       const double pb = part(p, bytes);
+      if (pipeline) {
+        const auto arrival = fan_out_flows(sr, pb);
+        for (int s = 0; s < n_srv; ++s) {
+          if (s == sr) continue;
+          tree_broadcast_flow(s, root_of(p, s), pb, at(arrival, s));
+        }
+        continue;
+      }
       const auto arrival = fan_out(sr, pb);
       for (int s = 0; s < n_srv; ++s) {
         if (s == sr) continue;
@@ -798,6 +1435,18 @@ struct ClusterBackend::Emit {
 
   void reduce(double bytes, int root) {
     const auto [sr, lr] = locate(root);
+    if (pipeline) {
+      const auto flows = reduce_phase1_flows(bytes);
+      for (int p = 0; p < k; ++p) {
+        const double pb = part(p, bytes);
+        const Flow summed = converge_reduce_flow(p, pb, sr, at(flows, p));
+        if (root_of(p, sr) != lr) {
+          copy_flow(local_route(sr, root_of(p, sr), lr), pb, summed,
+                    &meta.phase3_chunks);
+        }
+      }
+      return;
+    }
     std::vector<std::vector<std::vector<int>>> phase1;
     std::vector<std::vector<int>> joins;
     reduce_phase1(bytes, &phase1, &joins);
@@ -813,6 +1462,37 @@ struct ClusterBackend::Emit {
   }
 
   void all_gather(double bytes) {
+    if (pipeline) {
+      std::vector<std::vector<int>> count;
+      const auto gathered = gather_to_roots_flows(bytes, &count);
+      std::vector<int> cluster_count(static_cast<std::size_t>(k), 0);
+      for (int p = 0; p < k; ++p) {
+        for (int s = 0; s < n_srv; ++s) {
+          at(cluster_count, p) += at(at(count, p), s);
+        }
+      }
+      // Phase 2: exchange each server's per-partition block, every transfer
+      // chunk-gated on its source block's own gathering.
+      std::vector<std::vector<std::vector<Flow>>> arrivals(
+          static_cast<std::size_t>(k),
+          std::vector<std::vector<Flow>>(static_cast<std::size_t>(n_srv)));
+      for (int p = 0; p < k; ++p) {
+        exchange_blocks_flows(p, bytes, count, at(gathered, p),
+                              &at(arrivals, p));
+      }
+      // Phase 3: broadcast each cluster-wide partition block locally as its
+      // pieces land (resident + local copies + NIC arrivals merged).
+      for (int s = 0; s < n_srv; ++s) {
+        if (gpus(s) == 1) continue;
+        for (int p = 0; p < k; ++p) {
+          std::vector<Flow> parts = std::move(at(at(arrivals, p), s));
+          parts.push_back(at(at(gathered, p), s));
+          tree_broadcast_flow(s, root_of(p, s), at(cluster_count, p) * bytes,
+                              merge(std::move(parts)));
+        }
+      }
+      return;
+    }
     std::vector<std::vector<int>> count;
     const auto gathered = gather_to_roots(bytes, &count);
     std::vector<int> cluster_count(static_cast<std::size_t>(k), 0);
@@ -844,6 +1524,20 @@ struct ClusterBackend::Emit {
 
   void gather(double bytes, int root) {
     const auto [sr, lr] = locate(root);
+    if (pipeline) {
+      std::vector<std::vector<int>> count;
+      const auto gathered = gather_to_roots_flows(bytes, &count);
+      for (int p = 0; p < k; ++p) {
+        Flow conv =
+            converge_blocks_flows(p, bytes, sr, count, at(gathered, p));
+        if (root_of(p, sr) == lr) continue;
+        double block = 0.0;
+        for (int s = 0; s < n_srv; ++s) block += at(at(count, p), s) * bytes;
+        copy_flow(local_route(sr, root_of(p, sr), lr), block, conv,
+                  &meta.phase3_chunks);
+      }
+      return;
+    }
     std::vector<std::vector<int>> count;
     const auto gathered = gather_to_roots(bytes, &count);
     // Phase 2: blocks converge on the root server's partition roots;

@@ -143,6 +143,11 @@ std::uint64_t fabric_fingerprint(
   fp.f64(params.event_sync_latency);
   fp.f64(params.reduce_bw);
   fp.f64(params.nic_bw);
+  // Per-server NIC overrides change routed channel capacities (and the
+  // NIC-aware planning built on them); an empty vector hashes as size 0, so
+  // uniform fabrics keep one stable fingerprint.
+  fp.u64(params.nic_bw_per_server.size());
+  for (const double bw : params.nic_bw_per_server) fp.f64(bw);
   fp.f64(params.sysmem_bw);
   fp.u64(backend_names.size());
   for (const std::string& name : backend_names) fp.str(name);
@@ -238,6 +243,10 @@ void serialize_plan_record(const PlanRecord& record, std::string* out) {
   w.i32(record.meta.num_trees);
   w.i32(record.meta.num_chunks);
   w.i32(record.meta.num_ops);
+  w.i32(record.meta.pipeline_depth);
+  w.i32(record.meta.phase1_chunks);
+  w.i32(record.meta.phase2_chunks);
+  w.i32(record.meta.phase3_chunks);
   serialize_program(record.program, out);
 }
 
@@ -264,6 +273,10 @@ PlanRecord deserialize_plan_record(std::string_view buf, std::size_t* pos) {
   record.meta.num_trees = r.i32();
   record.meta.num_chunks = r.i32();
   record.meta.num_ops = r.i32();
+  record.meta.pipeline_depth = r.i32();
+  record.meta.phase1_chunks = r.i32();
+  record.meta.phase2_chunks = r.i32();
+  record.meta.phase3_chunks = r.i32();
   std::size_t p = r.pos();
   record.program = deserialize_program(buf, &p);
   *pos = p;

@@ -14,6 +14,17 @@ Fabric::Fabric(const std::vector<topo::Topology>& servers,
   if (servers_.empty()) {
     throw std::invalid_argument("fabric needs at least one server");
   }
+  if (!params_.nic_bw_per_server.empty()) {
+    if (params_.nic_bw_per_server.size() != servers_.size()) {
+      throw std::invalid_argument(
+          "nic_bw_per_server must have one entry per server");
+    }
+    for (const double bw : params_.nic_bw_per_server) {
+      if (!(bw > 0.0)) {
+        throw std::invalid_argument("nic_bw_per_server entries must be > 0");
+      }
+    }
+  }
   ch_.resize(servers_.size());
   for (int s = 0; s < num_servers(); ++s) {
     std::string err;
@@ -107,9 +118,24 @@ void Fabric::build_server(int s) {
   }
 
   if (num_servers() > 1) {
-    ch.nic_out = add_channel(prefix + "nic.out", params_.nic_bw);
-    ch.nic_in = add_channel(prefix + "nic.in", params_.nic_bw);
+    const double bw = nic_rate(s);
+    ch.nic_out = add_channel(prefix + "nic.out", bw);
+    ch.nic_in = add_channel(prefix + "nic.in", bw);
   }
+}
+
+double Fabric::nic_rate(int server) const {
+  if (!params_.nic_bw_per_server.empty()) {
+    return params_.nic_bw_per_server[static_cast<std::size_t>(server)];
+  }
+  return params_.nic_bw;
+}
+
+bool Fabric::heterogeneous_nics() const {
+  for (const double bw : params_.nic_bw_per_server) {
+    if (bw != params_.nic_bw) return true;
+  }
+  return false;
 }
 
 bool Fabric::nvlink_adjacent(int server, int src, int dst) const {

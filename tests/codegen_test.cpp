@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <span>
+#include <stdexcept>
+#include <vector>
+
 #include "blink/blink/codegen.h"
 #include "blink/sim/executor.h"
 #include "blink/topology/builders.h"
@@ -158,6 +162,46 @@ TEST(ProgramBuilder, CopyChunksHonorsGates) {
   builder.copy_chunks(route, 23e9, 1, 0, gates);  // 1 s at 23 GB/s
   const auto run = sim::execute(s.fabric, builder.take());
   EXPECT_GT(run.makespan, 1.49);
+}
+
+TEST(ProgramBuilder, CopyChunksRejectsDegeneratePayloads) {
+  Rig s(topo::make_chain(3));
+  ProgramBuilder builder(s.fabric, CodeGenOptions{});
+  const auto route = s.fabric.nvlink_route(0, 0, 1);
+  // A zero-byte op completes instantly in the executor and silently defeats
+  // every gate built on it; both overloads refuse to emit one.
+  EXPECT_THROW(builder.copy_chunks(route, 0.0, 1, 0), std::invalid_argument);
+  EXPECT_THROW(builder.copy_chunks(route, -8.0, 1, 0), std::invalid_argument);
+  const std::vector<std::vector<int>> deps(1);
+  EXPECT_THROW(builder.copy_chunks(route, 0.0, 1, 0,
+                                   std::span<const std::vector<int>>(deps)),
+               std::invalid_argument);
+  // Sub-chunk payloads collapse to one chunk, never to zero-byte ops.
+  const auto ops = builder.copy_chunks(route, 0.5, builder.chunks_for(0.5), 0);
+  ASSERT_EQ(ops.size(), 1u);
+  const auto program = builder.take();
+  for (const auto& op : program.ops()) EXPECT_GT(op.bytes, 0.0);
+}
+
+TEST(ProgramBuilder, CopyChunksHonorsPerChunkDependencyLists) {
+  Rig s(topo::make_chain(3));
+  ProgramBuilder builder(s.fabric, CodeGenOptions{});
+  const auto route = s.fabric.nvlink_route(0, 0, 1);
+  const int early = builder.delay(0.25, "early");
+  const int late = builder.delay(1.0, "late");
+  // Chunk 0 may start immediately; chunk 1 waits on both gates. The copies
+  // share one in-order stream, so chunk 1's deps cover chunk 0 as well.
+  const std::vector<std::vector<int>> deps{{}, {early, late}};
+  const auto ops = builder.copy_chunks(
+      route, 46e9, 2, 0, std::span<const std::vector<int>>(deps));
+  ASSERT_EQ(ops.size(), 2u);
+  const auto run = sim::execute(s.fabric, builder.take());
+  // 23 GB/s channel: each 23 GB chunk takes ~1 s. Chunk 0 finishes around
+  // t=1 without waiting; chunk 1 starts at t=1 (its gate at t=1 is already
+  // met by then) and finishes around t=2 — not t=2.25, which a gate on the
+  // wrong chunk would produce.
+  EXPECT_GT(run.makespan, 1.99);
+  EXPECT_LT(run.makespan, 2.2);
 }
 
 TEST(PseudoCuda, EmissionMentionsTreesAndMemcpy) {

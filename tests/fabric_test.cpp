@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "blink/sim/fabric.h"
 #include "blink/topology/builders.h"
 #include "blink/topology/discovery.h"
@@ -67,6 +69,44 @@ TEST(Fabric, MultiServerNics) {
   // Host staging routes exist on both sides (incl. the sysmem buffer).
   EXPECT_EQ(f.pcie_to_host_route(0, 3).size(), 3u);
   EXPECT_EQ(f.pcie_from_host_route(1, 6).size(), 3u);
+}
+
+TEST(Fabric, PerServerNicOverrideSetsChannelCapacities) {
+  const auto topo = topo::make_dgx1v();
+  FabricParams params;
+  params.nic_bw = 12.5e9;
+  params.nic_bw_per_server = {12.5e9, 1.25e9, 5e9};
+  const Fabric f({topo, topo, topo}, params);
+  EXPECT_DOUBLE_EQ(f.nic_rate(0), 12.5e9);
+  EXPECT_DOUBLE_EQ(f.nic_rate(1), 1.25e9);
+  EXPECT_DOUBLE_EQ(f.nic_rate(2), 5e9);
+  EXPECT_TRUE(f.heterogeneous_nics());
+  // Server 1's egress channel runs at its own NIC's rate, not the default.
+  const auto route = f.nic_route(1, 2);
+  EXPECT_DOUBLE_EQ(f.capacities()[static_cast<std::size_t>(route.front())],
+                   1.25e9);
+}
+
+TEST(Fabric, UniformNicOverrideIsNotHeterogeneous) {
+  const auto topo = topo::make_dgx1v();
+  FabricParams params;
+  params.nic_bw = 12.5e9;
+  const Fabric plain({topo, topo}, params);
+  EXPECT_FALSE(plain.heterogeneous_nics());
+  EXPECT_DOUBLE_EQ(plain.nic_rate(1), 12.5e9);
+  // An override listing the default rate everywhere changes nothing.
+  params.nic_bw_per_server = {12.5e9, 12.5e9};
+  const Fabric listed({topo, topo}, params);
+  EXPECT_FALSE(listed.heterogeneous_nics());
+}
+
+TEST(Fabric, PerServerNicOverrideValidated) {
+  const auto topo = topo::make_dgx1v();
+  FabricParams params;
+  params.nic_bw_per_server = {12.5e9};  // two servers need two entries
+  EXPECT_THROW(Fabric({topo, topo}, params), std::invalid_argument);
+  params.nic_bw_per_server = {12.5e9, 0.0};  // rates must be positive
+  EXPECT_THROW(Fabric({topo, topo}, params), std::invalid_argument);
 }
 
 TEST(Fabric, InducedTopologyWithSparseSwitchIds) {

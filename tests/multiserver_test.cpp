@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 #include <vector>
 
@@ -483,6 +484,12 @@ TEST(Multiserver, HeterogeneousSizingBeatsEqualSplit) {
   const std::vector<topo::Topology> servers{
       topo::induced_topology(machine, std::vector<int>{0, 1, 2}), old_gen};
   ClusterOptions weighted_opts, equal_opts;
+  // The stagger's win is overlapping the slow server's local phases with
+  // the NIC exchange; chunk pipelining achieves the same overlap at chunk
+  // granularity, leaving sizing a wash there. Compare on the whole-partition
+  // lowering, where the stagger is the only pipelining available.
+  weighted_opts.pipeline = false;
+  equal_opts.pipeline = false;
   equal_opts.partition_sizing = PartitionSizing::kEqual;
   ClusterCommunicator weighted(servers, weighted_opts);
   ClusterCommunicator equal(servers, equal_opts);
@@ -516,6 +523,203 @@ TEST(Multiserver, NearZeroBandwidthServerClampsSharesToFloor) {
   // The steepest stagger still hands the tail partition essentially the
   // floor, not more than twice it.
   EXPECT_LT(shares.back(), 2.5 * floor);
+}
+
+// --- cross-phase chunk pipelining -------------------------------------------
+
+// Every kind lowers identically in payload terms with pipelining on or off
+// — same bytes, both execute — and the chunk-gated schedule is never slower
+// than the whole-partition joins, for every phase-2 strategy.
+TEST(Multiserver, PipelinedNeverSlowerThanWholePartitionPerStrategy) {
+  const auto servers = quad_cluster(4);  // power of two: all three apply
+  for (const Phase2Policy policy :
+       {Phase2Policy::kAllToAll, Phase2Policy::kRing,
+        Phase2Policy::kHierarchical}) {
+    ClusterOptions on_opts, off_opts;
+    on_opts.phase2 = off_opts.phase2 = policy;
+    off_opts.pipeline = false;
+    ClusterCommunicator on(servers, on_opts);
+    ClusterCommunicator off(servers, off_opts);
+    for (const CollectiveKind kind :
+         {CollectiveKind::kBroadcast, CollectiveKind::kGather,
+          CollectiveKind::kReduce, CollectiveKind::kAllReduce,
+          CollectiveKind::kAllGather, CollectiveKind::kReduceScatter}) {
+      const double bytes = kind == CollectiveKind::kGather ||
+                                   kind == CollectiveKind::kAllGather
+                               ? 8e6
+                               : 64e6;
+      const auto on_plan = on.compile(kind, bytes, 0);
+      const auto off_plan = off.compile(kind, bytes, 0);
+      const auto on_r = on.execute(*on_plan);
+      const auto off_r = off.execute(*off_plan);
+      EXPECT_DOUBLE_EQ(on_r.bytes, off_r.bytes)
+          << to_string(kind) << "/" << to_string(policy);
+      EXPECT_LE(on_r.seconds, off_r.seconds * 1.001)
+          << to_string(kind) << "/" << to_string(policy);
+      // Both modes move the same NIC volume: pipelining regates, never
+      // re-routes.
+      EXPECT_NEAR(total_nic_bytes(on, on_plan->program()),
+                  total_nic_bytes(off, off_plan->program()),
+                  1.0)
+          << to_string(kind) << "/" << to_string(policy);
+    }
+  }
+}
+
+// The tentpole claim at executor level: with chunk gates the first NIC
+// transfer is admitted as soon as the first phase-1 chunk reduces, not after
+// the whole partition joins — and the overlap shortens the ring makespan.
+TEST(Multiserver, ChunkGatesAdmitNicTransfersBeforePhase1Completes) {
+  const auto servers = quad_cluster(4);
+  ClusterOptions on_opts, off_opts;
+  on_opts.phase2 = off_opts.phase2 = Phase2Policy::kRing;
+  off_opts.pipeline = false;
+  ClusterCommunicator on(servers, on_opts);
+  ClusterCommunicator off(servers, off_opts);
+  const double bytes = 64e6;
+  const auto first_nic_start = [](const ClusterCommunicator& comm,
+                                  const sim::Program& program) {
+    std::vector<int> egress;
+    for (int s = 0; s < comm.num_servers(); ++s) {
+      egress.push_back(
+          comm.fabric().nic_route(s, (s + 1) % comm.num_servers()).front());
+    }
+    const auto run = sim::execute(comm.fabric(), program);
+    double first = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < program.ops().size(); ++i) {
+      const auto& op = program.ops()[i];
+      if (op.kind != sim::OpKind::kCopy) continue;
+      for (const int ch : op.route) {
+        if (std::find(egress.begin(), egress.end(), ch) != egress.end()) {
+          first = std::min(first, run.op_start[i]);
+          break;
+        }
+      }
+    }
+    return first;
+  };
+  const auto on_plan = on.compile(CollectiveKind::kAllReduce, bytes);
+  const auto off_plan = off.compile(CollectiveKind::kAllReduce, bytes);
+  ASSERT_GT(on_plan->meta().pipeline_depth, 0);
+  // Whole-partition mode gates the first transfer on a full partition's
+  // local reduce; chunk gates admit it after one chunk — far earlier.
+  EXPECT_LT(first_nic_start(on, on_plan->program()),
+            0.5 * first_nic_start(off, off_plan->program()));
+  // And the overlap pays: the chunk-pipelined ring strictly beats the
+  // store-and-forward-whole-partitions ring.
+  EXPECT_LT(on.execute(*on_plan).seconds, off.execute(*off_plan).seconds);
+}
+
+// Pipelined plans report their shape: gated chunk counts per phase and the
+// pipeline depth; whole-partition plans leave the fields zero.
+TEST(Multiserver, PipelineMetaReportsDepthAndChunkCounts) {
+  ClusterOptions on_opts, off_opts;
+  off_opts.pipeline = false;
+  ClusterCommunicator on(fragmented_3_5(), on_opts);
+  ClusterCommunicator off(fragmented_3_5(), off_opts);
+  const auto on_plan = on.compile(CollectiveKind::kAllReduce, 64e6);
+  const auto& m = on_plan->meta();
+  EXPECT_GT(m.pipeline_depth, 1);  // reduce -> exchange -> broadcast
+  EXPECT_GT(m.phase1_chunks, 0);
+  EXPECT_GT(m.phase2_chunks, 0);
+  EXPECT_GT(m.phase3_chunks, 0);
+  const auto off_plan = off.compile(CollectiveKind::kAllReduce, 64e6);
+  EXPECT_EQ(off_plan->meta().pipeline_depth, 0);
+  EXPECT_EQ(off_plan->meta().phase1_chunks, 0);
+  EXPECT_EQ(off_plan->meta().phase2_chunks, 0);
+  EXPECT_EQ(off_plan->meta().phase3_chunks, 0);
+  // The result carries the same counters through execute().
+  const auto r = on.execute(*on_plan);
+  EXPECT_EQ(r.pipeline_depth, m.pipeline_depth);
+  EXPECT_EQ(r.phase1_chunks, m.phase1_chunks);
+}
+
+// The pipelining knob is part of the planning fingerprint: the two modes
+// emit different gate graphs and must never share a plan store.
+TEST(Multiserver, PipelineKnobSeparatesPlanningFingerprints) {
+  const auto servers = quad_cluster(2);
+  ClusterOptions on_opts, off_opts;
+  off_opts.pipeline = false;
+  const sim::Fabric fabric(servers, on_opts.fabric);
+  ClusterBackend on(servers, fabric, on_opts);
+  ClusterBackend off(servers, fabric, off_opts);
+  EXPECT_NE(on.planning_fingerprint(), off.planning_fingerprint());
+}
+
+// Degenerate shapes — payloads near the partition count, single-byte
+// gathers — never emit zero-byte ops, whose instant completion would
+// silently defeat the chunk gates.
+TEST(Multiserver, DegenerateSizesNeverEmitZeroByteOps) {
+  ClusterCommunicator comm(fragmented_3_5(), {});
+  const auto no_zero_copies = [](const sim::Program& program) {
+    for (const auto& op : program.ops()) {
+      if (op.kind == sim::OpKind::kDelay) continue;  // pure join points
+      EXPECT_GT(op.bytes, 0.0) << op.label;
+    }
+  };
+  no_zero_copies(comm.compile(CollectiveKind::kAllReduce, 3.0)->program());
+  no_zero_copies(comm.compile(CollectiveKind::kBroadcast, 3.0, 0)->program());
+  no_zero_copies(comm.compile(CollectiveKind::kReduce, 5.0, 2)->program());
+  no_zero_copies(comm.compile(CollectiveKind::kGather, 1.0, 0)->program());
+  no_zero_copies(comm.compile(CollectiveKind::kAllGather, 1.0)->program());
+  no_zero_copies(
+      comm.compile(CollectiveKind::kReduceScatter, 8.0)->program());
+}
+
+// --- per-server NIC rates ---------------------------------------------------
+
+// A uniform per-server override is the same fabric: plans come out
+// bit-for-bit identical to the unlisted default.
+TEST(Multiserver, UniformNicOverrideKeepsPlansBitIdentical) {
+  const auto servers = quad_cluster(3);
+  ClusterOptions plain_opts, listed_opts;
+  listed_opts.fabric.nic_bw_per_server = {
+      listed_opts.fabric.nic_bw, listed_opts.fabric.nic_bw,
+      listed_opts.fabric.nic_bw};
+  ClusterCommunicator plain(servers, plain_opts);
+  ClusterCommunicator listed(servers, listed_opts);
+  for (const CollectiveKind kind :
+       {CollectiveKind::kAllReduce, CollectiveKind::kBroadcast}) {
+    const auto pp = plain.compile(kind, 32e6, 0);
+    const auto lp = listed.compile(kind, 32e6, 0);
+    const auto& po = pp->program().ops();
+    const auto& lo = lp->program().ops();
+    ASSERT_EQ(po.size(), lo.size()) << to_string(kind);
+    for (std::size_t i = 0; i < po.size(); ++i) {
+      EXPECT_EQ(po[i].kind, lo[i].kind) << i;
+      EXPECT_EQ(po[i].route, lo[i].route) << i;
+      EXPECT_EQ(po[i].bytes, lo[i].bytes) << i;
+      EXPECT_EQ(po[i].stream, lo[i].stream) << i;
+      EXPECT_EQ(po[i].deps, lo[i].deps) << i;
+    }
+  }
+}
+
+// With one slow NIC, ring chains start just past it: the slow server lands
+// at the send-once ring offset, so its egress carries each partition once
+// (the payload) while the double-sending offsets carry it twice.
+TEST(Multiserver, RingPlacementParksSlowNicAtSendOnceOffset) {
+  const auto servers = quad_cluster(4);
+  ClusterOptions opts;
+  opts.phase2 = Phase2Policy::kRing;
+  opts.fabric.nic_bw_per_server = {5e9, 5e9, 1.25e9, 5e9};
+  ClusterCommunicator comm(servers, opts);
+  const double bytes = 64e6;
+  const auto plan = comm.compile(CollectiveKind::kAllReduce, bytes);
+  EXPECT_LE(nic_egress_bytes(comm.fabric(), plan->program(), 2),
+            bytes * 1.001);
+  double doubled = 0;
+  for (const int s : {0, 1, 3}) {
+    if (nic_egress_bytes(comm.fabric(), plan->program(), s) >
+        1.9 * bytes) {
+      ++doubled;
+    }
+  }
+  EXPECT_GE(doubled, 2);  // the ring's double-sending offsets exist
+  // The weighted partition shares fold the NIC imbalance in even though
+  // every server's local fabric is identical.
+  const auto shares = comm.partition_shares();
+  EXPECT_GT(shares.front(), shares.back());
 }
 
 // Plans record their provenance: the per-(server, root) packed tree sets.

@@ -55,7 +55,11 @@ CommunicatorOptions fast_options() {
 bool identical(const CollectiveResult& a, const CollectiveResult& b) {
   return a.seconds == b.seconds && a.bytes == b.bytes &&
          a.algorithm_bw == b.algorithm_bw && a.num_trees == b.num_trees &&
-         a.num_chunks == b.num_chunks && a.num_ops == b.num_ops;
+         a.num_chunks == b.num_chunks && a.num_ops == b.num_ops &&
+         a.pipeline_depth == b.pipeline_depth &&
+         a.phase1_chunks == b.phase1_chunks &&
+         a.phase2_chunks == b.phase2_chunks &&
+         a.phase3_chunks == b.phase3_chunks;
 }
 
 sim::Program sample_program() {
@@ -102,6 +106,10 @@ TEST_F(PlanStore, PlanRecordRoundTrip) {
   record.meta.num_trees = 6;
   record.meta.num_chunks = 4;
   record.meta.num_ops = 3;
+  record.meta.pipeline_depth = 5;  // v3: chunk-pipelining metadata
+  record.meta.phase1_chunks = 12;
+  record.meta.phase2_chunks = 7;
+  record.meta.phase3_chunks = 9;
   record.program = sample_program();
 
   std::string buf;
