@@ -1,6 +1,7 @@
 // Figure 22a (§5.4): two-server training (3+5 GPU fragmentation across two
 // DGX-1Vs, 40 Gbps NIC): images/second under the NCCL-like global ring vs
 // Blink's three-phase AllReduce. The paper reports up to 11% gains.
+#include <chrono>
 #include <cstdio>
 
 #include "bench_common.h"
@@ -114,5 +115,58 @@ int main() {
                 off_s * 1e3, on_s * 1e3, off_s / on_s,
                 never_worse && floor_met ? "" : "  REGRESSION");
   }
-  return warm_compiles == 0 && pipeline_ok ? 0 : 1;
+  // The fault-injection gate: degrade one NVLink mid-run and repair the
+  // plan cache incrementally. A capacity event keeps the per-server trees
+  // valid, so repair re-lowers only the plans whose footprints cross the
+  // degraded link — the replan stall must stay well under the cold
+  // planning cost it replaces. CI fails on a nonzero exit if the stall
+  // exceeds the gate or the repair breaks a plan.
+  std::printf("\nfault injection (4x 4-GPU servers): degrade one server-0 "
+              "NVLink to 50%%, repair in place\n");
+  ClusterOptions fault_opts;
+  fault_opts.fabric.nic_bw = gbitps(40.0);
+  ClusterCommunicator fault_cluster(quad4, fault_opts);
+  const std::vector<double> bucket_bytes{4e6, 16e6, 64e6};
+  const auto now = [] { return std::chrono::steady_clock::now(); };
+  const auto cold_start = now();
+  for (const double b : bucket_bytes) {
+    fault_cluster.compile(CollectiveKind::kAllReduce, b);
+    fault_cluster.compile(CollectiveKind::kBroadcast, b, /*root=*/0);
+  }
+  const double cold_seconds =
+      std::chrono::duration<double>(now() - cold_start).count();
+
+  sim::HealthEvent degrade;
+  degrade.kind = sim::HealthEventKind::kDegradeLink;
+  degrade.channel = fault_cluster.fabric().nvlink_route(0, 0, 1)[0];
+  degrade.factor = 0.5;
+  const auto repair_start = now();
+  const RepairReport report = fault_cluster.repair_plans(degrade);
+  const double repair_seconds =
+      std::chrono::duration<double>(now() - repair_start).count();
+
+  // The stall budget: incremental repair must cost at most this fraction
+  // of the cold planning it avoids redoing from scratch.
+  constexpr double kStallBudget = 0.75;
+  const bool stall_ok = repair_seconds <= kStallBudget * cold_seconds;
+  const bool repair_ok = report.failed == 0 && !report.full;
+  std::printf("cold planning: %zu plans in %.1f ms; repair: %zu dropped, "
+              "%zu retained, %zu recompiled in %.1f ms (%.0f%% of cold, "
+              "budget %.0f%%)%s\n",
+              2 * bucket_bytes.size(), cold_seconds * 1e3, report.dropped,
+              report.retained, report.recompiled, repair_seconds * 1e3,
+              100.0 * repair_seconds / cold_seconds, 100.0 * kStallBudget,
+              stall_ok && repair_ok ? "" : "  REGRESSION");
+  // The repaired cache must serve the degraded fabric without recompiling.
+  const std::uint64_t misses_before = fault_cluster.plan_cache().misses();
+  for (const double b : bucket_bytes) fault_cluster.all_reduce(b);
+  const bool warm_after_repair =
+      fault_cluster.plan_cache().misses() == misses_before;
+  if (!warm_after_repair) {
+    std::printf("REGRESSION: repaired plans missed the cache\n");
+  }
+  return warm_compiles == 0 && pipeline_ok && stall_ok && repair_ok &&
+                 warm_after_repair
+             ? 0
+             : 1;
 }

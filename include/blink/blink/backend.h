@@ -14,10 +14,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "blink/blink/plan.h"
 #include "blink/blink/treegen.h"
+#include "blink/sim/fabric.h"
 #include "blink/sim/program.h"
 
 /// Blink: a reproduction of "Blink: Fast and Generic Collectives for
@@ -42,6 +44,28 @@ struct LoweredCollective {
   /// The cross-server exchange schedule the lowering chose; kNone for
   /// backends without a NIC phase. Recorded on the plan and persisted.
   Phase2Strategy phase2 = Phase2Strategy::kNone;
+  /// Channels the lowering *decision* depended on beyond the emitted
+  /// program's own routes — e.g. the candidate schedules a bake-off measured
+  /// and rejected. The engine unions these with the program's channels into
+  /// the plan's recorded footprint, so a capacity change that would have
+  /// flipped the bake-off invalidates the winner too. Backends whose
+  /// lowering is a pure function of (kind, bytes, root) leave it empty.
+  std::vector<int> footprint;
+};
+
+/// What a backend reports from on_health_event(): how much of its internal
+/// planning state the event invalidated, so the engine can scope plan
+/// invalidation to match.
+struct HealthNotice {
+  /// Every plan this backend lowered is stale (its planning decisions
+  /// depend on fabric state the event changed in ways the channel footprint
+  /// cannot bound — e.g. probe-driven root/split selection).
+  bool all_stale = false;
+  /// Spanning-tree sets the event rebuilt: plans referencing any of these
+  /// (by pointer, via CollectivePlan::tree_sets()) are stale even when their
+  /// channel footprint misses the affected links, because a from-scratch
+  /// compile on the changed fabric would pack different trees.
+  std::vector<std::shared_ptr<const TreeSet>> stale_tree_sets;
 };
 
 /// A collective algorithm as seen by CollectiveEngine: a named lowering
@@ -98,6 +122,20 @@ class CollectiveBackend {
   /// serial compiles of one shape must produce bit-identical plans.
   virtual LoweredCollective lower(CollectiveKind kind, double bytes,
                                   int root) = 0;
+
+  /// Called by CollectiveEngine::repair_plans() after \p event has been
+  /// applied to the fabric, with the ids of the \p affected_channels, while
+  /// compilation and execution are quiesced (no lower() in flight). The
+  /// backend refreshes any planning state the event invalidated (tree sets,
+  /// probe caches, lazily chosen roots) and reports what that makes stale.
+  /// The default keeps no fabric-derived state and reports nothing stale, so
+  /// such backends fall back to pure channel-footprint invalidation.
+  virtual HealthNotice on_health_event(const sim::HealthEvent& event,
+                                       std::span<const int> affected_channels) {
+    (void)event;
+    (void)affected_channels;
+    return {};
+  }
 };
 
 }  // namespace blink

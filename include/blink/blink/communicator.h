@@ -80,6 +80,17 @@ class BlinkBackend : public CollectiveBackend {
   LoweredCollective lower(CollectiveKind kind, double bytes,
                           int root) override;
 
+  // Health events (CollectiveEngine::repair_plans, under its quiesce).
+  // Blink's planning state is whole-fabric — every plan shares the per-root
+  // tree sets, the measured-rate probes, and the best-root choice — so any
+  // event over this backend's fabric reports all_stale: the lazy slots are
+  // reset, the planning topology refreshed (failed links/GPUs erased), and
+  // every plan recompiles. Surgical retention is the cluster backend's game;
+  // a single server is one failure domain.
+  HealthNotice on_health_event(const sim::HealthEvent& event,
+                               std::span<const int> affected_channels)
+      override;
+
   // Lowering at an explicit chunk size (chunk tuners bypass the policy).
   LoweredCollective lower_at_chunk(CollectiveKind kind, double bytes, int root,
                                    std::uint64_t chunk_bytes);
@@ -112,19 +123,25 @@ class BlinkBackend : public CollectiveBackend {
   const topo::Topology& topo_;
   const sim::Fabric& fabric_;
   CommunicatorOptions options_;
+  // What tree generation plans against: topo_ minus failed links/GPUs.
+  // Refreshed by on_health_event under the engine's repair quiesce, which
+  // also resets every lazy slot below, so no build reads a stale copy.
+  topo::Topology planning_topo_;
   // Resolved CommunicatorOptions::planner_threads (>= 1): how wide
   // best_root()'s all-roots tree generation fans out.
   std::size_t planner_threads_ = 1;
 
   // Each slot is built exactly once under its flag; concurrent callers for
   // one root wait on the one TreeGen run, distinct roots build in parallel.
+  // The flags live behind unique_ptr so on_health_event can re-arm them
+  // (std::once_flag itself cannot be reset).
   std::vector<TreeSetPtr> nvlink_sets_;
   std::vector<TreeSetPtr> bidir_sets_;
   std::vector<TreeSetPtr> pcie_sets_;
   std::unique_ptr<std::once_flag[]> nvlink_once_;
   std::unique_ptr<std::once_flag[]> bidir_once_;
   std::unique_ptr<std::once_flag[]> pcie_once_;
-  std::once_flag best_root_once_;
+  std::unique_ptr<std::once_flag> best_root_once_;
   std::optional<int> best_root_;
   // Guards measured_rates_ only; probes run outside it (duplicates compute
   // the same deterministic value, first insert wins).

@@ -26,6 +26,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -65,6 +66,44 @@ struct EngineOptions {
   /// never changes what gets compiled: plans are bit-identical to serial
   /// ones and the planning fingerprint is unaffected.
   int planner_threads = 0;
+};
+
+/// What CollectiveEngine::invalidate_plans() dropped and kept: the full
+/// invalidate clears everything (retained is always 0 there), but the serve
+/// layer books both counters per shard so its statistics line up with the
+/// selective repair path's.
+struct InvalidateReport {
+  /// Plans removed from the cache.
+  std::size_t dropped = 0;
+  /// Plans still cached afterwards (0 for the full invalidate).
+  std::size_t retained = 0;
+};
+
+/// What one CollectiveEngine::repair_plans() call did: which channels the
+/// health event touched, how far the invalidation had to reach, and how the
+/// recompiles went.
+struct RepairReport {
+  /// Fabric health epoch after the event was applied.
+  std::uint64_t epoch = 0;
+  /// Channels whose effective capacity the event changed (sorted).
+  std::vector<int> affected_channels;
+  /// Plans whose footprint (or tree-set provenance) the event hit — dropped
+  /// from the cache and recompiled.
+  std::size_t dropped = 0;
+  /// Plans untouched by the event: still cached, schedules and memoized
+  /// timings still valid.
+  std::size_t retained = 0;
+  /// Dropped plans successfully recompiled against the new fabric state.
+  std::size_t recompiled = 0;
+  /// Dropped plans that could not be repaired: the backend cannot lower the
+  /// shape on the degraded fabric (e.g. a failed GPU leaves it unspannable),
+  /// or the recompiled schedule still routes over a failed channel. Their
+  /// shapes compile-miss (and rethrow) on the next request.
+  std::size_t failed = 0;
+  /// True when a backend declared all its plans stale (structural events,
+  /// restores, single-server Blink state) and the repair degenerated to a
+  /// full invalidate + recompile.
+  bool full = false;
 };
 
 /// The plan/execute engine: backend registry, argument validation, plan
@@ -200,8 +239,37 @@ class CollectiveEngine {
   /// Drops every cached plan and auto-selection decision, so the next
   /// compile of each shape re-lowers against current state (the serving
   /// layer's invalidate request). Outstanding shared_ptr plans stay valid.
-  /// Returns the number of plans dropped.
-  std::size_t invalidate_plans();
+  /// Returns how many plans were dropped (retained is always 0 here).
+  InvalidateReport invalidate_plans();
+
+  // --- fault tolerance (incremental plan repair) ---------------------------
+
+  /// Applies a fabric health event — a link degradation or failure, a GPU
+  /// failure, or a restore — and repairs the plan cache incrementally:
+  ///
+  ///  1. Quiesces the engine (no lowering or execution in flight), applies
+  ///     the event to the fabric (bumping its health epoch), and notifies
+  ///     every backend (CollectiveBackend::on_health_event) so planning
+  ///     caches refresh against the new health state.
+  ///  2. Drops exactly the cached plans the event can have changed: plans
+  ///     whose channel_footprint() intersects the affected channels, plans
+  ///     holding a tree set a backend declared stale, or — when a backend
+  ///     reports all_stale (structural rebuilds, restores) — everything.
+  ///     A plan whose footprint misses the affected channels keeps a valid
+  ///     schedule *and* a valid memoized timing: the simulated makespan
+  ///     depends only on the channels the program traverses.
+  ///  3. Recompiles the dropped shapes against the degraded fabric — in
+  ///     parallel, up to planner_threads() wide, with execution already
+  ///     resumed — and counts shapes the backend can no longer lower (or
+  ///     that still route over a failed channel) as failed, not thrown.
+  ///
+  /// Auto-selection decisions are always cleared: bake-off timings were
+  /// measured under the old capacities. Outstanding shared_ptr plans stay
+  /// valid as objects, but executing one that routes over a failed channel
+  /// throws (see sim::execute). Thread-safe against concurrent
+  /// compile()/execute(); those calls observe the fabric either entirely
+  /// before or entirely after the event, never mid-application.
+  RepairReport repair_plans(const sim::HealthEvent& event);
 
   // --- persistent plans (plan_io.h format) ---------------------------------
 
@@ -277,6 +345,13 @@ class CollectiveEngine {
   std::uint64_t fingerprint_locked() const;
   int backend_id_locked(std::string_view name) const;
   std::size_t import_plans_locked(const std::string& path);
+  // Whether a stored plan record's footprint only crosses fabric components
+  // whose health fingerprint still matches the one saved in the store header
+  // (an empty saved list means "saved healthy"). The warm-load adopt filter:
+  // false skips the record instead of rejecting the file.
+  bool record_components_clean_locked(
+      const PlanRecord& record,
+      const std::vector<std::uint64_t>& saved_components) const;
   // One-time lazy warm-load from plan_store_dir; runs before the first
   // compile so the owner's constructor has registered every backend. A
   // missing file is a cold start; a mismatched or corrupt one is logged and
@@ -300,6 +375,13 @@ class CollectiveEngine {
   // backends are stable), auto_choices_, and plan-store bookkeeping. Never
   // held across lowering or candidate measurement.
   mutable std::mutex compile_mu_;
+  // Repair quiesce lock. Shared: every lowering (including its cache insert)
+  // and every simulation — they read fabric capacities and backend planning
+  // state. Unique: repair_plans() while it mutates fabric health, notifies
+  // backends, and performs cache surgery, so in-flight work always sees a
+  // consistent pre- or post-event fabric. Lock order: exec_mu_ before
+  // compile_mu_; compile_mu_ is never held while acquiring exec_mu_.
+  mutable std::shared_mutex exec_mu_;
 
   // Shard selector for the single-flight maps below.
   struct PlanKeyHash {

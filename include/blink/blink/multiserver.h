@@ -39,9 +39,11 @@
 /// allocations.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -155,9 +157,35 @@ class ClusterBackend : public CollectiveBackend {
   std::uint64_t planning_fingerprint() const override;
   /// Emits the three-phase schedule; under Phase2Policy::kAuto, compiles
   /// every applicable exchange and keeps the fastest on the simulated
-  /// fabric.
+  /// fabric. The returned LoweredCollective::footprint unions every bake-off
+  /// candidate's program channels — the winner's identity depends on the
+  /// losers' timings, so a health event touching any candidate's channels
+  /// must re-run the bake-off.
   LoweredCollective lower(CollectiveKind kind, double bytes,
                           int root) override;
+
+  /// Incremental replanning (called by CollectiveEngine::repair_plans under
+  /// its quiesce). Capacity-only degradations leave the spanning trees and
+  /// (except through the NIC rates) the partition shares untouched, so
+  /// nothing here goes stale and invalidation stays footprint-surgical.
+  /// Structural events (kFailLink, kFailGpu) refresh the affected servers'
+  /// planning topologies from sim::Fabric::healthy_topology and rebuild
+  /// exactly those servers' cached tree sets, reporting as stale the sets
+  /// whose trees actually changed — plans on untouched servers keep their
+  /// warmed sets. A restore reports all_stale: a plan that detoured around a
+  /// failure carries no provenance tying it to the restored links, so only a
+  /// full recompile recovers the undegraded schedules. Whenever the
+  /// partition shares were already measured they are re-derived; if they
+  /// moved (heterogeneous NIC health), every plan's split changed and
+  /// all_stale is reported.
+  HealthNotice on_health_event(const sim::HealthEvent& event,
+                               std::span<const int> affected_channels)
+      override;
+
+  /// Number of TreeGen runs this backend has performed (initial builds plus
+  /// health-event rebuilds) — observability for repair tests asserting that
+  /// a capacity-only event rebuilt nothing.
+  std::uint64_t tree_builds() const { return tree_builds_.load(); }
 
   /// Number of data partitions (= per-server roots) the protocol uses: the
   /// smallest server's GPU count, so every server hosts every partition
@@ -181,8 +209,14 @@ class ClusterBackend : public CollectiveBackend {
   LoweredCollective lower_with(Phase2Strategy strategy, CollectiveKind kind,
                                double bytes, int root);
 
-  // Fills shares_; runs exactly once under shares_once_.
+  // Fills shares_; callers hold shares_mu_.
   void compute_shares();
+
+  // Refreshes |server|'s planning topology from the fabric's current health
+  // and rebuilds its cached tree sets, appending the sets whose trees
+  // changed to |stale|. Runs under the engine's repair quiesce (no
+  // concurrent lower()).
+  void refresh_server(int server, std::vector<TreeSetPtr>* stale);
 
   const TreeSetPtr& tree_set(int server, int root);
 
@@ -199,12 +233,21 @@ class ClusterBackend : public CollectiveBackend {
   // Resolved ClusterOptions::engine.planner_threads (>= 1): bake-off and
   // partition-probe fan-out width.
   std::size_t planner_threads_ = 1;
-  std::once_flag shares_once_;
-  std::vector<double> shares_;  // filled once by partition_shares()
+  // Partition shares: lazily measured under shares_mu_ (a once_flag before
+  // health events existed; repair re-derives them, so the guard must reset).
+  std::mutex shares_mu_;
+  bool shares_valid_ = false;
+  std::vector<double> shares_;  // filled by partition_shares()
+  // TreeGen runs performed (initial + health rebuilds); see tree_builds().
+  std::atomic<std::uint64_t> tree_builds_{0};
   // Tree-set cache: lookups under sets_mu_, builds single-flighted so
   // distinct (server, root) pairs generate concurrently and racers on one
-  // pair share the single TreeGen run.
+  // pair share the single TreeGen run. Builds plan against planning_topos_
+  // (the servers' topologies minus failed links/GPUs), not servers_, so
+  // post-event trees avoid dead hardware; guarded by sets_mu_ and refreshed
+  // by on_health_event.
   mutable std::mutex sets_mu_;
+  std::vector<topo::Topology> planning_topos_;
   struct PairHash {
     std::size_t operator()(const std::pair<int, int>& p) const {
       return static_cast<std::size_t>(p.first) * 0x9e3779b97f4a7c15ULL ^

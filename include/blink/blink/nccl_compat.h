@@ -151,6 +151,23 @@ blinkResult_t blinkCommImportPlans(blinkComm_t comm, const char* path);
 blinkResult_t blinkCommPrecompile(blinkComm_t comm, size_t count,
                                   blinkDataType_t dtype, int root,
                                   int* compiled);
+// --- fabric health / incremental plan repair --------------------------------
+// Applies a fabric health event to the communicator's fabric and repairs its
+// plan cache incrementally (CollectiveEngine::repair_plans): only cached
+// plans whose channel footprint the event touches are recompiled; the rest
+// stay warm under the fabric's new epoch. |event| is "degrade_link",
+// "fail_link", "fail_gpu" or "restore". degrade_link/fail_link name the
+// target |channel| by its fabric channel name (e.g. "s0.nvl.0>1"; null
+// otherwise); fail_gpu targets GPU |gpu| on |server| (0 on single-server
+// communicators). |factor| is degrade_link's remaining-capacity fraction in
+// (0, 1). On success |dropped|/|retained| (each optional) receive how many
+// cached plans were invalidated and recompiled vs kept warm. Unknown events,
+// unknown channels, and invalid factors fail with blinkInvalidArgument and
+// change nothing.
+blinkResult_t blinkCommRepair(blinkComm_t comm, const char* event,
+                              const char* channel, int server, int gpu,
+                              double factor, int* dropped, int* retained);
+
 // Destroying a communicator that another thread holds queued inside an open
 // blinkGroupStart/End is undefined behavior, as in NCCL: group state is
 // per-thread, so only the destroying thread's queue is cleaned up.

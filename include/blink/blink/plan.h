@@ -114,7 +114,8 @@ class CollectivePlan {
                  int root, int backend, std::uint64_t chunk_bytes,
                  sim::Program program, CollectiveResult meta,
                  std::vector<std::shared_ptr<const TreeSet>> tree_sets,
-                 Phase2Strategy phase2 = Phase2Strategy::kNone);
+                 Phase2Strategy phase2 = Phase2Strategy::kNone,
+                 std::vector<int> channel_footprint = {});
 
   CollectivePlan(const CollectivePlan&) = delete;
   CollectivePlan& operator=(const CollectivePlan&) = delete;
@@ -141,6 +142,17 @@ class CollectivePlan {
   // checks; the schedule itself no longer depends on them).
   const std::vector<std::shared_ptr<const TreeSet>>& tree_sets() const {
     return tree_sets_;
+  }
+
+  // Sorted, de-duplicated ids of every fabric channel this plan depends on:
+  // the channels its program's ops traverse, unioned with any channels the
+  // lowering decision consulted (bake-off candidates). A health event whose
+  // affected channels miss this set leaves the plan's schedule and simulated
+  // timing unchanged — the basis of incremental plan repair. Filled by the
+  // engine at adoption (and persisted in the plan store); empty only for
+  // plans constructed outside the engine.
+  const std::vector<int>& channel_footprint() const {
+    return channel_footprint_;
   }
 
   // Identity token of the communicator that compiled this plan; executing a
@@ -174,6 +186,7 @@ class CollectivePlan {
   sim::Program program_;
   CollectiveResult meta_;
   std::vector<std::shared_ptr<const TreeSet>> tree_sets_;
+  std::vector<int> channel_footprint_;
   mutable std::mutex result_mu_;
   mutable std::optional<CollectiveResult> result_;
 };

@@ -50,6 +50,13 @@ class PlanCache {
 
   void clear();
 
+  // Removes every cached plan |pred| returns true for (the plan repair
+  // path's selective invalidation), recording the removed keys in |removed|
+  // when given. Marks the cache dirty when anything was removed. Returns the
+  // number of plans removed.
+  std::size_t erase_if(const std::function<bool(const CollectivePlan&)>& pred,
+                       std::vector<PlanKey>* removed = nullptr);
+
   // --- persistence (plan_io.h formats) -------------------------------------
 
   // Writes every cached plan to |path| under a header carrying the format
@@ -59,11 +66,15 @@ class PlanCache {
   // order. |mark_clean| says |path| is the cache's canonical store: on
   // success the dirty flag clears (unless an insert raced the write) —
   // exports to side paths pass false so the canonical store still gets its
-  // flush. Returns the number of plans written; throws std::invalid_argument
-  // when the file cannot be written.
+  // flush. |component_fingerprints| — when non-empty — records the fabric's
+  // per-component health fingerprints in the v4 header so a later load can
+  // skip records invalidated by health events. Returns the number of plans
+  // written; throws std::invalid_argument when the file cannot be written.
   std::size_t save(const std::string& path, std::uint64_t fabric_fingerprint,
                    const std::function<std::string(int)>& backend_name,
-                   bool mark_clean = true) const;
+                   bool mark_clean = true,
+                   const std::vector<std::uint64_t>& component_fingerprints =
+                       {}) const;
 
   // Loads a store written by save() into the cache, re-keying each plan on
   // the id |backend_id| resolves its backend name to (throws on -1: a plan
@@ -78,11 +89,23 @@ class PlanCache {
   // corrupt file, a format version mismatch, or a fingerprint mismatch;
   // nothing is inserted on failure. Returns the number of plans loaded.
   // Loaded entries count as neither hits nor misses.
-  std::size_t load(const std::string& path, std::uint64_t fabric_fingerprint,
-                   const void* owner,
-                   const std::function<int(std::string_view)>& backend_id,
-                   const std::function<void(const PlanRecord&)>& validate = {},
-                   bool mark_clean = true);
+  //
+  // |adopt| — when set — decides per record whether it is adopted at all:
+  // it receives the record and the component fingerprints saved in the store
+  // header, and returning false skips the record (counted into |skipped|)
+  // without failing the load. The engine uses this to drop exactly the plans
+  // whose footprints cross a component whose health changed since the save.
+  // When any record is skipped the dirty flag stays set, so the next flush
+  // rewrites the store without the stale plans.
+  std::size_t load(
+      const std::string& path, std::uint64_t fabric_fingerprint,
+      const void* owner,
+      const std::function<int(std::string_view)>& backend_id,
+      const std::function<void(const PlanRecord&)>& validate = {},
+      bool mark_clean = true,
+      const std::function<bool(const PlanRecord&,
+                               const std::vector<std::uint64_t>&)>& adopt = {},
+      std::size_t* skipped = nullptr);
 
   // Whether the cache holds plans its canonical store has not seen: set by
   // insert(), cleared by save()/load() when they sync that store

@@ -38,8 +38,12 @@ inline constexpr std::uint32_t kPlanStoreMagic = 0x504b4c42u;
 /// rejects other versions. v2: records carry the phase-2 exchange strategy
 /// (Phase2Strategy). v3: result metadata grows the chunk-pipelining fields
 /// (pipeline depth, per-phase chunk counts) and the fabric fingerprint
-/// covers per-server NIC rate overrides.
-inline constexpr std::uint32_t kPlanStoreVersion = 3;
+/// covers per-server NIC rate overrides. v4: the header carries the fabric's
+/// per-component health fingerprints (one per server plus the NIC tier, with
+/// per-link health folded in) and records carry their channel footprint, so
+/// a warm load can skip exactly the plans a health event invalidated instead
+/// of rejecting the whole file.
+inline constexpr std::uint32_t kPlanStoreVersion = 4;
 
 /// Incremental FNV-1a (64-bit), the hasher behind fabric_fingerprint() and
 /// CollectiveBackend::planning_fingerprint(). Multi-byte values hash their
@@ -118,6 +122,20 @@ struct PlanRecord {
   CollectiveResult meta;
   /// The full routed schedule.
   sim::Program program;
+  /// Sorted channel ids the plan depends on (program routes plus bake-off
+  /// decision channels); see CollectivePlan::channel_footprint(). Empty for
+  /// records written by pre-v4 tooling — treated as "depends on everything
+  /// healthy", i.e. always adopted.
+  std::vector<int> footprint;
+};
+
+/// A whole store file: the structural fabric fingerprint, the per-component
+/// health fingerprints at save time (empty for stores written by simple
+/// tooling, meaning "saved healthy"), and the plan records.
+struct PlanStoreFile {
+  std::uint64_t fingerprint = 0;
+  std::vector<std::uint64_t> component_fingerprints;
+  std::vector<PlanRecord> records;
 };
 
 // --- stream-level primitives (exposed for tests) ----------------------------
@@ -139,6 +157,10 @@ PlanRecord deserialize_plan_record(std::string_view buf, std::size_t* pos);
 
 /// Writes header + records atomically (temp file + rename), so a concurrent
 /// reader never sees a half-written store.
+void write_plan_store(const std::string& path, const PlanStoreFile& file);
+
+/// Convenience overload writing a store with no component health
+/// fingerprints (interpreted as "saved healthy" at load).
 void write_plan_store(const std::string& path, std::uint64_t fingerprint,
                       const std::vector<PlanRecord>& records);
 
@@ -146,7 +168,12 @@ void write_plan_store(const std::string& path, std::uint64_t fingerprint,
 /// when the file is missing or unreadable, the magic or format version does
 /// not match, \p expected_fingerprint differs from the header's (a plan
 /// saved against a different fabric must never execute), or the content is
-/// corrupt or truncated.
+/// corrupt or truncated. Component-fingerprint mismatches are *not* checked
+/// here — they are per-record concerns the caller (PlanCache::load) filters.
+PlanStoreFile read_plan_store_file(const std::string& path,
+                                   std::uint64_t expected_fingerprint);
+
+/// Record-only convenience wrapper over read_plan_store_file.
 std::vector<PlanRecord> read_plan_store(const std::string& path,
                                         std::uint64_t expected_fingerprint);
 

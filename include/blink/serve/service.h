@@ -65,6 +65,12 @@ enum class RequestType {
   /// many were cold. Always charges the compile quota — a warm-up is by
   /// definition cold work.
   kPrecompile = 4,
+  /// Apply a fabric health event to the shard and repair its plan cache
+  /// incrementally (CollectiveEngine::repair_plans): only plans whose
+  /// channel footprint the event touches recompile; the rest stay warm.
+  /// Uses the ServeRequest health-event fields; never charges the compile
+  /// quota (repair is the operator's path, like kInvalidate).
+  kRepair = 5,
 };
 
 /// A conversion to a stable lowercase name ("compile", ...).
@@ -85,6 +91,16 @@ struct ServeRequest {
   double bytes = 0.0;
   /// Root GPU rank, or -1 for the backend default.
   int root = -1;
+  /// kRepair only — the health event to apply: "degrade_link", "fail_link",
+  /// "fail_gpu" or "restore". Other request types ignore these fields.
+  std::string event;
+  /// kRepair degrade_link/fail_link: the fabric channel to hit, by channel
+  /// name (sim::Fabric::channel_name, e.g. "s0.nvl.0>1").
+  std::string channel;
+  /// kRepair fail_gpu: the failing GPU's rank within the shard fabric.
+  int gpu = -1;
+  /// kRepair degrade_link: remaining capacity fraction in (0, 1).
+  double factor = 1.0;
 };
 
 /// Typed outcome of a request. Everything except kOk is an orderly
@@ -114,9 +130,12 @@ struct ServeResponse {
   bool warm_hit = false;
   /// The serving shard's fabric fingerprint (0 for rejected requests).
   std::uint64_t shard_fingerprint = 0;
-  /// kWarmLoad: plans imported; kInvalidate: plans dropped; kPrecompile:
-  /// plans that were cold and got compiled; else 0.
+  /// kWarmLoad: plans imported; kInvalidate/kRepair: plans dropped;
+  /// kPrecompile: plans that were cold and got compiled; else 0.
   std::size_t plans_touched = 0;
+  /// kInvalidate/kRepair: plans that survived the drop (for repair, the
+  /// warm plans whose footprints the event missed); else 0.
+  std::size_t plans_retained = 0;
   /// Failure or rejection detail; empty on success.
   std::string message;
 };
@@ -151,6 +170,21 @@ struct TenantCounters {
 /// bucket everything slower.
 inline constexpr std::size_t kLatencyBuckets = 24;
 
+/// Per-shard plan-invalidation bookkeeping: what kInvalidate and kRepair
+/// requests did to one shard's cache, cumulatively. Surfaced in
+/// ServiceStats::shard_health so operators can see repair cost (drops force
+/// recompiles) against repair savings (retained plans stay warm) per fabric.
+struct ShardHealthCounters {
+  /// kRepair requests served against this shard.
+  std::uint64_t repairs = 0;
+  /// kInvalidate requests served against this shard.
+  std::uint64_t invalidations = 0;
+  /// Plans dropped by repairs and invalidations together.
+  std::uint64_t plans_dropped = 0;
+  /// Plans retained across repairs and invalidations together.
+  std::uint64_t plans_retained = 0;
+};
+
 /// A consistent point-in-time snapshot of the service's counters.
 struct ServiceStats {
   /// Global counters: the sum over every tenant.
@@ -169,6 +203,10 @@ struct ServiceStats {
   std::uint64_t cache_misses = 0;
   /// PlanCache evictions summed across every shard.
   std::uint64_t cache_evictions = 0;
+  /// Per-shard repair/invalidate counters, keyed by the shard's fabric spec
+  /// ("machine|gpu,gpu,...|backend"). Shards no request ever repaired or
+  /// invalidated still appear, with zeroed counters.
+  std::map<std::string, ShardHealthCounters> shard_health;
   /// Latency histogram of served kCompile requests (see kLatencyBuckets).
   std::array<std::uint64_t, kLatencyBuckets> compile_latency_us{};
   /// Latency histogram of served kExecute requests.

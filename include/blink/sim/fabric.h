@@ -1,19 +1,31 @@
-// The simulated hardware fabric: every physical bandwidth domain of a server
-// (or multi-server cluster) as a channel, plus route lookup for the transfer
-// kinds the collectives issue.
-//
-// Channel inventory per server:
-//   * one channel per NVLink bundle per direction (capacity = lanes * lane bw)
-//   * PCIe: GPU<->PLX up/down, PLX<->CPU up/down, CPU<->CPU (QPI) per
-//     direction — copies between GPUs over PCIe hold every segment on the
-//     path, which is how ring protocols collapse when they fall back to PCIe
-//   * NVSwitch: per-GPU ingress and egress pipes (non-blocking crossbar)
-//   * a per-GPU reduction engine (CUDA kernels reduce at a finite rate and
-//     concurrent reductions on one GPU share it — the ~15% MIMO penalty of
-//     §2.2)
-//   * per-server NIC ingress/egress for cross-machine phases
+/// \file
+/// The simulated hardware fabric: every physical bandwidth domain of a server
+/// (or multi-server cluster) as a channel, plus route lookup for the transfer
+/// kinds the collectives issue.
+///
+/// Channel inventory per server:
+///   * one channel per NVLink bundle per direction (capacity = lanes * lane bw)
+///   * PCIe: GPU<->PLX up/down, PLX<->CPU up/down, CPU<->CPU (QPI) per
+///     direction — copies between GPUs over PCIe hold every segment on the
+///     path, which is how ring protocols collapse when they fall back to PCIe
+///   * NVSwitch: per-GPU ingress and egress pipes (non-blocking crossbar)
+///   * a per-GPU reduction engine (CUDA kernels reduce at a finite rate and
+///     concurrent reductions on one GPU share it — the ~15% MIMO penalty of
+///     §2.2)
+///   * per-server NIC ingress/egress for cross-machine phases
+///
+/// On top of the static inventory sits a mutable *health* layer: every
+/// channel carries a health factor in [0, 1] that scales its base capacity,
+/// and degradation/failure/restore events bump a monotonically increasing
+/// fabric *epoch*. The health layer is what makes long-running jobs
+/// survivable — a flapped NVLink becomes a capacity event the planner can
+/// repair around instead of a reason to recompile the world (ROADMAP item 1).
+/// Per-component fingerprints (one per server's local fabric plus one for the
+/// NIC tier) fold the health vector in, so plan stores and caches can tell
+/// exactly which slice of the fabric a change touched.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -21,44 +33,70 @@
 
 namespace blink::sim {
 
-// Calibration constants for behaviours the paper measures but the topology
-// does not encode (see DESIGN.md §6).
+/// Calibration constants for behaviours the paper measures but the topology
+/// does not encode (see DESIGN.md §6).
 struct FabricParams {
-  // Fixed setup latency charged per chunk copy: the paper notes each chunk
-  // costs at least three CUDA commands (§4.2.1).
+  /// Fixed setup latency charged per chunk copy: the paper notes each chunk
+  /// costs at least three CUDA commands (§4.2.1).
   double copy_launch_latency = 2e-6;
-  // Kernel launch latency for a reduction kernel.
+  /// Kernel launch latency for a reduction kernel.
   double reduce_launch_latency = 6e-6;
-  // Cross-stream synchronization cost: a dependent op in another stream
-  // observes an op's completion only after the cudaEventRecord/StreamWait
-  // handshake. Within one stream ops run back to back.
+  /// Cross-stream synchronization cost: a dependent op in another stream
+  /// observes an op's completion only after the cudaEventRecord/StreamWait
+  /// handshake. Within one stream ops run back to back.
   double event_sync_latency = 6e-6;
-  // Aggregate reduction rate of one GPU (bytes/s), shared by concurrent
-  // reduction kernels. Kernels are charged for reading every input operand
-  // (received chunks plus the local contribution); the rate reflects V100
-  // HBM2-bound elementwise sums, comfortably above the 138 GB/s a root can
-  // receive, so reductions track line rate as §2.2 measures.
+  /// Aggregate reduction rate of one GPU (bytes/s), shared by concurrent
+  /// reduction kernels. Kernels are charged for reading every input operand
+  /// (received chunks plus the local contribution); the rate reflects V100
+  /// HBM2-bound elementwise sums, comfortably above the 138 GB/s a root can
+  /// receive, so reductions track line rate as §2.2 measures.
   double reduce_bw = 300.0e9;
-  // NIC bandwidth per server per direction (bytes/s); 40 Gbps commodity
-  // cloud fabric by default (§5.4).
+  /// NIC bandwidth per server per direction (bytes/s); 40 Gbps commodity
+  /// cloud fabric by default (§5.4).
   double nic_bw = 5.0e9;
-  // Optional per-server NIC rate override (bytes/s). Empty means every
-  // server runs at |nic_bw|; otherwise the vector must have one positive
-  // entry per server. Cloud tenants rarely get uniform NICs (§5.4), and
-  // partition sizing / ring placement should see the real per-link rates.
+  /// Optional per-server NIC rate override (bytes/s). Empty means every
+  /// server runs at |nic_bw|; otherwise the vector must have one positive
+  /// entry per server. Cloud tenants rarely get uniform NICs (§5.4), and
+  /// partition sizing / ring placement should see the real per-link rates.
   std::vector<double> nic_bw_per_server;
-  // Host-memory staging bandwidth per CPU socket. PCIe P2P across PLX
-  // switches (and NIC transfers) bounce through a host buffer, which is why
-  // NCCL's PCIe fallback lands near 5 GB/s in Figure 2b rather than at raw
-  // PCIe rate.
+  /// Host-memory staging bandwidth per CPU socket. PCIe P2P across PLX
+  /// switches (and NIC transfers) bounce through a host buffer, which is why
+  /// NCCL's PCIe fallback lands near 5 GB/s in Figure 2b rather than at raw
+  /// PCIe rate.
   double sysmem_bw = 5.0e9;
+};
+
+/// Kinds of fabric health events. Degrades are *capacity-only*: the channel
+/// keeps existing, routes through it stay legal, only its rate changes.
+/// Failures are *structural*: the channel's capacity drops to zero, routes
+/// over it become illegal (sim::execute refuses them), and planners must
+/// re-route — healthy_topology() reflects the loss.
+enum class HealthEventKind {
+  kDegradeLink = 0,  ///< scale one channel's capacity by a factor in (0, 1]
+  kFailLink = 1,     ///< fail a channel and its reverse-direction partner
+  kFailGpu = 2,      ///< fail every channel attached to one GPU
+  kRestoreAll = 3,   ///< restore every channel to full health
+};
+
+/// Human-readable name of a health-event kind ("degrade_link", ...).
+const char* to_string(HealthEventKind kind);
+
+/// One fabric health event. Which fields matter depends on |kind|:
+/// kDegradeLink reads |channel| and |factor|, kFailLink reads |channel|,
+/// kFailGpu reads |server| and |gpu|, kRestoreAll reads nothing.
+struct HealthEvent {
+  HealthEventKind kind = HealthEventKind::kRestoreAll;
+  int channel = -1;     ///< target channel id (degrade / fail link)
+  int server = -1;      ///< target server (fail GPU)
+  int gpu = -1;         ///< target GPU, local to |server| (fail GPU)
+  double factor = 1.0;  ///< capacity multiplier in (0, 1] (degrade)
 };
 
 class Fabric {
  public:
-  // Single-server fabric.
+  /// Single-server fabric.
   Fabric(const topo::Topology& topo, const FabricParams& params);
-  // Multi-server fabric: identical channel inventory per server plus NICs.
+  /// Multi-server fabric: identical channel inventory per server plus NICs.
   Fabric(const std::vector<topo::Topology>& servers,
          const FabricParams& params);
 
@@ -69,49 +107,148 @@ class Fabric {
   }
 
   int num_channels() const { return static_cast<int>(capacity_.size()); }
+  /// Effective per-channel capacities (base capacity x health factor). This
+  /// is what the executor's max-min rate computation reads, so health events
+  /// take effect on the next rate recompute.
   const std::vector<double>& capacities() const { return capacity_; }
   const std::string& channel_name(int c) const {
     return name_[static_cast<std::size_t>(c)];
   }
 
+  // --- health layer -------------------------------------------------------
+
+  /// Monotonic event counter: 0 on a freshly built (healthy) fabric, +1 per
+  /// applied health event. Plans compiled at different epochs may disagree
+  /// about channel rates; the engine's repair path keys off this.
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// Health factor of a channel: 1 = full rate, 0 = failed.
+  double channel_health(int c) const {
+    return health_[static_cast<std::size_t>(c)];
+  }
+  /// True when the channel has been failed (health exactly 0).
+  bool channel_failed(int c) const { return channel_health(c) == 0.0; }
+  /// The channel's as-built capacity, before any health scaling.
+  double base_capacity(int c) const {
+    return base_capacity_[static_cast<std::size_t>(c)];
+  }
+  /// The server a channel belongs to (NIC channels belong to their server
+  /// too; see is_nic_channel() for the component split).
+  int channel_server(int c) const {
+    return channel_server_[static_cast<std::size_t>(c)];
+  }
+  /// True for per-server NIC ingress/egress channels — the NIC tier forms
+  /// its own fingerprint component, separate from the servers' local fabrics.
+  bool is_nic_channel(int c) const {
+    return nic_channel_[static_cast<std::size_t>(c)];
+  }
+  /// True when fail_gpu() has taken this GPU out (its channels are failed).
+  bool gpu_failed(int server, int gpu) const;
+
+  /// Scales |channel|'s capacity by |factor| in (0, 1]. factor == 1 restores
+  /// a previously degraded channel to full rate. Throws std::invalid_argument
+  /// on a failed channel (failures are structural; use restore()) or an
+  /// out-of-range channel/factor. Returns the affected channel ids ({channel})
+  /// and bumps the epoch.
+  std::vector<int> degrade_link(int channel, double factor);
+
+  /// Fails |channel| and its reverse-direction partner (the other direction
+  /// of an NVLink bundle, the paired PCIe/QPI/NVSwitch/NIC lane). Returns the
+  /// newly failed channel ids and bumps the epoch.
+  std::vector<int> fail_link(int channel);
+
+  /// Fails every channel attached to GPU |gpu| of |server|: NVLink
+  /// directions, NVSwitch pipes, PCIe up/down, and the reduce engine (whose
+  /// zero health doubles as the GPU-failed marker). Returns the newly failed
+  /// channel ids and bumps the epoch.
+  std::vector<int> fail_gpu(int server, int gpu);
+
+  /// Restores every channel to full health. Returns the channel ids whose
+  /// health changed and bumps the epoch.
+  std::vector<int> restore();
+
+  /// Applies |event| by dispatching to the methods above. Returns the
+  /// affected channel ids.
+  std::vector<int> apply(const HealthEvent& event);
+
+  /// Number of fingerprint components: one per server's local fabric, plus
+  /// one for the NIC tier on multi-server fabrics.
+  int num_components() const {
+    return num_servers() + (num_servers() > 1 ? 1 : 0);
+  }
+  /// Fingerprint of one component, folding each member channel's base
+  /// capacity and current health factor. Component s < num_servers() covers
+  /// server s's non-NIC channels; the last component (multi-server only)
+  /// covers every NIC channel. Health events change only the fingerprints of
+  /// the components they touch.
+  std::uint64_t component_fingerprint(int component) const;
+  /// All component fingerprints, indexed as component_fingerprint().
+  std::vector<std::uint64_t> component_fingerprints() const;
+
+  /// |server|'s topology with failed hardware removed: NVLink edges with a
+  /// failed direction, and every NVLink edge incident to a failed GPU, are
+  /// erased. This is the topology planners should generate trees from after
+  /// a structural event. Capacity-only degrades leave it unchanged.
+  topo::Topology healthy_topology(int server) const;
+
   // --- route lookup; GPU ids are local to |server| ------------------------
 
-  // Direct NVLink (or NVSwitch) path src -> dst. Requires adjacency (or an
-  // NVSwitch fabric).
+  /// Direct NVLink (or NVSwitch) path src -> dst. Requires adjacency (or an
+  /// NVSwitch fabric).
   std::vector<int> nvlink_route(int server, int src, int dst) const;
 
-  // PCIe path src -> dst through the switch hierarchy.
+  /// PCIe path src -> dst through the switch hierarchy.
   std::vector<int> pcie_route(int server, int src, int dst) const;
 
-  // The reduction engine channel of a GPU.
+  /// The reduction engine channel of a GPU.
   int reduce_channel(int server, int gpu) const;
 
-  // Cross-machine path (NIC egress of src server + ingress of dst server).
+  /// Cross-machine path (NIC egress of src server + ingress of dst server).
   std::vector<int> nic_route(int src_server, int dst_server) const;
 
-  // Effective NIC rate of |server| (bytes/s): the per-server override when
-  // present, the uniform params_.nic_bw otherwise.
+  /// Effective NIC egress rate of |server| (bytes/s): the per-server
+  /// override when present (else the uniform params_.nic_bw), scaled by the
+  /// egress channel's health factor.
   double nic_rate(int server) const;
 
-  // True when any per-server NIC override differs from the uniform rate.
+  /// True when any per-server NIC override differs from the uniform rate, or
+  /// when any NIC channel's health is off nominal — either way the NICs no
+  /// longer run at one common rate and planners should look at nic_rate().
   bool heterogeneous_nics() const;
 
-  // PCIe path from a GPU up to its CPU socket (NIC staging) and back down;
-  // used by baselines whose cross-machine hops traverse PCIe + NIC + PCIe.
+  /// PCIe path from a GPU up to its CPU socket (NIC staging) and back down;
+  /// used by baselines whose cross-machine hops traverse PCIe + NIC + PCIe.
   std::vector<int> pcie_to_host_route(int server, int gpu) const;
   std::vector<int> pcie_from_host_route(int server, int gpu) const;
 
+  /// True when src -> dst has a *healthy* direct NVLink (or NVSwitch) path:
+  /// a failed link or GPU removes the adjacency, so lowerings that consult
+  /// it fall back to PCIe automatically.
   bool nvlink_adjacent(int server, int src, int dst) const;
 
  private:
   void build_server(int s);
 
   int add_channel(std::string name, double capacity);
+  // Fails |c| (health 0) if not already failed, recording it in |affected|.
+  void fail_channel(int c, std::vector<int>* affected);
 
   FabricParams params_;
   std::vector<topo::Topology> servers_;
-  std::vector<double> capacity_;
+  std::vector<double> capacity_;       // effective: base x health
   std::vector<std::string> name_;
+
+  // --- health state (parallel to capacity_) ---
+  std::vector<double> base_capacity_;  // as built
+  std::vector<double> health_;         // [0, 1]; 0 = failed
+  std::vector<int> channel_server_;    // owning server per channel
+  std::vector<char> nic_channel_;      // NIC-tier membership per channel
+  std::vector<int> reverse_of_;        // reverse-direction partner or -1
+  std::uint64_t epoch_ = 0;
+
+  // Set by build_server so add_channel can record ownership.
+  int building_server_ = -1;
+  bool building_nic_ = false;
 
   struct ServerChannels {
     // nvlink_dir[src][dst] = channel id or -1.

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "blink/sim/executor.h"
 
@@ -29,5 +30,16 @@ std::string to_chrome_trace(const Fabric& fabric, const Program& program,
 bool write_chrome_trace(const std::string& path, const Fabric& fabric,
                         const Program& program, const RunResult& result,
                         const TraceOptions& options = {});
+
+// Per-op channel routes of |program|: entry i is op i's route (channel ids,
+// empty for delay/kernel-free ops). The supported way for tests and the plan
+// repair path to map ops -> links without reading Program internals.
+std::vector<std::vector<int>> op_channel_routes(const Program& program);
+
+// Sorted, de-duplicated set of every channel |program|'s ops traverse — the
+// program's channel footprint. Plans whose footprints miss a degraded or
+// failed channel are unaffected by the event (their simulated rates only
+// depend on channels they use).
+std::vector<int> program_channels(const Program& program);
 
 }  // namespace blink::sim

@@ -18,7 +18,10 @@ namespace blink {
 BlinkBackend::BlinkBackend(const topo::Topology& topo,
                            const sim::Fabric& fabric,
                            CommunicatorOptions options)
-    : topo_(topo), fabric_(fabric), options_(std::move(options)) {
+    : topo_(topo),
+      fabric_(fabric),
+      options_(std::move(options)),
+      planning_topo_(topo) {
   planner_threads_ =
       options_.planner_threads >= 1
           ? static_cast<std::size_t>(options_.planner_threads)
@@ -33,6 +36,32 @@ BlinkBackend::BlinkBackend(const topo::Topology& topo,
   nvlink_once_ = std::make_unique<std::once_flag[]>(n);
   bidir_once_ = std::make_unique<std::once_flag[]>(n);
   pcie_once_ = std::make_unique<std::once_flag[]>(n);
+  best_root_once_ = std::make_unique<std::once_flag>();
+}
+
+HealthNotice BlinkBackend::on_health_event(
+    const sim::HealthEvent& event, std::span<const int> affected_channels) {
+  (void)event;
+  (void)affected_channels;
+  // Runs under the owning engine's repair quiesce: no lower(), probe, or
+  // best_root() is in flight, so the lazy slots can be re-armed wholesale.
+  planning_topo_ = fabric_.healthy_topology(0);
+  const auto n = static_cast<std::size_t>(topo_.num_gpus);
+  std::fill(nvlink_sets_.begin(), nvlink_sets_.end(), nullptr);
+  std::fill(bidir_sets_.begin(), bidir_sets_.end(), nullptr);
+  std::fill(pcie_sets_.begin(), pcie_sets_.end(), nullptr);
+  nvlink_once_ = std::make_unique<std::once_flag[]>(n);
+  bidir_once_ = std::make_unique<std::once_flag[]>(n);
+  pcie_once_ = std::make_unique<std::once_flag[]>(n);
+  best_root_once_ = std::make_unique<std::once_flag>();
+  best_root_.reset();
+  {
+    const std::lock_guard<std::mutex> lock(rates_mu_);
+    measured_rates_.clear();
+  }
+  HealthNotice notice;
+  notice.all_stale = true;
+  return notice;
 }
 
 bool BlinkBackend::supports(CollectiveKind kind) const {
@@ -47,7 +76,7 @@ const BlinkBackend::TreeSetPtr& BlinkBackend::shared_tree_set(int root) {
   std::call_once(nvlink_once_[slot_index], [&] {
     TreeGenOptions opts = options_.treegen;
     opts.link = topo::LinkType::kNVLink;
-    TreeSet set = generate_trees(topo_, root, opts);
+    TreeSet set = generate_trees(planning_topo_, root, opts);
     if (set.empty()) {
       // NVLink does not connect this allocation: Blink falls back to PCIe
       // trees entirely (the situation where NCCL collapses, Figure 2b).
@@ -67,7 +96,7 @@ const BlinkBackend::TreeSetPtr& BlinkBackend::shared_bidir_tree_set(int root) {
     TreeGenOptions opts = options_.treegen;
     opts.link = topo::LinkType::kNVLink;
     opts.bidirectional = true;
-    TreeSet set = generate_trees(topo_, root, opts);
+    TreeSet set = generate_trees(planning_topo_, root, opts);
     if (set.empty()) {
       slot = shared_pcie_tree_set(root);
     } else {
@@ -84,13 +113,14 @@ const BlinkBackend::TreeSetPtr& BlinkBackend::shared_pcie_tree_set(int root) {
   std::call_once(pcie_once_[slot_index], [&] {
     TreeGenOptions opts = options_.treegen;
     opts.link = topo::LinkType::kPCIe;
-    slot = std::make_shared<const TreeSet>(generate_trees(topo_, root, opts));
+    slot = std::make_shared<const TreeSet>(
+        generate_trees(planning_topo_, root, opts));
   });
   return slot;
 }
 
 int BlinkBackend::best_root() {
-  std::call_once(best_root_once_, [&] {
+  std::call_once(*best_root_once_, [&] {
     // The first AllReduce on a non-NVSwitch box pays for TreeGen at every
     // root; generating the per-root sets across the planner pool turns the
     // worst cold-start into the cost of the slowest single root.

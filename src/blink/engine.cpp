@@ -1,6 +1,8 @@
 #include "blink/blink/engine.h"
 
+#include <algorithm>
 #include <atomic>
+#include <bit>
 #include <cstring>
 #include <filesystem>
 #include <stdexcept>
@@ -11,6 +13,7 @@
 #include "blink/common/logging.h"
 #include "blink/common/thread_pool.h"
 #include "blink/sim/executor.h"
+#include "blink/sim/trace.h"
 
 namespace blink {
 
@@ -58,11 +61,13 @@ CollectiveEngine::~CollectiveEngine() {
     if (!plans_.dirty()) return;
     std::filesystem::create_directories(engine_options_.plan_store_dir);
     const std::uint64_t fingerprint = fingerprint_locked();
-    plans_.save(plan_store_file(engine_options_.plan_store_dir, fingerprint),
-                fingerprint, [this](int id) {
-                  return std::string(
-                      backends_[static_cast<std::size_t>(id)]->name());
-                });
+    plans_.save(
+        plan_store_file(engine_options_.plan_store_dir, fingerprint),
+        fingerprint,
+        [this](int id) {
+          return std::string(backends_[static_cast<std::size_t>(id)]->name());
+        },
+        /*mark_clean=*/true, fabric_.component_fingerprints());
   } catch (const std::exception& e) {
     BLINK_LOG(kWarning) << "plan store flush failed: " << e.what();
   }
@@ -101,10 +106,22 @@ int CollectiveEngine::backend_id(std::string_view name) const {
 std::shared_ptr<const CollectivePlan> CollectiveEngine::adopt_plan(
     CollectiveKind kind, double bytes, int root, int backend,
     LoweredCollective lowered) {
+  // The plan's channel footprint: every channel its program routes over,
+  // unioned with the decision channels the backend reports (a bake-off
+  // winner depends on its losers' timings too — see LoweredCollective::
+  // footprint). This is what repair_plans() intersects against.
+  std::vector<int> footprint = sim::program_channels(lowered.program);
+  if (!lowered.footprint.empty()) {
+    footprint.insert(footprint.end(), lowered.footprint.begin(),
+                     lowered.footprint.end());
+    std::sort(footprint.begin(), footprint.end());
+    footprint.erase(std::unique(footprint.begin(), footprint.end()),
+                    footprint.end());
+  }
   auto plan = std::make_shared<const CollectivePlan>(
       this, kind, bytes, root, backend, lowered.chunk_bytes,
       std::move(lowered.program), lowered.meta, std::move(lowered.tree_sets),
-      lowered.phase2);
+      lowered.phase2, std::move(footprint));
   plans_.insert(plan->key(), plan);
   return plan;
 }
@@ -157,12 +174,22 @@ std::shared_ptr<const CollectivePlan> CollectiveEngine::compile_concrete(
     throw std::invalid_argument(std::string("root out of range for the ") +
                                 be->name() + " backend");
   }
-  if (root == -1) root = be->default_root(kind);
+  if (root == -1) {
+    // default_root may lazily build planning state (Blink's best-root scan),
+    // which repair_plans() resets under the unique lock.
+    const std::shared_lock<std::shared_mutex> exec_lock(exec_mu_);
+    root = be->default_root(kind);
+  }
   const PlanKey key = PlanKey::make(kind, bytes, root, backend);
   bool leader = false;
   auto plan = compile_flight_.run(
       key,
       [&]() -> std::shared_ptr<const CollectivePlan> {
+        // Shared quiesce lock across lookup, lowering, AND the cache insert:
+        // a repair either sees this plan in the cache (and can drop it) or
+        // the lowering runs entirely against the post-event fabric — never a
+        // pre-event plan slipping into a freshly repaired cache.
+        const std::shared_lock<std::shared_mutex> exec_lock(exec_mu_);
         if (auto cached = plans_.find(key)) return cached;
         return adopt_plan(kind, bytes, root, backend,
                           be->lower(kind, bytes, root));
@@ -193,6 +220,7 @@ int CollectiveEngine::default_root(CollectiveKind kind) {
     throw std::invalid_argument(
         std::string("no registered backend supports ") + to_string(kind));
   }
+  const std::shared_lock<std::shared_mutex> exec_lock(exec_mu_);
   return be->default_root(kind);
 }
 
@@ -295,7 +323,10 @@ bool CollectiveEngine::has_cached_plan(CollectiveKind kind, double bytes,
     }
     if (!be->supports(kind)) return false;
     if (be->num_ranks() >= 0 && root >= be->num_ranks()) return false;
-    if (root == -1) root = be->default_root(kind);
+    if (root == -1) {
+      const std::shared_lock<std::shared_mutex> exec_lock(exec_mu_);
+      root = be->default_root(kind);
+    }
     return plans_.contains(PlanKey::make(kind, bytes, root, backend));
   } catch (const std::exception&) {
     return false;  // compile() would throw; either way, not a cached plan
@@ -312,15 +343,119 @@ std::size_t CollectiveEngine::flush_plans() {
       plan_store_file(engine_options_.plan_store_dir, fingerprint), fingerprint,
       [this](int id) {
         return std::string(backends_[static_cast<std::size_t>(id)]->name());
-      });
+      },
+      /*mark_clean=*/true, fabric_.component_fingerprints());
 }
 
-std::size_t CollectiveEngine::invalidate_plans() {
+InvalidateReport CollectiveEngine::invalidate_plans() {
   const std::lock_guard<std::mutex> lock(compile_mu_);
-  const std::size_t dropped = plans_.size();
+  InvalidateReport report;
+  report.dropped = plans_.size();
   plans_.clear();
   auto_choices_.clear();
-  return dropped;
+  return report;
+}
+
+RepairReport CollectiveEngine::repair_plans(const sim::HealthEvent& event) {
+  RepairReport report;
+  // Shapes to recompile, reconstructed from the dropped keys (bytes_bits is
+  // the exact double bit pattern, so the recompile lands on the same key).
+  std::vector<PlanKey> dropped_keys;
+  {
+    // Unique quiesce: no lowering or simulation observes the fabric while
+    // its health, the backends' planning caches, and the plan cache change.
+    const std::unique_lock<std::shared_mutex> exec_lock(exec_mu_);
+    report.affected_channels = fabric_.apply(event);
+    report.epoch = fabric_.epoch();
+    std::vector<CollectiveBackend*> backends;
+    {
+      const std::lock_guard<std::mutex> lock(compile_mu_);
+      backends.reserve(backends_.size());
+      for (const auto& be : backends_) backends.push_back(be.get());
+      // Bake-off winners were timed under the old capacities; re-measure.
+      auto_choices_.clear();
+    }
+    bool all_stale = false;
+    std::vector<std::shared_ptr<const TreeSet>> stale_sets;
+    for (CollectiveBackend* be : backends) {
+      HealthNotice notice = be->on_health_event(event, report.affected_channels);
+      all_stale |= notice.all_stale;
+      for (auto& set : notice.stale_tree_sets) {
+        stale_sets.push_back(std::move(set));
+      }
+    }
+    // A restore is never surgical at the engine level either: a plan that
+    // detoured around a failure keeps a footprint disjoint from the restored
+    // channels, yet a from-scratch compile would now route through them.
+    if (event.kind == sim::HealthEventKind::kRestoreAll) all_stale = true;
+    report.full = all_stale;
+    std::vector<int> affected = report.affected_channels;
+    std::sort(affected.begin(), affected.end());
+    const auto hit = [&](const CollectivePlan& plan) {
+      if (all_stale) return true;
+      const std::vector<int>& footprint = plan.channel_footprint();
+      if (footprint.empty()) {
+        // Only plans built outside the engine lack a footprint; without one
+        // the only safe answer for a non-trivial schedule is "stale".
+        return !plan.program().empty();
+      }
+      for (const int c : footprint) {
+        if (std::binary_search(affected.begin(), affected.end(), c)) {
+          return true;
+        }
+      }
+      for (const auto& set : plan.tree_sets()) {
+        for (const auto& stale : stale_sets) {
+          if (set == stale) return true;
+        }
+      }
+      return false;
+    };
+    report.dropped = plans_.erase_if(hit, &dropped_keys);
+    report.retained = plans_.size();
+  }
+  // Recompile outside the quiesce: execution of retained plans resumes while
+  // the dropped shapes re-lower in parallel against the degraded fabric.
+  std::atomic<std::size_t> recompiled{0};
+  std::atomic<std::size_t> failed{0};
+  common::parallel_for(
+      dropped_keys.size(), planner_threads_, [&](std::size_t i) {
+        const PlanKey& key = dropped_keys[i];
+        try {
+          compile_concrete(static_cast<CollectiveKind>(key.kind),
+                           std::bit_cast<double>(key.bytes_bits), key.root,
+                           key.backend);
+          recompiled.fetch_add(1);
+        } catch (const std::exception&) {
+          // The shape no longer lowers on this fabric (a failed GPU can make
+          // it unspannable). Typed, not thrown: the next compile of the
+          // shape surfaces the error to its caller.
+          failed.fetch_add(1);
+        }
+      });
+  // Post-check: a health-blind backend may have re-emitted a schedule over a
+  // channel that is still failed. Such a plan would throw at execute(); drop
+  // it now and book the shape as failed instead of repaired.
+  std::vector<int> still_failed;
+  for (int c = 0; c < fabric_.num_channels(); ++c) {
+    if (fabric_.channel_failed(c)) still_failed.push_back(c);
+  }
+  if (!still_failed.empty()) {
+    const std::size_t bad = plans_.erase_if([&](const CollectivePlan& plan) {
+      for (const int c : plan.channel_footprint()) {
+        if (std::binary_search(still_failed.begin(), still_failed.end(), c)) {
+          return true;
+        }
+      }
+      return false;
+    });
+    failed.fetch_add(bad);
+    const std::size_t r = recompiled.load();
+    recompiled.store(r - std::min(bad, r));
+  }
+  report.recompiled = recompiled.load();
+  report.failed = failed.load();
+  return report;
 }
 
 CollectiveResult CollectiveEngine::execute(const CollectivePlan& plan) {
@@ -331,7 +466,13 @@ CollectiveResult CollectiveEngine::execute(const CollectivePlan& plan) {
     if (const auto cached = plan.cached_result()) return *cached;
   }
   CollectiveResult result = plan.meta();
-  const sim::RunResult run = sim::execute(fabric_, plan.program());
+  sim::RunResult run;
+  {
+    // Shared quiesce: the simulation reads every channel's effective
+    // capacity, which repair_plans() mutates under the unique lock.
+    const std::shared_lock<std::shared_mutex> exec_lock(exec_mu_);
+    run = sim::execute(fabric_, plan.program());
+  }
   result.seconds = run.makespan;
   result.algorithm_bw = algorithm_bw(result.bytes, result.seconds);
   if (engine_options_.memoize) plan.memoize_result(result);
@@ -345,7 +486,11 @@ std::vector<CollectiveResult> CollectiveEngine::run(
   std::vector<const sim::Program*> programs;
   programs.reserve(plans.size());
   for (const auto& plan : plans) programs.push_back(&plan->program());
-  const sim::GroupRunResult group = sim::execute_group(fabric_, programs);
+  sim::GroupRunResult group;
+  {
+    const std::shared_lock<std::shared_mutex> exec_lock(exec_mu_);
+    group = sim::execute_group(fabric_, programs);
+  }
   std::vector<CollectiveResult> results;
   results.reserve(plans.size());
   for (std::size_t i = 0; i < plans.size(); ++i) {
@@ -445,7 +590,8 @@ std::size_t CollectiveEngine::export_plans(const std::string& path) const {
       [this](int id) {
         return std::string(backends_[static_cast<std::size_t>(id)]->name());
       },
-      /*mark_clean=*/is_canonical_store_locked(path));
+      /*mark_clean=*/is_canonical_store_locked(path),
+      fabric_.component_fingerprints());
 }
 
 std::size_t CollectiveEngine::import_plans(const std::string& path) {
@@ -458,8 +604,34 @@ std::size_t CollectiveEngine::import_plans(const std::string& path) {
   return n;
 }
 
+bool CollectiveEngine::record_components_clean_locked(
+    const PlanRecord& record,
+    const std::vector<std::uint64_t>& saved_components) const {
+  for (const int channel : record.footprint) {
+    const int component = fabric_.is_nic_channel(channel)
+                              ? num_servers()
+                              : fabric_.channel_server(channel);
+    if (saved_components.empty()) {
+      // Pre-health tooling wrote no component section: "saved healthy". The
+      // record is adoptable exactly while its channels are still healthy.
+      if (fabric_.channel_health(channel) != 1.0) return false;
+    } else {
+      if (component < 0 ||
+          component >= static_cast<int>(saved_components.size())) {
+        return false;
+      }
+      if (saved_components[static_cast<std::size_t>(component)] !=
+          fabric_.component_fingerprint(component)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
 std::size_t CollectiveEngine::import_plans_locked(const std::string& path) {
-  return plans_.load(
+  std::size_t skipped = 0;
+  const std::size_t n = plans_.load(
       path, fingerprint_locked(), this,
       [this](std::string_view name) { return backend_id_locked(name); },
       [this](const PlanRecord& record) {
@@ -480,8 +652,26 @@ std::size_t CollectiveEngine::import_plans_locked(const std::string& path) {
             }
           }
         }
+        for (const int channel : record.footprint) {
+          if (channel < 0 || channel >= fabric_.num_channels()) {
+            throw std::invalid_argument(
+                "plan store: footprint channel out of range for this fabric");
+          }
+        }
       },
-      /*mark_clean=*/is_canonical_store_locked(path));
+      /*mark_clean=*/is_canonical_store_locked(path),
+      [this](const PlanRecord& record,
+             const std::vector<std::uint64_t>& saved_components) {
+        return record_components_clean_locked(record, saved_components);
+      },
+      &skipped);
+  if (skipped > 0) {
+    BLINK_LOG(kWarning) << "plan store: skipped " << skipped << " of "
+                        << (n + skipped)
+                        << " plans crossing components whose health changed "
+                           "since the save";
+  }
+  return n;
 }
 
 void CollectiveEngine::maybe_warm_load_locked() {

@@ -9,6 +9,7 @@
 #include "blink/blink/plan_io.h"
 #include "blink/common/thread_pool.h"
 #include "blink/sim/executor.h"
+#include "blink/sim/trace.h"
 
 namespace blink {
 
@@ -24,6 +25,28 @@ const T& at(const std::vector<T>& v, int i) {
 }
 
 bool is_power_of_two(int n) { return n > 0 && (n & (n - 1)) == 0; }
+
+// Whether two packings of one (server, root) pair came out identical —
+// root, fabric choice, and every tree's structure and bandwidth assignment.
+// Used by the health-event path to keep a cached set (pointer identity and
+// all) when a rebuild on the post-event planning topology reproduced it.
+bool tree_sets_equal(const TreeSet& a, const TreeSet& b) {
+  if (a.root != b.root || a.link != b.link ||
+      a.bidirectional != b.bidirectional || a.rate != b.rate ||
+      a.graph.num_edges() != b.graph.num_edges() ||
+      a.trees.size() != b.trees.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.trees.size(); ++i) {
+    const packing::WeightedTree& ta = a.trees[i];
+    const packing::WeightedTree& tb = b.trees[i];
+    if (ta.weight != tb.weight || ta.tree.root != tb.tree.root ||
+        ta.tree.edge_ids != tb.tree.edge_ids) {
+      return false;
+    }
+  }
+  return true;
+}
 
 std::vector<topo::Topology> validated_cluster(
     std::vector<topo::Topology> servers) {
@@ -85,6 +108,10 @@ ClusterBackend::ClusterBackend(const std::vector<topo::Topology>& servers,
   // One partition per server-local root; every server must host a root for
   // every partition (Figure 10 uses one partition per GPU on equal servers).
   num_partitions_ = min_gpus;
+  // Tree generation plans against these copies, not servers_: health events
+  // rewrite them (failed links/GPUs erased) while the engine's fabric keeps
+  // the full structural topology.
+  planning_topos_ = servers_;
 }
 
 bool ClusterBackend::supports(CollectiveKind kind) const {
@@ -120,14 +147,20 @@ const ClusterBackend::TreeSetPtr& ClusterBackend::tree_set(int server,
   // Single-flight the build: racers on one (server, root) share the one
   // TreeGen run; distinct pairs generate concurrently.
   sets_flight_.run(key, [&]() -> TreeSetPtr {
+    // Snapshot the planning topology under the lock — a health event may
+    // swap it (never mutate it in place) between builds.
+    const topo::Topology topo = [&] {
+      const std::lock_guard<std::mutex> lock(sets_mu_);
+      return at(planning_topos_, server);
+    }();
     TreeGenOptions opts = treegen_;
     opts.link = topo::LinkType::kNVLink;
-    TreeSet set =
-        generate_trees(servers_[static_cast<std::size_t>(server)], root, opts);
+    tree_builds_.fetch_add(1);
+    TreeSet set = generate_trees(topo, root, opts);
     if (set.empty()) {
       opts.link = topo::LinkType::kPCIe;
-      set = generate_trees(servers_[static_cast<std::size_t>(server)], root,
-                           opts);
+      tree_builds_.fetch_add(1);
+      set = generate_trees(topo, root, opts);
     }
     auto ptr = std::make_shared<const TreeSet>(std::move(set));
     const std::lock_guard<std::mutex> lock(sets_mu_);
@@ -140,7 +173,14 @@ const ClusterBackend::TreeSetPtr& ClusterBackend::tree_set(int server,
 }
 
 const std::vector<double>& ClusterBackend::partition_shares() {
-  std::call_once(shares_once_, [&] { compute_shares(); });
+  const std::lock_guard<std::mutex> lock(shares_mu_);
+  if (!shares_valid_) {
+    compute_shares();
+    shares_valid_ = true;
+  }
+  // Safe to return by reference: shares_ is only rewritten under shares_mu_
+  // before shares_valid_ flips (first call, or a health event under the
+  // engine's repair quiesce with no lowering in flight).
   return shares_;
 }
 
@@ -228,6 +268,90 @@ void ClusterBackend::compute_shares() {
   for (int p = 0; p < k; ++p) {
     at(shares_, p) = floor + (1.0 - k * floor) * at(weight, p) / total;
   }
+}
+
+void ClusterBackend::refresh_server(int server,
+                                    std::vector<TreeSetPtr>* stale) {
+  std::vector<std::pair<std::pair<int, int>, TreeSetPtr>> cached;
+  const topo::Topology topo = fabric_.healthy_topology(server);
+  {
+    const std::lock_guard<std::mutex> lock(sets_mu_);
+    at(planning_topos_, server) = topo;
+    for (const auto& [key, ptr] : sets_) {
+      if (key.first == server) cached.emplace_back(key, ptr);
+    }
+  }
+  for (const auto& [key, old_set] : cached) {
+    TreeGenOptions opts = treegen_;
+    opts.link = topo::LinkType::kNVLink;
+    tree_builds_.fetch_add(1);
+    TreeSet set = generate_trees(topo, key.second, opts);
+    if (set.empty()) {
+      opts.link = topo::LinkType::kPCIe;
+      tree_builds_.fetch_add(1);
+      set = generate_trees(topo, key.second, opts);
+    }
+    // A rebuild that reproduced the cached trees (the failed hardware was
+    // not load-bearing for this root) keeps the old set — pointer identity
+    // included, so plans referencing it stay valid without recompiling.
+    if (tree_sets_equal(*old_set, set)) continue;
+    stale->push_back(old_set);
+    auto ptr = std::make_shared<const TreeSet>(std::move(set));
+    const std::lock_guard<std::mutex> lock(sets_mu_);
+    sets_[key] = std::move(ptr);
+  }
+}
+
+HealthNotice ClusterBackend::on_health_event(
+    const sim::HealthEvent& event, std::span<const int> affected_channels) {
+  HealthNotice notice;
+  switch (event.kind) {
+    case sim::HealthEventKind::kDegradeLink:
+      // Capacity-only: trees are planned against the topology's structural
+      // bandwidths, not the fabric's live health, so no planning state moves
+      // (the shares re-check below covers NIC-rate folding).
+      break;
+    case sim::HealthEventKind::kFailLink:
+    case sim::HealthEventKind::kFailGpu: {
+      // Structural: the affected servers' planning topologies lose the dead
+      // links/GPUs and their cached tree sets rebuild; only sets whose trees
+      // actually changed invalidate plans.
+      std::vector<int> touched;
+      for (const int c : affected_channels) {
+        if (fabric_.is_nic_channel(c)) continue;
+        const int s = fabric_.channel_server(c);
+        if (s >= 0) touched.push_back(s);
+      }
+      std::sort(touched.begin(), touched.end());
+      touched.erase(std::unique(touched.begin(), touched.end()),
+                    touched.end());
+      for (const int s : touched) refresh_server(s, &notice.stale_tree_sets);
+      break;
+    }
+    case sim::HealthEventKind::kRestoreAll: {
+      // A plan that detoured around a failure (PCIe fallback, local_route
+      // picks) carries no provenance tying it to the links just restored —
+      // only a full recompile recovers the undegraded schedules.
+      notice.all_stale = true;
+      for (int s = 0; s < static_cast<int>(servers_.size()); ++s) {
+        refresh_server(s, &notice.stale_tree_sets);
+      }
+      break;
+    }
+  }
+  // Re-derive the partition shares when they were already measured: tree-set
+  // rebuilds and NIC health changes both feed the sizing. If the split
+  // moved, every plan partitions its payload differently — nothing cached
+  // survives.
+  {
+    const std::lock_guard<std::mutex> lock(shares_mu_);
+    if (shares_valid_) {
+      const std::vector<double> before = shares_;
+      compute_shares();
+      if (shares_ != before) notice.all_stale = true;
+    }
+  }
+  return notice;
 }
 
 std::vector<Phase2Strategy> ClusterBackend::candidate_strategies(
@@ -1647,6 +1771,20 @@ LoweredCollective ClusterBackend::lower(CollectiveKind kind, double bytes,
   for (std::size_t i = 1; i < n; ++i) {
     if (seconds[i] < seconds[best]) best = i;
   }
+  // The winner's identity depends on every candidate's simulated timing: a
+  // health event touching a *loser's* channels could flip the bake-off, so
+  // the losers' channels join the winner's decision footprint (the engine
+  // unions this with the winning program's own channels).
+  std::vector<int> footprint;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i == best) continue;
+    const std::vector<int> channels = sim::program_channels(lowered[i].program);
+    footprint.insert(footprint.end(), channels.begin(), channels.end());
+  }
+  std::sort(footprint.begin(), footprint.end());
+  footprint.erase(std::unique(footprint.begin(), footprint.end()),
+                  footprint.end());
+  lowered[best].footprint = std::move(footprint);
   return std::move(lowered[best]);
 }
 

@@ -379,6 +379,54 @@ blinkResult_t blinkCommPrecompile(blinkComm_t comm, size_t count,
   }
 }
 
+blinkResult_t blinkCommRepair(blinkComm_t comm, const char* event,
+                              const char* channel, int server, int gpu,
+                              double factor, int* dropped, int* retained) {
+  if (comm == nullptr || comm->impl == nullptr || event == nullptr) {
+    return blinkInvalidArgument;
+  }
+  blink::sim::HealthEvent health;
+  const std::string kind = event;
+  if (kind == "degrade_link") {
+    health.kind = blink::sim::HealthEventKind::kDegradeLink;
+  } else if (kind == "fail_link") {
+    health.kind = blink::sim::HealthEventKind::kFailLink;
+  } else if (kind == "fail_gpu") {
+    health.kind = blink::sim::HealthEventKind::kFailGpu;
+  } else if (kind == "restore") {
+    health.kind = blink::sim::HealthEventKind::kRestoreAll;
+  } else {
+    return blinkInvalidArgument;
+  }
+  health.factor = factor;
+  if (health.kind == blink::sim::HealthEventKind::kDegradeLink ||
+      health.kind == blink::sim::HealthEventKind::kFailLink) {
+    if (channel == nullptr) return blinkInvalidArgument;
+    const blink::sim::Fabric& fabric = comm->impl->fabric();
+    for (int c = 0; c < fabric.num_channels(); ++c) {
+      if (fabric.channel_name(c) == channel) {
+        health.channel = c;
+        break;
+      }
+    }
+    if (health.channel < 0) return blinkInvalidArgument;
+  }
+  if (health.kind == blink::sim::HealthEventKind::kFailGpu) {
+    health.server = server;
+    health.gpu = gpu;
+  }
+  try {
+    const blink::RepairReport report = comm->impl->repair_plans(health);
+    if (dropped != nullptr) *dropped = static_cast<int>(report.dropped);
+    if (retained != nullptr) *retained = static_cast<int>(report.retained);
+    return blinkSuccess;
+  } catch (const std::invalid_argument&) {
+    return blinkInvalidArgument;
+  } catch (const std::exception&) {
+    return blinkInternalError;
+  }
+}
+
 blinkResult_t blinkCommDestroy(blinkComm_t comm) {
   if (comm != nullptr) {
     const auto it =

@@ -41,7 +41,7 @@ CollectivePlan::CollectivePlan(
     int backend, std::uint64_t chunk_bytes, sim::Program program,
     CollectiveResult meta,
     std::vector<std::shared_ptr<const TreeSet>> tree_sets,
-    Phase2Strategy phase2)
+    Phase2Strategy phase2, std::vector<int> channel_footprint)
     : owner_(owner),
       kind_(kind),
       bytes_(bytes),
@@ -51,6 +51,7 @@ CollectivePlan::CollectivePlan(
       phase2_(phase2),
       program_(std::move(program)),
       meta_(meta),
-      tree_sets_(std::move(tree_sets)) {}
+      tree_sets_(std::move(tree_sets)),
+      channel_footprint_(std::move(channel_footprint)) {}
 
 }  // namespace blink

@@ -50,11 +50,36 @@ void PlanCache::clear() {
   ++generation_;
 }
 
+std::size_t PlanCache::erase_if(
+    const std::function<bool(const CollectivePlan&)>& pred,
+    std::vector<PlanKey>* removed) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::size_t erased = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (pred(*it->second)) {
+      if (removed) removed->push_back(it->first);
+      index_.erase(it->first);
+      it = lru_.erase(it);
+      ++erased;
+    } else {
+      ++it;
+    }
+  }
+  if (erased > 0) {
+    dirty_ = true;
+    ++generation_;
+  }
+  return erased;
+}
+
 std::size_t PlanCache::save(
     const std::string& path, std::uint64_t fabric_fingerprint,
-    const std::function<std::string(int)>& backend_name,
-    bool mark_clean) const {
-  std::vector<PlanRecord> records;
+    const std::function<std::string(int)>& backend_name, bool mark_clean,
+    const std::vector<std::uint64_t>& component_fingerprints) const {
+  PlanStoreFile file;
+  file.fingerprint = fabric_fingerprint;
+  file.component_fingerprints = component_fingerprints;
+  std::vector<PlanRecord>& records = file.records;
   std::uint64_t snapshot_generation = 0;
   {
     const std::lock_guard<std::mutex> lock(mu_);
@@ -73,10 +98,11 @@ std::size_t PlanCache::save(
       record.phase2 = static_cast<int>(plan.phase2_strategy());
       record.meta = plan.meta();
       record.program = plan.program();
+      record.footprint = plan.channel_footprint();
       records.push_back(std::move(record));
     }
   }
-  write_plan_store(path, fabric_fingerprint, records);
+  write_plan_store(path, file);
   if (mark_clean) {
     // Everything cached at snapshot time is now in the canonical store;
     // only mark the cache clean if nothing changed while the file was
@@ -92,13 +118,21 @@ std::size_t PlanCache::load(
     const std::string& path, std::uint64_t fabric_fingerprint,
     const void* owner,
     const std::function<int(std::string_view)>& backend_id,
-    const std::function<void(const PlanRecord&)>& validate, bool mark_clean) {
-  const std::vector<PlanRecord> records =
-      read_plan_store(path, fabric_fingerprint);
+    const std::function<void(const PlanRecord&)>& validate, bool mark_clean,
+    const std::function<bool(const PlanRecord&,
+                             const std::vector<std::uint64_t>&)>& adopt,
+    std::size_t* skipped_out) {
+  const PlanStoreFile file = read_plan_store_file(path, fabric_fingerprint);
+  const std::vector<PlanRecord>& records = file.records;
   // Validate every record before adopting any: a store that is rejected
-  // must leave the cache untouched.
+  // must leave the cache untouched. Records the |adopt| filter declines are
+  // skipped (health drift is per-record, not a reason to reject the file)
+  // but still validated: a corrupt record fails the load outright.
   std::vector<int> backends;
+  std::vector<char> adopted;
   backends.reserve(records.size());
+  adopted.reserve(records.size());
+  std::size_t num_skipped = 0;
   for (const PlanRecord& record : records) {
     const int id = backend_id(record.backend_name);
     if (id < 0) {
@@ -107,6 +141,9 @@ std::size_t PlanCache::load(
     }
     if (validate) validate(record);
     backends.push_back(id);
+    const bool take = !adopt || adopt(record, file.component_fingerprints);
+    adopted.push_back(take ? 1 : 0);
+    if (!take) ++num_skipped;
   }
   bool had_unsaved = false;
   std::uint64_t snapshot_generation = 0;
@@ -115,26 +152,31 @@ std::size_t PlanCache::load(
     had_unsaved = dirty_;
     snapshot_generation = generation_;
   }
+  std::size_t num_adopted = 0;
   for (std::size_t i = 0; i < records.size(); ++i) {
+    if (!adopted[i]) continue;
     const PlanRecord& record = records[i];
     auto plan = std::make_shared<const CollectivePlan>(
         owner, static_cast<CollectiveKind>(record.kind), record.bytes,
         record.root, backends[i], record.chunk_bytes, record.program,
         record.meta, std::vector<std::shared_ptr<const TreeSet>>{},
-        static_cast<Phase2Strategy>(record.phase2));
+        static_cast<Phase2Strategy>(record.phase2), record.footprint);
     const PlanKey key = plan->key();
     insert(key, std::move(plan));
+    ++num_adopted;
   }
-  if (mark_clean && !had_unsaved) {
+  if (mark_clean && !had_unsaved && num_skipped == 0) {
     // The cache now mirrors the canonical store it just read (the common
     // case: a warm-load into an empty cache), so a flush with no further
     // compiles can be skipped. Plans cached unsaved before the load are
-    // still unsaved, and an insert that raced the load bumped the
-    // generation past our own inserts: both keep the dirty flag.
+    // still unsaved, an insert that raced the load bumped the generation
+    // past our own inserts, and a load that skipped stale records must stay
+    // dirty so the next flush drops them from the file: all keep the flag.
     const std::lock_guard<std::mutex> lock(mu_);
-    if (generation_ == snapshot_generation + records.size()) dirty_ = false;
+    if (generation_ == snapshot_generation + num_adopted) dirty_ = false;
   }
-  return records.size();
+  if (skipped_out) *skipped_out = num_skipped;
+  return num_adopted;
 }
 
 }  // namespace blink

@@ -247,6 +247,7 @@ void serialize_plan_record(const PlanRecord& record, std::string* out) {
   w.i32(record.meta.phase1_chunks);
   w.i32(record.meta.phase2_chunks);
   w.i32(record.meta.phase3_chunks);
+  write_int_vector(&w, record.footprint);
   serialize_program(record.program, out);
 }
 
@@ -277,21 +278,31 @@ PlanRecord deserialize_plan_record(std::string_view buf, std::size_t* pos) {
   record.meta.phase1_chunks = r.i32();
   record.meta.phase2_chunks = r.i32();
   record.meta.phase3_chunks = r.i32();
+  record.footprint = read_int_vector(&r);
+  for (const int c : record.footprint) {
+    if (c < 0) corrupt("negative channel in footprint");
+  }
   std::size_t p = r.pos();
   record.program = deserialize_program(buf, &p);
   *pos = p;
   return record;
 }
 
-void write_plan_store(const std::string& path, std::uint64_t fingerprint,
-                      const std::vector<PlanRecord>& records) {
+void write_plan_store(const std::string& path, const PlanStoreFile& file) {
   std::string buf;
   Writer w(&buf);
   w.u32(kPlanStoreMagic);
   w.u32(kPlanStoreVersion);
-  w.u64(fingerprint);
-  w.u32(static_cast<std::uint32_t>(records.size()));
-  for (const PlanRecord& record : records) serialize_plan_record(record, &buf);
+  w.u64(file.fingerprint);
+  // v4 health section: per-component fingerprints at save time. Loaders
+  // compare them against the live fabric's to skip exactly the records whose
+  // footprints cross a component whose health has since changed.
+  w.u32(static_cast<std::uint32_t>(file.component_fingerprints.size()));
+  for (const std::uint64_t fp : file.component_fingerprints) w.u64(fp);
+  w.u32(static_cast<std::uint32_t>(file.records.size()));
+  for (const PlanRecord& record : file.records) {
+    serialize_plan_record(record, &buf);
+  }
 
   // Unique temp name per writer: engines of identical fabrics (e.g. the
   // ranks of an LD_PRELOAD job sharing one store dir) flush to the same
@@ -318,8 +329,16 @@ void write_plan_store(const std::string& path, std::uint64_t fingerprint,
   }
 }
 
-std::vector<PlanRecord> read_plan_store(const std::string& path,
-                                        std::uint64_t expected_fingerprint) {
+void write_plan_store(const std::string& path, std::uint64_t fingerprint,
+                      const std::vector<PlanRecord>& records) {
+  PlanStoreFile file;
+  file.fingerprint = fingerprint;
+  file.records = records;
+  write_plan_store(path, file);
+}
+
+PlanStoreFile read_plan_store_file(const std::string& path,
+                                   std::uint64_t expected_fingerprint) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::invalid_argument("plan store: cannot read " + path);
   std::string buf((std::istreambuf_iterator<char>(in)),
@@ -329,19 +348,32 @@ std::vector<PlanRecord> read_plan_store(const std::string& path,
   if (r.u32() != kPlanStoreMagic) corrupt("not a plan store file");
   const std::uint32_t version = r.u32();
   if (version != kPlanStoreVersion) corrupt("format version mismatch");
-  if (r.u64() != expected_fingerprint) corrupt("fabric fingerprint mismatch");
+  PlanStoreFile file;
+  file.fingerprint = r.u64();
+  if (file.fingerprint != expected_fingerprint) {
+    corrupt("fabric fingerprint mismatch");
+  }
+  const std::uint32_t num_components = r.count(sizeof(std::uint64_t));
+  file.component_fingerprints.reserve(num_components);
+  for (std::uint32_t i = 0; i < num_components; ++i) {
+    file.component_fingerprints.push_back(r.u64());
+  }
   // A minimal record (empty backend name, empty program) is 72 bytes; this
   // conservative bound keeps a corrupt count field from reserving gigabytes
   // of PlanRecords before the first record parse would reject the file.
   const std::uint32_t count = r.count(64);
-  std::vector<PlanRecord> records;
-  records.reserve(count);
+  file.records.reserve(count);
   std::size_t pos = r.pos();
   for (std::uint32_t i = 0; i < count; ++i) {
-    records.push_back(deserialize_plan_record(buf, &pos));
+    file.records.push_back(deserialize_plan_record(buf, &pos));
   }
   if (pos != buf.size()) corrupt("trailing bytes after last plan");
-  return records;
+  return file;
+}
+
+std::vector<PlanRecord> read_plan_store(const std::string& path,
+                                        std::uint64_t expected_fingerprint) {
+  return read_plan_store_file(path, expected_fingerprint).records;
 }
 
 }  // namespace blink

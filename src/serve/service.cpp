@@ -13,6 +13,7 @@
 #include "blink/blink/engine.h"
 #include "blink/common/logging.h"
 #include "blink/common/thread_pool.h"
+#include "blink/sim/fabric.h"
 #include "blink/topology/builders.h"
 #include "blink/topology/discovery.h"
 
@@ -103,6 +104,47 @@ std::unique_ptr<CollectiveEngine> build_engine(const FabricSpec& spec,
   throw std::invalid_argument("unknown backend: " + spec.backend);
 }
 
+// Parses a kRepair request's health-event fields against the shard's
+// fabric. Throws std::invalid_argument (mapped to kInvalidRequest by the
+// worker) on an unknown event kind or channel name; the fabric's own apply()
+// validation covers the rest (bad factor, bad GPU, already-failed channel).
+sim::HealthEvent parse_health_event(const ServeRequest& request,
+                                    const sim::Fabric& fabric) {
+  sim::HealthEvent event;
+  if (request.event == "degrade_link") {
+    event.kind = sim::HealthEventKind::kDegradeLink;
+  } else if (request.event == "fail_link") {
+    event.kind = sim::HealthEventKind::kFailLink;
+  } else if (request.event == "fail_gpu") {
+    event.kind = sim::HealthEventKind::kFailGpu;
+  } else if (request.event == "restore") {
+    event.kind = sim::HealthEventKind::kRestoreAll;
+  } else {
+    throw std::invalid_argument(
+        "unknown health event: '" + request.event +
+        "' (want degrade_link, fail_link, fail_gpu or restore)");
+  }
+  event.factor = request.factor;
+  if (event.kind == sim::HealthEventKind::kDegradeLink ||
+      event.kind == sim::HealthEventKind::kFailLink) {
+    for (int c = 0; c < fabric.num_channels(); ++c) {
+      if (fabric.channel_name(c) == request.channel) {
+        event.channel = c;
+        break;
+      }
+    }
+    if (event.channel < 0) {
+      throw std::invalid_argument("unknown channel: '" + request.channel +
+                                  "'");
+    }
+  }
+  if (event.kind == sim::HealthEventKind::kFailGpu) {
+    event.server = 0;  // serve shards are single-server fabrics
+    event.gpu = request.gpu;
+  }
+  return event;
+}
+
 std::size_t latency_bucket(double seconds) {
   double us = seconds * 1e6;
   std::size_t bucket = 0;
@@ -127,6 +169,8 @@ const char* to_string(RequestType type) {
       return "invalidate";
     case RequestType::kPrecompile:
       return "precompile";
+    case RequestType::kRepair:
+      return "repair";
   }
   return "?";
 }
@@ -153,6 +197,8 @@ struct PlanService::Shard {
   std::unique_ptr<CollectiveEngine> engine;
   // Backend id compiles use: 0 (the default backend) or kAutoBackend.
   int engine_backend = 0;
+  // Cumulative repair/invalidate bookkeeping; guarded by Impl::shard_mu.
+  ShardHealthCounters health;
 };
 
 struct PlanService::TenantState {
@@ -275,9 +321,28 @@ struct PlanService::Impl {
           }
           break;
         }
-        case RequestType::kInvalidate:
-          response.plans_touched = engine.invalidate_plans();
+        case RequestType::kInvalidate: {
+          const InvalidateReport report = engine.invalidate_plans();
+          response.plans_touched = report.dropped;
+          response.plans_retained = report.retained;
+          const std::lock_guard<std::mutex> lock(shard_mu);
+          ++shard.health.invalidations;
+          shard.health.plans_dropped += report.dropped;
+          shard.health.plans_retained += report.retained;
           break;
+        }
+        case RequestType::kRepair: {
+          const sim::HealthEvent event =
+              parse_health_event(request, engine.fabric());
+          const RepairReport report = engine.repair_plans(event);
+          response.plans_touched = report.dropped;
+          response.plans_retained = report.retained;
+          const std::lock_guard<std::mutex> lock(shard_mu);
+          ++shard.health.repairs;
+          shard.health.plans_dropped += report.dropped;
+          shard.health.plans_retained += report.retained;
+          break;
+        }
         case RequestType::kPrecompile:
           // One batched pass over every kind; warm_hit stays false so the
           // completion counters book it as compile work.
@@ -501,6 +566,7 @@ ServiceStats PlanService::stats() const {
       stats.cache_hits += cache.hits();
       stats.cache_misses += cache.misses();
       stats.cache_evictions += cache.evictions();
+      stats.shard_health.emplace(key, shard.health);
     }
   }
   return stats;

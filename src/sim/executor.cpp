@@ -245,6 +245,18 @@ RunResult execute(const Fabric& fabric, const Program& program) {
   if (!program.validate(&err)) {
     throw std::logic_error("invalid program: " + err);
   }
+  // A failed channel (health 0) has no capacity: a flow over it would never
+  // complete. Programs compiled before the failure are stale by definition —
+  // refuse them with a typed error instead of deadlocking the fluid model.
+  const auto& caps = fabric.capacities();
+  for (const auto& op : program.ops()) {
+    for (const int c : op.route) {
+      if (!(caps[static_cast<std::size_t>(c)] > 0.0)) {
+        throw std::runtime_error("stale program: op routes over failed channel " +
+                                 fabric.channel_name(c));
+      }
+    }
+  }
   return Execution(fabric, program).run();
 }
 

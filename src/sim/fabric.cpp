@@ -1,9 +1,47 @@
 #include "blink/sim/fabric.h"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
 namespace blink::sim {
+
+namespace {
+
+// Local FNV-1a so the sim layer does not depend on the planner's hasher
+// (blink::FingerprintHasher uses the same constants; the values need not
+// match it, only be stable and sensitive to every hashed field).
+struct ComponentHasher {
+  std::uint64_t h = 1469598103934665603ULL;
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffu;
+      h *= 1099511628211ULL;
+    }
+  }
+  void f64(double v) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+};
+
+}  // namespace
+
+const char* to_string(HealthEventKind kind) {
+  switch (kind) {
+    case HealthEventKind::kDegradeLink:
+      return "degrade_link";
+    case HealthEventKind::kFailLink:
+      return "fail_link";
+    case HealthEventKind::kFailGpu:
+      return "fail_gpu";
+    case HealthEventKind::kRestoreAll:
+      return "restore";
+  }
+  return "?";
+}
 
 Fabric::Fabric(const topo::Topology& topo, const FabricParams& params)
     : Fabric(std::vector<topo::Topology>{topo}, params) {}
@@ -33,6 +71,7 @@ Fabric::Fabric(const std::vector<topo::Topology>& servers,
     }
     build_server(s);
   }
+  building_server_ = -1;
 }
 
 int Fabric::add_channel(std::string name, double capacity) {
@@ -40,6 +79,11 @@ int Fabric::add_channel(std::string name, double capacity) {
   const int id = static_cast<int>(capacity_.size());
   capacity_.push_back(capacity);
   name_.push_back(std::move(name));
+  base_capacity_.push_back(capacity);
+  health_.push_back(1.0);
+  channel_server_.push_back(building_server_);
+  nic_channel_.push_back(building_nic_ ? 1 : 0);
+  reverse_of_.push_back(-1);
   return id;
 }
 
@@ -48,6 +92,13 @@ void Fabric::build_server(int s) {
   auto& ch = ch_[static_cast<std::size_t>(s)];
   const auto prefix = "s" + std::to_string(s) + ".";
   const auto n = static_cast<std::size_t>(t.num_gpus);
+  building_server_ = s;
+  building_nic_ = false;
+
+  const auto pair_up = [&](int a, int b) {
+    reverse_of_[static_cast<std::size_t>(a)] = b;
+    reverse_of_[static_cast<std::size_t>(b)] = a;
+  };
 
   ch.nvlink_dir.assign(n, std::vector<int>(n, -1));
   for (const auto& e : t.nvlinks) {
@@ -63,9 +114,12 @@ void Fabric::build_server(int s) {
       ch.nvlink_dir[b][a] = add_channel(
           prefix + "nvl." + std::to_string(e.b) + ">" + std::to_string(e.a),
           cap);
+      pair_up(ch.nvlink_dir[a][b], ch.nvlink_dir[b][a]);
     } else {
       capacity_[static_cast<std::size_t>(ch.nvlink_dir[a][b])] += cap;
       capacity_[static_cast<std::size_t>(ch.nvlink_dir[b][a])] += cap;
+      base_capacity_[static_cast<std::size_t>(ch.nvlink_dir[a][b])] += cap;
+      base_capacity_[static_cast<std::size_t>(ch.nvlink_dir[b][a])] += cap;
     }
   }
 
@@ -75,6 +129,7 @@ void Fabric::build_server(int s) {
           prefix + "nvsw.out" + std::to_string(g), t.nvswitch_gpu_bw));
       ch.nvswitch_in.push_back(add_channel(
           prefix + "nvsw.in" + std::to_string(g), t.nvswitch_gpu_bw));
+      pair_up(ch.nvswitch_out.back(), ch.nvswitch_in.back());
     }
   }
 
@@ -84,6 +139,7 @@ void Fabric::build_server(int s) {
           add_channel(prefix + "pcie.up" + std::to_string(g), t.pcie.gpu_bw));
       ch.gpu_down.push_back(add_channel(
           prefix + "pcie.down" + std::to_string(g), t.pcie.gpu_bw));
+      pair_up(ch.gpu_up.back(), ch.gpu_down.back());
     }
     const auto num_plx = static_cast<std::size_t>(t.pcie.cpu_of_plx.size());
     for (std::size_t p = 0; p < num_plx; ++p) {
@@ -91,6 +147,7 @@ void Fabric::build_server(int s) {
           add_channel(prefix + "plx.up" + std::to_string(p), t.pcie.plx_bw));
       ch.plx_down.push_back(add_channel(
           prefix + "plx.down" + std::to_string(p), t.pcie.plx_bw));
+      pair_up(ch.plx_up.back(), ch.plx_down.back());
     }
     const int cpus = t.pcie.num_cpus();
     ch.qpi.assign(static_cast<std::size_t>(cpus),
@@ -103,6 +160,15 @@ void Fabric::build_server(int s) {
                               std::to_string(b),
                           t.pcie.qpi_bw);
         }
+      }
+    }
+    for (int a = 0; a < cpus; ++a) {
+      for (int b = a + 1; b < cpus; ++b) {
+        const int ab =
+            ch.qpi[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)];
+        const int ba =
+            ch.qpi[static_cast<std::size_t>(b)][static_cast<std::size_t>(a)];
+        if (ab != -1 && ba != -1) pair_up(ab, ba);
       }
     }
     for (int c = 0; c < cpus; ++c) {
@@ -119,31 +185,207 @@ void Fabric::build_server(int s) {
 
   if (num_servers() > 1) {
     const double bw = nic_rate(s);
+    building_nic_ = true;
     ch.nic_out = add_channel(prefix + "nic.out", bw);
     ch.nic_in = add_channel(prefix + "nic.in", bw);
+    pair_up(ch.nic_out, ch.nic_in);
+    building_nic_ = false;
   }
 }
 
-double Fabric::nic_rate(int server) const {
-  if (!params_.nic_bw_per_server.empty()) {
-    return params_.nic_bw_per_server[static_cast<std::size_t>(server)];
+// --- health layer -----------------------------------------------------------
+
+bool Fabric::gpu_failed(int server, int gpu) const {
+  const int c = reduce_channel(server, gpu);
+  return channel_failed(c);
+}
+
+void Fabric::fail_channel(int c, std::vector<int>* affected) {
+  const auto i = static_cast<std::size_t>(c);
+  if (health_[i] == 0.0) return;
+  health_[i] = 0.0;
+  capacity_[i] = 0.0;
+  affected->push_back(c);
+}
+
+std::vector<int> Fabric::degrade_link(int channel, double factor) {
+  if (channel < 0 || channel >= num_channels()) {
+    throw std::invalid_argument("degrade_link: channel out of range");
   }
-  return params_.nic_bw;
+  if (!(factor > 0.0) || factor > 1.0) {
+    throw std::invalid_argument("degrade_link: factor must be in (0, 1]");
+  }
+  if (channel_failed(channel)) {
+    throw std::invalid_argument(
+        "degrade_link: channel is failed (structural); use restore()");
+  }
+  const auto i = static_cast<std::size_t>(channel);
+  health_[i] = factor;
+  capacity_[i] = base_capacity_[i] * factor;
+  ++epoch_;
+  return {channel};
+}
+
+std::vector<int> Fabric::fail_link(int channel) {
+  if (channel < 0 || channel >= num_channels()) {
+    throw std::invalid_argument("fail_link: channel out of range");
+  }
+  std::vector<int> affected;
+  fail_channel(channel, &affected);
+  const int rev = reverse_of_[static_cast<std::size_t>(channel)];
+  if (rev != -1) fail_channel(rev, &affected);
+  ++epoch_;
+  return affected;
+}
+
+std::vector<int> Fabric::fail_gpu(int server, int gpu) {
+  if (server < 0 || server >= num_servers()) {
+    throw std::invalid_argument("fail_gpu: server out of range");
+  }
+  const auto& t = servers_[static_cast<std::size_t>(server)];
+  if (gpu < 0 || gpu >= t.num_gpus) {
+    throw std::invalid_argument("fail_gpu: gpu out of range");
+  }
+  const auto& ch = ch_[static_cast<std::size_t>(server)];
+  const auto g = static_cast<std::size_t>(gpu);
+  std::vector<int> affected;
+  const auto n = static_cast<std::size_t>(t.num_gpus);
+  for (std::size_t other = 0; other < n; ++other) {
+    if (ch.nvlink_dir[g][other] != -1) {
+      fail_channel(ch.nvlink_dir[g][other], &affected);
+    }
+    if (ch.nvlink_dir[other][g] != -1) {
+      fail_channel(ch.nvlink_dir[other][g], &affected);
+    }
+  }
+  if (!ch.nvswitch_out.empty()) {
+    fail_channel(ch.nvswitch_out[g], &affected);
+    fail_channel(ch.nvswitch_in[g], &affected);
+  }
+  if (!ch.gpu_up.empty()) {
+    fail_channel(ch.gpu_up[g], &affected);
+    fail_channel(ch.gpu_down[g], &affected);
+  }
+  fail_channel(ch.reduce[g], &affected);
+  std::sort(affected.begin(), affected.end());
+  ++epoch_;
+  return affected;
+}
+
+std::vector<int> Fabric::restore() {
+  std::vector<int> affected;
+  for (int c = 0; c < num_channels(); ++c) {
+    const auto i = static_cast<std::size_t>(c);
+    if (health_[i] != 1.0) {
+      health_[i] = 1.0;
+      capacity_[i] = base_capacity_[i];
+      affected.push_back(c);
+    }
+  }
+  ++epoch_;
+  return affected;
+}
+
+std::vector<int> Fabric::apply(const HealthEvent& event) {
+  switch (event.kind) {
+    case HealthEventKind::kDegradeLink:
+      return degrade_link(event.channel, event.factor);
+    case HealthEventKind::kFailLink:
+      return fail_link(event.channel);
+    case HealthEventKind::kFailGpu:
+      return fail_gpu(event.server, event.gpu);
+    case HealthEventKind::kRestoreAll:
+      return restore();
+  }
+  throw std::invalid_argument("apply: unknown health event kind");
+}
+
+std::uint64_t Fabric::component_fingerprint(int component) const {
+  if (component < 0 || component >= num_components()) {
+    throw std::invalid_argument("component_fingerprint: out of range");
+  }
+  const bool nic_tier = component == num_servers();
+  ComponentHasher fp;
+  fp.u64(static_cast<std::uint64_t>(component));
+  for (int c = 0; c < num_channels(); ++c) {
+    const auto i = static_cast<std::size_t>(c);
+    const bool member = nic_tier ? nic_channel_[i] != 0
+                                 : (channel_server_[i] == component &&
+                                    nic_channel_[i] == 0);
+    if (!member) continue;
+    fp.u64(static_cast<std::uint64_t>(c));
+    fp.f64(base_capacity_[i]);
+    fp.f64(health_[i]);
+  }
+  return fp.h;
+}
+
+std::vector<std::uint64_t> Fabric::component_fingerprints() const {
+  std::vector<std::uint64_t> fps;
+  fps.reserve(static_cast<std::size_t>(num_components()));
+  for (int comp = 0; comp < num_components(); ++comp) {
+    fps.push_back(component_fingerprint(comp));
+  }
+  return fps;
+}
+
+topo::Topology Fabric::healthy_topology(int server) const {
+  const auto s = static_cast<std::size_t>(server);
+  topo::Topology t = servers_[s];
+  const auto& ch = ch_[s];
+  const auto dead = [&](const topo::NvlinkEdge& e) {
+    const auto a = static_cast<std::size_t>(e.a);
+    const auto b = static_cast<std::size_t>(e.b);
+    if (gpu_failed(server, e.a) || gpu_failed(server, e.b)) return true;
+    const int ab = ch.nvlink_dir[a][b];
+    const int ba = ch.nvlink_dir[b][a];
+    return (ab != -1 && channel_failed(ab)) || (ba != -1 && channel_failed(ba));
+  };
+  t.nvlinks.erase(std::remove_if(t.nvlinks.begin(), t.nvlinks.end(), dead),
+                  t.nvlinks.end());
+  return t;
+}
+
+// --- routes -----------------------------------------------------------------
+
+double Fabric::nic_rate(int server) const {
+  double base = params_.nic_bw;
+  if (!params_.nic_bw_per_server.empty()) {
+    base = params_.nic_bw_per_server[static_cast<std::size_t>(server)];
+  }
+  const int egress = ch_[static_cast<std::size_t>(server)].nic_out;
+  if (egress == -1) return base;  // single-server fabric: no NIC channels
+  return base * health_[static_cast<std::size_t>(egress)];
 }
 
 bool Fabric::heterogeneous_nics() const {
   for (const double bw : params_.nic_bw_per_server) {
     if (bw != params_.nic_bw) return true;
   }
+  // A degraded or failed NIC breaks rate uniformity just like an override.
+  for (const auto& ch : ch_) {
+    if (ch.nic_out != -1 &&
+        health_[static_cast<std::size_t>(ch.nic_out)] != 1.0) {
+      return true;
+    }
+    if (ch.nic_in != -1 &&
+        health_[static_cast<std::size_t>(ch.nic_in)] != 1.0) {
+      return true;
+    }
+  }
   return false;
 }
 
 bool Fabric::nvlink_adjacent(int server, int src, int dst) const {
   const auto& t = servers_[static_cast<std::size_t>(server)];
-  if (t.has_nvswitch) return true;
   const auto& ch = ch_[static_cast<std::size_t>(server)];
-  return ch.nvlink_dir[static_cast<std::size_t>(src)]
-                      [static_cast<std::size_t>(dst)] != -1;
+  if (t.has_nvswitch) {
+    return !channel_failed(ch.nvswitch_out[static_cast<std::size_t>(src)]) &&
+           !channel_failed(ch.nvswitch_in[static_cast<std::size_t>(dst)]);
+  }
+  const int c = ch.nvlink_dir[static_cast<std::size_t>(src)]
+                             [static_cast<std::size_t>(dst)];
+  return c != -1 && !channel_failed(c);
 }
 
 std::vector<int> Fabric::nvlink_route(int server, int src, int dst) const {

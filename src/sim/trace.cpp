@@ -1,5 +1,6 @@
 #include "blink/sim/trace.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -85,6 +86,24 @@ bool write_chrome_trace(const std::string& path, const Fabric& fabric,
   if (!out) return false;
   out << to_chrome_trace(fabric, program, result, options);
   return static_cast<bool>(out);
+}
+
+std::vector<std::vector<int>> op_channel_routes(const Program& program) {
+  std::vector<std::vector<int>> routes;
+  routes.reserve(program.ops().size());
+  for (const auto& op : program.ops()) routes.push_back(op.route);
+  return routes;
+}
+
+std::vector<int> program_channels(const Program& program) {
+  std::vector<int> channels;
+  for (const auto& op : program.ops()) {
+    channels.insert(channels.end(), op.route.begin(), op.route.end());
+  }
+  std::sort(channels.begin(), channels.end());
+  channels.erase(std::unique(channels.begin(), channels.end()),
+                 channels.end());
+  return channels;
 }
 
 }  // namespace blink::sim

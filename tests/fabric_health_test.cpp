@@ -1,0 +1,237 @@
+// Fabric health layer: degrade/fail/restore events, the epoch counter,
+// component-scoped fingerprints, healthy_topology, and the executor's
+// refusal to run routes over failed channels.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "blink/sim/executor.h"
+#include "blink/sim/fabric.h"
+#include "blink/topology/builders.h"
+
+namespace blink::sim {
+namespace {
+
+Fabric dgx1v_fabric() {
+  return Fabric(topo::make_dgx1v(), FabricParams{});
+}
+
+TEST(FabricHealth, FreshFabricIsHealthyAtEpochZero) {
+  const Fabric f = dgx1v_fabric();
+  EXPECT_EQ(f.epoch(), 0u);
+  for (int c = 0; c < f.num_channels(); ++c) {
+    EXPECT_DOUBLE_EQ(f.channel_health(c), 1.0);
+    EXPECT_DOUBLE_EQ(f.capacities()[static_cast<std::size_t>(c)],
+                     f.base_capacity(c));
+  }
+}
+
+TEST(FabricHealth, DegradeScalesCapacityAndBumpsEpoch) {
+  Fabric f = dgx1v_fabric();
+  const int c = f.nvlink_route(0, 0, 1)[0];
+  const double base = f.base_capacity(c);
+  const auto affected = f.degrade_link(c, 0.5);
+  EXPECT_EQ(affected, std::vector<int>{c});
+  EXPECT_EQ(f.epoch(), 1u);
+  EXPECT_DOUBLE_EQ(f.channel_health(c), 0.5);
+  EXPECT_DOUBLE_EQ(f.capacities()[static_cast<std::size_t>(c)], 0.5 * base);
+  EXPECT_DOUBLE_EQ(f.base_capacity(c), base);  // base never moves
+  // factor == 1 restores the channel.
+  f.degrade_link(c, 1.0);
+  EXPECT_DOUBLE_EQ(f.capacities()[static_cast<std::size_t>(c)], base);
+  EXPECT_EQ(f.epoch(), 2u);
+}
+
+TEST(FabricHealth, DegradeValidatesArguments) {
+  Fabric f = dgx1v_fabric();
+  const int c = f.nvlink_route(0, 0, 1)[0];
+  EXPECT_THROW(f.degrade_link(-1, 0.5), std::invalid_argument);
+  EXPECT_THROW(f.degrade_link(f.num_channels(), 0.5), std::invalid_argument);
+  EXPECT_THROW(f.degrade_link(c, 0.0), std::invalid_argument);
+  EXPECT_THROW(f.degrade_link(c, 1.5), std::invalid_argument);
+  // Degrading a failed channel is a contract error: failures are structural.
+  f.fail_link(c);
+  EXPECT_THROW(f.degrade_link(c, 0.5), std::invalid_argument);
+}
+
+TEST(FabricHealth, FailLinkFailsBothDirections) {
+  Fabric f = dgx1v_fabric();
+  const int fwd = f.nvlink_route(0, 0, 1)[0];
+  const int rev = f.nvlink_route(0, 1, 0)[0];
+  const auto affected = f.fail_link(fwd);
+  EXPECT_EQ(affected.size(), 2u);
+  EXPECT_TRUE(f.channel_failed(fwd));
+  EXPECT_TRUE(f.channel_failed(rev));
+  EXPECT_DOUBLE_EQ(f.capacities()[static_cast<std::size_t>(fwd)], 0.0);
+  // The adjacency is gone in both directions; other links survive.
+  EXPECT_FALSE(f.nvlink_adjacent(0, 0, 1));
+  EXPECT_FALSE(f.nvlink_adjacent(0, 1, 0));
+  EXPECT_TRUE(f.nvlink_adjacent(0, 0, 2));
+}
+
+TEST(FabricHealth, FailGpuFailsEveryAttachedChannel) {
+  Fabric f = dgx1v_fabric();
+  const auto affected = f.fail_gpu(0, 3);
+  EXPECT_FALSE(affected.empty());
+  EXPECT_TRUE(f.gpu_failed(0, 3));
+  EXPECT_FALSE(f.gpu_failed(0, 0));
+  EXPECT_TRUE(f.channel_failed(f.reduce_channel(0, 3)));
+  // Every NVLink adjacency of GPU 3 is gone.
+  for (int g = 0; g < 8; ++g) {
+    if (g == 3) continue;
+    EXPECT_FALSE(f.nvlink_adjacent(0, 3, g)) << "gpu " << g;
+    EXPECT_FALSE(f.nvlink_adjacent(0, g, 3)) << "gpu " << g;
+  }
+  EXPECT_TRUE(f.nvlink_adjacent(0, 0, 1));
+}
+
+TEST(FabricHealth, RestoreRecoversFullHealth) {
+  Fabric f = dgx1v_fabric();
+  f.degrade_link(f.nvlink_route(0, 0, 1)[0], 0.25);
+  f.fail_gpu(0, 5);
+  const std::uint64_t epoch_before = f.epoch();
+  const auto affected = f.restore();
+  EXPECT_FALSE(affected.empty());
+  EXPECT_EQ(f.epoch(), epoch_before + 1);
+  for (int c = 0; c < f.num_channels(); ++c) {
+    EXPECT_DOUBLE_EQ(f.channel_health(c), 1.0);
+  }
+  EXPECT_FALSE(f.gpu_failed(0, 5));
+  EXPECT_TRUE(f.nvlink_adjacent(0, 0, 1));
+}
+
+TEST(FabricHealth, ApplyDispatchesByKind) {
+  Fabric f = dgx1v_fabric();
+  HealthEvent degrade;
+  degrade.kind = HealthEventKind::kDegradeLink;
+  degrade.channel = f.nvlink_route(0, 0, 1)[0];
+  degrade.factor = 0.5;
+  f.apply(degrade);
+  EXPECT_DOUBLE_EQ(f.channel_health(degrade.channel), 0.5);
+
+  HealthEvent fail;
+  fail.kind = HealthEventKind::kFailGpu;
+  fail.server = 0;
+  fail.gpu = 2;
+  f.apply(fail);
+  EXPECT_TRUE(f.gpu_failed(0, 2));
+
+  HealthEvent restore;
+  restore.kind = HealthEventKind::kRestoreAll;
+  f.apply(restore);
+  EXPECT_DOUBLE_EQ(f.channel_health(degrade.channel), 1.0);
+  EXPECT_FALSE(f.gpu_failed(0, 2));
+  EXPECT_EQ(f.epoch(), 3u);
+}
+
+TEST(FabricHealth, SingleServerHasOneComponent) {
+  const Fabric f = dgx1v_fabric();
+  EXPECT_EQ(f.num_components(), 1);
+  EXPECT_EQ(f.component_fingerprints().size(), 1u);
+}
+
+TEST(FabricHealth, ComponentFingerprintsScopeToTouchedComponent) {
+  const auto topo = topo::make_dgx1v();
+  FabricParams params;
+  params.nic_bw = 12.5e9;
+  Fabric f({topo, topo}, params);
+  ASSERT_EQ(f.num_components(), 3);  // two servers + the NIC tier
+  const auto before = f.component_fingerprints();
+
+  // A server-0 NVLink degrade moves only component 0.
+  f.degrade_link(f.nvlink_route(0, 2, 3)[0], 0.5);
+  auto after = f.component_fingerprints();
+  EXPECT_NE(after[0], before[0]);
+  EXPECT_EQ(after[1], before[1]);
+  EXPECT_EQ(after[2], before[2]);
+
+  // A NIC failure moves only the NIC-tier component.
+  const int nic = f.nic_route(0, 1)[0];
+  EXPECT_TRUE(f.is_nic_channel(nic));
+  f.fail_link(nic);
+  const auto nic_after = f.component_fingerprints();
+  EXPECT_EQ(nic_after[0], after[0]);
+  EXPECT_EQ(nic_after[1], after[1]);
+  EXPECT_NE(nic_after[2], after[2]);
+
+  // Restore returns every component to its as-built fingerprint.
+  f.restore();
+  EXPECT_EQ(f.component_fingerprints(), before);
+}
+
+TEST(FabricHealth, HealthyTopologyErasesFailedHardware) {
+  const auto topo = topo::make_dgx1v();
+  Fabric f(topo, FabricParams{});
+  EXPECT_EQ(f.healthy_topology(0).nvlinks.size(), topo.nvlinks.size());
+
+  // A failed link erases its (bidirectional) edge.
+  f.fail_link(f.nvlink_route(0, 0, 1)[0]);
+  const auto degraded = f.healthy_topology(0);
+  EXPECT_EQ(degraded.nvlinks.size(), topo.nvlinks.size() - 1);
+  for (const auto& e : degraded.nvlinks) {
+    EXPECT_FALSE((e.a == 0 && e.b == 1) || (e.a == 1 && e.b == 0));
+  }
+
+  // A failed GPU erases every incident edge.
+  f.fail_gpu(0, 4);
+  for (const auto& e : f.healthy_topology(0).nvlinks) {
+    EXPECT_NE(e.a, 4);
+    EXPECT_NE(e.b, 4);
+  }
+
+  // Capacity-only degrades leave the topology alone.
+  Fabric g(topo, FabricParams{});
+  g.degrade_link(g.nvlink_route(0, 0, 1)[0], 0.1);
+  EXPECT_EQ(g.healthy_topology(0).nvlinks.size(), topo.nvlinks.size());
+}
+
+TEST(FabricHealth, NicRateAndHeterogeneityTrackHealth) {
+  const auto topo = topo::make_dgx1v();
+  FabricParams params;
+  params.nic_bw = 12.5e9;
+  Fabric f({topo, topo}, params);
+  EXPECT_FALSE(f.heterogeneous_nics());
+  const int egress = f.nic_route(1, 0)[0];
+  f.degrade_link(egress, 0.5);
+  EXPECT_DOUBLE_EQ(f.nic_rate(1), 0.5 * 12.5e9);
+  EXPECT_DOUBLE_EQ(f.nic_rate(0), 12.5e9);
+  EXPECT_TRUE(f.heterogeneous_nics());
+  f.restore();
+  EXPECT_FALSE(f.heterogeneous_nics());
+}
+
+TEST(FabricHealth, ExecutorRefusesRoutesOverFailedChannels) {
+  FabricParams params;
+  params.copy_launch_latency = 0.0;
+  params.reduce_launch_latency = 0.0;
+  params.event_sync_latency = 0.0;
+  Fabric f(topo::make_chain(2, /*lane_bw=*/10.0e9), params);
+  Program p;
+  Op op;
+  op.kind = OpKind::kCopy;
+  op.route = f.nvlink_route(0, 0, 1);
+  op.bytes = 1.0e9;
+  op.stream = p.new_stream();
+  p.add(op);
+  EXPECT_NO_THROW(execute(f, p));
+
+  // A degraded channel still runs (slower); a failed one refuses.
+  f.degrade_link(op.route[0], 0.5);
+  EXPECT_NO_THROW(execute(f, p));
+  f.fail_link(op.route[0]);
+  EXPECT_THROW(execute(f, p), std::runtime_error);
+  f.restore();
+  EXPECT_NO_THROW(execute(f, p));
+}
+
+TEST(FabricHealth, FailGpuValidatesArguments) {
+  Fabric f = dgx1v_fabric();
+  EXPECT_THROW(f.fail_gpu(-1, 0), std::invalid_argument);
+  EXPECT_THROW(f.fail_gpu(1, 0), std::invalid_argument);  // one server
+  EXPECT_THROW(f.fail_gpu(0, 8), std::invalid_argument);
+  EXPECT_THROW(f.fail_link(-1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace blink::sim

@@ -555,5 +555,120 @@ TEST_F(PlanStore, SideImportStillFlushesConfiguredStore) {
   EXPECT_EQ(warm.plan_cache().misses(), 0u);
 }
 
+// --- format v4: channel footprints and component health fingerprints --------
+
+TEST_F(PlanStore, FootprintSurvivesRecordRoundTrip) {
+  PlanRecord record;
+  record.backend_name = "blink";
+  record.bytes = 4096.0;
+  record.meta.bytes = 4096.0;
+  record.program = sample_program();
+  record.footprint = {0, 3, 5, 17};
+
+  std::string buf;
+  serialize_plan_record(record, &buf);
+  std::size_t pos = 0;
+  const PlanRecord restored = deserialize_plan_record(buf, &pos);
+  EXPECT_EQ(pos, buf.size());
+  EXPECT_EQ(restored.footprint, record.footprint);
+}
+
+TEST_F(PlanStore, NegativeFootprintChannelRejected) {
+  PlanRecord record;
+  record.backend_name = "blink";
+  record.bytes = 4096.0;
+  record.meta.bytes = 4096.0;
+  record.program = sample_program();
+  record.footprint = {2, -1};
+  std::string buf;
+  serialize_plan_record(record, &buf);
+  std::size_t pos = 0;
+  EXPECT_THROW(deserialize_plan_record(buf, &pos), std::invalid_argument);
+}
+
+TEST_F(PlanStore, ComponentFingerprintsSurviveFileRoundTrip) {
+  const std::string store = path("components.bpc");
+  PlanStoreFile file;
+  file.fingerprint = 0x1234;
+  file.component_fingerprints = {7u, 11u, 13u};
+  PlanRecord record;
+  record.backend_name = "blink";
+  record.bytes = 4096.0;
+  record.meta.bytes = 4096.0;
+  record.program = sample_program();
+  record.footprint = {1, 2};
+  file.records.push_back(record);
+  write_plan_store(store, file);
+
+  const PlanStoreFile restored = read_plan_store_file(store, 0x1234);
+  EXPECT_EQ(restored.component_fingerprints, file.component_fingerprints);
+  ASSERT_EQ(restored.records.size(), 1u);
+  EXPECT_EQ(restored.records[0].footprint, record.footprint);
+}
+
+// The migration-hygiene regression: a store carrying the previous format
+// version — what an un-upgraded process would have written — is rejected
+// cleanly at warm-load. The engine logs, ignores the file, and compiles
+// cold; it never crashes and never adopts a v3 plan.
+TEST_F(PlanStore, PreviousVersionStoreRejectedOnWarmLoad) {
+  CommunicatorOptions options = fast_options();
+  options.plan_store_dir = dir_.string();
+  std::string store_path;
+  {
+    Communicator comm(topo::make_dgx1v(), options);
+    comm.compile(CollectiveKind::kBroadcast, 10e6, 0);
+    store_path = comm.plan_store_path();
+  }
+  ASSERT_TRUE(fs::exists(store_path));
+  // Rewrite the version field to v3.
+  std::fstream f(store_path, std::ios::in | std::ios::out | std::ios::binary);
+  const std::uint32_t v3 = kPlanStoreVersion - 1;
+  f.seekp(4);
+  f.write(reinterpret_cast<const char*>(&v3), sizeof v3);
+  f.close();
+
+  Communicator comm(topo::make_dgx1v(), options);
+  const auto r = comm.broadcast(10e6, 0);  // warm-load path runs first
+  EXPECT_GT(r.seconds, 0.0);
+  EXPECT_EQ(comm.plan_cache().misses(), 1u);  // compiled cold, no crash
+  // And an explicit import types the rejection instead of crashing.
+  Communicator fresh(topo::make_dgx1v(), fast_options());
+  EXPECT_THROW(fresh.import_plans(store_path), std::invalid_argument);
+}
+
+// A store saved on a degraded fabric only warm-loads the plans whose
+// footprints avoid the changed component: loading it into a healthy engine
+// skips (not rejects) the degraded-compile plans record by record.
+TEST_F(PlanStore, DegradedSavesSkipPerRecordOnHealthyLoad) {
+  CommunicatorOptions options = fast_options();
+  options.plan_store_dir = dir_.string();
+  {
+    Communicator comm(topo::make_dgx1v(), options);
+    sim::HealthEvent event;
+    event.kind = sim::HealthEventKind::kDegradeLink;
+    event.channel = comm.fabric().nvlink_route(0, 0, 1)[0];
+    event.factor = 0.5;
+    comm.repair_plans(event);
+    // Compiled against the degraded fabric; its footprint crosses the
+    // degraded server component.
+    comm.compile(CollectiveKind::kAllReduce, 16e6, -1);
+  }
+  // A fresh (healthy) engine must not adopt the degraded-fabric plan: its
+  // schedule was paced against the halved link.
+  Communicator healthy(topo::make_dgx1v(), options);
+  healthy.all_reduce(16e6);
+  EXPECT_EQ(healthy.plan_cache().misses(), 1u);  // skipped, compiled cold
+
+  // An engine degraded the same way adopts it: component fingerprints match.
+  Communicator matching(topo::make_dgx1v(), options);
+  sim::HealthEvent event;
+  event.kind = sim::HealthEventKind::kDegradeLink;
+  event.channel = matching.fabric().nvlink_route(0, 0, 1)[0];
+  event.factor = 0.5;
+  matching.repair_plans(event);
+  matching.all_reduce(16e6);
+  EXPECT_EQ(matching.plan_cache().misses(), 0u);  // warm-loaded
+}
+
 }  // namespace
 }  // namespace blink

@@ -486,5 +486,161 @@ TEST(Serve, StatsSnapshotLatencyHistogramsFill) {
   EXPECT_EQ(execute_total, 1u);
 }
 
+// A kRepair request: the health event rides in the request's event /
+// channel / gpu / factor fields; bytes stay zero (repair is not a
+// collective and skips payload validation).
+ServeRequest repair_for(const std::string& tenant, const FabricSpec& fabric,
+                        const std::string& event,
+                        const std::string& channel = "",
+                        double factor = 1.0) {
+  ServeRequest request = request_for(tenant, fabric, 0.0, RequestType::kRepair);
+  request.event = event;
+  request.channel = channel;
+  request.factor = factor;
+  return request;
+}
+
+TEST(Serve, RepairRecompilesOnlyFootprintIntersectingPlans) {
+  FakeClock clock;
+  PlanService service(test_options(clock));
+  // A baseline shard: ring lowering reduces on the reduce engines during
+  // all-reduce but broadcast is copy-only, so a reduce-channel degrade
+  // splits the cache into dropped vs retained.
+  const FabricSpec fabric = spec_v100({0, 1, 2, 3}, "ring");
+  EXPECT_EQ(service
+                .handle(request_for("t", fabric, 4e6, RequestType::kExecute,
+                                    CollectiveKind::kAllReduce))
+                .status,
+            ServeStatus::kOk);
+  ServeRequest bcast = request_for("t", fabric, 4e6, RequestType::kExecute,
+                                   CollectiveKind::kBroadcast);
+  bcast.root = 0;
+  EXPECT_EQ(service.handle(bcast).status, ServeStatus::kOk);
+
+  const ServeResponse repaired = service.handle(
+      repair_for("t", fabric, "degrade_link", "s0.reduce1", 0.5));
+  ASSERT_EQ(repaired.status, ServeStatus::kOk) << repaired.message;
+  EXPECT_EQ(repaired.plans_touched, 1u);   // all-reduce dropped + recompiled
+  EXPECT_EQ(repaired.plans_retained, 1u);  // broadcast kept warm
+
+  // Repair recompiled the dropped plan in place: both shapes are warm now.
+  EXPECT_TRUE(service
+                  .handle(request_for("t", fabric, 4e6, RequestType::kExecute,
+                                      CollectiveKind::kAllReduce))
+                  .warm_hit);
+  EXPECT_TRUE(service.handle(bcast).warm_hit);
+
+  const ServiceStats stats = service.stats();
+  const std::string key = "dgx1v|ring|0,1,2,3,";
+  ASSERT_TRUE(stats.shard_health.count(key));
+  const ShardHealthCounters& health = stats.shard_health.at(key);
+  EXPECT_EQ(health.repairs, 1u);
+  EXPECT_EQ(health.invalidations, 0u);
+  EXPECT_EQ(health.plans_dropped, 1u);
+  EXPECT_EQ(health.plans_retained, 1u);
+}
+
+TEST(Serve, RepairOnBlinkShardDropsEverythingAndRestoreRecovers) {
+  FakeClock clock;
+  PlanService service(test_options(clock));
+  const FabricSpec fabric = spec_v100({0, 1, 2, 3});
+  EXPECT_EQ(service.handle(request_for("t", fabric, 4e6)).status,
+            ServeStatus::kOk);
+
+  // BlinkBackend replans from the healthy topology on every event, so the
+  // whole shard cache turns over: nothing retained.
+  const ServeResponse failed =
+      service.handle(repair_for("t", fabric, "fail_link", "s0.nvl.0>1"));
+  ASSERT_EQ(failed.status, ServeStatus::kOk) << failed.message;
+  EXPECT_EQ(failed.plans_touched, 1u);
+  EXPECT_EQ(failed.plans_retained, 0u);
+  EXPECT_TRUE(service.handle(request_for("t", fabric, 4e6)).warm_hit);
+
+  const ServeResponse restored =
+      service.handle(repair_for("t", fabric, "restore"));
+  ASSERT_EQ(restored.status, ServeStatus::kOk) << restored.message;
+  EXPECT_EQ(restored.plans_touched, 1u);
+  EXPECT_TRUE(service.handle(request_for("t", fabric, 4e6)).warm_hit);
+
+  const ServiceStats stats = service.stats();
+  const ShardHealthCounters& health =
+      stats.shard_health.at("dgx1v|blink|0,1,2,3,");
+  EXPECT_EQ(health.repairs, 2u);
+  EXPECT_EQ(health.plans_dropped, 2u);
+  EXPECT_EQ(health.plans_retained, 0u);
+}
+
+TEST(Serve, RepairRejectsUnknownEventsChannelsAndFactors) {
+  FakeClock clock;
+  PlanService service(test_options(clock));
+  const FabricSpec fabric = spec_v100({0, 1, 2, 3});
+  EXPECT_EQ(service.handle(request_for("t", fabric, 4e6)).status,
+            ServeStatus::kOk);
+
+  const ServeResponse unknown_event =
+      service.handle(repair_for("t", fabric, "melt", "s0.nvl.0>1"));
+  EXPECT_EQ(unknown_event.status, ServeStatus::kInvalidRequest);
+  EXPECT_FALSE(unknown_event.message.empty());
+  EXPECT_EQ(service
+                .handle(repair_for("t", fabric, "degrade_link",
+                                   "no.such.channel", 0.5))
+                .status,
+            ServeStatus::kInvalidRequest);
+  EXPECT_EQ(service
+                .handle(repair_for("t", fabric, "degrade_link", "s0.nvl.0>1",
+                                   /*factor=*/1.5))
+                .status,
+            ServeStatus::kInvalidRequest);
+
+  // Nothing changed: the plan is still warm and no repair was booked.
+  EXPECT_TRUE(service.handle(request_for("t", fabric, 4e6)).warm_hit);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.totals.invalid, 3u);
+  EXPECT_EQ(stats.shard_health.at("dgx1v|blink|0,1,2,3,").repairs, 0u);
+}
+
+TEST(Serve, RepairIsQuotaFreeLikeInvalidate) {
+  FakeClock clock;
+  ServiceOptions options = test_options(clock);
+  options.default_quota.compile_rate = 0.0;  // no refill: burst is the budget
+  options.default_quota.compile_burst = 1.0;
+  PlanService service(options);
+  const FabricSpec fabric = spec_v100({0, 1, 2, 3});
+  EXPECT_EQ(service.handle(request_for("t", fabric, 4e6)).status,
+            ServeStatus::kOk);
+  // The budget is spent: another cold shape is a typed reject...
+  EXPECT_EQ(service.handle(request_for("t", fabric, 8e6)).status,
+            ServeStatus::kRejectedQuota);
+  // ...but repair is the operator's path, never charged against the
+  // tenant's compile bucket even though it recompiles the dropped plan.
+  const ServeResponse repaired = service.handle(
+      repair_for("t", fabric, "degrade_link", "s0.nvl.0>1", 0.5));
+  EXPECT_EQ(repaired.status, ServeStatus::kOk) << repaired.message;
+  EXPECT_EQ(repaired.plans_touched, 1u);
+  EXPECT_TRUE(service.handle(request_for("t", fabric, 4e6)).warm_hit);
+}
+
+TEST(Serve, InvalidateReportsRetainedAndBooksShardHealth) {
+  FakeClock clock;
+  PlanService service(test_options(clock));
+  const FabricSpec fabric = spec_v100({0, 1, 2, 3});
+  EXPECT_EQ(service.handle(request_for("t", fabric, 4e6)).status,
+            ServeStatus::kOk);
+  EXPECT_EQ(service.handle(request_for("t", fabric, 8e6)).status,
+            ServeStatus::kOk);
+  const ServeResponse invalidated = service.handle(
+      request_for("t", fabric, 0.0, RequestType::kInvalidate));
+  EXPECT_EQ(invalidated.status, ServeStatus::kOk);
+  // Invalidate is the blunt tool: everything dropped, nothing retained.
+  EXPECT_EQ(invalidated.plans_touched, 2u);
+  EXPECT_EQ(invalidated.plans_retained, 0u);
+  const ServiceStats stats = service.stats();
+  const ShardHealthCounters& health =
+      stats.shard_health.at("dgx1v|blink|0,1,2,3,");
+  EXPECT_EQ(health.invalidations, 1u);
+  EXPECT_EQ(health.plans_dropped, 2u);
+  EXPECT_EQ(health.plans_retained, 0u);
+}
+
 }  // namespace
 }  // namespace blink::serve

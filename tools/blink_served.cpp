@@ -8,7 +8,12 @@
 //   <tenant> compile|execute <machine> <g0,g1,...> <kind> <bytes> [root] [backend]
 //   <tenant> precompile <machine> <g0,g1,...> <bytes> [root] [backend]
 //   <tenant> warm|invalidate <machine> <g0,g1,...> [backend]
+//   <tenant> repair <machine> <g0,g1,...> <event> [<channel>|<gpu>] [factor] [backend]
 //   stats | flush | gc | help | quit
+//
+// repair events: degrade_link <channel> <factor>, fail_link <channel>,
+// fail_gpu <gpu>, restore. Channels go by fabric name (e.g. "nvlink:0->1");
+// only plans whose footprint the event touches recompile.
 //
 // kinds: broadcast gather reduce allreduce allgather reducescatter
 // machines: dgx1p dgx1v dgx2    backends: blink nccl ring double_binary
@@ -80,10 +85,15 @@ void print_response(const ServeRequest& request, const ServeResponse& r) {
         std::cout << " warm-loaded " << r.plans_touched << " plans";
         break;
       case blink::serve::RequestType::kInvalidate:
-        std::cout << " invalidated " << r.plans_touched << " plans";
+        std::cout << " invalidated " << r.plans_touched << " plans, retained "
+                  << r.plans_retained;
         break;
       case blink::serve::RequestType::kPrecompile:
         std::cout << " precompiled " << r.plans_touched << " cold plans";
+        break;
+      case blink::serve::RequestType::kRepair:
+        std::cout << " repaired: dropped " << r.plans_touched << ", retained "
+                  << r.plans_retained << " plans";
         break;
     }
   } else {
@@ -107,6 +117,13 @@ void print_stats(const ServiceStats& stats) {
               << c.rejected_in_flight << "/" << c.rejected_queue_full
               << " invalid=" << c.invalid << " errors=" << c.errors
               << std::endl;
+  }
+  for (const auto& [shard, h] : stats.shard_health) {
+    if (h.repairs == 0 && h.invalidations == 0) continue;
+    std::cout << "  shard " << shard << ": repairs=" << h.repairs
+              << " invalidations=" << h.invalidations
+              << " dropped=" << h.plans_dropped
+              << " retained=" << h.plans_retained << std::endl;
   }
 }
 
@@ -187,6 +204,12 @@ int main(int argc, char** argv) {
              "<tenant> precompile <machine> <g0,g1,...> <bytes> [root] "
              "[backend]\n"
              "<tenant> warm|invalidate <machine> <g0,g1,...> [backend]\n"
+             "<tenant> repair <machine> <g0,g1,...> degrade_link <channel> "
+             "[factor] [backend]\n"
+             "<tenant> repair <machine> <g0,g1,...> fail_link <channel> "
+             "[backend]\n"
+             "<tenant> repair <machine> <g0,g1,...> fail_gpu <gpu> [backend]\n"
+             "<tenant> repair <machine> <g0,g1,...> restore [backend]\n"
              "stats | flush | gc | quit"
           << std::endl;
       continue;
@@ -250,6 +273,45 @@ int main(int argc, char** argv) {
                                     : blink::serve::RequestType::kInvalidate;
       std::string backend;
       if (ss >> backend) request.fabric.backend = backend;
+    } else if (verb == "repair") {
+      request.type = blink::serve::RequestType::kRepair;
+      if (!(ss >> request.event)) {
+        std::cout << "invalid_request malformed repair (try 'help')"
+                  << std::endl;
+        continue;
+      }
+      if (request.event == "degrade_link" || request.event == "fail_link") {
+        if (!(ss >> request.channel)) {
+          std::cout << "invalid_request repair needs a channel name "
+                       "(try 'help')"
+                    << std::endl;
+          continue;
+        }
+        // Optional trailing tokens: a numeric factor, then a backend name.
+        std::string token;
+        while (ss >> token) {
+          char* end = nullptr;
+          const double factor = std::strtod(token.c_str(), &end);
+          if (end != nullptr && *end == '\0') {
+            request.factor = factor;
+          } else {
+            request.fabric.backend = token;
+          }
+        }
+      } else if (request.event == "fail_gpu") {
+        if (!(ss >> request.gpu)) {
+          std::cout << "invalid_request repair fail_gpu needs a gpu rank "
+                       "(try 'help')"
+                    << std::endl;
+          continue;
+        }
+        std::string backend;
+        if (ss >> backend) request.fabric.backend = backend;
+      } else {
+        // "restore", or an unknown event the service will type-reject.
+        std::string backend;
+        if (ss >> backend) request.fabric.backend = backend;
+      }
     } else {
       std::cout << "invalid_request unknown verb '" << verb << "' (try 'help')"
                 << std::endl;
