@@ -42,4 +42,20 @@ std::vector<std::vector<int>> op_channel_routes(const Program& program);
 // depend on channels they use).
 std::vector<int> program_channels(const Program& program);
 
+// One channel that carried more bytes than its effective capacity could have
+// moved within the run's makespan. The fluid max-min executor cannot
+// oversubscribe a link, so any violation is an accounting or scheduling bug.
+struct CapacityViolation {
+  int channel = -1;
+  double bytes = 0.0;  // bytes the run pushed through the channel
+  double bound = 0.0;  // capacity * makespan + slack
+};
+
+// Channels of |result| whose carried bytes exceed capacity * makespan plus
+// |slack_bytes| of accumulated floating-point error. Empty on a well-formed
+// run; the invariant fuzzer checks this for every compiled plan.
+std::vector<CapacityViolation> capacity_violations(const Fabric& fabric,
+                                                   const RunResult& result,
+                                                   double slack_bytes = 1.0);
+
 }  // namespace blink::sim

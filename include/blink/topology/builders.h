@@ -30,9 +30,11 @@ Topology make_dgx1v();
 Topology make_dgx2();
 
 // A fully connected |num_gpus| clique of single NVLink lanes, for unit tests.
+// Throws std::invalid_argument on a non-positive GPU count or bandwidth.
 Topology make_clique(int num_gpus, double lane_bw = kNvlinkGen2Bw);
 
 // A chain 0-1-2-...-n-1 of single lanes, for the §2.2 depth benchmarks.
+// Throws std::invalid_argument on a non-positive GPU count or bandwidth.
 Topology make_chain(int num_gpus, double lane_bw = kNvlinkGen2Bw);
 
 // Standard DGX-1 PCIe hierarchy for |num_gpus| (pairs share a PLX, two PLX

@@ -1,0 +1,128 @@
+// The topology zoo: parameterized fabric builders beyond the three hand-built
+// paper machines (ROADMAP item 5). Every plan-level guarantee used to be
+// checked only on DGX-1P/V, DGX-2, clique and chain; the zoo generates
+// NVSwitch boxes of any width, PCIe-only hosts, fat-tree/multi-rack NIC
+// hierarchies, mixed-generation fleets, and — for the invariant fuzzer —
+// seeded random fabrics with controllable GPU count, link density and
+// bandwidth spread. All builders validate their arguments and throw
+// std::invalid_argument instead of constructing a malformed Topology.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "blink/common/rng.h"
+#include "blink/sim/fabric.h"
+#include "blink/topology/builders.h"
+#include "blink/topology/topology.h"
+
+namespace blink::topo::zoo {
+
+// --- parameterized single-server builders -----------------------------------
+
+// An NVSwitch box of |num_gpus| GPUs: every GPU has one aggregated
+// full-duplex pipe of |gpu_bw| bytes/s into a non-blocking crossbar (a DGX-2
+// of any width). Throws std::invalid_argument on num_gpus < 1 or gpu_bw <= 0.
+Topology make_nvswitch_box(int num_gpus, double gpu_bw = kNvswitchGpuBw);
+
+// A host with no NVLink fabric at all: collectives ride the PCIe hierarchy
+// (pairs share a PLX, two PLX per socket), which is where NCCL's Figure 2b
+// fallback lives. Throws std::invalid_argument on num_gpus < 1.
+Topology make_pcie_only_host(int num_gpus);
+
+// --- seeded random single-server topologies ----------------------------------
+
+struct RandomTopologyParams {
+  int num_gpus = 4;
+  // Fraction of the candidate edges beyond a random spanning tree that are
+  // added: 0 = bare tree (always NVLink-connected), 1 = full clique.
+  double link_density = 0.5;
+  // Lanes per edge are drawn uniformly from [1, max_lanes]. A Topology
+  // carries one per-lane rate, so per-edge bandwidth spread rides on lane
+  // counts.
+  int max_lanes = 2;
+  double lane_bw = kNvlinkGen2Bw;  // bytes/s per lane per direction
+  // Probability that the server comes out as an NVSwitch box or a PCIe-only
+  // host instead of a random NVLink mesh.
+  double nvswitch_probability = 0.0;
+  double pcie_only_probability = 0.0;
+};
+
+// A random server drawn from |rng|: a spanning-tree-connected NVLink mesh
+// densified per link_density with random lane counts (or, per the
+// probabilities, an NVSwitch box / PCIe-only host). Always carries the
+// standard PCIe hierarchy so fallback paths exist. Throws
+// std::invalid_argument on non-positive counts/bandwidths or out-of-range
+// probabilities/density.
+Topology make_random_topology(const RandomTopologyParams& params, Rng& rng);
+
+// --- multi-server builders ----------------------------------------------------
+
+// Servers plus the calibrated NIC tier they hang off — what a
+// ClusterCommunicator (or multi-server CollectiveEngine) consumes.
+struct ZooCluster {
+  std::string name;
+  std::vector<Topology> servers;
+  sim::FabricParams fabric;  // per-server NIC rates filled in
+};
+
+// A multi-rack fat-tree: |racks| * |servers_per_rack| identical NVSwitch
+// boxes of |gpus_per_server| GPUs. The fabric models one NIC tier, so the
+// rack uplink oversubscription (>= 1) folds into the per-server NIC rate:
+// with more than one rack every server runs at nic_bw / oversubscription
+// (cross-rack flows share the ToR uplink); a single rack keeps full rate.
+// Throws std::invalid_argument on non-positive counts/bandwidths or
+// oversubscription < 1.
+ZooCluster make_fat_tree_cluster(int racks, int servers_per_rack,
+                                 int gpus_per_server, double nic_bw = 5.0e9,
+                                 double oversubscription = 1.0);
+
+// A mixed-generation fleet: one server per entry of |generations| (kDGX1P,
+// kDGX1V or kDGX2 — kCustom throws). gpus_per_server > 0 induces the first
+// k GPUs of each box (sub-allocation fleets); 0 keeps whole machines.
+// Per-server NIC rates reflect the host generation: P100-era hosts get
+// nic_bw / 2, V100 hosts nic_bw, DGX-2 hosts 2 * nic_bw. Throws
+// std::invalid_argument on an empty list, bad bandwidth, or a
+// gpus_per_server exceeding a listed machine.
+ZooCluster make_mixed_fleet(const std::vector<ServerKind>& generations,
+                            double nic_bw = 5.0e9, int gpus_per_server = 0);
+
+// --- the seeded random-fabric generator (fuzzer substrate) -------------------
+
+struct RandomFabricParams {
+  int min_servers = 1;
+  int max_servers = 3;
+  int min_gpus = 2;  // per server
+  int max_gpus = 6;
+  int max_lanes = 3;
+  double min_lane_bw = 5.0e9;
+  double max_lane_bw = 30.0e9;
+  double min_nic_bw = 1.25e9;  // 10 Gbps
+  double max_nic_bw = 25.0e9;  // 200 Gbps
+  double nvswitch_probability = 0.15;
+  double pcie_only_probability = 0.15;
+};
+
+// One generated fabric, reproducible from its seed alone.
+struct RandomFabric {
+  std::uint64_t seed = 0;
+  std::vector<Topology> servers;
+  sim::FabricParams fabric;  // per-server NIC rates when multi-server
+
+  int total_gpus() const;
+  // One-line builder-parameter summary for fuzzer repro lines, e.g.
+  // "servers=2 [mesh4(d=0.31,lanes<=3,lane=12.4e9), pcie3] nic=[2.1e9,8.8e9]".
+  std::string describe() const;
+};
+
+// Deterministically generates a fabric from |seed|: server count, per-server
+// shape (random mesh / NVSwitch box / PCIe-only host), GPU counts, link
+// density, lane counts, lane bandwidth, and per-server NIC rates are all
+// drawn from the seeded stream, within |params|' ranges. The same seed and
+// params always produce an identical fabric on every platform. Throws
+// std::invalid_argument on inverted or non-positive ranges.
+RandomFabric make_random_fabric(std::uint64_t seed,
+                                const RandomFabricParams& params = {});
+
+}  // namespace blink::topo::zoo

@@ -106,4 +106,20 @@ std::vector<int> program_channels(const Program& program) {
   return channels;
 }
 
+std::vector<CapacityViolation> capacity_violations(const Fabric& fabric,
+                                                   const RunResult& result,
+                                                   double slack_bytes) {
+  std::vector<CapacityViolation> violations;
+  const auto& caps = fabric.capacities();
+  for (std::size_t c = 0; c < result.channel_bytes.size(); ++c) {
+    const double cap = c < caps.size() ? caps[c] : 0.0;
+    const double bound = cap * result.makespan + slack_bytes;
+    if (result.channel_bytes[c] > bound) {
+      violations.push_back(
+          {static_cast<int>(c), result.channel_bytes[c], bound});
+    }
+  }
+  return violations;
+}
+
 }  // namespace blink::sim

@@ -1,7 +1,23 @@
 #include "blink/topology/builders.h"
 
+#include <stdexcept>
+#include <string>
+
 namespace blink::topo {
 namespace {
+
+void check_builder_args(const char* builder, int num_gpus, double lane_bw) {
+  if (num_gpus < 1) {
+    throw std::invalid_argument(std::string(builder) +
+                                ": num_gpus must be positive, got " +
+                                std::to_string(num_gpus));
+  }
+  if (lane_bw <= 0.0) {
+    throw std::invalid_argument(std::string(builder) +
+                                ": lane_bw must be positive, got " +
+                                std::to_string(lane_bw));
+  }
+}
 
 // The hybrid cube-mesh edges common to both DGX-1 generations.
 const std::vector<std::pair<int, int>>& cube_mesh_edges() {
@@ -96,6 +112,7 @@ Topology make_dgx2() {
 }
 
 Topology make_clique(int num_gpus, double lane_bw) {
+  check_builder_args("make_clique", num_gpus, lane_bw);
   Topology t;
   t.kind = ServerKind::kCustom;
   t.name = "clique" + std::to_string(num_gpus);
@@ -111,6 +128,7 @@ Topology make_clique(int num_gpus, double lane_bw) {
 }
 
 Topology make_chain(int num_gpus, double lane_bw) {
+  check_builder_args("make_chain", num_gpus, lane_bw);
   Topology t;
   t.kind = ServerKind::kCustom;
   t.name = "chain" + std::to_string(num_gpus);

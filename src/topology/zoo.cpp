@@ -1,0 +1,277 @@
+#include "blink/topology/zoo.h"
+
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+#include "blink/topology/discovery.h"
+
+namespace blink::topo::zoo {
+namespace {
+
+void require(bool ok, const std::string& what) {
+  if (!ok) throw std::invalid_argument("topo::zoo: " + what);
+}
+
+std::string fmt(const char* format, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, format, v);
+  return buf;
+}
+
+void check_probability(double p, const char* name) {
+  require(p >= 0.0 && p <= 1.0,
+          std::string(name) + " must be in [0, 1], got " + fmt("%g", p));
+}
+
+// A random NVLink mesh: a uniformly attached spanning tree over a shuffled
+// GPU permutation (guaranteed NVLink-connected), densified with a
+// link_density fraction of the remaining pairs, random lanes per edge.
+Topology make_random_mesh(const RandomTopologyParams& params, Rng& rng) {
+  const int n = params.num_gpus;
+  Topology t;
+  t.kind = ServerKind::kCustom;
+  t.name = "mesh" + std::to_string(n) + "(d=" + fmt("%.2f", params.link_density) +
+           ",lanes<=" + std::to_string(params.max_lanes) + ")";
+  t.num_gpus = n;
+  t.nvlink_lane_bw = params.lane_bw;
+
+  std::vector<int> perm(static_cast<std::size_t>(n));
+  for (int g = 0; g < n; ++g) perm[static_cast<std::size_t>(g)] = g;
+  rng.shuffle(perm);
+
+  std::vector<std::vector<bool>> used(
+      static_cast<std::size_t>(n), std::vector<bool>(static_cast<std::size_t>(n)));
+  const auto add_edge = [&](int a, int b) {
+    if (a > b) std::swap(a, b);
+    used[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] = true;
+    t.nvlinks.push_back({a, b, rng.next_int(1, params.max_lanes)});
+  };
+  for (int i = 1; i < n; ++i) {
+    add_edge(perm[static_cast<std::size_t>(rng.next_int(0, i - 1))],
+             perm[static_cast<std::size_t>(i)]);
+  }
+  std::vector<std::pair<int, int>> extra;
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      if (!used[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)]) {
+        extra.push_back({a, b});
+      }
+    }
+  }
+  rng.shuffle(extra);
+  const auto keep = static_cast<std::size_t>(
+      params.link_density * static_cast<double>(extra.size()) + 0.5);
+  for (std::size_t i = 0; i < keep && i < extra.size(); ++i) {
+    add_edge(extra[i].first, extra[i].second);
+  }
+  t.pcie = make_dgx1_pcie(n);
+  return t;
+}
+
+void check_random_topology_params(const RandomTopologyParams& params) {
+  require(params.num_gpus >= 1, "num_gpus must be positive, got " +
+                                    std::to_string(params.num_gpus));
+  require(params.link_density >= 0.0 && params.link_density <= 1.0,
+          "link_density must be in [0, 1], got " +
+              fmt("%g", params.link_density));
+  require(params.max_lanes >= 1,
+          "max_lanes must be positive, got " + std::to_string(params.max_lanes));
+  require(params.lane_bw > 0.0,
+          "lane_bw must be positive, got " + fmt("%g", params.lane_bw));
+  check_probability(params.nvswitch_probability, "nvswitch_probability");
+  check_probability(params.pcie_only_probability, "pcie_only_probability");
+  require(params.nvswitch_probability + params.pcie_only_probability <= 1.0,
+          "nvswitch_probability + pcie_only_probability must not exceed 1");
+}
+
+void check_random_fabric_params(const RandomFabricParams& p) {
+  require(p.min_servers >= 1, "min_servers must be positive, got " +
+                                  std::to_string(p.min_servers));
+  require(p.max_servers >= p.min_servers, "max_servers < min_servers");
+  require(p.min_gpus >= 1,
+          "min_gpus must be positive, got " + std::to_string(p.min_gpus));
+  require(p.max_gpus >= p.min_gpus, "max_gpus < min_gpus");
+  require(p.max_lanes >= 1,
+          "max_lanes must be positive, got " + std::to_string(p.max_lanes));
+  require(p.min_lane_bw > 0.0,
+          "min_lane_bw must be positive, got " + fmt("%g", p.min_lane_bw));
+  require(p.max_lane_bw >= p.min_lane_bw, "max_lane_bw < min_lane_bw");
+  require(p.min_nic_bw > 0.0,
+          "min_nic_bw must be positive, got " + fmt("%g", p.min_nic_bw));
+  require(p.max_nic_bw >= p.min_nic_bw, "max_nic_bw < min_nic_bw");
+  check_probability(p.nvswitch_probability, "nvswitch_probability");
+  check_probability(p.pcie_only_probability, "pcie_only_probability");
+  require(p.nvswitch_probability + p.pcie_only_probability <= 1.0,
+          "nvswitch_probability + pcie_only_probability must not exceed 1");
+}
+
+}  // namespace
+
+Topology make_nvswitch_box(int num_gpus, double gpu_bw) {
+  require(num_gpus >= 1,
+          "num_gpus must be positive, got " + std::to_string(num_gpus));
+  require(gpu_bw > 0.0, "gpu_bw must be positive, got " + fmt("%g", gpu_bw));
+  Topology t;
+  t.kind = ServerKind::kCustom;
+  t.name = "nvswitch" + std::to_string(num_gpus);
+  t.num_gpus = num_gpus;
+  t.has_nvswitch = true;
+  t.nvswitch_gpu_bw = gpu_bw;
+  t.pcie = make_dgx1_pcie(num_gpus);
+  return t;
+}
+
+Topology make_pcie_only_host(int num_gpus) {
+  require(num_gpus >= 1,
+          "num_gpus must be positive, got " + std::to_string(num_gpus));
+  Topology t;
+  t.kind = ServerKind::kCustom;
+  t.name = "pcie" + std::to_string(num_gpus);
+  t.num_gpus = num_gpus;
+  t.pcie = make_dgx1_pcie(num_gpus);
+  return t;
+}
+
+Topology make_random_topology(const RandomTopologyParams& params, Rng& rng) {
+  check_random_topology_params(params);
+  const double u = rng.next_double();
+  if (u < params.nvswitch_probability) {
+    // NVSwitch pipe rate scales with the drawn lane rate (6 lanes per GPU,
+    // the DGX-2 aggregation), so switch boxes share the bandwidth spread.
+    return make_nvswitch_box(params.num_gpus, 6.0 * params.lane_bw);
+  }
+  if (u < params.nvswitch_probability + params.pcie_only_probability) {
+    return make_pcie_only_host(params.num_gpus);
+  }
+  return make_random_mesh(params, rng);
+}
+
+ZooCluster make_fat_tree_cluster(int racks, int servers_per_rack,
+                                 int gpus_per_server, double nic_bw,
+                                 double oversubscription) {
+  require(racks >= 1, "racks must be positive, got " + std::to_string(racks));
+  require(servers_per_rack >= 1, "servers_per_rack must be positive, got " +
+                                     std::to_string(servers_per_rack));
+  require(gpus_per_server >= 1, "gpus_per_server must be positive, got " +
+                                    std::to_string(gpus_per_server));
+  require(nic_bw > 0.0, "nic_bw must be positive, got " + fmt("%g", nic_bw));
+  require(oversubscription >= 1.0,
+          "oversubscription must be >= 1, got " + fmt("%g", oversubscription));
+  ZooCluster c;
+  c.name = "fattree-" + std::to_string(racks) + "x" +
+           std::to_string(servers_per_rack) + "x" +
+           std::to_string(gpus_per_server);
+  const int num_servers = racks * servers_per_rack;
+  const double rate = racks > 1 ? nic_bw / oversubscription : nic_bw;
+  for (int s = 0; s < num_servers; ++s) {
+    Topology t = make_nvswitch_box(gpus_per_server);
+    t.name = "rack" + std::to_string(s / servers_per_rack) + "-" + t.name;
+    c.servers.push_back(std::move(t));
+    c.fabric.nic_bw_per_server.push_back(rate);
+  }
+  c.fabric.nic_bw = nic_bw;
+  return c;
+}
+
+ZooCluster make_mixed_fleet(const std::vector<ServerKind>& generations,
+                            double nic_bw, int gpus_per_server) {
+  require(!generations.empty(), "generations must not be empty");
+  require(nic_bw > 0.0, "nic_bw must be positive, got " + fmt("%g", nic_bw));
+  require(gpus_per_server >= 0, "gpus_per_server must be non-negative, got " +
+                                    std::to_string(gpus_per_server));
+  ZooCluster c;
+  c.name = "fleet" + std::to_string(generations.size());
+  c.fabric.nic_bw = nic_bw;
+  for (const ServerKind kind : generations) {
+    Topology t;
+    double nic = nic_bw;
+    switch (kind) {
+      case ServerKind::kDGX1P:
+        t = make_dgx1p();
+        nic = nic_bw / 2.0;
+        break;
+      case ServerKind::kDGX1V:
+        t = make_dgx1v();
+        break;
+      case ServerKind::kDGX2:
+        t = make_dgx2();
+        nic = nic_bw * 2.0;
+        break;
+      case ServerKind::kCustom:
+        require(false, "mixed fleets are built from paper machines; "
+                       "kCustom has no generation");
+        break;
+    }
+    if (gpus_per_server > 0) {
+      require(gpus_per_server <= t.num_gpus,
+              "gpus_per_server " + std::to_string(gpus_per_server) +
+                  " exceeds " + t.name + "'s " + std::to_string(t.num_gpus));
+      std::vector<int> alloc(static_cast<std::size_t>(gpus_per_server));
+      for (int g = 0; g < gpus_per_server; ++g) {
+        alloc[static_cast<std::size_t>(g)] = g;
+      }
+      t = induced_topology(t, alloc);
+    }
+    c.servers.push_back(std::move(t));
+    c.fabric.nic_bw_per_server.push_back(nic);
+  }
+  return c;
+}
+
+int RandomFabric::total_gpus() const {
+  int total = 0;
+  for (const auto& s : servers) total += s.num_gpus;
+  return total;
+}
+
+std::string RandomFabric::describe() const {
+  std::string out = "servers=" + std::to_string(servers.size()) + " [";
+  for (std::size_t s = 0; s < servers.size(); ++s) {
+    if (s) out += ", ";
+    out += servers[s].name;
+    if (!servers[s].has_nvswitch && !servers[s].nvlinks.empty()) {
+      out += fmt("@%.3ge9", servers[s].nvlink_lane_bw / 1e9);
+    }
+  }
+  out += "]";
+  if (servers.size() > 1) {
+    out += " nic=[";
+    for (std::size_t s = 0; s < fabric.nic_bw_per_server.size(); ++s) {
+      if (s) out += ",";
+      out += fmt("%.3ge9", fabric.nic_bw_per_server[s] / 1e9);
+    }
+    out += "]";
+  }
+  return out;
+}
+
+RandomFabric make_random_fabric(std::uint64_t seed,
+                                const RandomFabricParams& params) {
+  check_random_fabric_params(params);
+  Rng rng(seed);
+  RandomFabric rf;
+  rf.seed = seed;
+  const int num_servers = rng.next_int(params.min_servers, params.max_servers);
+  for (int s = 0; s < num_servers; ++s) {
+    RandomTopologyParams tp;
+    tp.num_gpus = rng.next_int(params.min_gpus, params.max_gpus);
+    tp.link_density = rng.next_double();
+    tp.max_lanes = params.max_lanes;
+    tp.lane_bw = params.min_lane_bw +
+                 rng.next_double() * (params.max_lane_bw - params.min_lane_bw);
+    tp.nvswitch_probability = params.nvswitch_probability;
+    tp.pcie_only_probability = params.pcie_only_probability;
+    rf.servers.push_back(make_random_topology(tp, rng));
+  }
+  if (num_servers > 1) {
+    for (int s = 0; s < num_servers; ++s) {
+      rf.fabric.nic_bw_per_server.push_back(
+          params.min_nic_bw +
+          rng.next_double() * (params.max_nic_bw - params.min_nic_bw));
+    }
+  }
+  return rf;
+}
+
+}  // namespace blink::topo::zoo

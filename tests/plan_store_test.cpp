@@ -4,12 +4,14 @@
 // version-mismatched, fingerprint-mismatched, corrupt, and truncated stores.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <limits>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -19,6 +21,7 @@
 #include "blink/blink/multiserver.h"
 #include "blink/blink/nccl_compat.h"
 #include "blink/blink/plan_io.h"
+#include "blink/common/rng.h"
 #include "blink/topology/builders.h"
 
 namespace blink {
@@ -668,6 +671,100 @@ TEST_F(PlanStore, DegradedSavesSkipPerRecordOnHealthyLoad) {
   matching.repair_plans(event);
   matching.all_reduce(16e6);
   EXPECT_EQ(matching.plan_cache().misses(), 0u);  // warm-loaded
+}
+
+// --- randomized corruption sweeps (the reader must always fail cleanly) -----
+
+// Every bit flip in a serialized store must leave the reader in one of two
+// states: a clean std::invalid_argument (nothing adopted), or — when the
+// flip lands in a payload byte the format cannot distinguish from data — a
+// normal parse of the altered values. Crashes, other exception types, and
+// partial adoption are the bugs this sweep exists to catch.
+TEST_F(PlanStore, RandomBitFlipSweepNeverCrashesOrPartiallyAdopts) {
+  const std::string store = path("plans.bpc");
+  std::uint64_t fingerprint = 0;
+  {
+    Communicator comm(topo::make_dgx1v(), fast_options());
+    comm.compile(CollectiveKind::kBroadcast, 10e6, 0);
+    comm.compile(CollectiveKind::kAllReduce, 8e6, -1);
+    fingerprint = comm.fabric_fingerprint();
+    EXPECT_EQ(comm.export_plans(store), 2u);
+  }
+  std::string pristine;
+  {
+    std::ifstream in(store, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    pristine = buf.str();
+  }
+  ASSERT_GT(pristine.size(), 64u);
+
+  Rng rng(0xb1f11);  // fixed seed: the sweep is part of the regression suite
+  std::size_t rejected = 0;
+  std::size_t accepted = 0;
+  const std::string flipped_path = path("flipped.bpc");
+  for (int i = 0; i < 256; ++i) {
+    std::string mutated = pristine;
+    // Bias half the flips into the first 64 bytes so the header fields
+    // (magic, version, fingerprint, counts) get dense coverage.
+    const std::size_t byte = i % 2 == 0
+                                 ? rng.next_below(std::min<std::size_t>(
+                                       mutated.size(), 64))
+                                 : rng.next_below(mutated.size());
+    mutated[byte] = static_cast<char>(
+        static_cast<unsigned char>(mutated[byte]) ^ (1u << rng.next_below(8)));
+    std::ofstream(flipped_path, std::ios::binary) << mutated;
+    try {
+      read_plan_store_file(flipped_path, fingerprint);
+      ++accepted;  // flip landed in payload the format treats as data
+    } catch (const std::invalid_argument&) {
+      ++rejected;  // clean rejection — the only acceptable failure mode
+    }
+  }
+  EXPECT_EQ(rejected + accepted, 256u);
+  EXPECT_GT(rejected, 0u);  // header flips must not slip through
+
+  // Partial adoption: an engine whose import throws must keep an empty
+  // cache and stay fully functional.
+  std::string broken = pristine;
+  broken[0] ^= 0x01;  // magic byte: guaranteed rejection
+  std::ofstream(flipped_path, std::ios::binary) << broken;
+  Communicator fresh(topo::make_dgx1v(), fast_options());
+  EXPECT_THROW(fresh.import_plans(flipped_path), std::invalid_argument);
+  EXPECT_EQ(fresh.plan_cache().size(), 0u);
+  EXPECT_GT(fresh.all_reduce(8e6).seconds, 0.0);
+}
+
+// Truncation at any length must reject: the header states what follows, so
+// a prefix is never a valid store. Sweeps every boundary of the header and
+// a seeded sample of the record region.
+TEST_F(PlanStore, TruncationSweepAlwaysRejects) {
+  const std::string store = path("plans.bpc");
+  std::uint64_t fingerprint = 0;
+  {
+    Communicator comm(topo::make_dgx1v(), fast_options());
+    comm.compile(CollectiveKind::kBroadcast, 10e6, 0);
+    fingerprint = comm.fabric_fingerprint();
+    comm.export_plans(store);
+  }
+  const std::uintmax_t full_size = fs::file_size(store);
+  ASSERT_GT(full_size, 64u);
+
+  std::vector<std::uintmax_t> sizes;
+  for (std::uintmax_t s = 0; s < std::min<std::uintmax_t>(full_size, 96); ++s) {
+    sizes.push_back(s);  // exhaustive over the header region
+  }
+  Rng rng(0x7c);
+  for (int i = 0; i < 160; ++i) {
+    sizes.push_back(96 + rng.next_below(full_size - 96));
+  }
+  const std::string cut = path("cut.bpc");
+  for (const std::uintmax_t size : sizes) {
+    fs::copy_file(store, cut, fs::copy_options::overwrite_existing);
+    fs::resize_file(cut, size);
+    EXPECT_THROW(read_plan_store_file(cut, fingerprint), std::invalid_argument)
+        << "size " << size << " of " << full_size;
+  }
 }
 
 }  // namespace

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "blink/topology/builders.h"
 #include "blink/topology/discovery.h"
 #include "blink/topology/topology.h"
@@ -63,6 +65,20 @@ TEST(Builders, CliqueAndChain) {
   EXPECT_EQ(chain.nvlinks.size(), 3u);
   EXPECT_TRUE(chain.nvlink_connected());
   EXPECT_EQ(chain.lanes_between(0, 2), 0);
+}
+
+TEST(Builders, CliqueAndChainRejectBadArguments) {
+  EXPECT_THROW(make_clique(0), std::invalid_argument);
+  EXPECT_THROW(make_clique(-2), std::invalid_argument);
+  EXPECT_THROW(make_clique(4, 0.0), std::invalid_argument);
+  EXPECT_THROW(make_clique(4, -1.0e9), std::invalid_argument);
+  EXPECT_THROW(make_chain(0), std::invalid_argument);
+  EXPECT_THROW(make_chain(-1), std::invalid_argument);
+  EXPECT_THROW(make_chain(3, 0.0), std::invalid_argument);
+  EXPECT_THROW(make_chain(3, -5.0), std::invalid_argument);
+  // The degenerate-but-legal single-GPU shapes still build.
+  EXPECT_TRUE(make_clique(1).validate());
+  EXPECT_TRUE(make_chain(1).validate());
 }
 
 TEST(Builders, PcieHierarchy) {

@@ -1,0 +1,227 @@
+// The topology zoo: builder shapes, argument validation, and the determinism
+// of the seeded random-fabric generator the invariant fuzzer stands on.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "blink/blink/communicator.h"
+#include "blink/blink/multiserver.h"
+#include "blink/common/rng.h"
+#include "blink/topology/builders.h"
+#include "blink/topology/zoo.h"
+
+namespace blink::topo::zoo {
+namespace {
+
+TEST(Zoo, NvswitchBoxShape) {
+  for (const int n : {2, 5, 16}) {
+    const Topology t = make_nvswitch_box(n);
+    ASSERT_TRUE(t.validate()) << "n=" << n;
+    EXPECT_EQ(t.num_gpus, n);
+    EXPECT_TRUE(t.has_nvswitch);
+    EXPECT_TRUE(t.nvlinks.empty());  // the crossbar carries everything
+    EXPECT_GT(t.nvswitch_gpu_bw, 0.0);
+  }
+  EXPECT_DOUBLE_EQ(make_nvswitch_box(4, 42.0e9).nvswitch_gpu_bw, 42.0e9);
+}
+
+TEST(Zoo, PcieOnlyHostShape) {
+  const Topology t = make_pcie_only_host(6);
+  ASSERT_TRUE(t.validate());
+  EXPECT_EQ(t.num_gpus, 6);
+  EXPECT_FALSE(t.has_nvswitch);
+  EXPECT_TRUE(t.nvlinks.empty());
+  EXPECT_FALSE(t.nvlink_connected());
+  // Collectives must still lower through the PCIe fallback.
+  Communicator comm(t);
+  EXPECT_GT(comm.broadcast(8.0e6, 0).seconds, 0.0);
+}
+
+TEST(Zoo, RandomTopologySpanningTreeIsConnected) {
+  // Density 0 leaves exactly the spanning tree: n-1 edges, still connected.
+  RandomTopologyParams params;
+  params.num_gpus = 7;
+  params.link_density = 0.0;
+  params.max_lanes = 1;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    const Topology t = make_random_topology(params, rng);
+    ASSERT_TRUE(t.validate()) << "seed=" << seed;
+    EXPECT_EQ(t.nvlinks.size(), 6u) << "seed=" << seed;
+    EXPECT_TRUE(t.nvlink_connected()) << "seed=" << seed;
+  }
+}
+
+TEST(Zoo, RandomTopologyFullDensityIsClique) {
+  RandomTopologyParams params;
+  params.num_gpus = 5;
+  params.link_density = 1.0;
+  Rng rng(7);
+  const Topology t = make_random_topology(params, rng);
+  ASSERT_TRUE(t.validate());
+  EXPECT_EQ(t.nvlinks.size(), 10u);  // C(5,2)
+}
+
+TEST(Zoo, RandomTopologyLaneSpread) {
+  RandomTopologyParams params;
+  params.num_gpus = 6;
+  params.link_density = 1.0;
+  params.max_lanes = 3;
+  Rng rng(11);
+  const Topology t = make_random_topology(params, rng);
+  std::set<int> lanes;
+  for (const auto& e : t.nvlinks) {
+    EXPECT_GE(e.lanes, 1);
+    EXPECT_LE(e.lanes, 3);
+    lanes.insert(e.lanes);
+  }
+  EXPECT_GT(lanes.size(), 1u);  // bandwidth spread actually materializes
+}
+
+TEST(Zoo, FatTreeClusterShape) {
+  const ZooCluster c = make_fat_tree_cluster(2, 3, 4, 8.0e9, 2.0);
+  EXPECT_EQ(c.servers.size(), 6u);
+  ASSERT_EQ(c.fabric.nic_bw_per_server.size(), 6u);
+  for (const auto& s : c.servers) {
+    ASSERT_TRUE(s.validate());
+    EXPECT_EQ(s.num_gpus, 4);
+    EXPECT_TRUE(s.has_nvswitch);
+  }
+  // Two racks: every NIC runs at nic_bw / oversubscription.
+  for (const double r : c.fabric.nic_bw_per_server) EXPECT_DOUBLE_EQ(r, 4.0e9);
+  // One rack keeps the full rate.
+  const ZooCluster one = make_fat_tree_cluster(1, 2, 4, 8.0e9, 2.0);
+  for (const double r : one.fabric.nic_bw_per_server) {
+    EXPECT_DOUBLE_EQ(r, 8.0e9);
+  }
+}
+
+TEST(Zoo, FatTreeClusterLowersAllKinds) {
+  const ZooCluster c = make_fat_tree_cluster(2, 1, 4, 5.0e9, 2.0);
+  ClusterCommunicator comm(c.servers, [&] {
+    ClusterOptions opts;
+    opts.fabric = c.fabric;
+    opts.engine.planner_threads = 1;
+    return opts;
+  }());
+  EXPECT_GT(comm.all_reduce(4.0e6).seconds, 0.0);
+  EXPECT_GT(comm.broadcast(4.0e6, 0).seconds, 0.0);
+}
+
+TEST(Zoo, MixedFleetGenerationsAndNicScaling) {
+  const ZooCluster c = make_mixed_fleet(
+      {ServerKind::kDGX1P, ServerKind::kDGX1V, ServerKind::kDGX2}, 10.0e9);
+  ASSERT_EQ(c.servers.size(), 3u);
+  EXPECT_EQ(c.servers[0].num_gpus, 8);
+  EXPECT_EQ(c.servers[1].num_gpus, 8);
+  EXPECT_EQ(c.servers[2].num_gpus, 16);
+  ASSERT_EQ(c.fabric.nic_bw_per_server.size(), 3u);
+  EXPECT_DOUBLE_EQ(c.fabric.nic_bw_per_server[0], 5.0e9);   // P100: / 2
+  EXPECT_DOUBLE_EQ(c.fabric.nic_bw_per_server[1], 10.0e9);  // V100: x 1
+  EXPECT_DOUBLE_EQ(c.fabric.nic_bw_per_server[2], 20.0e9);  // DGX-2: x 2
+}
+
+TEST(Zoo, MixedFleetSubAllocation) {
+  const ZooCluster c =
+      make_mixed_fleet({ServerKind::kDGX1V, ServerKind::kDGX2}, 10.0e9, 4);
+  for (const auto& s : c.servers) {
+    ASSERT_TRUE(s.validate());
+    EXPECT_EQ(s.num_gpus, 4);
+  }
+}
+
+TEST(Zoo, RandomFabricIsDeterministic) {
+  for (const std::uint64_t seed : {1ULL, 42ULL, 0xdeadbeefULL}) {
+    const RandomFabric a = make_random_fabric(seed);
+    const RandomFabric b = make_random_fabric(seed);
+    ASSERT_EQ(a.servers.size(), b.servers.size()) << "seed=" << seed;
+    EXPECT_EQ(a.describe(), b.describe()) << "seed=" << seed;
+    for (std::size_t s = 0; s < a.servers.size(); ++s) {
+      EXPECT_EQ(a.servers[s].num_gpus, b.servers[s].num_gpus);
+      EXPECT_EQ(a.servers[s].nvlinks.size(), b.servers[s].nvlinks.size());
+    }
+    EXPECT_EQ(a.fabric.nic_bw_per_server, b.fabric.nic_bw_per_server);
+  }
+  // Different seeds disagree somewhere (overwhelmingly likely).
+  EXPECT_NE(make_random_fabric(1).describe(), make_random_fabric(2).describe());
+}
+
+TEST(Zoo, RandomFabricRespectsRanges) {
+  RandomFabricParams params;
+  params.min_servers = 2;
+  params.max_servers = 4;
+  params.min_gpus = 3;
+  params.max_gpus = 5;
+  for (std::uint64_t seed = 100; seed < 140; ++seed) {
+    const RandomFabric rf = make_random_fabric(seed, params);
+    ASSERT_GE(rf.servers.size(), 2u);
+    ASSERT_LE(rf.servers.size(), 4u);
+    ASSERT_EQ(rf.fabric.nic_bw_per_server.size(), rf.servers.size());
+    for (std::size_t s = 0; s < rf.servers.size(); ++s) {
+      ASSERT_TRUE(rf.servers[s].validate());
+      EXPECT_GE(rf.servers[s].num_gpus, 3);
+      EXPECT_LE(rf.servers[s].num_gpus, 5);
+      EXPECT_GE(rf.fabric.nic_bw_per_server[s], params.min_nic_bw);
+      EXPECT_LE(rf.fabric.nic_bw_per_server[s], params.max_nic_bw);
+    }
+  }
+}
+
+// --- argument validation (satellite: all builders reject bad inputs) ---------
+
+TEST(ZooValidation, BuildersThrowOnBadArguments) {
+  EXPECT_THROW(make_nvswitch_box(0), std::invalid_argument);
+  EXPECT_THROW(make_nvswitch_box(4, 0.0), std::invalid_argument);
+  EXPECT_THROW(make_nvswitch_box(4, -1.0), std::invalid_argument);
+  EXPECT_THROW(make_pcie_only_host(0), std::invalid_argument);
+  EXPECT_THROW(make_pcie_only_host(-3), std::invalid_argument);
+
+  Rng rng(1);
+  RandomTopologyParams bad;
+  bad.num_gpus = 0;
+  EXPECT_THROW(make_random_topology(bad, rng), std::invalid_argument);
+  bad = {};
+  bad.link_density = 1.5;
+  EXPECT_THROW(make_random_topology(bad, rng), std::invalid_argument);
+  bad = {};
+  bad.max_lanes = 0;
+  EXPECT_THROW(make_random_topology(bad, rng), std::invalid_argument);
+  bad = {};
+  bad.nvswitch_probability = 0.7;
+  bad.pcie_only_probability = 0.7;  // sums past 1
+  EXPECT_THROW(make_random_topology(bad, rng), std::invalid_argument);
+
+  EXPECT_THROW(make_fat_tree_cluster(0, 1, 4), std::invalid_argument);
+  EXPECT_THROW(make_fat_tree_cluster(1, 0, 4), std::invalid_argument);
+  EXPECT_THROW(make_fat_tree_cluster(1, 1, 0), std::invalid_argument);
+  EXPECT_THROW(make_fat_tree_cluster(1, 1, 4, -5.0e9), std::invalid_argument);
+  EXPECT_THROW(make_fat_tree_cluster(2, 1, 4, 5.0e9, 0.5),
+               std::invalid_argument);
+
+  EXPECT_THROW(make_mixed_fleet({}), std::invalid_argument);
+  EXPECT_THROW(make_mixed_fleet({ServerKind::kCustom}), std::invalid_argument);
+  EXPECT_THROW(make_mixed_fleet({ServerKind::kDGX1V}, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(make_mixed_fleet({ServerKind::kDGX1V}, 5.0e9, 9),
+               std::invalid_argument);  // DGX-1V has 8 GPUs
+
+  RandomFabricParams inverted;
+  inverted.min_servers = 3;
+  inverted.max_servers = 2;
+  EXPECT_THROW(make_random_fabric(1, inverted), std::invalid_argument);
+  inverted = {};
+  inverted.min_gpus = 0;
+  EXPECT_THROW(make_random_fabric(1, inverted), std::invalid_argument);
+  inverted = {};
+  inverted.min_lane_bw = 10.0e9;
+  inverted.max_lane_bw = 5.0e9;
+  EXPECT_THROW(make_random_fabric(1, inverted), std::invalid_argument);
+  inverted = {};
+  inverted.min_nic_bw = -1.0;
+  EXPECT_THROW(make_random_fabric(1, inverted), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace blink::topo::zoo
